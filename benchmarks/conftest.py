@@ -1,0 +1,25 @@
+"""Shared bench fixtures: the cached suite, results directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import get_suite, results_dir
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The canonical 5-benchmark suite at the bench scale (disk-cached)."""
+    return get_suite()
+
+
+@pytest.fixture(scope="session")
+def out_dir():
+    d = results_dir()
+    d.mkdir(parents=True, exist_ok=True)
+    return d
+
+
+def run_once(benchmark, fn):
+    """Run a bench body exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

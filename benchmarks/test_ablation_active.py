@@ -1,0 +1,104 @@
+"""Ablation — data-efficient labeling with active learning.
+
+Oracle labels are simulation-priced, so the data-efficiency question
+(TCAD'19's theme, applied to our setting) is: at a fixed label budget,
+does uncertainty sampling beat random sampling?
+
+Runs both acquisition strategies over B1's training pool at a budget far
+below the full pool, then scores the resulting detectors on B1's test
+split.  Shape checks: both reach useful quality; uncertainty sampling is
+not worse than random beyond noise, and it surfaces at least as many
+hotspot training examples.
+"""
+
+import numpy as np
+
+from .conftest import run_once
+
+
+class _LookupOracle:
+    """Replays the suite's cached labels (no re-simulation needed)."""
+
+    def __init__(self, dataset):
+        self._labels = {
+            clip: int(label) for clip, label in zip(dataset.clips, dataset.labels)
+        }
+        self.queries = 0
+
+    def label(self, clip):
+        self.queries += 1
+        return self._labels[clip]
+
+
+def test_ablation_active_learning(benchmark, suite, out_dir):
+    from repro.bench import write_table
+    from repro.core import run_active_learning
+    from repro.core.metrics import roc_auc
+    from repro.features import ConcentricSampling
+    from repro.shallow import SVM, FeatureDetector, SVMConfig
+
+    b1 = [b for b in suite if b.name == "B1"][0]
+    budget = max(40, len(b1.train) // 3)
+
+    def make_detector():
+        return FeatureDetector(
+            name="al-svm",
+            extractor=ConcentricSampling(n_rings=12, n_angles=24),
+            learner=SVM(SVMConfig(C=4.0)),
+            calibrate=None,
+        )
+
+    def run():
+        rows = []
+        stats = {}
+        for strategy in ("random", "uncertainty"):
+            oracle = _LookupOracle(b1.train)
+            result = run_active_learning(
+                make_detector,
+                oracle,
+                b1.train.clips,
+                np.random.default_rng(51),
+                budget=budget,
+                seed_size=20,
+                batch_size=10,
+                strategy=strategy,
+            )
+            scores = result.detector.predict_proba(b1.test.clips)
+            auc = roc_auc(b1.test.labels, scores)
+            stats[strategy] = {
+                "auc": auc,
+                "hotspots_found": result.labeled.n_hotspots,
+            }
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "labels_spent": result.labels_spent,
+                    "hotspots_found": result.labeled.n_hotspots,
+                    "test_auc": round(auc, 3),
+                }
+            )
+        # reference: the full-pool detector
+        full = make_detector()
+        full.fit(b1.train, rng=np.random.default_rng(51))
+        full_auc = roc_auc(b1.test.labels, full.predict_proba(b1.test.clips))
+        rows.append(
+            {
+                "strategy": "full pool",
+                "labels_spent": len(b1.train),
+                "hotspots_found": b1.train.n_hotspots,
+                "test_auc": round(full_auc, 3),
+            }
+        )
+        return rows, stats, full_auc
+
+    rows, stats, full_auc = run_once(benchmark, run)
+    text = write_table(
+        rows, out_dir / "ablation_active.md",
+        title=f"Ablation: active learning (B1, budget={budget})",
+    )
+    print("\n" + text)
+
+    assert stats["uncertainty"]["auc"] > 0.6
+    assert stats["uncertainty"]["auc"] >= stats["random"]["auc"] - 0.10
+    # at a third of the labels, quality is already most of the way there
+    assert stats["uncertainty"]["auc"] >= full_auc - 0.25

@@ -1,0 +1,69 @@
+"""Ablation — DCT feature-tensor depth (the `keep` knob).
+
+DESIGN.md calls out the block-DCT truncation depth as the deep detector's
+central representation choice: ``keep`` low-frequency coefficients per
+8x8 block trade input size against fidelity.  This bench sweeps
+``keep`` in {2, 4, 6} on B2 with the CNN held fixed.
+
+Shape checks: the tensor shrinks quadratically with ``keep``; ranking
+quality is not destroyed at the paper's operating point (keep=4), i.e.
+its AUC is within tolerance of the best arm.
+"""
+
+import numpy as np
+
+from .conftest import run_once
+
+KEEPS = (2, 4, 6)
+
+
+def test_ablation_dct_keep(benchmark, suite, out_dir):
+    from repro.bench import write_table
+    from repro.core.evaluation import evaluate_detector
+    from repro.nn import CNNDetector, CNNDetectorConfig
+
+    b2 = [b for b in suite if b.name == "B2"][0]
+
+    def run():
+        rows = []
+        aucs = {}
+        seeds = (31, 32, 33)
+        for keep in KEEPS:
+            arm_aucs, arm_accs, arm_fas, fit_s = [], [], [], 0.0
+            for seed in seeds:
+                det = CNNDetector(
+                    CNNDetectorConfig(
+                        epochs=10,
+                        biased_epsilon=None,
+                        dct_keep=keep,
+                        width=16,
+                    )
+                )
+                result = evaluate_detector(det, b2, rng=np.random.default_rng(seed))
+                arm_aucs.append(result.auc if result.auc is not None else 0.5)
+                arm_accs.append(result.accuracy)
+                arm_fas.append(result.false_alarms)
+                fit_s += result.fit_seconds
+            aucs[keep] = float(np.mean(arm_aucs))
+            rows.append(
+                {
+                    "keep": keep,
+                    "channels": keep * keep,
+                    "accuracy_%": round(100 * float(np.mean(arm_accs)), 1),
+                    "false_alarms": round(float(np.mean(arm_fas)), 1),
+                    "auc": round(aucs[keep], 3),
+                    "fit_s": round(fit_s, 1),
+                }
+            )
+        return rows, aucs
+
+    rows, aucs = run_once(benchmark, run)
+    text = write_table(
+        rows, out_dir / "ablation_dct.md", title="Ablation: DCT keep-k (B2, CNN)"
+    )
+    print("\n" + text)
+
+    # the paper's operating point is not meaningfully worse than the best
+    assert aucs[4] >= max(aucs.values()) - 0.08, aucs
+    # every arm learns something
+    assert all(a > 0.55 for a in aucs.values()), aucs

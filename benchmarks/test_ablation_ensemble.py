@@ -1,0 +1,56 @@
+"""Ablation — detector ensembles (the survey's closing observation).
+
+Combines the CCAS SVM and the CNN into a soft-vote ensemble on B3 and
+compares against the members.  Shape check: the ensemble's ranking quality
+(AUC) is at least as good as the weaker member and within noise of the
+stronger member — averaging may help, must not catastrophically hurt.
+"""
+
+import numpy as np
+
+from .conftest import run_once
+
+
+def test_ablation_ensemble(benchmark, suite, out_dir):
+    from repro.bench import write_table
+    from repro.core import SoftVoteEnsemble
+    from repro.core.evaluation import evaluate_detector
+    from repro.core.registry import create
+
+    b3 = [b for b in suite if b.name == "B3"][0]
+
+    def run():
+        rows = []
+        aucs = {}
+        detectors = {
+            "svm-ccas": create("svm-ccas"),
+            "cnn-dct": create("cnn-dct"),
+            "svm+cnn": SoftVoteEnsemble(
+                [create("svm-ccas"), create("cnn-dct")], name="svm+cnn"
+            ),
+        }
+        for name, det in detectors.items():
+            result = evaluate_detector(det, b3, rng=np.random.default_rng(13))
+            auc = result.auc if result.auc is not None else 0.5
+            aucs[name] = auc
+            rows.append(
+                {
+                    "detector": name,
+                    "accuracy_%": round(100 * result.accuracy, 1),
+                    "false_alarms": result.false_alarms,
+                    "auc": round(auc, 3),
+                    "odst_s": round(result.odst_seconds, 1),
+                }
+            )
+        return rows, aucs
+
+    rows, aucs = run_once(benchmark, run)
+    text = write_table(
+        rows, out_dir / "ablation_ensemble.md", title="Ablation: ensemble (B3)"
+    )
+    print("\n" + text)
+
+    weaker = min(aucs["svm-ccas"], aucs["cnn-dct"])
+    stronger = max(aucs["svm-ccas"], aucs["cnn-dct"])
+    assert aucs["svm+cnn"] >= weaker - 0.02, aucs
+    assert aucs["svm+cnn"] >= stronger - 0.08, aucs

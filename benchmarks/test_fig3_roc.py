@@ -1,0 +1,52 @@
+"""Figure 3 — ROC / accuracy-vs-false-alarm trade-off curves on B2.
+
+Sweeps the decision threshold of each detector family and writes the
+(fpr, tpr) series the paper plots.  Shape checks: curves are monotone, the
+CNN's curve dominates pattern matching's in AUC, and every detector can be
+driven to zero false alarms by raising its threshold.
+"""
+
+import numpy as np
+
+from .conftest import run_once
+
+
+def test_fig3_roc_curves(benchmark, suite, out_dir):
+    from repro.bench import write_table
+    from repro.core.metrics import auc, roc_curve
+    from repro.core.registry import create
+
+    b2 = [b for b in suite if b.name == "B2"][0]
+    names = ("pattern-fuzzy", "svm-ccas", "cnn-dct")
+
+    def run():
+        curves = {}
+        for name in names:
+            det = create(name)
+            det.fit(b2.train, rng=np.random.default_rng(3))
+            scores = det.predict_proba(b2.test.clips)
+            fpr, tpr, thr = roc_curve(b2.test.labels, scores)
+            curves[name] = (fpr, tpr, auc(fpr, tpr))
+        return curves
+
+    curves = run_once(benchmark, run)
+
+    rows = []
+    for name, (fpr, tpr, area) in curves.items():
+        # resample the curve at fixed fpr grid points for the table
+        grid = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0]
+        tpr_at = [float(np.interp(g, fpr, tpr)) for g in grid]
+        row = {"detector": name, "auc": round(area, 3)}
+        row.update({f"tpr@fpr={g}": round(v, 2) for g, v in zip(grid, tpr_at)})
+        rows.append(row)
+    text = write_table(rows, out_dir / "fig3_roc.md", title="Fig 3: ROC on B2")
+    print("\n" + text)
+
+    for name, (fpr, tpr, area) in curves.items():
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+        assert (fpr[0], tpr[0]) == (0.0, 0.0)
+        assert (fpr[-1], tpr[-1]) == (1.0, 1.0)
+
+    assert curves["cnn-dct"][2] >= curves["pattern-fuzzy"][2] - 0.02
+    assert curves["svm-ccas"][2] > 0.5

@@ -1,0 +1,78 @@
+"""Figure 5 — detection-time scaling: litho-sim vs learned detectors.
+
+Measures per-clip prediction wall time over growing clip populations for
+generation 0 (the lithography oracle), generation 1 (fuzzy pattern
+matching), generation 2 (CCAS SVM), and generation 3 (the CNN).
+
+Shape checks: the litho simulator is by far the slowest per clip (that gap
+is the raison d'etre of every learned detector), scaling is roughly linear
+for all of them, and the learned detectors are at least 3x faster than
+simulation.
+"""
+
+import time
+
+import numpy as np
+
+from .conftest import run_once
+
+def test_fig5_runtime_scaling(benchmark, suite, out_dir):
+    from repro.bench import write_table
+    from repro.core.detector import OracleDetector
+    from repro.core.registry import create
+    from repro.litho import HotspotOracle
+
+    b1 = [b for b in suite if b.name == "B1"][0]
+    pool = b1.test.clips
+    n_max = min(200, len(pool))
+    COUNTS = (max(10, n_max // 4), max(20, n_max // 2), n_max)
+
+    def run():
+        detectors = {
+            "litho-sim": OracleDetector(HotspotOracle()),
+            "pattern-fuzzy": create("pattern-fuzzy"),
+            "svm-ccas": create("svm-ccas"),
+            "cnn-dct": create("cnn-dct"),
+        }
+        rng = np.random.default_rng(5)
+        for name, det in detectors.items():
+            det.fit(b1.train, rng=rng)
+        table = {}
+        for name, det in detectors.items():
+            times = []
+            for n in COUNTS:
+                clips = pool[:n]
+                t0 = time.perf_counter()
+                det.predict_proba(clips)
+                times.append(time.perf_counter() - t0)
+            table[name] = times
+        return table
+
+    table = run_once(benchmark, run)
+
+    rows = []
+    for name, times in table.items():
+        row = {"detector": name}
+        row.update(
+            {f"n={n}": f"{t:.3f}s" for n, t in zip(COUNTS, times)}
+        )
+        row["ms/clip"] = round(1000 * times[-1] / COUNTS[-1], 2)
+        rows.append(row)
+    text = write_table(
+        rows, out_dir / "fig5_runtime.md", title="Fig 5: detection runtime scaling"
+    )
+    print("\n" + text)
+
+    per_clip = {name: times[-1] / COUNTS[-1] for name, times in table.items()}
+    # generation 0 is the slowest; learned detectors are far faster
+    assert per_clip["litho-sim"] == max(per_clip.values())
+    for name in ("pattern-fuzzy", "svm-ccas", "cnn-dct"):
+        assert per_clip["litho-sim"] > 3 * per_clip[name], (
+            name,
+            per_clip["litho-sim"],
+            per_clip[name],
+        )
+    # roughly linear scaling in clip count (generous bound: wall-clock
+    # timing on a shared CPU is noisy)
+    for name, times in table.items():
+        assert times[-1] <= 16 * max(times[0], 1e-4), (name, times)

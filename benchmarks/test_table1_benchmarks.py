@@ -1,0 +1,51 @@
+"""Table I — benchmark statistics.
+
+Regenerates the contest-style table of per-benchmark clip counts and class
+imbalance.  Shape checks: five benchmarks, hotspots are a minority of every
+test set, B1 is the most hotspot-rich train set and B4 the most imbalanced
+test set (matching the recipe's intent and the contest's flavor).
+"""
+
+from .conftest import run_once
+
+
+def test_table1_benchmark_statistics(benchmark, suite, out_dir):
+    from repro.bench import write_table
+
+    def build():
+        rows = []
+        for b in suite:
+            rows.append(
+                {
+                    "benchmark": b.name,
+                    "train_clips": len(b.train),
+                    "train_HS": b.train.n_hotspots,
+                    "train_NHS": b.train.n_non_hotspots,
+                    "train_HS_%": round(100 * b.train.hotspot_fraction, 1),
+                    "test_clips": len(b.test),
+                    "test_HS": b.test.n_hotspots,
+                    "test_NHS": b.test.n_non_hotspots,
+                    "test_HS_%": round(100 * b.test.hotspot_fraction, 1),
+                    "description": b.description,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    text = write_table(
+        rows, out_dir / "table1_benchmarks.md", title="Table I: benchmark statistics"
+    )
+    print("\n" + text)
+
+    assert [r["benchmark"] for r in rows] == ["B1", "B2", "B3", "B4", "B5"]
+    for r in rows:
+        # every benchmark is imbalanced toward non-hotspots on test
+        assert r["test_HS_%"] < 50.0
+        assert r["test_HS"] >= 1
+        assert r["train_HS"] >= 1
+    by_name = {r["benchmark"]: r for r in rows}
+    # B1 has the most balanced training set of the suite
+    assert by_name["B1"]["train_HS_%"] == max(r["train_HS_%"] for r in rows)
+    # B4 is among the two most imbalanced test sets (B2 runs it close)
+    two_rarest = sorted(rows, key=lambda r: r["test_HS_%"])[:2]
+    assert "B4" in {r["benchmark"] for r in two_rarest}

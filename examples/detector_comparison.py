@@ -1,0 +1,86 @@
+"""From shallow to deep: compare all three detector generations.
+
+Run with::
+
+    python examples/detector_comparison.py
+
+Generates one benchmark and runs pattern matching, the CCAS SVM, AdaBoost,
+the CNN, and an ensemble of the learned detectors — then prints the
+contest-style comparison table.  A one-file version of the paper's story.
+"""
+
+import numpy as np
+
+from repro import evaluate_detector, make_benchmark
+from repro.bench import format_table
+from repro.core import SoftVoteEnsemble
+from repro.data import BenchmarkConfig, FamilyMix
+from repro.nn import CNNDetector, CNNDetectorConfig
+from repro.shallow import (
+    make_adaboost_density,
+    make_pattern_exact,
+    make_pattern_fuzzy,
+    make_svm_ccas,
+)
+
+
+def main():
+    config = BenchmarkConfig(
+        name="cmp",
+        n_train=250,
+        n_test=250,
+        mix=FamilyMix(
+            weights={
+                "grating": 1.5,
+                "comb": 1.0,
+                "tip_pair": 1.0,
+                "l_corners": 1.0,
+                "isolated_wire": 0.5,
+            },
+            marginal_p={},
+            default_marginal_p=0.18,
+        ),
+    )
+    print("generating benchmark (lithography-labeled)...")
+    bench = make_benchmark(config, seed=2017)
+    print(" ", bench.summary(), "\n")
+
+    detectors = [
+        ("gen 1", make_pattern_exact()),
+        ("gen 1", make_pattern_fuzzy()),
+        ("gen 2", make_adaboost_density()),
+        ("gen 2", make_svm_ccas()),
+        ("gen 3", CNNDetector(CNNDetectorConfig(epochs=10, width=20))),
+        (
+            "gen 2+3",
+            SoftVoteEnsemble(
+                [
+                    make_svm_ccas(),
+                    CNNDetector(CNNDetectorConfig(epochs=10, width=20)),
+                ],
+                name="svm+cnn-ensemble",
+            ),
+        ),
+    ]
+
+    rows = []
+    for generation, det in detectors:
+        print(f"running {det.name} ...")
+        result = evaluate_detector(det, bench, rng=np.random.default_rng(1))
+        rows.append(
+            {
+                "generation": generation,
+                "detector": det.name,
+                "accuracy_%": round(100 * result.accuracy, 1),
+                "false_alarms": result.false_alarms,
+                "precision_%": round(100 * result.confusion.precision, 1),
+                "auc": None if result.auc is None else round(result.auc, 3),
+                "odst_s": round(result.odst_seconds, 1),
+            }
+        )
+
+    print("\n" + format_table(rows, title="From shallow to deep"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Detect -> correct -> re-verify: closing the DFM loop with rule-based OPC.
+
+Run with::
+
+    python examples/hotspot_repair.py
+
+Finds hotspots in a generated clip population with the lithography oracle,
+applies the rule-based OPC moves (isolated-wire biasing + line-end
+hammerheads), and re-verifies.  Reports the fix rate per defect kind —
+the survey's "what happens after detection" pointer made concrete.
+"""
+
+import collections
+
+import numpy as np
+
+from repro.data import FamilyMix, generate_clips
+from repro.litho import HotspotOracle, OPCRules, correct_clip
+
+
+def main():
+    rng = np.random.default_rng(11)
+    oracle = HotspotOracle()
+    mix = FamilyMix(
+        weights={
+            "isolated_wire": 2.0,
+            "tip_pair": 1.0,
+            "grating": 1.0,
+            "l_corners": 1.0,
+        },
+        marginal_p={},
+        default_marginal_p=0.5,  # deliberately hotspot-rich
+    )
+    print("generating a hotspot-rich clip population...")
+    clips, _specs = generate_clips(rng, mix, 150)
+
+    print("labeling with the lithography oracle...")
+    analyses = [oracle.analyze(c) for c in clips]
+    hotspots = [
+        (clip, a) for clip, a in zip(clips, analyses) if a.is_hotspot
+    ]
+    print(f"  {len(hotspots)}/{len(clips)} clips are hotspots\n")
+
+    rules = OPCRules(iso_bias_nm=16, hammer_extend_nm=24, hammer_overhang_nm=16)
+    print("applying rule-based OPC (edge bias + hammerheads) and re-verifying...")
+    fixed = 0
+    by_kind = collections.Counter()
+    fixed_by_kind = collections.Counter()
+    for clip, analysis in hotspots:
+        kinds = analysis.defect_kinds
+        by_kind.update(kinds)
+        corrected = correct_clip(clip, rules)
+        if not oracle.analyze(corrected).is_hotspot:
+            fixed += 1
+            fixed_by_kind.update(kinds)
+
+    print(f"\n  fixed {fixed}/{len(hotspots)} hotspots "
+          f"({100 * fixed / max(len(hotspots), 1):.0f}%)\n")
+    print("  per defect kind (a hotspot may carry several):")
+    for kind in sorted(by_kind):
+        total = by_kind[kind]
+        got = fixed_by_kind[kind]
+        print(f"    {kind:8s} {got:3d}/{total:3d} fixed")
+    print(
+        "\n  (necks/opens on isolated wires respond to edge bias; tip "
+        "pullback to hammerheads;\n   bridges/spots need spacing moves the "
+        "rule set deliberately does not attempt)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Exploration script: oracle verdicts on a battery of canonical patterns.
+
+Not part of the library — used during development to pick OpticalSystem /
+HotspotOracle defaults such that the hotspot boundary falls on *marginal*
+geometry (the behaviour the benchmarks need).  Prints each pattern's
+verdict; run with different CLI args to explore the parameter space:
+
+    python scripts/tune_oracle.py [sigma_scale dose_delta defocus ref_pitch neck epe]
+
+The "want" column records the intuition that guided the initial tuning;
+the shipped oracle intentionally differs on some rows (e.g. tip-to-tip
+gaps >= 48 nm are *not* hotspots under this process because facing tips
+share light — see tests/litho/test_hotspot.py for the authoritative
+expectations).
+"""
+
+import itertools
+import sys
+
+from repro.geometry import Layer, Rect, extract_clip
+from repro.litho import HotspotOracle, OpticalSystem
+
+W, CORE = 768, 256
+CX = CY = 600
+
+
+def clip_of(rects, tag):
+    layer = Layer("metal1")
+    layer.add_rects(rects)
+    return extract_clip(layer, (CX, CY), W, CORE, tag=tag)
+
+
+def battery():
+    pats = []
+    # dense grating 64/128 through center
+    pats.append(("dense64/128", [Rect(88 + i * 128, 100, 88 + i * 128 + 64, 1100) for i in range(8)], False))
+    # semi dense 64/192
+    pats.append(("semi64/192", [Rect(56 + i * 192, 100, 56 + i * 192 + 64, 1100) for i in range(6)], False))
+    # isolated vertical line through core
+    pats.append(("isolated64", [Rect(568, 100, 632, 1100)], False))
+    # parallel pair at min space 64
+    pats.append(("pair_s64", [Rect(504, 100, 568, 1100), Rect(632, 100, 696, 1100)], False))
+    # tip-to-tip gaps
+    for gap in (64, 80, 96, 128):
+        x_end = CX - gap // 2
+        pats.append((
+            f"t2t_{gap}",
+            [Rect(100, 568, x_end, 632), Rect(x_end + gap, 568, 1100, 632)],
+            gap <= 80,
+        ))
+    # tip to perpendicular line (T), gap varying
+    for gap in (64, 96):
+        pats.append((
+            f"tee_{gap}",
+            [Rect(568, 100, 632, CY - gap), Rect(100, CY, 1100, CY + 64)],
+            gap <= 64,
+        ))
+    # L corner with nearby parallel line
+    pats.append(("corner_near", [
+        Rect(400, 536, 700, 600), Rect(636, 600, 700, 900),  # L
+        Rect(400, 664, 572, 728),  # inner neighbor near the corner
+    ], True))
+    # short isolated stub in core
+    pats.append(("stub", [Rect(568, 500, 632, 700)], None))
+    # dense with one line end in the core
+    rects = [Rect(88 + i * 128, 100, 88 + i * 128 + 64, 1100) for i in range(8)]
+    rects[4] = Rect(88 + 4 * 128, 100, 88 + 4 * 128 + 64, 620)  # ends in core
+    pats.append(("grating_lineend", rects, None))
+    return pats
+
+
+def main():
+    sigma_scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.20
+    dose_delta = float(sys.argv[2]) if len(sys.argv) > 2 else 0.04
+    defocus = float(sys.argv[3]) if len(sys.argv) > 3 else 32.0
+    ref_pitch = int(sys.argv[4]) if len(sys.argv) > 4 else 192
+    neck = float(sys.argv[5]) if len(sys.argv) > 5 else 0.55
+    epe = float(sys.argv[6]) if len(sys.argv) > 6 else 30.0
+    optics = OpticalSystem(sigma_scale=sigma_scale)
+    oracle = HotspotOracle(
+        optics=optics,
+        dose_delta=dose_delta,
+        defocus_delta_nm=defocus,
+        reference_pitch_nm=ref_pitch,
+        neck_ratio=neck,
+        epe_limit_nm=epe,
+    )
+    print(
+        f"sigma={optics.base_sigma_nm:.1f}nm thr={oracle.resist.threshold:.3f} "
+        f"dose±{dose_delta} defoc={defocus} ref_pitch={ref_pitch} neck={neck} epe={epe}"
+    )
+    for tag, rects, want in battery():
+        a = oracle.analyze(clip_of(rects, tag))
+        wanted = "?" if want is None else ("HS" if want else "ok")
+        got = "HS" if a.is_hotspot else "ok"
+        mark = " " if want is None or (a.is_hotspot == want) else "<<< MISMATCH"
+        print(f"  {tag:<18} want={wanted:3} got={got:3} {a.defect_kinds} {mark}")
+
+
+if __name__ == "__main__":
+    main()

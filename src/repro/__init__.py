@@ -1,0 +1,96 @@
+"""repro — Lithography hotspot detection, from shallow to deep learning.
+
+A from-scratch reproduction of the SOCC 2017 survey's detector lineup:
+
+* ``repro.geometry`` — integer-nm rectilinear layout engine (rects,
+  polygons, clips, rasterization, DRC, serialization),
+* ``repro.litho`` — approximate partially-coherent lithography simulation
+  and the golden :class:`HotspotOracle` labeler,
+* ``repro.data`` — synthetic ICCAD-2012-style benchmarks with contest
+  imbalance, plus up-sampling / mirroring / SMOTE,
+* ``repro.features`` — density grids, CCAS, DCT feature tensors, squish
+  patterns,
+* ``repro.shallow`` — pattern matching, SVM (SMO), AdaBoost, CART,
+  logistic regression, naive Bayes, kNN,
+* ``repro.nn`` — numpy CNN framework + the DCT-tensor CNN with biased
+  learning,
+* ``repro.core`` — the unified Detector API, contest metrics, threshold
+  calibration, ensembles,
+* ``repro.bench`` — the harness regenerating every table and figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import make_iccad2012_suite, evaluate_detector
+    from repro.shallow import make_svm_ccas
+
+    suite = make_iccad2012_suite(seed=2012, scale=0.2)
+    result = evaluate_detector(make_svm_ccas(), suite[0],
+                               rng=np.random.default_rng(0))
+    print(result.row())
+"""
+
+from . import shallow as _shallow  # noqa: F401  (registers shallow detectors)
+from . import nn as _nn  # noqa: F401  (registers deep detectors)
+from .core import (
+    Confusion,
+    Detector,
+    EvalResult,
+    OracleDetector,
+    available,
+    confusion,
+    create,
+    evaluate_detector,
+    evaluate_on_suite,
+    roc_auc,
+    roc_curve,
+)
+from .data import (
+    Benchmark,
+    ClipDataset,
+    FamilyMix,
+    generate_clips,
+    make_benchmark,
+    make_iccad2012_suite,
+    upsample_minority,
+)
+from .geometry import Clip, Layer, Layout, Polygon, Rect, extract_clip
+from .litho import HotspotOracle, LithoSimulator, OpticalSystem, ResistModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # geometry
+    "Rect",
+    "Polygon",
+    "Layer",
+    "Layout",
+    "Clip",
+    "extract_clip",
+    # litho
+    "OpticalSystem",
+    "ResistModel",
+    "LithoSimulator",
+    "HotspotOracle",
+    # data
+    "ClipDataset",
+    "Benchmark",
+    "FamilyMix",
+    "generate_clips",
+    "make_benchmark",
+    "make_iccad2012_suite",
+    "upsample_minority",
+    # core
+    "Detector",
+    "OracleDetector",
+    "Confusion",
+    "confusion",
+    "roc_curve",
+    "roc_auc",
+    "EvalResult",
+    "evaluate_detector",
+    "evaluate_on_suite",
+    "create",
+    "available",
+]

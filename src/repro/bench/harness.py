@@ -1,0 +1,66 @@
+"""Bench harness: run detectors over benchmarks into table rows."""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.detector import Detector
+from ..core.evaluation import EvalResult, evaluate_detector
+from ..data.dataset import Benchmark
+
+
+def run_matrix(
+    detector_factories: Dict[str, Callable[[], Detector]],
+    suite: Sequence[Benchmark],
+    seed: int = 0,
+) -> List[EvalResult]:
+    """Evaluate each named detector on each benchmark (fresh instances)."""
+    results: List[EvalResult] = []
+    for det_name, factory in detector_factories.items():
+        for i, benchmark in enumerate(suite):
+            detector = factory()
+            # stable per-(detector, benchmark) seed: crc32, not hash(),
+            # because str hashing is randomized per process
+            rng = np.random.default_rng(
+                seed + 31 * i + zlib.crc32(det_name.encode()) % 1000
+            )
+            result = evaluate_detector(detector, benchmark, rng=rng)
+            results.append(result)
+    return results
+
+
+def results_to_rows(results: Sequence[EvalResult]) -> List[Dict[str, object]]:
+    return [r.row() for r in results]
+
+
+def pivot_metric(
+    results: Sequence[EvalResult],
+    metric: str = "accuracy",
+    fmt: Optional[str] = "{:.1f}",
+) -> List[Dict[str, object]]:
+    """Rows = detectors, columns = benchmarks, values = one metric.
+
+    ``metric`` is any :class:`EvalResult` attribute (``accuracy``,
+    ``false_alarms``, ``odst_seconds``, ``auc``).
+    """
+    benchmarks = sorted({r.benchmark for r in results})
+    detectors = list(dict.fromkeys(r.detector for r in results))
+    table: List[Dict[str, object]] = []
+    for det in detectors:
+        row: Dict[str, object] = {"detector": det}
+        for b in benchmarks:
+            match = [r for r in results if r.detector == det and r.benchmark == b]
+            if match:
+                value = getattr(match[0], metric)
+                if metric == "accuracy":
+                    value = 100 * value
+                if fmt and value is not None:
+                    value = fmt.format(value)
+                row[b] = value
+            else:
+                row[b] = ""
+        table.append(row)
+    return table

@@ -1,0 +1,53 @@
+"""Contest-style table formatting.
+
+Benches produce lists of row dicts; this module renders them as aligned
+markdown so the regenerated tables can be eyeballed against the paper's
+and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render rows as a markdown table (columns default to first row's keys)."""
+    if not rows:
+        return f"### {title}\n(no rows)\n" if title else "(no rows)\n"
+    cols = list(columns) if columns else list(rows[0].keys())
+    str_rows = [
+        [("" if row.get(c) is None else str(row.get(c))) for c in cols]
+        for row in rows
+    ]
+    widths = [
+        max(len(c), *(len(r[i]) for r in str_rows)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(c.ljust(w) for c, w in zip(cols, widths)) + " |")
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for r in str_rows:
+        lines.append("| " + " | ".join(v.ljust(w) for v, w in zip(r, widths)) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_table(
+    rows: Sequence[Dict[str, object]],
+    path: Union[str, Path],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Format, persist, and return the table text."""
+    text = format_table(rows, columns=columns, title=title)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return text

@@ -1,0 +1,56 @@
+"""Canonical bench workloads.
+
+Every table/figure bench pulls its data through :func:`get_suite`, which
+generates the 5-benchmark suite once per (seed, scale) and caches it under
+the repository-local bench cache directory.  ``REPRO_BENCH_SCALE`` scales
+clip counts (default 0.35 keeps the full bench run tractable on one CPU;
+1.0 regenerates the full-size suite).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional
+
+from ..data.benchmarks import make_iccad2012_suite
+from ..data.dataset import Benchmark
+
+DEFAULT_SEED = 2012
+
+
+def bench_scale() -> float:
+    """The suite scale factor, from ``REPRO_BENCH_SCALE`` (default 0.35)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+
+
+def cache_dir() -> Path:
+    """Dataset cache directory (override with ``REPRO_CACHE_DIR``)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / ".bench_cache"
+
+
+def results_dir() -> Path:
+    """Where benches write their regenerated tables."""
+    root = os.environ.get("REPRO_RESULTS_DIR")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def get_suite(
+    scale: Optional[float] = None, seed: int = DEFAULT_SEED
+) -> List[Benchmark]:
+    """The labeled 5-benchmark suite at the bench scale, disk-cached."""
+    scale = bench_scale() if scale is None else scale
+    return make_iccad2012_suite(seed=seed, scale=scale, cache_dir=cache_dir())
+
+
+def get_benchmark(name: str, scale: Optional[float] = None) -> Benchmark:
+    """One benchmark of the suite by name ('B1'..'B5')."""
+    for benchmark in get_suite(scale=scale):
+        if benchmark.name == name:
+            return benchmark
+    raise KeyError(f"unknown benchmark {name!r}")

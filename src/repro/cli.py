@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``gen-data``    generate and cache the benchmark suite
+``list``        list registered detectors
+``evaluate``    run detectors on benchmarks and print the contest table
+``train``       train the CNN detector on a labeled clip file, save weights
+``score``       score a clip file with a saved CNN model
+``analyze``     litho-analyze a clip file and print per-clip verdicts
+``scan``        sweep a saved CNN model over a GDSII layout layer
+``pattern``     print a clip's raster as ASCII art (debugging aid)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_gen_data(args: argparse.Namespace) -> int:
+    from .bench.workloads import cache_dir, get_suite
+
+    suite = get_suite(scale=args.scale, seed=args.seed)
+    for benchmark in suite:
+        print(benchmark.summary())
+    print(f"cached under {cache_dir()}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .core.registry import available
+
+    for name in available():
+        print(name)
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .bench.harness import pivot_metric, run_matrix
+    from .bench.tables import format_table
+    from .bench.workloads import get_suite
+    from .core.registry import create
+
+    suite = get_suite(scale=args.scale, seed=args.seed)
+    if args.benchmarks:
+        wanted = set(args.benchmarks.split(","))
+        suite = [b for b in suite if b.name in wanted]
+    names = args.detectors.split(",")
+    factories = {name: (lambda n=name: create(n)) for name in names}
+    results = run_matrix(factories, suite, seed=args.seed)
+    for metric in ("accuracy", "false_alarms", "odst_seconds"):
+        rows = pivot_metric(results, metric=metric, fmt="{:.1f}")
+        print(format_table(rows, title=metric))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .data.dataset import ClipDataset
+    from .geometry.gdsio import load_clips
+    from .nn import CNNDetector, CNNDetectorConfig
+
+    clips, labels = load_clips(args.clips)
+    if any(lbl is None for lbl in labels):
+        print("training needs a fully labeled clip file", file=sys.stderr)
+        return 2
+    dataset = ClipDataset(name=str(args.clips), clips=clips, labels=np.asarray(labels))
+    detector = CNNDetector(CNNDetectorConfig(epochs=args.epochs))
+    report = detector.fit(dataset, rng=np.random.default_rng(args.seed))
+    detector.save(args.out)
+    print(
+        f"trained on {dataset.summary()} in {report.train_seconds:.1f}s; "
+        f"threshold={detector.threshold:.3f}; saved to {args.out}"
+    )
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    from .geometry.gdsio import load_clips
+    from .nn import CNNDetector
+
+    detector = CNNDetector.load(args.model)
+    clips, labels = load_clips(args.clips)
+    scores = detector.predict_proba(clips)
+    flagged = scores >= detector.threshold
+    for clip, score, flag, label in zip(clips, scores, flagged, labels):
+        known = "" if label is None else f" (label={label})"
+        verdict = "HOTSPOT" if flag else "ok"
+        print(f"{clip.tag or '-'}: {score:.3f} -> {verdict}{known}")
+    print(f"-- {int(flagged.sum())}/{len(clips)} flagged")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .geometry.gdsio import load_clips
+    from .litho.hotspot import HotspotOracle
+
+    clips, labels = load_clips(args.clips)
+    oracle = HotspotOracle()
+    n_hot = 0
+    for i, clip in enumerate(clips):
+        analysis = oracle.analyze(clip)
+        n_hot += analysis.is_hotspot
+        verdict = "HOTSPOT" if analysis.is_hotspot else "ok"
+        kinds = ",".join(analysis.defect_kinds) or "-"
+        known = "" if labels[i] is None else f" (label={labels[i]})"
+        print(f"{clip.tag or i}: {verdict} [{kinds}]{known}")
+    print(f"-- {n_hot}/{len(clips)} hotspots")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from .core.scan import scan_layer
+    from .geometry.gdsii import read_gdsii
+    from .nn import CNNDetector
+
+    layout, _db_unit = read_gdsii(args.gds)
+    if args.layer not in layout.layers:
+        print(
+            f"layer {args.layer!r} not in {sorted(layout.layers)}",
+            file=sys.stderr,
+        )
+        return 2
+    layer = layout.layer(args.layer)
+    detector = CNNDetector.load(args.model)
+    result = scan_layer(detector, layer, layer.bbox.expand(-args.margin))
+    print(
+        f"{len(result.clips)} windows, {result.n_flagged} flagged "
+        f"({100 * result.flag_ratio:.0f}%)"
+    )
+    grid = result.heat_map()
+    for row in grid[::-1]:
+        print(
+            "".join(
+                "#" if s >= detector.threshold else "+" if s >= 0.2 else "."
+                for s in row
+            )
+        )
+    return 0
+
+
+def _cmd_pattern(args: argparse.Namespace) -> int:
+    from .geometry.gdsio import load_clips
+    from .geometry.rasterize import rasterize_clip
+
+    clips, _labels = load_clips(args.clips)
+    if not 0 <= args.index < len(clips):
+        print(f"index out of range (file has {len(clips)} clips)", file=sys.stderr)
+        return 2
+    clip = clips[args.index]
+    raster = rasterize_clip(clip, pixel_nm=args.pixel, antialias=False)
+    chars = np.where(raster >= 0.5, "#", ".")
+    for row in chars[::-1]:  # print top row first
+        print("".join(row))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="lithography hotspot detection toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen-data", help="generate and cache the benchmark suite")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--seed", type=int, default=2012)
+    p.set_defaults(fn=_cmd_gen_data)
+
+    p = sub.add_parser("list", help="list registered detectors")
+    p.set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser("evaluate", help="evaluate detectors on the suite")
+    p.add_argument(
+        "--detectors", default="pattern-fuzzy,svm-ccas,cnn-dct",
+        help="comma-separated registry names",
+    )
+    p.add_argument("--benchmarks", default="", help="e.g. B1,B2 (default: all)")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--seed", type=int, default=2012)
+    p.set_defaults(fn=_cmd_evaluate)
+
+    p = sub.add_parser("train", help="train the CNN on a labeled clip file")
+    p.add_argument("clips", type=Path)
+    p.add_argument("--out", type=Path, default=Path("cnn-model.npz"))
+    p.add_argument("--epochs", type=int, default=12)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_train)
+
+    p = sub.add_parser("score", help="score a clip file with a saved model")
+    p.add_argument("model", type=Path)
+    p.add_argument("clips", type=Path)
+    p.set_defaults(fn=_cmd_score)
+
+    p = sub.add_parser("analyze", help="litho-analyze a clip file")
+    p.add_argument("clips", type=Path)
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("scan", help="scan a GDSII layer with a saved model")
+    p.add_argument("model", type=Path)
+    p.add_argument("gds", type=Path)
+    p.add_argument("--layer", default="L1")
+    p.add_argument("--margin", type=int, default=0, help="inset from the bbox (nm)")
+    p.set_defaults(fn=_cmd_scan)
+
+    p = sub.add_parser("pattern", help="ASCII-render a clip")
+    p.add_argument("clips", type=Path)
+    p.add_argument("--index", type=int, default=0)
+    p.add_argument("--pixel", type=int, default=16)
+    p.set_defaults(fn=_cmd_pattern)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

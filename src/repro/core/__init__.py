@@ -1,0 +1,42 @@
+"""Core detection framework: interfaces, metrics, evaluation, ensembles."""
+
+from .detector import Detector, FitReport, OracleDetector
+from .ensemble import MajorityVoteEnsemble, SoftVoteEnsemble
+from .evaluation import EvalResult, evaluate_detector, evaluate_on_suite
+from .metrics import Confusion, auc, confusion, roc_auc, roc_curve
+from .active import ActiveResult, ActiveRound, run_active_learning
+from .crossval import CrossValResult, FoldResult, cross_validate, stratified_folds
+from .registry import available, create, register
+from .scan import ScanResult, scan_layer
+from .threshold import best_f1_threshold, max_accuracy_under_fa_cap, pick_threshold
+
+__all__ = [
+    "Detector",
+    "FitReport",
+    "OracleDetector",
+    "Confusion",
+    "confusion",
+    "roc_curve",
+    "roc_auc",
+    "auc",
+    "EvalResult",
+    "evaluate_detector",
+    "evaluate_on_suite",
+    "max_accuracy_under_fa_cap",
+    "best_f1_threshold",
+    "pick_threshold",
+    "SoftVoteEnsemble",
+    "MajorityVoteEnsemble",
+    "register",
+    "create",
+    "available",
+    "ScanResult",
+    "scan_layer",
+    "ActiveResult",
+    "ActiveRound",
+    "run_active_learning",
+    "CrossValResult",
+    "FoldResult",
+    "cross_validate",
+    "stratified_folds",
+]

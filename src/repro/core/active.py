@@ -1,0 +1,152 @@
+"""Active learning: spend the simulation budget on informative clips.
+
+Oracle labels are expensive (each is a multi-corner lithography run), so
+training-set construction is itself an optimization problem.  The loop
+here implements the standard pool-based recipe:
+
+1. label a small random seed set,
+2. fit the detector,
+3. query the oracle on the pool clips the detector is least sure about
+   (``|score - 0.5|`` smallest), or randomly for the control arm,
+4. repeat until the label budget is spent.
+
+``run_active_learning`` returns the labeled set, the final detector and a
+per-round history, so the data-efficiency ablation can plot quality vs.
+labels spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import ClipDataset
+from ..geometry.layout import Clip
+from .detector import Detector
+
+
+@dataclass
+class ActiveRound:
+    """Bookkeeping for one acquisition round."""
+
+    n_labeled: int
+    n_hotspots_found: int
+    pool_remaining: int
+
+
+@dataclass
+class ActiveResult:
+    labeled: ClipDataset
+    detector: Detector
+    history: List[ActiveRound] = field(default_factory=list)
+
+    @property
+    def labels_spent(self) -> int:
+        return len(self.labeled)
+
+
+def _uncertainty_order(scores: np.ndarray) -> np.ndarray:
+    """Pool indices sorted most-uncertain first."""
+    return np.argsort(np.abs(scores - 0.5), kind="stable")
+
+
+def run_active_learning(
+    detector_factory: Callable[[], Detector],
+    oracle,
+    pool: Sequence[Clip],
+    rng: np.random.Generator,
+    budget: int,
+    seed_size: int = 20,
+    batch_size: int = 10,
+    strategy: str = "uncertainty",
+    explore_fraction: float = 0.5,
+) -> ActiveResult:
+    """Pool-based active learning against a labeling oracle.
+
+    ``oracle`` needs a ``label(clip) -> int`` method; ``strategy`` is
+    ``"uncertainty"`` or ``"random"`` (the ablation baseline).  The final
+    detector is fitted on everything labeled.
+
+    Pure uncertainty sampling is vulnerable to sampling bias (it fixates
+    on one boundary region and starves the rest of the space), so each
+    uncertainty batch spends ``explore_fraction`` of its picks on random
+    exploration — the standard epsilon-greedy remedy.
+    """
+    if strategy not in ("uncertainty", "random"):
+        raise ValueError("strategy must be 'uncertainty' or 'random'")
+    if not 0.0 <= explore_fraction <= 1.0:
+        raise ValueError("explore_fraction must be in [0, 1]")
+    if budget < seed_size:
+        raise ValueError("budget must cover at least the seed set")
+    if budget > len(pool):
+        raise ValueError("budget exceeds the pool size")
+
+    pool_idx = list(range(len(pool)))
+    rng.shuffle(pool_idx)
+    chosen = pool_idx[:seed_size]
+    remaining = pool_idx[seed_size:]
+
+    clips = [pool[i] for i in chosen]
+    labels = [int(oracle.label(c)) for c in clips]
+    history: List[ActiveRound] = []
+    detector = detector_factory()
+
+    def refit() -> Detector:
+        det = detector_factory()
+        dataset = ClipDataset(
+            "active", list(clips), np.asarray(labels, dtype=np.int64)
+        )
+        det.fit(dataset, rng=rng)
+        return det
+
+    detector = refit()
+    history.append(
+        ActiveRound(
+            n_labeled=len(clips),
+            n_hotspots_found=int(sum(labels)),
+            pool_remaining=len(remaining),
+        )
+    )
+    while len(clips) < budget and remaining:
+        take = min(batch_size, budget - len(clips), len(remaining))
+        if strategy == "uncertainty":
+            n_explore = int(round(explore_fraction * take))
+            n_exploit = take - n_explore
+            scores = detector.predict_proba([pool[i] for i in remaining])
+            order = _uncertainty_order(scores)
+            exploit = list(order[:n_exploit])
+            rest = [p for p in range(len(remaining)) if p not in set(exploit)]
+            explore = (
+                list(rng.choice(rest, size=min(n_explore, len(rest)), replace=False))
+                if rest and n_explore
+                else []
+            )
+            picked_positions = exploit + explore
+        else:
+            picked_positions = rng.choice(
+                len(remaining), size=take, replace=False
+            )
+        picked = sorted(
+            (remaining[p] for p in picked_positions), reverse=True
+        )
+        for i in picked:
+            remaining.remove(i)
+            clips.append(pool[i])
+            labels.append(int(oracle.label(pool[i])))
+        detector = refit()
+        history.append(
+            ActiveRound(
+                n_labeled=len(clips),
+                n_hotspots_found=int(sum(labels)),
+                pool_remaining=len(remaining),
+            )
+        )
+    return ActiveResult(
+        labeled=ClipDataset(
+            "active", list(clips), np.asarray(labels, dtype=np.int64)
+        ),
+        detector=detector,
+        history=history,
+    )

@@ -1,0 +1,105 @@
+"""K-fold cross-validation for detectors.
+
+The contest fixes one train/test split per benchmark; when tuning
+detector hyper-parameters one split is not enough.  ``cross_validate``
+runs stratified k-fold CV over a labeled dataset, fitting a fresh
+detector per fold, and reports per-fold and aggregate contest metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..data.dataset import ClipDataset
+from .detector import Detector
+from .metrics import Confusion, confusion, roc_auc
+
+
+@dataclass(frozen=True)
+class FoldResult:
+    fold: int
+    confusion: Confusion
+    auc: Optional[float]
+
+
+@dataclass(frozen=True)
+class CrossValResult:
+    folds: List[FoldResult]
+
+    @property
+    def mean_recall(self) -> float:
+        return float(np.mean([f.confusion.recall for f in self.folds]))
+
+    @property
+    def mean_false_alarm_rate(self) -> float:
+        return float(
+            np.mean([f.confusion.false_alarm_rate for f in self.folds])
+        )
+
+    @property
+    def mean_auc(self) -> Optional[float]:
+        values = [f.auc for f in self.folds if f.auc is not None]
+        return float(np.mean(values)) if values else None
+
+    def summary(self) -> str:
+        auc = self.mean_auc
+        return (
+            f"{len(self.folds)} folds: recall {100 * self.mean_recall:.1f}%, "
+            f"FA rate {100 * self.mean_false_alarm_rate:.1f}%"
+            + (f", AUC {auc:.3f}" if auc is not None else "")
+        )
+
+
+def stratified_folds(
+    labels: np.ndarray, k: int, rng: np.random.Generator
+) -> List[np.ndarray]:
+    """Index arrays for k stratified folds (each class split evenly)."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    labels = np.asarray(labels)
+    folds: List[List[int]] = [[] for _ in range(k)]
+    for cls in (0, 1):
+        idx = np.nonzero(labels == cls)[0]
+        idx = idx[rng.permutation(len(idx))]
+        for i, j in enumerate(idx):
+            folds[i % k].append(int(j))
+    return [np.array(sorted(f), dtype=np.int64) for f in folds]
+
+
+def cross_validate(
+    detector_factory: Callable[[], Detector],
+    dataset: ClipDataset,
+    rng: np.random.Generator,
+    k: int = 5,
+) -> CrossValResult:
+    """Stratified k-fold CV; a fresh detector is fitted per fold.
+
+    Folds that end up without both classes in their training part are
+    rejected with an error (increase the dataset or reduce ``k``).
+    """
+    if dataset.n_hotspots < k:
+        raise ValueError(
+            f"need at least k={k} hotspots for stratified {k}-fold CV, "
+            f"have {dataset.n_hotspots}"
+        )
+    folds = stratified_folds(dataset.labels, k, rng)
+    results: List[FoldResult] = []
+    all_indices = np.arange(len(dataset))
+    for i, test_idx in enumerate(folds):
+        train_mask = np.ones(len(dataset), dtype=bool)
+        train_mask[test_idx] = False
+        train = dataset.subset(all_indices[train_mask], name=f"cv{i}/train")
+        test = dataset.subset(test_idx, name=f"cv{i}/test")
+        detector = detector_factory()
+        detector.fit(train, rng=rng)
+        scores = detector.predict_proba(test.clips)
+        y_pred = (scores >= detector.threshold).astype(np.int64)
+        conf = confusion(test.labels, y_pred)
+        auc = None
+        if 0 < test.labels.sum() < len(test) and len(np.unique(scores)) > 1:
+            auc = roc_auc(test.labels, scores)
+        results.append(FoldResult(fold=i, confusion=conf, auc=auc))
+    return CrossValResult(folds=results)

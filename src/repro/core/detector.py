@@ -1,0 +1,82 @@
+"""The unified detector interface.
+
+Every hotspot detector in the library — pattern matching, shallow ML, the
+CNN, and the litho-sim reference — implements ``Detector``:
+
+* ``fit(train, rng)`` — learn from a labeled :class:`ClipDataset`,
+* ``predict_proba(clips)`` — per-clip hotspot score in [0, 1],
+* ``predict(clips)`` — 0/1 decisions at the detector's ``threshold``.
+
+Scores, not just labels, are first-class so the harness can sweep ROC
+curves and calibrate thresholds under false-alarm caps.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import ClipDataset
+from ..geometry.layout import Clip
+
+
+@dataclass
+class FitReport:
+    """What happened during training (for the runtime tables)."""
+
+    train_seconds: float = 0.0
+    n_train: int = 0
+    notes: str = ""
+
+
+class Detector(ABC):
+    """Base class for all hotspot detectors."""
+
+    #: identifier used in tables / the registry
+    name: str = "detector"
+    #: decision threshold applied by :meth:`predict`
+    threshold: float = 0.5
+
+    @abstractmethod
+    def fit(
+        self, train: ClipDataset, rng: Optional[np.random.Generator] = None
+    ) -> FitReport:
+        """Train on a labeled dataset; returns a :class:`FitReport`."""
+
+    @abstractmethod
+    def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
+        """Hotspot scores in [0, 1], shape ``(len(clips),)``."""
+
+    def predict(self, clips: Sequence[Clip]) -> np.ndarray:
+        """0/1 hotspot decisions at ``self.threshold``."""
+        return (self.predict_proba(clips) >= self.threshold).astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class OracleDetector(Detector):
+    """Adapter exposing the litho-sim oracle through the Detector API.
+
+    Generation 0: needs no training and is exact by definition (it *is*
+    the labeling function), but orders of magnitude slower than learned
+    detectors — the runtime-scaling figure exists to show exactly that.
+    """
+
+    name = "litho-sim"
+
+    def __init__(self, oracle) -> None:
+        self._oracle = oracle
+
+    def fit(
+        self, train: ClipDataset, rng: Optional[np.random.Generator] = None
+    ) -> FitReport:
+        return FitReport(train_seconds=0.0, n_train=len(train), notes="no training")
+
+    def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
+        return np.array(
+            [float(self._oracle.label(clip)) for clip in clips], dtype=np.float64
+        )

@@ -1,0 +1,80 @@
+"""Detector ensembles.
+
+The survey's closing observation — cheap detectors can be combined — is
+implemented as score-level ensembles over fitted ``Detector`` members:
+
+* ``SoftVoteEnsemble`` — weighted mean of member probabilities,
+* ``MajorityVoteEnsemble`` — hard votes, fraction agreeing is the score.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import ClipDataset
+from ..geometry.layout import Clip
+from .detector import Detector, FitReport
+
+
+class SoftVoteEnsemble(Detector):
+    """Weighted average of member scores."""
+
+    def __init__(
+        self,
+        members: Sequence[Detector],
+        weights: Optional[Sequence[float]] = None,
+        name: str = "soft-vote",
+    ) -> None:
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        self.members = list(members)
+        if weights is None:
+            weights = [1.0] * len(self.members)
+        if len(weights) != len(self.members):
+            raise ValueError("weights must match members")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.weights = [w / total for w in weights]
+        self.name = name
+
+    def fit(
+        self, train: ClipDataset, rng: Optional[np.random.Generator] = None
+    ) -> FitReport:
+        rng = rng or np.random.default_rng(0)
+        total = 0.0
+        for member in self.members:
+            report = member.fit(train, rng=rng)
+            total += report.train_seconds
+        return FitReport(train_seconds=total, n_train=len(train))
+
+    def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
+        out = np.zeros(len(clips), dtype=np.float64)
+        for weight, member in zip(self.weights, self.members):
+            out += weight * member.predict_proba(clips)
+        return out
+
+
+class MajorityVoteEnsemble(Detector):
+    """Hard-vote ensemble; score = fraction of members voting hotspot."""
+
+    def __init__(self, members: Sequence[Detector], name: str = "majority-vote") -> None:
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        self.members = list(members)
+        self.name = name
+
+    def fit(
+        self, train: ClipDataset, rng: Optional[np.random.Generator] = None
+    ) -> FitReport:
+        rng = rng or np.random.default_rng(0)
+        total = 0.0
+        for member in self.members:
+            total += member.fit(train, rng=rng).train_seconds
+        return FitReport(train_seconds=total, n_train=len(train))
+
+    def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
+        votes = np.stack([m.predict(clips) for m in self.members])
+        return votes.mean(axis=0)

@@ -1,0 +1,114 @@
+"""End-to-end detector evaluation on benchmarks.
+
+``evaluate_detector`` runs fit + predict with wall-clock timing and
+produces an :class:`EvalResult` carrying the contest metrics; the bench
+harness stacks these into the paper's tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import Benchmark, ClipDataset
+from .detector import Detector
+from .metrics import Confusion, confusion, roc_auc
+
+
+@dataclass
+class EvalResult:
+    """One detector's scores on one benchmark."""
+
+    detector: str
+    benchmark: str
+    confusion: Confusion
+    fit_seconds: float
+    predict_seconds: float
+    auc: Optional[float] = None
+    scores: Optional[np.ndarray] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        """Contest accuracy = hotspot recall."""
+        return self.confusion.accuracy
+
+    @property
+    def false_alarms(self) -> int:
+        return self.confusion.false_alarms
+
+    @property
+    def odst_seconds(self) -> float:
+        """Overall detection time: train + test wall clock."""
+        return self.fit_seconds + self.predict_seconds
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for table formatting."""
+        return {
+            "detector": self.detector,
+            "benchmark": self.benchmark,
+            "accuracy": round(100 * self.accuracy, 1),
+            "false_alarms": self.false_alarms,
+            "precision": round(100 * self.confusion.precision, 1),
+            "f1": round(100 * self.confusion.f1, 1),
+            "auc": None if self.auc is None else round(self.auc, 3),
+            "fit_s": round(self.fit_seconds, 2),
+            "predict_s": round(self.predict_seconds, 3),
+            "odst_s": round(self.odst_seconds, 2),
+        }
+
+
+def evaluate_detector(
+    detector: Detector,
+    benchmark: Benchmark,
+    rng: Optional[np.random.Generator] = None,
+    fit: bool = True,
+    keep_scores: bool = False,
+) -> EvalResult:
+    """Fit on the benchmark's train split, evaluate on its test split."""
+    rng = rng or np.random.default_rng(0)
+    fit_seconds = 0.0
+    if fit:
+        t0 = time.perf_counter()
+        detector.fit(benchmark.train, rng=rng)
+        fit_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    scores = detector.predict_proba(benchmark.test.clips)
+    predict_seconds = time.perf_counter() - t0
+    y_pred = (scores >= detector.threshold).astype(np.int64)
+    y_true = benchmark.test.labels
+    conf = confusion(y_true, y_pred)
+    auc_value: Optional[float] = None
+    if y_true.sum() > 0 and y_true.sum() < len(y_true) and len(np.unique(scores)) > 1:
+        auc_value = roc_auc(y_true, scores)
+    return EvalResult(
+        detector=detector.name,
+        benchmark=benchmark.name,
+        confusion=conf,
+        fit_seconds=fit_seconds,
+        predict_seconds=predict_seconds,
+        auc=auc_value,
+        scores=scores if keep_scores else None,
+    )
+
+
+def evaluate_on_suite(
+    detector_factory,
+    suite: Sequence[Benchmark],
+    seed: int = 0,
+) -> List[EvalResult]:
+    """Evaluate a fresh detector instance per benchmark.
+
+    ``detector_factory`` is a zero-argument callable returning a new
+    (unfitted) detector; a fresh instance per benchmark prevents state
+    leaks and matches the contest protocol.
+    """
+    results: List[EvalResult] = []
+    for i, benchmark in enumerate(suite):
+        detector = detector_factory()
+        rng = np.random.default_rng(seed + i)
+        results.append(evaluate_detector(detector, benchmark, rng=rng))
+    return results

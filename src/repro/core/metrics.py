@@ -1,0 +1,134 @@
+"""Evaluation metrics, in the ICCAD-2012 contest's vocabulary.
+
+The contest reports:
+
+* **accuracy** — hotspot detection rate, i.e. recall on the hotspot class
+  (``TP / (TP + FN)``); *not* overall classification accuracy,
+* **false alarms** — the raw count of non-hotspots flagged (``FP``),
+* **ODST** — overall detection simulation time (here: wall-clock fit +
+  predict measured by the harness).
+
+This module implements those plus the standard suite (precision, F1,
+balanced accuracy, confusion matrix, ROC/AUC) used by the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """Binary confusion counts (hotspot = positive class)."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def n(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        """Contest 'accuracy': hotspot recall TP/(TP+FN)."""
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def false_alarms(self) -> int:
+        """Contest 'false alarm': raw FP count."""
+        return self.fp
+
+    @property
+    def false_alarm_rate(self) -> float:
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else 0.0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.accuracy
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def overall_accuracy(self) -> float:
+        """Plain classification accuracy (for completeness)."""
+        return (self.tp + self.tn) / self.n if self.n else 0.0
+
+    @property
+    def balanced_accuracy(self) -> float:
+        tnr = self.tn / (self.tn + self.fp) if (self.tn + self.fp) else 0.0
+        return 0.5 * (self.recall + tnr)
+
+
+def confusion(y_true: Sequence[int], y_pred: Sequence[int]) -> Confusion:
+    """Confusion counts from 0/1 label arrays."""
+    yt = np.asarray(y_true, dtype=np.int64)
+    yp = np.asarray(y_pred, dtype=np.int64)
+    if yt.shape != yp.shape:
+        raise ValueError(f"shape mismatch: {yt.shape} vs {yp.shape}")
+    bad = (set(np.unique(yt)) | set(np.unique(yp))) - {0, 1}
+    if bad:
+        raise ValueError(f"labels must be 0/1, found {sorted(bad)}")
+    return Confusion(
+        tp=int(((yt == 1) & (yp == 1)).sum()),
+        fp=int(((yt == 0) & (yp == 1)).sum()),
+        tn=int(((yt == 0) & (yp == 0)).sum()),
+        fn=int(((yt == 1) & (yp == 0)).sum()),
+    )
+
+
+def roc_curve(
+    y_true: Sequence[int], scores: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(fpr, tpr, thresholds) swept over all distinct score cutoffs.
+
+    Thresholds are sorted descending; the curve starts at (0, 0) with
+    threshold ``+inf`` and ends at (1, 1).
+    """
+    yt = np.asarray(y_true, dtype=np.int64)
+    sc = np.asarray(scores, dtype=np.float64)
+    if yt.shape != sc.shape:
+        raise ValueError("shape mismatch")
+    n_pos = int(yt.sum())
+    n_neg = len(yt) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC needs both classes present")
+    order = np.argsort(-sc, kind="stable")
+    yt_sorted = yt[order]
+    sc_sorted = sc[order]
+    tp_cum = np.cumsum(yt_sorted)
+    fp_cum = np.cumsum(1 - yt_sorted)
+    # keep the last index of every distinct score (curve vertices)
+    distinct = np.nonzero(np.diff(sc_sorted, append=-np.inf))[0]
+    tpr = np.concatenate([[0.0], tp_cum[distinct] / n_pos])
+    fpr = np.concatenate([[0.0], fp_cum[distinct] / n_neg])
+    thresholds = np.concatenate([[np.inf], sc_sorted[distinct]])
+    return fpr, tpr, thresholds
+
+
+def auc(fpr: np.ndarray, tpr: np.ndarray) -> float:
+    """Area under a (fpr, tpr) curve via trapezoids."""
+    fpr = np.asarray(fpr, dtype=np.float64)
+    tpr = np.asarray(tpr, dtype=np.float64)
+    if np.any(np.diff(fpr) < 0):
+        raise ValueError("fpr must be non-decreasing")
+    return float(np.trapezoid(tpr, fpr))
+
+
+def roc_auc(y_true: Sequence[int], scores: Sequence[float]) -> float:
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    return auc(fpr, tpr)

@@ -1,0 +1,40 @@
+"""Name -> detector factory registry.
+
+The CLI and the bench harness refer to detectors by name; packages
+register their factories at import time via :func:`register`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .detector import Detector
+
+_REGISTRY: Dict[str, Callable[[], Detector]] = {}
+
+
+def register(name: str, factory: Callable[[], Detector]) -> None:
+    """Register a zero-arg detector factory under ``name``."""
+    if name in _REGISTRY:
+        raise KeyError(f"detector {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def create(name: str) -> Detector:
+    """Instantiate a registered detector."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown detector {name!r}; available: {available()}"
+        ) from None
+    return factory()
+
+
+def available() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def clear() -> None:
+    """Testing hook: empty the registry."""
+    _REGISTRY.clear()

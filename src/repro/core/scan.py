@@ -1,0 +1,95 @@
+"""Full-chip scanning: sweep a detector over a tiled layout.
+
+The deployment mode every hotspot paper motivates: a detector trained on
+clips is swept over all windows of a large layout; flagged windows go to
+lithography verification.  ``scan_layer`` formalizes the flow and reports
+the hotspot map plus the simulation-savings ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.layout import Clip, Layer, extract_clip, tile_centers
+from ..geometry.rect import Rect
+from .detector import Detector
+
+
+@dataclass
+class ScanResult:
+    """Outcome of sweeping one layer."""
+
+    centers: List[Tuple[int, int]]
+    clips: List[Clip]
+    scores: np.ndarray
+    flagged: np.ndarray  # bool per clip
+    confirmed: Optional[np.ndarray] = None  # bool per flagged clip (if verified)
+
+    @property
+    def n_flagged(self) -> int:
+        return int(self.flagged.sum())
+
+    @property
+    def flag_ratio(self) -> float:
+        """Fraction of windows sent to verification (simulation cost)."""
+        return self.n_flagged / len(self.clips) if self.clips else 0.0
+
+    def flagged_clips(self) -> List[Clip]:
+        return [c for c, f in zip(self.clips, self.flagged) if f]
+
+    def hotspot_regions(self) -> List[Rect]:
+        """Core regions of flagged clips (confirmed ones if verified)."""
+        if self.confirmed is not None:
+            flagged = self.flagged_clips()
+            return [c.core for c, ok in zip(flagged, self.confirmed) if ok]
+        return [c.core for c in self.flagged_clips()]
+
+    def heat_map(self) -> np.ndarray:
+        """Scores as a (rows, cols) grid, row 0 at the bottom of the region."""
+        xs = sorted({c[0] for c in self.centers})
+        ys = sorted({c[1] for c in self.centers})
+        grid = np.full((len(ys), len(xs)), np.nan)
+        x_index = {x: j for j, x in enumerate(xs)}
+        y_index = {y: i for i, y in enumerate(ys)}
+        for (cx, cy), score in zip(self.centers, self.scores):
+            grid[y_index[cy], x_index[cx]] = score
+        return grid
+
+
+def scan_layer(
+    detector: Detector,
+    layer: Layer,
+    region: Rect,
+    window_nm: int = 768,
+    core_nm: int = 256,
+    step_nm: Optional[int] = None,
+    oracle=None,
+) -> ScanResult:
+    """Sweep a fitted detector over all clip windows of a region.
+
+    ``step_nm`` defaults to the core size so cores tile the region without
+    gaps.  Passing a :class:`~repro.litho.HotspotOracle` as ``oracle``
+    verifies the flagged windows (the detect-then-simulate flow).
+    """
+    step = core_nm if step_nm is None else step_nm
+    centers = tile_centers(region, window_nm, step)
+    if not centers:
+        raise ValueError("region too small for the clip window")
+    clips = [extract_clip(layer, c, window_nm, core_nm) for c in centers]
+    scores = detector.predict_proba(clips)
+    flagged = scores >= detector.threshold
+    confirmed = None
+    if oracle is not None:
+        confirmed = np.array(
+            [bool(oracle.label(c)) for c, f in zip(clips, flagged) if f]
+        )
+    return ScanResult(
+        centers=centers,
+        clips=clips,
+        scores=np.asarray(scores),
+        flagged=flagged,
+        confirmed=confirmed,
+    )

@@ -1,0 +1,89 @@
+"""Decision-threshold calibration.
+
+The contest scores detectors on (accuracy up, false alarms down); a raw
+0.5 cutoff is rarely the right operating point on imbalanced data.  These
+helpers pick thresholds from held-out scores:
+
+* ``max_accuracy_under_fa_cap`` — the contest's implicit objective:
+  maximize hotspot recall subject to a false-alarm budget,
+* ``best_f1_threshold`` — balance precision/recall when no budget given.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .metrics import confusion
+
+
+def _candidate_thresholds(scores: np.ndarray) -> np.ndarray:
+    """Midpoints between consecutive distinct scores, plus the extremes."""
+    distinct = np.unique(scores)
+    if len(distinct) == 1:
+        return np.array([distinct[0]])
+    mids = (distinct[:-1] + distinct[1:]) / 2.0
+    return np.concatenate([[distinct[0] - 1e-9], mids, [distinct[-1] + 1e-9]])
+
+
+def max_accuracy_under_fa_cap(
+    y_true: Sequence[int],
+    scores: Sequence[float],
+    max_false_alarm_rate: float,
+) -> Tuple[float, float, float]:
+    """Threshold maximizing hotspot recall with FA rate <= cap.
+
+    Returns ``(threshold, recall, fa_rate)`` at the chosen point.  When no
+    threshold meets the cap, the tightest (highest) threshold is returned.
+    """
+    yt = np.asarray(y_true, dtype=np.int64)
+    sc = np.asarray(scores, dtype=np.float64)
+    best = None
+    for thr in _candidate_thresholds(sc):
+        c = confusion(yt, (sc >= thr).astype(np.int64))
+        key = (c.recall, -c.false_alarm_rate)
+        if c.false_alarm_rate <= max_false_alarm_rate:
+            if best is None or key > best[0]:
+                best = (key, float(thr), c.recall, c.false_alarm_rate)
+    if best is None:
+        thr = float(np.max(sc) + 1e-9)
+        c = confusion(yt, (sc >= thr).astype(np.int64))
+        return thr, c.recall, c.false_alarm_rate
+    return best[1], best[2], best[3]
+
+
+def pick_threshold(
+    mode: str,
+    y_true: Sequence[int],
+    scores: Sequence[float],
+    fa_cap: float = 0.10,
+) -> float:
+    """Operating-point selection on held-out scores.
+
+    ``"f1"`` maximizes F1; ``"fa"`` maximizes hotspot recall subject to a
+    false-alarm-rate cap (the contest's implicit objective).
+    """
+    if mode == "f1":
+        threshold, _f1 = best_f1_threshold(y_true, scores)
+        return threshold
+    if mode == "fa":
+        threshold, _recall, _fa = max_accuracy_under_fa_cap(
+            y_true, scores, fa_cap
+        )
+        return threshold
+    raise ValueError(f"unknown calibration mode {mode!r}")
+
+
+def best_f1_threshold(
+    y_true: Sequence[int], scores: Sequence[float]
+) -> Tuple[float, float]:
+    """Threshold maximizing F1; returns ``(threshold, f1)``."""
+    yt = np.asarray(y_true, dtype=np.int64)
+    sc = np.asarray(scores, dtype=np.float64)
+    best_thr, best_f1 = 0.5, -1.0
+    for thr in _candidate_thresholds(sc):
+        c = confusion(yt, (sc >= thr).astype(np.int64))
+        if c.f1 > best_f1:
+            best_thr, best_f1 = float(thr), c.f1
+    return best_thr, best_f1

@@ -1,0 +1,62 @@
+"""Synthetic ICCAD-2012-style benchmark data.
+
+* :mod:`~repro.data.patterns` — parametric pattern families,
+* :mod:`~repro.data.synth` — clip synthesis from family mixtures,
+* :mod:`~repro.data.dataset` — :class:`ClipDataset` / :class:`Benchmark`,
+* :mod:`~repro.data.benchmarks` — the 5-benchmark suite generator,
+* :mod:`~repro.data.imbalance` — up-sampling / mirroring / SMOTE,
+* :mod:`~repro.data.io` — dataset caching on disk.
+"""
+
+from .benchmarks import (
+    SUITE_CONFIGS,
+    VIA_CONFIG,
+    BenchmarkConfig,
+    make_benchmark,
+    make_iccad2012_suite,
+    make_via_benchmark,
+)
+from .dataset import HOTSPOT, NON_HOTSPOT, Benchmark, ClipDataset
+from .imbalance import (
+    augment_all_orientations,
+    class_weights,
+    smote,
+    upsample_minority,
+)
+from .io import dataset_cache_key, load_dataset, save_dataset
+from .layouts import RoutedBlockConfig, seeded_recall, synthesize_routed_block
+from .patterns import FAMILIES, GRID, PatternSpec
+from .via_patterns import VIA_FAMILIES
+from .synth import DEFAULT_CORE_NM, DEFAULT_WINDOW_NM, FamilyMix, generate_clips, make_clip
+
+__all__ = [
+    "ClipDataset",
+    "Benchmark",
+    "HOTSPOT",
+    "NON_HOTSPOT",
+    "FamilyMix",
+    "generate_clips",
+    "make_clip",
+    "DEFAULT_WINDOW_NM",
+    "DEFAULT_CORE_NM",
+    "FAMILIES",
+    "GRID",
+    "PatternSpec",
+    "BenchmarkConfig",
+    "SUITE_CONFIGS",
+    "make_benchmark",
+    "make_via_benchmark",
+    "VIA_CONFIG",
+    "make_iccad2012_suite",
+    "upsample_minority",
+    "augment_all_orientations",
+    "smote",
+    "class_weights",
+    "save_dataset",
+    "load_dataset",
+    "dataset_cache_key",
+    "RoutedBlockConfig",
+    "synthesize_routed_block",
+    "seeded_recall",
+    "VIA_FAMILIES",
+]

@@ -1,0 +1,264 @@
+"""ICCAD-2012-style benchmark suite.
+
+Five benchmarks with the contest's *shape*: disjoint train/test clip
+populations, heavy class imbalance, and increasing difficulty — B1 is a
+small, pattern-poor benchmark where matching-based detectors do well; B5
+mixes families so the test set contains configurations the train set never
+shows.  Labels come from the lithography oracle, making them a physical
+(not arbitrary) function of the geometry.
+
+Because labeling is simulation, suites are cached on disk after first
+generation (see :mod:`repro.data.io`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..litho.hotspot import HotspotOracle
+from .dataset import Benchmark, ClipDataset
+from .io import dataset_cache_key, load_dataset, save_dataset
+from .synth import DEFAULT_CORE_NM, DEFAULT_WINDOW_NM, FamilyMix, generate_clips
+from . import via_patterns  # noqa: F401  (registers via families)
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Generation recipe for one benchmark."""
+
+    name: str
+    n_train: int
+    n_test: int
+    mix: FamilyMix
+    test_mix: Optional[FamilyMix] = None  # defaults to `mix`
+    description: str = ""
+
+    def resolved_test_mix(self) -> FamilyMix:
+        return self.test_mix if self.test_mix is not None else self.mix
+
+
+def _mix(weights: Dict[str, float], marginal: float, **per_family: float) -> FamilyMix:
+    return FamilyMix(
+        weights=weights, marginal_p=dict(per_family), default_marginal_p=marginal
+    )
+
+
+#: The five benchmark recipes.  Scaled-down clip counts keep full-suite
+#: generation tractable on one CPU while preserving the contest's ratios:
+#: a couple of small benchmarks, larger imbalanced ones, and a hard mixed
+#: benchmark whose test distribution departs from train.
+SUITE_CONFIGS: Tuple[BenchmarkConfig, ...] = (
+    BenchmarkConfig(
+        name="B1",
+        n_train=500,
+        n_test=700,
+        mix=_mix({"grating": 2.0, "tip_pair": 2.0, "isolated_wire": 1.0}, 0.22),
+        test_mix=_mix({"grating": 2.0, "tip_pair": 2.0, "isolated_wire": 1.0}, 0.10),
+        description="small, pattern-poor: gratings, facing tips, isolated wires",
+    ),
+    BenchmarkConfig(
+        name="B2",
+        n_train=900,
+        n_test=1200,
+        mix=_mix(
+            {"grating": 2.0, "comb": 2.0, "jog_wires": 1.5, "isolated_wire": 1.0},
+            0.08,
+        ),
+        test_mix=_mix(
+            {"grating": 2.0, "comb": 2.0, "jog_wires": 1.5, "isolated_wire": 1.0},
+            0.04,
+        ),
+        description="medium, line-end rich: combs and jogs added",
+    ),
+    BenchmarkConfig(
+        name="B3",
+        n_train=1200,
+        n_test=1600,
+        mix=_mix(
+            {
+                "grating": 1.5,
+                "comb": 1.5,
+                "l_corners": 2.0,
+                "dense_block": 1.5,
+                "random_routing": 1.0,
+            },
+            0.14,
+        ),
+        test_mix=_mix(
+            {
+                "grating": 1.5,
+                "comb": 1.5,
+                "l_corners": 2.0,
+                "dense_block": 1.5,
+                "random_routing": 1.0,
+            },
+            0.08,
+        ),
+        description="largest: corners and density transitions dominate",
+    ),
+    BenchmarkConfig(
+        name="B4",
+        n_train=900,
+        n_test=1300,
+        mix=_mix(
+            {
+                "grating": 2.5,
+                "random_routing": 2.0,
+                "jog_wires": 1.0,
+                "dense_block": 1.0,
+            },
+            0.03,
+        ),
+        test_mix=_mix(
+            {
+                "grating": 2.5,
+                "random_routing": 2.0,
+                "jog_wires": 1.0,
+                "dense_block": 1.0,
+            },
+            0.015,
+        ),
+        description="most imbalanced: mostly comfortable routing, few marginal",
+    ),
+    BenchmarkConfig(
+        name="B5",
+        n_train=700,
+        n_test=1000,
+        mix=_mix(
+            {"grating": 2.0, "comb": 1.0, "jog_wires": 1.0, "isolated_wire": 1.0},
+            0.10,
+        ),
+        test_mix=_mix(
+            {
+                "l_corners": 1.5,
+                "tip_pair": 1.5,
+                "dense_block": 1.0,
+                "random_routing": 1.0,
+                "comb": 1.0,
+            },
+            0.06,
+        ),
+        description="distribution shift: test families differ from train",
+    ),
+)
+
+
+#: The via-layer extension benchmark (ICCAD-2020-style): small squares
+#: whose printability depends on neighborhood support.  Harder than the
+#: metal suite — the failure boundary is size x context, not just spacing.
+VIA_CONFIG = BenchmarkConfig(
+    name="BV",
+    n_train=700,
+    n_test=1000,
+    mix=_mix(
+        {
+            "via_array": 2.0,
+            "via_row": 1.5,
+            "via_cluster": 1.5,
+            "isolated_via": 1.0,
+            "via_pair": 1.0,
+        },
+        0.18,
+    ),
+    test_mix=_mix(
+        {
+            "via_array": 2.0,
+            "via_row": 1.5,
+            "via_cluster": 1.5,
+            "isolated_via": 1.0,
+            "via_pair": 1.0,
+        },
+        0.10,
+    ),
+    description="via layer: printability set by size x neighborhood support",
+)
+
+
+def make_via_benchmark(
+    seed: int = 2020,
+    oracle: Optional[HotspotOracle] = None,
+    cache_dir: Optional[Path] = None,
+    scale: float = 1.0,
+) -> Benchmark:
+    """The via-layer extension benchmark ('BV')."""
+    config = VIA_CONFIG
+    if scale != 1.0:
+        config = BenchmarkConfig(
+            name=config.name,
+            n_train=max(20, int(config.n_train * scale)),
+            n_test=max(20, int(config.n_test * scale)),
+            mix=config.mix,
+            test_mix=config.test_mix,
+            description=config.description,
+        )
+    return make_benchmark(config, seed=seed, oracle=oracle, cache_dir=cache_dir)
+
+
+def make_benchmark(
+    config: BenchmarkConfig,
+    seed: int,
+    oracle: Optional[HotspotOracle] = None,
+    window_nm: int = DEFAULT_WINDOW_NM,
+    core_nm: int = DEFAULT_CORE_NM,
+    cache_dir: Optional[Path] = None,
+) -> Benchmark:
+    """Generate (or load from cache) one labeled benchmark."""
+    oracle = oracle or HotspotOracle()
+    datasets: List[ClipDataset] = []
+    for split, n, mix, sub_seed in (
+        ("train", config.n_train, config.mix, seed),
+        ("test", config.n_test, config.resolved_test_mix(), seed + 7919),
+    ):
+        name = f"{config.name}/{split}"
+        key = dataset_cache_key(name, sub_seed, n, window_nm, core_nm)
+        if cache_dir is not None:
+            cached = load_dataset(cache_dir, key)
+            if cached is not None:
+                datasets.append(cached)
+                continue
+        rng = np.random.default_rng(sub_seed)
+        clips, _specs = generate_clips(rng, mix, n, window_nm, core_nm)
+        labels = oracle.label_many(clips)
+        ds = ClipDataset(name=name, clips=clips, labels=labels)
+        if cache_dir is not None:
+            save_dataset(ds, cache_dir, key)
+        datasets.append(ds)
+    train, test = datasets
+    return Benchmark(
+        name=config.name, train=train, test=test, description=config.description
+    )
+
+
+def make_iccad2012_suite(
+    seed: int = 2012,
+    oracle: Optional[HotspotOracle] = None,
+    cache_dir: Optional[Path] = None,
+    configs: Sequence[BenchmarkConfig] = SUITE_CONFIGS,
+    scale: float = 1.0,
+) -> List[Benchmark]:
+    """The full 5-benchmark suite.
+
+    ``scale`` multiplies every clip count (e.g. ``scale=0.1`` for quick
+    tests).  Each benchmark gets a distinct seed derived from ``seed``.
+    """
+    suite: List[Benchmark] = []
+    for i, config in enumerate(configs):
+        if scale != 1.0:
+            config = BenchmarkConfig(
+                name=config.name,
+                n_train=max(20, int(config.n_train * scale)),
+                n_test=max(20, int(config.n_test * scale)),
+                mix=config.mix,
+                test_mix=config.test_mix,
+                description=config.description,
+            )
+        suite.append(
+            make_benchmark(
+                config, seed=seed + 1000 * i, oracle=oracle, cache_dir=cache_dir
+            )
+        )
+    return suite

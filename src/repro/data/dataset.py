@@ -1,0 +1,133 @@
+"""Dataset container for labeled clips.
+
+``ClipDataset`` is the currency between the data layer and the detectors:
+an ordered collection of clips with 0/1 hotspot labels, plus the statistics
+and slicing operations the training loops and the contest-style tables
+need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.layout import Clip
+
+HOTSPOT = 1
+NON_HOTSPOT = 0
+
+
+@dataclass
+class ClipDataset:
+    """Labeled clips.  ``labels[i]`` is 1 (hotspot) or 0 for ``clips[i]``."""
+
+    name: str
+    clips: List[Clip]
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.labels.ndim != 1 or len(self.labels) != len(self.clips):
+            raise ValueError("labels must be a 1-D array matching clips")
+        bad = set(np.unique(self.labels)) - {0, 1}
+        if bad:
+            raise ValueError(f"labels must be 0/1, found {sorted(bad)}")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.clips)
+
+    def __getitem__(self, i: int) -> Tuple[Clip, int]:
+        return self.clips[i], int(self.labels[i])
+
+    @property
+    def n_hotspots(self) -> int:
+        return int(self.labels.sum())
+
+    @property
+    def n_non_hotspots(self) -> int:
+        return len(self) - self.n_hotspots
+
+    @property
+    def hotspot_fraction(self) -> float:
+        return self.n_hotspots / len(self) if len(self) else 0.0
+
+    def hotspot_indices(self) -> np.ndarray:
+        return np.nonzero(self.labels == HOTSPOT)[0]
+
+    def non_hotspot_indices(self) -> np.ndarray:
+        return np.nonzero(self.labels == NON_HOTSPOT)[0]
+
+    # ------------------------------------------------------------------
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "ClipDataset":
+        idx = np.asarray(indices, dtype=np.int64)
+        return ClipDataset(
+            name=name or self.name,
+            clips=[self.clips[i] for i in idx],
+            labels=self.labels[idx],
+        )
+
+    def shuffled(self, rng: np.random.Generator) -> "ClipDataset":
+        perm = rng.permutation(len(self))
+        return self.subset(perm)
+
+    def split(
+        self, test_fraction: float, rng: np.random.Generator
+    ) -> Tuple["ClipDataset", "ClipDataset"]:
+        """Stratified train/test split preserving the hotspot fraction."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        train_idx: List[int] = []
+        test_idx: List[int] = []
+        for group in (self.hotspot_indices(), self.non_hotspot_indices()):
+            group = group[rng.permutation(len(group))]
+            n_test = int(round(len(group) * test_fraction))
+            test_idx.extend(group[:n_test].tolist())
+            train_idx.extend(group[n_test:].tolist())
+        return (
+            self.subset(sorted(train_idx), name=f"{self.name}/train"),
+            self.subset(sorted(test_idx), name=f"{self.name}/test"),
+        )
+
+    def extend(self, clips: Sequence[Clip], labels: Sequence[int]) -> "ClipDataset":
+        """A new dataset with extra samples appended."""
+        return ClipDataset(
+            name=self.name,
+            clips=list(self.clips) + list(clips),
+            labels=np.concatenate([self.labels, np.asarray(labels, dtype=np.int64)]),
+        )
+
+    def batches(
+        self, batch_size: int, rng: Optional[np.random.Generator] = None
+    ) -> Iterator[Tuple[List[Clip], np.ndarray]]:
+        """Yield (clips, labels) mini-batches, optionally shuffled."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = (
+            rng.permutation(len(self)) if rng is not None else np.arange(len(self))
+        )
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield [self.clips[i] for i in idx], self.labels[idx]
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {len(self)} clips, "
+            f"{self.n_hotspots} HS / {self.n_non_hotspots} NHS "
+            f"({100 * self.hotspot_fraction:.1f}% hotspots)"
+        )
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A contest-style benchmark: disjoint train and test populations."""
+
+    name: str
+    train: ClipDataset
+    test: ClipDataset
+    description: str = ""
+
+    def summary(self) -> str:
+        return f"[{self.name}] train {self.train.summary()} | test {self.test.summary()}"

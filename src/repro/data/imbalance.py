@@ -1,0 +1,117 @@
+"""Imbalance handling: minority up-sampling, mirroring, SMOTE.
+
+Hotspots are a small minority of any realistic clip population, and a
+classifier trained on the raw distribution learns to say "never" — high
+accuracy, zero recall, useless.  The survey's deep-learning recipe fixes
+this before training:
+
+* **minority up-sampling** — replicate hotspot clips until the class ratio
+  reaches a target,
+* **mirror flipping** — replicated clips are pushed through random D4
+  orientations so the copies are not byte-identical (lithography is
+  D4-equivariant, so labels are preserved),
+* **SMOTE** — for feature-vector models, synthesize minority points by
+  interpolating between nearest minority neighbors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry.layout import Clip
+from ..geometry.transform import D4_NAMES, transform_clip
+from .dataset import HOTSPOT, ClipDataset
+
+
+def upsample_minority(
+    dataset: ClipDataset,
+    rng: np.random.Generator,
+    target_ratio: float = 0.5,
+    mirror: bool = True,
+) -> ClipDataset:
+    """Replicate hotspot clips until ``n_hs / n_nhs >= target_ratio``.
+
+    With ``mirror=True`` each replica is a random non-identity D4
+    orientation of its source clip (mirror-flip augmentation); otherwise
+    replicas are exact copies.
+    """
+    if not 0.0 < target_ratio <= 1.0:
+        raise ValueError("target_ratio must be in (0, 1]")
+    hs_idx = dataset.hotspot_indices()
+    n_hs, n_nhs = len(hs_idx), dataset.n_non_hotspots
+    if n_hs == 0:
+        raise ValueError("cannot upsample: dataset has no hotspots")
+    deficit = int(np.ceil(target_ratio * n_nhs)) - n_hs
+    if deficit <= 0:
+        return dataset
+    extra_clips: List[Clip] = []
+    non_identity = [name for name in D4_NAMES if name != "identity"]
+    for k in range(deficit):
+        src = dataset.clips[int(hs_idx[k % n_hs])]
+        if mirror:
+            name = non_identity[int(rng.integers(len(non_identity)))]
+            src = transform_clip(src, name)
+        extra_clips.append(src)
+    return dataset.extend(extra_clips, [HOTSPOT] * deficit)
+
+
+def augment_all_orientations(
+    dataset: ClipDataset, minority_only: bool = True
+) -> ClipDataset:
+    """Append all 7 non-identity orientations of (minority) clips."""
+    extra_clips: List[Clip] = []
+    extra_labels: List[int] = []
+    for clip, label in zip(dataset.clips, dataset.labels):
+        if minority_only and label != HOTSPOT:
+            continue
+        for name in D4_NAMES:
+            if name == "identity":
+                continue
+            extra_clips.append(transform_clip(clip, name))
+            extra_labels.append(int(label))
+    return dataset.extend(extra_clips, extra_labels)
+
+
+def smote(
+    features: np.ndarray,
+    labels: np.ndarray,
+    rng: np.random.Generator,
+    n_new: int,
+    k_neighbors: int = 5,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """SMOTE over feature vectors: returns (new_features, new_labels).
+
+    Each synthetic point lies on the segment between a random minority
+    point and one of its ``k_neighbors`` nearest minority neighbors.
+    """
+    labels = np.asarray(labels)
+    minority = features[labels == HOTSPOT]
+    if len(minority) < 2:
+        raise ValueError("SMOTE needs at least 2 minority samples")
+    k = min(k_neighbors, len(minority) - 1)
+    # pairwise distances within the minority class
+    d2 = ((minority[:, None, :] - minority[None, :, :]) ** 2).sum(axis=2)
+    np.fill_diagonal(d2, np.inf)
+    neighbor_idx = np.argsort(d2, axis=1)[:, :k]
+    out = np.empty((n_new, features.shape[1]), dtype=features.dtype)
+    for i in range(n_new):
+        a = int(rng.integers(len(minority)))
+        b = int(neighbor_idx[a, int(rng.integers(k))])
+        t = rng.random()
+        out[i] = minority[a] + t * (minority[b] - minority[a])
+    return out, np.full(n_new, HOTSPOT, dtype=np.int64)
+
+
+def class_weights(labels: np.ndarray) -> Tuple[float, float]:
+    """Inverse-frequency (w_nhs, w_hs) weights normalized to mean 1."""
+    labels = np.asarray(labels)
+    n = len(labels)
+    n_hs = int(labels.sum())
+    n_nhs = n - n_hs
+    if n_hs == 0 or n_nhs == 0:
+        return 1.0, 1.0
+    w_nhs = n / (2.0 * n_nhs)
+    w_hs = n / (2.0 * n_hs)
+    return float(w_nhs), float(w_hs)

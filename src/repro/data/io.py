@@ -1,0 +1,63 @@
+"""Dataset persistence.
+
+A dataset is stored as a clip text file (see
+:mod:`repro.geometry.gdsio`) whose headers carry the labels, alongside a
+small JSON manifest with the dataset name and counts.  Suites are cached
+under a content key so regeneration is skipped when the recipe is
+unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..geometry.gdsio import load_clips, save_clips
+from .dataset import ClipDataset
+
+PathLike = Union[str, Path]
+
+
+def dataset_cache_key(name: str, seed: int, count: int, window_nm: int, core_nm: int) -> str:
+    """A stable filesystem-safe key for a generated dataset."""
+    blob = f"{name}|{seed}|{count}|{window_nm}|{core_nm}|v1"
+    digest = hashlib.sha256(blob.encode()).hexdigest()[:12]
+    safe = name.replace("/", "_")
+    return f"{safe}-{digest}"
+
+
+def save_dataset(dataset: ClipDataset, directory: PathLike, key: str) -> Path:
+    """Write a dataset to ``directory/key.{clips,json}``; returns clip path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    clip_path = directory / f"{key}.clips"
+    save_clips(dataset.clips, clip_path, labels=dataset.labels.tolist())
+    manifest = {
+        "name": dataset.name,
+        "count": len(dataset),
+        "hotspots": dataset.n_hotspots,
+    }
+    (directory / f"{key}.json").write_text(json.dumps(manifest, indent=1))
+    return clip_path
+
+
+def load_dataset(directory: PathLike, key: str) -> Optional[ClipDataset]:
+    """Load a cached dataset, or None when absent or unlabeled."""
+    directory = Path(directory)
+    clip_path = directory / f"{key}.clips"
+    manifest_path = directory / f"{key}.json"
+    if not clip_path.exists() or not manifest_path.exists():
+        return None
+    manifest = json.loads(manifest_path.read_text())
+    clips, labels = load_clips(clip_path)
+    if any(lbl is None for lbl in labels):
+        return None
+    return ClipDataset(
+        name=manifest["name"],
+        clips=clips,
+        labels=np.asarray(labels, dtype=np.int64),
+    )

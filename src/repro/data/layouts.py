@@ -1,0 +1,100 @@
+"""Full-layout synthesis: routed blocks for full-chip scanning.
+
+While :mod:`repro.data.synth` builds *per-clip* neighborhoods (the
+training distribution), this module builds whole routed blocks — the
+deployment distribution that :func:`repro.core.scan.scan_layer` sweeps.
+Blocks are mostly comfortable routing with a configurable number of
+seeded marginal geometries whose positions are returned for scoring
+scan results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry.layout import Layer
+from ..geometry.rect import Rect
+from .patterns import snap
+
+
+@dataclass(frozen=True)
+class RoutedBlockConfig:
+    """Knobs for routed-block synthesis (integer nm)."""
+
+    track_widths: Tuple[int, ...] = (64, 72, 80)
+    track_gaps: Tuple[int, ...] = (64, 72, 96, 128)
+    segment_min_nm: int = 600
+    segment_max_nm: int = 2400
+    gap_min_nm: int = 96
+    gap_max_nm: int = 256
+    track_fill_p: float = 0.8
+    n_marginal: int = 6
+    marginal_width_nm: int = 48
+    marginal_space_nm: int = 48
+    marginal_len_nm: int = 800
+
+    def __post_init__(self) -> None:
+        if self.segment_min_nm > self.segment_max_nm:
+            raise ValueError("segment_min must be <= segment_max")
+        if self.n_marginal < 0:
+            raise ValueError("n_marginal must be non-negative")
+
+
+def synthesize_routed_block(
+    rng: np.random.Generator,
+    region: Rect,
+    config: Optional[RoutedBlockConfig] = None,
+) -> Tuple[Layer, List[Tuple[int, int]]]:
+    """Build a routed block; returns (layer, seeded marginal centers).
+
+    The routing is horizontal-track based (segments with random lengths
+    and gaps).  ``n_marginal`` thin tight-spaced wire pairs are seeded at
+    random interior positions — the ground-truth-ish hot locations a scan
+    should find (the lithography oracle remains the arbiter).
+    """
+    config = config or RoutedBlockConfig()
+    rects: List[Rect] = []
+    y = region.y1 + 64
+    while y < region.y2 - 64:
+        width = int(rng.choice(config.track_widths))
+        if rng.random() < config.track_fill_p:
+            x = region.x1
+            while x < region.x2:
+                seg = snap(int(rng.integers(config.segment_min_nm, config.segment_max_nm + 1)))
+                rects.append(Rect(x, y, min(x + seg, region.x2), y + width))
+                x += seg + snap(int(rng.integers(config.gap_min_nm, config.gap_max_nm + 1)))
+        y += width + int(rng.choice(config.track_gaps))
+
+    seeded: List[Tuple[int, int]] = []
+    margin = max(config.marginal_len_nm, 800)
+    for _ in range(config.n_marginal):
+        cx = snap(int(rng.integers(region.x1 + margin, region.x2 - margin)))
+        cy = snap(int(rng.integers(region.y1 + margin, region.y2 - margin)))
+        w = config.marginal_width_nm
+        s = config.marginal_space_nm
+        half = config.marginal_len_nm // 2
+        rects.append(Rect(cx - half, cy, cx + half, cy + w))
+        rects.append(Rect(cx - half, cy + w + s, cx + half, cy + 2 * w + s))
+        seeded.append((cx, cy + w + s // 2))
+
+    layer = Layer("metal1")
+    layer.add_rects(rects)
+    return layer, seeded
+
+
+def seeded_recall(
+    seeded: List[Tuple[int, int]],
+    hotspot_regions: List[Rect],
+) -> float:
+    """Fraction of seeded marginal spots covered by reported regions."""
+    if not seeded:
+        return 0.0
+    hits = sum(
+        1
+        for (cx, cy) in seeded
+        if any(r.contains_point(cx, cy) for r in hotspot_regions)
+    )
+    return hits / len(seeded)

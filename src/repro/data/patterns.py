@@ -1,0 +1,346 @@
+"""Parametric layout pattern families.
+
+Each family is a generator of rect soups for one clip neighborhood,
+parameterized by geometry knobs (width, pitch, gap, ...) whose sampled
+ranges straddle the lithography process's failure boundaries:
+
+* long-run spacing below ~56 nm risks bridging spots at the dose+ corner,
+* isolated wire width below ~56 nm risks necking/opens at dose-/defocus,
+* convex corner pairs and dense jogs concentrate intensity into spots,
+* narrow line ends pull back beyond the cap budget in starved contexts.
+
+All coordinates snap to the 8 nm pixel grid (``GRID``).  Every family
+function takes the clip *window* rect it should fill (patterns may overhang;
+the caller clips) and a ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.rect import Rect
+
+GRID = 8  # nm; must equal the litho pixel pitch
+
+
+def snap(v: float) -> int:
+    """Round a coordinate to the pixel grid."""
+    return int(round(v / GRID)) * GRID
+
+
+PLACE_GRID = 32  # nm; placement lattice for random offsets (coarse so that
+                 # repeated parameter draws often produce identical patterns)
+
+
+def snap_place(v: float) -> int:
+    """Round a coordinate to the coarse placement lattice."""
+    return int(round(v / PLACE_GRID)) * PLACE_GRID
+
+
+def _choice(rng: np.random.Generator, values: Sequence[int]) -> int:
+    return int(values[int(rng.integers(len(values)))])
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """A generated pattern: its rects plus bookkeeping for diagnostics."""
+
+    family: str
+    rects: Tuple[Rect, ...]
+    params: Dict[str, float]
+
+
+PatternFn = Callable[[Rect, np.random.Generator], PatternSpec]
+
+# parameter pools (nm, grid-aligned)
+COMFORT_WIDTHS = (64, 72, 80, 96)
+MARGINAL_WIDTHS = (40, 48, 56)
+COMFORT_SPACES = (64, 72, 80, 96, 128)
+MARGINAL_SPACES = (40, 48, 56)
+T2T_GAPS = (48, 64, 80, 96, 128)
+MARGINAL_T2T = (24, 32, 40)
+
+
+def _width(rng: np.random.Generator, marginal_p: float) -> int:
+    pool = MARGINAL_WIDTHS if rng.random() < marginal_p else COMFORT_WIDTHS
+    return _choice(rng, pool)
+
+
+def _space(rng: np.random.Generator, marginal_p: float) -> int:
+    pool = MARGINAL_SPACES if rng.random() < marginal_p else COMFORT_SPACES
+    return _choice(rng, pool)
+
+
+# ----------------------------------------------------------------------
+# families
+# ----------------------------------------------------------------------
+def grating(
+    window: Rect, rng: np.random.Generator, marginal_p: float = 0.15
+) -> PatternSpec:
+    """Parallel wires at constant pitch through the whole window."""
+    width = _width(rng, marginal_p)
+    space = _space(rng, marginal_p)
+    vertical = bool(rng.integers(2))
+    pitch = width + space
+    offset = snap_place(rng.integers(0, pitch))
+    rects: List[Rect] = []
+    if vertical:
+        x = window.x1 - pitch + offset
+        while x < window.x2 + pitch:
+            rects.append(Rect(x, window.y1 - 64, x + width, window.y2 + 64))
+            x += pitch
+    else:
+        y = window.y1 - pitch + offset
+        while y < window.y2 + pitch:
+            rects.append(Rect(window.x1 - 64, y, window.x2 + 64, y + width))
+            y += pitch
+    return PatternSpec(
+        "grating",
+        tuple(rects),
+        {"width": width, "space": space, "vertical": float(vertical)},
+    )
+
+
+def comb(
+    window: Rect, rng: np.random.Generator, marginal_p: float = 0.2
+) -> PatternSpec:
+    """Interdigitated fingers: alternating wires end inside the window."""
+    width = _width(rng, marginal_p)
+    space = _space(rng, marginal_p)
+    pitch = width + space
+    spine_w = _choice(rng, COMFORT_WIDTHS)
+    gap = (
+        _choice(rng, MARGINAL_T2T)
+        if rng.random() < marginal_p
+        else _choice(rng, T2T_GAPS)
+    )
+    cy = snap((window.y1 + window.y2) / 2)
+    rects: List[Rect] = [
+        Rect(window.x1 - 64, window.y1 - 64, window.x2 + 64, window.y1 - 64 + spine_w),
+        Rect(window.x1 - 64, window.y2 + 64 - spine_w, window.x2 + 64, window.y2 + 64),
+    ]
+    x = window.x1 - pitch + snap_place(rng.integers(0, pitch))
+    k = 0
+    while x < window.x2 + pitch:
+        if k % 2 == 0:  # finger from the bottom spine, tip below center
+            rects.append(Rect(x, window.y1 - 64, x + width, cy - gap // 2))
+        else:  # finger from the top spine, tip above center
+            rects.append(Rect(x, cy + gap - gap // 2, x + width, window.y2 + 64))
+        x += pitch
+        k += 1
+    return PatternSpec(
+        "comb",
+        tuple(rects),
+        {"width": width, "space": space, "gap": gap},
+    )
+
+
+def tip_pair(
+    window: Rect, rng: np.random.Generator, marginal_p: float = 0.25
+) -> PatternSpec:
+    """Two collinear wires facing tip-to-tip near the window center."""
+    width = _width(rng, marginal_p)
+    gap = (
+        _choice(rng, MARGINAL_T2T)
+        if rng.random() < marginal_p
+        else _choice(rng, T2T_GAPS)
+    )
+    cx = snap_place((window.x1 + window.x2) / 2 + rng.integers(-48, 49))
+    cy = snap_place((window.y1 + window.y2) / 2 + rng.integers(-48, 49))
+    rects = [
+        Rect(window.x1 - 64, cy, cx - gap // 2, cy + width),
+        Rect(cx + gap - gap // 2, cy, window.x2 + 64, cy + width),
+    ]
+    # optional flanking context wires
+    n_flank = int(rng.integers(0, 3))
+    space = _space(rng, marginal_p / 2)
+    for i in range(n_flank):
+        off = (i + 1) * (width + space)
+        rects.append(
+            Rect(window.x1 - 64, cy - off, window.x2 + 64, cy - off + width)
+        )
+        rects.append(
+            Rect(window.x1 - 64, cy + off, window.x2 + 64, cy + off + width)
+        )
+    return PatternSpec(
+        "tip_pair",
+        tuple(rects),
+        {"width": width, "gap": gap, "flank": float(n_flank), "space": space},
+    )
+
+
+def l_corners(
+    window: Rect, rng: np.random.Generator, marginal_p: float = 0.25
+) -> PatternSpec:
+    """Nested L-bends: concentric corner wires with a shared spacing."""
+    width = _width(rng, marginal_p / 2)
+    space = _space(rng, marginal_p)
+    n = int(rng.integers(2, 5))
+    cx = snap_place((window.x1 + window.x2) / 2 + rng.integers(-64, 65))
+    cy = snap_place((window.y1 + window.y2) / 2 + rng.integers(-64, 65))
+    rects: List[Rect] = []
+    # each L: horizontal arm going left from (cx, cy+k*d), vertical arm down
+    for k in range(n):
+        d = k * (width + space)
+        rects.append(Rect(window.x1 - 64, cy + d, cx + d + width, cy + d + width))
+        rects.append(Rect(cx + d, window.y1 - 64, cx + d + width, cy + d + width))
+    return PatternSpec(
+        "l_corners",
+        tuple(rects),
+        {"width": width, "space": space, "n": float(n)},
+    )
+
+
+def jog_wires(
+    window: Rect, rng: np.random.Generator, marginal_p: float = 0.2
+) -> PatternSpec:
+    """Parallel wires where one wire takes a lateral jog mid-window."""
+    width = _width(rng, marginal_p)
+    space = _space(rng, marginal_p)
+    pitch = width + space
+    jog = _choice(rng, (pitch // 2 // GRID * GRID, pitch))
+    cy = snap_place((window.y1 + window.y2) / 2 + rng.integers(-64, 65))
+    rects: List[Rect] = []
+    x = window.x1 - pitch
+    lane = 0
+    jog_lane = int(rng.integers(1, 4))
+    while x < window.x2 + pitch:
+        if lane == jog_lane:
+            # lower half in this lane; upper half shifted right by `jog`
+            # into the gap left by skipping the next lane
+            rects.append(Rect(x, window.y1 - 64, x + width, cy + width))
+            rects.append(Rect(x + jog, cy, x + jog + width, window.y2 + 64))
+            rects.append(Rect(x, cy, x + jog + width, cy + width))
+        elif lane == jog_lane + 1:
+            # the lane the jog lands in carries only a lower-half wire,
+            # ending below the jog with a tip-to-side gap
+            rects.append(
+                Rect(x, window.y1 - 64, x + width, cy - space)
+            )
+        else:
+            rects.append(Rect(x, window.y1 - 64, x + width, window.y2 + 64))
+        x += pitch
+        lane += 1
+    return PatternSpec(
+        "jog_wires",
+        tuple(rects),
+        {"width": width, "space": space, "jog": float(jog)},
+    )
+
+
+def random_routing(
+    window: Rect, rng: np.random.Generator, marginal_p: float = 0.15
+) -> PatternSpec:
+    """Random Manhattan route segments on a coarse track grid.
+
+    The closest analogue of real routed metal: segments of random length on
+    horizontal/vertical tracks, occasionally connected by short stubs.
+    """
+    width = _width(rng, marginal_p)
+    space = _space(rng, marginal_p)
+    pitch = width + space
+    rects: List[Rect] = []
+    tracks: List[List[Tuple[int, int]]] = []  # per-track (x1, x2) segments
+    n_tracks = max(2, (window.height + 128) // pitch)
+    for t in range(n_tracks):
+        y = window.y1 - 64 + t * pitch
+        segments: List[Tuple[int, int]] = []
+        x = window.x1 - 64
+        while x < window.x2 + 64:
+            if rng.random() < 0.7:  # draw a segment
+                seg = snap(rng.integers(160, max(161, window.width)))
+                x2 = min(x + seg, window.x2 + 64)
+                rects.append(Rect(x, y, x2, y + width))
+                segments.append((x, x2))
+                x += seg + snap(rng.integers(space, 3 * space + 1))
+            else:
+                x += snap(rng.integers(pitch, 3 * pitch))
+        tracks.append(segments)
+    # vertical stubs joining adjacent tracks, placed only where both tracks
+    # carry metal with clearance `space` from either segment's ends (no
+    # accidental slivers at segment tips)
+    n_stubs = int(rng.integers(0, 3))
+    for _ in range(n_stubs):
+        t = int(rng.integers(0, n_tracks - 1))
+        spots = [
+            (max(a1, b1) + space, min(a2, b2) - space - width)
+            for a1, a2 in tracks[t]
+            for b1, b2 in tracks[t + 1]
+            if min(a2, b2) - max(a1, b1) > 2 * space + width
+        ]
+        if not spots:
+            continue
+        lo, hi = spots[int(rng.integers(len(spots)))]
+        x = snap(rng.integers(lo, hi + 1))
+        y = window.y1 - 64 + t * pitch
+        rects.append(Rect(x, y, x + width, y + pitch + width))
+    return PatternSpec(
+        "random_routing",
+        tuple(rects),
+        {"width": width, "space": space},
+    )
+
+
+def isolated_wire(
+    window: Rect, rng: np.random.Generator, marginal_p: float = 0.3
+) -> PatternSpec:
+    """A lone wire (optionally short) crossing the window center."""
+    width = _width(rng, marginal_p)
+    vertical = bool(rng.integers(2))
+    offset = int(rng.integers(-64, 65))
+    full = rng.random() < 0.7
+    rects: List[Rect] = []
+    if vertical:
+        c = snap_place((window.x1 + window.x2) / 2 + offset)
+        y1 = window.y1 - 64 if full else snap(rng.integers(window.y1, window.y1 + 200))
+        y2 = window.y2 + 64 if full else snap(rng.integers(window.y2 - 200, window.y2))
+        rects.append(Rect(c, y1, c + width, y2))
+    else:
+        c = snap_place((window.y1 + window.y2) / 2 + offset)
+        x1 = window.x1 - 64 if full else snap(rng.integers(window.x1, window.x1 + 200))
+        x2 = window.x2 + 64 if full else snap(rng.integers(window.x2 - 200, window.x2))
+        rects.append(Rect(x1, c, x2, c + width))
+    return PatternSpec(
+        "isolated_wire",
+        tuple(rects),
+        {"width": width, "full": float(full)},
+    )
+
+
+def dense_block(
+    window: Rect, rng: np.random.Generator, marginal_p: float = 0.2
+) -> PatternSpec:
+    """A dense grating block meeting a sparse region (density transition)."""
+    width = _width(rng, marginal_p)
+    space = _space(rng, marginal_p)
+    pitch = width + space
+    boundary = snap_place((window.x1 + window.x2) / 2 + rng.integers(-96, 97))
+    rects: List[Rect] = []
+    x = window.x1 - pitch
+    while x + width <= boundary:
+        rects.append(Rect(x, window.y1 - 64, x + width, window.y2 + 64))
+        x += pitch
+    # one lonely wire out in the sparse region
+    lone = boundary + _choice(rng, (128, 192, 256))
+    lone_w = _width(rng, marginal_p)
+    rects.append(Rect(lone, window.y1 - 64, lone + lone_w, window.y2 + 64))
+    return PatternSpec(
+        "dense_block",
+        tuple(rects),
+        {"width": width, "space": space, "lone_width": lone_w},
+    )
+
+
+FAMILIES: Dict[str, PatternFn] = {
+    "grating": grating,
+    "comb": comb,
+    "tip_pair": tip_pair,
+    "l_corners": l_corners,
+    "jog_wires": jog_wires,
+    "random_routing": random_routing,
+    "isolated_wire": isolated_wire,
+    "dense_block": dense_block,
+}

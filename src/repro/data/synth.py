@@ -1,0 +1,115 @@
+"""Clip synthesis: pattern families -> labeled layout clips.
+
+``make_clip`` instantiates one pattern family inside a fresh window and
+cuts the clip; ``generate_clips`` draws a whole population from a mixture
+of families.  Labeling against the :class:`~repro.litho.HotspotOracle`
+happens in :mod:`repro.data.benchmarks` so that unlabeled populations can
+also be produced (e.g. for runtime-scaling benches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.layout import Clip, Layer, extract_clip
+from ..geometry.rect import Rect
+from .patterns import FAMILIES, GRID, PatternSpec, snap
+
+DEFAULT_WINDOW_NM = 768
+DEFAULT_CORE_NM = 256
+
+
+@dataclass(frozen=True)
+class FamilyMix:
+    """A mixture over pattern families with per-family marginality.
+
+    ``weights`` maps family name -> sampling weight; ``marginal_p`` maps
+    family name -> probability of drawing boundary-straddling parameters
+    (falls back to ``default_marginal_p``).
+    """
+
+    weights: Dict[str, float]
+    marginal_p: Dict[str, float]
+    default_marginal_p: float = 0.2
+
+    def __post_init__(self) -> None:
+        unknown = set(self.weights) - set(FAMILIES)
+        if unknown:
+            raise ValueError(f"unknown families: {sorted(unknown)}")
+        if not self.weights or min(self.weights.values()) < 0:
+            raise ValueError("weights must be a non-empty non-negative map")
+
+    def sample_family(self, rng: np.random.Generator) -> str:
+        names = sorted(self.weights)
+        probs = np.array([self.weights[n] for n in names], dtype=float)
+        probs /= probs.sum()
+        return names[int(rng.choice(len(names), p=probs))]
+
+    def marginality(self, family: str) -> float:
+        return self.marginal_p.get(family, self.default_marginal_p)
+
+
+def make_clip(
+    rng: np.random.Generator,
+    family: str,
+    window_nm: int = DEFAULT_WINDOW_NM,
+    core_nm: int = DEFAULT_CORE_NM,
+    marginal_p: float = 0.2,
+    tag: str = "",
+) -> Tuple[Clip, PatternSpec]:
+    """Instantiate one pattern family and cut its clip.
+
+    The window is placed at a random grid-snapped absolute position so no
+    two clips share coordinates (keeps pattern-matching honest about
+    translation invariance).
+    """
+    if family not in FAMILIES:
+        raise KeyError(f"unknown pattern family {family!r}")
+    if window_nm % GRID or core_nm % GRID:
+        raise ValueError("window/core must be grid-aligned")
+    return _make_clip_with_marginality(
+        rng, family, window_nm, core_nm, marginal_p, tag=tag or family
+    )
+
+
+def generate_clips(
+    rng: np.random.Generator,
+    mix: FamilyMix,
+    count: int,
+    window_nm: int = DEFAULT_WINDOW_NM,
+    core_nm: int = DEFAULT_CORE_NM,
+) -> Tuple[List[Clip], List[PatternSpec]]:
+    """Draw ``count`` clips from the family mixture."""
+    clips: List[Clip] = []
+    specs: List[PatternSpec] = []
+    for i in range(count):
+        family = mix.sample_family(rng)
+        clip, spec = _make_clip_with_marginality(
+            rng, family, window_nm, core_nm, mix.marginality(family), tag=f"{family}#{i}"
+        )
+        clips.append(clip)
+        specs.append(spec)
+    return clips, specs
+
+
+def _make_clip_with_marginality(
+    rng: np.random.Generator,
+    family: str,
+    window_nm: int,
+    core_nm: int,
+    marginal_p: float,
+    tag: str,
+) -> Tuple[Clip, PatternSpec]:
+    """Like make_clip but passes the marginality knob to the family."""
+    ox = snap(int(rng.integers(0, 1_000_000)))
+    oy = snap(int(rng.integers(0, 1_000_000)))
+    window = Rect(ox, oy, ox + window_nm, oy + window_nm)
+    spec = FAMILIES[family](window, rng, marginal_p=marginal_p)
+    layer = Layer("metal1")
+    layer.add_rects(list(spec.rects))
+    center = (ox + window_nm // 2, oy + window_nm // 2)
+    clip = extract_clip(layer, center, window_nm, core_nm, tag=tag)
+    return clip, spec

@@ -1,0 +1,164 @@
+"""Via-layer pattern families (the ICCAD-2020-style extension benchmark).
+
+Vias are small squares — the hardest shapes to print.  Under this repo's
+process, an isolated via needs ~96 nm to open reliably; down at 72–88 nm
+printability depends on the *neighborhood* (dense arrays share light,
+sparse ones starve), which is exactly the context-sensitivity a learned
+detector must capture.  Families:
+
+* ``via_array``   — regular s-at-pitch-p grids (the workhorse),
+* ``via_row``     — a single row (less mutual support than a grid),
+* ``isolated_via``— one via, sink-or-swim by size,
+* ``via_cluster`` — random via placements at legal spacing,
+* ``via_pair``    — two vias at a parameterized gap (redundant-via motif).
+
+Same conventions as :mod:`repro.data.patterns` (8 nm grid, window-filling,
+``marginal_p`` steers parameters toward the process boundary).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..geometry.rect import Rect
+from .patterns import FAMILIES, PatternFn, PatternSpec, _choice, snap, snap_place
+
+COMFORT_VIA_SIZES = (96, 104, 112)
+MARGINAL_VIA_SIZES = (72, 80, 88)
+VIA_PITCH_FACTORS = (2.0, 2.25, 2.5, 3.0)  # pitch = factor * size, snapped
+
+
+def _via_size(rng: np.random.Generator, marginal_p: float) -> int:
+    pool = MARGINAL_VIA_SIZES if rng.random() < marginal_p else COMFORT_VIA_SIZES
+    return _choice(rng, pool)
+
+
+def _pitch(rng: np.random.Generator, size: int) -> int:
+    factor = VIA_PITCH_FACTORS[int(rng.integers(len(VIA_PITCH_FACTORS)))]
+    return snap(size * factor)
+
+
+def _via(cx: int, cy: int, size: int) -> Rect:
+    # snap the lower-left corner so every edge stays on the 8 nm grid even
+    # for sizes whose half is off-grid (e.g. 72/2 = 36)
+    x1 = snap(cx - size / 2)
+    y1 = snap(cy - size / 2)
+    return Rect(x1, y1, x1 + size, y1 + size)
+
+
+def via_array(
+    window: Rect, rng: np.random.Generator, marginal_p: float = 0.2
+) -> PatternSpec:
+    """A regular grid of vias covering the window."""
+    size = _via_size(rng, marginal_p)
+    pitch = _pitch(rng, size)
+    ox = snap_place(window.x1 + rng.integers(0, pitch))
+    oy = snap_place(window.y1 + rng.integers(0, pitch))
+    rects: List[Rect] = []
+    y = oy - pitch
+    while y < window.y2 + pitch:
+        x = ox - pitch
+        while x < window.x2 + pitch:
+            rects.append(_via(x, y, size))
+            x += pitch
+        y += pitch
+    return PatternSpec(
+        "via_array", tuple(rects), {"size": size, "pitch": pitch}
+    )
+
+
+def via_row(
+    window: Rect, rng: np.random.Generator, marginal_p: float = 0.25
+) -> PatternSpec:
+    """A single horizontal or vertical row of vias through the center."""
+    size = _via_size(rng, marginal_p)
+    pitch = _pitch(rng, size)
+    vertical = bool(rng.integers(2))
+    offset = int(rng.integers(-64, 65))
+    if vertical:  # the row's fixed coordinate is x
+        c = snap_place((window.x1 + window.x2) / 2 + offset)
+    else:  # horizontal row: fixed coordinate is y
+        c = snap_place((window.y1 + window.y2) / 2 + offset)
+    rects: List[Rect] = []
+    t = (window.y1 if vertical else window.x1) - pitch
+    end = (window.y2 if vertical else window.x2) + pitch
+    while t < end:
+        if vertical:
+            rects.append(_via(c, snap(t), size))
+        else:
+            rects.append(_via(snap(t), c, size))
+        t += pitch
+    return PatternSpec(
+        "via_row",
+        tuple(rects),
+        {"size": size, "pitch": pitch, "vertical": float(vertical)},
+    )
+
+
+def isolated_via(
+    window: Rect, rng: np.random.Generator, marginal_p: float = 0.35
+) -> PatternSpec:
+    """One lonely via near the core: prints iff its size carries it."""
+    size = _via_size(rng, marginal_p)
+    cx = snap_place((window.x1 + window.x2) / 2 + rng.integers(-64, 65))
+    cy = snap_place((window.y1 + window.y2) / 2 + rng.integers(-64, 65))
+    return PatternSpec("isolated_via", (_via(cx, cy, size),), {"size": size})
+
+
+def via_cluster(
+    window: Rect, rng: np.random.Generator, marginal_p: float = 0.2
+) -> PatternSpec:
+    """Random legal via placements on a coarse lattice (router-like)."""
+    size = _via_size(rng, marginal_p)
+    lattice = snap(size * 2.5)
+    rects: List[Rect] = []
+    n_cols = window.width // lattice + 2
+    n_rows = window.height // lattice + 2
+    fill = 0.15 + 0.5 * rng.random()
+    for i in range(n_rows):
+        for j in range(n_cols):
+            if rng.random() < fill:
+                cx = window.x1 + j * lattice
+                cy = window.y1 + i * lattice
+                rects.append(_via(snap(cx), snap(cy), size))
+    if not rects:  # guarantee at least one via near the center
+        rects.append(
+            _via(
+                snap((window.x1 + window.x2) / 2),
+                snap((window.y1 + window.y2) / 2),
+                size,
+            )
+        )
+    return PatternSpec(
+        "via_cluster", tuple(rects), {"size": size, "fill": fill}
+    )
+
+
+def via_pair(
+    window: Rect, rng: np.random.Generator, marginal_p: float = 0.3
+) -> PatternSpec:
+    """Two adjacent vias (the redundant-via motif) at a sampled gap."""
+    size = _via_size(rng, marginal_p)
+    gap = _choice(rng, (48, 64, 80, 96, 128))
+    cx = snap_place((window.x1 + window.x2) / 2 + rng.integers(-48, 49))
+    cy = snap_place((window.y1 + window.y2) / 2 + rng.integers(-48, 49))
+    left = _via(cx - (size + gap) // 2, cy, size)
+    right = _via(cx + (size + gap) // 2, cy, size)
+    return PatternSpec(
+        "via_pair", (left, right), {"size": size, "gap": gap}
+    )
+
+
+VIA_FAMILIES: Dict[str, PatternFn] = {
+    "via_array": via_array,
+    "via_row": via_row,
+    "isolated_via": isolated_via,
+    "via_cluster": via_cluster,
+    "via_pair": via_pair,
+}
+
+# join the shared family registry on import so FamilyMix recipes can
+# reference via families by name
+FAMILIES.update(VIA_FAMILIES)

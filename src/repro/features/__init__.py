@@ -1,0 +1,38 @@
+"""Layout feature extraction: the bridge between geometry and learning.
+
+* :class:`DensityGrid` — tile coverage fractions (shallow baseline),
+* :class:`ConcentricSampling` — CCAS polar sampling (SVM-era feature),
+* :class:`DCTFeatureTensor` — block-DCT tensor (the deep detector input),
+* :class:`SquishFeatures` / :func:`squish` — lossless topology encoding
+  (pattern matching keys and compact ML features),
+* :func:`vectorize` / :func:`vectorize_standardized` — dataset plumbing.
+"""
+
+from .base import CachingExtractor, FeatureExtractor, Standardizer
+from .concentric import ConcentricSampling
+from .dct import DCTFeatureTensor, feature_tensor, inverse_feature_tensor
+from .density import DensityGrid, block_reduce_mean
+from .hog import HOGFeatures, hog_features
+from .pipeline import ConcatFeatures, vectorize, vectorize_standardized
+from .squish import SquishFeatures, SquishPattern, squish, unsquish
+
+__all__ = [
+    "FeatureExtractor",
+    "CachingExtractor",
+    "Standardizer",
+    "DensityGrid",
+    "block_reduce_mean",
+    "ConcentricSampling",
+    "HOGFeatures",
+    "hog_features",
+    "DCTFeatureTensor",
+    "feature_tensor",
+    "inverse_feature_tensor",
+    "SquishFeatures",
+    "SquishPattern",
+    "squish",
+    "unsquish",
+    "ConcatFeatures",
+    "vectorize",
+    "vectorize_standardized",
+]

@@ -1,0 +1,83 @@
+"""Feature extraction interfaces.
+
+A ``FeatureExtractor`` maps a :class:`~repro.geometry.layout.Clip` to a
+numpy array — a flat vector for the shallow learners, or a
+``(C, H, W)`` tensor for the CNNs.  Extractors are stateless and
+deterministic; ``CachingExtractor`` memoizes per-clip results (clips are
+frozen/hashable) so repeated evaluation passes don't recompute.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..geometry.layout import Clip
+
+
+class FeatureExtractor(ABC):
+    """Maps clips to fixed-shape numpy feature arrays."""
+
+    #: human-readable identifier used in tables and registries
+    name: str = "base"
+
+    @abstractmethod
+    def extract(self, clip: Clip) -> np.ndarray:
+        """Feature array for one clip (shape fixed per extractor)."""
+
+    def extract_many(self, clips: Sequence[Clip]) -> np.ndarray:
+        """Stacked features, shape ``(n,) + feature_shape``."""
+        if not clips:
+            raise ValueError("extract_many() needs at least one clip")
+        return np.stack([self.extract(clip) for clip in clips])
+
+    @property
+    def feature_shape(self) -> tuple:
+        """Shape of one clip's features (probed lazily via a dummy call)."""
+        raise NotImplementedError
+
+
+class CachingExtractor(FeatureExtractor):
+    """Memoizing wrapper around another extractor."""
+
+    def __init__(self, inner: FeatureExtractor) -> None:
+        self.inner = inner
+        self.name = f"cached({inner.name})"
+        self._cache: Dict[Clip, np.ndarray] = {}
+
+    def extract(self, clip: Clip) -> np.ndarray:
+        cached = self._cache.get(clip)
+        if cached is None:
+            cached = self.inner.extract(clip)
+            self._cache[clip] = cached
+        return cached
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+
+class Standardizer:
+    """Per-dimension (x - mean) / std scaling fitted on training features."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "Standardizer":
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        self.std_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("Standardizer not fitted")
+        return (features - self.mean_) / self.std_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

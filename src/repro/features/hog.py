@@ -1,0 +1,68 @@
+"""Histogram-of-oriented-gradients features.
+
+A mid-era hand-crafted representation: edge orientation statistics per
+cell.  On Manhattan layouts gradients concentrate at 0/90 degrees, so the
+histogram mostly encodes *edge density and direction* per cell — cheap
+context the density grid misses (it cannot tell a wire edge from a wire
+interior).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.layout import Clip
+from ..geometry.rasterize import rasterize_clip
+from .base import FeatureExtractor
+
+
+def hog_features(
+    raster: np.ndarray, cells: int = 6, n_bins: int = 4
+) -> np.ndarray:
+    """HOG over a raster: ``cells x cells`` cells, ``n_bins`` orientations.
+
+    Gradients via central differences; each pixel votes its magnitude into
+    the orientation bin (unsigned, [0, pi)).  Per-cell histograms are
+    L2-normalized (dark cells stay zero).
+    """
+    if cells <= 0 or n_bins <= 0:
+        raise ValueError("cells and n_bins must be positive")
+    gy, gx = np.gradient(raster)
+    magnitude = np.hypot(gx, gy)
+    angle = np.mod(np.arctan2(gy, gx), np.pi)  # unsigned orientation
+    bins = np.minimum((angle / np.pi * n_bins).astype(int), n_bins - 1)
+
+    h, w = raster.shape
+    rows = np.linspace(0, h, cells + 1).astype(int)
+    cols = np.linspace(0, w, cells + 1).astype(int)
+    out = np.zeros((cells, cells, n_bins))
+    for i in range(cells):
+        for j in range(cells):
+            cell_mag = magnitude[rows[i] : rows[i + 1], cols[j] : cols[j + 1]]
+            cell_bin = bins[rows[i] : rows[i + 1], cols[j] : cols[j + 1]]
+            for b in range(n_bins):
+                out[i, j, b] = cell_mag[cell_bin == b].sum()
+            norm = np.linalg.norm(out[i, j])
+            if norm > 1e-12:
+                out[i, j] /= norm
+    return out.ravel()
+
+
+class HOGFeatures(FeatureExtractor):
+    """HOG feature vector over the clip raster."""
+
+    def __init__(self, cells: int = 6, n_bins: int = 4, pixel_nm: int = 8) -> None:
+        if cells <= 0 or n_bins <= 0:
+            raise ValueError("cells and n_bins must be positive")
+        self.cells = cells
+        self.n_bins = n_bins
+        self.pixel_nm = pixel_nm
+        self.name = f"hog{cells}x{n_bins}"
+
+    def extract(self, clip: Clip) -> np.ndarray:
+        raster = rasterize_clip(clip, self.pixel_nm, antialias=True)
+        return hog_features(raster, self.cells, self.n_bins)
+
+    @property
+    def feature_shape(self) -> tuple:
+        return (self.cells * self.cells * self.n_bins,)

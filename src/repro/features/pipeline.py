@@ -1,0 +1,57 @@
+"""Dataset vectorization helpers.
+
+Bridges :class:`~repro.data.dataset.ClipDataset` and the detectors: extract
+features for every clip, optionally standardize using train-set statistics,
+and return plain numpy arrays the learners consume.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import ClipDataset
+from .base import FeatureExtractor, Standardizer
+
+
+def vectorize(
+    extractor: FeatureExtractor, dataset: ClipDataset
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(features, labels) arrays for a labeled dataset."""
+    features = extractor.extract_many(dataset.clips)
+    return features, dataset.labels.copy()
+
+
+def vectorize_standardized(
+    extractor: FeatureExtractor,
+    train: ClipDataset,
+    test: ClipDataset,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, Standardizer]:
+    """Vectorize train and test with train-fitted standardization.
+
+    Returns ``(x_train, y_train, x_test, y_test, scaler)``.  Only valid for
+    flat (vector) extractors.
+    """
+    x_train, y_train = vectorize(extractor, train)
+    x_test, y_test = vectorize(extractor, test)
+    if x_train.ndim != 2:
+        raise ValueError("standardization expects flat feature vectors")
+    scaler = Standardizer()
+    x_train = scaler.fit_transform(x_train)
+    x_test = scaler.transform(x_test)
+    return x_train, y_train, x_test, y_test, scaler
+
+
+class ConcatFeatures(FeatureExtractor):
+    """Concatenation of several flat extractors."""
+
+    def __init__(self, extractors: Sequence[FeatureExtractor]) -> None:
+        if not extractors:
+            raise ValueError("need at least one extractor")
+        self.extractors = list(extractors)
+        self.name = "+".join(e.name for e in self.extractors)
+
+    def extract(self, clip) -> np.ndarray:
+        parts = [np.ravel(e.extract(clip)) for e in self.extractors]
+        return np.concatenate(parts)

@@ -1,0 +1,109 @@
+"""Squish-pattern encoding.
+
+A lossless topological compression of a rectilinear clip: project all rect
+edges onto the two axes to get the distinct x-cuts and y-cuts, then store
+
+* the **topology matrix** — for every (y-interval, x-interval) cell, 1 if
+  covered by metal, and
+* the **delta vectors** — the interval lengths along each axis.
+
+Two clips with the same topology matrix are the same pattern up to
+stretching; pattern matchers key on the topology and compare deltas with a
+tolerance.  For fixed-length ML features, matrix + deltas are padded to a
+configurable maximum (clips whose cut count exceeds it are re-encoded at a
+coarser snapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..geometry.layout import Clip
+from ..geometry.rect import Rect
+from .base import FeatureExtractor
+
+
+@dataclass(frozen=True)
+class SquishPattern:
+    """Topology matrix + axis deltas for one clip (clip-local coords)."""
+
+    topology: Tuple[Tuple[int, ...], ...]  # rows bottom-to-top
+    dx: Tuple[int, ...]
+    dy: Tuple[int, ...]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (len(self.dy), len(self.dx))
+
+    def topology_key(self) -> Tuple[Tuple[int, ...], ...]:
+        """Hashable key identifying the pattern's topology class."""
+        return self.topology
+
+    def matrix(self) -> np.ndarray:
+        return np.array(self.topology, dtype=np.int8)
+
+
+def squish(clip: Clip) -> SquishPattern:
+    """Squish-encode a clip (exact, lossless given the cut lines)."""
+    rects = clip.local_rects()
+    size = clip.size
+    xs = sorted({0, size} | {r.x1 for r in rects} | {r.x2 for r in rects})
+    ys = sorted({0, size} | {r.y1 for r in rects} | {r.y2 for r in rects})
+    xs = [x for x in xs if 0 <= x <= size]
+    ys = [y for y in ys if 0 <= y <= size]
+    topo: List[Tuple[int, ...]] = []
+    for y1, y2 in zip(ys[:-1], ys[1:]):
+        row = []
+        for x1, x2 in zip(xs[:-1], xs[1:]):
+            cell = Rect(x1, y1, x2, y2)
+            covered = any(r.contains(cell) for r in rects)
+            row.append(1 if covered else 0)
+        topo.append(tuple(row))
+    dx = tuple(b - a for a, b in zip(xs[:-1], xs[1:]))
+    dy = tuple(b - a for a, b in zip(ys[:-1], ys[1:]))
+    return SquishPattern(topology=tuple(topo), dx=dx, dy=dy)
+
+
+def unsquish(pattern: SquishPattern) -> List[Rect]:
+    """Reconstruct the covered cells as rects (clip-local)."""
+    xs = np.concatenate([[0], np.cumsum(pattern.dx)])
+    ys = np.concatenate([[0], np.cumsum(pattern.dy)])
+    out: List[Rect] = []
+    for i, row in enumerate(pattern.topology):
+        for j, covered in enumerate(row):
+            if covered:
+                out.append(
+                    Rect(int(xs[j]), int(ys[i]), int(xs[j + 1]), int(ys[i + 1]))
+                )
+    return out
+
+
+class SquishFeatures(FeatureExtractor):
+    """Fixed-length vector: padded topology matrix + normalized deltas."""
+
+    def __init__(self, max_cuts: int = 24) -> None:
+        if max_cuts < 2:
+            raise ValueError("max_cuts must be >= 2")
+        self.max_cuts = max_cuts
+        self.name = f"squish{max_cuts}"
+
+    def extract(self, clip: Clip) -> np.ndarray:
+        pat = squish(clip)
+        m = self.max_cuts
+        topo = np.zeros((m, m), dtype=np.float64)
+        rows = min(len(pat.dy), m)
+        cols = min(len(pat.dx), m)
+        full = pat.matrix()
+        topo[:rows, :cols] = full[:rows, :cols]
+        dx = np.zeros(m)
+        dy = np.zeros(m)
+        dx[:cols] = np.asarray(pat.dx[:cols], dtype=np.float64) / clip.size
+        dy[:rows] = np.asarray(pat.dy[:rows], dtype=np.float64) / clip.size
+        return np.concatenate([topo.ravel(), dx, dy])
+
+    @property
+    def feature_shape(self) -> tuple:
+        return (self.max_cuts * self.max_cuts + 2 * self.max_cuts,)

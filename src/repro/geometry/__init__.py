@@ -1,0 +1,71 @@
+"""Rectilinear layout geometry: the substrate every other package builds on.
+
+Public surface:
+
+* :class:`Rect`, :class:`Polygon` — integer-nm geometry values,
+* :class:`Layer`, :class:`Layout`, :class:`Clip` — design containers,
+* :func:`extract_clip`, :func:`tile_centers` — clip windowing,
+* :func:`rasterize_clip`, :func:`rasterize_rects` — pixel rendering,
+* :func:`transform_clip`, :data:`D4_NAMES` — orientation augmentation,
+* :class:`GridIndex` — spatial hashing,
+* :class:`DesignRules`, :func:`check_layer`, :func:`is_clean` — DRC,
+* ``save_layout``/``load_layout``, ``save_clips``/``load_clips`` — I/O.
+"""
+
+from .drc import DesignRules, Violation, check_layer, check_spacing, is_clean
+from .gdsii import GDSIIError, read_gdsii, write_gdsii
+from .gdsio import (
+    ClipFormatError,
+    load_clips,
+    load_layout,
+    save_clips,
+    save_layout,
+)
+from .layout import Clip, Layer, Layout, extract_clip, tile_centers
+from .multilayer import (
+    MultiLayerClip,
+    enclosure_violations,
+    extract_multilayer_clip,
+)
+from .polygon import Polygon, polygons_from_rect_soup
+from .rasterize import core_slice, rasterize_clip, rasterize_rects
+from .rect import Rect, bounding_box, merge_touching, union_area
+from .spatial import GridIndex
+from .transform import D4_NAMES, clip_orientations, transform_clip
+
+__all__ = [
+    "Rect",
+    "Polygon",
+    "polygons_from_rect_soup",
+    "bounding_box",
+    "merge_touching",
+    "union_area",
+    "Layer",
+    "Layout",
+    "Clip",
+    "extract_clip",
+    "tile_centers",
+    "rasterize_clip",
+    "rasterize_rects",
+    "core_slice",
+    "transform_clip",
+    "clip_orientations",
+    "D4_NAMES",
+    "GridIndex",
+    "DesignRules",
+    "Violation",
+    "check_layer",
+    "check_spacing",
+    "is_clean",
+    "save_layout",
+    "load_layout",
+    "save_clips",
+    "load_clips",
+    "ClipFormatError",
+    "read_gdsii",
+    "write_gdsii",
+    "GDSIIError",
+    "MultiLayerClip",
+    "extract_multilayer_clip",
+    "enclosure_violations",
+]

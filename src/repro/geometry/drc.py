@@ -1,0 +1,129 @@
+"""A minimal design-rule checker for synthetic layout legality.
+
+The benchmark generator must emit layouts that are *legal* by construction
+rules (minimum width / spacing / area) yet still lithographically marginal —
+hotspots in this literature are DRC-clean patterns that nonetheless fail to
+print.  This module verifies the legality half.
+
+Rules are expressed per layer in integer nm:
+
+* ``min_width`` — every polygon must be at least this wide at every point
+  (checked per decomposed slab rect against the run direction),
+* ``min_spacing`` — distinct polygons must be at least this far apart
+  (L-inf spacing, the usual Manhattan DRC metric),
+* ``min_area`` — every polygon's area must reach this floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .layout import Layer
+from .polygon import Polygon
+from .rect import Rect
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Per-layer DRC parameters (integer nm)."""
+
+    min_width: int = 32
+    min_spacing: int = 32
+    min_area: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_width <= 0 or self.min_spacing <= 0 or self.min_area < 0:
+            raise ValueError("design rules must be positive (area non-negative)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single DRC violation with its kind, location and measured value."""
+
+    kind: str  # "width" | "spacing" | "area"
+    where: Rect
+    measured: float
+    required: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.kind} violation at {self.where.as_tuple()}: "
+            f"{self.measured} < {self.required}"
+        )
+
+
+def check_polygon_width(poly: Polygon, rules: DesignRules) -> List[Violation]:
+    """Width check on the slab decomposition.
+
+    A slab thinner than ``min_width`` in *both* axes is a definite width
+    violation.  A slab thin in one axis only is legal when it extends a
+    wider run (e.g. the slabs of an L-bend); we approximate the true
+    medial-axis check by requiring the thin axis of every slab to be either
+    >= min_width or flush-extended by a neighboring slab, which holds for
+    the rect decomposition of legal wire shapes.
+    """
+    out: List[Violation] = []
+    rects = poly.rects
+    for r in rects:
+        thin = min(r.width, r.height)
+        if thin >= rules.min_width:
+            continue
+        # thin slab: legal only if some touching slab covers its thin span
+        absorbed = any(
+            other is not r and other.touches(r)
+            and _covers_thin_axis(r, other)
+            for other in rects
+        )
+        if not absorbed:
+            out.append(
+                Violation("width", r, measured=thin, required=rules.min_width)
+            )
+    return out
+
+
+def _covers_thin_axis(thin_rect: Rect, other: Rect) -> bool:
+    """True if ``other`` flush-covers ``thin_rect`` along its thin axis."""
+    if thin_rect.width <= thin_rect.height:
+        # thin in x: other must span thin_rect's full x extent
+        return other.x1 <= thin_rect.x1 and other.x2 >= thin_rect.x2
+    return other.y1 <= thin_rect.y1 and other.y2 >= thin_rect.y2
+
+
+def check_spacing(polys: Sequence[Polygon], rules: DesignRules) -> List[Violation]:
+    """Pairwise L-inf spacing between distinct polygons."""
+    out: List[Violation] = []
+    for i in range(len(polys)):
+        for j in range(i + 1, len(polys)):
+            a, b = polys[i], polys[j]
+            if not a.bbox.expand(rules.min_spacing).intersects(b.bbox):
+                continue
+            gap = min(
+                ra.manhattan_gap(rb) for ra in a.rects for rb in b.rects
+            )
+            if gap < rules.min_spacing:
+                where = a.bbox.union_bbox(b.bbox)
+                out.append(
+                    Violation(
+                        "spacing", where, measured=gap, required=rules.min_spacing
+                    )
+                )
+    return out
+
+
+def check_layer(layer: Layer, rules: DesignRules) -> List[Violation]:
+    """All width, spacing and area violations on a layer."""
+    out: List[Violation] = []
+    for poly in layer.polygons:
+        out.extend(check_polygon_width(poly, rules))
+        if poly.area < rules.min_area:
+            out.append(
+                Violation("area", poly.bbox, poly.area, rules.min_area)
+            )
+    out.extend(check_spacing(layer.polygons, rules))
+    return out
+
+
+def is_clean(layer: Layer, rules: DesignRules) -> bool:
+    """True when the layer has no DRC violations."""
+    return not check_layer(layer, rules)

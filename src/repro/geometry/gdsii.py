@@ -1,0 +1,183 @@
+"""Minimal real GDSII (binary) stream reader/writer.
+
+Enough of the GDSII record set to interchange rectilinear polygon layouts
+with real EDA tools: ``HEADER, BGNLIB, LIBNAME, UNITS, BGNSTR, STRNAME,
+BOUNDARY, LAYER, DATATYPE, XY, ENDEL, ENDSTR, ENDLIB``.  Polygons are
+written as BOUNDARY elements with closed rectilinear rings; on read,
+rings are decomposed back through :meth:`Polygon.from_ring`.
+
+Layer numbering: the writer assigns layer numbers in sorted layer-name
+order starting at 1 and stores the name map in the library name; readers
+from other tools see standard numbered layers.  Coordinates are written
+in database units of 1 nm (UNITS = 1e-3 user units per db unit, 1e-9 m).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from .layout import Layout
+from .polygon import Polygon
+
+PathLike = Union[str, Path]
+
+# record types
+_HEADER = 0x0002
+_BGNLIB = 0x0102
+_LIBNAME = 0x0206
+_UNITS = 0x0305
+_BGNSTR = 0x0502
+_STRNAME = 0x0606
+_ENDSTR = 0x0700
+_BOUNDARY = 0x0800
+_LAYER = 0x0D02
+_DATATYPE = 0x0E02
+_XY = 0x1003
+_ENDEL = 0x1100
+_ENDLIB = 0x0400
+
+_DUMMY_TIME = (2017, 1, 1, 0, 0, 0)  # GDSII timestamps, fixed for determinism
+
+
+class GDSIIError(ValueError):
+    """Raised on malformed GDSII streams."""
+
+
+def _record(rec_type: int, payload: bytes = b"") -> bytes:
+    length = 4 + len(payload)
+    if length % 2:
+        payload += b"\0"
+        length += 1
+    return struct.pack(">HH", length, rec_type) + payload
+
+
+def _ascii(text: str) -> bytes:
+    data = text.encode("ascii")
+    if len(data) % 2:
+        data += b"\0"
+    return data
+
+
+def _gds_real8(value: float) -> bytes:
+    """Encode a float as GDSII 8-byte excess-64 real."""
+    if value == 0.0:
+        return b"\0" * 8
+    sign = 0
+    if value < 0:
+        sign = 0x80
+        value = -value
+    exponent = 64
+    # normalize mantissa into [1/16, 1)
+    while value >= 1.0:
+        value /= 16.0
+        exponent += 1
+    while value < 1.0 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    out = bytes([sign | exponent]) + mantissa.to_bytes(7, "big")
+    return out
+
+
+def _parse_real8(data: bytes) -> float:
+    sign = -1.0 if data[0] & 0x80 else 1.0
+    exponent = (data[0] & 0x7F) - 64
+    mantissa = int.from_bytes(data[1:8], "big") / float(1 << 56)
+    return sign * mantissa * (16.0**exponent)
+
+
+def write_gdsii(layout: Layout, path: PathLike) -> Dict[str, int]:
+    """Write a layout as a GDSII stream; returns the layer-name -> number map."""
+    layer_numbers = {
+        name: i + 1 for i, name in enumerate(sorted(layout.layers))
+    }
+    chunks: List[bytes] = [
+        _record(_HEADER, struct.pack(">h", 600)),  # stream version 6
+        _record(_BGNLIB, struct.pack(">12h", *(_DUMMY_TIME * 2))),
+        _record(_LIBNAME, _ascii(layout.name or "LIB")),
+        # 1 db unit = 1e-3 user units (um) = 1e-9 m  ->  db unit is 1 nm
+        _record(_UNITS, _gds_real8(1e-3) + _gds_real8(1e-9)),
+        _record(_BGNSTR, struct.pack(">12h", *(_DUMMY_TIME * 2))),
+        _record(_STRNAME, _ascii("TOP")),
+    ]
+    for name, layer in sorted(layout.layers.items()):
+        number = layer_numbers[name]
+        for poly in layer.polygons:
+            for rect in poly.rects:
+                # each rect as a closed 5-point ring (GDSII convention)
+                pts = list(rect.corners()) + [rect.corners()[0]]
+                xy = b"".join(struct.pack(">ii", x, y) for x, y in pts)
+                chunks += [
+                    _record(_BOUNDARY),
+                    _record(_LAYER, struct.pack(">h", number)),
+                    _record(_DATATYPE, struct.pack(">h", 0)),
+                    _record(_XY, xy),
+                    _record(_ENDEL),
+                ]
+    chunks += [_record(_ENDSTR), _record(_ENDLIB)]
+    Path(path).write_bytes(b"".join(chunks))
+    return layer_numbers
+
+
+def _iter_records(data: bytes):
+    pos = 0
+    while pos + 4 <= len(data):
+        length, rec_type = struct.unpack(">HH", data[pos : pos + 4])
+        if length < 4:
+            raise GDSIIError(f"bad record length {length} at offset {pos}")
+        payload = data[pos + 4 : pos + length]
+        yield rec_type, payload
+        pos += length
+    if pos != len(data):
+        raise GDSIIError("trailing bytes after last record")
+
+
+def read_gdsii(path: PathLike) -> Tuple[Layout, float]:
+    """Read a GDSII stream into a Layout; returns (layout, db_unit_meters).
+
+    Coordinates are kept in raw database units (for streams written by
+    :func:`write_gdsii`, that is nm).  Boundary rings become polygons;
+    layer numbers become layer names ``L<number>`` unless the stream came
+    from this writer, in which case numbering is positional anyway.
+    """
+    data = Path(path).read_bytes()
+    layout = Layout("GDSII")
+    db_unit_m = 1e-9
+    current_layer: int = 0
+    in_boundary = False
+    pending_xy: List[Tuple[int, int]] = []
+    saw_header = False
+    for rec_type, payload in _iter_records(data):
+        if rec_type == _HEADER:
+            saw_header = True
+        elif rec_type == _LIBNAME:
+            layout.name = payload.rstrip(b"\0").decode("ascii", "replace")
+        elif rec_type == _UNITS:
+            if len(payload) < 16:
+                raise GDSIIError("short UNITS record")
+            db_unit_m = _parse_real8(payload[8:16])
+        elif rec_type == _BOUNDARY:
+            in_boundary = True
+            pending_xy = []
+            current_layer = 0
+        elif rec_type == _LAYER and in_boundary:
+            (current_layer,) = struct.unpack(">h", payload[:2])
+        elif rec_type == _XY and in_boundary:
+            n = len(payload) // 8
+            pending_xy = [
+                struct.unpack(">ii", payload[i * 8 : i * 8 + 8])
+                for i in range(n)
+            ]
+        elif rec_type == _ENDEL and in_boundary:
+            in_boundary = False
+            if len(pending_xy) >= 4:
+                ring = pending_xy[:-1]  # drop the closing repeat
+                layer = layout.layer(f"L{current_layer}")
+                layer.add(Polygon.from_ring(ring))
+        elif rec_type == _ENDLIB:
+            break
+    if not saw_header:
+        raise GDSIIError("not a GDSII stream (no HEADER record)")
+    return layout, db_unit_m

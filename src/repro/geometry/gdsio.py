@@ -1,0 +1,168 @@
+"""Layout and clip serialization.
+
+Two formats:
+
+* **JSON layout** — a readable GDS-like structure (layout name, layers,
+  polygons as rect lists).  Good for small layouts, examples and tests.
+* **Clip text format** — one clip per record in a compact line-oriented
+  format close in spirit to the ICCAD-2012 contest's clip distribution:
+
+  ::
+
+      CLIP <tag> WINDOW x1 y1 x2 y2 CORE x1 y1 x2 y2 LAYER <name> LABEL <0|1|->
+      RECT x1 y1 x2 y2
+      ...
+      END
+
+  ``LABEL -`` means unlabeled.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .layout import Clip, Layout
+from .polygon import Polygon
+from .rect import Rect
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# JSON layouts
+# ----------------------------------------------------------------------
+def layout_to_dict(layout: Layout) -> dict:
+    return {
+        "name": layout.name,
+        "layers": {
+            name: [[r.as_tuple() for r in poly.rects] for poly in layer.polygons]
+            for name, layer in layout.layers.items()
+        },
+    }
+
+
+def layout_from_dict(data: dict) -> Layout:
+    layout = Layout(name=data["name"])
+    for lname, polys in data["layers"].items():
+        layer = layout.layer(lname)
+        for rect_list in polys:
+            layer.add(Polygon(tuple(Rect(*map(int, r)) for r in rect_list)))
+    return layout
+
+
+def save_layout(layout: Layout, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(layout_to_dict(layout), indent=1))
+
+
+def load_layout(path: PathLike) -> Layout:
+    return layout_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# clip text format
+# ----------------------------------------------------------------------
+class ClipFormatError(ValueError):
+    """Raised when a clip text file is malformed."""
+
+
+def _format_clip(clip: Clip, label: Optional[int]) -> str:
+    lbl = "-" if label is None else str(int(label))
+    lines = [
+        "CLIP {tag} WINDOW {w} CORE {c} LAYER {layer} LABEL {lbl}".format(
+            tag=clip.tag or "-",
+            w=" ".join(map(str, clip.window.as_tuple())),
+            c=" ".join(map(str, clip.core.as_tuple())),
+            layer=clip.layer_name,
+            lbl=lbl,
+        )
+    ]
+    for r in clip.rects:
+        lines.append("RECT {} {} {} {}".format(*r.as_tuple()))
+    lines.append("END")
+    return "\n".join(lines)
+
+
+def save_clips(
+    clips: Sequence[Clip],
+    path: PathLike,
+    labels: Optional[Sequence[int]] = None,
+) -> None:
+    """Write clips (optionally with 0/1 labels) to a clip text file."""
+    if labels is not None and len(labels) != len(clips):
+        raise ValueError("labels length must match clips length")
+    records = [
+        _format_clip(clip, None if labels is None else labels[i])
+        for i, clip in enumerate(clips)
+    ]
+    Path(path).write_text("\n".join(records) + "\n")
+
+
+def _parse_header(tokens: List[str], lineno: int) -> Tuple[str, Rect, Rect, str, Optional[int]]:
+    """Parse a CLIP header line into (tag, window, core, layer, label)."""
+    if (
+        len(tokens) != 16
+        or tokens[2] != "WINDOW"
+        or tokens[7] != "CORE"
+        or tokens[12] != "LAYER"
+        or tokens[14] != "LABEL"
+    ):
+        raise ClipFormatError(f"line {lineno}: malformed CLIP header")
+    tag = "" if tokens[1] == "-" else tokens[1]
+    try:
+        window = Rect(*map(int, tokens[3:7]))
+        core = Rect(*map(int, tokens[8:12]))
+    except ValueError as exc:
+        raise ClipFormatError(f"line {lineno}: bad coordinates ({exc})") from exc
+    layer_name = tokens[13]
+    label = None if tokens[15] == "-" else int(tokens[15])
+    return tag, window, core, layer_name, label
+
+
+def load_clips(path: PathLike) -> Tuple[List[Clip], List[Optional[int]]]:
+    """Read a clip text file; returns (clips, labels) with None for unlabeled."""
+    clips: List[Clip] = []
+    labels: List[Optional[int]] = []
+    header: Optional[Tuple[str, Rect, Rect, str, Optional[int]]] = None
+    rects: List[Rect] = []
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        kind = tokens[0]
+        if kind == "CLIP":
+            if header is not None:
+                raise ClipFormatError(f"line {lineno}: nested CLIP record")
+            header = _parse_header(tokens, lineno)
+            rects = []
+        elif kind == "RECT":
+            if header is None:
+                raise ClipFormatError(f"line {lineno}: RECT outside CLIP record")
+            if len(tokens) != 5:
+                raise ClipFormatError(f"line {lineno}: malformed RECT")
+            try:
+                rects.append(Rect(*map(int, tokens[1:5])))
+            except ValueError as exc:
+                raise ClipFormatError(f"line {lineno}: bad RECT ({exc})") from exc
+        elif kind == "END":
+            if header is None:
+                raise ClipFormatError(f"line {lineno}: END outside CLIP record")
+            tag, window, core, layer_name, label = header
+            clips.append(
+                Clip(
+                    window=window,
+                    core=core,
+                    rects=tuple(rects),
+                    layer_name=layer_name,
+                    tag=tag,
+                )
+            )
+            labels.append(label)
+            header = None
+        else:
+            raise ClipFormatError(f"line {lineno}: unknown record {kind!r}")
+    if header is not None:
+        raise ClipFormatError("unterminated CLIP record at end of file")
+    return clips, labels

@@ -1,0 +1,162 @@
+"""Layout containers: Layer, Layout, and Clip.
+
+A ``Layout`` is a set of named ``Layer`` objects, each holding rectilinear
+polygons.  Hotspot detection operates on ``Clip`` windows: a fixed-size
+square region cut out of a layer, with a smaller concentric *core* region in
+which defects are attributed to the clip (the contest convention — a clip is
+a hotspot iff a defect's marker falls inside its core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .polygon import Polygon, polygons_from_rect_soup
+from .rect import Rect, bounding_box
+from .spatial import GridIndex
+
+
+@dataclass
+class Layer:
+    """A single mask layer: a bag of polygons with a spatial index."""
+
+    name: str
+    polygons: List[Polygon] = field(default_factory=list)
+    _index: Optional[GridIndex] = field(default=None, repr=False, compare=False)
+
+    def add(self, polygon: Polygon) -> None:
+        self.polygons.append(polygon)
+        self._index = None  # invalidate
+
+    def add_rects(self, rects: Sequence[Rect]) -> None:
+        """Add a soup of rects, grouping touching ones into polygons."""
+        for poly in polygons_from_rect_soup(rects):
+            self.add(poly)
+
+    @property
+    def bbox(self) -> Rect:
+        if not self.polygons:
+            raise ValueError(f"layer {self.name!r} is empty")
+        return bounding_box(p.bbox for p in self.polygons)
+
+    def _ensure_index(self) -> GridIndex:
+        if self._index is None:
+            index = GridIndex()
+            for i, poly in enumerate(self.polygons):
+                index.insert(i, poly.bbox)
+            self._index = index
+        return self._index
+
+    def query(self, window: Rect) -> List[Polygon]:
+        """Polygons whose bbox intersects the window."""
+        index = self._ensure_index()
+        return [self.polygons[i] for i in index.query(window)]
+
+    def rects_in(self, window: Rect) -> List[Rect]:
+        """All polygon rects clipped to the window."""
+        out: List[Rect] = []
+        for poly in self.query(window):
+            for rect in poly.rects:
+                inter = rect.intersection(window)
+                if inter is not None:
+                    out.append(inter)
+        return out
+
+
+@dataclass
+class Layout:
+    """A named design holding one or more layers."""
+
+    name: str
+    layers: Dict[str, Layer] = field(default_factory=dict)
+
+    def layer(self, name: str) -> Layer:
+        """Get-or-create a layer by name."""
+        if name not in self.layers:
+            self.layers[name] = Layer(name)
+        return self.layers[name]
+
+    @property
+    def bbox(self) -> Rect:
+        boxes = [
+            layer.bbox for layer in self.layers.values() if layer.polygons
+        ]
+        if not boxes:
+            raise ValueError(f"layout {self.name!r} is empty")
+        return bounding_box(boxes)
+
+
+@dataclass(frozen=True)
+class Clip:
+    """A square window of a single layer, the unit of hotspot detection.
+
+    ``window`` is the full field the detector may look at; ``core`` is the
+    concentric sub-window defects are attributed to.  ``rects`` are the
+    layer shapes clipped to the window, translated so the window's lower-left
+    corner is the origin (clip-local coordinates).
+    """
+
+    window: Rect
+    core: Rect
+    rects: Tuple[Rect, ...]
+    layer_name: str = "metal1"
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.window.contains(self.core):
+            raise ValueError("core must lie inside the window")
+
+    @property
+    def size(self) -> int:
+        """Side length of the (square) window in nm."""
+        return self.window.width
+
+    def local_rects(self) -> Tuple[Rect, ...]:
+        """Shapes in clip-local coordinates (window origin at (0, 0))."""
+        dx, dy = -self.window.x1, -self.window.y1
+        return tuple(r.translate(dx, dy) for r in self.rects)
+
+    def local_core(self) -> Rect:
+        return self.core.translate(-self.window.x1, -self.window.y1)
+
+    def density(self) -> float:
+        """Fraction of the window area covered by shapes (rects disjoint)."""
+        if self.window.area == 0:
+            return 0.0
+        return sum(r.area for r in self.rects) / self.window.area
+
+
+def extract_clip(
+    layer: Layer,
+    center: Tuple[int, int],
+    window_size: int,
+    core_size: int,
+    tag: str = "",
+) -> Clip:
+    """Cut a clip of ``window_size`` nm centered at ``center`` out of a layer."""
+    if core_size > window_size:
+        raise ValueError("core_size cannot exceed window_size")
+    cx, cy = center
+    window = Rect.from_center(cx, cy, window_size, window_size)
+    core = Rect.from_center(cx, cy, core_size, core_size)
+    rects = tuple(layer.rects_in(window))
+    return Clip(
+        window=window, core=core, rects=rects, layer_name=layer.name, tag=tag
+    )
+
+
+def tile_centers(
+    region: Rect, window_size: int, step: int
+) -> List[Tuple[int, int]]:
+    """Clip centers tiling a region with the given stride.
+
+    Windows are kept fully inside ``region``; a region smaller than the
+    window yields no centers.
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")
+    half = window_size // 2
+    xs = list(range(region.x1 + half, region.x2 - window_size + half + 1, step))
+    ys = list(range(region.y1 + half, region.y2 - window_size + half + 1, step))
+    return [(x, y) for y in ys for x in xs]

@@ -1,0 +1,85 @@
+"""Multi-layer clips: aligned windows across a metal layer and a via layer.
+
+Single-layer clips miss an entire defect class: metal-to-via failures,
+where the via prints but the metal above no longer encloses it (ASP-DAC'19
+"adaptive squish" motivation).  ``MultiLayerClip`` carries one
+:class:`~repro.geometry.layout.Clip` per layer over the *same* window, so
+rasters align pixel-for-pixel and cross-layer checks are pure array ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .layout import Clip, Layer, extract_clip
+from .rect import Rect
+
+
+@dataclass(frozen=True)
+class MultiLayerClip:
+    """Aligned per-layer clips sharing one window/core."""
+
+    clips: Tuple[Tuple[str, Clip], ...]  # ordered (layer_name, clip) pairs
+
+    def __post_init__(self) -> None:
+        if not self.clips:
+            raise ValueError("MultiLayerClip needs at least one layer")
+        windows = {clip.window for _, clip in self.clips}
+        cores = {clip.core for _, clip in self.clips}
+        if len(windows) != 1 or len(cores) != 1:
+            raise ValueError("all layers must share the same window and core")
+
+    @property
+    def window(self) -> Rect:
+        return self.clips[0][1].window
+
+    @property
+    def core(self) -> Rect:
+        return self.clips[0][1].core
+
+    @property
+    def layer_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.clips)
+
+    def layer(self, name: str) -> Clip:
+        for layer_name, clip in self.clips:
+            if layer_name == name:
+                return clip
+        raise KeyError(f"no layer {name!r} in {self.layer_names}")
+
+
+def extract_multilayer_clip(
+    layers: Dict[str, Layer],
+    center: Tuple[int, int],
+    window_nm: int,
+    core_nm: int,
+    tag: str = "",
+) -> MultiLayerClip:
+    """Cut one aligned clip per layer (sorted layer-name order)."""
+    if not layers:
+        raise ValueError("need at least one layer")
+    pairs = tuple(
+        (name, extract_clip(layers[name], center, window_nm, core_nm, tag=tag))
+        for name in sorted(layers)
+    )
+    return MultiLayerClip(clips=pairs)
+
+
+def enclosure_violations(
+    metal: Clip, via: Clip, min_enclosure_nm: int
+) -> List[Rect]:
+    """Design-rule enclosure check: vias the metal under-covers.
+
+    Every via rect must sit inside some metal rect with at least
+    ``min_enclosure_nm`` margin on every side.  Returns the violating via
+    rects (window-absolute coordinates).
+    """
+    if metal.window != via.window:
+        raise ValueError("clips must share a window")
+    out: List[Rect] = []
+    for v in via.rects:
+        required = v.expand(min_enclosure_nm)
+        if not any(m.contains(required) for m in metal.rects):
+            out.append(v)
+    return out

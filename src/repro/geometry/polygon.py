@@ -1,0 +1,183 @@
+"""Rectilinear polygons.
+
+Layout shapes on a metal layer are rectilinear (Manhattan) polygons.  For
+simulation and feature extraction we mostly work with their decomposition
+into axis-aligned rectangles; ``Polygon`` keeps both views consistent:
+
+* built either from a counter-clockwise rectilinear vertex ring or from a
+  set of touching rects (the union must be connected and hole-free for the
+  ring reconstruction to be meaningful — layout wires satisfy this),
+* exposes exact ``area``/``bbox``/point-containment,
+* decomposes to horizontal slab rects for rasterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from .rect import Rect, bounding_box, merge_touching, union_area
+
+Point = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A rectilinear polygon stored as its rect decomposition.
+
+    ``rects`` are pairwise non-overlapping (interiors disjoint) and their
+    union is connected.  ``Polygon`` is a value object: construction
+    normalizes the decomposition to maximal horizontal slabs so that two
+    polygons with equal point sets compare equal.
+    """
+
+    rects: Tuple[Rect, ...]
+
+    def __post_init__(self) -> None:
+        if not self.rects:
+            raise ValueError("polygon needs at least one rect")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_rects(rects: Sequence[Rect]) -> "Polygon":
+        """Build from possibly-overlapping rects whose union is connected."""
+        rects = [r for r in rects if not r.empty()]
+        if not rects:
+            raise ValueError("polygon needs at least one non-empty rect")
+        groups = merge_touching(rects)
+        if len(groups) != 1:
+            raise ValueError(
+                f"rects form {len(groups)} disconnected components, expected 1"
+            )
+        return Polygon(tuple(_to_slabs(rects)))
+
+    @staticmethod
+    def rectangle(rect: Rect) -> "Polygon":
+        if rect.empty():
+            raise ValueError("degenerate rectangle")
+        return Polygon((rect,))
+
+    @staticmethod
+    def from_ring(ring: Sequence[Point]) -> "Polygon":
+        """Build from a closed rectilinear vertex ring (CW or CCW).
+
+        The ring must alternate horizontal/vertical edges; the final vertex
+        may repeat the first.  Decomposition is by horizontal slab cuts.
+        """
+        pts = list(ring)
+        if len(pts) >= 2 and pts[0] == pts[-1]:
+            pts.pop()
+        if len(pts) < 4:
+            raise ValueError("rectilinear ring needs >= 4 vertices")
+        for (x1, y1), (x2, y2) in zip(pts, pts[1:] + pts[:1]):
+            if x1 != x2 and y1 != y2:
+                raise ValueError("ring edge is neither horizontal nor vertical")
+        rects = _ring_to_slabs(pts)
+        if not rects:
+            raise ValueError("ring encloses no area")
+        return Polygon(tuple(rects))
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def area(self) -> int:
+        return sum(r.area for r in self.rects)
+
+    @property
+    def bbox(self) -> Rect:
+        return bounding_box(self.rects)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return any(r.contains_point(x, y) for r in self.rects)
+
+    def translate(self, dx: int, dy: int) -> "Polygon":
+        return Polygon(tuple(r.translate(dx, dy) for r in self.rects))
+
+    def intersects(self, other: "Polygon") -> bool:
+        return any(
+            a.intersects(b) for a in self.rects for b in other.rects
+        )
+
+    def min_gap(self, other: "Polygon") -> float:
+        """Minimum Euclidean gap between two polygons (0 when touching)."""
+        return min(a.gap(b) for a in self.rects for b in other.rects)
+
+
+# ----------------------------------------------------------------------
+# decomposition helpers
+# ----------------------------------------------------------------------
+def _to_slabs(rects: Sequence[Rect]) -> List[Rect]:
+    """Normalize a union of rects to maximal horizontal slab rects.
+
+    Cuts the union at every distinct y coordinate, merges x-intervals per
+    slab, then vertically coalesces slabs with identical x-interval sets.
+    The result is a canonical non-overlapping decomposition.
+    """
+    ys = sorted({r.y1 for r in rects} | {r.y2 for r in rects})
+    rows: List[Tuple[int, int, Tuple[Tuple[int, int], ...]]] = []
+    for ya, yb in zip(ys[:-1], ys[1:]):
+        if yb <= ya:
+            continue
+        intervals = _merge_intervals(
+            [(r.x1, r.x2) for r in rects if r.y1 <= ya and r.y2 >= yb]
+        )
+        if intervals:
+            rows.append((ya, yb, tuple(intervals)))
+    # vertically coalesce adjacent rows with identical interval sets
+    out: List[Rect] = []
+    i = 0
+    while i < len(rows):
+        ya, yb, ivs = rows[i]
+        j = i + 1
+        while j < len(rows) and rows[j][0] == yb and rows[j][2] == ivs:
+            yb = rows[j][1]
+            j += 1
+        for x1, x2 in ivs:
+            out.append(Rect(x1, ya, x2, yb))
+        i = j
+    return out
+
+
+def _merge_intervals(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Merge overlapping/touching 1-D integer intervals."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    out = [intervals[0]]
+    for lo, hi in intervals[1:]:
+        plo, phi = out[-1]
+        if lo <= phi:
+            out[-1] = (plo, max(phi, hi))
+        else:
+            out.append((lo, hi))
+    return [(lo, hi) for lo, hi in out if hi > lo]
+
+
+def _ring_to_slabs(pts: List[Point]) -> List[Rect]:
+    """Decompose a rectilinear simple-polygon ring into horizontal slabs.
+
+    Classic scanline: at each y-slab, the vertical edges crossing the slab
+    sorted by x alternate inside/outside (even-odd rule).
+    """
+    vedges: List[Tuple[int, int, int]] = []  # (x, ylo, yhi)
+    for (x1, y1), (x2, y2) in zip(pts, pts[1:] + pts[:1]):
+        if x1 == x2 and y1 != y2:
+            vedges.append((x1, min(y1, y2), max(y1, y2)))
+    ys = sorted({y for _, ylo, yhi in vedges for y in (ylo, yhi)})
+    rects: List[Rect] = []
+    for ya, yb in zip(ys[:-1], ys[1:]):
+        if yb <= ya:
+            continue
+        xs = sorted(x for x, ylo, yhi in vedges if ylo <= ya and yhi >= yb)
+        for xa, xb in zip(xs[0::2], xs[1::2]):
+            if xb > xa:
+                rects.append(Rect(xa, ya, xb, yb))
+    return _to_slabs(rects) if rects else []
+
+
+def polygons_from_rect_soup(rects: Sequence[Rect]) -> List[Polygon]:
+    """Group a flat list of rects into connected polygons."""
+    return [Polygon(tuple(_to_slabs(group))) for group in merge_touching(list(rects))]

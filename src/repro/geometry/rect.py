@@ -1,0 +1,294 @@
+"""Axis-aligned integer rectangle algebra.
+
+All layout geometry in :mod:`repro` is expressed in integer nanometers.
+``Rect`` is the primitive every other geometric structure builds on: layout
+polygons are decomposed into rects, rasterization iterates rects, and the
+spatial index stores rect bounding boxes.
+
+A ``Rect`` is half-open in neither axis: it covers the closed-open region
+``[x1, x2) x [y1, y2)`` when rasterized, but set-algebra operations
+(intersection, union area, containment) treat it as the solid box with the
+given corner coordinates.  Degenerate (zero-width or zero-height) rects are
+permitted as values but report ``empty() == True`` and behave as the empty
+set in the algebra.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[x1, x2] x [y1, y2]`` in integer nm.
+
+    Invariant: ``x1 <= x2`` and ``y1 <= y2`` (enforced at construction).
+    """
+
+    x1: int
+    y1: int
+    x2: int
+    y2: int
+
+    def __post_init__(self) -> None:
+        if self.x1 > self.x2 or self.y1 > self.y2:
+            raise ValueError(
+                f"malformed rect: ({self.x1},{self.y1})..({self.x2},{self.y2})"
+            )
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> int:
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> int:
+        return 2 * (self.width + self.height)
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    def empty(self) -> bool:
+        """True if the rect has zero area."""
+        return self.x1 >= self.x2 or self.y1 >= self.y2
+
+    def corners(self) -> Tuple[Tuple[int, int], ...]:
+        """The four corner points, counter-clockwise from lower-left."""
+        return (
+            (self.x1, self.y1),
+            (self.x2, self.y1),
+            (self.x2, self.y2),
+            (self.x1, self.y2),
+        )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_points(p1: Tuple[int, int], p2: Tuple[int, int]) -> "Rect":
+        """Build the bounding rect of two arbitrary points."""
+        (x1, y1), (x2, y2) = p1, p2
+        return Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+    @staticmethod
+    def from_center(cx: int, cy: int, width: int, height: int) -> "Rect":
+        """Build a rect of the given size centered (to integer floor) on a point."""
+        if width < 0 or height < 0:
+            raise ValueError("width/height must be non-negative")
+        x1 = cx - width // 2
+        y1 = cy - height // 2
+        return Rect(x1, y1, x1 + width, y1 + height)
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
+
+    def contains(self, other: "Rect") -> bool:
+        return (
+            self.x1 <= other.x1
+            and self.y1 <= other.y1
+            and self.x2 >= other.x2
+            and self.y2 >= other.y2
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the rects share interior area (touching edges don't count)."""
+        return (
+            self.x1 < other.x2
+            and other.x1 < self.x2
+            and self.y1 < other.y2
+            and other.y1 < self.y2
+        )
+
+    def touches(self, other: "Rect") -> bool:
+        """True if the rects share at least an edge segment or overlap."""
+        return (
+            self.x1 <= other.x2
+            and other.x1 <= self.x2
+            and self.y1 <= other.y2
+            and other.y1 <= self.y2
+        )
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping rect, or None if the interiors are disjoint."""
+        x1 = max(self.x1, other.x1)
+        y1 = max(self.y1, other.y1)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x1 >= x2 or y1 >= y2:
+            return None
+        return Rect(x1, y1, x2, y2)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """Bounding box of both rects (not the set union)."""
+        return Rect(
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+            max(self.x2, other.x2),
+            max(self.y2, other.y2),
+        )
+
+    def subtract(self, other: "Rect") -> List["Rect"]:
+        """Set difference ``self - other`` as up to four disjoint rects."""
+        inter = self.intersection(other)
+        if inter is None:
+            return [] if self.empty() else [self]
+        pieces: List[Rect] = []
+        # bottom band
+        if self.y1 < inter.y1:
+            pieces.append(Rect(self.x1, self.y1, self.x2, inter.y1))
+        # top band
+        if inter.y2 < self.y2:
+            pieces.append(Rect(self.x1, inter.y2, self.x2, self.y2))
+        # left band (within the vertical span of the intersection)
+        if self.x1 < inter.x1:
+            pieces.append(Rect(self.x1, inter.y1, inter.x1, inter.y2))
+        # right band
+        if inter.x2 < self.x2:
+            pieces.append(Rect(inter.x2, inter.y1, self.x2, inter.y2))
+        return pieces
+
+    def expand(self, margin: int) -> "Rect":
+        """Grow (or shrink, for negative margin) by ``margin`` on all sides.
+
+        Shrinking below a point collapses to the degenerate center rect.
+        """
+        x1, y1 = self.x1 - margin, self.y1 - margin
+        x2, y2 = self.x2 + margin, self.y2 + margin
+        if x1 > x2:
+            x1 = x2 = (x1 + x2) // 2
+        if y1 > y2:
+            y1 = y2 = (y1 + y2) // 2
+        return Rect(x1, y1, x2, y2)
+
+    def translate(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.x1 + dx, self.y1 + dy, self.x2 + dx, self.y2 + dy)
+
+    def scale(self, factor: int) -> "Rect":
+        """Scale all coordinates by an integer factor about the origin."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return Rect(
+            self.x1 * factor, self.y1 * factor, self.x2 * factor, self.y2 * factor
+        )
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    def gap(self, other: "Rect") -> float:
+        """Euclidean gap between the two solid boxes (0 if they touch/overlap)."""
+        dx = max(self.x1 - other.x2, other.x1 - self.x2, 0)
+        dy = max(self.y1 - other.y2, other.y1 - self.y2, 0)
+        return math.hypot(dx, dy)
+
+    def manhattan_gap(self, other: "Rect") -> int:
+        """L-inf style spacing: max of the axis gaps, as DRC spacing uses."""
+        dx = max(self.x1 - other.x2, other.x1 - self.x2, 0)
+        dy = max(self.y1 - other.y2, other.y1 - self.y2, 0)
+        return max(dx, dy)
+
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        return (self.x1, self.y1, self.x2, self.y2)
+
+
+# ----------------------------------------------------------------------
+# free functions over collections of rects
+# ----------------------------------------------------------------------
+def bounding_box(rects: Iterable[Rect]) -> Rect:
+    """Bounding box of a non-empty iterable of rects."""
+    it: Iterator[Rect] = iter(rects)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise ValueError("bounding_box() of an empty collection") from None
+    x1, y1, x2, y2 = first.as_tuple()
+    for r in it:
+        x1 = min(x1, r.x1)
+        y1 = min(y1, r.y1)
+        x2 = max(x2, r.x2)
+        y2 = max(y2, r.y2)
+    return Rect(x1, y1, x2, y2)
+
+
+def union_area(rects: Sequence[Rect]) -> int:
+    """Exact area of the union of rects via coordinate-compressed sweep.
+
+    O(n^2) in the number of distinct x-slabs times rects, which is fine for
+    the clip-scale collections (tens to hundreds of rects) used here.
+    """
+    rects = [r for r in rects if not r.empty()]
+    if not rects:
+        return 0
+    xs = sorted({r.x1 for r in rects} | {r.x2 for r in rects})
+    total = 0
+    for xa, xb in zip(xs[:-1], xs[1:]):
+        slab_w = xb - xa
+        if slab_w <= 0:
+            continue
+        # collect y-intervals of rects spanning this x-slab
+        ys = sorted(
+            (r.y1, r.y2) for r in rects if r.x1 <= xa and r.x2 >= xb
+        )
+        covered = 0
+        cur_lo: Optional[int] = None
+        cur_hi: Optional[int] = None
+        for y1, y2 in ys:
+            if cur_hi is None or y1 > cur_hi:
+                if cur_hi is not None:
+                    covered += cur_hi - cur_lo  # type: ignore[operator]
+                cur_lo, cur_hi = y1, y2
+            else:
+                cur_hi = max(cur_hi, y2)
+        if cur_hi is not None:
+            covered += cur_hi - cur_lo  # type: ignore[operator]
+        total += slab_w * covered
+    return total
+
+
+def merge_touching(rects: Sequence[Rect]) -> List[List[Rect]]:
+    """Group rects into connected components under the ``touches`` relation.
+
+    Used to identify distinct nets/polygons in a soup of rects.  Union-find
+    over the pairwise touch graph; clip-scale inputs keep this cheap.
+    """
+    n = len(rects)
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rects[i].touches(rects[j]):
+                union(i, j)
+
+    groups: dict[int, List[Rect]] = {}
+    for i, r in enumerate(rects):
+        groups.setdefault(find(i), []).append(r)
+    return list(groups.values())

@@ -1,0 +1,71 @@
+"""Spatial hashing for rectangle queries.
+
+``GridIndex`` buckets item bounding boxes into fixed-size cells so window
+queries touch only nearby items.  Layout layers use it to answer "which
+polygons intersect this clip window" without scanning every polygon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .rect import Rect
+
+
+class GridIndex:
+    """A uniform-grid spatial hash mapping int ids to bounding rects."""
+
+    def __init__(self, cell_size: int = 2048) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = cell_size
+        self._cells: Dict[Tuple[int, int], List[int]] = {}
+        self._boxes: Dict[int, Rect] = {}
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def _cells_of(self, rect: Rect) -> Iterable[Tuple[int, int]]:
+        cs = self.cell_size
+        cx1, cy1 = rect.x1 // cs, rect.y1 // cs
+        # include the cell a closing edge lands on, so rects and queries
+        # that merely *touch* across a cell boundary still meet in a bucket
+        cx2, cy2 = rect.x2 // cs, rect.y2 // cs
+        for cy in range(cy1, cy2 + 1):
+            for cx in range(cx1, cx2 + 1):
+                yield (cx, cy)
+
+    def insert(self, item_id: int, rect: Rect) -> None:
+        if item_id in self._boxes:
+            raise KeyError(f"duplicate item id {item_id}")
+        self._boxes[item_id] = rect
+        for cell in self._cells_of(rect):
+            self._cells.setdefault(cell, []).append(item_id)
+
+    def remove(self, item_id: int) -> None:
+        rect = self._boxes.pop(item_id)
+        for cell in self._cells_of(rect):
+            bucket = self._cells.get(cell)
+            if bucket is not None:
+                bucket.remove(item_id)
+                if not bucket:
+                    del self._cells[cell]
+
+    def query(self, window: Rect) -> List[int]:
+        """Ids of items whose bbox touches the window (sorted, unique)."""
+        seen: Set[int] = set()
+        for cell in self._cells_of(window):
+            for item_id in self._cells.get(cell, ()):
+                if item_id not in seen and self._boxes[item_id].touches(window):
+                    seen.add(item_id)
+        return sorted(seen)
+
+    def nearest_gap(self, rect: Rect, max_radius: int) -> Dict[int, float]:
+        """Items within ``max_radius`` of ``rect`` mapped to their gap."""
+        window = rect.expand(max_radius)
+        out: Dict[int, float] = {}
+        for item_id in self.query(window):
+            gap = self._boxes[item_id].gap(rect)
+            if gap <= max_radius:
+                out[item_id] = gap
+        return out

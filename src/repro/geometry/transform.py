@@ -1,0 +1,83 @@
+"""Orientation transforms on rects and clips.
+
+Layout patterns are physically equivalent under the dihedral group D4
+(mirrors and 90-degree rotations), which is why the survey's data
+augmentation mirrors/rotates minority hotspot clips.  Transforms here act on
+clip-local geometry about the clip window so the result is again a valid
+clip with the same window.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from .layout import Clip
+from .rect import Rect
+
+# The eight elements of D4, keyed by conventional names.
+D4_NAMES: Tuple[str, ...] = (
+    "identity",
+    "rot90",
+    "rot180",
+    "rot270",
+    "mirror_x",
+    "mirror_y",
+    "transpose",
+    "anti_transpose",
+)
+
+
+def _map_rect(
+    rect: Rect, window: Rect, fn: Callable[[int, int], Tuple[int, int]]
+) -> Rect:
+    """Apply a point map (in window-local coords) to a rect's corners."""
+    x1l, y1l = rect.x1 - window.x1, rect.y1 - window.y1
+    x2l, y2l = rect.x2 - window.x1, rect.y2 - window.y1
+    pa = fn(x1l, y1l)
+    pb = fn(x2l, y2l)
+    local = Rect.from_points(pa, pb)
+    return local.translate(window.x1, window.y1)
+
+
+def _point_map(name: str, size: int) -> Callable[[int, int], Tuple[int, int]]:
+    """Point transform for a D4 element acting on a size x size square."""
+    s = size
+    maps: Dict[str, Callable[[int, int], Tuple[int, int]]] = {
+        "identity": lambda x, y: (x, y),
+        "rot90": lambda x, y: (s - y, x),
+        "rot180": lambda x, y: (s - x, s - y),
+        "rot270": lambda x, y: (y, s - x),
+        "mirror_x": lambda x, y: (x, s - y),
+        "mirror_y": lambda x, y: (s - x, y),
+        "transpose": lambda x, y: (y, x),
+        "anti_transpose": lambda x, y: (s - y, s - x),
+    }
+    if name not in maps:
+        raise ValueError(f"unknown D4 element {name!r}; choose from {D4_NAMES}")
+    return maps[name]
+
+
+def transform_clip(clip: Clip, name: str) -> Clip:
+    """Apply a D4 transform to a square clip about its window.
+
+    The core region must be concentric with the window (it is, for all clips
+    produced by :func:`repro.geometry.layout.extract_clip`), so it maps to
+    itself and only shape rects move.
+    """
+    if clip.window.width != clip.window.height:
+        raise ValueError("D4 transforms need a square clip window")
+    fn = _point_map(name, clip.window.width)
+    rects = tuple(_map_rect(r, clip.window, fn) for r in clip.rects)
+    tag = clip.tag if name == "identity" else f"{clip.tag}/{name}"
+    return Clip(
+        window=clip.window,
+        core=clip.core,
+        rects=rects,
+        layer_name=clip.layer_name,
+        tag=tag,
+    )
+
+
+def clip_orientations(clip: Clip, names: Sequence[str] = D4_NAMES) -> list[Clip]:
+    """All requested orientations of a clip (including identity by default)."""
+    return [transform_clip(clip, name) for name in names]

@@ -1,0 +1,319 @@
+"""Printability analysis: bridges, necks/opens, and edge placement error.
+
+Given the design raster (what the mask asks for) and the printed raster
+(what the resist develops), this module finds the defect classes that define
+lithography hotspots:
+
+* **bridge** — one printed component spans two or more distinct design
+  components: an electrical short.
+* **open** — a design component's print inside its own footprint falls
+  apart into more pieces than designed (or vanishes): a broken wire.
+* **neck** — the printed wire survives but its local width collapses below
+  a fraction of the designed local width: an imminent open / reliability
+  failure.  Measured by comparing Euclidean distance transforms of design
+  and print along the design's interior.
+* **EPE** — at sampled design edge sites, the printed contour's displacement
+  along the edge normal exceeds a limit.
+
+All functions operate in pixel units; the caller converts nm -> px.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from .resist import printed_components
+
+_STRUCTURE4 = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=bool)
+
+
+@dataclass(frozen=True)
+class Defect:
+    """A single printability defect at a pixel location."""
+
+    kind: str  # "bridge" | "open" | "neck" | "epe" | "spot"
+    row: int
+    col: int
+    severity: float  # kind-specific magnitude (px of bridge, width ratio, |EPE| px)
+
+    def in_box(self, r1: int, c1: int, r2: int, c2: int) -> bool:
+        """True if the defect marker lies in the half-open pixel box."""
+        return r1 <= self.row < r2 and c1 <= self.col < c2
+
+
+def design_components(design: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Label the design raster's 4-connected components (0 = background)."""
+    labels, count = ndimage.label(design >= 0.5, structure=_STRUCTURE4)
+    return labels, int(count)
+
+
+# ----------------------------------------------------------------------
+# bridges
+# ----------------------------------------------------------------------
+def find_bridges(
+    design_labels: np.ndarray, printed: np.ndarray
+) -> List[Defect]:
+    """Printed components that electrically merge >= 2 design components.
+
+    The defect marker is placed at the centroid of the *bridging material*:
+    printed pixels of the offending component that belong to no design shape.
+    """
+    printed_labels, n_printed = printed_components(printed)
+    out: List[Defect] = []
+    for comp in range(1, n_printed + 1):
+        mask = printed_labels == comp
+        touched = np.unique(design_labels[mask])
+        touched = touched[touched != 0]
+        if len(touched) < 2:
+            continue
+        bridge_px = mask & (design_labels == 0)
+        if not bridge_px.any():
+            # merged exactly along shape boundaries; mark component centroid
+            bridge_px = mask
+        rows, cols = np.nonzero(bridge_px)
+        out.append(
+            Defect(
+                kind="bridge",
+                row=int(round(rows.mean())),
+                col=int(round(cols.mean())),
+                severity=float(len(rows)),
+            )
+        )
+    return out
+
+
+def find_spots(
+    design_labels: np.ndarray,
+    printed: np.ndarray,
+    margin_px: int = 1,
+    min_area_px: int = 2,
+) -> List[Defect]:
+    """Spurious printing in clear areas: pre-bridge blobs / resist spots.
+
+    Printed pixels farther than ``margin_px`` from any design shape are
+    *extra* printing; connected blobs of at least ``min_area_px`` such
+    pixels are defects (as dose rises they merge with the neighboring
+    patterns into full bridges).  The margin absorbs the normal dose-driven
+    edge bulge so only material genuinely out in the open counts.
+    """
+    design = design_labels > 0
+    if margin_px > 0:
+        allowed = ndimage.binary_dilation(
+            design, structure=_STRUCTURE4, iterations=margin_px
+        )
+    else:
+        allowed = design
+    extra = printed & ~allowed
+    if not extra.any():
+        return []
+    blobs, n_blobs = ndimage.label(extra, structure=_STRUCTURE4)
+    out: List[Defect] = []
+    for b in range(1, n_blobs + 1):
+        mask = blobs == b
+        area = int(mask.sum())
+        if area < min_area_px:
+            continue
+        rows, cols = np.nonzero(mask)
+        out.append(
+            Defect(
+                "spot",
+                int(round(rows.mean())),
+                int(round(cols.mean())),
+                severity=float(area),
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# opens and necks
+# ----------------------------------------------------------------------
+def find_opens(design_labels: np.ndarray, printed: np.ndarray) -> List[Defect]:
+    """Design components whose in-footprint print is missing or fragmented."""
+    out: List[Defect] = []
+    n_design = int(design_labels.max())
+    for comp in range(1, n_design + 1):
+        footprint = design_labels == comp
+        printed_in = printed & footprint
+        if not printed_in.any():
+            rows, cols = np.nonzero(footprint)
+            out.append(
+                Defect(
+                    "open",
+                    int(round(rows.mean())),
+                    int(round(cols.mean())),
+                    severity=float(footprint.sum()),
+                )
+            )
+            continue
+        _, pieces = printed_components(printed_in)
+        if pieces > 1:
+            # marker at centroid of the unprinted gap inside the footprint
+            gap = footprint & ~printed
+            rows, cols = np.nonzero(gap if gap.any() else footprint)
+            out.append(
+                Defect(
+                    "open",
+                    int(round(rows.mean())),
+                    int(round(cols.mean())),
+                    severity=float(pieces),
+                )
+            )
+    return out
+
+
+def find_necks(
+    design_labels: np.ndarray,
+    printed: np.ndarray,
+    min_width_ratio: float = 0.7,
+    centerline_frac: float = 0.8,
+    exclude: Optional[np.ndarray] = None,
+) -> List[Defect]:
+    """Local printed-width collapse along design centerlines.
+
+    At a design pixel ``p``, ``2 * edt_design(p)`` approximates the designed
+    local width and ``2 * edt_printed(p)`` the printed local width.  Pixels
+    near the design medial axis (``edt_design >= centerline_frac * local
+    max``) whose printed/designed width ratio drops below
+    ``min_width_ratio`` are neck defects; connected runs of such pixels are
+    merged into one defect at their centroid.
+
+    ``exclude`` masks pixels that must not be reported (line-end tip zones,
+    where width collapse is ordinary pullback handled by the EPE check).
+    """
+    design = design_labels > 0
+    if not design.any():
+        return []
+    edt_design = ndimage.distance_transform_edt(design)
+    edt_printed = ndimage.distance_transform_edt(printed)
+    out: List[Defect] = []
+    n_design = int(design_labels.max())
+    for comp in range(1, n_design + 1):
+        footprint = design_labels == comp
+        d_comp = np.where(footprint, edt_design, 0.0)
+        local_max = d_comp.max()
+        if local_max <= 0:
+            continue
+        centerline = footprint & (d_comp >= centerline_frac * local_max)
+        if exclude is not None:
+            centerline &= ~exclude
+        ratio = np.where(
+            centerline, edt_printed / np.maximum(d_comp, 1e-9), np.inf
+        )
+        thin = centerline & (ratio < min_width_ratio) & printed
+        if not thin.any():
+            continue
+        blobs, n_blobs = ndimage.label(thin, structure=_STRUCTURE4)
+        for b in range(1, n_blobs + 1):
+            rows, cols = np.nonzero(blobs == b)
+            worst = float(ratio[blobs == b].min())
+            out.append(
+                Defect(
+                    "neck",
+                    int(round(rows.mean())),
+                    int(round(cols.mean())),
+                    severity=worst,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# edge placement error
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EdgeSite:
+    """A sampled point on a design edge with its outward normal (pixels).
+
+    ``kind`` distinguishes long-run **side** edges from line-end **cap**
+    edges: caps pull back under diffraction even in healthy patterns, so
+    they get a looser EPE budget.
+    """
+
+    row: float
+    col: float
+    normal: Tuple[float, float]  # (drow, dcol), unit, pointing out of the shape
+    kind: str = "side"  # "side" | "cap"
+
+
+def measure_epe(
+    intensity: np.ndarray,
+    sites: Sequence[EdgeSite],
+    threshold: float,
+    max_px: float = 12.0,
+    step_px: float = 0.25,
+) -> List[float]:
+    """Signed EPE (px) at each edge site; positive = print bulges outward.
+
+    Walks the aerial intensity along each site's normal in both directions
+    and finds the threshold crossing nearest the design edge.  Sites where
+    no crossing exists within ``max_px`` report ``+/- max_px`` (the print is
+    grossly over/under the edge there).
+    """
+    h, w = intensity.shape
+    out: List[float] = []
+    ts = np.arange(-max_px, max_px + step_px, step_px)
+    for site in sites:
+        rows = site.row + ts * site.normal[0]
+        cols = site.col + ts * site.normal[1]
+        valid = (rows >= 0) & (rows <= h - 1) & (cols >= 0) & (cols <= w - 1)
+        if valid.sum() < 2:
+            out.append(0.0)
+            continue
+        profile = ndimage.map_coordinates(
+            intensity, [rows[valid], cols[valid]], order=1, mode="nearest"
+        )
+        tvalid = ts[valid]
+        above = profile >= threshold
+        # crossing indices where printed-ness flips
+        flips = np.nonzero(above[:-1] != above[1:])[0]
+        if len(flips) == 0:
+            # uniformly printed or unprinted along the probe
+            out.append(max_px if above.all() else -max_px)
+            continue
+        # linear interpolation of the crossing position closest to t=0
+        best: Optional[float] = None
+        for f in flips:
+            i0, i1 = f, f + 1
+            denom = profile[i1] - profile[i0]
+            frac = 0.5 if denom == 0 else (threshold - profile[i0]) / denom
+            t_cross = tvalid[i0] + frac * (tvalid[i1] - tvalid[i0])
+            if best is None or abs(t_cross) < abs(best):
+                best = float(t_cross)
+        out.append(best if best is not None else 0.0)
+    return out
+
+
+def find_epe_defects(
+    intensity: np.ndarray,
+    sites: Sequence[EdgeSite],
+    threshold: float,
+    epe_limit_px: float,
+    cap_limit_px: Optional[float] = None,
+    max_px: float = 12.0,
+) -> List[Defect]:
+    """EPE defects: sites whose |EPE| exceeds their kind's limit.
+
+    ``cap_limit_px`` applies to ``kind == "cap"`` sites (line ends), where
+    moderate pullback is normal; it defaults to the side limit when omitted.
+    """
+    if cap_limit_px is None:
+        cap_limit_px = epe_limit_px
+    epes = measure_epe(intensity, sites, threshold, max_px=max_px)
+    out: List[Defect] = []
+    for site, epe in zip(sites, epes):
+        limit = cap_limit_px if site.kind == "cap" else epe_limit_px
+        if abs(epe) > limit:
+            out.append(
+                Defect(
+                    "epe",
+                    int(round(site.row)),
+                    int(round(site.col)),
+                    severity=abs(float(epe)),
+                )
+            )
+    return out

@@ -1,0 +1,92 @@
+"""Optical kernels for approximate partially-coherent imaging.
+
+Real lithography simulators expand the Hopkins partially-coherent imaging
+equation into a sum of coherent systems (SOCS): the aerial intensity is
+``I(x) = sum_k w_k |(m * h_k)(x)|^2`` for optical kernels ``h_k`` derived
+from the source/pupil.  For a deep-UV system the dominant kernel is a
+low-pass function whose width scales with ``lambda / NA``.
+
+We model each kernel as an isotropic Gaussian (a classic compact
+approximation of the diffraction-limited PSF) and build a small SOCS stack:
+the first kernel carries most of the energy, higher kernels are wider and
+weaker, standing in for the partial-coherence tail.  Defocus widens every
+kernel; dose scales the developed threshold (handled in ``resist``).
+
+The kernels are separable, so the convolution in :mod:`repro.litho.optics`
+runs as two 1-D FFT passes per kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OpticalSystem:
+    """Parameters of the (approximated) projection optics.
+
+    ``wavelength_nm`` and ``numerical_aperture`` set the diffraction-limited
+    resolution scale ``k1 * lambda / NA``; ``sigma_scale`` converts that to
+    the Gaussian PSF sigma.  ``n_kernels`` controls the SOCS expansion depth.
+    """
+
+    wavelength_nm: float = 193.0
+    numerical_aperture: float = 1.35
+    sigma_scale: float = 0.20
+    n_kernels: int = 3
+    kernel_spread: float = 1.6  # width ratio between successive kernels
+    kernel_decay: float = 0.28  # weight ratio between successive kernels
+
+    def __post_init__(self) -> None:
+        if self.wavelength_nm <= 0 or self.numerical_aperture <= 0:
+            raise ValueError("wavelength and NA must be positive")
+        if not 1 <= self.n_kernels <= 8:
+            raise ValueError("n_kernels must be in 1..8")
+        if self.kernel_spread <= 1.0:
+            raise ValueError("kernel_spread must exceed 1")
+        if not 0.0 < self.kernel_decay < 1.0:
+            raise ValueError("kernel_decay must be in (0, 1)")
+
+    @property
+    def base_sigma_nm(self) -> float:
+        """Gaussian sigma of the principal kernel at best focus, in nm."""
+        return self.sigma_scale * self.wavelength_nm / self.numerical_aperture
+
+    def kernel_stack(self, defocus_nm: float = 0.0) -> List[Tuple[float, float]]:
+        """SOCS stack as ``[(weight, sigma_nm), ...]``, weights summing to 1.
+
+        Defocus broadens each kernel in quadrature: a defocus of ``d`` adds
+        ``defocus_blur_frac * |d|`` of blur, the standard thin-lens small-
+        defocus approximation.
+        """
+        blur = _DEFOCUS_BLUR_FRAC * abs(defocus_nm)
+        weights = np.array(
+            [self.kernel_decay**k for k in range(self.n_kernels)], dtype=float
+        )
+        weights /= weights.sum()
+        sigmas = [
+            float(np.hypot(self.base_sigma_nm * self.kernel_spread**k, blur))
+            for k in range(self.n_kernels)
+        ]
+        return list(zip(weights.tolist(), sigmas))
+
+
+_DEFOCUS_BLUR_FRAC = 0.55  # nm of added Gaussian blur per nm of defocus
+
+
+def gaussian_1d(sigma_px: float, radius_px: int) -> np.ndarray:
+    """A normalized 1-D Gaussian taps array of length ``2*radius_px + 1``."""
+    if sigma_px <= 0:
+        raise ValueError("sigma must be positive")
+    xs = np.arange(-radius_px, radius_px + 1, dtype=np.float64)
+    taps = np.exp(-0.5 * (xs / sigma_px) ** 2)
+    taps /= taps.sum()
+    return taps
+
+
+def kernel_radius_px(sigma_px: float, truncate: float = 4.0) -> int:
+    """Support radius (in pixels) that captures ``truncate`` sigmas."""
+    return max(1, int(np.ceil(truncate * sigma_px)))

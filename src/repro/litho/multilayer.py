@@ -1,0 +1,127 @@
+"""Cross-layer printability: metal-to-via failures.
+
+The multi-layer defect class (ASP-DAC'19 thread): a via can be DRC-clean
+and print fine, yet the *printed* metal above retreats (line-end
+shortening, necking) until it no longer covers the printed via — an open
+contact on silicon.  ``analyze_metal_via`` prints both layers through the
+shared process model and measures printed coverage per via.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from ..geometry.multilayer import MultiLayerClip
+from ..geometry.rasterize import core_slice, rasterize_clip
+from .hotspot import HotspotOracle
+from .optics import aerial_image
+from .resist import printed_components
+
+_STRUCTURE4 = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=bool)
+
+
+@dataclass(frozen=True)
+class ViaCoverage:
+    """Printed-coverage report for one via."""
+
+    row: int  # centroid, pixels
+    col: int
+    via_area_px: int  # printed via pixels
+    covered_px: int  # printed via pixels under printed metal
+    in_core: bool
+
+    @property
+    def coverage(self) -> float:
+        return self.covered_px / self.via_area_px if self.via_area_px else 0.0
+
+
+@dataclass(frozen=True)
+class MetalViaAnalysis:
+    """Cross-layer verdict for one multi-layer clip."""
+
+    coverages: Tuple[ViaCoverage, ...]
+    missing_vias: int  # designed vias that did not print at all (in core)
+    min_coverage_nm2_ratio: float
+    is_hotspot: bool
+
+
+def analyze_metal_via(
+    ml_clip: MultiLayerClip,
+    oracle: Optional[HotspotOracle] = None,
+    metal_layer: str = "metal1",
+    via_layer: str = "via1",
+    min_coverage: float = 0.7,
+    dose: float = 0.96,
+    defocus_nm: float = 32.0,
+) -> MetalViaAnalysis:
+    """Print both layers at a stressed corner and check via coverage.
+
+    A clip is a metal-to-via hotspot when, inside the core, a designed via
+    fails to print, or prints with less than ``min_coverage`` of its area
+    under printed metal.
+    """
+    oracle = oracle or HotspotOracle()
+    metal_clip = ml_clip.layer(metal_layer)
+    via_clip = ml_clip.layer(via_layer)
+    p = oracle.pixel_nm
+
+    def printed(clip):
+        design = rasterize_clip(clip, p, antialias=True)
+        from .optics import ImagingSettings
+
+        intensity = aerial_image(
+            design, oracle.optics,
+            ImagingSettings(pixel_nm=p, dose=dose, defocus_nm=defocus_nm),
+        )
+        return design, oracle.resist.develop(intensity)
+
+    metal_design, metal_print = printed(metal_clip)
+    via_design, via_print = printed(via_clip)
+
+    rs, cs = core_slice(metal_clip, p)
+    r1, r2, c1, c2 = rs.start, rs.stop, cs.start, cs.stop
+
+    # printed vias and their coverage by printed metal
+    via_labels, n_vias = printed_components(via_print)
+    coverages: List[ViaCoverage] = []
+    for k in range(1, n_vias + 1):
+        mask = via_labels == k
+        rows, cols = np.nonzero(mask)
+        rc, cc = int(round(rows.mean())), int(round(cols.mean()))
+        coverages.append(
+            ViaCoverage(
+                row=rc,
+                col=cc,
+                via_area_px=int(mask.sum()),
+                covered_px=int((mask & metal_print).sum()),
+                in_core=(r1 <= rc < r2 and c1 <= cc < c2),
+            )
+        )
+
+    # designed vias that never printed (opens on the via layer)
+    design_labels, n_designed = ndimage.label(
+        via_design >= 0.5, structure=_STRUCTURE4
+    )
+    missing = 0
+    for k in range(1, n_designed + 1):
+        mask = design_labels == k
+        rows, cols = np.nonzero(mask)
+        rc, cc = int(round(rows.mean())), int(round(cols.mean()))
+        if not (r1 <= rc < r2 and c1 <= cc < c2):
+            continue
+        if not (mask & via_print).any():
+            missing += 1
+
+    core_covs = [c.coverage for c in coverages if c.in_core]
+    min_cov = min(core_covs) if core_covs else 1.0
+    is_hotspot = missing > 0 or min_cov < min_coverage
+    return MetalViaAnalysis(
+        coverages=tuple(coverages),
+        missing_vias=missing,
+        min_coverage_nm2_ratio=float(min_cov),
+        is_hotspot=is_hotspot,
+    )

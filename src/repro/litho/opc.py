@@ -1,0 +1,156 @@
+"""Rule-based optical proximity correction (OPC).
+
+The survey's forward pointer: once a hotspot is found, the layout is
+*corrected*.  This module implements the classic rule-based RET moves on
+clip geometry:
+
+* **edge biasing** — widen wires whose printed CD falls short (isolated
+  lines get positive bias),
+* **line-end hammerheads** — widen wire tips to fight pullback,
+* **serifs** — small squares on convex corners against corner rounding.
+
+The corrections are pure geometry -> geometry; verifying them closes the
+loop through the simulator (see ``examples``/the ablation bench).  Rules
+are deliberately simple — the goal is the *flow* (detect -> correct ->
+re-verify), not a production OPC engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..geometry.layout import Clip
+from ..geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class OPCRules:
+    """Knobs of the rule-based correction (integer nm, grid-aligned)."""
+
+    iso_bias_nm: int = 8  # half-bias added to each side of isolated wires
+    iso_space_nm: int = 160  # a wire is isolated when neighbors are farther
+    hammer_extend_nm: int = 16  # how far a hammerhead extends past the tip
+    hammer_overhang_nm: int = 16  # how far it overhangs each side
+    min_tip_width_nm: int = 40  # only tips at least this wide get heads
+    serif_size_nm: int = 24
+
+    def __post_init__(self) -> None:
+        for value in (
+            self.iso_bias_nm,
+            self.hammer_extend_nm,
+            self.hammer_overhang_nm,
+            self.serif_size_nm,
+        ):
+            if value < 0:
+                raise ValueError("OPC rule values must be non-negative")
+
+
+def _is_isolated(rect: Rect, others: Sequence[Rect], iso_space: int) -> bool:
+    """No other shape within ``iso_space`` (L-inf) of this rect."""
+    return all(
+        rect.manhattan_gap(o) >= iso_space for o in others if o is not rect
+    )
+
+
+def bias_isolated_wires(
+    rects: Sequence[Rect], rules: OPCRules
+) -> List[Rect]:
+    """Widen isolated wires across their thin axis by ``iso_bias_nm``/side."""
+    out: List[Rect] = []
+    rect_list = list(rects)
+    for rect in rect_list:
+        if not _is_isolated(rect, rect_list, rules.iso_space_nm):
+            out.append(rect)
+            continue
+        if rect.width <= rect.height:  # vertical wire: widen in x
+            out.append(
+                Rect(
+                    rect.x1 - rules.iso_bias_nm,
+                    rect.y1,
+                    rect.x2 + rules.iso_bias_nm,
+                    rect.y2,
+                )
+            )
+        else:
+            out.append(
+                Rect(
+                    rect.x1,
+                    rect.y1 - rules.iso_bias_nm,
+                    rect.x2,
+                    rect.y2 + rules.iso_bias_nm,
+                )
+            )
+    return out
+
+
+def _cap_edges(rect: Rect, union: Sequence[Rect]) -> List[str]:
+    """Which of this rect's edges are exposed line-end caps.
+
+    An edge is a cap when it is the short edge of an elongated rect and no
+    other rect touches it from the outside.
+    """
+    caps: List[str] = []
+    candidates: List[Tuple[str, Rect]] = []
+    if rect.height > 1.25 * rect.width:  # vertical wire: caps top/bottom
+        candidates = [
+            ("bottom", Rect(rect.x1, rect.y1 - 1, rect.x2, rect.y1)),
+            ("top", Rect(rect.x1, rect.y2, rect.x2, rect.y2 + 1)),
+        ]
+    elif rect.width > 1.25 * rect.height:  # horizontal: caps left/right
+        candidates = [
+            ("left", Rect(rect.x1 - 1, rect.y1, rect.x1, rect.y2)),
+            ("right", Rect(rect.x2, rect.y1, rect.x2 + 1, rect.y2)),
+        ]
+    for name, probe in candidates:
+        if not any(o is not rect and o.intersects(probe) for o in union):
+            caps.append(name)
+    return caps
+
+
+def add_hammerheads(rects: Sequence[Rect], rules: OPCRules) -> List[Rect]:
+    """Attach hammerhead rectangles to exposed wire tips."""
+    rect_list = list(rects)
+    out = list(rect_list)
+    for rect in rect_list:
+        thin = min(rect.width, rect.height)
+        if thin < rules.min_tip_width_nm:
+            continue
+        for cap in _cap_edges(rect, rect_list):
+            e, o = rules.hammer_extend_nm, rules.hammer_overhang_nm
+            if cap == "top":
+                head = Rect(rect.x1 - o, rect.y2, rect.x2 + o, rect.y2 + e)
+            elif cap == "bottom":
+                head = Rect(rect.x1 - o, rect.y1 - e, rect.x2 + o, rect.y1)
+            elif cap == "right":
+                head = Rect(rect.x2, rect.y1 - o, rect.x2 + e, rect.y2 + o)
+            else:  # left
+                head = Rect(rect.x1 - e, rect.y1 - o, rect.x1, rect.y2 + o)
+            if not head.empty():
+                out.append(head)
+    return out
+
+
+def correct_clip(clip: Clip, rules: Optional[OPCRules] = None) -> Clip:
+    """Apply the rule-based OPC moves to a clip's geometry.
+
+    Corrections may push shapes slightly past the original window; they
+    are clipped back so the result is a valid clip over the same window.
+    """
+    rules = rules or OPCRules()
+    rects = bias_isolated_wires(clip.rects, rules)
+    rects = add_hammerheads(rects, rules)
+    clipped = []
+    for r in rects:
+        inter = r.intersection(clip.window)
+        if inter is not None:
+            clipped.append(inter)
+    # merge duplicates while keeping determinism
+    unique = sorted(set(clipped))
+    return Clip(
+        window=clip.window,
+        core=clip.core,
+        rects=tuple(unique),
+        layer_name=clip.layer_name,
+        tag=f"{clip.tag}/opc" if clip.tag else "opc",
+    )

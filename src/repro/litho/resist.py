@@ -1,0 +1,54 @@
+"""Resist development model and printed-contour extraction.
+
+A constant-threshold resist (CTR) model develops every pixel whose aerial
+intensity exceeds ``threshold``: the printed pattern is simply
+``I >= threshold``.  This is the standard compact model in the hotspot
+literature and captures the failure modes we label:
+
+* **necking / opens** — a wire's intensity dips below threshold where the
+  neighborhood starves it of light,
+* **bridging / shorts** — the space between two wires rises above threshold
+  where diffraction tails overlap.
+
+``print_image`` returns the boolean printed raster; ``printed_components``
+labels its connected components (scipy) for bridge analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy import ndimage
+
+
+@dataclass(frozen=True)
+class ResistModel:
+    """Constant-threshold resist; ``threshold`` in normalized intensity."""
+
+    threshold: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 2.0:
+            raise ValueError("resist threshold out of range")
+
+    def develop(self, intensity: np.ndarray) -> np.ndarray:
+        """Boolean printed raster: True where resist prints."""
+        return np.asarray(intensity) >= self.threshold
+
+
+def print_image(intensity: np.ndarray, resist: ResistModel) -> np.ndarray:
+    return resist.develop(intensity)
+
+
+def printed_components(printed: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Label 4-connected components of the printed raster.
+
+    Returns the (H, W) int label grid (0 = background) and the number of
+    components.  4-connectivity matches Manhattan wire topology: corner-only
+    contact does not short two wires.
+    """
+    structure = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=bool)
+    labels, count = ndimage.label(printed, structure=structure)
+    return labels, int(count)

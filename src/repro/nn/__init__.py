@@ -1,0 +1,87 @@
+"""From-scratch neural-network framework and the deep hotspot detectors.
+
+Layers/losses/optimizers mirror the standard deep-learning stack in plain
+numpy (im2col convolutions, batchnorm, Adam); :mod:`~repro.nn.zoo` holds
+the reference architectures; :class:`CNNDetector` is the survey's
+generation-3 detector (DCT feature tensor + biased learning).
+"""
+
+from .biased import BiasedConfig, biased_fit
+from .binary import BinaryConv2D, BinaryDense, binarize, build_binary_cnn, ste_mask
+from .detector import (
+    BinaryCNNDetector,
+    CNNDetector,
+    CNNDetectorConfig,
+    RasterCNNDetector,
+    RasterCNNDetectorConfig,
+)
+from .init import Param, he_normal, xavier_uniform
+from .layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    MaxPool2D,
+    ReLU,
+)
+from .loss import (
+    SoftmaxCrossEntropy,
+    SoftTargetCrossEntropy,
+    soft_labels_shift,
+    softmax,
+)
+from .model import Sequential
+from .optim import SGD, Adam
+from .trainer import (
+    History,
+    SoftTargetTrainer,
+    TrainConfig,
+    Trainer,
+    predict_proba,
+)
+from .zoo import build_feature_tensor_cnn, build_mlp, build_raster_cnn
+
+__all__ = [
+    "Param",
+    "he_normal",
+    "xavier_uniform",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "ReLU",
+    "MaxPool2D",
+    "GlobalAvgPool",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "softmax",
+    "SoftmaxCrossEntropy",
+    "SoftTargetCrossEntropy",
+    "soft_labels_shift",
+    "Trainer",
+    "SoftTargetTrainer",
+    "TrainConfig",
+    "History",
+    "predict_proba",
+    "BiasedConfig",
+    "biased_fit",
+    "build_feature_tensor_cnn",
+    "build_raster_cnn",
+    "build_mlp",
+    "CNNDetector",
+    "CNNDetectorConfig",
+    "RasterCNNDetector",
+    "RasterCNNDetectorConfig",
+    "BinaryCNNDetector",
+    "BinaryDense",
+    "BinaryConv2D",
+    "binarize",
+    "ste_mask",
+    "build_binary_cnn",
+]

@@ -1,0 +1,255 @@
+"""CNN hotspot detector: the survey's generation-3 system.
+
+``CNNDetector`` composes the full deep recipe:
+
+1. minority up-sampling with mirror-flip augmentation,
+2. block-DCT feature-tensor extraction,
+3. the feature-tensor CNN from the zoo,
+4. weighted cross-entropy training, optionally followed by the
+   biased-learning phase,
+5. softmax P(hotspot) scores through the common Detector API.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.detector import Detector, FitReport
+from ..core.registry import register
+from ..data.dataset import ClipDataset
+from ..data.imbalance import class_weights, upsample_minority
+from ..features.dct import DCTFeatureTensor
+from ..geometry.layout import Clip
+from .biased import BiasedConfig, biased_fit
+from .model import Sequential
+from .trainer import TrainConfig, Trainer, predict_proba
+from .zoo import build_feature_tensor_cnn, build_raster_cnn
+
+
+@dataclass
+class CNNDetectorConfig:
+    epochs: int = 12
+    biased_epsilon: Optional[float] = 0.15  # None disables the biased phase
+    biased_epochs: int = 4
+    batch_size: int = 32
+    lr: float = 1e-3
+    upsample_ratio: Optional[float] = 0.5
+    mirror: bool = True
+    dct_block: int = 8
+    dct_keep: int = 4
+    width: int = 24
+    seed_fallback: int = 0
+    calibrate: Optional[str] = "fa"  # None | "f1" | "fa"
+    fa_cap: float = 0.10  # false-alarm-rate budget for "fa" calibration
+
+
+class CNNDetector(Detector):
+    """Feature-tensor CNN with biased learning."""
+
+    name = "cnn-dct"
+
+    def __init__(self, config: Optional[CNNDetectorConfig] = None) -> None:
+        self.config = config or CNNDetectorConfig()
+        self.extractor = DCTFeatureTensor(
+            block=self.config.dct_block, keep=self.config.dct_keep
+        )
+        self.model: Optional[Sequential] = None
+        self._fitted_grid: int = 0
+
+    def _vectorize(self, clips: Sequence[Clip]) -> np.ndarray:
+        return self.extractor.extract_many(clips)
+
+    def _build_model(
+        self, channels: int, grid: int, rng: np.random.Generator
+    ) -> Sequential:
+        return build_feature_tensor_cnn(
+            channels, grid, rng=rng, width=self.config.width
+        )
+
+    def fit(
+        self, train: ClipDataset, rng: Optional[np.random.Generator] = None
+    ) -> FitReport:
+        cfg = self.config
+        rng = rng or np.random.default_rng(cfg.seed_fallback)
+        t0 = time.perf_counter()
+        calibration = None
+        if cfg.calibrate is not None and train.n_hotspots >= 4:
+            train, calibration = train.split(0.25, rng)
+            if calibration.n_hotspots == 0 or train.n_hotspots == 0:
+                train = train.extend(calibration.clips, calibration.labels)
+                calibration = None
+        if cfg.upsample_ratio is not None and train.n_hotspots > 0:
+            train = upsample_minority(
+                train, rng, target_ratio=cfg.upsample_ratio, mirror=cfg.mirror
+            )
+        x = self._vectorize(train.clips)
+        y = train.labels
+        channels, grid = x.shape[1], x.shape[2]
+        self._fitted_grid = grid
+        self.model = self._build_model(channels, grid, rng)
+        weights = class_weights(y)
+        if cfg.biased_epsilon is not None:
+            biased_fit(
+                self.model,
+                x,
+                y,
+                rng,
+                config=BiasedConfig(
+                    epsilon=cfg.biased_epsilon,
+                    base_epochs=cfg.epochs,
+                    biased_epochs=cfg.biased_epochs,
+                    batch_size=cfg.batch_size,
+                    lr=cfg.lr,
+                ),
+                class_weights=weights,
+            )
+        else:
+            trainer = Trainer(
+                TrainConfig(
+                    epochs=cfg.epochs, batch_size=cfg.batch_size, lr=cfg.lr
+                ),
+                class_weights=weights,
+            )
+            trainer.fit(self.model, x, y, rng)
+        if calibration is not None:
+            from ..core.threshold import pick_threshold
+
+            scores = self.predict_proba(calibration.clips)
+            self.threshold = pick_threshold(
+                cfg.calibrate, calibration.labels, scores, cfg.fa_cap
+            )
+        return FitReport(
+            train_seconds=time.perf_counter() - t0,
+            n_train=len(train),
+            notes=f"params={self.model.n_parameters()}",
+        )
+
+    def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("CNNDetector not fitted")
+        return predict_proba(self.model, self._vectorize(clips))
+
+    # ------------------------------------------------------------------
+    # persistence: model weights + detector config/threshold in one npz
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Save weights, running stats, threshold and architecture dims."""
+        if self.model is None:
+            raise RuntimeError("cannot save an unfitted CNNDetector")
+        state = self.model.state_arrays()
+        state["__threshold"] = np.array([self.threshold])
+        state["__arch"] = np.array(
+            [
+                self.config.dct_block,
+                self.config.dct_keep,
+                self.config.width,
+                self._fitted_grid,
+            ]
+        )
+        np.savez_compressed(path, **state)
+
+    @classmethod
+    def load(cls, path) -> "CNNDetector":
+        """Rebuild a fitted detector from :meth:`save` output."""
+        with np.load(path) as data:
+            state = {k: data[k] for k in data.files}
+        block, keep, width, grid = (int(v) for v in state.pop("__arch"))
+        threshold = float(state.pop("__threshold")[0])
+        det = cls(CNNDetectorConfig(dct_block=block, dct_keep=keep, width=width))
+        det.model = build_feature_tensor_cnn(
+            keep * keep, grid, rng=np.random.default_rng(0), width=width
+        )
+        det.model.load_state_arrays(state)
+        det.model.train_mode(False)
+        det.threshold = threshold
+        det._fitted_grid = grid
+        return det
+
+
+class BinaryCNNDetector(CNNDetector):
+    """Binarized-weight twin of :class:`CNNDetector` (TCAD'21 direction).
+
+    Same input representation and training recipe; the convolutional body
+    and the first dense layer are weight-binarized with straight-through
+    gradients.  Note that :meth:`CNNDetector.save`/:meth:`load` are not
+    supported for the binary variant (the architectures differ).
+    """
+
+    name = "bnn-dct"
+
+    def _build_model(
+        self, channels: int, grid: int, rng: np.random.Generator
+    ) -> Sequential:
+        from .binary import build_binary_cnn
+
+        return build_binary_cnn(channels, grid, rng=rng, width=self.config.width)
+
+    def save(self, path) -> None:  # pragma: no cover - explicit unsupport
+        raise NotImplementedError("BinaryCNNDetector persistence not supported")
+
+    @classmethod
+    def load(cls, path):  # pragma: no cover - explicit unsupport
+        raise NotImplementedError("BinaryCNNDetector persistence not supported")
+
+
+@dataclass
+class RasterCNNDetectorConfig:
+    epochs: int = 10
+    batch_size: int = 16
+    lr: float = 1e-3
+    pixel_nm: int = 8
+    upsample_ratio: Optional[float] = 0.5
+    width: int = 8
+
+
+class RasterCNNDetector(Detector):
+    """CNN on the raw clip raster (the no-DCT ablation arm)."""
+
+    name = "cnn-raster"
+
+    def __init__(self, config: Optional[RasterCNNDetectorConfig] = None) -> None:
+        self.config = config or RasterCNNDetectorConfig()
+        self.model: Optional[Sequential] = None
+
+    def _vectorize(self, clips: Sequence[Clip]) -> np.ndarray:
+        from ..geometry.rasterize import rasterize_clip
+
+        rasters = [
+            rasterize_clip(clip, self.config.pixel_nm, antialias=True)
+            for clip in clips
+        ]
+        return np.stack(rasters)[:, None, :, :]
+
+    def fit(
+        self, train: ClipDataset, rng: Optional[np.random.Generator] = None
+    ) -> FitReport:
+        cfg = self.config
+        rng = rng or np.random.default_rng(0)
+        t0 = time.perf_counter()
+        if cfg.upsample_ratio is not None and train.n_hotspots > 0:
+            train = upsample_minority(train, rng, target_ratio=cfg.upsample_ratio)
+        x = self._vectorize(train.clips)
+        y = train.labels
+        self.model = build_raster_cnn(x.shape[-1], rng=rng, width=cfg.width)
+        trainer = Trainer(
+            TrainConfig(epochs=cfg.epochs, batch_size=cfg.batch_size, lr=cfg.lr),
+            class_weights=class_weights(y),
+        )
+        trainer.fit(self.model, x, y, rng)
+        return FitReport(
+            train_seconds=time.perf_counter() - t0, n_train=len(train)
+        )
+
+    def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("RasterCNNDetector not fitted")
+        return predict_proba(self.model, self._vectorize(clips), batch_size=32)
+
+
+register("cnn-dct", CNNDetector)
+register("cnn-raster", RasterCNNDetector)
+register("bnn-dct", BinaryCNNDetector)

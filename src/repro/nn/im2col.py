@@ -1,0 +1,68 @@
+"""im2col / col2im for convolution as matrix multiplication.
+
+Convolution over ``(N, C, H, W)`` batches is reshaped into one big GEMM:
+``im2col`` unfolds every receptive field into a column, the kernel becomes
+a ``(out_channels, C*kh*kw)`` matrix, and the convolution is a single
+``@``.  ``col2im`` scatters column gradients back, accumulating where
+fields overlap — exactly the transpose of the gather.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output: size={size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> np.ndarray:
+    """Unfold ``(N, C, H, W)`` into ``(N * oh * ow, C * kh * kw)``."""
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+    if pad:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+        )
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, c * kh * kw)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold columns back into ``(N, C, H, W)``, accumulating overlaps."""
+    n, c, h, w = x_shape
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+    cols6 = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    x_pad = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            x_pad[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, i, j, :, :]
+    if pad:
+        return x_pad[:, :, pad:-pad, pad:-pad]
+    return x_pad

@@ -1,0 +1,45 @@
+"""Parameter containers and weight initializers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class Param:
+    """A trainable array and its gradient accumulator."""
+
+    __slots__ = ("value", "grad", "name")
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.value.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Param({self.name or 'unnamed'}, shape={self.value.shape})"
+
+
+def he_normal(
+    rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int
+) -> np.ndarray:
+    """He (Kaiming) normal init for ReLU networks."""
+    if fan_in <= 0:
+        raise ValueError("fan_in must be positive")
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def xavier_uniform(
+    rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot uniform init for linear/tanh layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)

@@ -1,0 +1,81 @@
+"""Sequential model container with save/load."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from .init import Param
+from .layers import Layer
+
+
+class Sequential:
+    """A straight stack of layers with shared train/eval mode."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def params(self) -> List[Param]:
+        out: List[Param] = []
+        for layer in self.layers:
+            out.extend(layer.params())
+        return out
+
+    def train_mode(self, training: bool = True) -> None:
+        for layer in self.layers:
+            layer.train_mode(training)
+
+    def n_parameters(self) -> int:
+        return sum(p.value.size for p in self.params())
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # ------------------------------------------------------------------
+    # persistence: parameters + batchnorm running stats
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> dict:
+        """All learnable and running state keyed deterministically."""
+        state = {}
+        for i, p in enumerate(self.params()):
+            state[f"param_{i}"] = p.value
+        for i, layer in enumerate(self.layers):
+            if hasattr(layer, "running_mean"):
+                state[f"bn_{i}_mean"] = layer.running_mean
+                state[f"bn_{i}_var"] = layer.running_var
+        return state
+
+    def load_state_arrays(self, state: dict) -> None:
+        for i, p in enumerate(self.params()):
+            value = state[f"param_{i}"]
+            if value.shape != p.value.shape:
+                raise ValueError(
+                    f"param {i} shape mismatch: {value.shape} vs {p.value.shape}"
+                )
+            p.value = np.array(value, dtype=np.float64)
+            p.grad = np.zeros_like(p.value)
+        for i, layer in enumerate(self.layers):
+            if hasattr(layer, "running_mean"):
+                layer.running_mean = np.array(state[f"bn_{i}_mean"])
+                layer.running_var = np.array(state[f"bn_{i}_var"])
+
+    def save(self, path: Union[str, Path]) -> None:
+        np.savez_compressed(path, **self.state_arrays())
+
+    def load(self, path: Union[str, Path]) -> None:
+        with np.load(path) as data:
+            self.load_state_arrays({k: data[k] for k in data.files})

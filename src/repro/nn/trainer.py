@@ -1,0 +1,188 @@
+"""Mini-batch training loop.
+
+One trainer serves every network in the zoo: shuffled mini-batches, an
+optimizer, a hard- or soft-target loss, optional validation tracking with
+early stopping, and a :class:`History` record the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from .loss import SoftmaxCrossEntropy, SoftTargetCrossEntropy, softmax
+from .model import Sequential
+from .optim import Adam, Optimizer
+
+
+@dataclass
+class TrainConfig:
+    epochs: int = 12
+    batch_size: int = 32
+    lr: float = 1e-3
+    weight_decay: float = 1e-4
+    early_stop_patience: Optional[int] = None  # epochs without val improvement
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+
+
+@dataclass
+class History:
+    train_loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_loss)
+
+
+def predict_proba(
+    model: Sequential, x: np.ndarray, batch_size: int = 128
+) -> np.ndarray:
+    """P(hotspot) for a batch of inputs, in eval mode."""
+    model.train_mode(False)
+    out = np.empty(len(x))
+    for start in range(0, len(x), batch_size):
+        logits = model.forward(x[start : start + batch_size])
+        out[start : start + batch_size] = softmax(logits)[:, 1]
+    model.train_mode(True)
+    return out
+
+
+def _eval_loss(
+    model: Sequential, loss: SoftmaxCrossEntropy, x: np.ndarray, y: np.ndarray,
+    batch_size: int,
+) -> Tuple[float, float]:
+    """(mean loss, plain accuracy) in eval mode."""
+    model.train_mode(False)
+    total, correct = 0.0, 0
+    n_batches = 0
+    for start in range(0, len(x), batch_size):
+        xb = x[start : start + batch_size]
+        yb = y[start : start + batch_size]
+        logits = model.forward(xb)
+        total += loss.forward(logits, yb)
+        correct += int((logits.argmax(axis=1) == yb).sum())
+        n_batches += 1
+    model.train_mode(True)
+    return total / max(n_batches, 1), correct / len(x)
+
+
+class Trainer:
+    """Fits a Sequential model on (x, y) arrays with hard labels."""
+
+    def __init__(
+        self,
+        config: Optional[TrainConfig] = None,
+        class_weights: Optional[Tuple[float, float]] = None,
+        make_optimizer: Optional[Callable[[list], Optimizer]] = None,
+    ) -> None:
+        self.config = config or TrainConfig()
+        self.class_weights = class_weights
+        self._make_optimizer = make_optimizer
+
+    def fit(
+        self,
+        model: Sequential,
+        x: np.ndarray,
+        y: np.ndarray,
+        rng: np.random.Generator,
+        x_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+    ) -> History:
+        cfg = self.config
+        loss = SoftmaxCrossEntropy(class_weights=self.class_weights)
+        if self._make_optimizer is not None:
+            optimizer = self._make_optimizer(model.params())
+        else:
+            optimizer = Adam(
+                model.params(), lr=cfg.lr, weight_decay=cfg.weight_decay
+            )
+        history = History()
+        best_val = np.inf
+        best_state = None
+        stale = 0
+        model.train_mode(True)
+        for epoch in range(cfg.epochs):
+            order = rng.permutation(len(x))
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, len(x), cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                if len(idx) < 2:
+                    continue  # batchnorm needs > 1 sample
+                optimizer.zero_grad()
+                logits = model.forward(x[idx])
+                batch_loss = loss.forward(logits, y[idx])
+                model.backward(loss.backward())
+                optimizer.step()
+                epoch_loss += batch_loss
+                n_batches += 1
+            history.train_loss.append(epoch_loss / max(n_batches, 1))
+            if x_val is not None and y_val is not None:
+                val_loss, val_acc = _eval_loss(
+                    model, loss, x_val, y_val, cfg.batch_size
+                )
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+                if cfg.early_stop_patience is not None:
+                    if val_loss < best_val - 1e-6:
+                        best_val = val_loss
+                        best_state = {
+                            k: v.copy() for k, v in model.state_arrays().items()
+                        }
+                        stale = 0
+                    else:
+                        stale += 1
+                        if stale > cfg.early_stop_patience:
+                            break
+            if cfg.verbose:  # pragma: no cover - logging only
+                msg = f"epoch {epoch + 1}: loss={history.train_loss[-1]:.4f}"
+                if history.val_loss:
+                    msg += f" val={history.val_loss[-1]:.4f}"
+                print(msg)
+        if best_state is not None:
+            model.load_state_arrays(best_state)
+        return history
+
+
+class SoftTargetTrainer:
+    """Fits against (N, 2) soft targets (biased learning's second phase)."""
+
+    def __init__(self, config: Optional[TrainConfig] = None) -> None:
+        self.config = config or TrainConfig()
+
+    def fit(
+        self,
+        model: Sequential,
+        x: np.ndarray,
+        targets: np.ndarray,
+        rng: np.random.Generator,
+    ) -> History:
+        cfg = self.config
+        loss = SoftTargetCrossEntropy()
+        optimizer = Adam(model.params(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+        history = History()
+        model.train_mode(True)
+        for _epoch in range(cfg.epochs):
+            order = rng.permutation(len(x))
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, len(x), cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                if len(idx) < 2:
+                    continue
+                optimizer.zero_grad()
+                logits = model.forward(x[idx])
+                epoch_loss += loss.forward(logits, targets[idx])
+                model.backward(loss.backward())
+                optimizer.step()
+                n_batches += 1
+            history.train_loss.append(epoch_loss / max(n_batches, 1))
+        return history

@@ -1,0 +1,104 @@
+"""Reference network architectures.
+
+* :func:`build_feature_tensor_cnn` — the survey's deep detector: a compact
+  VGG-style CNN over the block-DCT feature tensor (two conv stages, two
+  dense layers), sized for ``(keep^2, G, G)`` inputs with G around 12,
+* :func:`build_raster_cnn` — a small CNN over the raw clip raster
+  (ablation: what the DCT compression buys),
+* :func:`build_mlp` — a dense net over flat features (ablation baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2D,
+    ReLU,
+)
+from .model import Sequential
+
+
+def build_feature_tensor_cnn(
+    in_channels: int,
+    grid: int,
+    rng: np.random.Generator,
+    width: int = 24,
+    dropout: float = 0.25,
+) -> Sequential:
+    """Two conv stages + two dense layers over a (C, grid, grid) tensor."""
+    if grid % 4:
+        raise ValueError("grid must be divisible by 4 (two 2x2 pools)")
+    c1, c2 = width, 2 * width
+    return Sequential(
+        [
+            Conv2D(in_channels, c1, kernel=3, rng=rng),
+            BatchNorm(c1),
+            ReLU(),
+            Conv2D(c1, c1, kernel=3, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(c1, c2, kernel=3, rng=rng),
+            BatchNorm(c2),
+            ReLU(),
+            Conv2D(c2, c2, kernel=3, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(c2 * (grid // 4) ** 2, 128, rng=rng),
+            ReLU(),
+            Dropout(dropout, rng=rng),
+            Dense(128, 2, rng=rng),
+        ]
+    )
+
+
+def build_raster_cnn(
+    raster_px: int, rng: np.random.Generator, width: int = 8
+) -> Sequential:
+    """Raw-pixel CNN: three conv/pool stages then global average pooling."""
+    if raster_px % 8:
+        raise ValueError("raster size must be divisible by 8")
+    c1, c2, c3 = width, 2 * width, 4 * width
+    return Sequential(
+        [
+            Conv2D(1, c1, kernel=5, rng=rng),
+            BatchNorm(c1),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(c1, c2, kernel=3, rng=rng),
+            BatchNorm(c2),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(c2, c3, kernel=3, rng=rng),
+            BatchNorm(c3),
+            ReLU(),
+            MaxPool2D(2),
+            GlobalAvgPool(),
+            Dense(c3, 2, rng=rng),
+        ]
+    )
+
+
+def build_mlp(
+    in_features: int,
+    rng: np.random.Generator,
+    hidden: Sequence[int] = (128, 64),
+    dropout: float = 0.2,
+) -> Sequential:
+    """Dense baseline over flat feature vectors."""
+    layers = []
+    d = in_features
+    for h in hidden:
+        layers += [Dense(d, h, rng=rng), ReLU(), Dropout(dropout, rng=rng)]
+        d = h
+    layers.append(Dense(d, 2, rng=rng))
+    return Sequential(layers)

@@ -1,0 +1,135 @@
+"""Shallow hotspot detectors: pattern matching and classic ML.
+
+Raw learners (feature-vector API): :class:`SVM`, :class:`DecisionTree`,
+:class:`AdaBoost`, :class:`LogisticRegression`, :class:`GaussianNB`,
+:class:`KNN`.  Clip-level detectors come from :class:`FeatureDetector`
+(adapter) or the pattern matchers; the ``make_*`` factories build the
+standard configurations used in the paper's tables and register them in
+:mod:`repro.core.registry`.
+"""
+
+from ..core.registry import register
+from ..features.concentric import ConcentricSampling
+from ..features.dct import DCTFeatureTensor
+from ..features.density import DensityGrid
+from .adaboost import AdaBoost, AdaBoostConfig
+from .adapters import FeatureDetector
+from .dtree import DecisionTree
+from .knn import KNN
+from .logistic import LogisticConfig, LogisticRegression
+from .naive_bayes import GaussianNB
+from .pattern_match import ExactPatternMatcher, FuzzyPatternMatcher
+from .random_forest import RandomForest, RandomForestConfig
+from .svm import SVM, SVMConfig
+
+
+def make_svm_ccas(upsample: float = 0.5) -> FeatureDetector:
+    """The SVM-era detector: CCAS features + balanced RBF C-SVM."""
+    return FeatureDetector(
+        name="svm-ccas",
+        extractor=ConcentricSampling(n_rings=12, n_angles=24),
+        learner=SVM(SVMConfig(C=4.0, kernel="rbf")),
+        upsample_ratio=upsample,
+    )
+
+
+def make_adaboost_density() -> FeatureDetector:
+    """Boosting-era detector: density grid + AdaBoost over depth-2 trees."""
+    return FeatureDetector(
+        name="adaboost-density",
+        extractor=DensityGrid(grid=12),
+        learner=AdaBoost(AdaBoostConfig(n_rounds=60, weak_depth=2)),
+        upsample_ratio=0.5,
+    )
+
+
+def make_dtree_density() -> FeatureDetector:
+    return FeatureDetector(
+        name="dtree-density",
+        extractor=DensityGrid(grid=12),
+        learner=DecisionTree(max_depth=10, min_samples_leaf=3),
+        upsample_ratio=0.5,
+    )
+
+
+def make_logistic_density() -> FeatureDetector:
+    return FeatureDetector(
+        name="logistic-density",
+        extractor=DensityGrid(grid=12),
+        learner=LogisticRegression(),
+    )
+
+
+def make_nb_density() -> FeatureDetector:
+    return FeatureDetector(
+        name="nb-density",
+        extractor=DensityGrid(grid=12),
+        learner=GaussianNB(),
+    )
+
+
+def make_random_forest_density() -> FeatureDetector:
+    return FeatureDetector(
+        name="rf-density",
+        extractor=DensityGrid(grid=12),
+        learner=RandomForest(RandomForestConfig(n_trees=30, max_depth=10)),
+        upsample_ratio=0.5,
+    )
+
+
+def make_knn_dct() -> FeatureDetector:
+    return FeatureDetector(
+        name="knn-dct",
+        extractor=DCTFeatureTensor(block=8, keep=4, flatten=True),
+        learner=KNN(k=5),
+    )
+
+
+def make_pattern_exact() -> ExactPatternMatcher:
+    return ExactPatternMatcher()
+
+
+def make_pattern_fuzzy() -> FuzzyPatternMatcher:
+    return FuzzyPatternMatcher(tolerance_nm=24.0)
+
+
+_FACTORIES = {
+    "svm-ccas": make_svm_ccas,
+    "adaboost-density": make_adaboost_density,
+    "dtree-density": make_dtree_density,
+    "rf-density": make_random_forest_density,
+    "logistic-density": make_logistic_density,
+    "nb-density": make_nb_density,
+    "knn-dct": make_knn_dct,
+    "pattern-exact": make_pattern_exact,
+    "pattern-fuzzy": make_pattern_fuzzy,
+}
+
+for _name, _factory in _FACTORIES.items():
+    register(_name, _factory)
+
+__all__ = [
+    "SVM",
+    "SVMConfig",
+    "DecisionTree",
+    "AdaBoost",
+    "AdaBoostConfig",
+    "LogisticRegression",
+    "LogisticConfig",
+    "GaussianNB",
+    "KNN",
+    "RandomForest",
+    "RandomForestConfig",
+    "ExactPatternMatcher",
+    "FuzzyPatternMatcher",
+    "FeatureDetector",
+    "make_svm_ccas",
+    "make_adaboost_density",
+    "make_dtree_density",
+    "make_random_forest_density",
+    "make_logistic_density",
+    "make_nb_density",
+    "make_knn_dct",
+    "make_pattern_exact",
+    "make_pattern_fuzzy",
+]

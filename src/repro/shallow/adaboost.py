@@ -1,0 +1,99 @@
+"""AdaBoost.M1 over decision stumps / shallow trees.
+
+Boosting on density features was the other workhorse of the shallow era
+(e.g. the MAGIC-style detectors).  Classic discrete AdaBoost:
+
+* weak learner: :class:`~repro.shallow.dtree.DecisionTree` of small depth,
+* sample weights re-emphasize mistakes each round,
+* final score = sigmoid of the weighted vote margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .dtree import DecisionTree
+
+
+@dataclass
+class AdaBoostConfig:
+    n_rounds: int = 40
+    weak_depth: int = 2
+    learning_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+
+class AdaBoost:
+    """Discrete AdaBoost.M1 for binary labels {0, 1}."""
+
+    def __init__(self, config: Optional[AdaBoostConfig] = None) -> None:
+        self.config = config or AdaBoostConfig()
+        self.stumps: List[DecisionTree] = []
+        self.alphas: List[float] = []
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "AdaBoost":
+        x = np.asarray(features, dtype=np.float64)
+        y01 = np.asarray(labels, dtype=np.int64)
+        y = np.where(y01 == 1, 1.0, -1.0)
+        n = len(y)
+        w = np.full(n, 1.0 / n)
+        self.stumps, self.alphas = [], []
+        for _ in range(self.config.n_rounds):
+            stump = DecisionTree(
+                max_depth=self.config.weak_depth, min_samples_leaf=1
+            )
+            stump.fit(x, y01, sample_weight=w)
+            pred = np.where(stump.predict(x) == 1, 1.0, -1.0)
+            err = float(w[pred != y].sum())
+            err = min(max(err, 1e-12), 1 - 1e-12)
+            if err >= 0.5:
+                # weak learner no better than chance: stop boosting
+                break
+            alpha = 0.5 * self.config.learning_rate * np.log((1 - err) / err)
+            w *= np.exp(-alpha * y * pred)
+            w /= w.sum()
+            self.stumps.append(stump)
+            self.alphas.append(float(alpha))
+            if err < 1e-10:
+                break
+        if not self.stumps:
+            # degenerate data: fall back to a single stump
+            stump = DecisionTree(max_depth=1, min_samples_leaf=1)
+            stump.fit(x, y01)
+            self.stumps = [stump]
+            self.alphas = [1.0]
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if not self.stumps:
+            raise RuntimeError("AdaBoost not fitted")
+        x = np.asarray(features, dtype=np.float64)
+        margin = np.zeros(len(x))
+        for alpha, stump in zip(self.alphas, self.stumps):
+            margin += alpha * np.where(stump.predict(x) == 1, 1.0, -1.0)
+        return margin
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        total = sum(self.alphas) or 1.0
+        margin = self.decision_function(features) / total
+        return 0.5 * (margin + 1.0)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.decision_function(features) >= 0).astype(np.int64)
+
+    @property
+    def n_rounds_used(self) -> int:
+        return len(self.stumps)

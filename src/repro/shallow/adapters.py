@@ -1,0 +1,100 @@
+"""Adapter wiring (feature extractor, learner) pairs into the Detector API.
+
+Any learner exposing ``fit(X, y)`` / ``predict_proba(X)`` (all of
+:mod:`repro.shallow`'s learners do) becomes a full clip detector with
+feature extraction, train-set standardization, and optional minority
+up-sampling folded in.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..core.detector import Detector, FitReport
+from ..data.dataset import ClipDataset
+from ..data.imbalance import upsample_minority
+from ..features.base import FeatureExtractor, Standardizer
+from ..geometry.layout import Clip
+
+
+class VectorLearner(Protocol):
+    """What the adapter needs from a learner."""
+
+    def fit(self, features, labels, rng=None): ...  # noqa: E704
+
+    def predict_proba(self, features) -> np.ndarray: ...  # noqa: E704
+
+
+class FeatureDetector(Detector):
+    """extractor + standardizer + learner => Detector."""
+
+    def __init__(
+        self,
+        name: str,
+        extractor: FeatureExtractor,
+        learner: VectorLearner,
+        standardize: bool = True,
+        upsample_ratio: Optional[float] = None,
+        mirror_upsample: bool = True,
+        threshold: float = 0.5,
+        calibrate: Optional[str] = "fa",
+        fa_cap: float = 0.10,
+    ) -> None:
+        if calibrate not in (None, "f1", "fa"):
+            raise ValueError("calibrate must be None, 'f1' or 'fa'")
+        self.name = name
+        self.extractor = extractor
+        self.learner = learner
+        self.standardize = standardize
+        self.upsample_ratio = upsample_ratio
+        self.mirror_upsample = mirror_upsample
+        self.threshold = threshold
+        self.calibrate = calibrate
+        self.fa_cap = fa_cap
+        self._scaler: Optional[Standardizer] = None
+
+    def fit(
+        self, train: ClipDataset, rng: Optional[np.random.Generator] = None
+    ) -> FitReport:
+        rng = rng or np.random.default_rng(0)
+        t0 = time.perf_counter()
+        calibration = None
+        if self.calibrate is not None and train.n_hotspots >= 4:
+            # hold out a stratified slice BEFORE any up-sampling: thresholds
+            # picked on (possibly overfitted) training scores are too tight
+            train, calibration = train.split(0.25, rng)
+            if calibration.n_hotspots == 0 or train.n_hotspots == 0:
+                train = train.extend(calibration.clips, calibration.labels)
+                calibration = None
+        if self.upsample_ratio is not None and train.n_hotspots > 0:
+            train = upsample_minority(
+                train, rng, target_ratio=self.upsample_ratio, mirror=self.mirror_upsample
+            )
+        x = self.extractor.extract_many(train.clips)
+        if x.ndim != 2:
+            x = x.reshape(len(x), -1)
+        if self.standardize:
+            self._scaler = Standardizer()
+            x = self._scaler.fit_transform(x)
+        self.learner.fit(x, train.labels, rng=rng)
+        if calibration is not None:
+            from ..core.threshold import pick_threshold
+
+            scores = self.predict_proba(calibration.clips)
+            self.threshold = pick_threshold(
+                self.calibrate, calibration.labels, scores, self.fa_cap
+            )
+        return FitReport(
+            train_seconds=time.perf_counter() - t0, n_train=len(train)
+        )
+
+    def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
+        x = self.extractor.extract_many(clips)
+        if x.ndim != 2:
+            x = x.reshape(len(x), -1)
+        if self._scaler is not None:
+            x = self._scaler.transform(x)
+        return np.asarray(self.learner.predict_proba(x), dtype=np.float64)

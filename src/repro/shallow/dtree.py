@@ -1,0 +1,172 @@
+"""CART decision trees.
+
+Binary classification trees with gini or entropy splitting, used directly
+as a detector baseline and as the weak learner inside AdaBoost.  Supports
+per-sample weights (AdaBoost needs them) and returns leaf class
+probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    # internal node: feature/threshold set, children set; leaf: proba set
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    proba: float = 0.5  # P(hotspot) at a leaf
+    n: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _impurity(p: float, criterion: str) -> float:
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    if criterion == "gini":
+        return 2.0 * p * (1.0 - p)
+    return -(p * np.log2(p) + (1 - p) * np.log2(1 - p))
+
+
+class DecisionTree:
+    """CART for binary labels with optional sample weights."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_leaf: int = 2,
+        min_weight_split: float = 1e-9,
+        criterion: str = "gini",
+        max_thresholds: int = 256,
+    ) -> None:
+        if criterion not in ("gini", "entropy"):
+            raise ValueError("criterion must be 'gini' or 'entropy'")
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_weight_split = min_weight_split
+        self.criterion = criterion
+        self.max_thresholds = max_thresholds
+        self._root: Optional[_Node] = None
+        self.n_nodes = 0
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "DecisionTree":
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels, dtype=np.float64)
+        if sample_weight is None:
+            w = np.full(len(y), 1.0 / len(y))
+        else:
+            w = np.asarray(sample_weight, dtype=np.float64)
+            w = w / w.sum()
+        self.n_nodes = 0
+        self._root = self._build(x, y, w, depth=0)
+        return self
+
+    def _leaf(self, y: np.ndarray, w: np.ndarray) -> _Node:
+        self.n_nodes += 1
+        total = w.sum()
+        proba = float((w * y).sum() / total) if total > 0 else 0.5
+        return _Node(proba=proba, n=len(y))
+
+    def _build(self, x: np.ndarray, y: np.ndarray, w: np.ndarray, depth: int) -> _Node:
+        total = w.sum()
+        p = float((w * y).sum() / total) if total > 0 else 0.5
+        if (
+            depth >= self.max_depth
+            or len(y) < 2 * self.min_samples_leaf
+            or total < self.min_weight_split
+            or p <= 0.0
+            or p >= 1.0
+        ):
+            return self._leaf(y, w)
+        feat, thr, gain = self._best_split(x, y, w, _impurity(p, self.criterion))
+        if feat < 0 or gain <= 1e-12:
+            return self._leaf(y, w)
+        mask = x[:, feat] <= thr
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return self._leaf(y, w)
+        self.n_nodes += 1
+        node = _Node(feature=feat, threshold=thr, n=len(y))
+        node.left = self._build(x[mask], y[mask], w[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], w[~mask], depth + 1)
+        node.proba = p
+        return node
+
+    def _best_split(self, x, y, w, parent_impurity):
+        """Best (feature, threshold) by weighted impurity decrease."""
+        n, d = x.shape
+        total = w.sum()
+        best = (-1, 0.0, 0.0)
+        for feat in range(d):
+            col = x[:, feat]
+            order = np.argsort(col, kind="stable")
+            cs, ys, ws = col[order], y[order], w[order]
+            w_cum = np.cumsum(ws)
+            wy_cum = np.cumsum(ws * ys)
+            # candidate cut positions: where consecutive values differ
+            diff = np.nonzero(np.diff(cs) > 1e-12)[0]
+            if len(diff) == 0:
+                continue
+            if len(diff) > self.max_thresholds:
+                step = len(diff) / self.max_thresholds
+                diff = diff[(np.arange(self.max_thresholds) * step).astype(int)]
+            w_left = w_cum[diff]
+            wy_left = wy_cum[diff]
+            w_right = total - w_left
+            wy_right = wy_cum[-1] - wy_left
+            with np.errstate(invalid="ignore", divide="ignore"):
+                p_left = np.where(w_left > 0, wy_left / w_left, 0.0)
+                p_right = np.where(w_right > 0, wy_right / w_right, 0.0)
+            imp_left = np.array([_impurity(p, self.criterion) for p in p_left])
+            imp_right = np.array([_impurity(p, self.criterion) for p in p_right])
+            child = (w_left * imp_left + w_right * imp_right) / total
+            gains = parent_impurity - child
+            k = int(np.argmax(gains))
+            if gains[k] > best[2]:
+                thr = 0.5 * (cs[diff[k]] + cs[diff[k] + 1])
+                best = (feat, float(thr), float(gains[k]))
+        return best
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree not fitted")
+        x = np.asarray(features, dtype=np.float64)
+        out = np.empty(len(x))
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.proba
+        return out
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)
+
+    @property
+    def depth(self) -> int:
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree not fitted")
+        return walk(self._root)

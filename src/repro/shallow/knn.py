@@ -1,0 +1,54 @@
+"""k-nearest-neighbor classifier on a kd-tree.
+
+The lazy-learning baseline: no training beyond indexing, prediction cost
+grows with the library — the same trade-off pattern matching makes, but in
+feature space instead of exact-pattern space.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+
+class KNN:
+    """Binary kNN with optional distance weighting."""
+
+    def __init__(self, k: int = 5, weighted: bool = True) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.weighted = weighted
+        self._tree: Optional[cKDTree] = None
+        self._labels: Optional[np.ndarray] = None
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "KNN":
+        x = np.asarray(features, dtype=np.float64)
+        self._tree = cKDTree(x)
+        self._labels = np.asarray(labels, dtype=np.float64)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._tree is None or self._labels is None:
+            raise RuntimeError("KNN not fitted")
+        x = np.asarray(features, dtype=np.float64)
+        k = min(self.k, len(self._labels))
+        dist, idx = self._tree.query(x, k=k)
+        if k == 1:
+            dist = dist[:, None]
+            idx = idx[:, None]
+        votes = self._labels[idx]
+        if self.weighted:
+            w = 1.0 / (dist + 1e-9)
+            return (votes * w).sum(axis=1) / w.sum(axis=1)
+        return votes.mean(axis=1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)

@@ -1,0 +1,90 @@
+"""L2-regularized logistic regression (full-batch gradient descent).
+
+The simplest learned baseline, and the calibration head other detectors
+borrow.  Supports class weighting for imbalanced data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+@dataclass
+class LogisticConfig:
+    l2: float = 1e-3
+    lr: float = 0.5
+    max_iter: int = 500
+    tol: float = 1e-6
+    balanced: bool = True
+
+    def __post_init__(self) -> None:
+        if self.l2 < 0 or self.lr <= 0 or self.max_iter < 1:
+            raise ValueError("invalid logistic config")
+
+
+class LogisticRegression:
+    """Binary logistic regression on {0, 1} labels."""
+
+    def __init__(self, config: Optional[LogisticConfig] = None) -> None:
+        self.config = config or LogisticConfig()
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+        self.n_iter_: int = 0
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "LogisticRegression":
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels, dtype=np.float64)
+        n, d = x.shape
+        sw = np.ones(n)
+        if self.config.balanced:
+            n_pos = y.sum()
+            n_neg = n - n_pos
+            if n_pos > 0 and n_neg > 0:
+                sw = np.where(y == 1, n / (2 * n_pos), n / (2 * n_neg))
+        sw = sw / sw.sum()
+        w = np.zeros(d)
+        b = 0.0
+        cfg = self.config
+        # keep the regularization step contractive: lr * l2 must stay < 1
+        lr = min(cfg.lr, 0.5 / cfg.l2) if cfg.l2 > 0 else cfg.lr
+        prev_loss = np.inf
+        for it in range(cfg.max_iter):
+            p = _sigmoid(x @ w + b)
+            grad_w = x.T @ (sw * (p - y)) + cfg.l2 * w
+            grad_b = float((sw * (p - y)).sum())
+            w -= lr * grad_w
+            b -= lr * grad_b
+            eps = 1e-12
+            loss = float(
+                -(sw * (y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps))).sum()
+                + 0.5 * cfg.l2 * (w @ w)
+            )
+            self.n_iter_ = it + 1
+            if abs(prev_loss - loss) < cfg.tol:
+                break
+            prev_loss = loss
+        self.weights, self.bias = w, b
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("LogisticRegression not fitted")
+        return np.asarray(features, dtype=np.float64) @ self.weights + self.bias
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return _sigmoid(self.decision_function(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)

@@ -1,0 +1,144 @@
+"""Pattern-matching hotspot detectors (generation 1).
+
+Before machine learning, fabs kept libraries of known-bad patterns and
+flagged layout windows that matched.  Two matchers:
+
+* :class:`ExactPatternMatcher` — a hotspot clip matches iff its squish
+  *topology* and interval deltas equal a library entry's exactly
+  (translation-invariant by construction, D4-invariant by augmenting the
+  library with all 8 orientations).
+* :class:`FuzzyPatternMatcher` — topology must match a library entry; the
+  interval deltas may deviate up to ``tolerance_nm`` per interval.  The
+  score decays with the worst interval deviation, so thresholding trades
+  recall against false alarms like the learned detectors do.
+
+Both learn *only from hotspot examples* — the defining property (and
+weakness) of the approach: an unseen-but-hot pattern can never be caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import HOTSPOT, ClipDataset
+from ..features.squish import SquishPattern, squish
+from ..geometry.layout import Clip
+from ..geometry.transform import D4_NAMES, transform_clip
+
+TopologyKey = Tuple[Tuple[int, ...], ...]
+
+
+def _library_entries(clip: Clip, orientations: Sequence[str]) -> List[SquishPattern]:
+    return [squish(transform_clip(clip, name)) for name in orientations]
+
+
+@dataclass
+class _Library:
+    """Hotspot pattern library grouped by topology key."""
+
+    by_topology: Dict[TopologyKey, List[SquishPattern]]
+
+    @staticmethod
+    def build(
+        train: ClipDataset, orientations: Sequence[str] = D4_NAMES
+    ) -> "_Library":
+        groups: Dict[TopologyKey, List[SquishPattern]] = {}
+        for idx in train.hotspot_indices():
+            for pat in _library_entries(train.clips[int(idx)], orientations):
+                groups.setdefault(pat.topology_key(), []).append(pat)
+        return _Library(by_topology=groups)
+
+    def size(self) -> int:
+        return sum(len(v) for v in self.by_topology.values())
+
+
+def _delta_deviation(a: SquishPattern, b: SquishPattern) -> float:
+    """Worst per-interval |delta| difference in nm (same topology assumed)."""
+    dx = np.abs(np.asarray(a.dx) - np.asarray(b.dx))
+    dy = np.abs(np.asarray(a.dy) - np.asarray(b.dy))
+    return float(max(dx.max(initial=0.0), dy.max(initial=0.0)))
+
+
+class ExactPatternMatcher:
+    """Flags clips identical (up to D4) to a known hotspot."""
+
+    name = "pattern-exact"
+    threshold = 0.5
+
+    def __init__(self, orientations: Sequence[str] = D4_NAMES) -> None:
+        self.orientations = tuple(orientations)
+        self._library: Optional[_Library] = None
+
+    def fit(
+        self, train: ClipDataset, rng: Optional[np.random.Generator] = None
+    ):
+        from ..core.detector import FitReport
+
+        self._library = _Library.build(train, self.orientations)
+        return FitReport(n_train=len(train), notes=f"library={self._library.size()}")
+
+    def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
+        if self._library is None:
+            raise RuntimeError("matcher not fitted")
+        out = np.zeros(len(clips))
+        for i, clip in enumerate(clips):
+            pat = squish(clip)
+            candidates = self._library.by_topology.get(pat.topology_key(), ())
+            if any(
+                cand.dx == pat.dx and cand.dy == pat.dy for cand in candidates
+            ):
+                out[i] = 1.0
+        return out
+
+    def predict(self, clips: Sequence[Clip]) -> np.ndarray:
+        return (self.predict_proba(clips) >= self.threshold).astype(np.int64)
+
+
+class FuzzyPatternMatcher:
+    """Topology-exact, geometry-tolerant matching with a graded score."""
+
+    name = "pattern-fuzzy"
+    threshold = 0.5
+
+    def __init__(
+        self,
+        tolerance_nm: float = 24.0,
+        orientations: Sequence[str] = D4_NAMES,
+    ) -> None:
+        if tolerance_nm <= 0:
+            raise ValueError("tolerance_nm must be positive")
+        self.tolerance_nm = tolerance_nm
+        self.orientations = tuple(orientations)
+        self._library: Optional[_Library] = None
+
+    def fit(
+        self, train: ClipDataset, rng: Optional[np.random.Generator] = None
+    ):
+        from ..core.detector import FitReport
+
+        self._library = _Library.build(train, self.orientations)
+        return FitReport(n_train=len(train), notes=f"library={self._library.size()}")
+
+    def match_score(self, clip: Clip) -> float:
+        """1 at exact geometry, decaying to 0 at 2x tolerance deviation."""
+        if self._library is None:
+            raise RuntimeError("matcher not fitted")
+        pat = squish(clip)
+        candidates = self._library.by_topology.get(pat.topology_key())
+        if not candidates:
+            return 0.0
+        best = min(_delta_deviation(pat, cand) for cand in candidates)
+        # linear falloff: 1.0 at 0 deviation, 0.5 at tolerance, 0 at 2x
+        return float(np.clip(1.0 - best / (2.0 * self.tolerance_nm), 0.0, 1.0))
+
+    def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
+        return np.array([self.match_score(clip) for clip in clips])
+
+    def predict(self, clips: Sequence[Clip]) -> np.ndarray:
+        return (self.predict_proba(clips) >= self.threshold).astype(np.int64)
+
+    def library_size(self) -> int:
+        return self._library.size() if self._library else 0

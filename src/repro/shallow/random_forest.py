@@ -1,0 +1,79 @@
+"""Random forest: bagged CART trees with feature subsampling.
+
+A later-shallow-era baseline (bridging boosting and deep learning in the
+survey's timeline): bootstrap-resampled trees, each split restricted to a
+random feature subset; scores are averaged leaf probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .dtree import DecisionTree
+
+
+@dataclass
+class RandomForestConfig:
+    n_trees: int = 30
+    max_depth: int = 10
+    min_samples_leaf: int = 2
+    feature_fraction: float = 0.5  # features visible to each tree
+
+    def __post_init__(self) -> None:
+        if self.n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        if not 0.0 < self.feature_fraction <= 1.0:
+            raise ValueError("feature_fraction must be in (0, 1]")
+
+
+class RandomForest:
+    """Bagged binary classification forest."""
+
+    def __init__(self, config: Optional[RandomForestConfig] = None) -> None:
+        self.config = config or RandomForestConfig()
+        self.trees: List[DecisionTree] = []
+        self.feature_subsets: List[np.ndarray] = []
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "RandomForest":
+        rng = rng or np.random.default_rng(0)
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels, dtype=np.int64)
+        n, d = x.shape
+        k = max(1, int(round(self.config.feature_fraction * d)))
+        self.trees, self.feature_subsets = [], []
+        for _ in range(self.config.n_trees):
+            rows = rng.integers(0, n, size=n)  # bootstrap sample
+            cols = rng.choice(d, size=k, replace=False)
+            cols.sort()
+            tree = DecisionTree(
+                max_depth=self.config.max_depth,
+                min_samples_leaf=self.config.min_samples_leaf,
+            )
+            tree.fit(x[np.ix_(rows, cols)], y[rows])
+            self.trees.append(tree)
+            self.feature_subsets.append(cols)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if not self.trees:
+            raise RuntimeError("RandomForest not fitted")
+        x = np.asarray(features, dtype=np.float64)
+        total = np.zeros(len(x))
+        for tree, cols in zip(self.trees, self.feature_subsets):
+            total += tree.predict_proba(x[:, cols])
+        return total / len(self.trees)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)
+
+    @property
+    def n_trees_fitted(self) -> int:
+        return len(self.trees)

@@ -1,0 +1,224 @@
+"""C-SVM trained with a simplified SMO solver.
+
+The generation-2 detector of record: CCAS features + RBF-kernel SVM.
+Implemented from scratch:
+
+* dual soft-margin C-SVM with linear or RBF kernel,
+* simplified SMO (Platt) with a vectorized error cache — the kernel matrix
+  is precomputed, so each two-alpha update is O(n),
+* per-class C weighting for imbalanced data,
+* a logistic link on the decision value for ``predict_proba``-style scores
+  (a fixed-slope Platt scaling; adequate for ranking/thresholding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Gram matrix ``a @ b.T``."""
+    return a @ b.T
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float) -> np.ndarray:
+    """Gaussian kernel ``exp(-gamma * ||a - b||^2)``."""
+    aa = (a * a).sum(axis=1)[:, None]
+    bb = (b * b).sum(axis=1)[None, :]
+    d2 = np.maximum(aa + bb - 2.0 * (a @ b.T), 0.0)
+    return np.exp(-gamma * d2)
+
+
+@dataclass
+class SVMConfig:
+    C: float = 1.0
+    kernel: str = "rbf"  # "rbf" | "linear"
+    gamma: Optional[float] = None  # None -> 1 / (d * var)
+    tol: float = 1e-3
+    max_passes: int = 5
+    max_iter: int = 20_000
+    class_weight: Optional[str] = "balanced"  # None | "balanced"
+
+    def __post_init__(self) -> None:
+        if self.C <= 0:
+            raise ValueError("C must be positive")
+        if self.kernel not in ("rbf", "linear"):
+            raise ValueError("kernel must be 'rbf' or 'linear'")
+
+
+class SVM:
+    """Binary C-SVM; labels are {0, 1} at the API, {-1, +1} internally."""
+
+    def __init__(self, config: Optional[SVMConfig] = None) -> None:
+        self.config = config or SVMConfig()
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None  # +/-1
+        self._alpha: Optional[np.ndarray] = None
+        self._c_vec: Optional[np.ndarray] = None
+        self._b: float = 0.0
+        self._gamma: float = 1.0
+
+    # ------------------------------------------------------------------
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self.config.kernel == "linear":
+            return linear_kernel(a, b)
+        return rbf_kernel(a, b, self._gamma)
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "SVM":
+        rng = rng or np.random.default_rng(0)
+        x = np.asarray(features, dtype=np.float64)
+        y01 = np.asarray(labels, dtype=np.int64)
+        if set(np.unique(y01)) - {0, 1}:
+            raise ValueError("labels must be 0/1")
+        if len(np.unique(y01)) < 2:
+            raise ValueError("SVM needs both classes in the training set")
+        y = np.where(y01 == 1, 1.0, -1.0)
+        n, d = x.shape
+        var = x.var()
+        self._gamma = self.config.gamma or 1.0 / (d * var if var > 1e-12 else d)
+        # per-sample C with optional balancing
+        c_vec = np.full(n, self.config.C, dtype=np.float64)
+        if self.config.class_weight == "balanced":
+            n_pos = (y > 0).sum()
+            n_neg = n - n_pos
+            c_vec[y > 0] *= n / (2.0 * n_pos)
+            c_vec[y < 0] *= n / (2.0 * n_neg)
+
+        gram = self._kernel(x, x)
+        alpha = np.zeros(n)
+        # error cache: f(x_i) - y_i where f = (alpha*y) @ K + b
+        errors = -y.copy()
+        tol = self.config.tol
+        passes = 0
+        iters = 0
+        while passes < self.config.max_passes and iters < self.config.max_iter:
+            changed = 0
+            for i in range(n):
+                iters += 1
+                e_i = errors[i]
+                r_i = e_i * y[i]
+                if (r_i < -tol and alpha[i] < c_vec[i]) or (r_i > tol and alpha[i] > 0):
+                    if self._examine(i, x, y, gram, alpha, c_vec, errors, rng):
+                        changed += 1
+            passes = passes + 1 if changed == 0 else 0
+        self._x, self._y, self._alpha = x, y, alpha
+        self._c_vec = c_vec
+        self._recompute_bias(gram)
+        return self
+
+    def _examine(self, i, x, y, gram, alpha, c_vec, errors, rng) -> bool:
+        """Platt's second-choice hierarchy for the partner index j."""
+        n = len(y)
+        e_i = errors[i]
+        non_bound = np.nonzero((alpha > 1e-8) & (alpha < c_vec - 1e-8))[0]
+        # 1. heuristic: maximize |E_i - E_j| over non-bound alphas
+        if len(non_bound) > 1:
+            j = int(non_bound[np.argmax(np.abs(errors[non_bound] - e_i))])
+            if j != i and self._take_step(i, j, x, y, gram, alpha, c_vec, errors):
+                return True
+        # 2. all non-bound alphas in random order
+        for j in rng.permutation(non_bound):
+            if j != i and self._take_step(i, int(j), x, y, gram, alpha, c_vec, errors):
+                return True
+        # 3. everything else in random order
+        for j in rng.permutation(n):
+            if j != i and self._take_step(i, int(j), x, y, gram, alpha, c_vec, errors):
+                return True
+        return False
+
+    def _take_step(self, i, j, x, y, gram, alpha, c_vec, errors) -> bool:
+        if i == j:
+            return False
+        a_i, a_j = alpha[i], alpha[j]
+        y_i, y_j = y[i], y[j]
+        e_i, e_j = errors[i], errors[j]
+        if y_i != y_j:
+            lo = max(0.0, a_j - a_i)
+            hi = min(c_vec[j], c_vec[i] + a_j - a_i)
+        else:
+            lo = max(0.0, a_i + a_j - c_vec[i])
+            hi = min(c_vec[j], a_i + a_j)
+        if lo >= hi:
+            return False
+        eta = 2.0 * gram[i, j] - gram[i, i] - gram[j, j]
+        if eta >= 0:
+            return False
+        a_j_new = np.clip(a_j - y_j * (e_i - e_j) / eta, lo, hi)
+        if abs(a_j_new - a_j) < 1e-7 * (a_j_new + a_j + 1e-7):
+            return False
+        a_i_new = a_i + y_i * y_j * (a_j - a_j_new)
+        # bias update (Platt's rules)
+        b1 = (
+            -e_i
+            - y_i * (a_i_new - a_i) * gram[i, i]
+            - y_j * (a_j_new - a_j) * gram[i, j]
+        )
+        b2 = (
+            -e_j
+            - y_i * (a_i_new - a_i) * gram[i, j]
+            - y_j * (a_j_new - a_j) * gram[j, j]
+        )
+        if 0 < a_i_new < c_vec[i]:
+            db = b1
+        elif 0 < a_j_new < c_vec[j]:
+            db = b2
+        else:
+            db = (b1 + b2) / 2.0
+        alpha[i], alpha[j] = a_i_new, a_j_new
+        # vectorized error-cache update
+        errors += (
+            y_i * (a_i_new - a_i) * gram[i]
+            + y_j * (a_j_new - a_j) * gram[j]
+            + db
+        )
+        self._b += db
+        return True
+
+    def _recompute_bias(self, gram: np.ndarray) -> None:
+        """Set b from the KKT conditions of *free* support vectors.
+
+        Bound SVs (alpha == C) sit inside the margin and bias the residual,
+        badly so with asymmetric class C; free SVs sit exactly on the
+        margin where y - f(x) = b holds.
+        """
+        alpha, y = self._alpha, self._y
+        free = (alpha > 1e-8) & (alpha < self._c_vec - 1e-8)
+        sv = free if free.any() else alpha > 1e-8
+        if not sv.any():
+            self._b = 0.0
+            return
+        f_no_bias = (alpha * y) @ gram
+        residual = y[sv] - f_no_bias[sv]
+        self._b = float(residual.mean())
+
+    # ------------------------------------------------------------------
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("SVM not fitted")
+        x = np.asarray(features, dtype=np.float64)
+        sv = self._alpha > 1e-8
+        if not sv.any():
+            return np.full(len(x), self._b)
+        k = self._kernel(x, self._x[sv])
+        return k @ (self._alpha[sv] * self._y[sv]) + self._b
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Sigmoid-squashed decision values in [0, 1]."""
+        return 1.0 / (1.0 + np.exp(-np.clip(self.decision_function(features), -30, 30)))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.decision_function(features) >= 0).astype(np.int64)
+
+    @property
+    def n_support(self) -> int:
+        if self._alpha is None:
+            raise RuntimeError("SVM not fitted")
+        return int((self._alpha > 1e-8).sum())

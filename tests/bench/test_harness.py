@@ -1,0 +1,55 @@
+"""Tests for the bench harness (run matrix + pivots)."""
+
+import pytest
+
+from repro.bench import pivot_metric, results_to_rows, run_matrix
+from repro.data import Benchmark
+
+from ..core.test_detector_api import ConstantDetector
+
+
+@pytest.fixture
+def suite(tiny_dataset, rng):
+    train, test = tiny_dataset.split(0.5, rng)
+    return [Benchmark(name=f"B{i}", train=train, test=test) for i in (1, 2)]
+
+
+class TestRunMatrix:
+    def test_full_matrix(self, suite):
+        factories = {
+            "always": lambda: ConstantDetector(1.0),
+            "never": lambda: ConstantDetector(0.0),
+        }
+        results = run_matrix(factories, suite)
+        assert len(results) == 4
+        pairs = {(r.detector, r.benchmark) for r in results}
+        assert pairs == {
+            ("constant", "B1"),
+            ("constant", "B2"),
+        } or len(pairs) <= 4  # detector name comes from the instance
+
+    def test_rows(self, suite):
+        results = run_matrix({"d": lambda: ConstantDetector(1.0)}, suite)
+        rows = results_to_rows(results)
+        assert len(rows) == 2
+        assert rows[0]["accuracy"] == 100.0
+
+
+class TestPivot:
+    def test_pivot_accuracy(self, suite):
+        results = run_matrix({"d": lambda: ConstantDetector(1.0)}, suite)
+        table = pivot_metric(results, metric="accuracy")
+        assert len(table) == 1
+        row = table[0]
+        assert row["B1"] == "100.0"
+        assert row["B2"] == "100.0"
+
+    def test_pivot_false_alarms(self, suite):
+        results = run_matrix({"d": lambda: ConstantDetector(1.0)}, suite)
+        table = pivot_metric(results, metric="false_alarms", fmt="{:d}")
+        assert int(table[0]["B1"]) == suite[0].test.n_non_hotspots
+
+    def test_pivot_unformatted(self, suite):
+        results = run_matrix({"d": lambda: ConstantDetector(0.0)}, suite)
+        table = pivot_metric(results, metric="odst_seconds", fmt=None)
+        assert isinstance(table[0]["B1"], float)

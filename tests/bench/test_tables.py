@@ -1,0 +1,40 @@
+"""Tests for table formatting."""
+
+from repro.bench import format_table, write_table
+
+
+class TestFormatTable:
+    def test_basic_markdown(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "### demo"
+        assert "| a " in lines[2]
+        assert any("22" in line for line in lines)
+
+    def test_explicit_columns_subset_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_none_rendered_empty(self):
+        text = format_table([{"a": None}])
+        assert "None" not in text
+
+    def test_empty_rows(self):
+        assert "no rows" in format_table([], title="t")
+
+    def test_alignment_consistent(self):
+        rows = [{"name": "x", "v": 1}, {"name": "longer", "v": 100}]
+        lines = format_table(rows).splitlines()
+        assert len({len(line) for line in lines if line.startswith("|")}) == 1
+
+
+class TestWriteTable:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out" / "t.md"
+        text = write_table([{"a": 1}], path, title="T")
+        assert path.read_text() == text
+        assert "### T" in text

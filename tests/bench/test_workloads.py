@@ -1,0 +1,52 @@
+"""Tests for bench workload configuration and caching."""
+
+import pytest
+
+from repro.bench import bench_scale, cache_dir, get_benchmark, get_suite, results_dir
+
+
+class TestEnvConfig:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == pytest.approx(0.35)
+
+    def test_scale_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.07")
+        assert bench_scale() == pytest.approx(0.07)
+
+    def test_cache_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert cache_dir() == tmp_path
+
+    def test_results_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert results_dir() == tmp_path
+
+    def test_default_dirs_inside_repo(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        assert cache_dir().name == ".bench_cache"
+        assert results_dir().parent.name == "benchmarks"
+
+
+class TestSuiteAccess:
+    def test_get_suite_and_benchmark(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        suite = get_suite(scale=0.02, seed=123)
+        assert [b.name for b in suite] == ["B1", "B2", "B3", "B4", "B5"]
+        b3 = get_benchmark("B3", scale=0.02)
+        assert b3.name == "B3"
+
+    def test_get_benchmark_unknown(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        with pytest.raises(KeyError):
+            get_benchmark("B9", scale=0.02)
+
+    def test_cache_reused(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        get_suite(scale=0.02, seed=123)
+        files_before = sorted(p.name for p in tmp_path.iterdir())
+        get_suite(scale=0.02, seed=123)  # second call hits the cache
+        files_after = sorted(p.name for p in tmp_path.iterdir())
+        assert files_before == files_after
+        assert files_before  # something was cached

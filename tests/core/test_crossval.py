@@ -1,0 +1,71 @@
+"""Tests for k-fold cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.crossval import cross_validate, stratified_folds
+from repro.features import DensityGrid
+from repro.shallow import FeatureDetector, LogisticRegression
+
+
+class TestStratifiedFolds:
+    def test_partition(self, rng):
+        labels = np.array([0] * 20 + [1] * 10)
+        folds = stratified_folds(labels, 5, rng)
+        all_idx = np.concatenate(folds)
+        assert sorted(all_idx.tolist()) == list(range(30))
+        assert len(set(all_idx.tolist())) == 30
+
+    def test_stratification(self, rng):
+        labels = np.array([0] * 20 + [1] * 10)
+        for fold in stratified_folds(labels, 5, rng):
+            assert labels[fold].sum() == 2  # 10 hotspots / 5 folds
+
+    def test_uneven_classes(self, rng):
+        labels = np.array([0] * 7 + [1] * 3)
+        folds = stratified_folds(labels, 3, rng)
+        hs_counts = [int(labels[f].sum()) for f in folds]
+        assert sum(hs_counts) == 3
+        assert max(hs_counts) - min(hs_counts) <= 1
+
+    def test_k_too_small_raises(self, rng):
+        with pytest.raises(ValueError):
+            stratified_folds(np.array([0, 1]), 1, rng)
+
+
+class TestCrossValidate:
+    def make_detector(self):
+        return FeatureDetector(
+            name="cv",
+            extractor=DensityGrid(grid=8),
+            learner=LogisticRegression(),
+            calibrate=None,
+        )
+
+    def test_runs_k_folds(self, tiny_dataset, rng):
+        result = cross_validate(self.make_detector, tiny_dataset, rng, k=4)
+        assert len(result.folds) == 4
+        assert 0.0 <= result.mean_recall <= 1.0
+        assert 0.0 <= result.mean_false_alarm_rate <= 1.0
+
+    def test_separable_task_high_recall(self, tiny_dataset, rng):
+        result = cross_validate(self.make_detector, tiny_dataset, rng, k=4)
+        assert result.mean_recall >= 0.8  # the toy task is separable
+        assert result.mean_auc is not None and result.mean_auc >= 0.9
+
+    def test_summary_readable(self, tiny_dataset, rng):
+        result = cross_validate(self.make_detector, tiny_dataset, rng, k=3)
+        s = result.summary()
+        assert "folds" in s and "recall" in s
+
+    def test_too_few_hotspots_raises(self, rng):
+        from repro.data import ClipDataset
+
+        from ..conftest import synthetic_labeled_clips
+
+        clips, _ = synthetic_labeled_clips(rng, n=12)
+        labels = np.zeros(12, dtype=np.int64)
+        labels[:2] = 1
+        ds = ClipDataset("few", clips, labels)
+        with pytest.raises(ValueError):
+            cross_validate(self.make_detector, ds, rng, k=5)

@@ -1,0 +1,49 @@
+"""Tests for the Detector ABC contract and the oracle adapter."""
+
+import numpy as np
+import pytest
+
+from repro.core import Detector, FitReport, OracleDetector
+from repro.litho import HotspotOracle
+
+
+class ConstantDetector(Detector):
+    """Scores every clip with a fixed value (test double)."""
+
+    name = "constant"
+
+    def __init__(self, score: float) -> None:
+        self.score = score
+
+    def fit(self, train, rng=None):
+        return FitReport(n_train=len(train))
+
+    def predict_proba(self, clips):
+        return np.full(len(clips), self.score)
+
+
+class TestDetectorContract:
+    def test_predict_uses_threshold(self, tiny_dataset):
+        det = ConstantDetector(0.7)
+        assert det.predict(tiny_dataset.clips[:3]).tolist() == [1, 1, 1]
+        det.threshold = 0.9
+        assert det.predict(tiny_dataset.clips[:3]).tolist() == [0, 0, 0]
+
+    def test_repr_contains_name(self):
+        assert "constant" in repr(ConstantDetector(0.5))
+
+
+class TestOracleDetector:
+    def test_matches_oracle_labels(self, tiny_dataset):
+        oracle = HotspotOracle()
+        det = OracleDetector(oracle)
+        det.fit(tiny_dataset)
+        clips = tiny_dataset.clips[:4]
+        np.testing.assert_array_equal(
+            det.predict(clips), oracle.label_many(clips)
+        )
+
+    def test_fit_is_free(self, tiny_dataset):
+        report = OracleDetector(HotspotOracle()).fit(tiny_dataset)
+        assert report.train_seconds == 0.0
+        assert report.notes == "no training"

@@ -1,0 +1,64 @@
+"""Tests for detector ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.core import MajorityVoteEnsemble, SoftVoteEnsemble
+
+from .test_detector_api import ConstantDetector
+
+
+class TestSoftVote:
+    def test_weighted_mean(self, tiny_dataset):
+        ens = SoftVoteEnsemble(
+            [ConstantDetector(1.0), ConstantDetector(0.0)], weights=[3.0, 1.0]
+        )
+        ens.fit(tiny_dataset)
+        probs = ens.predict_proba(tiny_dataset.clips[:2])
+        np.testing.assert_allclose(probs, 0.75)
+
+    def test_default_uniform_weights(self, tiny_dataset):
+        ens = SoftVoteEnsemble([ConstantDetector(0.2), ConstantDetector(0.8)])
+        ens.fit(tiny_dataset)
+        np.testing.assert_allclose(
+            ens.predict_proba(tiny_dataset.clips[:1]), 0.5
+        )
+
+    def test_empty_members_raises(self):
+        with pytest.raises(ValueError):
+            SoftVoteEnsemble([])
+
+    def test_weight_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            SoftVoteEnsemble([ConstantDetector(1.0)], weights=[1.0, 2.0])
+
+    def test_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            SoftVoteEnsemble(
+                [ConstantDetector(1.0), ConstantDetector(0.0)], weights=[0.0, 0.0]
+            )
+
+    def test_fit_aggregates_time(self, tiny_dataset):
+        ens = SoftVoteEnsemble([ConstantDetector(0.5)])
+        report = ens.fit(tiny_dataset)
+        assert report.n_train == len(tiny_dataset)
+
+
+class TestMajorityVote:
+    def test_two_of_three(self, tiny_dataset):
+        ens = MajorityVoteEnsemble(
+            [ConstantDetector(0.9), ConstantDetector(0.9), ConstantDetector(0.1)]
+        )
+        ens.fit(tiny_dataset)
+        probs = ens.predict_proba(tiny_dataset.clips[:2])
+        np.testing.assert_allclose(probs, 2.0 / 3.0)
+        assert ens.predict(tiny_dataset.clips[:2]).tolist() == [1, 1]
+
+    def test_unanimous_zero(self, tiny_dataset):
+        ens = MajorityVoteEnsemble([ConstantDetector(0.1), ConstantDetector(0.2)])
+        ens.fit(tiny_dataset)
+        assert ens.predict(tiny_dataset.clips[:2]).tolist() == [0, 0]
+
+    def test_empty_members_raises(self):
+        with pytest.raises(ValueError):
+            MajorityVoteEnsemble([])

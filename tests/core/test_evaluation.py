@@ -1,0 +1,78 @@
+"""Tests for the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import EvalResult, evaluate_detector, evaluate_on_suite
+from repro.data import Benchmark
+
+from .test_detector_api import ConstantDetector
+
+
+@pytest.fixture
+def toy_benchmark(tiny_dataset, rng):
+    train, test = tiny_dataset.split(0.4, rng)
+    return Benchmark(name="T", train=train, test=test)
+
+
+class TestEvaluateDetector:
+    def test_constant_one_full_recall_full_fa(self, toy_benchmark, rng):
+        result = evaluate_detector(ConstantDetector(1.0), toy_benchmark, rng=rng)
+        assert result.accuracy == 1.0
+        assert result.false_alarms == toy_benchmark.test.n_non_hotspots
+        assert result.benchmark == "T"
+        assert result.detector == "constant"
+
+    def test_constant_zero_no_detections(self, toy_benchmark, rng):
+        result = evaluate_detector(ConstantDetector(0.0), toy_benchmark, rng=rng)
+        assert result.accuracy == 0.0
+        assert result.false_alarms == 0
+
+    def test_timings_recorded(self, toy_benchmark, rng):
+        result = evaluate_detector(ConstantDetector(0.5), toy_benchmark, rng=rng)
+        assert result.fit_seconds >= 0
+        assert result.predict_seconds > 0
+        assert result.odst_seconds == pytest.approx(
+            result.fit_seconds + result.predict_seconds
+        )
+
+    def test_no_fit_mode(self, toy_benchmark, rng):
+        result = evaluate_detector(
+            ConstantDetector(1.0), toy_benchmark, rng=rng, fit=False
+        )
+        assert result.fit_seconds == 0.0
+
+    def test_auc_none_for_constant_scores(self, toy_benchmark, rng):
+        result = evaluate_detector(ConstantDetector(0.4), toy_benchmark, rng=rng)
+        assert result.auc is None
+
+    def test_keep_scores(self, toy_benchmark, rng):
+        result = evaluate_detector(
+            ConstantDetector(0.4), toy_benchmark, rng=rng, keep_scores=True
+        )
+        assert result.scores is not None
+        assert len(result.scores) == len(toy_benchmark.test)
+
+    def test_row_fields(self, toy_benchmark, rng):
+        row = evaluate_detector(ConstantDetector(1.0), toy_benchmark, rng=rng).row()
+        for key in ("detector", "benchmark", "accuracy", "false_alarms", "odst_s"):
+            assert key in row
+
+
+class TestEvaluateOnSuite:
+    def test_fresh_instance_per_benchmark(self, tiny_dataset, rng):
+        created = []
+
+        def factory():
+            det = ConstantDetector(1.0)
+            created.append(det)
+            return det
+
+        train, test = tiny_dataset.split(0.5, rng)
+        suite = [
+            Benchmark(name=f"B{i}", train=train, test=test) for i in range(3)
+        ]
+        results = evaluate_on_suite(factory, suite)
+        assert len(results) == 3
+        assert len(created) == 3
+        assert [r.benchmark for r in results] == ["B0", "B1", "B2"]

@@ -1,0 +1,121 @@
+"""Tests for contest metrics: confusion, ROC, AUC."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Confusion, auc, confusion, roc_auc, roc_curve
+
+
+class TestConfusion:
+    def test_basic_counts(self):
+        c = confusion([1, 1, 0, 0, 1], [1, 0, 0, 1, 1])
+        assert (c.tp, c.fn, c.tn, c.fp) == (2, 1, 1, 1)
+        assert c.n == 5
+
+    def test_contest_accuracy_is_recall(self):
+        c = Confusion(tp=8, fp=100, tn=0, fn=2)
+        assert c.accuracy == pytest.approx(0.8)
+        assert c.recall == c.accuracy
+
+    def test_false_alarms_is_raw_fp(self):
+        c = Confusion(tp=1, fp=37, tn=10, fn=0)
+        assert c.false_alarms == 37
+        assert c.false_alarm_rate == pytest.approx(37 / 47)
+
+    def test_f1_precision_recall(self):
+        c = Confusion(tp=6, fp=2, tn=10, fn=2)
+        assert c.precision == pytest.approx(0.75)
+        assert c.recall == pytest.approx(0.75)
+        assert c.f1 == pytest.approx(0.75)
+
+    def test_degenerate_empty_positives(self):
+        c = Confusion(tp=0, fp=0, tn=5, fn=0)
+        assert c.accuracy == 0.0
+        assert c.precision == 0.0
+        assert c.f1 == 0.0
+
+    def test_overall_and_balanced_accuracy(self):
+        c = Confusion(tp=1, fp=0, tn=97, fn=2)
+        assert c.overall_accuracy == pytest.approx(0.98)
+        assert c.balanced_accuracy == pytest.approx(0.5 * (1 / 3 + 1.0))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion([1, 0], [1])
+
+    def test_non_binary_raises(self):
+        with pytest.raises(ValueError):
+            confusion([1, 2], [1, 0])
+
+
+class TestROC:
+    def test_perfect_classifier(self):
+        y = [0, 0, 1, 1]
+        s = [0.1, 0.2, 0.8, 0.9]
+        fpr, tpr, thr = roc_curve(y, s)
+        assert auc(fpr, tpr) == pytest.approx(1.0)
+
+    def test_random_scores_half_auc(self, rng):
+        y = rng.integers(0, 2, 2000)
+        s = rng.random(2000)
+        assert roc_auc(y, s) == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_classifier_zero_auc(self):
+        y = [0, 0, 1, 1]
+        s = [0.9, 0.8, 0.2, 0.1]
+        assert roc_auc(y, s) == pytest.approx(0.0)
+
+    def test_curve_endpoints(self, rng):
+        y = rng.integers(0, 2, 50)
+        y[0], y[1] = 0, 1  # both classes guaranteed
+        s = rng.random(50)
+        fpr, tpr, thr = roc_curve(y, s)
+        assert (fpr[0], tpr[0]) == (0.0, 0.0)
+        assert (fpr[-1], tpr[-1]) == (1.0, 1.0)
+        assert thr[0] == np.inf
+
+    def test_monotone(self, rng):
+        y = rng.integers(0, 2, 100)
+        y[:2] = [0, 1]
+        s = rng.random(100)
+        fpr, tpr, _ = roc_curve(y, s)
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+
+    def test_tied_scores_handled(self):
+        y = [0, 1, 0, 1]
+        s = [0.5, 0.5, 0.5, 0.5]
+        fpr, tpr, _ = roc_curve(y, s)
+        # single knee at (1, 1): ties collapse to one vertex
+        assert len(fpr) == 2
+        assert roc_auc(y, s) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_curve([1, 1], [0.2, 0.3])
+
+    def test_auc_requires_sorted_fpr(self):
+        with pytest.raises(ValueError):
+            auc(np.array([0.0, 0.5, 0.2]), np.array([0, 0.5, 1.0]))
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.tuples(st.integers(0, 1), st.floats(0, 1)), min_size=4, max_size=60)
+)
+def test_auc_matches_rank_statistic(pairs):
+    """AUC == P(score_pos > score_neg) + 0.5 P(tie), the Mann-Whitney U."""
+    y = np.array([p[0] for p in pairs])
+    s = np.array([p[1] for p in pairs])
+    if y.sum() in (0, len(y)):
+        return
+    fpr, tpr, _ = roc_curve(y, s)
+    computed = auc(fpr, tpr)
+    pos = s[y == 1]
+    neg = s[y == 0]
+    wins = (pos[:, None] > neg[None, :]).sum()
+    ties = (pos[:, None] == neg[None, :]).sum()
+    expected = (wins + 0.5 * ties) / (len(pos) * len(neg))
+    assert computed == pytest.approx(expected, abs=1e-9)

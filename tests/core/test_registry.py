@@ -1,0 +1,42 @@
+"""Tests for the detector registry."""
+
+import pytest
+
+import repro  # noqa: F401  (imports register the standard detectors)
+from repro.core import available, create
+from repro.core.registry import clear, register
+
+from .test_detector_api import ConstantDetector
+
+
+class TestRegistry:
+    def test_standard_detectors_registered(self):
+        names = available()
+        for expected in (
+            "svm-ccas",
+            "adaboost-density",
+            "pattern-fuzzy",
+            "cnn-dct",
+        ):
+            assert expected in names
+
+    def test_create_returns_fresh_instances(self):
+        a = create("svm-ccas")
+        b = create("svm-ccas")
+        assert a is not b
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(KeyError) as exc:
+            create("does-not-exist")
+        assert "available" in str(exc.value)
+
+    def test_duplicate_registration_raises(self):
+        register("test-dup", lambda: ConstantDetector(0.5))
+        try:
+            with pytest.raises(KeyError):
+                register("test-dup", lambda: ConstantDetector(0.5))
+        finally:
+            # remove our test entry without nuking the real registry
+            from repro.core import registry as reg
+
+            del reg._REGISTRY["test-dup"]

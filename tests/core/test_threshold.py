@@ -1,0 +1,66 @@
+"""Tests for threshold calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core import best_f1_threshold, max_accuracy_under_fa_cap
+from repro.core.metrics import confusion
+
+
+class TestFACap:
+    def test_perfectly_separable(self):
+        y = np.array([0, 0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.3, 0.8, 0.9])
+        thr, recall, fa = max_accuracy_under_fa_cap(y, s, 0.0)
+        assert recall == 1.0
+        assert fa == 0.0
+        assert 0.3 < thr < 0.8
+
+    def test_cap_binds(self):
+        # hotspots interleaved: full recall needs fa > 0
+        y = np.array([0, 1, 0, 1, 0, 1])
+        s = np.array([0.1, 0.2, 0.3, 0.4, 0.5, 0.9])
+        thr_tight, recall_tight, fa_tight = max_accuracy_under_fa_cap(y, s, 0.0)
+        thr_loose, recall_loose, fa_loose = max_accuracy_under_fa_cap(y, s, 1.0)
+        assert recall_loose == 1.0
+        assert recall_tight < recall_loose
+        assert fa_tight == 0.0
+
+    def test_infeasible_cap_falls_back(self):
+        y = np.array([0, 1])
+        s = np.array([0.9, 0.1])  # inverted scores
+        thr, recall, fa = max_accuracy_under_fa_cap(y, s, 0.0)
+        assert fa == 0.0
+        assert recall == 0.0
+
+    def test_chosen_threshold_actually_meets_cap(self, rng):
+        y = rng.integers(0, 2, 200)
+        s = rng.random(200) * 0.5 + y * rng.random(200) * 0.5
+        cap = 0.1
+        thr, recall, fa = max_accuracy_under_fa_cap(y, s, cap)
+        c = confusion(y, (s >= thr).astype(int))
+        assert c.false_alarm_rate <= cap + 1e-12
+        assert c.recall == pytest.approx(recall)
+
+
+class TestBestF1:
+    def test_perfect_case(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        thr, f1 = best_f1_threshold(y, s)
+        assert f1 == 1.0
+
+    def test_beats_default_threshold(self, rng):
+        """Calibrated F1 >= F1 at the naive 0.5 cutoff."""
+        y = rng.integers(0, 2, 300)
+        s = np.clip(0.15 + 0.3 * y + rng.normal(0, 0.2, 300), 0, 1)
+        thr, f1 = best_f1_threshold(y, s)
+        naive = confusion(y, (s >= 0.5).astype(int)).f1
+        assert f1 >= naive
+
+    def test_constant_scores_handled(self):
+        y = np.array([0, 1, 1])
+        s = np.array([0.5, 0.5, 0.5])
+        thr, f1 = best_f1_threshold(y, s)
+        assert np.isfinite(thr)
+        assert 0 <= f1 <= 1

@@ -1,0 +1,96 @@
+"""Tests for benchmark suite generation (tiny scales only)."""
+
+import pytest
+
+from repro.data import (
+    SUITE_CONFIGS,
+    BenchmarkConfig,
+    FamilyMix,
+    make_benchmark,
+    make_iccad2012_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_benchmark():
+    config = BenchmarkConfig(
+        name="T1",
+        n_train=25,
+        n_test=30,
+        mix=FamilyMix(
+            weights={"grating": 1.0, "tip_pair": 1.0},
+            marginal_p={},
+            default_marginal_p=0.4,
+        ),
+    )
+    return make_benchmark(config, seed=42)
+
+
+class TestConfigs:
+    def test_five_benchmarks_configured(self):
+        assert [c.name for c in SUITE_CONFIGS] == ["B1", "B2", "B3", "B4", "B5"]
+
+    def test_b5_has_distribution_shift(self):
+        b5 = SUITE_CONFIGS[-1]
+        assert b5.test_mix is not None
+        assert set(b5.test_mix.weights) != set(b5.mix.weights)
+
+    def test_resolved_test_mix_defaults(self):
+        config = BenchmarkConfig(
+            name="x",
+            n_train=1,
+            n_test=1,
+            mix=FamilyMix(weights={"grating": 1.0}, marginal_p={}),
+        )
+        assert config.resolved_test_mix() is config.mix
+
+
+class TestMakeBenchmark:
+    def test_sizes(self, tiny_benchmark):
+        assert len(tiny_benchmark.train) == 25
+        assert len(tiny_benchmark.test) == 30
+
+    def test_both_classes_present(self, tiny_benchmark):
+        # marginality 0.4 over tips/gratings guarantees hotspots appear
+        assert tiny_benchmark.train.n_hotspots > 0
+        assert tiny_benchmark.train.n_non_hotspots > 0
+
+    def test_train_test_disjoint_geometry(self, tiny_benchmark):
+        train_rects = {c.rects for c in tiny_benchmark.train.clips}
+        test_rects = {c.rects for c in tiny_benchmark.test.clips}
+        # windows are at random absolute positions: no literal sharing
+        assert not (train_rects & test_rects)
+
+    def test_reproducible(self):
+        config = BenchmarkConfig(
+            name="T2",
+            n_train=10,
+            n_test=10,
+            mix=FamilyMix(weights={"grating": 1.0}, marginal_p={}),
+        )
+        a = make_benchmark(config, seed=7)
+        b = make_benchmark(config, seed=7)
+        assert a.train.labels.tolist() == b.train.labels.tolist()
+        assert [c.rects for c in a.test.clips] == [c.rects for c in b.test.clips]
+
+    def test_caching(self, tmp_path):
+        config = BenchmarkConfig(
+            name="T3",
+            n_train=8,
+            n_test=8,
+            mix=FamilyMix(weights={"grating": 1.0}, marginal_p={}),
+        )
+        first = make_benchmark(config, seed=9, cache_dir=tmp_path)
+        files = list(tmp_path.iterdir())
+        assert files, "cache must be written"
+        second = make_benchmark(config, seed=9, cache_dir=tmp_path)
+        assert first.train.labels.tolist() == second.train.labels.tolist()
+
+
+class TestSuite:
+    def test_scaled_suite_structure(self):
+        suite = make_iccad2012_suite(seed=2012, scale=0.02)
+        assert [b.name for b in suite] == ["B1", "B2", "B3", "B4", "B5"]
+        for b in suite:
+            assert len(b.train) >= 20
+            assert len(b.test) >= 20

@@ -1,0 +1,109 @@
+"""Tests for ClipDataset and Benchmark containers."""
+
+import numpy as np
+import pytest
+
+from repro.data import Benchmark, ClipDataset
+
+from ..conftest import synthetic_labeled_clips
+
+
+@pytest.fixture
+def dataset(rng):
+    clips, labels = synthetic_labeled_clips(rng, n=30)
+    return ClipDataset(name="ds", clips=clips, labels=labels)
+
+
+class TestConstruction:
+    def test_label_length_mismatch_raises(self, dataset):
+        with pytest.raises(ValueError):
+            ClipDataset("x", dataset.clips, dataset.labels[:-1])
+
+    def test_non_binary_labels_raise(self, dataset):
+        bad = dataset.labels.copy()
+        bad[0] = 3
+        with pytest.raises(ValueError):
+            ClipDataset("x", dataset.clips, bad)
+
+    def test_counts(self, dataset):
+        assert dataset.n_hotspots + dataset.n_non_hotspots == len(dataset)
+        assert 0 < dataset.hotspot_fraction < 1
+
+    def test_getitem(self, dataset):
+        clip, label = dataset[0]
+        assert clip is dataset.clips[0]
+        assert label in (0, 1)
+
+    def test_summary_mentions_counts(self, dataset):
+        s = dataset.summary()
+        assert str(len(dataset)) in s
+        assert "HS" in s
+
+
+class TestIndices:
+    def test_hotspot_indices_consistent(self, dataset):
+        hs = dataset.hotspot_indices()
+        nhs = dataset.non_hotspot_indices()
+        assert len(hs) + len(nhs) == len(dataset)
+        assert set(hs.tolist()).isdisjoint(nhs.tolist())
+        assert all(dataset.labels[i] == 1 for i in hs)
+
+
+class TestSlicing:
+    def test_subset(self, dataset):
+        sub = dataset.subset([0, 2, 4])
+        assert len(sub) == 3
+        assert sub.clips[1] is dataset.clips[2]
+
+    def test_shuffled_preserves_multiset(self, dataset, rng):
+        shuffled = dataset.shuffled(rng)
+        assert sorted(shuffled.labels.tolist()) == sorted(dataset.labels.tolist())
+        assert set(id(c) for c in shuffled.clips) == set(
+            id(c) for c in dataset.clips
+        )
+
+    def test_split_stratified(self, dataset, rng):
+        train, test = dataset.split(0.25, rng)
+        assert len(train) + len(test) == len(dataset)
+        # stratification keeps fractions within one sample of proportional
+        expected_test_hs = round(dataset.n_hotspots * 0.25)
+        assert abs(test.n_hotspots - expected_test_hs) <= 1
+
+    def test_split_bad_fraction_raises(self, dataset, rng):
+        with pytest.raises(ValueError):
+            dataset.split(0.0, rng)
+        with pytest.raises(ValueError):
+            dataset.split(1.0, rng)
+
+    def test_extend(self, dataset):
+        bigger = dataset.extend(dataset.clips[:3], [1, 1, 1])
+        assert len(bigger) == len(dataset) + 3
+        assert bigger.n_hotspots == dataset.n_hotspots + 3
+        # original untouched
+        assert len(dataset.clips) == 30
+
+
+class TestBatches:
+    def test_batches_cover_everything_once(self, dataset):
+        seen = 0
+        for clips, labels in dataset.batches(7):
+            assert len(clips) == len(labels)
+            seen += len(clips)
+        assert seen == len(dataset)
+
+    def test_shuffled_batches(self, dataset, rng):
+        ordered = [l for _, ls in dataset.batches(7) for l in ls]
+        shuffled = [l for _, ls in dataset.batches(7, rng=rng) for l in ls]
+        assert sorted(ordered) == sorted(shuffled)
+
+    def test_bad_batch_size(self, dataset):
+        with pytest.raises(ValueError):
+            list(dataset.batches(0))
+
+
+class TestBenchmark:
+    def test_summary(self, dataset, rng):
+        train, test = dataset.split(0.3, rng)
+        bench = Benchmark(name="Bx", train=train, test=test)
+        s = bench.summary()
+        assert "Bx" in s and "train" in s and "test" in s

@@ -1,0 +1,110 @@
+"""Tests for imbalance handling: up-sampling, orientation augment, SMOTE."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ClipDataset,
+    augment_all_orientations,
+    class_weights,
+    smote,
+    upsample_minority,
+)
+from repro.geometry import rasterize_clip
+
+from ..conftest import synthetic_labeled_clips
+
+
+@pytest.fixture
+def imbalanced(rng):
+    clips, _ = synthetic_labeled_clips(rng, n=30)
+    labels = np.zeros(30, dtype=np.int64)
+    labels[:3] = 1  # 10% hotspots
+    return ClipDataset(name="imb", clips=clips, labels=labels)
+
+
+class TestUpsample:
+    def test_reaches_target_ratio(self, imbalanced, rng):
+        up = upsample_minority(imbalanced, rng, target_ratio=0.5)
+        assert up.n_hotspots / up.n_non_hotspots >= 0.5
+        assert up.n_non_hotspots == imbalanced.n_non_hotspots
+
+    def test_already_balanced_untouched(self, imbalanced, rng):
+        up = upsample_minority(imbalanced, rng, target_ratio=0.1)
+        assert len(up) == len(imbalanced)
+
+    def test_replicas_are_orientations(self, imbalanced, rng):
+        """Mirrored replicas keep the pattern's pixel multiset."""
+        up = upsample_minority(imbalanced, rng, target_ratio=0.5, mirror=True)
+        originals = {
+            rasterize_clip(imbalanced.clips[i], 8).sum()
+            for i in imbalanced.hotspot_indices()
+        }
+        for i in range(len(imbalanced), len(up)):
+            clip, label = up[i]
+            assert label == 1
+            total = rasterize_clip(clip, 8).sum()
+            assert any(total == pytest.approx(v) for v in originals)
+
+    def test_no_mirror_gives_exact_copies(self, imbalanced, rng):
+        up = upsample_minority(imbalanced, rng, target_ratio=0.5, mirror=False)
+        source_rects = {c.rects for c, l in zip(imbalanced.clips, imbalanced.labels) if l}
+        for i in range(len(imbalanced), len(up)):
+            assert up.clips[i].rects in source_rects
+
+    def test_no_hotspots_raises(self, rng):
+        clips, _ = synthetic_labeled_clips(rng, n=5)
+        ds = ClipDataset("x", clips, np.zeros(5, dtype=np.int64))
+        with pytest.raises(ValueError):
+            upsample_minority(ds, rng)
+
+    def test_bad_ratio_raises(self, imbalanced, rng):
+        with pytest.raises(ValueError):
+            upsample_minority(imbalanced, rng, target_ratio=0.0)
+
+
+class TestOrientationAugment:
+    def test_minority_only(self, imbalanced):
+        aug = augment_all_orientations(imbalanced, minority_only=True)
+        assert len(aug) == len(imbalanced) + 7 * imbalanced.n_hotspots
+        assert aug.labels[len(imbalanced):].all()
+
+    def test_all_samples(self, imbalanced):
+        aug = augment_all_orientations(imbalanced, minority_only=False)
+        assert len(aug) == 8 * len(imbalanced)
+
+
+class TestSmote:
+    def test_generates_requested_count(self, rng):
+        x = rng.random((20, 4))
+        y = np.array([1] * 6 + [0] * 14)
+        new_x, new_y = smote(x, y, rng, n_new=10)
+        assert new_x.shape == (10, 4)
+        assert new_y.tolist() == [1] * 10
+
+    def test_points_in_minority_hull_segments(self, rng):
+        x = np.zeros((10, 2))
+        x[:4] = [[0, 0], [1, 0], [0, 1], [1, 1]]  # minority square
+        x[4:] = 100.0
+        y = np.array([1] * 4 + [0] * 6)
+        new_x, _ = smote(x, y, rng, n_new=50)
+        assert new_x.min() >= -1e-9
+        assert new_x.max() <= 1.0 + 1e-9
+
+    def test_too_few_minority_raises(self, rng):
+        x = rng.random((5, 3))
+        y = np.array([1, 0, 0, 0, 0])
+        with pytest.raises(ValueError):
+            smote(x, y, rng, n_new=3)
+
+
+class TestClassWeights:
+    def test_inverse_frequency(self):
+        labels = np.array([0] * 9 + [1])
+        w_nhs, w_hs = class_weights(labels)
+        assert w_hs > w_nhs
+        assert w_hs * 1 + w_nhs * 9 == pytest.approx(10.0)
+
+    def test_degenerate_returns_ones(self):
+        assert class_weights(np.zeros(5, dtype=int)) == (1.0, 1.0)
+        assert class_weights(np.ones(5, dtype=int)) == (1.0, 1.0)

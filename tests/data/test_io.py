@@ -1,0 +1,60 @@
+"""Tests for dataset persistence and caching."""
+
+import numpy as np
+import pytest
+
+from repro.data import ClipDataset, dataset_cache_key, load_dataset, save_dataset
+from repro.geometry import save_clips
+
+from ..conftest import synthetic_labeled_clips
+
+
+@pytest.fixture
+def dataset(rng):
+    clips, labels = synthetic_labeled_clips(rng, n=12)
+    return ClipDataset(name="io-test", clips=clips, labels=labels)
+
+
+class TestCacheKey:
+    def test_stable(self):
+        a = dataset_cache_key("B1/train", 1, 100, 768, 256)
+        b = dataset_cache_key("B1/train", 1, 100, 768, 256)
+        assert a == b
+
+    def test_sensitive_to_every_field(self):
+        base = dataset_cache_key("B1/train", 1, 100, 768, 256)
+        assert dataset_cache_key("B1/test", 1, 100, 768, 256) != base
+        assert dataset_cache_key("B1/train", 2, 100, 768, 256) != base
+        assert dataset_cache_key("B1/train", 1, 101, 768, 256) != base
+        assert dataset_cache_key("B1/train", 1, 100, 512, 256) != base
+        assert dataset_cache_key("B1/train", 1, 100, 768, 128) != base
+
+    def test_filesystem_safe(self):
+        key = dataset_cache_key("B1/train", 1, 100, 768, 256)
+        assert "/" not in key
+
+
+class TestRoundTrip:
+    def test_save_load(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path, "k1")
+        loaded = load_dataset(tmp_path, "k1")
+        assert loaded is not None
+        assert loaded.name == "io-test"
+        assert len(loaded) == len(dataset)
+        np.testing.assert_array_equal(loaded.labels, dataset.labels)
+        assert loaded.clips[0].rects == dataset.clips[0].rects
+        assert loaded.clips[0].window == dataset.clips[0].window
+
+    def test_missing_returns_none(self, tmp_path):
+        assert load_dataset(tmp_path, "nope") is None
+
+    def test_unlabeled_cache_rejected(self, dataset, tmp_path):
+        """A clips file without labels is not a valid dataset cache."""
+        save_dataset(dataset, tmp_path, "k2")
+        save_clips(dataset.clips, tmp_path / "k2.clips")  # overwrite unlabeled
+        assert load_dataset(tmp_path, "k2") is None
+
+    def test_creates_directory(self, dataset, tmp_path):
+        target = tmp_path / "deep" / "nested"
+        save_dataset(dataset, target, "k3")
+        assert load_dataset(target, "k3") is not None

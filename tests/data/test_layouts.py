@@ -1,0 +1,88 @@
+"""Tests for routed-block layout synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.data import RoutedBlockConfig, seeded_recall, synthesize_routed_block
+from repro.geometry import Rect
+
+REGION = Rect(0, 0, 6144, 6144)
+
+
+class TestConfig:
+    def test_invalid_raise(self):
+        with pytest.raises(ValueError):
+            RoutedBlockConfig(segment_min_nm=100, segment_max_nm=50)
+        with pytest.raises(ValueError):
+            RoutedBlockConfig(n_marginal=-1)
+
+
+class TestSynthesis:
+    def test_produces_polygons_and_seeds(self, rng):
+        layer, seeded = synthesize_routed_block(rng, REGION)
+        assert len(layer.polygons) > 20
+        assert len(seeded) == RoutedBlockConfig().n_marginal
+
+    def test_seeds_inside_region(self, rng):
+        _, seeded = synthesize_routed_block(rng, REGION)
+        for cx, cy in seeded:
+            assert REGION.contains_point(cx, cy)
+
+    def test_geometry_grid_aligned(self, rng):
+        layer, _ = synthesize_routed_block(rng, REGION)
+        for poly in layer.polygons[:50]:
+            for r in poly.rects:
+                assert all(v % 8 == 0 for v in r.as_tuple())
+
+    def test_deterministic(self):
+        a, sa = synthesize_routed_block(np.random.default_rng(3), REGION)
+        b, sb = synthesize_routed_block(np.random.default_rng(3), REGION)
+        assert sa == sb
+        assert len(a.polygons) == len(b.polygons)
+
+    def test_no_marginal_option(self, rng):
+        _, seeded = synthesize_routed_block(
+            rng, REGION, RoutedBlockConfig(n_marginal=0)
+        )
+        assert seeded == []
+
+    def test_marginal_pairs_present(self, rng):
+        """Seeded spots carry thin features (pairs may merge with tracks)."""
+        config = RoutedBlockConfig(n_marginal=3)
+        layer, seeded = synthesize_routed_block(rng, REGION, config)
+        for cx, cy in seeded:
+            window = Rect.from_center(cx, cy, 400, 400)
+            local = layer.rects_in(window)
+            assert local, "seeded window must contain metal"
+            assert min(r.height for r in local) <= 64
+
+
+class TestSeededRecall:
+    def test_full_recall(self):
+        seeded = [(100, 100), (500, 500)]
+        regions = [Rect(0, 0, 200, 200), Rect(400, 400, 600, 600)]
+        assert seeded_recall(seeded, regions) == 1.0
+
+    def test_partial_recall(self):
+        seeded = [(100, 100), (5000, 5000)]
+        regions = [Rect(0, 0, 200, 200)]
+        assert seeded_recall(seeded, regions) == 0.5
+
+    def test_empty_seeded(self):
+        assert seeded_recall([], [Rect(0, 0, 1, 1)]) == 0.0
+
+
+class TestScanIntegration:
+    def test_oracle_confirms_seeded_spots(self, rng):
+        """The seeded marginal pairs really are hotspots under the oracle."""
+        from repro.geometry import extract_clip
+        from repro.litho import HotspotOracle
+
+        layer, seeded = synthesize_routed_block(
+            rng, REGION, RoutedBlockConfig(n_marginal=2)
+        )
+        oracle = HotspotOracle()
+        hits = sum(
+            oracle.label(extract_clip(layer, c, 768, 256)) for c in seeded
+        )
+        assert hits >= 1  # at least half of the seeds verify hot

@@ -1,0 +1,121 @@
+"""Tests for the parametric pattern families."""
+
+import numpy as np
+import pytest
+
+from repro.data.patterns import FAMILIES, GRID, snap, snap_place
+from repro.geometry import Rect, merge_touching
+
+WINDOW = Rect(1000, 2000, 1768, 2768)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestSnapping:
+    def test_snap_to_pixel_grid(self):
+        assert snap(13) == 16
+        assert snap(11) == 8
+        assert snap(0) == 0
+
+    def test_snap_place_coarser(self):
+        assert snap_place(40) % 32 == 0
+        assert snap_place(100) == 96
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+class TestAllFamilies:
+    def test_produces_rects(self, family, rng):
+        spec = FAMILIES[family](WINDOW, rng)
+        assert spec.family == family
+        assert len(spec.rects) >= 1
+        assert spec.params
+
+    def test_grid_aligned(self, family, rng):
+        for _ in range(5):
+            spec = FAMILIES[family](WINDOW, rng)
+            for r in spec.rects:
+                for v in r.as_tuple():
+                    assert v % GRID == 0, f"{family}: {r} not grid aligned"
+
+    def test_covers_window_center(self, family, rng):
+        """Patterns must put *something* within reach of the core region."""
+        cx, cy = WINDOW.center
+        core = Rect.from_center(int(cx), int(cy), 512, 512)
+        hits = 0
+        for _ in range(10):
+            spec = FAMILIES[family](WINDOW, rng)
+            if any(r.touches(core) for r in spec.rects):
+                hits += 1
+        assert hits >= 8, f"{family} rarely reaches the core"
+
+    def test_deterministic_given_seed(self, family):
+        a = FAMILIES[family](WINDOW, np.random.default_rng(5))
+        b = FAMILIES[family](WINDOW, np.random.default_rng(5))
+        assert a.rects == b.rects
+        assert a.params == b.params
+
+    def test_marginal_knob_accepted(self, family, rng):
+        spec = FAMILIES[family](WINDOW, rng, marginal_p=1.0)
+        assert len(spec.rects) >= 1
+
+
+class TestFamilySpecifics:
+    def test_grating_constant_pitch(self, rng):
+        spec = FAMILIES["grating"](WINDOW, rng)
+        vertical = spec.params["vertical"] == 1.0
+        xs = sorted(r.x1 if vertical else r.y1 for r in spec.rects)
+        pitches = {b - a for a, b in zip(xs[:-1], xs[1:])}
+        assert pitches == {int(spec.params["width"] + spec.params["space"])}
+
+    def test_tip_pair_gap_matches_params(self, rng):
+        for _ in range(5):
+            spec = FAMILIES["tip_pair"](WINDOW, rng)
+            gap = int(spec.params["gap"])
+            # find the two collinear wires (same y span) and check their gap
+            wires = [r for r in spec.rects if r.height == spec.params["width"]]
+            rows = {}
+            for r in wires:
+                rows.setdefault((r.y1, r.y2), []).append(r)
+            pair = [v for v in rows.values() if len(v) == 2]
+            assert pair, "tip_pair must contain a facing pair"
+            a, b = sorted(pair[0], key=lambda r: r.x1)
+            assert b.x1 - a.x2 == gap
+
+    def test_comb_has_two_spines(self, rng):
+        spec = FAMILIES["comb"](WINDOW, rng)
+        horizontals = [r for r in spec.rects if r.width > r.height]
+        assert len(horizontals) >= 2
+
+    def test_l_corners_connected_arms(self, rng):
+        spec = FAMILIES["l_corners"](WINDOW, rng)
+        n = int(spec.params["n"])
+        groups = merge_touching(list(spec.rects))
+        assert len(groups) == n  # each L is one connected component
+
+    def test_jog_wires_stay_apart(self, rng):
+        """No two distinct wires in a comfortable jog pattern overlap."""
+        spec = FAMILIES["jog_wires"](WINDOW, rng, marginal_p=0.0)
+        groups = merge_touching(list(spec.rects))
+        for i, a in enumerate(groups):
+            for b in groups[i + 1 :]:
+                for ra in a:
+                    for rb in b:
+                        assert not ra.intersects(rb)
+
+    def test_random_routing_segments_on_tracks(self, rng):
+        spec = FAMILIES["random_routing"](WINDOW, rng)
+        width = int(spec.params["width"])
+        horizontals = [r for r in spec.rects if r.height == width]
+        ys = {r.y1 for r in horizontals}
+        pitch = int(spec.params["width"] + spec.params["space"])
+        base = min(ys)
+        assert all((y - base) % pitch == 0 for y in ys)
+
+    def test_dense_block_has_lone_wire(self, rng):
+        spec = FAMILIES["dense_block"](WINDOW, rng)
+        xs = sorted(r.x1 for r in spec.rects)
+        gaps = [b - a for a, b in zip(xs[:-1], xs[1:])]
+        assert max(gaps) >= 128  # the density transition gap

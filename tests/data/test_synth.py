@@ -1,0 +1,100 @@
+"""Tests for clip synthesis from family mixtures."""
+
+import numpy as np
+import pytest
+
+from repro.data import FamilyMix, generate_clips, make_clip
+from repro.data.patterns import FAMILIES
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def uniform_mix():
+    return FamilyMix(
+        weights={f: 1.0 for f in FAMILIES}, marginal_p={}, default_marginal_p=0.1
+    )
+
+
+class TestFamilyMix:
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError):
+            FamilyMix(weights={"bogus": 1.0}, marginal_p={})
+
+    def test_empty_weights_raises(self):
+        with pytest.raises(ValueError):
+            FamilyMix(weights={}, marginal_p={})
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            FamilyMix(weights={"grating": -1.0}, marginal_p={})
+
+    def test_sampling_respects_weights(self, rng):
+        mix = FamilyMix(
+            weights={"grating": 1.0, "comb": 0.0}, marginal_p={}
+        )
+        names = {mix.sample_family(rng) for _ in range(50)}
+        assert names == {"grating"}
+
+    def test_marginality_lookup(self):
+        mix = FamilyMix(
+            weights={"grating": 1.0, "comb": 1.0},
+            marginal_p={"comb": 0.5},
+            default_marginal_p=0.1,
+        )
+        assert mix.marginality("comb") == 0.5
+        assert mix.marginality("grating") == 0.1
+
+
+class TestMakeClip:
+    def test_clip_well_formed(self, rng):
+        clip, spec = make_clip(rng, "grating")
+        assert clip.size == 768
+        assert clip.core.width == 256
+        assert clip.window.contains(clip.core)
+        assert spec.family == "grating"
+        assert clip.rects  # grating always intersects the window
+
+    def test_rects_clipped_to_window(self, rng):
+        clip, _ = make_clip(rng, "random_routing")
+        for r in clip.rects:
+            assert clip.window.contains(r)
+
+    def test_unknown_family_raises(self, rng):
+        with pytest.raises(KeyError):
+            make_clip(rng, "bogus")
+
+    def test_misaligned_window_raises(self, rng):
+        with pytest.raises(ValueError):
+            make_clip(rng, "grating", window_nm=770)
+
+    def test_distinct_absolute_positions(self, rng):
+        a, _ = make_clip(rng, "grating")
+        b, _ = make_clip(rng, "grating")
+        assert a.window != b.window
+
+    def test_tag_defaults_to_family(self, rng):
+        clip, _ = make_clip(rng, "comb")
+        assert clip.tag == "comb"
+
+
+class TestGenerateClips:
+    def test_count_and_specs(self, rng, uniform_mix):
+        clips, specs = generate_clips(rng, uniform_mix, 30)
+        assert len(clips) == 30
+        assert len(specs) == 30
+        families = {s.family for s in specs}
+        assert len(families) >= 4  # uniform mix hits several families
+
+    def test_reproducible(self, uniform_mix):
+        a, _ = generate_clips(np.random.default_rng(3), uniform_mix, 10)
+        b, _ = generate_clips(np.random.default_rng(3), uniform_mix, 10)
+        assert [c.rects for c in a] == [c.rects for c in b]
+
+    def test_tags_carry_index(self, rng, uniform_mix):
+        clips, specs = generate_clips(rng, uniform_mix, 5)
+        for i, (clip, spec) in enumerate(zip(clips, specs)):
+            assert clip.tag == f"{spec.family}#{i}"

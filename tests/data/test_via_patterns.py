@@ -1,0 +1,127 @@
+"""Tests for via-layer pattern families and the via benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.data import FAMILIES, VIA_FAMILIES, FamilyMix, generate_clips
+from repro.data.via_patterns import (
+    COMFORT_VIA_SIZES,
+    MARGINAL_VIA_SIZES,
+)
+from repro.geometry import Rect
+
+WINDOW = Rect(1000, 2000, 1768, 2768)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestRegistry:
+    def test_via_families_registered(self):
+        for name in VIA_FAMILIES:
+            assert name in FAMILIES
+
+    def test_mix_accepts_via_families(self, rng):
+        mix = FamilyMix(
+            weights={"via_array": 1.0, "isolated_via": 1.0}, marginal_p={}
+        )
+        clips, specs = generate_clips(rng, mix, 6)
+        assert len(clips) == 6
+        assert {s.family for s in specs} <= {"via_array", "isolated_via"}
+
+
+@pytest.mark.parametrize("family", sorted(VIA_FAMILIES))
+class TestAllViaFamilies:
+    def test_produces_square_vias(self, family, rng):
+        spec = VIA_FAMILIES[family](WINDOW, rng)
+        assert spec.rects
+        for r in spec.rects:
+            assert r.width == r.height  # vias are squares
+            assert r.width in COMFORT_VIA_SIZES + MARGINAL_VIA_SIZES
+
+    def test_grid_aligned(self, family, rng):
+        for _ in range(5):
+            spec = VIA_FAMILIES[family](WINDOW, rng)
+            for r in spec.rects:
+                assert all(v % 8 == 0 for v in r.as_tuple())
+
+    def test_deterministic(self, family):
+        a = VIA_FAMILIES[family](WINDOW, np.random.default_rng(5))
+        b = VIA_FAMILIES[family](WINDOW, np.random.default_rng(5))
+        assert a.rects == b.rects
+
+    def test_vias_disjoint(self, family, rng):
+        spec = VIA_FAMILIES[family](WINDOW, rng)
+        rects = spec.rects
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert not a.intersects(b), f"{family} vias overlap"
+
+
+class TestFamilySpecifics:
+    def test_array_regular_pitch(self, rng):
+        spec = VIA_FAMILIES["via_array"](WINDOW, rng)
+        pitch = int(spec.params["pitch"])
+        xs = sorted({r.x1 for r in spec.rects})
+        gaps = {b - a for a, b in zip(xs[:-1], xs[1:])}
+        assert gaps == {pitch}
+
+    def test_isolated_single(self, rng):
+        spec = VIA_FAMILIES["isolated_via"](WINDOW, rng)
+        assert len(spec.rects) == 1
+
+    def test_pair_gap(self, rng):
+        spec = VIA_FAMILIES["via_pair"](WINDOW, rng)
+        a, b = sorted(spec.rects, key=lambda r: r.x1)
+        assert b.x1 - a.x2 == int(spec.params["gap"])
+
+    def test_cluster_never_empty(self, rng):
+        for _ in range(10):
+            spec = VIA_FAMILIES["via_cluster"](WINDOW, rng)
+            assert len(spec.rects) >= 1
+
+
+class TestViaPhysics:
+    """The via process boundary the benchmark is built around."""
+
+    def test_large_isolated_via_prints(self):
+        from repro.litho import HotspotOracle
+
+        from ..conftest import clip_from_rects
+
+        oracle = HotspotOracle()
+        big = clip_from_rects([Rect(552, 552, 648, 648)])  # 96nm
+        small = clip_from_rects([Rect(564, 564, 636, 636)])  # 72nm
+        assert oracle.label(big) == 0
+        assert oracle.label(small) == 1
+
+    def test_dense_array_supports_marginal_vias(self):
+        from repro.litho import HotspotOracle
+
+        from ..conftest import clip_from_rects
+
+        oracle = HotspotOracle()
+        size = 80
+        dense, sparse = [], []
+        for i in range(-3, 4):
+            for j in range(-3, 4):
+                for pitch, out in ((160, dense), (192, sparse)):
+                    cx, cy = 600 + i * pitch, 600 + j * pitch
+                    out.append(
+                        Rect(cx - size // 2, cy - size // 2,
+                             cx + size // 2, cy + size // 2)
+                    )
+        assert oracle.label(clip_from_rects(dense)) == 0
+        assert oracle.label(clip_from_rects(sparse)) == 1
+
+
+class TestViaBenchmark:
+    def test_tiny_via_benchmark(self):
+        from repro.data import make_via_benchmark
+
+        b = make_via_benchmark(scale=0.05)
+        assert b.name == "BV"
+        assert b.train.n_hotspots >= 1
+        assert b.test.n_non_hotspots > b.test.n_hotspots

@@ -1,0 +1,99 @@
+"""Tests for extractor infrastructure: caching, standardization, concat."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    CachingExtractor,
+    ConcatFeatures,
+    DensityGrid,
+    Standardizer,
+    vectorize,
+    vectorize_standardized,
+)
+from repro.features.base import FeatureExtractor
+
+
+class CountingExtractor(FeatureExtractor):
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def extract(self, clip):
+        self.calls += 1
+        return np.array([clip.density()])
+
+
+class TestCaching:
+    def test_second_extract_cached(self, grating_clip):
+        inner = CountingExtractor()
+        cached = CachingExtractor(inner)
+        a = cached.extract(grating_clip)
+        b = cached.extract(grating_clip)
+        assert inner.calls == 1
+        np.testing.assert_array_equal(a, b)
+        assert cached.cache_size() == 1
+
+    def test_clear(self, grating_clip):
+        inner = CountingExtractor()
+        cached = CachingExtractor(inner)
+        cached.extract(grating_clip)
+        cached.clear()
+        cached.extract(grating_clip)
+        assert inner.calls == 2
+
+    def test_name_wraps_inner(self):
+        assert "counting" in CachingExtractor(CountingExtractor()).name
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_std(self, rng):
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        z = Standardizer().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, rtol=1e-10)
+
+    def test_constant_column_safe(self):
+        x = np.ones((10, 2))
+        z = Standardizer().fit_transform(x)
+        assert np.isfinite(z).all()
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.ones((2, 2)))
+
+    def test_train_statistics_applied_to_test(self, rng):
+        train = rng.normal(0, 1, (100, 3))
+        test = rng.normal(10, 1, (50, 3))
+        s = Standardizer().fit(train)
+        z = s.transform(test)
+        assert z.mean() > 5  # test shifted relative to train stats
+
+
+class TestVectorize:
+    def test_vectorize(self, tiny_dataset):
+        x, y = vectorize(DensityGrid(grid=6), tiny_dataset)
+        assert x.shape == (len(tiny_dataset), 36)
+        np.testing.assert_array_equal(y, tiny_dataset.labels)
+
+    def test_vectorize_standardized(self, tiny_dataset, rng):
+        train, test = tiny_dataset.split(0.3, rng)
+        x_tr, y_tr, x_te, y_te, scaler = vectorize_standardized(
+            DensityGrid(grid=6), train, test
+        )
+        np.testing.assert_allclose(x_tr.mean(axis=0), 0.0, atol=1e-9)
+        assert x_te.shape[1] == x_tr.shape[1]
+        assert scaler.mean_ is not None
+
+
+class TestConcat:
+    def test_concatenates(self, grating_clip):
+        concat = ConcatFeatures([DensityGrid(grid=4), DensityGrid(grid=6)])
+        feats = concat.extract(grating_clip)
+        assert feats.shape == (16 + 36,)
+        assert "+" in concat.name
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ConcatFeatures([])

@@ -1,0 +1,74 @@
+"""Tests for concentric-circle area sampling."""
+
+import numpy as np
+import pytest
+
+from repro.features import ConcentricSampling
+from repro.geometry import Rect, transform_clip
+
+from ..conftest import clip_from_rects
+
+
+class TestShapes:
+    def test_samples_mode(self, grating_clip):
+        feats = ConcentricSampling(n_rings=10, n_angles=16).extract(grating_clip)
+        assert feats.shape == (160,)
+
+    def test_rings_mode(self, grating_clip):
+        feats = ConcentricSampling(n_rings=10, n_angles=16, mode="rings").extract(
+            grating_clip
+        )
+        assert feats.shape == (10,)
+
+    def test_feature_shape_property(self):
+        assert ConcentricSampling(8, 12).feature_shape == (96,)
+        assert ConcentricSampling(8, 12, mode="rings").feature_shape == (8,)
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            ConcentricSampling(mode="bogus")
+        with pytest.raises(ValueError):
+            ConcentricSampling(n_rings=0)
+
+
+class TestValues:
+    def test_in_unit_range(self, grating_clip):
+        feats = ConcentricSampling().extract(grating_clip)
+        assert feats.min() >= 0.0
+        assert feats.max() <= 1.0
+
+    def test_empty_clip_zero(self, empty_clip):
+        assert ConcentricSampling().extract(empty_clip).sum() == 0.0
+
+    def test_full_cover_ones(self):
+        clip = clip_from_rects([Rect(0, 0, 1200, 1200)])
+        feats = ConcentricSampling().extract(clip)
+        np.testing.assert_allclose(feats, 1.0, atol=1e-9)
+
+    def test_center_blob_hits_inner_rings_only(self):
+        clip = clip_from_rects([Rect(560, 560, 640, 640)])  # small center square
+        rings = ConcentricSampling(n_rings=12, n_angles=32, mode="rings").extract(
+            clip
+        )
+        assert rings[0] > 0.3
+        assert rings[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_ring_means_rotation_tolerant(self):
+        """Ring-mean CCAS barely changes under 90-degree rotation."""
+        clip = clip_from_rects(
+            [Rect(300, 560, 900, 624), Rect(560, 300, 624, 560)], tag="T"
+        )
+        rot = transform_clip(clip, "rot90")
+        extractor = ConcentricSampling(n_rings=10, n_angles=64, mode="rings")
+        a = extractor.extract(clip)
+        b = extractor.extract(rot)
+        np.testing.assert_allclose(a, b, atol=0.03)
+
+    def test_samples_detect_direction(self):
+        """Full samples distinguish a horizontal from a vertical wire."""
+        horizontal = clip_from_rects([Rect(96, 568, 1104, 632)])
+        vertical = clip_from_rects([Rect(568, 96, 632, 1104)])
+        extractor = ConcentricSampling(n_rings=8, n_angles=16)
+        assert not np.allclose(
+            extractor.extract(horizontal), extractor.extract(vertical)
+        )

@@ -1,0 +1,87 @@
+"""Tests for the DCT feature tensor: shapes, energy, invertibility."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    DCTFeatureTensor,
+    feature_tensor,
+    inverse_feature_tensor,
+)
+from repro.geometry import rasterize_clip
+
+
+class TestFeatureTensor:
+    def test_shape(self):
+        raster = np.random.default_rng(0).random((96, 96))
+        t = feature_tensor(raster, block=8, keep=4)
+        assert t.shape == (16, 12, 12)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            feature_tensor(np.ones((90, 96)), block=8, keep=4)
+
+    def test_dc_channel_is_block_mean(self):
+        rng = np.random.default_rng(1)
+        raster = rng.random((32, 32))
+        t = feature_tensor(raster, block=8, keep=2)
+        # ortho-normalized 2-D DCT: DC coefficient = block_sum / block_size
+        expected = raster.reshape(4, 8, 4, 8).transpose(0, 2, 1, 3).mean(axis=(2, 3)) * 8
+        np.testing.assert_allclose(t[0], expected, rtol=1e-10)
+
+    def test_full_keep_is_lossless(self):
+        rng = np.random.default_rng(2)
+        raster = rng.random((32, 32))
+        t = feature_tensor(raster, block=8, keep=8)
+        back = inverse_feature_tensor(t, block=8, keep=8)
+        np.testing.assert_allclose(back, raster, atol=1e-10)
+
+    def test_truncation_is_lowpass(self):
+        """Reconstruction error decreases as more coefficients are kept."""
+        rng = np.random.default_rng(3)
+        raster = rng.random((32, 32))
+        errors = []
+        for keep in (2, 4, 6, 8):
+            t = feature_tensor(raster, block=8, keep=keep)
+            back = inverse_feature_tensor(t, block=8, keep=keep)
+            errors.append(np.abs(back - raster).mean())
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] == pytest.approx(0.0, abs=1e-10)
+
+    def test_smooth_pattern_reconstructs_well_at_low_keep(self):
+        """Layout-like (blocky) content concentrates in low frequencies."""
+        raster = np.zeros((32, 32))
+        raster[:, 8:24] = 1.0
+        t = feature_tensor(raster, block=8, keep=4)
+        back = inverse_feature_tensor(t, block=8, keep=4)
+        assert np.abs(back - raster).mean() < 0.05
+
+    def test_inverse_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            inverse_feature_tensor(np.zeros((9, 4, 4)), block=8, keep=4)
+
+
+class TestExtractor:
+    def test_tensor_mode(self, grating_clip):
+        t = DCTFeatureTensor(block=8, keep=4).extract(grating_clip)
+        assert t.shape == (16, 12, 12)
+
+    def test_flat_mode(self, grating_clip):
+        v = DCTFeatureTensor(block=8, keep=4, flatten=True).extract(grating_clip)
+        assert v.shape == (16 * 12 * 12,)
+
+    def test_matches_manual_pipeline(self, grating_clip):
+        extractor = DCTFeatureTensor(block=8, keep=4)
+        manual = feature_tensor(rasterize_clip(grating_clip, 8), 8, 4)
+        np.testing.assert_allclose(extractor.extract(grating_clip), manual)
+
+    def test_bad_keep_raises(self):
+        with pytest.raises(ValueError):
+            DCTFeatureTensor(block=8, keep=9)
+        with pytest.raises(ValueError):
+            DCTFeatureTensor(block=8, keep=0)
+
+    def test_names_distinct(self):
+        a = DCTFeatureTensor(block=8, keep=4)
+        b = DCTFeatureTensor(block=8, keep=4, flatten=True)
+        assert a.name != b.name

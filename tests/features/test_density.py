@@ -1,0 +1,80 @@
+"""Tests for density-grid features."""
+
+import numpy as np
+import pytest
+
+from repro.features import DensityGrid, block_reduce_mean
+from repro.geometry import Rect
+
+from ..conftest import clip_from_rects
+
+
+class TestBlockReduce:
+    def test_exact_division(self):
+        raster = np.arange(16, dtype=float).reshape(4, 4)
+        out = block_reduce_mean(raster, 2)
+        assert out.shape == (2, 2)
+        assert out[0, 0] == pytest.approx(raster[:2, :2].mean())
+
+    def test_uneven_division(self):
+        raster = np.ones((10, 10))
+        out = block_reduce_mean(raster, 3)
+        assert out.shape == (3, 3)
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_grid_too_large_raises(self):
+        with pytest.raises(ValueError):
+            block_reduce_mean(np.ones((4, 4)), 8)
+
+    def test_mean_preserved_for_even_blocks(self):
+        rng = np.random.default_rng(0)
+        raster = rng.random((12, 12))
+        out = block_reduce_mean(raster, 4)
+        assert out.mean() == pytest.approx(raster.mean())
+
+
+class TestDensityGrid:
+    def test_shape(self, grating_clip):
+        feats = DensityGrid(grid=12).extract(grating_clip)
+        assert feats.shape == (144,)
+        assert DensityGrid(grid=12).feature_shape == (144,)
+
+    def test_values_are_fractions(self, grating_clip):
+        feats = DensityGrid(grid=12).extract(grating_clip)
+        assert feats.min() >= 0.0
+        assert feats.max() <= 1.0
+
+    def test_empty_clip_zero(self, empty_clip):
+        assert DensityGrid(grid=8).extract(empty_clip).sum() == 0.0
+
+    def test_full_cover_ones(self):
+        clip = clip_from_rects([Rect(0, 0, 1200, 1200)])
+        feats = DensityGrid(grid=8).extract(clip)
+        np.testing.assert_allclose(feats, 1.0)
+
+    def test_mean_matches_clip_density(self, grating_clip):
+        feats = DensityGrid(grid=12).extract(grating_clip)
+        assert feats.mean() == pytest.approx(grating_clip.density(), abs=1e-6)
+
+    def test_extract_many_stacks(self, grating_clip, tip_pair_clip):
+        extractor = DensityGrid(grid=6)
+        batch = extractor.extract_many([grating_clip, tip_pair_clip])
+        assert batch.shape == (2, 36)
+        np.testing.assert_array_equal(batch[0], extractor.extract(grating_clip))
+
+    def test_extract_many_empty_raises(self):
+        with pytest.raises(ValueError):
+            DensityGrid().extract_many([])
+
+    def test_bad_grid_raises(self):
+        with pytest.raises(ValueError):
+            DensityGrid(grid=0)
+
+    def test_translation_of_pattern_changes_features(self, grating_clip):
+        """Density grid is position-sensitive at tile granularity."""
+        shifted = clip_from_rects(
+            [r.translate(64, 0) for r in grating_clip.rects], tag="shifted"
+        )
+        a = DensityGrid(grid=12).extract(grating_clip)
+        b = DensityGrid(grid=12).extract(shifted)
+        assert not np.allclose(a, b)

@@ -1,0 +1,62 @@
+"""Tests for HOG features."""
+
+import numpy as np
+import pytest
+
+from repro.features import HOGFeatures, hog_features
+from repro.geometry import Rect
+
+from ..conftest import clip_from_rects
+
+
+class TestHogFeatures:
+    def test_shape(self):
+        raster = np.random.default_rng(0).random((48, 48))
+        feats = hog_features(raster, cells=6, n_bins=4)
+        assert feats.shape == (6 * 6 * 4,)
+
+    def test_flat_raster_zero(self):
+        feats = hog_features(np.ones((24, 24)), cells=3, n_bins=4)
+        np.testing.assert_array_equal(feats, 0.0)
+
+    def test_cells_normalized(self):
+        raster = np.zeros((24, 24))
+        raster[:, 12:] = 1.0  # a single vertical edge
+        feats = hog_features(raster, cells=3, n_bins=4).reshape(3, 3, 4)
+        norms = np.linalg.norm(feats, axis=2)
+        active = norms > 0
+        np.testing.assert_allclose(norms[active], 1.0)
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            hog_features(np.ones((8, 8)), cells=0)
+
+    def test_orientation_sensitivity(self):
+        """A vertical edge and a horizontal edge land in different bins."""
+        vertical = np.zeros((24, 24))
+        vertical[:, 12:] = 1.0
+        horizontal = vertical.T.copy()
+        fv = hog_features(vertical, cells=1, n_bins=4)
+        fh = hog_features(horizontal, cells=1, n_bins=4)
+        assert fv.argmax() != fh.argmax()
+
+
+class TestExtractor:
+    def test_on_clip(self, grating_clip):
+        feats = HOGFeatures(cells=6, n_bins=4).extract(grating_clip)
+        assert feats.shape == HOGFeatures(cells=6, n_bins=4).feature_shape
+        assert feats.max() > 0
+
+    def test_empty_clip_zero(self, empty_clip):
+        feats = HOGFeatures().extract(empty_clip)
+        np.testing.assert_array_equal(feats, 0.0)
+
+    def test_distinguishes_orientations(self):
+        h = clip_from_rects([Rect(96, 568, 1104, 632)])
+        v = clip_from_rects([Rect(568, 96, 632, 1104)])
+        extractor = HOGFeatures(cells=4, n_bins=4)
+        assert not np.allclose(extractor.extract(h), extractor.extract(v))
+
+    def test_bad_config_raises(self):
+        with pytest.raises(ValueError):
+            HOGFeatures(cells=0)

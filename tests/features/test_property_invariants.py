@@ -1,0 +1,93 @@
+"""Property-based invariants across the feature extractors (hypothesis)."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.features import (
+    ConcentricSampling,
+    DCTFeatureTensor,
+    DensityGrid,
+    SquishFeatures,
+    squish,
+    unsquish,
+)
+from repro.geometry import Clip, Rect, union_area
+
+WINDOW = 768
+
+
+@st.composite
+def clip_rects(draw):
+    """A small random soup of grid-aligned rects inside the window."""
+    n = draw(st.integers(1, 6))
+    rects = []
+    for _ in range(n):
+        x1 = draw(st.integers(0, 80)) * 8
+        y1 = draw(st.integers(0, 80)) * 8
+        w = draw(st.integers(2, 20)) * 8
+        h = draw(st.integers(2, 20)) * 8
+        rects.append(
+            Rect(x1, y1, min(x1 + w, WINDOW), min(y1 + h, WINDOW))
+        )
+    return tuple(r for r in rects if not r.empty())
+
+
+def make_clip(rects):
+    return Clip(
+        window=Rect(0, 0, WINDOW, WINDOW),
+        core=Rect.from_center(WINDOW // 2, WINDOW // 2, 256, 256),
+        rects=rects,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(clip_rects())
+def test_squish_roundtrip_preserves_union_area(rects):
+    clip = make_clip(rects)
+    cells = unsquish(squish(clip))
+    assert union_area(cells) == union_area(list(rects))
+
+
+@settings(max_examples=30, deadline=None)
+@given(clip_rects())
+def test_extractors_deterministic(rects):
+    clip = make_clip(rects)
+    for extractor in (
+        DensityGrid(grid=8),
+        ConcentricSampling(n_rings=6, n_angles=8),
+        DCTFeatureTensor(block=8, keep=2),
+        SquishFeatures(max_cuts=16),
+    ):
+        a = extractor.extract(clip)
+        b = extractor.extract(clip)
+        np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(clip_rects())
+def test_density_features_bounded_and_consistent(rects):
+    clip = make_clip(rects)
+    feats = DensityGrid(grid=8).extract(clip)
+    assert feats.min() >= 0.0
+    assert feats.max() <= 1.0 + 1e-12
+    # overall mean equals exact covered-area fraction (rects may overlap)
+    covered = union_area(list(rects)) / (WINDOW * WINDOW)
+    assert abs(feats.mean() - covered) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(clip_rects(), st.integers(-20, 20), st.integers(-20, 20))
+def test_global_translation_invariance(rects, dx8, dy8):
+    """Moving geometry AND window together changes nothing."""
+    dx, dy = dx8 * 8, dy8 * 8
+    base = make_clip(rects)
+    moved = Clip(
+        window=base.window.translate(dx, dy),
+        core=base.core.translate(dx, dy),
+        rects=tuple(r.translate(dx, dy) for r in rects),
+    )
+    for extractor in (DensityGrid(grid=8), DCTFeatureTensor(block=8, keep=2)):
+        np.testing.assert_allclose(
+            extractor.extract(base), extractor.extract(moved)
+        )

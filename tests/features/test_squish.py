@@ -1,0 +1,85 @@
+"""Tests for squish-pattern encoding."""
+
+import numpy as np
+import pytest
+
+from repro.features import SquishFeatures, squish, unsquish
+from repro.geometry import Rect, union_area
+
+from ..conftest import clip_from_rects
+
+
+class TestSquish:
+    def test_single_wire(self):
+        clip = clip_from_rects([Rect(96, 568, 1104, 632)])
+        pat = squish(clip)
+        # cuts: y at 0, wire bottom, wire top, size -> 3 intervals
+        assert len(pat.dy) == 3
+        assert len(pat.dx) == 1
+        assert pat.matrix().sum() == 1  # one covered cell
+
+    def test_deltas_sum_to_clip_size(self, grating_clip):
+        pat = squish(grating_clip)
+        assert sum(pat.dx) == grating_clip.size
+        assert sum(pat.dy) == grating_clip.size
+
+    def test_unsquish_restores_area(self, grating_clip):
+        pat = squish(grating_clip)
+        cells = unsquish(pat)
+        assert union_area(cells) == union_area(list(grating_clip.local_rects()))
+
+    def test_unsquish_restores_geometry(self):
+        clip = clip_from_rects([Rect(300, 400, 800, 464), Rect(300, 464, 364, 900)])
+        restored = set()
+        for r in unsquish(squish(clip)):
+            restored.add(r.as_tuple())
+        # cells tile the same region: area and bbox agree
+        local = list(clip.local_rects())
+        assert union_area([Rect(*t) for t in restored]) == union_area(local)
+
+    def test_translation_invariant_topology(self):
+        a = clip_from_rects([Rect(300, 560, 900, 624)])
+        b = clip_from_rects([Rect(364, 592, 964, 656)])  # same wire, shifted
+        assert squish(a).topology_key() == squish(b).topology_key()
+
+    def test_different_patterns_different_topology(self, grating_clip, tip_pair_clip):
+        assert (
+            squish(grating_clip).topology_key()
+            != squish(tip_pair_clip).topology_key()
+        )
+
+    def test_empty_clip(self, empty_clip):
+        pat = squish(empty_clip)
+        assert pat.matrix().sum() == 0
+        assert len(pat.dx) == 1 and len(pat.dy) == 1
+
+    def test_shape_property(self, grating_clip):
+        pat = squish(grating_clip)
+        assert pat.shape == (len(pat.dy), len(pat.dx))
+
+
+class TestSquishFeatures:
+    def test_fixed_length(self, grating_clip, tip_pair_clip, empty_clip):
+        extractor = SquishFeatures(max_cuts=24)
+        for clip in (grating_clip, tip_pair_clip, empty_clip):
+            assert extractor.extract(clip).shape == (24 * 24 + 48,)
+
+    def test_matches_feature_shape(self):
+        e = SquishFeatures(max_cuts=16)
+        assert e.feature_shape == (16 * 16 + 32,)
+
+    def test_normalized_deltas(self, grating_clip):
+        feats = SquishFeatures(max_cuts=32).extract(grating_clip)
+        deltas = feats[-64:]
+        assert deltas.max() <= 1.0
+        assert deltas.min() >= 0.0
+
+    def test_bad_max_cuts(self):
+        with pytest.raises(ValueError):
+            SquishFeatures(max_cuts=1)
+
+    def test_distinguishes_patterns(self, grating_clip, tip_pair_clip):
+        e = SquishFeatures()
+        assert not np.allclose(
+            e.extract(grating_clip), e.extract(tip_pair_clip)
+        )

@@ -1,0 +1,115 @@
+"""Tests for the design-rule checker."""
+
+import pytest
+
+from repro.geometry import (
+    DesignRules,
+    Layer,
+    Polygon,
+    Rect,
+    check_layer,
+    check_spacing,
+    is_clean,
+)
+from repro.geometry.drc import check_polygon_width
+
+RULES = DesignRules(min_width=32, min_spacing=32, min_area=0)
+
+
+def layer_of(*polys):
+    layer = Layer("m1")
+    for p in polys:
+        layer.add(p)
+    return layer
+
+
+class TestRules:
+    def test_invalid_rules_raise(self):
+        with pytest.raises(ValueError):
+            DesignRules(min_width=0)
+        with pytest.raises(ValueError):
+            DesignRules(min_spacing=-1)
+        with pytest.raises(ValueError):
+            DesignRules(min_area=-5)
+
+
+class TestWidth:
+    def test_wide_wire_clean(self):
+        poly = Polygon.rectangle(Rect(0, 0, 64, 1000))
+        assert check_polygon_width(poly, RULES) == []
+
+    def test_thin_wire_flagged(self):
+        poly = Polygon.rectangle(Rect(0, 0, 16, 1000))
+        violations = check_polygon_width(poly, RULES)
+        assert len(violations) == 1
+        assert violations[0].kind == "width"
+        assert violations[0].measured == 16
+
+    def test_l_bend_slabs_not_false_positives(self):
+        # an L of 40-wide arms decomposes into slabs; the horizontal slab
+        # is 40 tall (fine) and the vertical extension is 40 wide (fine)
+        poly = Polygon.from_rects([Rect(0, 0, 200, 40), Rect(0, 40, 40, 200)])
+        assert check_polygon_width(poly, RULES) == []
+
+    def test_exactly_min_width_clean(self):
+        poly = Polygon.rectangle(Rect(0, 0, 32, 100))
+        assert check_polygon_width(poly, RULES) == []
+
+
+class TestSpacing:
+    def test_far_apart_clean(self):
+        polys = [
+            Polygon.rectangle(Rect(0, 0, 40, 100)),
+            Polygon.rectangle(Rect(100, 0, 140, 100)),
+        ]
+        assert check_spacing(polys, RULES) == []
+
+    def test_too_close_flagged(self):
+        polys = [
+            Polygon.rectangle(Rect(0, 0, 40, 100)),
+            Polygon.rectangle(Rect(60, 0, 100, 100)),
+        ]
+        violations = check_spacing(polys, RULES)
+        assert len(violations) == 1
+        assert violations[0].kind == "spacing"
+        assert violations[0].measured == 20
+
+    def test_exactly_min_spacing_clean(self):
+        polys = [
+            Polygon.rectangle(Rect(0, 0, 40, 100)),
+            Polygon.rectangle(Rect(72, 0, 112, 100)),
+        ]
+        assert check_spacing(polys, RULES) == []
+
+    def test_diagonal_spacing_uses_linf(self):
+        # diagonal offset (20, 20): manhattan gap is 20 -> violation
+        polys = [
+            Polygon.rectangle(Rect(0, 0, 40, 40)),
+            Polygon.rectangle(Rect(60, 60, 100, 100)),
+        ]
+        violations = check_spacing(polys, RULES)
+        assert len(violations) == 1
+
+
+class TestLayerCheck:
+    def test_clean_layer(self):
+        layer = layer_of(
+            Polygon.rectangle(Rect(0, 0, 64, 500)),
+            Polygon.rectangle(Rect(128, 0, 192, 500)),
+        )
+        assert is_clean(layer, RULES)
+
+    def test_area_rule(self):
+        rules = DesignRules(min_width=32, min_spacing=32, min_area=10_000)
+        layer = layer_of(Polygon.rectangle(Rect(0, 0, 40, 40)))
+        violations = check_layer(layer, rules)
+        kinds = {v.kind for v in violations}
+        assert "area" in kinds
+
+    def test_mixed_violations_reported(self):
+        layer = layer_of(
+            Polygon.rectangle(Rect(0, 0, 16, 500)),  # thin
+            Polygon.rectangle(Rect(20, 0, 60, 500)),  # too close to the thin one
+        )
+        kinds = sorted({v.kind for v in check_layer(layer, RULES)})
+        assert kinds == ["spacing", "width"]

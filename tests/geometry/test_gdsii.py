@@ -1,0 +1,109 @@
+"""Tests for the binary GDSII reader/writer."""
+
+import struct
+
+import pytest
+
+from repro.geometry import Layout, Polygon, Rect
+from repro.geometry.gdsii import (
+    GDSIIError,
+    _gds_real8,
+    _parse_real8,
+    read_gdsii,
+    write_gdsii,
+)
+
+
+@pytest.fixture
+def layout():
+    layout = Layout("chip")
+    m1 = layout.layer("metal1")
+    m1.add(Polygon.rectangle(Rect(0, 0, 100, 40)))
+    m1.add(Polygon.from_rects([Rect(200, 0, 300, 40), Rect(200, 40, 240, 160)]))
+    via = layout.layer("via1")
+    via.add(Polygon.rectangle(Rect(50, 50, 122, 122)))
+    return layout
+
+
+class TestReal8:
+    @pytest.mark.parametrize(
+        "value", [0.0, 1.0, -1.0, 1e-3, 1e-9, 0.5, 123456.789, -2.5e-7]
+    )
+    def test_roundtrip(self, value):
+        assert _parse_real8(_gds_real8(value)) == pytest.approx(
+            value, rel=1e-12, abs=1e-300
+        )
+
+
+class TestRoundTrip:
+    def test_write_read(self, layout, tmp_path):
+        path = tmp_path / "chip.gds"
+        layer_map = write_gdsii(layout, path)
+        assert set(layer_map) == {"metal1", "via1"}
+        loaded, db_unit = read_gdsii(path)
+        assert loaded.name == "chip"
+        assert db_unit == pytest.approx(1e-9)
+        # layers come back as numbered names
+        assert set(loaded.layers) == {f"L{n}" for n in layer_map.values()}
+        # total area preserved per layer
+        m1_number = layer_map["metal1"]
+        loaded_m1 = loaded.layer(f"L{m1_number}")
+        orig_area = sum(p.area for p in layout.layer("metal1").polygons)
+        loaded_area = sum(p.area for p in loaded_m1.polygons)
+        assert loaded_area == orig_area
+
+    def test_geometry_exact(self, tmp_path):
+        layout = Layout("one")
+        layout.layer("m").add(Polygon.rectangle(Rect(8, 16, 120, 64)))
+        path = tmp_path / "one.gds"
+        write_gdsii(layout, path)
+        loaded, _ = read_gdsii(path)
+        (poly,) = loaded.layer("L1").polygons
+        assert poly.bbox == Rect(8, 16, 120, 64)
+        assert poly.area == 112 * 48
+
+    def test_file_is_even_aligned_binary(self, layout, tmp_path):
+        path = tmp_path / "chip.gds"
+        write_gdsii(layout, path)
+        data = path.read_bytes()
+        assert len(data) % 2 == 0
+        # starts with a HEADER record
+        length, rec_type = struct.unpack(">HH", data[:4])
+        assert rec_type == 0x0002
+
+    def test_deterministic_output(self, layout, tmp_path):
+        a = tmp_path / "a.gds"
+        b = tmp_path / "b.gds"
+        write_gdsii(layout, a)
+        write_gdsii(layout, b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestMalformed:
+    def test_not_gdsii_raises(self, tmp_path):
+        path = tmp_path / "x.gds"
+        path.write_bytes(b"\x00\x04\x04\x00")  # lone ENDLIB, no header
+        with pytest.raises(GDSIIError):
+            read_gdsii(path)
+
+    def test_bad_record_length(self, tmp_path):
+        path = tmp_path / "x.gds"
+        path.write_bytes(b"\x00\x01\x00\x02")
+        with pytest.raises(GDSIIError):
+            read_gdsii(path)
+
+    def test_truncated_stream(self, layout, tmp_path):
+        path = tmp_path / "x.gds"
+        write_gdsii(layout, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2 + 1])  # cut mid-record
+        with pytest.raises(GDSIIError):
+            read_gdsii(path)
+
+    def test_trailing_bytes_after_endlib_tolerated(self, layout, tmp_path):
+        """Real tools pad streams; everything after ENDLIB is ignored."""
+        path = tmp_path / "x.gds"
+        write_gdsii(layout, path)
+        path.write_bytes(path.read_bytes() + b"\x00\x00")
+        loaded, _ = read_gdsii(path)
+        assert loaded.layers

@@ -1,0 +1,45 @@
+"""Property-based GDSII round-trip tests (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.geometry import Layout, Polygon, Rect
+from repro.geometry.gdsii import read_gdsii, write_gdsii
+
+
+@st.composite
+def layouts(draw):
+    layout = Layout(draw(st.sampled_from(["chip", "block", "LIB7"])))
+    n_layers = draw(st.integers(1, 3))
+    for li in range(n_layers):
+        layer = layout.layer(f"layer{li}")
+        n_polys = draw(st.integers(1, 4))
+        for _ in range(n_polys):
+            x1 = draw(st.integers(-500, 500))
+            y1 = draw(st.integers(-500, 500))
+            w = draw(st.integers(1, 300))
+            h = draw(st.integers(1, 300))
+            layer.add(Polygon.rectangle(Rect(x1, y1, x1 + w, y1 + h)))
+    return layout
+
+
+@settings(max_examples=25, deadline=None)
+@given(layouts())
+def test_roundtrip_preserves_area_per_layer(tmp_path_factory, layout):
+    path = tmp_path_factory.mktemp("gds") / "x.gds"
+    layer_map = write_gdsii(layout, path)
+    loaded, db_unit = read_gdsii(path)
+    assert db_unit > 0
+    for name, number in layer_map.items():
+        orig = sum(p.area for p in layout.layer(name).polygons)
+        back = sum(p.area for p in loaded.layer(f"L{number}").polygons)
+        assert back == orig
+
+
+@settings(max_examples=25, deadline=None)
+@given(layouts())
+def test_roundtrip_preserves_bbox(tmp_path_factory, layout):
+    path = tmp_path_factory.mktemp("gds") / "x.gds"
+    write_gdsii(layout, path)
+    loaded, _ = read_gdsii(path)
+    assert loaded.bbox == layout.bbox

@@ -1,0 +1,125 @@
+"""Round-trip and error tests for layout/clip serialization."""
+
+import pytest
+
+from repro.geometry import (
+    ClipFormatError,
+    Layout,
+    Polygon,
+    Rect,
+    load_clips,
+    load_layout,
+    save_clips,
+    save_layout,
+)
+
+from ..conftest import clip_from_rects
+
+
+class TestLayoutJson:
+    def test_roundtrip(self, tmp_path):
+        layout = Layout("chip")
+        layout.layer("m1").add(Polygon.rectangle(Rect(0, 0, 10, 10)))
+        layout.layer("m2").add(
+            Polygon.from_rects([Rect(0, 0, 10, 4), Rect(0, 4, 4, 10)])
+        )
+        path = tmp_path / "layout.json"
+        save_layout(layout, path)
+        loaded = load_layout(path)
+        assert loaded.name == "chip"
+        assert set(loaded.layers) == {"m1", "m2"}
+        assert loaded.layer("m2").polygons[0] == layout.layer("m2").polygons[0]
+
+
+class TestClipText:
+    def test_roundtrip_with_labels(self, tmp_path):
+        clips = [
+            clip_from_rects([Rect(300, 300, 900, 364)], tag="a"),
+            clip_from_rects([Rect(300, 500, 364, 900)], tag="b"),
+        ]
+        path = tmp_path / "clips.txt"
+        save_clips(clips, path, labels=[1, 0])
+        loaded, labels = load_clips(path)
+        assert labels == [1, 0]
+        assert [c.tag for c in loaded] == ["a", "b"]
+        assert loaded[0].rects == clips[0].rects
+        assert loaded[0].window == clips[0].window
+        assert loaded[0].core == clips[0].core
+
+    def test_roundtrip_unlabeled(self, tmp_path):
+        clips = [clip_from_rects([Rect(300, 300, 900, 364)])]
+        path = tmp_path / "clips.txt"
+        save_clips(clips, path)
+        loaded, labels = load_clips(path)
+        assert labels == [None]
+        assert len(loaded) == 1
+
+    def test_empty_clip_roundtrip(self, tmp_path, empty_clip):
+        path = tmp_path / "clips.txt"
+        save_clips([empty_clip], path, labels=[0])
+        loaded, labels = load_clips(path)
+        assert loaded[0].rects == ()
+        assert labels == [0]
+
+    def test_label_length_mismatch_raises(self, tmp_path):
+        clips = [clip_from_rects([Rect(300, 300, 900, 364)])]
+        with pytest.raises(ValueError):
+            save_clips(clips, tmp_path / "x.txt", labels=[1, 0])
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        clips = [clip_from_rects([Rect(300, 300, 900, 364)], tag="a")]
+        path = tmp_path / "clips.txt"
+        save_clips(clips, path, labels=[1])
+        text = "# header comment\n\n" + path.read_text()
+        path.write_text(text)
+        loaded, labels = load_clips(path)
+        assert len(loaded) == 1 and labels == [1]
+
+
+class TestMalformed:
+    def _write(self, tmp_path, text):
+        p = tmp_path / "bad.txt"
+        p.write_text(text)
+        return p
+
+    def test_rect_outside_clip(self, tmp_path):
+        p = self._write(tmp_path, "RECT 0 0 1 1\n")
+        with pytest.raises(ClipFormatError):
+            load_clips(p)
+
+    def test_end_outside_clip(self, tmp_path):
+        p = self._write(tmp_path, "END\n")
+        with pytest.raises(ClipFormatError):
+            load_clips(p)
+
+    def test_unterminated_clip(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "CLIP a WINDOW 0 0 8 8 CORE 2 2 6 6 LAYER m1 LABEL 1\nRECT 0 0 1 1\n",
+        )
+        with pytest.raises(ClipFormatError):
+            load_clips(p)
+
+    def test_nested_clip(self, tmp_path):
+        header = "CLIP a WINDOW 0 0 8 8 CORE 2 2 6 6 LAYER m1 LABEL 1\n"
+        p = self._write(tmp_path, header + header)
+        with pytest.raises(ClipFormatError):
+            load_clips(p)
+
+    def test_unknown_record(self, tmp_path):
+        p = self._write(tmp_path, "BOGUS 1 2 3\n")
+        with pytest.raises(ClipFormatError):
+            load_clips(p)
+
+    def test_malformed_header(self, tmp_path):
+        p = self._write(tmp_path, "CLIP a WINDOW 0 0 8 8 LABEL 1\n")
+        with pytest.raises(ClipFormatError):
+            load_clips(p)
+
+    def test_bad_coordinates(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "CLIP a WINDOW 8 8 0 0 CORE 2 2 6 6 LAYER m1 LABEL 1\nEND\n",
+        )
+        with pytest.raises(ClipFormatError):
+            load_clips(p)

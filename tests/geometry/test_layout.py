@@ -1,0 +1,132 @@
+"""Tests for Layer / Layout / Clip containers and clip extraction."""
+
+import pytest
+
+from repro.geometry import (
+    Clip,
+    Layer,
+    Layout,
+    Polygon,
+    Rect,
+    extract_clip,
+    tile_centers,
+)
+
+
+class TestLayer:
+    def test_add_and_bbox(self):
+        layer = Layer("m1")
+        layer.add(Polygon.rectangle(Rect(0, 0, 10, 10)))
+        layer.add(Polygon.rectangle(Rect(100, 100, 110, 120)))
+        assert layer.bbox == Rect(0, 0, 110, 120)
+
+    def test_empty_bbox_raises(self):
+        with pytest.raises(ValueError):
+            Layer("m1").bbox
+
+    def test_add_rects_groups_polygons(self):
+        layer = Layer("m1")
+        layer.add_rects([Rect(0, 0, 2, 2), Rect(2, 0, 4, 2), Rect(10, 10, 12, 12)])
+        assert len(layer.polygons) == 2
+
+    def test_query_window(self):
+        layer = Layer("m1")
+        for i in range(20):
+            layer.add(Polygon.rectangle(Rect(i * 100, 0, i * 100 + 50, 50)))
+        hits = layer.query(Rect(240, 0, 420, 50))
+        xs = sorted(p.bbox.x1 for p in hits)
+        assert xs == [200, 300, 400]
+
+    def test_query_after_mutation(self):
+        """Index must invalidate when polygons are added."""
+        layer = Layer("m1")
+        layer.add(Polygon.rectangle(Rect(0, 0, 10, 10)))
+        assert len(layer.query(Rect(0, 0, 1000, 1000))) == 1
+        layer.add(Polygon.rectangle(Rect(500, 500, 510, 510)))
+        assert len(layer.query(Rect(0, 0, 1000, 1000))) == 2
+
+    def test_rects_in_clips_to_window(self):
+        layer = Layer("m1")
+        layer.add(Polygon.rectangle(Rect(0, 0, 100, 10)))
+        rects = layer.rects_in(Rect(50, 0, 200, 10))
+        assert rects == [Rect(50, 0, 100, 10)]
+
+
+class TestLayout:
+    def test_layer_get_or_create(self):
+        layout = Layout("chip")
+        m1 = layout.layer("metal1")
+        assert layout.layer("metal1") is m1
+        assert "metal1" in layout.layers
+
+    def test_bbox_across_layers(self):
+        layout = Layout("chip")
+        layout.layer("m1").add(Polygon.rectangle(Rect(0, 0, 10, 10)))
+        layout.layer("m2").add(Polygon.rectangle(Rect(50, 50, 60, 60)))
+        assert layout.bbox == Rect(0, 0, 60, 60)
+
+    def test_empty_layout_bbox_raises(self):
+        with pytest.raises(ValueError):
+            Layout("chip").bbox
+
+
+class TestClip:
+    def test_core_inside_window_enforced(self):
+        with pytest.raises(ValueError):
+            Clip(
+                window=Rect(0, 0, 100, 100),
+                core=Rect(50, 50, 150, 150),
+                rects=(),
+            )
+
+    def test_local_rects_origin(self):
+        layer = Layer("m1")
+        layer.add(Polygon.rectangle(Rect(90, 90, 110, 140)))
+        clip = extract_clip(layer, (100, 100), 64, 32)
+        local = clip.local_rects()
+        assert all(0 <= r.x1 and r.x2 <= 64 for r in local)
+        assert clip.local_core() == Rect(16, 16, 48, 48)
+
+    def test_density(self):
+        layer = Layer("m1")
+        layer.add(Polygon.rectangle(Rect(0, 0, 64, 64)))
+        clip = extract_clip(layer, (32, 32), 64, 32)
+        assert clip.density() == pytest.approx(1.0)
+
+    def test_density_empty(self):
+        layer = Layer("m1")
+        clip = extract_clip(layer, (32, 32), 64, 32)
+        assert clip.density() == 0.0
+
+    def test_extract_core_too_big_raises(self):
+        layer = Layer("m1")
+        with pytest.raises(ValueError):
+            extract_clip(layer, (0, 0), 64, 128)
+
+    def test_clip_is_hashable(self):
+        layer = Layer("m1")
+        layer.add(Polygon.rectangle(Rect(0, 0, 64, 64)))
+        a = extract_clip(layer, (32, 32), 64, 32)
+        b = extract_clip(layer, (32, 32), 64, 32)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestTileCenters:
+    def test_tiling_counts(self):
+        centers = tile_centers(Rect(0, 0, 1000, 1000), window_size=200, step=100)
+        assert len(centers) == 81  # 9 x 9
+
+    def test_windows_stay_inside(self):
+        region = Rect(0, 0, 500, 300)
+        for cx, cy in tile_centers(region, window_size=200, step=100):
+            window = Rect.from_center(cx, cy, 200, 200)
+            assert region.contains(window)
+
+    def test_region_smaller_than_window(self):
+        assert tile_centers(Rect(0, 0, 100, 100), 200, 50) == []
+
+    def test_bad_step_raises(self):
+        with pytest.raises(ValueError):
+            tile_centers(Rect(0, 0, 100, 100), 50, 0)

@@ -1,0 +1,135 @@
+"""Unit and property tests for rectilinear polygons."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.geometry import Polygon, Rect, polygons_from_rect_soup, union_area
+
+
+class TestConstruction:
+    def test_rectangle(self):
+        p = Polygon.rectangle(Rect(0, 0, 10, 5))
+        assert p.area == 50
+        assert p.bbox == Rect(0, 0, 10, 5)
+
+    def test_degenerate_rectangle_raises(self):
+        with pytest.raises(ValueError):
+            Polygon.rectangle(Rect(0, 0, 0, 5))
+
+    def test_from_rects_l_shape(self):
+        p = Polygon.from_rects([Rect(0, 0, 10, 4), Rect(0, 4, 4, 10)])
+        assert p.area == 40 + 24
+
+    def test_from_rects_overlapping_union_area(self):
+        p = Polygon.from_rects([Rect(0, 0, 6, 6), Rect(4, 0, 10, 6)])
+        assert p.area == union_area([Rect(0, 0, 6, 6), Rect(4, 0, 10, 6)])
+
+    def test_from_rects_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            Polygon.from_rects([Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)])
+
+    def test_from_rects_empty_raises(self):
+        with pytest.raises(ValueError):
+            Polygon.from_rects([])
+
+    def test_normalization_canonical(self):
+        """Same point set from different decompositions compares equal."""
+        a = Polygon.from_rects([Rect(0, 0, 10, 4), Rect(0, 4, 10, 10)])
+        b = Polygon.from_rects([Rect(0, 0, 10, 10)])
+        assert a == b
+
+
+class TestFromRing:
+    def test_square_ring(self):
+        p = Polygon.from_ring([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert p.area == 100
+
+    def test_ring_with_repeat_endpoint(self):
+        p = Polygon.from_ring([(0, 0), (10, 0), (10, 10), (0, 10), (0, 0)])
+        assert p.area == 100
+
+    def test_l_shape_ring(self):
+        ring = [(0, 0), (10, 0), (10, 4), (4, 4), (4, 10), (0, 10)]
+        p = Polygon.from_ring(ring)
+        assert p.area == 10 * 4 + 4 * 6
+
+    def test_ring_matches_rect_construction(self):
+        ring = [(0, 0), (10, 0), (10, 4), (4, 4), (4, 10), (0, 10)]
+        a = Polygon.from_ring(ring)
+        b = Polygon.from_rects([Rect(0, 0, 10, 4), Rect(0, 4, 4, 10)])
+        assert a == b
+
+    def test_diagonal_edge_raises(self):
+        with pytest.raises(ValueError):
+            Polygon.from_ring([(0, 0), (10, 10), (0, 10)])
+
+    def test_too_few_vertices_raises(self):
+        with pytest.raises(ValueError):
+            Polygon.from_ring([(0, 0), (10, 0), (10, 10)])
+
+
+class TestQueries:
+    def test_contains_point(self):
+        p = Polygon.from_rects([Rect(0, 0, 10, 4), Rect(0, 4, 4, 10)])
+        assert p.contains_point(1, 1)
+        assert p.contains_point(1, 9)
+        assert not p.contains_point(9, 9)
+
+    def test_translate(self):
+        p = Polygon.rectangle(Rect(0, 0, 4, 4)).translate(10, 20)
+        assert p.bbox == Rect(10, 20, 14, 24)
+
+    def test_intersects(self):
+        a = Polygon.rectangle(Rect(0, 0, 10, 10))
+        b = Polygon.rectangle(Rect(5, 5, 15, 15))
+        c = Polygon.rectangle(Rect(20, 20, 30, 30))
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_min_gap(self):
+        a = Polygon.rectangle(Rect(0, 0, 10, 10))
+        b = Polygon.rectangle(Rect(13, 0, 20, 10))
+        assert a.min_gap(b) == 3.0
+
+
+class TestSoup:
+    def test_groups_disconnected(self):
+        polys = polygons_from_rect_soup(
+            [Rect(0, 0, 2, 2), Rect(2, 0, 4, 2), Rect(10, 0, 12, 2)]
+        )
+        areas = sorted(p.area for p in polys)
+        assert areas == [4, 8]
+
+
+coords = st.integers(min_value=0, max_value=200)
+sizes = st.integers(min_value=1, max_value=60)
+
+
+@st.composite
+def touching_chain(draw):
+    """A horizontally touching chain of rects (always connected)."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    y1 = draw(coords)
+    h = draw(sizes)
+    x = draw(coords)
+    rects = []
+    for _ in range(n):
+        w = draw(sizes)
+        rects.append(Rect(x, y1, x + w, y1 + h))
+        x += w
+    return rects
+
+
+@settings(max_examples=60)
+@given(touching_chain())
+def test_polygon_area_equals_union_area(rects):
+    poly = Polygon.from_rects(rects)
+    assert poly.area == union_area(rects)
+
+
+@settings(max_examples=60)
+@given(touching_chain(), st.integers(-50, 50), st.integers(-50, 50))
+def test_translate_preserves_area(rects, dx, dy):
+    poly = Polygon.from_rects(rects)
+    assert poly.translate(dx, dy).area == poly.area

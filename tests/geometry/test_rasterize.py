@@ -1,0 +1,98 @@
+"""Tests for rasterization: coverage exactness and orientation."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.geometry import Rect, rasterize_clip, rasterize_rects
+from repro.geometry.rasterize import core_slice
+
+from ..conftest import clip_from_rects
+
+
+class TestRasterizeRects:
+    def test_full_cover(self):
+        window = Rect(0, 0, 64, 64)
+        grid = rasterize_rects([window], window, pixel_nm=8)
+        assert grid.shape == (8, 8)
+        assert np.all(grid == 1.0)
+
+    def test_empty(self):
+        grid = rasterize_rects([], Rect(0, 0, 64, 64), pixel_nm=8)
+        assert grid.sum() == 0.0
+
+    def test_pixel_aligned_block(self):
+        window = Rect(0, 0, 64, 64)
+        grid = rasterize_rects([Rect(8, 16, 24, 32)], window, pixel_nm=8)
+        assert grid[2:4, 1:3].sum() == 4.0
+        assert grid.sum() == 4.0
+
+    def test_orientation_row0_is_bottom(self):
+        window = Rect(0, 0, 64, 64)
+        grid = rasterize_rects([Rect(0, 0, 64, 8)], window, pixel_nm=8)
+        assert np.all(grid[0] == 1.0)
+        assert grid[1:].sum() == 0.0
+
+    def test_antialias_partial_pixels(self):
+        window = Rect(0, 0, 16, 16)
+        grid = rasterize_rects([Rect(0, 0, 4, 8)], window, pixel_nm=8)
+        # covers half the height and half the width of pixel (0,0)
+        assert grid[0, 0] == pytest.approx(0.5)
+        assert grid[1, 0] == 0.0
+
+    def test_hard_threshold_mode(self):
+        window = Rect(0, 0, 16, 16)
+        grid = rasterize_rects(
+            [Rect(0, 0, 5, 8)], window, pixel_nm=8, antialias=False
+        )
+        assert set(np.unique(grid)) <= {0.0, 1.0}
+        assert grid[0, 0] == 1.0  # 5/8 coverage rounds to printed
+
+    def test_overlap_saturates(self):
+        window = Rect(0, 0, 16, 16)
+        grid = rasterize_rects(
+            [Rect(0, 0, 16, 16), Rect(0, 0, 16, 16)], window, pixel_nm=8
+        )
+        assert grid.max() == 1.0
+
+    def test_out_of_window_clipped(self):
+        window = Rect(0, 0, 16, 16)
+        grid = rasterize_rects([Rect(-100, -100, 8, 8)], window, pixel_nm=8)
+        assert grid[0, 0] == 1.0
+        assert grid.sum() == 1.0
+
+    def test_indivisible_window_raises(self):
+        with pytest.raises(ValueError):
+            rasterize_rects([], Rect(0, 0, 60, 64), pixel_nm=8)
+
+    def test_bad_pixel_raises(self):
+        with pytest.raises(ValueError):
+            rasterize_rects([], Rect(0, 0, 64, 64), pixel_nm=0)
+
+
+class TestCoverageExactness:
+    @settings(max_examples=60)
+    @given(
+        st.integers(0, 56), st.integers(0, 56), st.integers(1, 60), st.integers(1, 60)
+    )
+    def test_total_coverage_equals_area(self, x1, y1, w, h):
+        """Sum of coverage fractions * pixel area == rect area (clipped)."""
+        window = Rect(0, 0, 64, 64)
+        rect = Rect(x1, y1, min(x1 + w, 64), min(y1 + h, 64))
+        grid = rasterize_rects([rect], window, pixel_nm=8)
+        assert grid.sum() * 64 == pytest.approx(rect.area)
+
+
+class TestClipRaster:
+    def test_clip_shape_and_core_slice(self, grating_clip):
+        grid = rasterize_clip(grating_clip, pixel_nm=8)
+        assert grid.shape == (96, 96)
+        rs, cs = core_slice(grating_clip, pixel_nm=8)
+        assert rs.stop - rs.start == 32
+        assert cs.stop - cs.start == 32
+
+    def test_grating_density(self, grating_clip):
+        grid = rasterize_clip(grating_clip, pixel_nm=8)
+        # 64/128 grating covers ~half the window
+        assert 0.4 <= grid.mean() <= 0.6

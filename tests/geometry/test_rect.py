@@ -1,0 +1,154 @@
+"""Unit tests for the Rect algebra."""
+
+import pytest
+
+from repro.geometry import Rect, bounding_box, merge_touching, union_area
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        r = Rect(0, 0, 10, 4)
+        assert r.width == 10
+        assert r.height == 4
+        assert r.area == 40
+        assert r.perimeter == 28
+        assert r.center == (5.0, 2.0)
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 0, 10)
+        with pytest.raises(ValueError):
+            Rect(0, 5, 10, 0)
+
+    def test_degenerate_is_empty(self):
+        assert Rect(3, 3, 3, 10).empty()
+        assert Rect(3, 3, 10, 3).empty()
+        assert not Rect(0, 0, 1, 1).empty()
+
+    def test_from_points_normalizes(self):
+        assert Rect.from_points((10, 8), (2, 3)) == Rect(2, 3, 10, 8)
+
+    def test_from_center(self):
+        r = Rect.from_center(100, 100, 50, 30)
+        assert (r.width, r.height) == (50, 30)
+        assert r.contains_point(100, 100)
+
+    def test_from_center_negative_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(0, 0, -2, 4)
+
+    def test_corners_ccw(self):
+        assert Rect(0, 0, 2, 3).corners() == ((0, 0), (2, 0), (2, 3), (0, 3))
+
+
+class TestPredicates:
+    def test_contains_point_boundary_inclusive(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(10, 10)
+        assert not r.contains_point(10.5, 5)
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains(Rect(2, 2, 8, 8))
+        assert Rect(0, 0, 10, 10).contains(Rect(0, 0, 10, 10))
+        assert not Rect(0, 0, 10, 10).contains(Rect(5, 5, 11, 8))
+
+    def test_intersects_open(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.intersects(Rect(5, 5, 15, 15))
+        # edge contact is not interior intersection
+        assert not a.intersects(Rect(10, 0, 20, 10))
+
+    def test_touches_closed(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.touches(Rect(10, 0, 20, 10))
+        assert a.touches(Rect(10, 10, 20, 20))  # corner contact
+        assert not a.touches(Rect(11, 0, 20, 10))
+
+
+class TestAlgebra:
+    def test_intersection(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.intersection(Rect(5, 5, 15, 15)) == Rect(5, 5, 10, 10)
+        assert a.intersection(Rect(10, 0, 20, 10)) is None
+
+    def test_union_bbox(self):
+        assert Rect(0, 0, 1, 1).union_bbox(Rect(5, 5, 6, 7)) == Rect(0, 0, 6, 7)
+
+    def test_subtract_inner_hole_produces_four(self):
+        outer = Rect(0, 0, 10, 10)
+        pieces = outer.subtract(Rect(3, 3, 7, 7))
+        assert len(pieces) == 4
+        assert sum(p.area for p in pieces) == 100 - 16
+        for p in pieces:
+            for q in pieces:
+                assert p is q or not p.intersects(q)
+
+    def test_subtract_disjoint_returns_self(self):
+        a = Rect(0, 0, 5, 5)
+        assert a.subtract(Rect(10, 10, 12, 12)) == [a]
+
+    def test_subtract_covering_returns_empty(self):
+        assert Rect(2, 2, 4, 4).subtract(Rect(0, 0, 10, 10)) == []
+
+    def test_subtract_partial_edge(self):
+        a = Rect(0, 0, 10, 10)
+        pieces = a.subtract(Rect(5, 0, 15, 10))
+        assert pieces == [Rect(0, 0, 5, 10)]
+
+    def test_expand_and_shrink(self):
+        assert Rect(5, 5, 10, 10).expand(2) == Rect(3, 3, 12, 12)
+        shrunk = Rect(0, 0, 4, 4).expand(-3)
+        assert shrunk.empty()
+
+    def test_translate(self):
+        assert Rect(1, 2, 3, 4).translate(10, -2) == Rect(11, 0, 13, 2)
+
+    def test_scale(self):
+        assert Rect(1, 2, 3, 4).scale(3) == Rect(3, 6, 9, 12)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).scale(-1)
+
+
+class TestDistances:
+    def test_gap_zero_when_touching(self):
+        assert Rect(0, 0, 5, 5).gap(Rect(5, 0, 10, 5)) == 0.0
+
+    def test_gap_axis(self):
+        assert Rect(0, 0, 5, 5).gap(Rect(8, 0, 10, 5)) == 3.0
+
+    def test_gap_diagonal(self):
+        assert Rect(0, 0, 5, 5).gap(Rect(8, 9, 10, 12)) == 5.0  # 3-4-5
+
+    def test_manhattan_gap(self):
+        assert Rect(0, 0, 5, 5).manhattan_gap(Rect(8, 9, 10, 12)) == 4
+
+
+class TestCollections:
+    def test_bounding_box(self):
+        box = bounding_box([Rect(0, 0, 1, 1), Rect(5, -2, 6, 3)])
+        assert box == Rect(0, -2, 6, 3)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_union_area_disjoint(self):
+        assert union_area([Rect(0, 0, 2, 2), Rect(10, 10, 12, 12)]) == 8
+
+    def test_union_area_overlap_counted_once(self):
+        assert union_area([Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)]) == 28
+
+    def test_union_area_nested(self):
+        assert union_area([Rect(0, 0, 10, 10), Rect(2, 2, 4, 4)]) == 100
+
+    def test_union_area_empty(self):
+        assert union_area([]) == 0
+        assert union_area([Rect(1, 1, 1, 5)]) == 0
+
+    def test_merge_touching_groups(self):
+        groups = merge_touching(
+            [Rect(0, 0, 2, 2), Rect(2, 0, 4, 2), Rect(10, 10, 11, 11)]
+        )
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 2]

@@ -1,0 +1,88 @@
+"""Property-based tests for the Rect algebra (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.geometry import Rect, union_area
+
+coords = st.integers(min_value=-1000, max_value=1000)
+sizes = st.integers(min_value=1, max_value=500)
+
+
+@st.composite
+def rects(draw):
+    x1 = draw(coords)
+    y1 = draw(coords)
+    return Rect(x1, y1, x1 + draw(sizes), y1 + draw(sizes))
+
+
+@given(rects(), rects())
+def test_intersection_commutative(a, b):
+    assert a.intersection(b) == b.intersection(a)
+
+
+@given(rects(), rects())
+def test_intersection_contained_in_both(a, b):
+    inter = a.intersection(b)
+    if inter is not None:
+        assert a.contains(inter)
+        assert b.contains(inter)
+
+
+@given(rects(), rects())
+def test_intersection_iff_intersects(a, b):
+    assert (a.intersection(b) is not None) == a.intersects(b)
+
+
+@given(rects(), rects())
+def test_subtract_partitions_area(a, b):
+    """area(a - b) + area(a ∩ b) == area(a)."""
+    pieces = a.subtract(b)
+    inter = a.intersection(b)
+    inter_area = inter.area if inter else 0
+    assert sum(p.area for p in pieces) + inter_area == a.area
+
+
+@given(rects(), rects())
+def test_subtract_pieces_disjoint_from_b(a, b):
+    for p in a.subtract(b):
+        assert not p.intersects(b)
+        assert a.contains(p)
+
+
+@given(rects(), coords, coords)
+def test_translate_preserves_shape(r, dx, dy):
+    t = r.translate(dx, dy)
+    assert (t.width, t.height) == (r.width, r.height)
+    assert t.translate(-dx, -dy) == r
+
+
+@given(rects(), st.integers(min_value=0, max_value=50))
+def test_expand_monotone(r, m):
+    grown = r.expand(m)
+    assert grown.contains(r)
+    assert grown.width == r.width + 2 * m
+
+
+@given(rects(), rects())
+def test_gap_symmetric_and_nonnegative(a, b):
+    assert a.gap(b) == b.gap(a)
+    assert a.gap(b) >= 0.0
+    if a.touches(b):
+        assert a.gap(b) == 0.0
+
+
+@settings(max_examples=50)
+@given(st.lists(rects(), min_size=0, max_size=8))
+def test_union_area_bounds(rect_list):
+    """max(single areas) <= union <= sum of areas."""
+    total = union_area(rect_list)
+    assert total <= sum(r.area for r in rect_list)
+    if rect_list:
+        assert total >= max(r.area for r in rect_list)
+
+
+@settings(max_examples=50)
+@given(st.lists(rects(), min_size=1, max_size=6))
+def test_union_area_idempotent_under_duplication(rect_list):
+    assert union_area(rect_list) == union_area(rect_list + rect_list)

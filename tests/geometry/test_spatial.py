@@ -1,0 +1,99 @@
+"""Tests for the GridIndex spatial hash."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.geometry import GridIndex, Rect
+
+
+class TestBasics:
+    def test_insert_query(self):
+        idx = GridIndex(cell_size=100)
+        idx.insert(1, Rect(0, 0, 50, 50))
+        idx.insert(2, Rect(500, 500, 550, 550))
+        assert idx.query(Rect(0, 0, 60, 60)) == [1]
+        assert idx.query(Rect(0, 0, 1000, 1000)) == [1, 2]
+        assert len(idx) == 2
+
+    def test_duplicate_id_raises(self):
+        idx = GridIndex()
+        idx.insert(1, Rect(0, 0, 1, 1))
+        with pytest.raises(KeyError):
+            idx.insert(1, Rect(5, 5, 6, 6))
+
+    def test_remove(self):
+        idx = GridIndex(cell_size=64)
+        idx.insert(1, Rect(0, 0, 50, 50))
+        idx.remove(1)
+        assert idx.query(Rect(0, 0, 100, 100)) == []
+        assert len(idx) == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            GridIndex().remove(42)
+
+    def test_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(cell_size=0)
+
+    def test_rect_spanning_many_cells(self):
+        idx = GridIndex(cell_size=10)
+        idx.insert(1, Rect(0, 0, 100, 100))
+        assert idx.query(Rect(95, 95, 99, 99)) == [1]
+
+    def test_query_deduplicates(self):
+        idx = GridIndex(cell_size=10)
+        idx.insert(1, Rect(0, 0, 100, 5))
+        hits = idx.query(Rect(0, 0, 100, 100))
+        assert hits == [1]
+
+    def test_edge_on_cell_boundary(self):
+        """A rect ending exactly at a cell boundary stays in its cell."""
+        idx = GridIndex(cell_size=10)
+        idx.insert(1, Rect(0, 0, 10, 10))
+        # a window strictly in the next cell that still *touches* at x=10
+        assert idx.query(Rect(10, 0, 20, 10)) == [1]
+        assert idx.query(Rect(11, 0, 20, 10)) == []
+
+    def test_negative_coordinates(self):
+        idx = GridIndex(cell_size=64)
+        idx.insert(1, Rect(-100, -100, -50, -50))
+        assert idx.query(Rect(-120, -120, -90, -90)) == [1]
+
+
+class TestNearestGap:
+    def test_within_radius(self):
+        idx = GridIndex(cell_size=50)
+        idx.insert(1, Rect(0, 0, 10, 10))
+        idx.insert(2, Rect(100, 0, 110, 10))
+        gaps = idx.nearest_gap(Rect(20, 0, 30, 10), max_radius=50)
+        assert gaps == {1: 10.0}
+
+    def test_touching_is_zero(self):
+        idx = GridIndex()
+        idx.insert(1, Rect(0, 0, 10, 10))
+        gaps = idx.nearest_gap(Rect(10, 0, 20, 10), max_radius=5)
+        assert gaps[1] == 0.0
+
+
+rect_strategy = st.builds(
+    lambda x, y, w, h: Rect(x, y, x + w, y + h),
+    st.integers(-500, 500),
+    st.integers(-500, 500),
+    st.integers(1, 200),
+    st.integers(1, 200),
+)
+
+
+@settings(max_examples=40)
+@given(st.lists(rect_strategy, min_size=0, max_size=20), rect_strategy)
+def test_query_matches_bruteforce(rect_list, window):
+    """Index query == brute-force touch scan, for any cell alignment."""
+    idx = GridIndex(cell_size=64)
+    for i, r in enumerate(rect_list):
+        idx.insert(i, r)
+    expected = sorted(
+        i for i, r in enumerate(rect_list) if r.touches(window)
+    )
+    assert idx.query(window) == expected

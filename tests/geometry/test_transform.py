@@ -1,0 +1,106 @@
+"""Tests for D4 clip transforms."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    D4_NAMES,
+    Rect,
+    clip_orientations,
+    rasterize_clip,
+    transform_clip,
+)
+
+from ..conftest import clip_from_rects
+
+
+@pytest.fixture
+def asym_clip():
+    """An L-shaped, deliberately asymmetric clip."""
+    return clip_from_rects(
+        [Rect(300, 400, 800, 464), Rect(300, 464, 364, 900)], tag="L"
+    )
+
+
+class TestGroupStructure:
+    def test_identity_is_noop(self, asym_clip):
+        assert transform_clip(asym_clip, "identity").rects == asym_clip.rects
+
+    def test_unknown_name_raises(self, asym_clip):
+        with pytest.raises(ValueError):
+            transform_clip(asym_clip, "rot45")
+
+    def test_rot90_four_times_is_identity(self, asym_clip):
+        clip = asym_clip
+        for _ in range(4):
+            clip = transform_clip(clip, "rot90")
+        assert set(clip.rects) == set(asym_clip.rects)
+
+    @pytest.mark.parametrize(
+        "name", ["rot180", "mirror_x", "mirror_y", "transpose", "anti_transpose"]
+    )
+    def test_involutions(self, asym_clip, name):
+        twice = transform_clip(transform_clip(asym_clip, name), name)
+        assert set(twice.rects) == set(asym_clip.rects)
+
+    def test_window_and_core_preserved(self, asym_clip):
+        for name in D4_NAMES:
+            t = transform_clip(asym_clip, name)
+            assert t.window == asym_clip.window
+            assert t.core == asym_clip.core
+
+    def test_area_preserved(self, asym_clip):
+        base = sum(r.area for r in asym_clip.rects)
+        for name in D4_NAMES:
+            t = transform_clip(asym_clip, name)
+            assert sum(r.area for r in t.rects) == base
+
+
+class TestRasterConsistency:
+    """Raster of transformed clip == numpy transform of the raster."""
+
+    def test_mirror_x_matches_flipud(self, asym_clip):
+        a = rasterize_clip(transform_clip(asym_clip, "mirror_x"), 8)
+        b = np.flipud(rasterize_clip(asym_clip, 8))
+        np.testing.assert_allclose(a, b)
+
+    def test_mirror_y_matches_fliplr(self, asym_clip):
+        a = rasterize_clip(transform_clip(asym_clip, "mirror_y"), 8)
+        b = np.fliplr(rasterize_clip(asym_clip, 8))
+        np.testing.assert_allclose(a, b)
+
+    def test_rot90_matches_numpy(self, asym_clip):
+        # rot90 point map (x,y)->(s-y,x) rotates the pattern +90deg; the
+        # raster (rows=y, cols=x) then equals np.rot90 along the right axes
+        a = rasterize_clip(transform_clip(asym_clip, "rot90"), 8)
+        b = np.rot90(rasterize_clip(asym_clip, 8), k=-1)
+        np.testing.assert_allclose(a, b)
+
+    def test_transpose_matches_numpy_T(self, asym_clip):
+        a = rasterize_clip(transform_clip(asym_clip, "transpose"), 8)
+        b = rasterize_clip(asym_clip, 8).T
+        np.testing.assert_allclose(a, b)
+
+
+class TestOrientations:
+    def test_all_orientations_count(self, asym_clip):
+        assert len(clip_orientations(asym_clip)) == 8
+
+    def test_orientations_distinct_for_asymmetric(self, asym_clip):
+        rastered = [
+            rasterize_clip(c, 8).tobytes() for c in clip_orientations(asym_clip)
+        ]
+        assert len(set(rastered)) == 8
+
+    def test_tags_marked(self, asym_clip):
+        t = transform_clip(asym_clip, "rot90")
+        assert "rot90" in t.tag
+
+    def test_non_square_raises(self):
+        from repro.geometry import Clip
+
+        clip = Clip(
+            window=Rect(0, 0, 100, 50), core=Rect(40, 20, 60, 30), rects=()
+        )
+        with pytest.raises(ValueError):
+            transform_clip(clip, "rot90")

@@ -1,0 +1,182 @@
+"""Tests for defect analysis: bridges, opens, necks, spots, EPE."""
+
+import numpy as np
+import pytest
+
+from repro.litho import (
+    Defect,
+    EdgeSite,
+    design_components,
+    find_bridges,
+    find_epe_defects,
+    find_necks,
+    find_opens,
+    find_spots,
+    measure_epe,
+)
+
+
+def two_wires(h=32, w=32, gap_cols=(14, 18)):
+    """Design with two vertical wires and the labels grid."""
+    design = np.zeros((h, w))
+    design[:, 8 : gap_cols[0]] = 1.0
+    design[:, gap_cols[1] : 24] = 1.0
+    labels, count = design_components(design)
+    assert count == 2
+    return design, labels
+
+
+class TestDefect:
+    def test_in_box(self):
+        d = Defect("neck", row=5, col=7, severity=0.2)
+        assert d.in_box(0, 0, 10, 10)
+        assert not d.in_box(6, 0, 10, 10)
+        assert not d.in_box(0, 0, 10, 7)
+
+
+class TestBridges:
+    def test_no_bridge_when_prints_separate(self):
+        design, labels = two_wires()
+        printed = design > 0.5
+        assert find_bridges(labels, printed) == []
+
+    def test_bridge_detected(self):
+        design, labels = two_wires()
+        printed = design > 0.5
+        printed[15:17, 13:19] = True  # material crossing the gap
+        defects = find_bridges(labels, printed)
+        assert len(defects) == 1
+        d = defects[0]
+        assert d.kind == "bridge"
+        assert 13 <= d.col <= 18 and 14 <= d.row <= 17
+
+    def test_bridge_marker_at_gap_material(self):
+        design, labels = two_wires()
+        printed = design > 0.5
+        printed[15:17, 14:18] = True
+        d = find_bridges(labels, printed)[0]
+        assert labels[d.row, d.col] == 0  # marker on bridge material
+
+
+class TestOpens:
+    def test_intact_wire_clean(self):
+        design, labels = two_wires()
+        assert find_opens(labels, design > 0.5) == []
+
+    def test_vanished_wire(self):
+        design, labels = two_wires()
+        printed = design > 0.5
+        printed[:, 8:14] = False  # left wire gone
+        defects = find_opens(labels, printed)
+        assert len(defects) == 1
+        assert defects[0].kind == "open"
+
+    def test_broken_wire(self):
+        design, labels = two_wires()
+        printed = design > 0.5
+        printed[15:17, 8:14] = False  # cut through the left wire
+        defects = find_opens(labels, printed)
+        assert len(defects) == 1
+        assert 15 <= defects[0].row <= 16
+
+
+class TestNecks:
+    def test_full_print_clean(self):
+        design, labels = two_wires()
+        assert find_necks(labels, design > 0.5, min_width_ratio=0.7) == []
+
+    def test_thinned_region_flagged(self):
+        design, labels = two_wires()
+        printed = design > 0.5
+        # thin the left wire (cols 8..13) down to 2 of 6 columns mid-span
+        printed[14:18, 8:10] = False
+        printed[14:18, 12:14] = False
+        defects = find_necks(labels, printed, min_width_ratio=0.7)
+        assert any(d.kind == "neck" for d in defects)
+
+    def test_exclusion_mask_suppresses(self):
+        design, labels = two_wires()
+        printed = design > 0.5
+        printed[14:18, 8:10] = False
+        printed[14:18, 12:14] = False
+        exclude = np.ones_like(printed, dtype=bool)
+        assert find_necks(labels, printed, 0.7, exclude=exclude) == []
+
+    def test_empty_design(self):
+        labels = np.zeros((8, 8), dtype=np.int64)
+        assert find_necks(labels, np.zeros((8, 8), dtype=bool)) == []
+
+
+class TestSpots:
+    def test_no_extra_printing(self):
+        design, labels = two_wires()
+        assert find_spots(labels, design > 0.5) == []
+
+    def test_blob_in_clear_area(self):
+        design, labels = two_wires()
+        printed = design > 0.5
+        printed[4:7, 27:30] = True  # floating blob far from any wire
+        defects = find_spots(labels, printed, margin_px=1, min_area_px=2)
+        assert len(defects) == 1
+        assert defects[0].kind == "spot"
+        assert defects[0].severity == 9.0
+
+    def test_small_blob_below_area_ignored(self):
+        design, labels = two_wires()
+        printed = design > 0.5
+        printed[5, 28] = True
+        assert find_spots(labels, printed, margin_px=1, min_area_px=2) == []
+
+    def test_edge_bulge_absorbed_by_margin(self):
+        design, labels = two_wires()
+        printed = design > 0.5
+        printed[:, 7] = True  # 1-px bulge along the wire's left wall
+        assert find_spots(labels, printed, margin_px=1, min_area_px=2) == []
+
+
+class TestEPE:
+    def _ramp_intensity(self, h=16, w=32, edge_col=16.0, slope=0.1):
+        """Intensity ramping across columns, crossing 0.5 at edge_col."""
+        cols = np.arange(w, dtype=float)
+        row = 0.5 + slope * (edge_col - cols)
+        return np.tile(row, (h, 1))
+
+    def test_zero_epe_at_exact_edge(self):
+        intensity = self._ramp_intensity(edge_col=16.0)
+        sites = [EdgeSite(row=8.0, col=16.0, normal=(0.0, 1.0))]
+        (epe,) = measure_epe(intensity, sites, threshold=0.5)
+        assert epe == pytest.approx(0.0, abs=0.05)
+
+    def test_positive_epe_when_print_bulges(self):
+        intensity = self._ramp_intensity(edge_col=20.0)
+        sites = [EdgeSite(row=8.0, col=16.0, normal=(0.0, 1.0))]
+        (epe,) = measure_epe(intensity, sites, threshold=0.5)
+        assert epe == pytest.approx(4.0, abs=0.1)
+
+    def test_negative_epe_when_print_recedes(self):
+        intensity = self._ramp_intensity(edge_col=12.0)
+        sites = [EdgeSite(row=8.0, col=16.0, normal=(0.0, 1.0))]
+        (epe,) = measure_epe(intensity, sites, threshold=0.5)
+        assert epe == pytest.approx(-4.0, abs=0.1)
+
+    def test_no_crossing_saturates(self):
+        intensity = np.full((16, 32), 0.9)
+        sites = [EdgeSite(row=8.0, col=16.0, normal=(0.0, 1.0))]
+        (epe,) = measure_epe(intensity, sites, threshold=0.5, max_px=6.0)
+        assert epe == 6.0
+        intensity[:] = 0.1
+        (epe,) = measure_epe(intensity, sites, threshold=0.5, max_px=6.0)
+        assert epe == -6.0
+
+    def test_epe_defects_respect_kind_limits(self):
+        intensity = self._ramp_intensity(edge_col=12.0)  # -4 px everywhere
+        sites = [
+            EdgeSite(row=8.0, col=16.0, normal=(0.0, 1.0), kind="side"),
+            EdgeSite(row=9.0, col=16.0, normal=(0.0, 1.0), kind="cap"),
+        ]
+        defects = find_epe_defects(
+            intensity, sites, threshold=0.5, epe_limit_px=3.0, cap_limit_px=5.0
+        )
+        # side site violates its 3px limit; cap site tolerates 4px
+        assert len(defects) == 1
+        assert defects[0].row == 8

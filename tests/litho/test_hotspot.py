@@ -1,0 +1,151 @@
+"""Tests for the hotspot oracle: calibration, tip zones, verdicts."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, rasterize_clip
+from repro.litho import HotspotOracle, OpticalSystem, calibrate_threshold
+from repro.litho.hotspot import edge_sites_for_clip, tip_mask, tip_zones_for_clip
+
+from ..conftest import clip_from_rects
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return HotspotOracle()
+
+
+class TestCalibration:
+    def test_threshold_in_sane_range(self):
+        thr = calibrate_threshold(OpticalSystem(sigma_scale=0.2), 8, 64, 192)
+        assert 0.05 < thr < 0.95
+
+    def test_reference_grating_prints_at_size(self, oracle):
+        """By construction the reference grating has ~zero EPE at nominal."""
+        width, pitch = oracle.reference_width_nm, oracle.reference_pitch_nm
+        rects = [
+            Rect(96 + i * pitch, 100, 96 + i * pitch + width, 1100)
+            for i in range(6)
+        ]
+        clip = clip_from_rects(rects)
+        analysis = oracle.analyze(clip)
+        nominal_defects = analysis.corner_defects[0]
+        assert not [d for d in nominal_defects if d.kind == "epe"]
+
+    def test_misaligned_grid_raises(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold(OpticalSystem(), 8, 63, 192)
+
+
+class TestTipZones:
+    def test_wire_end_gets_zone(self):
+        clip = clip_from_rects([Rect(568, 296, 632, 696)])  # vertical stub
+        design = rasterize_clip(clip, 8)
+        zones = tip_zones_for_clip(clip, design, 8, tip_margin_nm=80)
+        assert len(zones) == 2  # both ends
+        for z in zones:
+            assert z.width == 64  # wire width
+            assert z.height == 80
+
+    def test_through_wire_no_zone(self, grating_clip):
+        design = rasterize_clip(grating_clip, 8)
+        zones = tip_zones_for_clip(grating_clip, design, 8)
+        assert zones == []  # wires cross the whole window; caps lie outside
+
+    def test_tip_mask_covers_zones(self):
+        # grid-aligned stub so zone boundaries land on pixel boundaries
+        clip = clip_from_rects([Rect(568, 296, 632, 696)])
+        design = rasterize_clip(clip, 8)
+        zones = tip_zones_for_clip(clip, design, 8)
+        mask = tip_mask(zones, design.shape, 8)
+        assert mask.sum() == sum((z.area // 64) for z in zones)
+
+
+class TestEdgeSites:
+    def test_sites_only_in_core(self, grating_clip):
+        design = rasterize_clip(grating_clip, 8)
+        sites = edge_sites_for_clip(grating_clip, design, 8)
+        rs_lo = (grating_clip.local_core().y1 // 8) - 0.5
+        rs_hi = (grating_clip.local_core().y2 // 8) - 0.5
+        assert sites, "grating should expose side-wall sites in the core"
+        for s in sites:
+            assert rs_lo <= s.row <= rs_hi
+
+    def test_grating_sites_all_side_kind(self, grating_clip):
+        design = rasterize_clip(grating_clip, 8)
+        sites = edge_sites_for_clip(grating_clip, design, 8)
+        assert {s.kind for s in sites} == {"side"}
+
+    def test_tip_pair_has_cap_sites(self, tip_pair_clip):
+        design = rasterize_clip(tip_pair_clip, 8)
+        zones = tip_zones_for_clip(tip_pair_clip, design, 8)
+        sites = edge_sites_for_clip(tip_pair_clip, design, 8, tip_zones=zones)
+        kinds = {s.kind for s in sites}
+        assert "cap" in kinds
+
+    def test_interior_edges_skipped(self):
+        """Touching rects' shared edge yields no sites."""
+        clip = clip_from_rects(
+            [Rect(300, 560, 600, 624), Rect(600, 560, 900, 624)]
+        )
+        design = rasterize_clip(clip, 8)
+        sites = edge_sites_for_clip(clip, design, 8)
+        for s in sites:
+            # no site on the shared vertical line x=600 (local 384, col 47.5)
+            if s.normal[1] != 0:
+                assert abs(s.col - 47.5) > 0.6
+
+
+class TestVerdicts:
+    def test_comfortable_grating_not_hotspot(self, oracle, grating_clip):
+        assert oracle.label(grating_clip) == 0
+
+    def test_empty_clip_not_hotspot(self, oracle, empty_clip):
+        assert oracle.label(empty_clip) == 0
+
+    def test_sub_min_spacing_pair_is_hotspot(self, oracle):
+        """Two long runs at 40nm spacing bridge at the dose+ corner."""
+        clip = clip_from_rects(
+            [Rect(504, 96, 568, 1104), Rect(608, 96, 672, 1104)]
+        )
+        assert oracle.label(clip) == 1
+
+    def test_thin_isolated_wire_is_hotspot(self, oracle):
+        """40nm isolated wire necks/opens at the defocus corner."""
+        clip = clip_from_rects([Rect(584, 96, 624, 1104)])
+        assert oracle.label(clip) == 1
+
+    def test_defect_outside_core_not_attributed(self, oracle):
+        """The same marginal pair placed away from the core is clean here."""
+        clip = clip_from_rects(
+            [Rect(96, 96, 1104, 160), Rect(96, 200, 1104, 240)]  # 40nm gap, far below core
+        )
+        analysis = oracle.analyze(clip)
+        assert analysis.is_hotspot is False
+        # but the defect does exist somewhere in the window at some corner
+        all_defects = [d for ds in analysis.corner_defects for d in ds]
+        assert all_defects, "marginal pair should defect outside the core"
+
+    def test_label_many_matches_label(self, oracle, grating_clip, tip_pair_clip):
+        labels = oracle.label_many([grating_clip, tip_pair_clip])
+        assert labels.tolist() == [
+            oracle.label(grating_clip),
+            oracle.label(tip_pair_clip),
+        ]
+
+    def test_determinism(self, oracle, tip_pair_clip):
+        a = oracle.analyze(tip_pair_clip)
+        b = oracle.analyze(tip_pair_clip)
+        assert a.is_hotspot == b.is_hotspot
+        assert a.defects == b.defects
+
+    def test_d4_invariance_of_verdict(self, oracle):
+        """Physics is D4-equivariant: orientation must not flip the label."""
+        from repro.geometry import transform_clip
+
+        clip = clip_from_rects(
+            [Rect(504, 96, 568, 1104), Rect(608, 96, 672, 1104)]
+        )
+        base = oracle.label(clip)
+        for name in ("rot90", "mirror_x", "transpose"):
+            assert oracle.label(transform_clip(clip, name)) == base

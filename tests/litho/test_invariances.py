@@ -1,0 +1,74 @@
+"""Physical invariances of the lithography oracle."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.geometry.layout import Clip
+from repro.litho import HotspotOracle
+
+from ..conftest import clip_from_rects
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return HotspotOracle()
+
+
+MARGINAL = [Rect(504, 96, 568, 1104), Rect(608, 96, 672, 1104)]  # 40nm gap
+COMFORT = [Rect(88 + i * 128, 96, 88 + i * 128 + 64, 1104) for i in range(8)]
+
+
+class TestTranslationInvariance:
+    @pytest.mark.parametrize("delta", [(8, 0), (0, 8), (64, 64), (-128, 256)])
+    @pytest.mark.parametrize("rects", [MARGINAL, COMFORT], ids=["marginal", "comfort"])
+    def test_global_shift_preserves_label(self, oracle, rects, delta):
+        dx, dy = delta
+        base = clip_from_rects(rects)
+        moved = Clip(
+            window=base.window.translate(dx, dy),
+            core=base.core.translate(dx, dy),
+            rects=tuple(r.translate(dx, dy) for r in base.rects),
+            layer_name=base.layer_name,
+        )
+        assert oracle.label(base) == oracle.label(moved)
+
+
+class TestMonotonicity:
+    def test_widening_an_unsafe_wire_eventually_fixes_it(self, oracle):
+        """A 40nm isolated wire is a hotspot; an 80nm one is not."""
+        labels = {}
+        for width in (40, 80):
+            clip = clip_from_rects([Rect(600 - width // 2, 96, 600 + width // 2, 1104)])
+            labels[width] = oracle.label(clip)
+        assert labels[40] == 1
+        assert labels[80] == 0
+
+    def test_spacing_relief_fixes_bridging(self, oracle):
+        """The 40nm pair is a hotspot; at 96nm spacing it is clean."""
+        tight = clip_from_rects(MARGINAL)
+        relaxed = clip_from_rects(
+            [Rect(504 - 28, 96, 568 - 28, 1104), Rect(608 + 28, 96, 672 + 28, 1104)]
+        )
+        assert oracle.label(tight) == 1
+        assert oracle.label(relaxed) == 0
+
+
+class TestCornerSetMonotonicity:
+    def test_fewer_corners_never_add_hotspots(self, oracle):
+        """Restricting process corners can only reduce the defect set."""
+        from repro.litho.optics import ImagingSettings
+
+        clip = clip_from_rects(MARGINAL)
+        full = oracle.analyze(clip)
+        nominal_only = HotspotOracle(
+            corners=(ImagingSettings(pixel_nm=8),),
+            resist=oracle.resist,
+        )
+        reduced = nominal_only.analyze(clip)
+        assert len(reduced.defects) <= len(full.defects)
+
+    def test_corner_defects_align_with_corner_list(self, oracle):
+        clip = clip_from_rects(COMFORT)
+        analysis = oracle.analyze(clip)
+        assert len(analysis.corner_defects) == len(oracle.corners)

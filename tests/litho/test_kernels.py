@@ -1,0 +1,69 @@
+"""Tests for the optical kernel model."""
+
+import numpy as np
+import pytest
+
+from repro.litho import OpticalSystem
+from repro.litho.kernels import gaussian_1d, kernel_radius_px
+
+
+class TestOpticalSystem:
+    def test_base_sigma_scales(self):
+        a = OpticalSystem(wavelength_nm=193.0, numerical_aperture=1.35)
+        b = OpticalSystem(wavelength_nm=193.0, numerical_aperture=0.9)
+        assert b.base_sigma_nm > a.base_sigma_nm
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            OpticalSystem(wavelength_nm=-1)
+        with pytest.raises(ValueError):
+            OpticalSystem(numerical_aperture=0)
+        with pytest.raises(ValueError):
+            OpticalSystem(n_kernels=0)
+        with pytest.raises(ValueError):
+            OpticalSystem(kernel_spread=0.5)
+        with pytest.raises(ValueError):
+            OpticalSystem(kernel_decay=1.5)
+
+    def test_kernel_stack_weights_sum_to_one(self):
+        stack = OpticalSystem(n_kernels=4).kernel_stack()
+        assert sum(w for w, _ in stack) == pytest.approx(1.0)
+        assert len(stack) == 4
+
+    def test_kernel_stack_decreasing_weights_increasing_sigma(self):
+        stack = OpticalSystem(n_kernels=4).kernel_stack()
+        weights = [w for w, _ in stack]
+        sigmas = [s for _, s in stack]
+        assert weights == sorted(weights, reverse=True)
+        assert sigmas == sorted(sigmas)
+
+    def test_defocus_broadens_every_kernel(self):
+        optics = OpticalSystem()
+        nominal = optics.kernel_stack(0.0)
+        defocused = optics.kernel_stack(50.0)
+        for (_, s0), (_, s1) in zip(nominal, defocused):
+            assert s1 > s0
+
+    def test_defocus_sign_symmetric(self):
+        optics = OpticalSystem()
+        assert optics.kernel_stack(40.0) == optics.kernel_stack(-40.0)
+
+
+class TestGaussian:
+    def test_normalized(self):
+        taps = gaussian_1d(2.0, 8)
+        assert taps.sum() == pytest.approx(1.0)
+        assert len(taps) == 17
+
+    def test_symmetric_peak_center(self):
+        taps = gaussian_1d(3.0, 12)
+        np.testing.assert_allclose(taps, taps[::-1])
+        assert taps.argmax() == 12
+
+    def test_bad_sigma_raises(self):
+        with pytest.raises(ValueError):
+            gaussian_1d(0.0, 4)
+
+    def test_radius_covers_truncate_sigmas(self):
+        assert kernel_radius_px(2.0, truncate=4.0) == 8
+        assert kernel_radius_px(0.1) >= 1

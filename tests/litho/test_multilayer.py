@@ -1,0 +1,139 @@
+"""Tests for multi-layer clips and metal-to-via analysis."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Layer,
+    MultiLayerClip,
+    Rect,
+    enclosure_violations,
+    extract_multilayer_clip,
+)
+from repro.litho import HotspotOracle, analyze_metal_via
+
+
+def build_layers(metal_rects, via_rects):
+    metal = Layer("metal1")
+    metal.add_rects(metal_rects)
+    via = Layer("via1")
+    via.add_rects(via_rects)
+    return {"metal1": metal, "via1": via}
+
+
+def ml_clip(metal_rects, via_rects, center=(600, 600)):
+    return extract_multilayer_clip(
+        build_layers(metal_rects, via_rects), center, 768, 256
+    )
+
+
+WIDE_METAL = [Rect(96, 520, 1104, 680)]  # 160nm-wide landing pad strip
+GOOD_VIA = [Rect(552, 552, 648, 648)]  # 96nm via well inside the metal
+
+
+class TestMultiLayerClip:
+    def test_extraction_aligned(self):
+        clip = ml_clip(WIDE_METAL, GOOD_VIA)
+        assert clip.layer_names == ("metal1", "via1")
+        assert clip.layer("metal1").window == clip.layer("via1").window
+        assert clip.window.width == 768
+
+    def test_unknown_layer_raises(self):
+        clip = ml_clip(WIDE_METAL, GOOD_VIA)
+        with pytest.raises(KeyError):
+            clip.layer("poly")
+
+    def test_mismatched_windows_rejected(self):
+        layers = build_layers(WIDE_METAL, GOOD_VIA)
+        a = extract_multilayer_clip(layers, (600, 600), 768, 256)
+        from repro.geometry import extract_clip
+
+        other = extract_clip(layers["via1"], (700, 600), 768, 256)
+        with pytest.raises(ValueError):
+            MultiLayerClip(clips=(a.clips[0], ("via1", other)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiLayerClip(clips=())
+        with pytest.raises(ValueError):
+            extract_multilayer_clip({}, (0, 0), 64, 32)
+
+
+class TestEnclosureDRC:
+    def test_well_enclosed_clean(self):
+        clip = ml_clip(WIDE_METAL, GOOD_VIA)
+        violations = enclosure_violations(
+            clip.layer("metal1"), clip.layer("via1"), min_enclosure_nm=16
+        )
+        assert violations == []
+
+    def test_under_enclosed_flagged(self):
+        # via flush with the metal edge: zero top-side enclosure
+        via = [Rect(552, 584, 648, 680)]
+        clip = ml_clip(WIDE_METAL, via)
+        violations = enclosure_violations(
+            clip.layer("metal1"), clip.layer("via1"), min_enclosure_nm=16
+        )
+        assert len(violations) == 1
+
+    def test_via_off_metal_flagged(self):
+        via = [Rect(552, 800, 648, 896)]  # not on the strip at all
+        clip = ml_clip(WIDE_METAL, via)
+        violations = enclosure_violations(
+            clip.layer("metal1"), clip.layer("via1"), min_enclosure_nm=8
+        )
+        assert len(violations) == 1
+
+    def test_window_mismatch_raises(self):
+        layers = build_layers(WIDE_METAL, GOOD_VIA)
+        from repro.geometry import extract_clip
+
+        metal = extract_clip(layers["metal1"], (600, 600), 768, 256)
+        via = extract_clip(layers["via1"], (700, 600), 768, 256)
+        with pytest.raises(ValueError):
+            enclosure_violations(metal, via, 16)
+
+
+class TestMetalViaPrintability:
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        return HotspotOracle()
+
+    def test_healthy_stack_clean(self, oracle):
+        clip = ml_clip(WIDE_METAL, GOOD_VIA)
+        analysis = analyze_metal_via(clip, oracle)
+        assert not analysis.is_hotspot
+        assert analysis.missing_vias == 0
+        assert analysis.min_coverage_nm2_ratio >= 0.7
+        core_vias = [c for c in analysis.coverages if c.in_core]
+        assert len(core_vias) == 1
+
+    def test_tiny_via_never_prints(self, oracle):
+        clip = ml_clip(WIDE_METAL, [Rect(568, 568, 632, 632)])  # 64nm via
+        analysis = analyze_metal_via(clip, oracle)
+        assert analysis.missing_vias == 1
+        assert analysis.is_hotspot
+
+    def test_via_under_retreating_metal_tip_loses_coverage(self, oracle):
+        """Metal tip pullback exposes a via whose span the tip ends inside."""
+        metal = [Rect(96, 552, 640, 648)]  # wire tip inside the via's span
+        via = [Rect(552, 552, 648, 648)]
+        exposed = analyze_metal_via(ml_clip(metal, via), oracle)
+        covered = analyze_metal_via(ml_clip(WIDE_METAL, via), oracle)
+        assert covered.min_coverage_nm2_ratio == pytest.approx(1.0)
+        assert exposed.min_coverage_nm2_ratio < 1.0
+
+    def test_metal_ending_at_via_center_is_hotspot(self, oracle):
+        metal = [Rect(96, 552, 600, 648)]  # designed tip at the via center
+        via = [Rect(552, 552, 648, 648)]
+        analysis = analyze_metal_via(ml_clip(metal, via), oracle)
+        assert analysis.min_coverage_nm2_ratio < 0.7
+        assert analysis.is_hotspot
+
+    def test_vias_outside_core_not_attributed(self, oracle):
+        # healthy via in core, broken (tiny) via far outside the core
+        metal = [Rect(96, 520, 1104, 680), Rect(96, 900, 1104, 1000)]
+        via = [Rect(552, 552, 648, 648), Rect(300, 920, 364, 984)]
+        analysis = analyze_metal_via(ml_clip(metal, via), oracle)
+        assert analysis.missing_vias == 0  # the broken one is out of core
+        assert not analysis.is_hotspot

@@ -1,0 +1,92 @@
+"""Tests for rule-based OPC: geometry moves and printability improvement."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.litho import (
+    HotspotOracle,
+    LithoSimulator,
+    OPCRules,
+    add_hammerheads,
+    bias_isolated_wires,
+    correct_clip,
+)
+
+from ..conftest import clip_from_rects
+
+
+class TestRules:
+    def test_negative_values_raise(self):
+        with pytest.raises(ValueError):
+            OPCRules(iso_bias_nm=-1)
+
+
+class TestBias:
+    def test_isolated_vertical_wire_widened(self):
+        rects = [Rect(568, 96, 632, 1104)]
+        out = bias_isolated_wires(rects, OPCRules(iso_bias_nm=8))
+        assert out[0].width == 64 + 16
+        assert out[0].height == rects[0].height
+
+    def test_dense_wires_untouched(self):
+        rects = [Rect(500, 96, 564, 1104), Rect(628, 96, 692, 1104)]
+        out = bias_isolated_wires(rects, OPCRules(iso_bias_nm=8, iso_space_nm=160))
+        assert out == rects
+
+    def test_horizontal_wire_widened_in_y(self):
+        rects = [Rect(96, 568, 1104, 632)]
+        out = bias_isolated_wires(rects, OPCRules(iso_bias_nm=8))
+        assert out[0].height == 64 + 16
+
+
+class TestHammerheads:
+    def test_vertical_stub_gets_two_heads(self):
+        rects = [Rect(568, 400, 632, 800)]
+        out = add_hammerheads(rects, OPCRules())
+        assert len(out) == 3  # wire + two heads
+        heads = [r for r in out if r != rects[0]]
+        assert any(h.y1 == 800 for h in heads)  # top head
+        assert any(h.y2 == 400 for h in heads)  # bottom head
+
+    def test_through_wire_in_contact_gets_no_heads(self):
+        # wire abutting another shape at its end: not an exposed cap
+        rects = [Rect(568, 400, 632, 800), Rect(500, 800, 700, 864)]
+        out = add_hammerheads(rects, OPCRules())
+        top_heads = [r for r in out if r.y1 == 800 and r.height <= 24]
+        assert not top_heads
+
+    def test_narrow_tip_skipped(self):
+        rects = [Rect(568, 400, 600, 800)]  # 32nm wide < min_tip_width 40
+        out = add_hammerheads(rects, OPCRules())
+        assert out == rects
+
+
+class TestCorrectClip:
+    def test_window_preserved_and_rects_inside(self):
+        clip = clip_from_rects([Rect(568, 400, 632, 800)])
+        corrected = correct_clip(clip)
+        assert corrected.window == clip.window
+        assert corrected.core == clip.core
+        for r in corrected.rects:
+            assert clip.window.contains(r)
+        assert "opc" in corrected.tag
+
+    def test_opc_reduces_tip_pullback(self):
+        """Hammerheads shrink line-end shortening under the simulator."""
+        clip = clip_from_rects([Rect(568, 96, 632, 600)])  # tip ends mid-core
+        sim = LithoSimulator()
+        before = sim.print_clip(clip, dose=0.96, defocus_nm=32)
+        corrected = correct_clip(clip, OPCRules(hammer_extend_nm=24, hammer_overhang_nm=16))
+        after = sim.print_clip(corrected, dose=0.96, defocus_nm=32)
+        # printed extent along the wire axis grows toward the design tip
+        col = slice(46, 50)  # wire center columns
+        assert after[:, col].sum() > before[:, col].sum()
+
+    def test_opc_can_fix_a_neck_hotspot(self):
+        """An isolated thin wire (neck hotspot) is cured by edge bias."""
+        oracle = HotspotOracle()
+        clip = clip_from_rects([Rect(584, 96, 632, 1104)])  # 48nm isolated
+        assert oracle.label(clip) == 1
+        corrected = correct_clip(clip, OPCRules(iso_bias_nm=16))
+        assert oracle.label(corrected) == 0

@@ -1,0 +1,67 @@
+"""Edge-case tests for the OPC rule engine."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.litho import OPCRules, add_hammerheads, bias_isolated_wires, correct_clip
+
+from ..conftest import clip_from_rects
+
+
+class TestBiasEdgeCases:
+    def test_empty_input(self):
+        assert bias_isolated_wires([], OPCRules()) == []
+
+    def test_square_biased_along_x(self):
+        # width == height: the tie goes to the x axis
+        out = bias_isolated_wires([Rect(0, 0, 64, 64)], OPCRules(iso_bias_nm=8))
+        assert out[0].width == 80
+        assert out[0].height == 64
+
+    def test_pair_within_iso_space_untouched_even_if_far_in_one_axis(self):
+        # vertically far but horizontally close: manhattan gap is small
+        rects = [Rect(0, 0, 64, 1000), Rect(100, 0, 164, 1000)]
+        out = bias_isolated_wires(rects, OPCRules(iso_space_nm=160))
+        assert out == rects
+
+
+class TestHammerheadEdgeCases:
+    def test_empty_input(self):
+        assert add_hammerheads([], OPCRules()) == []
+
+    def test_square_gets_no_heads(self):
+        # a square is not an elongated wire: no cap edges
+        rects = [Rect(0, 0, 64, 64)]
+        assert add_hammerheads(rects, OPCRules()) == rects
+
+    def test_horizontal_wire_heads_on_both_ends(self):
+        rects = [Rect(100, 0, 700, 64)]
+        out = add_hammerheads(rects, OPCRules())
+        heads = [r for r in out if r not in rects]
+        assert len(heads) == 2
+        assert any(h.x2 == 100 for h in heads)
+        assert any(h.x1 == 700 for h in heads)
+
+    def test_zero_extend_produces_no_empty_rects(self):
+        rules = OPCRules(hammer_extend_nm=0, hammer_overhang_nm=16)
+        out = add_hammerheads([Rect(0, 0, 64, 400)], rules)
+        assert all(not r.empty() for r in out)
+
+
+class TestCorrectClipEdgeCases:
+    def test_empty_clip_passthrough(self, empty_clip):
+        corrected = correct_clip(empty_clip)
+        assert corrected.rects == ()
+        assert corrected.window == empty_clip.window
+
+    def test_idempotent_on_comfortable_grating(self, grating_clip):
+        """Through-wires with dense neighbors: OPC changes nothing."""
+        corrected = correct_clip(grating_clip)
+        assert set(corrected.rects) == set(grating_clip.rects)
+
+    def test_corrections_never_escape_window(self):
+        # wire ending exactly at the window edge: head clipped back inside
+        clip = clip_from_rects([Rect(568, 216, 632, 984)])  # full window height
+        corrected = correct_clip(clip)
+        for r in corrected.rects:
+            assert clip.window.contains(r)

@@ -1,0 +1,112 @@
+"""Tests for aerial-image computation."""
+
+import numpy as np
+import pytest
+
+from repro.litho import ImagingSettings, OpticalSystem, aerial_image
+
+
+@pytest.fixture
+def optics():
+    return OpticalSystem(sigma_scale=0.20)
+
+
+@pytest.fixture
+def settings():
+    return ImagingSettings(pixel_nm=8)
+
+
+def block_mask(h=64, w=64, lo=16, hi=48):
+    mask = np.zeros((h, w))
+    mask[lo:hi, lo:hi] = 1.0
+    return mask
+
+
+class TestSettings:
+    def test_invalid_raise(self):
+        with pytest.raises(ValueError):
+            ImagingSettings(pixel_nm=0)
+        with pytest.raises(ValueError):
+            ImagingSettings(dose=0.0)
+
+
+class TestAerialImage:
+    def test_shape_preserved(self, optics, settings):
+        image = aerial_image(block_mask(), optics, settings)
+        assert image.shape == (64, 64)
+
+    def test_rejects_non_2d(self, optics, settings):
+        with pytest.raises(ValueError):
+            aerial_image(np.zeros((2, 4, 4)), optics, settings)
+
+    def test_clear_field_images_to_dose(self, optics):
+        for dose in (0.9, 1.0, 1.1):
+            settings = ImagingSettings(pixel_nm=8, dose=dose)
+            image = aerial_image(np.ones((48, 48)), optics, settings)
+            np.testing.assert_allclose(image, dose, rtol=1e-6)
+
+    def test_dark_field_images_to_zero(self, optics, settings):
+        image = aerial_image(np.zeros((48, 48)), optics, settings)
+        np.testing.assert_allclose(image, 0.0, atol=1e-12)
+
+    def test_intensity_nonnegative(self, optics, settings):
+        image = aerial_image(block_mask(), optics, settings)
+        assert image.min() >= 0.0
+
+    def test_peak_under_feature_center(self, optics, settings):
+        image = aerial_image(block_mask(), optics, settings)
+        peak = np.unravel_index(image.argmax(), image.shape)
+        assert 16 <= peak[0] < 48 and 16 <= peak[1] < 48
+
+    def test_blur_spreads_light_beyond_edges(self, optics, settings):
+        image = aerial_image(block_mask(), optics, settings)
+        assert image[32, 10] > 0.0  # left of the block
+        assert image[32, 10] < image[32, 32]
+
+    def test_dose_scales_linearly(self, optics):
+        mask = block_mask()
+        low = aerial_image(mask, optics, ImagingSettings(pixel_nm=8, dose=0.5))
+        high = aerial_image(mask, optics, ImagingSettings(pixel_nm=8, dose=1.0))
+        np.testing.assert_allclose(2 * low, high, rtol=1e-10)
+
+    def test_defocus_lowers_small_feature_peak(self, optics):
+        mask = np.zeros((64, 64))
+        mask[30:34, 30:34] = 1.0  # small 32nm contact
+        nominal = aerial_image(mask, optics, ImagingSettings(pixel_nm=8))
+        blurred = aerial_image(
+            mask, optics, ImagingSettings(pixel_nm=8, defocus_nm=60)
+        )
+        assert blurred.max() < nominal.max()
+
+    def test_dense_grating_loses_contrast_vs_isolated(self, optics, settings):
+        """Near the resolution limit, dense patterns image with lower
+        contrast than isolated ones (the amplitude field flattens)."""
+        iso = np.zeros((64, 96))
+        iso[:, 44:52] = 1.0  # one 64nm line
+        dense = np.zeros((64, 96))
+        for start in range(4, 96, 16):
+            dense[:, start : start + 8] = 1.0  # 64/64 grating
+        iso_img = aerial_image(iso, optics, settings)
+        dense_img = aerial_image(dense, optics, settings)
+        iso_contrast = iso_img[:, 44:52].max() - iso_img[:, 60:88].min()
+        dense_row = dense_img[32, 8:88]
+        dense_contrast = dense_row.max() - dense_row.min()
+        assert dense_contrast < iso_contrast
+
+    def test_linearity_in_kernel_weights(self, settings):
+        """Single-kernel system: image == (blurred amplitude)^2 exactly."""
+        from scipy import ndimage
+
+        from repro.litho.kernels import gaussian_1d, kernel_radius_px
+
+        optics = OpticalSystem(sigma_scale=0.2, n_kernels=1)
+        mask = block_mask()
+        (weight, sigma_nm), = optics.kernel_stack()
+        sigma_px = sigma_nm / settings.pixel_nm
+        taps = gaussian_1d(sigma_px, kernel_radius_px(sigma_px))
+        amp = ndimage.correlate1d(mask, taps, axis=0, mode="reflect")
+        amp = ndimage.correlate1d(amp, taps, axis=1, mode="reflect")
+        expected = weight * amp**2
+        np.testing.assert_allclose(
+            aerial_image(mask, optics, settings), expected, rtol=1e-12
+        )

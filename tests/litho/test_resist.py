@@ -1,0 +1,58 @@
+"""Tests for the resist model and printed-component labeling."""
+
+import numpy as np
+import pytest
+
+from repro.litho import ResistModel, print_image, printed_components
+
+
+class TestResist:
+    def test_threshold_develop(self):
+        resist = ResistModel(threshold=0.5)
+        intensity = np.array([[0.2, 0.5], [0.7, 0.49]])
+        printed = resist.develop(intensity)
+        np.testing.assert_array_equal(
+            printed, [[False, True], [True, False]]
+        )
+
+    def test_bad_threshold_raises(self):
+        with pytest.raises(ValueError):
+            ResistModel(threshold=0.0)
+        with pytest.raises(ValueError):
+            ResistModel(threshold=2.5)
+
+    def test_print_image_matches_develop(self):
+        resist = ResistModel(threshold=0.3)
+        intensity = np.random.default_rng(0).random((8, 8))
+        np.testing.assert_array_equal(
+            print_image(intensity, resist), resist.develop(intensity)
+        )
+
+
+class TestComponents:
+    def test_two_separate_blobs(self):
+        printed = np.zeros((10, 10), dtype=bool)
+        printed[1:3, 1:3] = True
+        printed[6:9, 6:9] = True
+        labels, count = printed_components(printed)
+        assert count == 2
+        assert labels.max() == 2
+
+    def test_diagonal_contact_not_connected(self):
+        """4-connectivity: corner-touching blobs stay distinct."""
+        printed = np.zeros((4, 4), dtype=bool)
+        printed[0:2, 0:2] = True
+        printed[2:4, 2:4] = True
+        _, count = printed_components(printed)
+        assert count == 2
+
+    def test_edge_contact_connected(self):
+        printed = np.zeros((4, 4), dtype=bool)
+        printed[0:2, 0:2] = True
+        printed[2:4, 0:2] = True
+        _, count = printed_components(printed)
+        assert count == 1
+
+    def test_empty(self):
+        _, count = printed_components(np.zeros((5, 5), dtype=bool))
+        assert count == 0

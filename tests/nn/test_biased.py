@@ -1,0 +1,88 @@
+"""Tests for biased learning: the false-alarm knob must turn the right way."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BiasedConfig,
+    Dense,
+    ReLU,
+    Sequential,
+    biased_fit,
+    predict_proba,
+)
+
+
+def make_mlp(seed):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(2, 16, rng), ReLU(), Dense(16, 2, rng)])
+
+
+def overlapping_blobs(rng, n=300):
+    """Deliberately overlapping classes: some points are ambiguous."""
+    x0 = rng.normal(-0.7, 1.0, size=(2 * n // 3, 2))
+    x1 = rng.normal(0.7, 1.0, size=(n // 3, 2))
+    x = np.vstack([x0, x1])
+    y = np.array([0] * (2 * n // 3) + [1] * (n // 3))
+    return x, y
+
+
+class TestBiasedConfig:
+    def test_bad_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            BiasedConfig(epsilon=0.6)
+
+
+class TestBiasedFit:
+    def test_two_histories(self, rng):
+        x, y = overlapping_blobs(rng)
+        model = make_mlp(0)
+        h1, h2 = biased_fit(
+            model, x, y, rng, BiasedConfig(base_epochs=4, biased_epochs=3)
+        )
+        assert h1.epochs_run == 4
+        assert h2.epochs_run == 3
+
+    def test_zero_biased_epochs_skips_phase2(self, rng):
+        x, y = overlapping_blobs(rng)
+        model = make_mlp(0)
+        _h1, h2 = biased_fit(
+            model, x, y, rng, BiasedConfig(base_epochs=2, biased_epochs=0)
+        )
+        assert h2.epochs_run == 0
+
+    def test_epsilon_raises_recall_and_false_alarms(self, rng):
+        """Larger epsilon biases the boundary into the NHS side: hotspot
+        recall must not drop, false alarms must not drop either."""
+        x, y = overlapping_blobs(rng)
+        recall = {}
+        false_alarms = {}
+        for eps in (0.0, 0.3):
+            model = make_mlp(7)
+            biased_fit(
+                model,
+                x,
+                y,
+                np.random.default_rng(7),
+                BiasedConfig(base_epochs=10, biased_epochs=8, epsilon=eps),
+            )
+            pred = predict_proba(model, x) >= 0.5
+            recall[eps] = pred[y == 1].mean()
+            false_alarms[eps] = int((pred & (y == 0)).sum())
+        assert recall[0.3] >= recall[0.0]
+        assert false_alarms[0.3] >= false_alarms[0.0]
+
+    def test_epsilon_raises_nhs_scores(self, rng):
+        x, y = overlapping_blobs(rng)
+        mean_scores = {}
+        for eps in (0.0, 0.3):
+            model = make_mlp(3)
+            biased_fit(
+                model,
+                x,
+                y,
+                np.random.default_rng(3),
+                BiasedConfig(base_epochs=8, biased_epochs=8, epsilon=eps),
+            )
+            mean_scores[eps] = predict_proba(model, x)[y == 0].mean()
+        assert mean_scores[0.3] > mean_scores[0.0]

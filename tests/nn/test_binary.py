@@ -1,0 +1,113 @@
+"""Tests for binarized layers: quantization, STE gradients, learning."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BinaryConv2D,
+    BinaryDense,
+    Trainer,
+    TrainConfig,
+    binarize,
+    build_binary_cnn,
+    predict_proba,
+    ste_mask,
+)
+
+
+class TestBinarize:
+    def test_signs_and_scale(self):
+        w = np.array([[0.5, -1.5], [2.0, -0.1]])
+        signs, alpha = binarize(w)
+        np.testing.assert_array_equal(signs, [[1, -1], [1, -1]])
+        assert alpha == pytest.approx(np.abs(w).mean())
+
+    def test_zero_maps_to_positive(self):
+        signs, _ = binarize(np.array([0.0, -0.0]))
+        assert signs[0] == 1.0
+
+    def test_ste_mask(self):
+        w = np.array([-2.0, -0.5, 0.5, 2.0])
+        np.testing.assert_array_equal(ste_mask(w), [0, 1, 1, 0])
+
+
+class TestBinaryDense:
+    def test_forward_uses_binarized_weights(self, rng):
+        layer = BinaryDense(2, 1, rng)
+        layer.w.value = np.array([[0.3], [-0.7]])
+        layer.b.value = np.array([0.0])
+        out = layer.forward(np.array([[1.0, 1.0]]))
+        alpha = 0.5  # mean(|0.3|, |0.7|)
+        assert out[0, 0] == pytest.approx(alpha - alpha)
+
+    def test_gradients_gated_by_ste(self, rng):
+        layer = BinaryDense(3, 2, rng)
+        layer.w.value = np.array(
+            [[0.5, 2.0], [-0.5, -2.0], [0.1, 0.9]]
+        )
+        x = rng.normal(size=(4, 3))
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        # latent weights beyond |1| receive zero gradient
+        assert layer.w.grad[0, 1] == 0.0
+        assert layer.w.grad[1, 1] == 0.0
+        assert layer.w.grad[0, 0] != 0.0
+
+    def test_input_gradient_shape(self, rng):
+        layer = BinaryDense(5, 3, rng)
+        x = rng.normal(size=(2, 5))
+        layer.forward(x)
+        grad = layer.backward(np.ones((2, 3)))
+        assert grad.shape == x.shape
+
+
+class TestBinaryConv:
+    def test_forward_shape(self, rng):
+        layer = BinaryConv2D(2, 4, kernel=3, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 2, 8, 8)))
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_weights_effectively_two_valued(self, rng):
+        layer = BinaryConv2D(1, 2, kernel=3, rng=rng)
+        layer.forward(rng.normal(size=(1, 1, 6, 6)))
+        unique = np.unique(np.abs(layer._wb_mat))
+        assert len(unique) == 1  # one magnitude: +/- alpha
+
+    def test_backward_runs_and_gates(self, rng):
+        layer = BinaryConv2D(1, 1, kernel=3, rng=rng)
+        layer.w.value[0, 0, 0, 0] = 5.0  # saturated latent
+        x = rng.normal(size=(1, 1, 6, 6))
+        layer.forward(x)
+        layer.backward(np.ones((1, 1, 6, 6)))
+        assert layer.w.grad[0, 0, 0, 0] == 0.0
+
+
+class TestBinaryCNN:
+    def test_builds_and_runs(self, rng):
+        model = build_binary_cnn(4, 8, rng, width=4)
+        out = model.forward(rng.normal(size=(2, 4, 8, 8)))
+        assert out.shape == (2, 2)
+
+    def test_grid_check(self, rng):
+        with pytest.raises(ValueError):
+            build_binary_cnn(4, 10, rng)
+
+    def test_learns_toy_task(self, rng):
+        """Binarized net separates an easy synthetic image task."""
+        n = 60
+        x = np.zeros((n, 1, 8, 8))
+        y = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            hot = i % 2
+            y[i] = hot
+            if hot:
+                x[i, 0, 2:6, 2:6] = 1.0  # bright center
+            else:
+                x[i, 0, :2, :] = 1.0  # bright band at the bottom
+        x += rng.normal(0, 0.05, x.shape)
+        model = build_binary_cnn(1, 8, rng, width=4)
+        Trainer(TrainConfig(epochs=15, batch_size=10, lr=3e-3)).fit(
+            model, x, y, rng
+        )
+        probs = predict_proba(model, x)
+        assert (((probs >= 0.5).astype(int)) == y).mean() >= 0.9

@@ -1,0 +1,81 @@
+"""Tests for im2col/col2im."""
+
+import numpy as np
+import pytest
+
+from repro.nn.im2col import col2im, conv_out_size, im2col
+
+
+class TestOutSize:
+    def test_same_padding(self):
+        assert conv_out_size(12, 3, 1, 1) == 12
+
+    def test_stride(self):
+        assert conv_out_size(8, 2, 2, 0) == 4
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            conv_out_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.zeros((2, 3, 8, 8))
+        cols = im2col(x, 3, 3, 1, 1)
+        assert cols.shape == (2 * 8 * 8, 3 * 9)
+
+    def test_known_values_no_pad(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols = im2col(x, 2, 2, 1, 0)  # 3x3 output positions
+        assert cols.shape == (9, 4)
+        np.testing.assert_array_equal(cols[0], [0, 1, 4, 5])
+        np.testing.assert_array_equal(cols[-1], [10, 11, 14, 15])
+
+    def test_padding_zeros(self):
+        x = np.ones((1, 1, 2, 2))
+        cols = im2col(x, 3, 3, 1, 1)
+        # the corner receptive field sees 4 ones and 5 pad zeros
+        assert cols[0].sum() == 4
+
+    def test_conv_as_matmul_matches_direct(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((2, 3, 6, 6))
+        w = rng.random((4, 3, 3, 3))
+        cols = im2col(x, 3, 3, 1, 1)
+        out = (cols @ w.reshape(4, -1).T).reshape(2, 6, 6, 4).transpose(0, 3, 1, 2)
+        # direct (slow) convolution reference
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros((2, 4, 6, 6))
+        for n in range(2):
+            for o in range(4):
+                for i in range(6):
+                    for j in range(6):
+                        ref[n, o, i, j] = (
+                            xp[n, :, i : i + 3, j : j + 3] * w[o]
+                        ).sum()
+        np.testing.assert_allclose(out, ref, rtol=1e-12)
+
+
+class TestCol2im:
+    def test_adjoint_property(self):
+        """col2im is the transpose of im2col: <im2col(x), c> == <x, col2im(c)>."""
+        rng = np.random.default_rng(1)
+        x = rng.random((2, 3, 6, 6))
+        cols = im2col(x, 3, 3, 1, 1)
+        c = rng.random(cols.shape)
+        lhs = (cols * c).sum()
+        rhs = (x * col2im(c, x.shape, 3, 3, 1, 1)).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_accumulates_overlaps(self):
+        x_shape = (1, 1, 3, 3)
+        cols = np.ones((9, 9))  # 3x3 kernel, same padding
+        back = col2im(cols, x_shape, 3, 3, 1, 1)
+        # center pixel is touched by all 9 receptive fields
+        assert back[0, 0, 1, 1] == 9
+
+    def test_stride2_roundtrip_counts(self):
+        x_shape = (1, 1, 4, 4)
+        cols = np.ones((4, 4))  # 2x2 kernel stride 2: disjoint fields
+        back = col2im(cols, x_shape, 2, 2, 2, 0)
+        np.testing.assert_array_equal(back[0, 0], np.ones((4, 4)))

@@ -1,0 +1,230 @@
+"""Layer tests, centered on numerical gradient checking.
+
+For every layer we verify d(loss)/d(input) and d(loss)/d(params) against
+central finite differences of a scalar probe ``loss = sum(out * probe)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2D,
+    ReLU,
+)
+
+EPS = 1e-5
+RTOL = 1e-4
+ATOL = 1e-6
+
+
+def numerical_grad(f, x):
+    """Central-difference gradient of scalar f wrt array x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for k in range(flat.size):
+        orig = flat[k]
+        flat[k] = orig + EPS
+        f_plus = f()
+        flat[k] = orig - EPS
+        f_minus = f()
+        flat[k] = orig
+        gflat[k] = (f_plus - f_minus) / (2 * EPS)
+    return grad
+
+
+def check_input_grad(layer, x, rng):
+    probe = rng.normal(size=layer.forward(x).shape)
+    grad_in = layer.backward(probe)
+
+    def loss():
+        return float((layer.forward(x) * probe).sum())
+
+    expected = numerical_grad(loss, x)
+    np.testing.assert_allclose(grad_in, expected, rtol=RTOL, atol=ATOL)
+
+
+def check_param_grads(layer, x, rng):
+    probe = rng.normal(size=layer.forward(x).shape)
+    for p in layer.params():
+        p.zero_grad()
+    layer.forward(x)
+    layer.backward(probe)
+    for p in layer.params():
+        def loss(p=p):
+            return float((layer.forward(x) * probe).sum())
+
+        expected = numerical_grad(loss, p.value)
+        np.testing.assert_allclose(
+            p.grad, expected, rtol=RTOL, atol=ATOL, err_msg=p.name
+        )
+
+
+class TestDense:
+    def test_forward_known(self, rng):
+        layer = Dense(2, 2, rng)
+        layer.w.value = np.array([[1.0, 0.0], [0.0, 2.0]])
+        layer.b.value = np.array([1.0, -1.0])
+        out = layer.forward(np.array([[3.0, 4.0]]))
+        np.testing.assert_array_equal(out, [[4.0, 7.0]])
+
+    def test_gradients(self, rng):
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(5, 4))
+        check_input_grad(layer, x, rng)
+        check_param_grads(layer, x, rng)
+
+
+class TestConv2D:
+    def test_same_shape_stride1(self, rng):
+        layer = Conv2D(3, 5, kernel=3, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_stride2_halves(self, rng):
+        layer = Conv2D(1, 2, kernel=2, rng=rng, stride=2, pad=0)
+        out = layer.forward(rng.normal(size=(1, 1, 8, 8)))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_gradients(self, rng):
+        layer = Conv2D(2, 3, kernel=3, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        check_input_grad(layer, x, rng)
+        check_param_grads(layer, x, rng)
+
+    def test_gradients_stride2(self, rng):
+        layer = Conv2D(2, 2, kernel=2, rng=rng, stride=2, pad=0)
+        x = rng.normal(size=(2, 2, 6, 6))
+        check_input_grad(layer, x, rng)
+        check_param_grads(layer, x, rng)
+
+
+class TestReLU:
+    def test_forward(self):
+        layer = ReLU()
+        out = layer.forward(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 2.0])
+
+    def test_gradient(self, rng):
+        layer = ReLU()
+        x = rng.normal(size=(4, 6)) + 0.1  # keep away from the kink
+        check_input_grad(layer, x, rng)
+
+
+class TestMaxPool:
+    def test_forward_known(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            MaxPool2D(3).forward(rng.normal(size=(1, 1, 4, 4)))
+
+    def test_gradient(self, rng):
+        layer = MaxPool2D(2)
+        # unique values ensure a stable argmax for finite differences
+        x = rng.permutation(np.arange(64.0)).reshape(1, 1, 8, 8) * 0.1
+        check_input_grad(layer, x, rng)
+
+    def test_backward_routes_to_argmax(self):
+        layer = MaxPool2D(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        layer.forward(x)
+        grad = layer.backward(np.array([[[[7.0]]]]))
+        np.testing.assert_array_equal(grad[0, 0], [[0, 0], [0, 7.0]])
+
+
+class TestGlobalAvgPool:
+    def test_forward(self, rng):
+        layer = GlobalAvgPool()
+        x = rng.normal(size=(2, 3, 4, 4))
+        np.testing.assert_allclose(layer.forward(x), x.mean(axis=(2, 3)))
+
+    def test_gradient(self, rng):
+        layer = GlobalAvgPool()
+        x = rng.normal(size=(2, 3, 4, 4))
+        check_input_grad(layer, x, rng)
+
+
+class TestFlatten:
+    def test_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(3, 2, 4, 4))
+        out = layer.forward(x)
+        assert out.shape == (3, 32)
+        grad = layer.backward(out)
+        assert grad.shape == x.shape
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        layer = Dropout(0.5, rng)
+        layer.train_mode(False)
+        x = rng.normal(size=(4, 8))
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_train_mode_scales(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((2000,))
+        out = layer.forward(x)
+        # inverted dropout preserves the mean
+        assert out.mean() == pytest.approx(1.0, abs=0.1)
+        assert set(np.round(np.unique(out), 6)) <= {0.0, 2.0}
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.3, rng)
+        x = np.ones((10, 10))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad, out)
+
+    def test_bad_p_raises(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+
+class TestBatchNorm:
+    def test_normalizes_batch_2d(self, rng):
+        layer = BatchNorm(4)
+        x = rng.normal(3.0, 2.0, size=(50, 4))
+        out = layer.forward(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_normalizes_batch_4d(self, rng):
+        layer = BatchNorm(3)
+        x = rng.normal(-1.0, 4.0, size=(10, 3, 6, 6))
+        out = layer.forward(x)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = BatchNorm(2, momentum=0.0)  # running stats = last batch
+        x = rng.normal(5.0, 2.0, size=(100, 2))
+        layer.forward(x)
+        layer.train_mode(False)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=0.1)
+
+    def test_gradients_2d(self, rng):
+        layer = BatchNorm(3)
+        x = rng.normal(size=(6, 3))
+        check_input_grad(layer, x, rng)
+        check_param_grads(layer, x, rng)
+
+    def test_gradients_4d(self, rng):
+        layer = BatchNorm(2)
+        x = rng.normal(size=(3, 2, 4, 4))
+        check_input_grad(layer, x, rng)
+        check_param_grads(layer, x, rng)
+
+    def test_rejects_3d(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm(2).forward(rng.normal(size=(2, 2, 2)))

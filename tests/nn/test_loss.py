@@ -1,0 +1,138 @@
+"""Tests for losses: values, gradients, class weighting, soft targets."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SoftmaxCrossEntropy,
+    SoftTargetCrossEntropy,
+    soft_labels_shift,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        p = softmax(rng.normal(size=(10, 2)) * 5)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        p = softmax(np.array([[1000.0, 999.0]]))
+        assert np.isfinite(p).all()
+        assert p[0, 0] > p[0, 1]
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[20.0, -20.0], [-20.0, 20.0]])
+        labels = np.array([0, 1])
+        assert loss.forward(logits, labels) < 1e-6
+
+    def test_uniform_prediction_is_log2(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 2))
+        labels = np.array([0, 1, 0, 1])
+        assert loss.forward(logits, labels) == pytest.approx(np.log(2.0))
+
+    def test_rejects_non_binary_head(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy().forward(np.zeros((2, 3)), np.array([0, 1]))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+    def test_gradient_numerically(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(5, 2))
+        labels = rng.integers(0, 2, 5)
+        loss.forward(logits, labels)
+        grad = loss.backward()
+        eps = 1e-6
+        for i in range(5):
+            for j in range(2):
+                lp = logits.copy()
+                lp[i, j] += eps
+                lm = logits.copy()
+                lm[i, j] -= eps
+                num = (
+                    SoftmaxCrossEntropy().forward(lp, labels)
+                    - SoftmaxCrossEntropy().forward(lm, labels)
+                ) / (2 * eps)
+                assert grad[i, j] == pytest.approx(num, rel=1e-4, abs=1e-8)
+
+    def test_class_weights_reweigh_loss(self):
+        logits = np.array([[0.0, 0.0], [0.0, 0.0]])
+        labels = np.array([0, 1])
+        plain = SoftmaxCrossEntropy().forward(logits, labels)
+        # weighting hotspots 3x leaves the mean unchanged for symmetric
+        # logits (weights are normalized), but changes the gradient split
+        weighted = SoftmaxCrossEntropy(class_weights=(1.0, 3.0))
+        weighted_loss = weighted.forward(logits, labels)
+        assert weighted_loss == pytest.approx(plain)
+        grad = weighted.backward()
+        assert abs(grad[1]).sum() > abs(grad[0]).sum()
+
+    def test_weighted_gradient_numerically(self, rng):
+        loss = SoftmaxCrossEntropy(class_weights=(0.5, 2.0))
+        logits = rng.normal(size=(4, 2))
+        labels = np.array([0, 1, 1, 0])
+        loss.forward(logits, labels)
+        grad = loss.backward()
+        eps = 1e-6
+        for i in range(4):
+            for j in range(2):
+                lp = logits.copy(); lp[i, j] += eps
+                lm = logits.copy(); lm[i, j] -= eps
+                ref = SoftmaxCrossEntropy(class_weights=(0.5, 2.0))
+                num = (ref.forward(lp, labels) - ref.forward(lm, labels)) / (2 * eps)
+                assert grad[i, j] == pytest.approx(num, rel=1e-4, abs=1e-8)
+
+
+class TestSoftLabels:
+    def test_shift_only_nonhotspots(self):
+        labels = np.array([0, 1, 0])
+        targets = soft_labels_shift(labels, 0.2)
+        np.testing.assert_allclose(targets[1], [0.0, 1.0])
+        np.testing.assert_allclose(targets[0], [0.8, 0.2])
+        np.testing.assert_allclose(targets.sum(axis=1), 1.0)
+
+    def test_epsilon_zero_is_hard(self):
+        labels = np.array([0, 1])
+        targets = soft_labels_shift(labels, 0.0)
+        np.testing.assert_array_equal(targets, [[1.0, 0.0], [0.0, 1.0]])
+
+    def test_bad_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            soft_labels_shift(np.array([0, 1]), 0.5)
+        with pytest.raises(ValueError):
+            soft_labels_shift(np.array([0, 1]), -0.1)
+
+
+class TestSoftTargetCrossEntropy:
+    def test_matches_hard_ce_on_hard_targets(self, rng):
+        logits = rng.normal(size=(6, 2))
+        labels = rng.integers(0, 2, 6)
+        hard = SoftmaxCrossEntropy().forward(logits, labels)
+        soft = SoftTargetCrossEntropy().forward(
+            logits, soft_labels_shift(labels, 0.0)
+        )
+        assert soft == pytest.approx(hard)
+
+    def test_gradient_numerically(self, rng):
+        logits = rng.normal(size=(4, 2))
+        targets = soft_labels_shift(np.array([0, 1, 0, 1]), 0.3)
+        loss = SoftTargetCrossEntropy()
+        loss.forward(logits, targets)
+        grad = loss.backward()
+        eps = 1e-6
+        for i in range(4):
+            for j in range(2):
+                lp = logits.copy(); lp[i, j] += eps
+                lm = logits.copy(); lm[i, j] -= eps
+                ref = SoftTargetCrossEntropy()
+                num = (ref.forward(lp, targets) - ref.forward(lm, targets)) / (
+                    2 * eps
+                )
+                assert grad[i, j] == pytest.approx(num, rel=1e-4, abs=1e-8)

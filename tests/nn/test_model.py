@@ -1,0 +1,95 @@
+"""Tests for the Sequential container and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm, Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+
+
+@pytest.fixture
+def model(rng):
+    return Sequential(
+        [
+            Conv2D(1, 4, kernel=3, rng=rng),
+            BatchNorm(4),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(4 * 4 * 4, 2, rng=rng),
+        ]
+    )
+
+
+class TestSequential:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_forward_shape(self, model, rng):
+        out = model.forward(rng.normal(size=(3, 1, 8, 8)))
+        assert out.shape == (3, 2)
+
+    def test_params_collected(self, model):
+        # conv w/b + bn gamma/beta + dense w/b
+        assert len(model.params()) == 6
+        assert model.n_parameters() > 0
+
+    def test_train_mode_propagates(self, model):
+        model.train_mode(False)
+        assert all(not layer.training for layer in model.layers)
+
+    def test_end_to_end_gradient(self, model, rng):
+        """Full-stack backward against finite differences on one weight."""
+        x = rng.normal(size=(4, 1, 8, 8))
+        probe = rng.normal(size=(4, 2))
+
+        def loss():
+            return float((model.forward(x) * probe).sum())
+
+        model.forward(x)
+        for p in model.params():
+            p.zero_grad()
+        model.backward(probe)
+        dense_w = model.params()[-2]
+        k = 7  # arbitrary weight index
+        eps = 1e-5
+        orig = dense_w.value.ravel()[k]
+        dense_w.value.ravel()[k] = orig + eps
+        f_plus = loss()
+        dense_w.value.ravel()[k] = orig - eps
+        f_minus = loss()
+        dense_w.value.ravel()[k] = orig
+        numeric = (f_plus - f_minus) / (2 * eps)
+        assert dense_w.grad.ravel()[k] == pytest.approx(numeric, rel=1e-4)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, model, rng, tmp_path):
+        x = rng.normal(size=(2, 1, 8, 8))
+        model.forward(x)  # populate batchnorm running stats
+        model.train_mode(False)
+        before = model.forward(x)
+        path = tmp_path / "model.npz"
+        model.save(path)
+
+        fresh = Sequential(
+            [
+                Conv2D(1, 4, kernel=3, rng=np.random.default_rng(999)),
+                BatchNorm(4),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(64, 2, rng=np.random.default_rng(999)),
+            ]
+        )
+        fresh.load(path)
+        fresh.train_mode(False)
+        after = fresh.forward(x)
+        np.testing.assert_allclose(before, after, rtol=1e-12)
+
+    def test_shape_mismatch_raises(self, model, rng, tmp_path):
+        path = tmp_path / "model.npz"
+        model.save(path)
+        other = Sequential([Dense(3, 2, rng=rng)])
+        with pytest.raises((ValueError, KeyError)):
+            other.load(path)

@@ -1,0 +1,113 @@
+"""Tests for the training loops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    ReLU,
+    Sequential,
+    SoftTargetTrainer,
+    TrainConfig,
+    Trainer,
+    predict_proba,
+    soft_labels_shift,
+)
+
+
+def make_mlp(rng, d=2):
+    return Sequential([Dense(d, 16, rng), ReLU(), Dense(16, 2, rng)])
+
+
+def blobs(rng, n=120):
+    x0 = rng.normal(-1.5, 0.7, size=(n // 2, 2))
+    x1 = rng.normal(1.5, 0.7, size=(n // 2, 2))
+    x = np.vstack([x0, x1]).astype(np.float64)
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    perm = rng.permutation(n)
+    return x[perm], y[perm]
+
+
+class TestTrainer:
+    def test_loss_decreases(self, rng):
+        x, y = blobs(rng)
+        model = make_mlp(rng)
+        history = Trainer(TrainConfig(epochs=15, batch_size=16)).fit(
+            model, x, y, rng
+        )
+        assert history.epochs_run == 15
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_learns_blobs(self, rng):
+        x, y = blobs(rng)
+        model = make_mlp(rng)
+        Trainer(TrainConfig(epochs=20, batch_size=16)).fit(model, x, y, rng)
+        probs = predict_proba(model, x)
+        assert (((probs >= 0.5).astype(int)) == y).mean() >= 0.95
+
+    def test_validation_tracked(self, rng):
+        x, y = blobs(rng, n=160)
+        model = make_mlp(rng)
+        history = Trainer(TrainConfig(epochs=5)).fit(
+            model, x[:120], y[:120], rng, x_val=x[120:], y_val=y[120:]
+        )
+        assert len(history.val_loss) == 5
+        assert len(history.val_accuracy) == 5
+
+    def test_early_stopping_can_trigger(self, rng):
+        x, y = blobs(rng, n=160)
+        model = make_mlp(rng)
+        config = TrainConfig(epochs=60, early_stop_patience=2, lr=5e-3)
+        history = Trainer(config).fit(
+            model, x[:120], y[:120], rng, x_val=x[120:], y_val=y[120:]
+        )
+        assert history.epochs_run <= 60
+
+    def test_class_weights_accepted(self, rng):
+        x, y = blobs(rng)
+        model = make_mlp(rng)
+        Trainer(
+            TrainConfig(epochs=3), class_weights=(1.0, 5.0)
+        ).fit(model, x, y, rng)
+
+    def test_bad_config_raises(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+
+    def test_custom_optimizer_factory(self, rng):
+        from repro.nn import SGD
+
+        x, y = blobs(rng)
+        model = make_mlp(rng)
+        trainer = Trainer(
+            TrainConfig(epochs=5),
+            make_optimizer=lambda params: SGD(params, lr=0.05),
+        )
+        history = trainer.fit(model, x, y, rng)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+
+class TestPredictProba:
+    def test_batched_equals_full(self, rng):
+        x, y = blobs(rng)
+        model = make_mlp(rng)
+        Trainer(TrainConfig(epochs=2)).fit(model, x, y, rng)
+        a = predict_proba(model, x, batch_size=7)
+        b = predict_proba(model, x, batch_size=1000)
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_eval_mode_restored(self, rng):
+        model = make_mlp(rng)
+        predict_proba(model, rng.normal(size=(4, 2)))
+        assert all(layer.training for layer in model.layers)
+
+
+class TestSoftTargetTrainer:
+    def test_loss_decreases(self, rng):
+        x, y = blobs(rng)
+        targets = soft_labels_shift(y, 0.2)
+        model = make_mlp(rng)
+        history = SoftTargetTrainer(TrainConfig(epochs=10)).fit(
+            model, x, targets, rng
+        )
+        assert history.train_loss[-1] < history.train_loss[0]

@@ -1,0 +1,52 @@
+"""Tests for the architecture zoo."""
+
+import numpy as np
+import pytest
+
+from repro.nn import build_feature_tensor_cnn, build_mlp, build_raster_cnn
+
+
+class TestFeatureTensorCNN:
+    def test_output_shape(self, rng):
+        model = build_feature_tensor_cnn(16, 12, rng)
+        out = model.forward(rng.normal(size=(3, 16, 12, 12)))
+        assert out.shape == (3, 2)
+
+    def test_grid_must_divide_by_4(self, rng):
+        with pytest.raises(ValueError):
+            build_feature_tensor_cnn(16, 10, rng)
+
+    def test_width_scales_params(self, rng):
+        small = build_feature_tensor_cnn(16, 12, rng, width=8)
+        big = build_feature_tensor_cnn(16, 12, rng, width=32)
+        assert big.n_parameters() > small.n_parameters()
+
+    def test_backward_runs(self, rng):
+        model = build_feature_tensor_cnn(4, 8, rng, width=4)
+        out = model.forward(rng.normal(size=(2, 4, 8, 8)))
+        model.backward(np.ones_like(out))
+        assert all(np.isfinite(p.grad).all() for p in model.params())
+
+
+class TestRasterCNN:
+    def test_output_shape(self, rng):
+        model = build_raster_cnn(96, rng)
+        out = model.forward(rng.normal(size=(2, 1, 96, 96)))
+        assert out.shape == (2, 2)
+
+    def test_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            build_raster_cnn(100, rng)
+
+
+class TestMLP:
+    def test_output_shape(self, rng):
+        model = build_mlp(30, rng, hidden=(16, 8))
+        out = model.forward(rng.normal(size=(5, 30)))
+        assert out.shape == (5, 2)
+
+    def test_hidden_sizes_respected(self, rng):
+        model = build_mlp(10, rng, hidden=(7,))
+        dense_layers = [l for l in model.layers if hasattr(l, "w")]
+        assert dense_layers[0].w.shape == (10, 7)
+        assert dense_layers[-1].w.shape == (7, 2)

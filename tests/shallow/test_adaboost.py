@@ -1,0 +1,70 @@
+"""Tests for AdaBoost."""
+
+import numpy as np
+import pytest
+
+from repro.shallow import AdaBoost, AdaBoostConfig, DecisionTree
+
+
+def xor(rng, n=200):
+    x = rng.uniform(-1, 1, (n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+    return x, y
+
+
+class TestConfig:
+    def test_invalid_raise(self):
+        with pytest.raises(ValueError):
+            AdaBoostConfig(n_rounds=0)
+        with pytest.raises(ValueError):
+            AdaBoostConfig(learning_rate=0)
+
+
+class TestBoosting:
+    def test_boosting_beats_single_stump(self, rng):
+        x, y = xor(rng)
+        stump_acc = (DecisionTree(max_depth=1).fit(x, y).predict(x) == y).mean()
+        boost = AdaBoost(AdaBoostConfig(n_rounds=40, weak_depth=2)).fit(x, y)
+        boost_acc = (boost.predict(x) == y).mean()
+        assert boost_acc > stump_acc
+        assert boost_acc >= 0.95
+
+    def test_generalizes(self, rng):
+        x, y = xor(rng, n=400)
+        boost = AdaBoost(AdaBoostConfig(n_rounds=30, weak_depth=2)).fit(
+            x[:300], y[:300]
+        )
+        assert (boost.predict(x[300:]) == y[300:]).mean() >= 0.9
+
+    def test_early_stop_on_perfect_fit(self, rng):
+        x = rng.random((50, 2))
+        y = (x[:, 0] > 0.5).astype(np.int64)
+        boost = AdaBoost(AdaBoostConfig(n_rounds=50, weak_depth=1)).fit(x, y)
+        assert boost.n_rounds_used < 50  # perfect stump ends boosting
+
+    def test_alphas_positive(self, rng):
+        x, y = xor(rng)
+        boost = AdaBoost().fit(x, y)
+        assert all(a > 0 for a in boost.alphas)
+
+    def test_degenerate_labels_fallback(self, rng):
+        x = rng.random((20, 2))
+        y = np.zeros(20, dtype=np.int64)
+        boost = AdaBoost().fit(x, y)
+        assert boost.n_rounds_used >= 1
+        assert (boost.predict(x) == 0).all()
+
+
+class TestScores:
+    def test_proba_range_and_threshold_consistency(self, rng):
+        x, y = xor(rng)
+        boost = AdaBoost().fit(x, y)
+        probs = boost.predict_proba(x)
+        assert probs.min() >= 0.0 and probs.max() <= 1.0
+        np.testing.assert_array_equal(
+            (probs >= 0.5).astype(int), boost.predict(x)
+        )
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            AdaBoost().decision_function(rng.random((3, 2)))

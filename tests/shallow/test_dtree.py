@@ -1,0 +1,100 @@
+"""Tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.shallow import DecisionTree
+
+
+def step_data(rng, n=100):
+    """Label = x0 > 0.5, one clean axis-aligned split."""
+    x = rng.random((n, 3))
+    y = (x[:, 0] > 0.5).astype(np.int64)
+    return x, y
+
+
+class TestBasics:
+    def test_single_split_task(self, rng):
+        x, y = step_data(rng)
+        tree = DecisionTree(max_depth=2).fit(x, y)
+        assert (tree.predict(x) == y).all()
+        assert tree.depth <= 2
+
+    def test_pure_leaf_probabilities(self, rng):
+        x, y = step_data(rng)
+        tree = DecisionTree(max_depth=3).fit(x, y)
+        probs = tree.predict_proba(x)
+        assert set(np.round(probs, 6)) <= {0.0, 1.0}
+
+    def test_depth_limit_respected(self, rng):
+        x = rng.random((200, 5))
+        y = (x.sum(axis=1) > 2.5).astype(np.int64)
+        tree = DecisionTree(max_depth=3).fit(x, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf(self, rng):
+        x, y = step_data(rng, n=10)
+        tree = DecisionTree(max_depth=10, min_samples_leaf=5).fit(x, y)
+        assert tree.depth <= 1
+
+    def test_constant_labels_single_leaf(self, rng):
+        x = rng.random((20, 2))
+        tree = DecisionTree().fit(x, np.zeros(20, dtype=int))
+        assert tree.depth == 0
+        assert (tree.predict_proba(x) == 0.0).all()
+
+    def test_constant_features_no_split(self, rng):
+        x = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        tree = DecisionTree().fit(x, y)
+        assert tree.depth == 0
+        np.testing.assert_allclose(tree.predict_proba(x), 0.5)
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(rng.random((2, 2)))
+
+    def test_entropy_criterion_works(self, rng):
+        x, y = step_data(rng)
+        tree = DecisionTree(criterion="entropy").fit(x, y)
+        assert (tree.predict(x) == y).all()
+
+    def test_bad_criterion_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTree(criterion="mse")
+
+
+class TestWeights:
+    def test_weights_shift_decision(self, rng):
+        """Heavily weighting one class makes ambiguous points go its way."""
+        x = np.array([[0.0], [0.0], [1.0], [1.0]])
+        y = np.array([0, 1, 0, 1])  # features useless: labels mixed
+        w_hot = np.array([0.01, 1.0, 0.01, 1.0])
+        tree = DecisionTree(max_depth=1, min_samples_leaf=1).fit(
+            x, y, sample_weight=w_hot
+        )
+        assert (tree.predict(x) == 1).all()
+
+    def test_zero_weighted_points_ignored(self, rng):
+        x, y = step_data(rng, n=50)
+        # weight only the first 25 points; corrupt labels on the rest
+        y_bad = y.copy()
+        y_bad[25:] = 1 - y_bad[25:]
+        w = np.array([1.0] * 25 + [0.0] * 25)
+        tree = DecisionTree(max_depth=2).fit(x, y_bad, sample_weight=w)
+        assert (tree.predict(x[:25]) == y[:25]).mean() == 1.0
+
+
+class TestXor:
+    def test_deep_tree_solves_xor(self, rng):
+        """Greedy CART needs depth to carve XOR; it gets most of the way."""
+        x = rng.uniform(-1, 1, (200, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+        tree = DecisionTree(max_depth=8).fit(x, y)
+        assert (tree.predict(x) == y).mean() >= 0.85
+
+    def test_stump_cannot_solve_xor(self, rng):
+        x = rng.uniform(-1, 1, (200, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+        stump = DecisionTree(max_depth=1).fit(x, y)
+        assert (stump.predict(x) == y).mean() < 0.75

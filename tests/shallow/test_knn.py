@@ -1,0 +1,52 @@
+"""Tests for kNN."""
+
+import numpy as np
+import pytest
+
+from repro.shallow import KNN
+
+
+class TestKNN:
+    def test_memorizes_training_points(self, rng):
+        x = rng.random((30, 2))
+        y = (x[:, 0] > 0.5).astype(np.int64)
+        model = KNN(k=1).fit(x, y)
+        assert (model.predict(x) == y).all()
+
+    def test_k_larger_than_dataset_clamped(self, rng):
+        x = rng.random((3, 2))
+        y = np.array([0, 1, 1])
+        model = KNN(k=10).fit(x, y)
+        probs = model.predict_proba(rng.random((5, 2)))
+        assert np.isfinite(probs).all()
+
+    def test_weighted_beats_unweighted_near_boundary(self, rng):
+        """A query sitting on a training point should echo its label."""
+        x = np.array([[0.0, 0.0], [1.0, 0.0], [1.01, 0.0]])
+        y = np.array([1, 0, 0])
+        weighted = KNN(k=3, weighted=True).fit(x, y)
+        assert weighted.predict_proba(np.array([[0.0, 0.0]]))[0] > 0.9
+
+    def test_unweighted_majority(self, rng):
+        x = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+        y = np.array([1, 1, 0])
+        model = KNN(k=3, weighted=False).fit(x, y)
+        assert model.predict_proba(np.array([[0.05, 0.0]]))[0] == pytest.approx(
+            2.0 / 3.0
+        )
+
+    def test_bad_k_raises(self):
+        with pytest.raises(ValueError):
+            KNN(k=0)
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            KNN().predict(rng.random((2, 2)))
+
+    def test_generalization_on_blobs(self, rng):
+        x0 = rng.normal(-2, 0.6, (60, 2))
+        x1 = rng.normal(2, 0.6, (60, 2))
+        x = np.vstack([x0, x1])
+        y = np.array([0] * 60 + [1] * 60)
+        model = KNN(k=5).fit(x[:100], y[:100])
+        assert (model.predict(x[100:]) == y[100:]).mean() >= 0.9

@@ -1,0 +1,56 @@
+"""Tests for logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.shallow import LogisticConfig, LogisticRegression
+
+
+def blobs(rng, n=100, gap=2.0):
+    x0 = rng.normal(-gap, 1.0, size=(n // 2, 2))
+    x1 = rng.normal(gap, 1.0, size=(n // 2, 2))
+    return np.vstack([x0, x1]), np.array([0] * (n // 2) + [1] * (n // 2))
+
+
+class TestTraining:
+    def test_separable(self, rng):
+        x, y = blobs(rng)
+        model = LogisticRegression().fit(x, y)
+        assert (model.predict(x) == y).mean() >= 0.98
+
+    def test_proba_calibration_direction(self, rng):
+        x, y = blobs(rng)
+        model = LogisticRegression().fit(x, y)
+        probs = model.predict_proba(x)
+        assert probs[y == 1].mean() > probs[y == 0].mean()
+
+    def test_convergence_stops_early(self, rng):
+        x, y = blobs(rng, gap=5.0)
+        model = LogisticRegression(LogisticConfig(max_iter=500, tol=1e-4))
+        model.fit(x, y)
+        assert model.n_iter_ < 500
+
+    def test_l2_shrinks_weights(self, rng):
+        x, y = blobs(rng)
+        small = LogisticRegression(LogisticConfig(l2=1e-4)).fit(x, y)
+        large = LogisticRegression(LogisticConfig(l2=10.0)).fit(x, y)
+        assert np.linalg.norm(large.weights) < np.linalg.norm(small.weights)
+
+    def test_balanced_weighting_boosts_minority(self, rng):
+        x0 = rng.normal(-0.5, 1.0, size=(190, 2))
+        x1 = rng.normal(0.5, 1.0, size=(10, 2))
+        x = np.vstack([x0, x1])
+        y = np.array([0] * 190 + [1] * 10)
+        balanced = LogisticRegression(LogisticConfig(balanced=True)).fit(x, y)
+        plain = LogisticRegression(LogisticConfig(balanced=False)).fit(x, y)
+        assert balanced.predict(x).sum() >= plain.predict(x).sum()
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().decision_function(rng.random((2, 2)))
+
+    def test_bad_config_raises(self):
+        with pytest.raises(ValueError):
+            LogisticConfig(lr=0)
+        with pytest.raises(ValueError):
+            LogisticConfig(l2=-1)

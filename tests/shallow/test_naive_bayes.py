@@ -1,0 +1,46 @@
+"""Tests for Gaussian naive Bayes."""
+
+import numpy as np
+import pytest
+
+from repro.shallow import GaussianNB
+
+
+class TestGaussianNB:
+    def test_separable_blobs(self, rng):
+        x0 = rng.normal(-2, 0.5, size=(50, 3))
+        x1 = rng.normal(2, 0.5, size=(50, 3))
+        x = np.vstack([x0, x1])
+        y = np.array([0] * 50 + [1] * 50)
+        model = GaussianNB().fit(x, y)
+        assert (model.predict(x) == y).mean() == 1.0
+
+    def test_probabilities_sum_to_one(self, rng):
+        x = rng.random((40, 2))
+        y = (x[:, 0] > 0.5).astype(np.int64)
+        model = GaussianNB().fit(x, y)
+        p_hot = model.predict_proba(x)
+        assert ((p_hot >= 0) & (p_hot <= 1)).all()
+
+    def test_prior_influences_prediction(self, rng):
+        """With identical likelihoods, the majority class wins."""
+        x = np.vstack([rng.normal(0, 1, (90, 2)), rng.normal(0, 1, (10, 2))])
+        y = np.array([0] * 90 + [1] * 10)
+        model = GaussianNB().fit(x, y)
+        probe = rng.normal(0, 1, (20, 2))
+        assert model.predict_proba(probe).mean() < 0.5
+
+    def test_single_class_raises(self, rng):
+        with pytest.raises(ValueError):
+            GaussianNB().fit(rng.random((10, 2)), np.zeros(10, dtype=int))
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            GaussianNB().predict(rng.random((2, 2)))
+
+    def test_zero_variance_feature_safe(self, rng):
+        x = rng.random((30, 3))
+        x[:, 1] = 7.0  # constant feature
+        y = (x[:, 0] > 0.5).astype(np.int64)
+        model = GaussianNB().fit(x, y)
+        assert np.isfinite(model.predict_proba(x)).all()

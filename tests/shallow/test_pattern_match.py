@@ -1,0 +1,111 @@
+"""Tests for pattern-matching detectors."""
+
+import numpy as np
+import pytest
+
+from repro.data import ClipDataset
+from repro.geometry import Rect, transform_clip
+from repro.shallow import ExactPatternMatcher, FuzzyPatternMatcher
+
+from ..conftest import clip_from_rects
+
+
+def pattern_clip(gap, tag="pat"):
+    """A tip-pair pattern parameterized by its gap."""
+    x_end = 600 - gap // 2
+    return clip_from_rects(
+        [Rect(96, 568, x_end, 632), Rect(x_end + gap, 568, 1104, 632)], tag=tag
+    )
+
+
+@pytest.fixture
+def library_dataset():
+    """Two known hotspot patterns + two benign ones."""
+    clips = [
+        pattern_clip(32, "hot-a"),
+        clip_from_rects([Rect(504, 96, 568, 1104), Rect(608, 96, 672, 1104)], "hot-b"),
+        clip_from_rects([Rect(96, 568, 1104, 632)], "cold-a"),
+        pattern_clip(128, "cold-b"),
+    ]
+    return ClipDataset("lib", clips, np.array([1, 1, 0, 0]))
+
+
+class TestExact:
+    def test_detects_seen_hotspot(self, library_dataset):
+        matcher = ExactPatternMatcher()
+        matcher.fit(library_dataset)
+        seen = library_dataset.clips[0]
+        assert matcher.predict([seen])[0] == 1
+
+    def test_detects_d4_orientation_of_seen(self, library_dataset):
+        matcher = ExactPatternMatcher()
+        matcher.fit(library_dataset)
+        rotated = transform_clip(library_dataset.clips[0], "rot90")
+        assert matcher.predict([rotated])[0] == 1
+
+    def test_ignores_benign_library_entries(self, library_dataset):
+        matcher = ExactPatternMatcher()
+        matcher.fit(library_dataset)
+        benign = library_dataset.clips[2]
+        assert matcher.predict([benign])[0] == 0
+
+    def test_misses_slightly_different_pattern(self, library_dataset):
+        """The defining weakness: 8nm of change defeats exact matching."""
+        matcher = ExactPatternMatcher()
+        matcher.fit(library_dataset)
+        near_miss = pattern_clip(40)  # library has gap=32
+        assert matcher.predict([near_miss])[0] == 0
+
+    def test_unfitted_raises(self, library_dataset):
+        with pytest.raises(RuntimeError):
+            ExactPatternMatcher().predict_proba(library_dataset.clips[:1])
+
+    def test_fit_report_counts_library(self, library_dataset):
+        report = ExactPatternMatcher().fit(library_dataset)
+        assert "library=" in report.notes
+
+
+class TestFuzzy:
+    def test_detects_seen_exactly(self, library_dataset):
+        matcher = FuzzyPatternMatcher(tolerance_nm=24)
+        matcher.fit(library_dataset)
+        assert matcher.match_score(library_dataset.clips[0]) == 1.0
+
+    def test_catches_near_miss_within_tolerance(self, library_dataset):
+        matcher = FuzzyPatternMatcher(tolerance_nm=24)
+        matcher.fit(library_dataset)
+        near_miss = pattern_clip(40)  # 8nm off the library's 32nm gap
+        score = matcher.match_score(near_miss)
+        assert score >= 0.5
+
+    def test_score_decays_with_deviation(self, library_dataset):
+        matcher = FuzzyPatternMatcher(tolerance_nm=24)
+        matcher.fit(library_dataset)
+        scores = [matcher.match_score(pattern_clip(g)) for g in (32, 40, 56, 96)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_topology_scores_zero(self, library_dataset):
+        matcher = FuzzyPatternMatcher()
+        matcher.fit(library_dataset)
+        novel = clip_from_rects(
+            [Rect(300, 300, 900, 364), Rect(300, 500, 900, 564), Rect(300, 700, 900, 764)],
+            tag="novel",
+        )
+        assert matcher.match_score(novel) == 0.0
+
+    def test_predict_proba_vector(self, library_dataset):
+        matcher = FuzzyPatternMatcher()
+        matcher.fit(library_dataset)
+        probs = matcher.predict_proba(library_dataset.clips)
+        assert probs.shape == (4,)
+        assert probs[0] == 1.0
+
+    def test_bad_tolerance_raises(self):
+        with pytest.raises(ValueError):
+            FuzzyPatternMatcher(tolerance_nm=0)
+
+    def test_library_size(self, library_dataset):
+        matcher = FuzzyPatternMatcher()
+        assert matcher.library_size() == 0
+        matcher.fit(library_dataset)
+        assert matcher.library_size() == 16  # 2 hotspots x 8 orientations

@@ -1,0 +1,70 @@
+"""Tests for the random forest."""
+
+import numpy as np
+import pytest
+
+from repro.shallow import RandomForest, RandomForestConfig
+from repro.shallow.dtree import DecisionTree
+
+
+def xor(rng, n=300):
+    x = rng.uniform(-1, 1, (n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+    return x, y
+
+
+class TestConfig:
+    def test_invalid_raise(self):
+        with pytest.raises(ValueError):
+            RandomForestConfig(n_trees=0)
+        with pytest.raises(ValueError):
+            RandomForestConfig(feature_fraction=0.0)
+        with pytest.raises(ValueError):
+            RandomForestConfig(feature_fraction=1.5)
+
+
+class TestForest:
+    def test_fits_requested_trees(self, rng):
+        x, y = xor(rng)
+        forest = RandomForest(RandomForestConfig(n_trees=7)).fit(x, y, rng=rng)
+        assert forest.n_trees_fitted == 7
+
+    def test_learns_separable(self, rng):
+        x = rng.random((200, 4))
+        y = (x[:, 1] > 0.5).astype(np.int64)
+        forest = RandomForest(RandomForestConfig(n_trees=15, feature_fraction=1.0))
+        forest.fit(x, y, rng=rng)
+        assert (forest.predict(x) == y).mean() >= 0.97
+
+    def test_generalizes_on_xor(self, rng):
+        x, y = xor(rng, n=500)
+        forest = RandomForest(
+            RandomForestConfig(n_trees=25, max_depth=8, feature_fraction=1.0)
+        ).fit(x[:400], y[:400], rng=rng)
+        assert (forest.predict(x[400:]) == y[400:]).mean() >= 0.8
+
+    def test_forest_smoother_than_single_tree(self, rng):
+        """Averaging yields intermediate probabilities, not only 0/1."""
+        x, y = xor(rng)
+        forest = RandomForest(RandomForestConfig(n_trees=20)).fit(x, y, rng=rng)
+        probs = forest.predict_proba(x)
+        assert ((probs > 0.05) & (probs < 0.95)).any()
+
+    def test_feature_subsets_respected(self, rng):
+        x = rng.random((100, 10))
+        y = (x[:, 0] > 0.5).astype(np.int64)
+        forest = RandomForest(
+            RandomForestConfig(n_trees=5, feature_fraction=0.3)
+        ).fit(x, y, rng=rng)
+        for cols in forest.feature_subsets:
+            assert len(cols) == 3
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            RandomForest().predict(rng.random((2, 3)))
+
+    def test_deterministic_given_rng(self, rng):
+        x, y = xor(rng)
+        a = RandomForest().fit(x, y, rng=np.random.default_rng(4)).predict_proba(x)
+        b = RandomForest().fit(x, y, rng=np.random.default_rng(4)).predict_proba(x)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,131 @@
+"""Tests for the from-scratch SMO SVM."""
+
+import numpy as np
+import pytest
+
+from repro.shallow import SVM, SVMConfig
+from repro.shallow.svm import linear_kernel, rbf_kernel
+
+
+def linear_blobs(rng, n=60, gap=2.0):
+    """Two linearly separable Gaussian blobs."""
+    x0 = rng.normal((-gap, -gap), 0.5, size=(n // 2, 2))
+    x1 = rng.normal((gap, gap), 0.5, size=(n // 2, 2))
+    x = np.vstack([x0, x1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    perm = rng.permutation(n)
+    return x[perm], y[perm]
+
+
+def xor_data(rng, n=80):
+    """The classic non-linear task: XOR quadrants."""
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+    return x + rng.normal(0, 0.02, x.shape), y
+
+
+class TestKernels:
+    def test_linear_kernel_is_gram(self, rng):
+        a = rng.random((4, 3))
+        b = rng.random((5, 3))
+        np.testing.assert_allclose(linear_kernel(a, b), a @ b.T)
+
+    def test_rbf_diagonal_ones(self, rng):
+        a = rng.random((6, 3))
+        k = rbf_kernel(a, a, gamma=0.7)
+        np.testing.assert_allclose(np.diag(k), 1.0)
+
+    def test_rbf_decays_with_distance(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.0, 1.0], [0.0, 3.0]])
+        k = rbf_kernel(a, b, gamma=1.0)
+        assert k[0, 0] > k[0, 1]
+
+
+class TestConfig:
+    def test_invalid_raise(self):
+        with pytest.raises(ValueError):
+            SVMConfig(C=0)
+        with pytest.raises(ValueError):
+            SVMConfig(kernel="poly")
+
+
+class TestTraining:
+    def test_separable_linear(self, rng):
+        x, y = linear_blobs(rng)
+        svm = SVM(SVMConfig(kernel="linear", C=1.0))
+        svm.fit(x, y, rng=rng)
+        assert (svm.predict(x) == y).mean() == 1.0
+
+    def test_xor_needs_rbf(self, rng):
+        x, y = xor_data(rng)
+        rbf = SVM(SVMConfig(kernel="rbf", C=10.0)).fit(x, y, rng=rng)
+        lin = SVM(SVMConfig(kernel="linear", C=10.0)).fit(x, y, rng=rng)
+        assert (rbf.predict(x) == y).mean() >= 0.9
+        assert (lin.predict(x) == y).mean() < 0.8
+
+    def test_generalization(self, rng):
+        x, y = xor_data(rng, n=120)
+        svm = SVM(SVMConfig(kernel="rbf", C=10.0)).fit(x[:80], y[:80], rng=rng)
+        assert (svm.predict(x[80:]) == y[80:]).mean() >= 0.85
+
+    def test_single_class_raises(self, rng):
+        x = rng.random((10, 2))
+        with pytest.raises(ValueError):
+            SVM().fit(x, np.zeros(10, dtype=int), rng=rng)
+
+    def test_non_binary_labels_raise(self, rng):
+        x = rng.random((10, 2))
+        y = np.arange(10)
+        with pytest.raises(ValueError):
+            SVM().fit(x, y, rng=rng)
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            SVM().decision_function(rng.random((2, 2)))
+
+    def test_has_support_vectors(self, rng):
+        x, y = linear_blobs(rng)
+        svm = SVM(SVMConfig(kernel="linear")).fit(x, y, rng=rng)
+        assert 0 < svm.n_support <= len(x)
+
+
+class TestScores:
+    def test_proba_in_unit_interval(self, rng):
+        x, y = linear_blobs(rng)
+        svm = SVM().fit(x, y, rng=rng)
+        probs = svm.predict_proba(x)
+        assert probs.min() >= 0.0 and probs.max() <= 1.0
+
+    def test_proba_monotone_in_decision(self, rng):
+        x, y = linear_blobs(rng)
+        svm = SVM().fit(x, y, rng=rng)
+        dec = svm.decision_function(x)
+        probs = svm.predict_proba(x)
+        order = np.argsort(dec)
+        assert (np.diff(probs[order]) >= -1e-12).all()
+
+    def test_margin_signs_match_labels_on_separable(self, rng):
+        x, y = linear_blobs(rng)
+        svm = SVM(SVMConfig(kernel="linear")).fit(x, y, rng=rng)
+        dec = svm.decision_function(x)
+        assert ((dec >= 0).astype(int) == y).all()
+
+
+class TestClassWeighting:
+    def test_balanced_helps_minority_recall(self, rng):
+        """On 10:1 imbalance, balanced C recovers minority recall."""
+        x0 = rng.normal((-0.5, 0.0), 1.0, size=(200, 2))
+        x1 = rng.normal((0.5, 0.0), 1.0, size=(20, 2))
+        x = np.vstack([x0, x1])
+        y = np.array([0] * 200 + [1] * 20)
+        balanced = SVM(SVMConfig(class_weight="balanced")).fit(x, y, rng=rng)
+        plain = SVM(SVMConfig(class_weight=None)).fit(x, y, rng=rng)
+        # balanced weighting pushes the boundary toward the majority side:
+        # minority decision values rise, and recall cannot drop
+        dec_b = balanced.decision_function(x)[y == 1].mean()
+        dec_p = plain.decision_function(x)[y == 1].mean()
+        assert dec_b > dec_p
+        recall_b = balanced.predict(x)[y == 1].mean()
+        recall_p = plain.predict(x)[y == 1].mean()
+        assert recall_b >= recall_p

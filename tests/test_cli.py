@@ -1,0 +1,149 @@
+"""CLI smoke tests (in-process, no benchmark generation)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.geometry import Rect, save_clips
+
+from .conftest import clip_from_rects
+
+
+class TestList:
+    def test_lists_detectors(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "svm-ccas" in out
+        assert "cnn-dct" in out
+
+
+class TestAnalyze:
+    def test_analyze_clip_file(self, tmp_path, capsys):
+        clips = [
+            clip_from_rects([Rect(88 + i * 128, 96, 88 + i * 128 + 64, 1104) for i in range(8)], tag="grate"),
+            clip_from_rects([Rect(504, 96, 568, 1104), Rect(608, 96, 672, 1104)], tag="close"),
+        ]
+        path = tmp_path / "clips.txt"
+        save_clips(clips, path, labels=[0, 1])
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "grate: ok" in out
+        assert "close: HOTSPOT" in out
+        assert "1/2 hotspots" in out
+
+
+class TestPattern:
+    def test_renders_ascii(self, tmp_path, capsys):
+        clip = clip_from_rects([Rect(96, 568, 1104, 632)], tag="wire")
+        path = tmp_path / "clips.txt"
+        save_clips([clip], path)
+        assert main(["pattern", str(path), "--pixel", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "." in out
+
+    def test_bad_index(self, tmp_path, capsys):
+        clip = clip_from_rects([Rect(96, 568, 1104, 632)])
+        path = tmp_path / "clips.txt"
+        save_clips([clip], path)
+        assert main(["pattern", str(path), "--index", "5"]) == 2
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestTrainScore:
+    def test_train_then_score(self, tmp_path, capsys):
+        from .conftest import synthetic_labeled_clips
+
+        rng = np.random.default_rng(0)
+        clips, labels = synthetic_labeled_clips(rng, n=24)
+        data = tmp_path / "train.txt"
+        save_clips(clips, data, labels=labels.tolist())
+        model = tmp_path / "model.npz"
+        assert main(["train", str(data), "--out", str(model), "--epochs", "2"]) == 0
+        assert model.exists()
+        assert main(["score", str(model), str(data)]) == 0
+        out = capsys.readouterr().out
+        assert "flagged" in out
+
+    def test_train_rejects_unlabeled(self, tmp_path):
+        clip = clip_from_rects([Rect(96, 568, 1104, 632)])
+        data = tmp_path / "u.txt"
+        save_clips([clip], data)
+        assert main(["train", str(data)]) == 2
+
+
+class TestGenDataAndEvaluate:
+    def test_gen_data_tiny(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["gen-data", "--scale", "0.02", "--seed", "99"]) == 0
+        out = capsys.readouterr().out
+        assert "B1" in out and "B5" in out
+        assert (tmp_path / "cache").exists()
+
+    def test_evaluate_tiny(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--detectors",
+                    "logistic-density,dtree-density",
+                    "--benchmarks",
+                    "B1",
+                    "--scale",
+                    "0.02",
+                    "--seed",
+                    "99",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "logistic-density" in out
+
+
+class TestScanCommand:
+    def test_scan_gdsii(self, tmp_path, capsys):
+        from .conftest import synthetic_labeled_clips
+        from repro.geometry import Layout, Polygon
+        from repro.geometry.gdsii import write_gdsii
+
+        # train a tiny model
+        rng = np.random.default_rng(0)
+        clips, labels = synthetic_labeled_clips(rng, n=24)
+        data = tmp_path / "train.txt"
+        save_clips(clips, data, labels=labels.tolist())
+        model = tmp_path / "model.npz"
+        assert main(["train", str(data), "--out", str(model), "--epochs", "2"]) == 0
+        capsys.readouterr()
+
+        # build a small GDSII layout: wires across a 2um block
+        layout = Layout("block")
+        layer = layout.layer("metal1")
+        for i in range(15):
+            layer.add(Polygon.rectangle(Rect(0, i * 144, 2304, i * 144 + 64)))
+        gds = tmp_path / "block.gds"
+        write_gdsii(layout, gds)
+
+        assert main(["scan", str(model), str(gds), "--layer", "L1"]) == 0
+        out = capsys.readouterr().out
+        assert "windows" in out
+
+    def test_scan_unknown_layer(self, tmp_path, capsys):
+        from repro.geometry import Layout, Polygon
+        from repro.geometry.gdsii import write_gdsii
+
+        layout = Layout("block")
+        layout.layer("m").add(Polygon.rectangle(Rect(0, 0, 2000, 64)))
+        gds = tmp_path / "b.gds"
+        write_gdsii(layout, gds)
+        assert main(["scan", str(gds), str(gds), "--layer", "nope"]) == 2
