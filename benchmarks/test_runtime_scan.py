@@ -1,0 +1,118 @@
+"""Runtime engine — full-chip scan throughput and dedup savings.
+
+The deployment story behind Fig. 5: the per-clip gap between simulation
+and learned detectors only matters if the scan path can keep the
+detector fed.  This bench scans a replicated routed block (the
+repeated-cell structure real chips have) three ways:
+
+- ``naive``     — the historical score-everything sweep (no dedup),
+- ``dedup``     — the engine's content-hash cache,
+- ``cascade``   — dedup plus the pattern-match -> prefilter -> CNN stack.
+
+Shape checks: all paths flag identical windows; dedup scores >= 2x fewer
+windows than the naive sweep on a tiled layout; the cascade resolves part
+of the residue before the CNN stage.  Windows/s and the per-path ratios
+are recorded alongside the Fig. 5 table.
+"""
+
+import numpy as np
+
+from .conftest import run_once
+
+
+def _replicated_block(rng, cell_nm=2048, nx=3, ny=3):
+    from repro.data import (
+        RoutedBlockConfig,
+        replicate_block,
+        synthesize_routed_block,
+    )
+    from repro.geometry import Rect
+
+    cell = Rect(0, 0, cell_nm, cell_nm)
+    layer, _seeded = synthesize_routed_block(
+        rng, cell, RoutedBlockConfig(n_marginal=2, marginal_len_nm=400)
+    )
+    tiled = replicate_block(layer, cell, nx=nx, ny=ny)
+    return tiled, Rect(0, 0, nx * cell_nm, ny * cell_nm)
+
+
+def test_runtime_scan_dedup_and_cascade(benchmark, suite, out_dir):
+    from repro.bench import write_table
+    from repro.core import scan_layer
+    from repro.core.registry import create
+    from repro.runtime import CascadeDetector, ScanEngine
+
+    b1 = [b for b in suite if b.name == "B1"][0]
+    rng = np.random.default_rng(17)
+    layer, region = _replicated_block(rng)
+
+    cnn = create("cnn-dct")
+    cnn.fit(b1.train, rng=rng)
+    matcher = create("pattern-fuzzy")
+    matcher.fit(b1.train, rng=rng)
+    prefilter = create("logistic-density")
+    prefilter.fit(b1.train, rng=rng)
+
+    def run():
+        reports = {}
+        naive = scan_layer(cnn, layer, region)
+        reports["naive"] = naive
+
+        reports["dedup"] = ScanEngine(cnn).scan(layer, region)
+
+        cascade = CascadeDetector(
+            primary=cnn, matcher=matcher, prefilter=prefilter
+        )
+        reports["cascade"] = ScanEngine(cascade).scan(layer, region)
+        return reports
+
+    reports = run_once(benchmark, run)
+    naive = reports["naive"]
+
+    rows = []
+    for name in ("naive", "dedup", "cascade"):
+        rep = reports[name]
+        row = {
+            "path": name,
+            "windows": len(rep.centers),
+            "flagged": rep.n_flagged,
+        }
+        if name == "naive":
+            row.update(
+                {"cnn_scored": len(rep.centers), "dedup_ratio": "0%", "windows_per_s": "-"}
+            )
+        else:
+            cnn_scored = (
+                rep.cascade_stats.primary_scored
+                if rep.cascade_stats is not None
+                else rep.n_scored
+            )
+            row.update(
+                {
+                    "cnn_scored": cnn_scored,
+                    "dedup_ratio": f"{100 * rep.dedup_ratio:.0f}%",
+                    "windows_per_s": round(rep.windows_per_s, 1),
+                }
+            )
+        rows.append(row)
+    text = write_table(
+        rows,
+        out_dir / "runtime_scan.md",
+        title="Runtime engine: full-chip scan savings",
+    )
+    print("\n" + text)
+
+    # identical flagged windows on every path
+    for name in ("dedup", "cascade"):
+        rep = reports[name]
+        assert rep.centers == naive.centers, name
+        assert np.array_equal(rep.flagged, naive.flagged), name
+
+    # the tiled layout makes dedup cut CNN scorings by >= 2x
+    dedup = reports["dedup"]
+    assert len(naive.centers) >= 2 * dedup.n_scored
+    assert dedup.dedup_ratio >= 0.5
+
+    # the cascade sends no more windows to the CNN than dedup alone
+    cascade = reports["cascade"]
+    assert cascade.cascade_stats.primary_scored <= dedup.n_scored

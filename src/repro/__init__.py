@@ -55,6 +55,7 @@ from .data import (
     upsample_minority,
 )
 from .geometry import Clip, Layer, Layout, Polygon, Rect, extract_clip
+from .runtime import CascadeDetector, ScanEngine, ScanReport, ScoreCache
 from .litho import HotspotOracle, LithoSimulator, OpticalSystem, ResistModel
 
 __version__ = "1.0.0"
@@ -93,4 +94,9 @@ __all__ = [
     "evaluate_on_suite",
     "create",
     "available",
+    # runtime
+    "ScanEngine",
+    "ScanReport",
+    "ScoreCache",
+    "CascadeDetector",
 ]

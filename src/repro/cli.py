@@ -9,6 +9,7 @@ Commands
 ``score``       score a clip file with a saved CNN model
 ``analyze``     litho-analyze a clip file and print per-clip verdicts
 ``scan``        sweep a saved CNN model over a GDSII layout layer
+``scan-chip``   production full-chip scan: cache, cascade, worker pool
 ``pattern``     print a clip's raster as ASCII art (debugging aid)
 """
 
@@ -113,6 +114,30 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_heat(grid: "np.ndarray", threshold: float) -> List[str]:
+    """ASCII heat-map rows (top row first).
+
+    Cells the scan never covered (``step_nm`` not evenly tiling the
+    region leaves NaN holes in the grid) render as ``' '`` rather than
+    being silently treated as cold.
+    """
+    rows = []
+    for row in grid[::-1]:
+        rows.append(
+            "".join(
+                " "
+                if np.isnan(s)
+                else "#"
+                if s >= threshold
+                else "+"
+                if s >= 0.2
+                else "."
+                for s in row
+            )
+        )
+    return rows
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     from .core.scan import scan_layer
     from .geometry.gdsii import read_gdsii
@@ -127,19 +152,158 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         return 2
     layer = layout.layer(args.layer)
     detector = CNNDetector.load(args.model)
-    result = scan_layer(detector, layer, layer.bbox.expand(-args.margin))
+    region = layer.bbox.expand(-args.margin)
+    try:
+        result = scan_layer(detector, layer, region)
+    except ValueError:
+        print(
+            f"region {region.width}x{region.height} nm is smaller than one "
+            f"768 nm clip window (margin {args.margin} nm); nothing to scan",
+            file=sys.stderr,
+        )
+        return 2
     print(
         f"{len(result.clips)} windows, {result.n_flagged} flagged "
         f"({100 * result.flag_ratio:.0f}%)"
     )
-    grid = result.heat_map()
-    for row in grid[::-1]:
+    for row in _render_heat(result.heat_map(), detector.threshold):
+        print(row)
+    return 0
+
+
+def _parse_overrides(pairs: List[str]) -> dict:
+    """Parse repeated ``--set key=value`` options into typed kwargs."""
+    overrides = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--set expects key=value, got {pair!r}")
+        value: object
+        lowered = raw.lower()
+        if lowered in ("true", "false"):
+            value = lowered == "true"
+        elif lowered in ("none", "null"):
+            value = None
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        overrides[key.replace("-", "_")] = value
+    return overrides
+
+
+def _cmd_scan_chip(args: argparse.Namespace) -> int:
+    from .geometry.gdsii import read_gdsii
+    from .runtime import CascadeDetector, ScanEngine
+
+    if (args.model is None) == (args.detector is None):
+        print("pass exactly one of --model or --detector", file=sys.stderr)
+        return 2
+    layout, _db_unit = read_gdsii(args.gds)
+    if args.layer not in layout.layers:
         print(
-            "".join(
-                "#" if s >= detector.threshold else "+" if s >= 0.2 else "."
-                for s in row
-            )
+            f"layer {args.layer!r} not in {sorted(layout.layers)}",
+            file=sys.stderr,
         )
+        return 2
+    layer = layout.layer(args.layer)
+
+    try:
+        overrides = _parse_overrides(args.set or [])
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    # --- build (and where needed, fit) the detector stack -------------
+    if args.model is not None:
+        from .nn import CNNDetector
+
+        detector = CNNDetector.load(args.model)
+        needs_fit = False
+    else:
+        from .core.registry import create
+
+        try:
+            detector = create(args.detector, **overrides)
+        except (KeyError, TypeError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        needs_fit = True
+
+    if needs_fit or args.cascade:
+        from .bench.workloads import get_suite
+
+        rng = np.random.default_rng(args.seed)
+        train = get_suite(scale=args.scale, seed=args.seed)[0].train
+        if needs_fit:
+            detector.fit(train, rng=rng)
+            # fit() may recalibrate the threshold; an explicit --set wins
+            if "threshold" in overrides:
+                detector.threshold = float(overrides["threshold"])
+        if args.cascade:
+            from .core.registry import create
+
+            matcher = create("pattern-fuzzy")
+            matcher.fit(train, rng=rng)
+            prefilter = create("logistic-density")
+            prefilter.fit(train, rng=rng)
+            detector = CascadeDetector(
+                primary=detector, matcher=matcher, prefilter=prefilter
+            )
+
+    oracle = None
+    if args.verify:
+        from .litho.hotspot import HotspotOracle
+
+        oracle = HotspotOracle()
+
+    try:
+        engine = ScanEngine(
+            detector,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            chunk_clips=args.chunk,
+        )
+    except ValueError as exc:
+        # e.g. the cache dir belongs to a different detector
+        print(str(exc), file=sys.stderr)
+        return 2
+    region = layer.bbox.expand(-args.margin)
+    try:
+        report = engine.scan(
+            layer,
+            region,
+            window_nm=args.window,
+            core_nm=args.core,
+            step_nm=args.step,
+            oracle=oracle,
+            keep_clips=False,
+        )
+    except ValueError:
+        print(
+            f"region {region.width}x{region.height} nm is smaller than one "
+            f"{args.window} nm clip window (margin {args.margin} nm); "
+            "nothing to scan",
+            file=sys.stderr,
+        )
+        return 2
+
+    print(report.summary())
+    if report.confirmed is not None and report.n_flagged:
+        print(
+            f"verified: {int(report.confirmed.sum())}/{report.n_flagged} "
+            "flagged windows confirmed by lithography"
+        )
+    if args.map:
+        for row in _render_heat(report.heat_map(), detector.threshold):
+            print(row)
+    if args.stats:
+        print()
+        print(report.telemetry.report())
     return 0
 
 
@@ -205,6 +369,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layer", default="L1")
     p.add_argument("--margin", type=int, default=0, help="inset from the bbox (nm)")
     p.set_defaults(fn=_cmd_scan)
+
+    p = sub.add_parser(
+        "scan-chip",
+        help="production full-chip scan (cache, cascade, worker pool)",
+    )
+    p.add_argument("gds", type=Path)
+    p.add_argument("--model", type=Path, default=None, help="saved CNN (npz)")
+    p.add_argument(
+        "--detector",
+        default=None,
+        help="registry name; fitted on the cached benchmark suite",
+    )
+    p.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="detector factory override (repeatable), e.g. threshold=0.6",
+    )
+    p.add_argument("--layer", default="L1")
+    p.add_argument("--margin", type=int, default=0, help="inset from the bbox (nm)")
+    p.add_argument("--window", type=int, default=768)
+    p.add_argument("--core", type=int, default=256)
+    p.add_argument("--step", type=int, default=None)
+    p.add_argument("--workers", type=int, default=1, help="scoring processes")
+    p.add_argument(
+        "--cascade",
+        action="store_true",
+        help="wrap the detector in the pattern-match -> prefilter cascade",
+    )
+    p.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persist the dedup score cache here across scans",
+    )
+    p.add_argument("--chunk", type=int, default=256, help="clips per chunk")
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="litho-verify flagged windows (slow)",
+    )
+    p.add_argument(
+        "--stats", action="store_true", help="print the telemetry report"
+    )
+    p.add_argument(
+        "--map", action="store_true", help="print the ASCII hotspot map"
+    )
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--seed", type=int, default=2012)
+    p.set_defaults(fn=_cmd_scan_chip)
 
     p = sub.add_parser("pattern", help="ASCII-render a clip")
     p.add_argument("clips", type=Path)

@@ -1,6 +1,12 @@
 """Core detection framework: interfaces, metrics, evaluation, ensembles."""
 
-from .detector import Detector, FitReport, OracleDetector
+from .detector import (
+    Detector,
+    FitReport,
+    OracleDetector,
+    detector_from_state,
+    detector_to_state,
+)
 from .ensemble import MajorityVoteEnsemble, SoftVoteEnsemble
 from .evaluation import EvalResult, evaluate_detector, evaluate_on_suite
 from .metrics import Confusion, auc, confusion, roc_auc, roc_curve
@@ -14,6 +20,8 @@ __all__ = [
     "Detector",
     "FitReport",
     "OracleDetector",
+    "detector_to_state",
+    "detector_from_state",
     "Confusion",
     "confusion",
     "roc_curve",

@@ -13,6 +13,7 @@ curves and calibrate thresholds under false-alarm caps.
 
 from __future__ import annotations
 
+import pickle
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
@@ -54,8 +55,38 @@ class Detector(ABC):
         """0/1 hotspot decisions at ``self.threshold``."""
         return (self.predict_proba(clips) >= self.threshold).astype(np.int64)
 
+    def to_state(self) -> bytes:
+        """Portable serialized form for shipping to worker processes."""
+        return detector_to_state(self)
+
+    @staticmethod
+    def from_state(state: bytes) -> "Detector":
+        """Inverse of :meth:`to_state`."""
+        return detector_from_state(state)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def detector_to_state(detector) -> bytes:
+    """Serialize a fitted detector (or duck-typed matcher) to bytes.
+
+    The runtime worker pool ships detectors to ``spawn``-ed processes via
+    this state; every detector in the library is built from plain
+    numpy/dataclass parts, so pickling the object graph is sufficient and
+    keeps each detector's own ``save``/``load`` formats untouched.
+    """
+    return pickle.dumps(detector, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def detector_from_state(state: bytes):
+    """Rebuild a detector from :func:`detector_to_state` bytes."""
+    detector = pickle.loads(state)
+    if not callable(getattr(detector, "predict_proba", None)):
+        raise TypeError(
+            f"state does not decode to a detector: {type(detector).__name__}"
+        )
+    return detector
 
 
 class OracleDetector(Detector):

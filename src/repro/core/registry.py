@@ -10,25 +10,45 @@ from typing import Callable, Dict, List
 
 from .detector import Detector
 
-_REGISTRY: Dict[str, Callable[[], Detector]] = {}
+_REGISTRY: Dict[str, Callable[..., Detector]] = {}
 
 
-def register(name: str, factory: Callable[[], Detector]) -> None:
-    """Register a zero-arg detector factory under ``name``."""
+def register(name: str, factory: Callable[..., Detector]) -> None:
+    """Register a detector factory under ``name``.
+
+    Factories are invoked with no arguments by default; keyword overrides
+    passed to :func:`create` are forwarded verbatim.
+    """
     if name in _REGISTRY:
         raise KeyError(f"detector {name!r} already registered")
     _REGISTRY[name] = factory
 
 
-def create(name: str) -> Detector:
-    """Instantiate a registered detector."""
+def create(name: str, **overrides) -> Detector:
+    """Instantiate a registered detector.
+
+    ``overrides`` are forwarded to the factory so callers (notably
+    ``scan-chip --set key=value``) can tune a detector without code
+    changes.  ``threshold`` is handled uniformly: every detector exposes a
+    decision threshold attribute, so it is applied post-construction
+    rather than requiring each factory to accept it.
+    """
     try:
         factory = _REGISTRY[name]
     except KeyError:
         raise KeyError(
             f"unknown detector {name!r}; available: {available()}"
         ) from None
-    return factory()
+    threshold = overrides.pop("threshold", None)
+    try:
+        detector = factory(**overrides)
+    except TypeError as exc:
+        raise TypeError(
+            f"detector {name!r} rejected overrides {sorted(overrides)}: {exc}"
+        ) from None
+    if threshold is not None:
+        detector.threshold = float(threshold)
+    return detector
 
 
 def available() -> List[str]:

@@ -4,6 +4,10 @@ The deployment mode every hotspot paper motivates: a detector trained on
 clips is swept over all windows of a large layout; flagged windows go to
 lithography verification.  ``scan_layer`` formalizes the flow and reports
 the hotspot map plus the simulation-savings ratio.
+
+The actual sweep now lives in :mod:`repro.runtime` (streaming tiles,
+dedup cache, worker pool, cascade, telemetry); ``scan_layer`` remains the
+stable, single-process, score-everything entry point layered on top.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..geometry.layout import Clip, Layer, extract_clip, tile_centers
+from ..geometry.layout import Clip, Layer
 from ..geometry.rect import Rect
 from .detector import Detector
 
@@ -73,23 +77,22 @@ def scan_layer(
     ``step_nm`` defaults to the core size so cores tile the region without
     gaps.  Passing a :class:`~repro.litho.HotspotOracle` as ``oracle``
     verifies the flagged windows (the detect-then-simulate flow).
+
+    This is the compatibility entry point: it delegates to
+    :class:`repro.runtime.ScanEngine` configured to match the historical
+    contract exactly — in-process, every window scored (no dedup cache),
+    every clip retained on the result.  Production scans should construct
+    a :class:`~repro.runtime.ScanEngine` directly to get streaming,
+    memoization, worker pools, and cascade/telemetry reporting.
     """
-    step = core_nm if step_nm is None else step_nm
-    centers = tile_centers(region, window_nm, step)
-    if not centers:
-        raise ValueError("region too small for the clip window")
-    clips = [extract_clip(layer, c, window_nm, core_nm) for c in centers]
-    scores = detector.predict_proba(clips)
-    flagged = scores >= detector.threshold
-    confirmed = None
-    if oracle is not None:
-        confirmed = np.array(
-            [bool(oracle.label(c)) for c, f in zip(clips, flagged) if f]
-        )
-    return ScanResult(
-        centers=centers,
-        clips=clips,
-        scores=np.asarray(scores),
-        flagged=flagged,
-        confirmed=confirmed,
+    from ..runtime.engine import ScanEngine
+
+    engine = ScanEngine(detector, workers=1, dedup=False)
+    return engine.scan(
+        layer,
+        region,
+        window_nm=window_nm,
+        core_nm=core_nm,
+        step_nm=step_nm,
+        oracle=oracle,
     )

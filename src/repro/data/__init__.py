@@ -24,7 +24,12 @@ from .imbalance import (
     upsample_minority,
 )
 from .io import dataset_cache_key, load_dataset, save_dataset
-from .layouts import RoutedBlockConfig, seeded_recall, synthesize_routed_block
+from .layouts import (
+    RoutedBlockConfig,
+    replicate_block,
+    seeded_recall,
+    synthesize_routed_block,
+)
 from .patterns import FAMILIES, GRID, PatternSpec
 from .via_patterns import VIA_FAMILIES
 from .synth import DEFAULT_CORE_NM, DEFAULT_WINDOW_NM, FamilyMix, generate_clips, make_clip
@@ -57,6 +62,7 @@ __all__ = [
     "dataset_cache_key",
     "RoutedBlockConfig",
     "synthesize_routed_block",
+    "replicate_block",
     "seeded_recall",
     "VIA_FAMILIES",
 ]

@@ -85,6 +85,42 @@ def synthesize_routed_block(
     return layer, seeded
 
 
+def replicate_block(
+    layer: Layer,
+    cell: Rect,
+    nx: int,
+    ny: int,
+    pitch_x: Optional[int] = None,
+    pitch_y: Optional[int] = None,
+) -> Layer:
+    """Tile a cell's geometry into an ``nx x ny`` array (new layer).
+
+    Models the dominant structure of real chips — the same routed cell
+    stamped out in rows — which is exactly the workload where the scan
+    runtime's content-hash dedup pays off: windows in one cell interior
+    are geometrically identical to the corresponding windows of every
+    other copy.  Keep the pitch a multiple of the scan step so repeated
+    windows land on congruent local geometry.
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError("nx/ny must be >= 1")
+    pitch_x = cell.width if pitch_x is None else pitch_x
+    pitch_y = cell.height if pitch_y is None else pitch_y
+    cell_rects = [
+        r
+        for r in (rect.intersection(cell) for p in layer.polygons for rect in p.rects)
+        if r is not None
+    ]
+    out = Layer(layer.name)
+    rects: List[Rect] = []
+    for iy in range(ny):
+        for ix in range(nx):
+            dx, dy = ix * pitch_x, iy * pitch_y
+            rects.extend(r.translate(dx, dy) for r in cell_rects)
+    out.add_rects(rects)
+    return out
+
+
 def seeded_recall(
     seeded: List[Tuple[int, int]],
     hotspot_regions: List[Rect],

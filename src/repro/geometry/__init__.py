@@ -21,7 +21,16 @@ from .gdsio import (
     save_clips,
     save_layout,
 )
-from .layout import Clip, Layer, Layout, extract_clip, tile_centers
+from .layout import (
+    Clip,
+    Layer,
+    Layout,
+    clip_fingerprint,
+    count_tile_centers,
+    extract_clip,
+    iter_tile_centers,
+    tile_centers,
+)
 from .multilayer import (
     MultiLayerClip,
     enclosure_violations,
@@ -45,6 +54,9 @@ __all__ = [
     "Clip",
     "extract_clip",
     "tile_centers",
+    "iter_tile_centers",
+    "count_tile_centers",
+    "clip_fingerprint",
     "rasterize_clip",
     "rasterize_rects",
     "core_slice",

@@ -9,8 +9,9 @@ a hotspot iff a defect's marker falls inside its core).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .polygon import Polygon, polygons_from_rect_soup
 from .rect import Rect, bounding_box
@@ -146,17 +147,66 @@ def extract_clip(
     )
 
 
-def tile_centers(
+def iter_tile_centers(
     region: Rect, window_size: int, step: int
-) -> List[Tuple[int, int]]:
-    """Clip centers tiling a region with the given stride.
+) -> Iterator[Tuple[int, int]]:
+    """Lazily yield clip centers tiling a region with the given stride.
 
     Windows are kept fully inside ``region``; a region smaller than the
-    window yields no centers.
+    window yields no centers.  The generator form lets full-chip scans
+    stream windows without materializing the center list (millions of
+    windows on a real block) — :func:`tile_centers` is the eager version.
     """
     if step <= 0:
         raise ValueError("step must be positive")
     half = window_size // 2
-    xs = list(range(region.x1 + half, region.x2 - window_size + half + 1, step))
-    ys = list(range(region.y1 + half, region.y2 - window_size + half + 1, step))
-    return [(x, y) for y in ys for x in xs]
+    for y in range(region.y1 + half, region.y2 - window_size + half + 1, step):
+        for x in range(region.x1 + half, region.x2 - window_size + half + 1, step):
+            yield (x, y)
+
+
+def count_tile_centers(region: Rect, window_size: int, step: int) -> int:
+    """Number of centers :func:`iter_tile_centers` will yield (O(1))."""
+    if step <= 0:
+        raise ValueError("step must be positive")
+    nx = max(0, (region.width - window_size) // step + 1)
+    ny = max(0, (region.height - window_size) // step + 1)
+    return nx * ny
+
+
+def tile_centers(
+    region: Rect, window_size: int, step: int
+) -> List[Tuple[int, int]]:
+    """Clip centers tiling a region with the given stride (eager list)."""
+    return list(iter_tile_centers(region, window_size, step))
+
+
+def clip_fingerprint(clip: Clip) -> str:
+    """Canonical content hash of a clip's window-local geometry.
+
+    Two clips extracted at different absolute positions hash identically
+    iff their window size, core placement, and shapes in window-local
+    coordinates coincide — exactly the condition under which every
+    detector in the library (all of which consume local geometry only)
+    produces the same score.  Real layouts are dominated by repeated
+    cells, so keying a score cache on this fingerprint turns most of a
+    full-chip scan into lookups.
+
+    The hash is a 128-bit BLAKE2b over the sorted local rects, stable
+    across processes and interpreter runs (unlike builtin ``hash``).
+    """
+    core = clip.local_core()
+    parts: List[int] = [
+        clip.window.width,
+        clip.window.height,
+        core.x1,
+        core.y1,
+        core.x2,
+        core.y2,
+    ]
+    for rect in sorted(clip.local_rects()):
+        parts.extend(rect.as_tuple())
+    digest = hashlib.blake2b(
+        ",".join(map(str, parts)).encode("ascii"), digest_size=16
+    )
+    return digest.hexdigest()

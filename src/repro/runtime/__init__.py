@@ -1,0 +1,30 @@
+"""Production full-chip scan runtime.
+
+The deployment path of the library: :class:`ScanEngine` streams tile
+windows out of a layer, dedups repeated patterns through a content-hash
+:class:`ScoreCache`, fans unique clips over a spawn-safe
+:class:`WorkerPool`, optionally routes scoring through a staged
+:class:`CascadeDetector` (pattern match -> shallow prefilter -> CNN ->
+oracle verify), and reports throughput and per-stage resolution via
+:class:`Telemetry` inside the returned :class:`ScanReport`.
+
+The legacy :func:`repro.core.scan.scan_layer` entry point delegates here.
+"""
+
+from .cache import ScoreCache
+from .cascade import CascadeDetector, CascadeStats
+from .engine import ScanEngine, ScanReport
+from .pool import WorkerPool
+from .telemetry import Histogram, Telemetry, Timer
+
+__all__ = [
+    "ScanEngine",
+    "ScanReport",
+    "ScoreCache",
+    "CascadeDetector",
+    "CascadeStats",
+    "WorkerPool",
+    "Telemetry",
+    "Timer",
+    "Histogram",
+]

@@ -1,0 +1,155 @@
+"""Content-hash score memoization for full-chip scans.
+
+Real layouts are dominated by repeated patterns — standard cells, memory
+arrays, via farms — so most windows a full-chip sweep extracts are
+geometrically identical to windows already scored.  Every detector in the
+library scores a clip purely from its window-local geometry, which makes
+the canonical fingerprint of :func:`repro.geometry.clip_fingerprint` a
+sound memoization key: **same fingerprint, same score**, regardless of
+where on the chip the window sits.
+
+:class:`ScoreCache` is a bounded LRU map ``fingerprint -> score`` with
+hit/miss/eviction counters and optional on-disk persistence (json or npz)
+so repeated scans of the same block are near-free.  A ``detector_tag``
+guards persisted caches against being replayed under a different detector
+(scores are detector-specific even though fingerprints are not).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+class ScoreCache:
+    """Bounded LRU ``fingerprint -> score`` map with persistence."""
+
+    def __init__(
+        self, max_entries: int = 200_000, detector_tag: str = ""
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.detector_tag = detector_tag
+        self._scores: "OrderedDict[str, float]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # core map operations
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[float]:
+        """Cached score, refreshing recency; None on miss."""
+        try:
+            score = self._scores[fingerprint]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._scores.move_to_end(fingerprint)
+        self.hits += 1
+        return score
+
+    def put(self, fingerprint: str, score: float) -> None:
+        if fingerprint in self._scores:
+            self._scores.move_to_end(fingerprint)
+        self._scores[fingerprint] = float(score)
+        while len(self._scores) > self.max_entries:
+            self._scores.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._scores
+
+    @property
+    def hit_ratio(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        """Persist to ``path`` (.json, or .npz for anything else)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.suffix == ".json":
+            payload = {
+                "detector": self.detector_tag,
+                "scores": dict(self._scores),
+            }
+            path.write_text(json.dumps(payload))
+        else:
+            np.savez_compressed(
+                path,
+                detector=np.array(self.detector_tag),
+                fingerprints=np.array(list(self._scores), dtype=np.str_),
+                scores=np.array(list(self._scores.values()), dtype=np.float64),
+            )
+        return path
+
+    @classmethod
+    def load(
+        cls,
+        path: PathLike,
+        max_entries: int = 200_000,
+        detector_tag: str = "",
+    ) -> "ScoreCache":
+        """Rebuild a cache saved by :meth:`save`.
+
+        A persisted cache recorded under a different ``detector_tag`` is
+        rejected: fingerprints are detector-agnostic but scores are not,
+        and silently replaying them would corrupt a scan.
+        """
+        path = Path(path)
+        if path.suffix == ".json":
+            payload = json.loads(path.read_text())
+            tag = str(payload.get("detector", ""))
+            scores: Dict[str, float] = payload.get("scores", {})
+        else:
+            with np.load(path) as data:
+                tag = str(data["detector"])
+                scores = {
+                    str(fp): float(s)
+                    for fp, s in zip(data["fingerprints"], data["scores"])
+                }
+        if detector_tag and tag and tag != detector_tag:
+            raise ValueError(
+                f"cache at {path} was built by detector {tag!r}, "
+                f"refusing to reuse it for {detector_tag!r}"
+            )
+        cache = cls(max_entries=max_entries, detector_tag=detector_tag or tag)
+        for fp, score in scores.items():
+            cache.put(fp, score)
+        return cache
+
+    @classmethod
+    def open_dir(
+        cls,
+        directory: PathLike,
+        detector_tag: str = "",
+        max_entries: int = 200_000,
+    ) -> "ScoreCache":
+        """Load the canonical cache file from a directory, or start empty."""
+        path = cls.dir_path(directory)
+        if path.exists():
+            return cls.load(
+                path, max_entries=max_entries, detector_tag=detector_tag
+            )
+        return cls(max_entries=max_entries, detector_tag=detector_tag)
+
+    @staticmethod
+    def dir_path(directory: PathLike) -> Path:
+        return Path(directory) / "scan-scores.json"

@@ -1,0 +1,189 @@
+"""Staged detector cascade: the EPIC-style meta-detector.
+
+The accuracy-vs-runtime trade-off the survey closes on is not "pick one
+detector" but "spend expensive detectors only where cheap ones are
+unsure".  :class:`CascadeDetector` chains the library's generations into
+one :class:`~repro.core.detector.Detector`:
+
+1. **matcher** (optional) — an exact/fuzzy pattern matcher; windows that
+   match a known-bad library pattern are resolved *hot* immediately,
+2. **prefilter** (optional) — a cheap shallow model run at a high-recall
+   (i.e. deliberately low) cutoff; windows it scores confidently cold are
+   resolved without ever reaching the expensive stage,
+3. **primary** — the expensive detector (typically the CNN) scores
+   whatever survives,
+4. **verifier** (optional) — a :class:`~repro.litho.HotspotOracle` (or
+   anything with ``label(clip)``) re-checks flagged windows on demand via
+   :meth:`verify_flagged`.
+
+Per-stage resolution counts accumulate in :class:`CascadeStats` so the
+scan report can show exactly where windows were decided.  Every stage is a
+pure per-clip function, so cascade scores are independent of batching —
+the property the dedup cache and the worker pool both rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.detector import Detector, FitReport
+from ..data.dataset import ClipDataset
+from ..geometry.layout import Clip
+
+
+@dataclass
+class CascadeStats:
+    """Where windows got resolved, accumulated across predict calls."""
+
+    windows: int = 0
+    matched_hot: int = 0
+    filtered_cold: int = 0
+    primary_scored: int = 0
+    verified: int = 0
+    verified_hot: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "windows": self.windows,
+            "matched_hot": self.matched_hot,
+            "filtered_cold": self.filtered_cold,
+            "primary_scored": self.primary_scored,
+            "verified": self.verified,
+            "verified_hot": self.verified_hot,
+        }
+
+    def merge(self, other: "CascadeStats") -> None:
+        self.windows += other.windows
+        self.matched_hot += other.matched_hot
+        self.filtered_cold += other.filtered_cold
+        self.primary_scored += other.primary_scored
+        self.verified += other.verified
+        self.verified_hot += other.verified_hot
+
+    def summary(self) -> str:
+        return (
+            f"cascade: {self.windows} windows -> "
+            f"{self.matched_hot} matched hot, "
+            f"{self.filtered_cold} filtered cold, "
+            f"{self.primary_scored} primary-scored"
+            + (
+                f", {self.verified_hot}/{self.verified} verified hot"
+                if self.verified
+                else ""
+            )
+        )
+
+
+class CascadeDetector(Detector):
+    """matcher -> prefilter -> primary staged flow behind the Detector API.
+
+    Resolution semantics (per clip, order matters):
+
+    * matcher score ``>= matcher.threshold`` resolves **hot** with final
+      score ``max(match_score, self.threshold)`` (always flagged),
+    * prefilter score ``< filter_cutoff`` resolves **cold** with the
+      prefilter's own score (the cutoff is clamped below the cascade
+      threshold, so resolved-cold windows are never flagged),
+    * everything else gets the primary detector's score verbatim.
+
+    ``filter_cutoff`` is the recall knob: it must stay small (high recall
+    on the prefilter) or the cascade trades hotspots for speed.
+    """
+
+    def __init__(
+        self,
+        primary: Detector,
+        matcher=None,
+        prefilter=None,
+        filter_cutoff: float = 0.05,
+        verifier=None,
+        name: str = "cascade",
+        fit_primary: bool = True,
+    ) -> None:
+        if not 0.0 <= filter_cutoff < 1.0:
+            raise ValueError("filter_cutoff must be in [0, 1)")
+        self.name = name
+        self.primary = primary
+        self.matcher = matcher
+        self.prefilter = prefilter
+        self.filter_cutoff = filter_cutoff
+        self.verifier = verifier
+        self.fit_primary = fit_primary
+        self.threshold = float(primary.threshold)
+        self.stats = CascadeStats()
+
+    # ------------------------------------------------------------------
+    # Detector API
+    # ------------------------------------------------------------------
+    def fit(
+        self, train: ClipDataset, rng: Optional[np.random.Generator] = None
+    ) -> FitReport:
+        """Fit every stage on the same data (primary unless pre-fitted)."""
+        notes = []
+        seconds = 0.0
+        stages = [("matcher", self.matcher), ("prefilter", self.prefilter)]
+        if self.fit_primary:
+            stages.append(("primary", self.primary))
+        for label, stage in stages:
+            if stage is None:
+                continue
+            report = stage.fit(train, rng=rng)
+            seconds += report.train_seconds
+            notes.append(f"{label}={type(stage).__name__}")
+        self.threshold = float(self.primary.threshold)
+        return FitReport(
+            train_seconds=seconds, n_train=len(train), notes=" ".join(notes)
+        )
+
+    def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
+        n = len(clips)
+        scores = np.zeros(n, dtype=np.float64)
+        unresolved = np.ones(n, dtype=bool)
+        self.stats.windows += n
+        if n == 0:
+            return scores
+
+        if self.matcher is not None:
+            match_scores = np.asarray(self.matcher.predict_proba(clips))
+            hot = match_scores >= self.matcher.threshold
+            scores[hot] = np.maximum(match_scores[hot], self.threshold)
+            unresolved &= ~hot
+            self.stats.matched_hot += int(hot.sum())
+
+        if self.prefilter is not None and unresolved.any():
+            idx = np.flatnonzero(unresolved)
+            sub = [clips[i] for i in idx]
+            filter_scores = np.asarray(self.prefilter.predict_proba(sub))
+            # clamp so a resolved-cold window can never cross the flag line
+            cutoff = min(self.filter_cutoff, 0.5 * self.threshold)
+            cold = filter_scores < cutoff
+            scores[idx[cold]] = filter_scores[cold]
+            unresolved[idx[cold]] = False
+            self.stats.filtered_cold += int(cold.sum())
+
+        if unresolved.any():
+            idx = np.flatnonzero(unresolved)
+            sub = [clips[i] for i in idx]
+            scores[idx] = np.asarray(self.primary.predict_proba(sub))
+            self.stats.primary_scored += len(idx)
+        return scores
+
+    # ------------------------------------------------------------------
+    # verification stage
+    # ------------------------------------------------------------------
+    def verify_flagged(self, clips: Sequence[Clip]) -> np.ndarray:
+        """Oracle-check flagged clips; bool array aligned with ``clips``."""
+        if self.verifier is None:
+            raise RuntimeError("cascade has no verifier stage")
+        confirmed = np.array(
+            [bool(self.verifier.label(clip)) for clip in clips], dtype=bool
+        )
+        self.stats.verified += len(clips)
+        self.stats.verified_hot += int(confirmed.sum())
+        return confirmed
+
+    def reset_stats(self) -> None:
+        self.stats = CascadeStats()

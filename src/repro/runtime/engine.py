@@ -1,0 +1,388 @@
+"""ScanEngine: the production full-chip scan path.
+
+Where :func:`repro.core.scan.scan_layer` was a toy sweep (materialize
+every clip, score once, re-score repeats), the engine is built for the
+chip-scale workload the runtime figures motivate:
+
+* **streaming tiles** — windows come from
+  :func:`~repro.geometry.layout.iter_tile_centers` in bounded chunks; the
+  full clip population is never materialized unless the caller asks to
+  keep it for report compatibility,
+* **dedup scoring** — a :class:`~repro.runtime.cache.ScoreCache` keyed on
+  the canonical clip fingerprint scores each distinct pattern once per
+  scan (and, with a cache directory, once *ever*); repeated cells make
+  this the single biggest runtime win available,
+* **worker pool** — unique clips fan out over a ``spawn``-safe
+  :class:`~repro.runtime.pool.WorkerPool` with ordered reassembly, so
+  ``workers>1`` returns byte-identical scores to ``workers=1``,
+* **detector cascade** — any detector works, but a
+  :class:`~repro.runtime.cascade.CascadeDetector` resolves most windows
+  in its cheap stages and its per-stage counts land in the report,
+* **telemetry** — windows/s, per-stage latency, cache and dedup ratios,
+  embedded in the returned :class:`ScanReport` (a compatible superset of
+  :class:`~repro.core.scan.ScanResult`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.scan import ScanResult
+from ..geometry.layout import (
+    Clip,
+    Layer,
+    clip_fingerprint,
+    count_tile_centers,
+    extract_clip,
+    iter_tile_centers,
+)
+from ..geometry.rect import Rect
+from .cache import ScoreCache
+from .cascade import CascadeDetector, CascadeStats
+from .pool import WorkerPool
+from .telemetry import Telemetry
+
+
+@dataclass
+class ScanReport(ScanResult):
+    """ScanResult plus runtime telemetry — what the engine returns.
+
+    ``clips`` is populated only when the engine ran with
+    ``keep_clips=True`` (the default, for drop-in compatibility);
+    flagged windows are *always* available via :meth:`flagged_clips`,
+    which falls back to the separately retained ``flagged_windows``.
+    """
+
+    flagged_windows: List[Clip] = field(default_factory=list)
+    telemetry: Optional[Telemetry] = None
+    cascade_stats: Optional[CascadeStats] = None
+    n_windows: int = 0
+    n_scored: int = 0
+    cache_hits: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def flag_ratio(self) -> float:
+        """Fraction of windows sent to verification (simulation cost)."""
+        return self.n_flagged / self.n_windows if self.n_windows else 0.0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of windows resolved without invoking the detector."""
+        if not self.n_windows:
+            return 0.0
+        return 1.0 - self.n_scored / self.n_windows
+
+    @property
+    def windows_per_s(self) -> float:
+        return self.n_windows / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def flagged_clips(self) -> List[Clip]:
+        if self.clips:
+            return super().flagged_clips()
+        return list(self.flagged_windows)
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.n_windows} windows, {self.n_flagged} flagged "
+            f"({100 * self.flag_ratio:.1f}%), "
+            f"{self.n_scored} scored ({100 * self.dedup_ratio:.1f}% dedup), "
+            f"{self.windows_per_s:,.0f} windows/s in {self.elapsed_s:.2f}s"
+        ]
+        if self.cascade_stats is not None:
+            lines.append(self.cascade_stats.summary())
+        return "\n".join(lines)
+
+
+def _chunked(items: Iterable, size: int) -> Iterator[list]:
+    chunk: list = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+class ScanEngine:
+    """Streaming, deduplicating, multi-process full-chip scanner.
+
+    Parameters
+    ----------
+    detector:
+        Any fitted :class:`~repro.core.detector.Detector` (a
+        :class:`~repro.runtime.cascade.CascadeDetector` gets its stage
+        stats surfaced in the report).
+    workers:
+        Scoring processes.  ``1`` (default) stays fully in-process.
+    cache / cache_dir:
+        An explicit :class:`ScoreCache`, or a directory to persist one
+        across scans.  With neither, a scan-local cache still dedups
+        repeated patterns within the scan; ``dedup=False`` disables
+        memoization entirely (every window is scored — the legacy
+        ``scan_layer`` contract).
+    chunk_clips:
+        Tile-chunk size: bounds peak memory and sets the pool dispatch
+        granularity.
+    """
+
+    def __init__(
+        self,
+        detector,
+        *,
+        workers: int = 1,
+        cache: Optional[ScoreCache] = None,
+        cache_dir=None,
+        dedup: bool = True,
+        chunk_clips: int = 256,
+        max_cache_entries: int = 200_000,
+        mp_context: str = "spawn",
+    ) -> None:
+        if chunk_clips < 1:
+            raise ValueError("chunk_clips must be >= 1")
+        self.detector = detector
+        self.workers = workers
+        self.chunk_clips = chunk_clips
+        self.dedup = dedup
+        self.mp_context = mp_context
+        self._persist_path = None
+        tag = getattr(detector, "name", type(detector).__name__)
+        if cache is not None:
+            self.cache: Optional[ScoreCache] = cache
+        elif cache_dir is not None:
+            self.cache = ScoreCache.open_dir(
+                cache_dir, detector_tag=tag, max_entries=max_cache_entries
+            )
+            self._persist_path = ScoreCache.dir_path(cache_dir)
+        elif dedup:
+            self.cache = ScoreCache(
+                max_entries=max_cache_entries, detector_tag=tag
+            )
+        else:
+            self.cache = None
+
+    # ------------------------------------------------------------------
+    # scanning
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        layer: Layer,
+        region: Rect,
+        window_nm: int = 768,
+        core_nm: int = 256,
+        step_nm: Optional[int] = None,
+        oracle=None,
+        keep_clips: bool = True,
+    ) -> ScanReport:
+        """Sweep the detector over all windows of ``region``.
+
+        Mirrors :func:`~repro.core.scan.scan_layer` (including the
+        ``ValueError`` on a region smaller than one window) and adds the
+        engine behaviors; ``keep_clips=False`` drops the per-window clip
+        list for chip-scale runs where only flagged windows matter.
+        """
+        step = core_nm if step_nm is None else step_nm
+        if count_tile_centers(region, window_nm, step) == 0:
+            raise ValueError("region too small for the clip window")
+        telemetry = Telemetry()
+        t0 = perf_counter()
+        centers_iter = iter_tile_centers(region, window_nm, step)
+
+        with WorkerPool(
+            self.detector, workers=self.workers, mp_context=self.mp_context
+        ) as pool:
+            if self.cache is None:
+                centers, clips, scores = self._scan_direct(
+                    layer, centers_iter, window_nm, core_nm, pool,
+                    telemetry, keep_clips,
+                )
+            else:
+                centers, clips, scores = self._scan_dedup(
+                    layer, centers_iter, window_nm, core_nm, pool,
+                    telemetry, keep_clips,
+                )
+
+        flagged = scores >= self.detector.threshold
+        flagged_windows = self._flagged_windows(
+            layer, centers, clips, flagged, window_nm, core_nm
+        )
+        confirmed = self._verify(flagged_windows, oracle, telemetry)
+        elapsed = perf_counter() - t0
+        telemetry.add_time("total", elapsed)
+        if self._persist_path is not None:
+            with telemetry.timer("cache_save"):
+                self.cache.save(self._persist_path)
+
+        stats = getattr(self.detector, "stats", None)
+        return ScanReport(
+            centers=centers,
+            clips=clips if keep_clips else [],
+            scores=scores,
+            flagged=flagged,
+            confirmed=confirmed,
+            flagged_windows=flagged_windows,
+            telemetry=telemetry,
+            cascade_stats=stats if isinstance(stats, CascadeStats) else None,
+            n_windows=len(centers),
+            n_scored=telemetry.counter("scored"),
+            cache_hits=telemetry.counter("cache_hits")
+            + telemetry.counter("dedup_hits"),
+            elapsed_s=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # scan strategies
+    # ------------------------------------------------------------------
+    def _scan_direct(
+        self, layer, centers_iter, window_nm, core_nm, pool, telemetry,
+        keep_clips,
+    ) -> Tuple[List[Tuple[int, int]], List[Clip], np.ndarray]:
+        """No-dedup path: stream chunks straight through the pool."""
+        centers: List[Tuple[int, int]] = []
+        clips: List[Clip] = []
+
+        def chunks() -> Iterator[List[Clip]]:
+            for chunk_centers in _chunked(centers_iter, self.chunk_clips):
+                with telemetry.timer("extract"):
+                    chunk = [
+                        extract_clip(layer, c, window_nm, core_nm)
+                        for c in chunk_centers
+                    ]
+                centers.extend(chunk_centers)
+                if keep_clips:
+                    clips.extend(chunk)
+                telemetry.count("windows", len(chunk))
+                telemetry.count("chunks")
+                telemetry.observe("chunk_clips", len(chunk))
+                yield chunk
+
+        parts: List[np.ndarray] = []
+        with telemetry.timer("score"):
+            for part in pool.map_scores(chunks()):
+                parts.append(part)
+                telemetry.count("scored", len(part))
+        scores = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
+        )
+        return centers, clips, scores
+
+    def _scan_dedup(
+        self, layer, centers_iter, window_nm, core_nm, pool, telemetry,
+        keep_clips,
+    ) -> Tuple[List[Tuple[int, int]], List[Clip], np.ndarray]:
+        """Dedup path: fingerprint every window, score each pattern once.
+
+        Phase 1 streams and fingerprints tiles, collecting one exemplar
+        clip per unseen pattern; phase 2 scores the exemplars through the
+        pool; phase 3 assembles the per-window score array.  Splitting
+        the phases keeps cross-chunk dedup exact even when the pool
+        pipelines chunks concurrently.
+        """
+        cache = self.cache
+        assert cache is not None
+        centers: List[Tuple[int, int]] = []
+        clips: List[Clip] = []
+        fingerprints: List[str] = []
+        score_by_fp: Dict[str, float] = {}
+        pending: Dict[str, Clip] = {}
+
+        for chunk_centers in _chunked(centers_iter, self.chunk_clips):
+            with telemetry.timer("extract"):
+                chunk = [
+                    extract_clip(layer, c, window_nm, core_nm)
+                    for c in chunk_centers
+                ]
+            with telemetry.timer("dedup"):
+                for clip in chunk:
+                    fp = clip_fingerprint(clip)
+                    fingerprints.append(fp)
+                    if fp in score_by_fp or fp in pending:
+                        telemetry.count("dedup_hits")
+                        continue
+                    cached = cache.get(fp)
+                    if cached is not None:
+                        score_by_fp[fp] = cached
+                        telemetry.count("cache_hits")
+                    else:
+                        pending[fp] = clip
+            centers.extend(chunk_centers)
+            if keep_clips:
+                clips.extend(chunk)
+            telemetry.count("windows", len(chunk))
+            telemetry.count("chunks")
+            telemetry.observe("chunk_clips", len(chunk))
+
+        unique_fps = list(pending)
+        unique_clips = list(pending.values())
+        with telemetry.timer("score"):
+            fp_chunks = [
+                unique_fps[i : i + self.chunk_clips]
+                for i in range(0, len(unique_fps), self.chunk_clips)
+            ]
+            clip_chunks = [
+                unique_clips[i : i + self.chunk_clips]
+                for i in range(0, len(unique_clips), self.chunk_clips)
+            ]
+            for fps, part in zip(fp_chunks, pool.map_scores(clip_chunks)):
+                for fp, score in zip(fps, part):
+                    value = float(score)
+                    score_by_fp[fp] = value
+                    cache.put(fp, value)
+                telemetry.count("scored", len(part))
+
+        with telemetry.timer("assemble"):
+            scores = np.array(
+                [score_by_fp[fp] for fp in fingerprints], dtype=np.float64
+            )
+        return centers, clips, scores
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def _flagged_windows(
+        self, layer, centers, clips, flagged, window_nm, core_nm
+    ) -> List[Clip]:
+        """Clips of flagged windows, re-extracting when not retained."""
+        idx = np.flatnonzero(flagged)
+        if clips:
+            return [clips[i] for i in idx]
+        return [
+            extract_clip(layer, centers[i], window_nm, core_nm) for i in idx
+        ]
+
+    def _verify(
+        self, flagged_windows: List[Clip], oracle, telemetry
+    ) -> Optional[np.ndarray]:
+        """Oracle-confirm flagged windows (deduped by pattern)."""
+        verifier = oracle
+        if verifier is None and isinstance(self.detector, CascadeDetector):
+            verifier = self.detector.verifier
+        if verifier is None:
+            return None
+        use_cascade = (
+            oracle is None
+            and isinstance(self.detector, CascadeDetector)
+            and self.detector.verifier is not None
+        )
+        confirmed = np.empty(len(flagged_windows), dtype=bool)
+        verdict_by_fp: Dict[str, bool] = {}
+        with telemetry.timer("verify"):
+            for i, clip in enumerate(flagged_windows):
+                fp = clip_fingerprint(clip)
+                if fp not in verdict_by_fp:
+                    if use_cascade:
+                        verdict = bool(
+                            self.detector.verify_flagged([clip])[0]
+                        )
+                    else:
+                        verdict = bool(verifier.label(clip))
+                    verdict_by_fp[fp] = verdict
+                    telemetry.count("verified_unique")
+                confirmed[i] = verdict_by_fp[fp]
+        telemetry.count("verified", len(flagged_windows))
+        return confirmed

@@ -1,0 +1,130 @@
+"""Multiprocessing scoring pool for the scan engine.
+
+Scoring is embarrassingly parallel across clip chunks, and the numpy
+detectors release no work to threads (single-process BLAS here), so the
+engine parallelizes with **processes**.  The pool is ``spawn``-safe:
+
+* the detector is shipped once per worker via
+  :func:`repro.core.detector.detector_to_state` in the pool initializer
+  (workers then score every chunk against their private copy),
+* chunk dispatch uses ``imap`` so results stream back **in submission
+  order** — reassembly is trivial and scores are byte-identical to the
+  single-process path,
+* ``workers=1`` never touches ``multiprocessing`` at all: scoring runs
+  in-process, which keeps tests deterministic and debuggable.
+
+Top-level functions (not closures) carry the worker-side logic, as the
+``spawn`` start method requires.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.detector import detector_from_state, detector_to_state
+from ..geometry.layout import Clip
+
+# per-worker detector instance, installed by _init_worker in each child
+_WORKER_DETECTOR = None
+
+
+def _init_worker(state: bytes) -> None:
+    """Pool initializer: decode the detector once per worker process."""
+    global _WORKER_DETECTOR
+    _WORKER_DETECTOR = detector_from_state(state)
+
+
+def _score_chunk(clips: List[Clip]) -> np.ndarray:
+    """Worker-side chunk scorer (runs against the per-process detector)."""
+    if _WORKER_DETECTOR is None:  # pragma: no cover - initializer contract
+        raise RuntimeError("worker pool used before initialization")
+    return np.asarray(_WORKER_DETECTOR.predict_proba(clips), dtype=np.float64)
+
+
+class WorkerPool:
+    """Chunked detector scoring over 1..N processes with ordered results.
+
+    Usable as a context manager; the process pool (if any) is created
+    lazily on first use and torn down on :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        detector,
+        workers: int = 1,
+        mp_context: str = "spawn",
+        chunks_in_flight: int = 4,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.detector = detector
+        self.workers = workers
+        self.mp_context = mp_context
+        self.chunks_in_flight = max(1, chunks_in_flight)
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            ctx = multiprocessing.get_context(self.mp_context)
+            self._pool = ctx.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(detector_to_state(self.detector),),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def map_scores(
+        self, chunks: Iterable[Sequence[Clip]]
+    ) -> Iterator[np.ndarray]:
+        """Score clip chunks, yielding one score array per chunk in order.
+
+        The in-process path consumes the chunk iterable lazily; the
+        multiprocess path uses ``imap`` (ordered) with a bounded chunk
+        pipeline so huge scans never materialize all chunks at once.
+        """
+        if self.workers == 1:
+            for chunk in chunks:
+                yield np.asarray(
+                    self.detector.predict_proba(list(chunk)),
+                    dtype=np.float64,
+                )
+            return
+        pool = self._ensure_pool()
+        yield from pool.imap(
+            _score_chunk,
+            (list(chunk) for chunk in chunks),
+            chunksize=1,
+        )
+
+    def score(
+        self, clips: Sequence[Clip], chunk_clips: int = 256
+    ) -> np.ndarray:
+        """Convenience: score a flat clip list via chunked dispatch."""
+        if not clips:
+            return np.empty(0, dtype=np.float64)
+        chunks = [
+            clips[i : i + chunk_clips]
+            for i in range(0, len(clips), chunk_clips)
+        ]
+        return np.concatenate(list(self.map_scores(chunks)))

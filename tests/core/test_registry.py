@@ -30,6 +30,31 @@ class TestRegistry:
             create("does-not-exist")
         assert "available" in str(exc.value)
 
+    def test_create_forwards_overrides_to_factory(self):
+        register("test-override", lambda scale=1.0: ConstantDetector(scale))
+        try:
+            det = create("test-override", scale=0.25)
+            assert det.score == 0.25
+        finally:
+            from repro.core import registry as reg
+
+            del reg._REGISTRY["test-override"]
+
+    def test_create_threshold_override_applies_post_construction(self):
+        det = create("svm-ccas", threshold=0.125)
+        assert det.threshold == 0.125
+
+    def test_create_unknown_override_raises_clearly(self):
+        register("test-strict", lambda: ConstantDetector(0.5))
+        try:
+            with pytest.raises(TypeError) as exc:
+                create("test-strict", bogus=1)
+            assert "test-strict" in str(exc.value)
+        finally:
+            from repro.core import registry as reg
+
+            del reg._REGISTRY["test-strict"]
+
     def test_duplicate_registration_raises(self):
         register("test-dup", lambda: ConstantDetector(0.5))
         try:

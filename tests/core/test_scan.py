@@ -80,6 +80,57 @@ class TestScanLayer:
         assert len(result.confirmed) == result.n_flagged
         assert len(result.hotspot_regions()) == result.n_flagged
 
+    def test_hotspot_regions_align_with_mixed_confirmations(self, layer):
+        """confirmed[i] must pair with the i-th *flagged* clip, not the
+        i-th clip overall."""
+
+        class AlternatingOracle:
+            def __init__(self):
+                self.calls = 0
+
+            def label(self, clip):
+                self.calls += 1
+                return self.calls % 2  # confirm every other flagged window
+
+        region = Rect(0, 0, 4096, 4096)
+        result = scan_layer(
+            DensityDetector(0.3), layer, region, oracle=AlternatingOracle()
+        )
+        assert result.n_flagged > 1
+        regions = result.hotspot_regions()
+        flagged = result.flagged_clips()
+        expected = [
+            c.core for c, ok in zip(flagged, result.confirmed) if ok
+        ]
+        assert regions == expected
+        assert 0 < len(regions) < result.n_flagged
+        flagged_cores = {c.core.as_tuple() for c in flagged}
+        assert all(r.as_tuple() in flagged_cores for r in regions)
+
+    def test_heat_map_uneven_step_stays_finite(self, layer):
+        """A step that doesn't evenly tile the region still yields a fully
+        scored rectangular grid (centers are a cartesian product)."""
+        region = Rect(0, 0, 4096, 4096)
+        result = scan_layer(DensityDetector(), layer, region, step_nm=384)
+        grid = result.heat_map()
+        assert np.isfinite(grid).sum() == len(result.centers)
+
+    def test_heat_map_irregular_centers_leave_nan_holes(self):
+        """Centers that don't form a full grid (merged or partial scans)
+        produce NaN holes — consumers must not treat them as score 0."""
+        from repro.core.scan import ScanResult
+
+        result = ScanResult(
+            centers=[(0, 0), (256, 0), (0, 256)],  # missing (256, 256)
+            clips=[],
+            scores=np.array([0.1, 0.2, 0.3]),
+            flagged=np.array([False, False, False]),
+        )
+        grid = result.heat_map()
+        assert grid.shape == (2, 2)
+        assert np.isnan(grid).sum() == 1
+        assert np.isnan(grid[1, 1])
+
     def test_region_too_small_raises(self, layer):
         with pytest.raises(ValueError):
             scan_layer(DensityDetector(), layer, Rect(0, 0, 100, 100))

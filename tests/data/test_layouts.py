@@ -72,6 +72,63 @@ class TestSeededRecall:
         assert seeded_recall([], [Rect(0, 0, 1, 1)]) == 0.0
 
 
+class TestReplicateBlock:
+    def test_area_and_extent_scale_with_copies(self, rng):
+        from repro.data import replicate_block
+
+        cell = Rect(0, 0, 2048, 2048)
+        layer, _ = synthesize_routed_block(rng, cell, RoutedBlockConfig())
+
+        def area(lyr):
+            return sum(
+                r.area for p in lyr.polygons for r in p.rects
+            )
+
+        clipped = sum(
+            r.area
+            for p in layer.polygons
+            for rect in p.rects
+            for r in [rect.intersection(cell)]
+            if r is not None
+        )
+        tiled = replicate_block(layer, cell, nx=2, ny=3)
+        # abutting copies may merge rects, but total metal is conserved
+        assert area(tiled) == 6 * clipped
+        assert tiled.bbox.x2 <= 2 * 2048
+        assert tiled.bbox.y2 <= 3 * 2048
+
+    def test_congruent_windows_fingerprint_equal(self, rng):
+        """The property dedup relies on: a window in one copy hashes the
+        same as the congruent window of every other copy."""
+        from repro.data import replicate_block
+        from repro.geometry import clip_fingerprint, extract_clip
+
+        cell = Rect(0, 0, 2048, 2048)
+        layer, _ = synthesize_routed_block(rng, cell, RoutedBlockConfig())
+        tiled = replicate_block(layer, cell, nx=2, ny=2)
+        a = extract_clip(tiled, (1024, 1024), 768, 256)
+        b = extract_clip(tiled, (1024 + 2048, 1024 + 2048), 768, 256)
+        assert clip_fingerprint(a) == clip_fingerprint(b)
+
+    def test_custom_pitch_spaces_copies(self):
+        from repro.data import replicate_block
+        from repro.geometry import Layer
+
+        cell = Rect(0, 0, 1024, 1024)
+        layer = Layer("m")
+        layer.add_rects([Rect(0, 0, 64, 64)])
+        tiled = replicate_block(layer, cell, nx=2, ny=1, pitch_x=4096)
+        xs = sorted(r.x1 for p in tiled.polygons for r in p.rects)
+        assert xs == [0, 4096]
+
+    def test_bad_counts_raise(self):
+        from repro.data import replicate_block
+        from repro.geometry import Layer
+
+        with pytest.raises(ValueError):
+            replicate_block(Layer("m"), Rect(0, 0, 1024, 1024), nx=0, ny=1)
+
+
 class TestScanIntegration:
     def test_oracle_confirms_seeded_spots(self, rng):
         """The seeded marginal pairs really are hotspots under the oracle."""

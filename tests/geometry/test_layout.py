@@ -130,3 +130,24 @@ class TestTileCenters:
     def test_bad_step_raises(self):
         with pytest.raises(ValueError):
             tile_centers(Rect(0, 0, 100, 100), 50, 0)
+
+    def test_iter_matches_list(self):
+        from repro.geometry import iter_tile_centers
+
+        region = Rect(0, 0, 1000, 700)
+        assert list(iter_tile_centers(region, 200, 100)) == tile_centers(
+            region, 200, 100
+        )
+
+    def test_count_matches_len(self):
+        from repro.geometry import count_tile_centers
+
+        for region in (
+            Rect(0, 0, 1000, 1000),
+            Rect(0, 0, 500, 300),
+            Rect(0, 0, 100, 100),  # smaller than the window
+            Rect(0, 0, 999, 333),  # uneven strides
+        ):
+            assert count_tile_centers(region, 200, 100) == len(
+                tile_centers(region, 200, 100)
+            )

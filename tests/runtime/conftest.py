@@ -1,0 +1,78 @@
+"""Shared fixtures for the scan-runtime tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.detector import Detector, FitReport
+from repro.data.dataset import ClipDataset
+from repro.geometry import Layer, Rect, extract_clip
+
+
+class DensityDetector(Detector):
+    """Flags clips whose metal density exceeds a cutoff (test double)."""
+
+    name = "density-cutoff"
+    threshold = 0.5
+
+    def __init__(self, cutoff: float = 0.3) -> None:
+        self.cutoff = cutoff
+
+    def fit(self, train, rng=None) -> FitReport:
+        return FitReport()
+
+    def predict_proba(self, clips):
+        return np.array(
+            [1.0 if c.density() > self.cutoff else 0.0 for c in clips]
+        )
+
+
+class GradedDensityDetector(Detector):
+    """Continuous density score in [0, 1] (for threshold-sensitive tests)."""
+
+    name = "density-graded"
+    threshold = 0.5
+
+    def fit(self, train, rng=None) -> FitReport:
+        return FitReport()
+
+    def predict_proba(self, clips):
+        return np.clip([4.0 * c.density() for c in clips], 0.0, 1.0)
+
+
+@pytest.fixture
+def layer() -> Layer:
+    """Sparse wires everywhere, one dense block in the lower-left."""
+    layer = Layer("metal1")
+    rects = []
+    for i in range(30):
+        rects.append(Rect(0, i * 256, 4096, i * 256 + 64))
+    for i in range(8):
+        rects.append(Rect(0, i * 256 + 128, 1500, i * 256 + 192))
+    layer.add_rects(rects)
+    return layer
+
+
+@pytest.fixture
+def region() -> Rect:
+    return Rect(0, 0, 4096, 4096)
+
+
+def tiny_grating_dataset(n: int = 24, seed: int = 0) -> ClipDataset:
+    """Dense gratings are hot, sparse ones are not — a separable toy task."""
+    rng = np.random.default_rng(seed)
+    clips, labels = [], []
+    for i in range(n):
+        hot = bool(rng.integers(2))
+        pitch = 64 + (48 if hot else 128)
+        layer = Layer("metal1")
+        layer.add_rects(
+            [
+                Rect(100 + k * pitch, 100, 164 + k * pitch, 1100)
+                for k in range(10)
+            ]
+        )
+        clips.append(extract_clip(layer, (600, 600), 768, 256, tag=f"g{i}"))
+        labels.append(int(hot))
+    return ClipDataset(name="tiny", clips=clips, labels=np.array(labels))

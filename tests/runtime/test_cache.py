@@ -1,0 +1,113 @@
+"""Tests for the content-hash score cache and clip fingerprinting."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Layer, Rect, clip_fingerprint, extract_clip
+from repro.runtime import ScoreCache
+
+
+def _grating_layer(origin_x: int = 0, origin_y: int = 0) -> Layer:
+    layer = Layer("metal1")
+    layer.add_rects(
+        [
+            Rect(origin_x + k * 128, origin_y, origin_x + k * 128 + 64, origin_y + 2000)
+            for k in range(20)
+        ]
+    )
+    return layer
+
+
+class TestClipFingerprint:
+    def test_translation_invariant(self):
+        """Same local geometry at different chip positions hashes equal."""
+        a = extract_clip(_grating_layer(), (640, 1000), 768, 256)
+        b = extract_clip(_grating_layer(4096, 8192), (4096 + 640, 8192 + 1000), 768, 256)
+        assert clip_fingerprint(a) == clip_fingerprint(b)
+
+    def test_geometry_sensitive(self):
+        a = extract_clip(_grating_layer(), (640, 1000), 768, 256)
+        shifted = extract_clip(_grating_layer(), (672, 1000), 768, 256)
+        assert clip_fingerprint(a) != clip_fingerprint(shifted)
+
+    def test_window_size_sensitive(self):
+        a = extract_clip(_grating_layer(), (640, 1000), 768, 256)
+        b = extract_clip(_grating_layer(), (640, 1000), 512, 256)
+        assert clip_fingerprint(a) != clip_fingerprint(b)
+
+    def test_rect_order_irrelevant(self):
+        """Fingerprints canonicalize rect ordering."""
+        window = Rect(0, 0, 768, 768)
+        core = Rect.from_center(384, 384, 256, 256)
+        from repro.geometry import Clip
+
+        r1, r2 = Rect(0, 0, 64, 768), Rect(128, 0, 192, 768)
+        a = Clip(window=window, core=core, rects=(r1, r2))
+        b = Clip(window=window, core=core, rects=(r2, r1))
+        assert clip_fingerprint(a) == clip_fingerprint(b)
+
+    def test_stable_across_runs(self):
+        """BLAKE2-based, so the value is process-independent (snapshot)."""
+        clip = extract_clip(_grating_layer(), (640, 1000), 768, 256)
+        assert clip_fingerprint(clip) == clip_fingerprint(clip)
+        assert len(clip_fingerprint(clip)) == 32  # 128-bit hex
+
+
+class TestScoreCache:
+    def test_get_put_and_counters(self):
+        cache = ScoreCache()
+        assert cache.get("fp1") is None
+        cache.put("fp1", 0.7)
+        assert cache.get("fp1") == pytest.approx(0.7)
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = ScoreCache(max_entries=2)
+        cache.put("a", 0.1)
+        cache.put("b", 0.2)
+        cache.get("a")  # refresh a; b is now oldest
+        cache.put("c", 0.3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_existing_updates(self):
+        cache = ScoreCache(max_entries=2)
+        cache.put("a", 0.1)
+        cache.put("a", 0.9)
+        assert len(cache) == 1
+        assert cache.get("a") == pytest.approx(0.9)
+
+    def test_bad_max_entries(self):
+        with pytest.raises(ValueError):
+            ScoreCache(max_entries=0)
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("name", ["cache.json", "cache.npz"])
+    def test_round_trip(self, tmp_path, name):
+        cache = ScoreCache(detector_tag="cnn-dct")
+        cache.put("fp1", 0.25)
+        cache.put("fp2", 0.75)
+        path = cache.save(tmp_path / name)
+        loaded = ScoreCache.load(path, detector_tag="cnn-dct")
+        assert loaded.get("fp1") == pytest.approx(0.25)
+        assert loaded.get("fp2") == pytest.approx(0.75)
+        assert loaded.detector_tag == "cnn-dct"
+
+    def test_detector_tag_mismatch_rejected(self, tmp_path):
+        cache = ScoreCache(detector_tag="cnn-dct")
+        cache.put("fp", 0.5)
+        path = cache.save(tmp_path / "cache.json")
+        with pytest.raises(ValueError):
+            ScoreCache.load(path, detector_tag="svm-ccas")
+
+    def test_open_dir_empty_then_warm(self, tmp_path):
+        cache = ScoreCache.open_dir(tmp_path, detector_tag="d")
+        assert len(cache) == 0
+        cache.put("fp", 0.5)
+        cache.save(ScoreCache.dir_path(tmp_path))
+        warm = ScoreCache.open_dir(tmp_path, detector_tag="d")
+        assert warm.get("fp") == pytest.approx(0.5)

@@ -1,0 +1,152 @@
+"""Tests for the staged cascade detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import Detector, FitReport
+from repro.runtime import CascadeDetector
+from repro.shallow import ExactPatternMatcher, make_logistic_density
+
+from .conftest import GradedDensityDetector, tiny_grating_dataset
+
+
+class ConstantDetector(Detector):
+    """Scores every clip the same (stage stub)."""
+
+    name = "const"
+
+    def __init__(self, score: float, threshold: float = 0.5) -> None:
+        self.score = score
+        self.threshold = threshold
+
+    def fit(self, train, rng=None) -> FitReport:
+        self.fitted = True
+        return FitReport(n_train=len(train))
+
+    def predict_proba(self, clips):
+        return np.full(len(clips), self.score)
+
+
+class TestStageResolution:
+    def test_matcher_short_circuits_known_patterns(self):
+        train = tiny_grating_dataset(n=24, seed=0)
+        matcher = ExactPatternMatcher()
+        matcher.fit(train)
+        primary = GradedDensityDetector()
+        cascade = CascadeDetector(primary=primary, matcher=matcher)
+        hot_clips = [
+            train.clips[int(i)] for i in train.hotspot_indices()
+        ]
+        scores = cascade.predict_proba(hot_clips)
+        # exact repeats of library hotspots resolve hot without the primary
+        assert (scores >= cascade.threshold).all()
+        assert cascade.stats.matched_hot == len(hot_clips)
+        assert cascade.stats.primary_scored == 0
+
+    def test_prefilter_resolves_cold_below_cutoff(self):
+        clips = tiny_grating_dataset(n=8, seed=2).clips
+        prefilter = ConstantDetector(0.01)
+        primary = ConstantDetector(0.9)
+        cascade = CascadeDetector(
+            primary=primary, prefilter=prefilter, filter_cutoff=0.05
+        )
+        scores = cascade.predict_proba(clips)
+        assert cascade.stats.filtered_cold == len(clips)
+        assert cascade.stats.primary_scored == 0
+        # resolved-cold windows can never be flagged
+        assert (scores < cascade.threshold).all()
+
+    def test_primary_scores_the_rest(self):
+        clips = tiny_grating_dataset(n=6, seed=3).clips
+        cascade = CascadeDetector(
+            primary=ConstantDetector(0.8),
+            prefilter=ConstantDetector(0.4),  # above cutoff: resolves nothing
+        )
+        scores = cascade.predict_proba(clips)
+        assert cascade.stats.primary_scored == len(clips)
+        assert scores == pytest.approx(np.full(len(clips), 0.8))
+
+    def test_stats_accumulate_and_reset(self):
+        clips = tiny_grating_dataset(n=4, seed=4).clips
+        cascade = CascadeDetector(primary=ConstantDetector(0.8))
+        cascade.predict_proba(clips)
+        cascade.predict_proba(clips)
+        assert cascade.stats.windows == 2 * len(clips)
+        cascade.reset_stats()
+        assert cascade.stats.windows == 0
+
+    def test_empty_input(self):
+        cascade = CascadeDetector(primary=ConstantDetector(0.8))
+        assert cascade.predict_proba([]).shape == (0,)
+
+
+class TestFlagConsistency:
+    def test_cascade_never_unflags_matcher_hot(self):
+        """Matched windows are flagged even if the match score is low."""
+        train = tiny_grating_dataset(n=24, seed=0)
+        matcher = ExactPatternMatcher()
+        matcher.threshold = 0.5
+        matcher.fit(train)
+        primary = ConstantDetector(0.0, threshold=0.9)
+        cascade = CascadeDetector(primary=primary, matcher=matcher)
+        hot = [train.clips[int(i)] for i in train.hotspot_indices()]
+        scores = cascade.predict_proba(hot)
+        assert (scores >= cascade.threshold).all()
+
+    def test_filter_cutoff_clamped_below_threshold(self):
+        """A huge filter_cutoff cannot silently flag-starve the scan."""
+        clips = tiny_grating_dataset(n=4, seed=5).clips
+        cascade = CascadeDetector(
+            primary=ConstantDetector(0.9, threshold=0.2),
+            prefilter=ConstantDetector(0.15),
+            filter_cutoff=0.5,  # would exceed threshold 0.2 without clamping
+        )
+        scores = cascade.predict_proba(clips)
+        # 0.15 >= clamp(0.5 -> 0.1), so nothing resolves cold
+        assert cascade.stats.filtered_cold == 0
+        assert (scores >= cascade.threshold).all()
+
+    def test_bad_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            CascadeDetector(primary=ConstantDetector(0.5), filter_cutoff=1.0)
+
+
+class TestFitAndVerify:
+    def test_fit_fits_all_stages(self):
+        train = tiny_grating_dataset(n=24, seed=0)
+        matcher = ExactPatternMatcher()
+        prefilter = make_logistic_density()
+        primary = ConstantDetector(0.9)
+        cascade = CascadeDetector(
+            primary=primary, matcher=matcher, prefilter=prefilter
+        )
+        report = cascade.fit(train, rng=np.random.default_rng(0))
+        assert report.n_train == len(train)
+        assert primary.fitted
+        assert "matcher" in report.notes and "prefilter" in report.notes
+
+    def test_fit_primary_false_skips_primary(self):
+        train = tiny_grating_dataset(n=24, seed=0)
+        primary = ConstantDetector(0.9)
+        cascade = CascadeDetector(primary=primary, fit_primary=False)
+        cascade.fit(train, rng=np.random.default_rng(0))
+        assert not hasattr(primary, "fitted")
+
+    def test_verify_flagged_counts(self):
+        class YesOracle:
+            def label(self, clip):
+                return 1
+
+        clips = tiny_grating_dataset(n=5, seed=6).clips
+        cascade = CascadeDetector(
+            primary=ConstantDetector(0.9), verifier=YesOracle()
+        )
+        confirmed = cascade.verify_flagged(clips)
+        assert confirmed.all()
+        assert cascade.stats.verified == 5
+        assert cascade.stats.verified_hot == 5
+
+    def test_verify_without_verifier_raises(self):
+        cascade = CascadeDetector(primary=ConstantDetector(0.9))
+        with pytest.raises(RuntimeError):
+            cascade.verify_flagged([])

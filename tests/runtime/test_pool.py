@@ -1,0 +1,84 @@
+"""Tests for the scoring worker pool and detector state shipping.
+
+The ``workers=2`` cases use real library detectors (not test doubles):
+the ``spawn`` start method re-imports modules in the child, so shipped
+detectors must come from importable modules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import detector_from_state, detector_to_state
+from repro.runtime import WorkerPool
+from repro.shallow import make_logistic_density
+
+from .conftest import DensityDetector, tiny_grating_dataset
+
+
+def _fitted_logistic():
+    det = make_logistic_density()
+    det.fit(tiny_grating_dataset(), rng=np.random.default_rng(1))
+    return det
+
+
+class TestDetectorState:
+    def test_round_trip_preserves_scores(self):
+        det = _fitted_logistic()
+        clips = tiny_grating_dataset(n=8, seed=3).clips
+        clone = detector_from_state(detector_to_state(det))
+        assert np.array_equal(
+            det.predict_proba(clips), clone.predict_proba(clips)
+        )
+        assert clone.threshold == det.threshold
+
+    def test_non_detector_state_rejected(self):
+        with pytest.raises(TypeError):
+            detector_from_state(detector_to_state({"not": "a detector"}))
+
+    def test_method_form(self):
+        det = DensityDetector()
+        clone = type(det).from_state(det.to_state())
+        assert clone.cutoff == det.cutoff
+
+
+class TestInProcess:
+    def test_single_worker_scores_in_order(self):
+        det = DensityDetector(0.3)
+        clips = tiny_grating_dataset(n=12, seed=5).clips
+        pool = WorkerPool(det, workers=1)
+        scores = pool.score(clips, chunk_clips=5)
+        assert np.array_equal(scores, det.predict_proba(clips))
+
+    def test_empty_clip_list(self):
+        scores = WorkerPool(DensityDetector(), workers=1).score([])
+        assert scores.shape == (0,)
+
+    def test_bad_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(DensityDetector(), workers=0)
+
+    def test_map_scores_streams_lazily(self):
+        """The in-process path must pull chunks one at a time."""
+        det = DensityDetector(0.3)
+        clips = tiny_grating_dataset(n=6, seed=5).clips
+        pulled = []
+
+        def chunks():
+            for i in range(0, len(clips), 2):
+                pulled.append(i)
+                yield clips[i : i + 2]
+
+        it = WorkerPool(det, workers=1).map_scores(chunks())
+        next(it)
+        assert pulled == [0]  # only the first chunk was materialized
+
+
+class TestMultiprocess:
+    def test_spawn_pool_byte_identical(self):
+        """workers=2 must reproduce workers=1 scores exactly."""
+        det = _fitted_logistic()
+        clips = tiny_grating_dataset(n=10, seed=7).clips
+        sequential = WorkerPool(det, workers=1).score(clips, chunk_clips=3)
+        with WorkerPool(det, workers=2) as pool:
+            parallel = pool.score(clips, chunk_clips=3)
+        assert sequential.tobytes() == parallel.tobytes()

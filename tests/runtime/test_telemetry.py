@@ -1,0 +1,121 @@
+"""Tests for the runtime telemetry primitives."""
+
+import time
+
+import pytest
+
+from repro.runtime import Histogram, Telemetry, Timer
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        t = Telemetry()
+        t.count("windows", 10)
+        t.count("windows", 5)
+        assert t.counter("windows") == 15
+
+    def test_missing_counter_is_zero(self):
+        assert Telemetry().counter("nope") == 0
+
+    def test_ratio(self):
+        t = Telemetry()
+        t.count("hits", 3)
+        t.count("lookups", 4)
+        assert t.ratio("hits", "lookups") == pytest.approx(0.75)
+        assert t.ratio("hits", "missing") == 0.0
+
+
+class TestTimers:
+    def test_timer_accumulates_calls(self):
+        t = Telemetry()
+        for _ in range(3):
+            with t.timer("stage"):
+                time.sleep(0.001)
+        assert t.timers["stage"].calls == 3
+        assert t.seconds("stage") >= 0.003
+
+    def test_add_time(self):
+        t = Telemetry()
+        t.add_time("total", 2.5)
+        assert t.seconds("total") == pytest.approx(2.5)
+
+    def test_rate(self):
+        t = Telemetry()
+        t.count("windows", 100)
+        t.add_time("total", 2.0)
+        assert t.rate("windows", "total") == pytest.approx(50.0)
+
+    def test_mean_ms(self):
+        timer = Timer()
+        timer.add(0.25)
+        timer.add(0.75)
+        assert timer.mean_ms == pytest.approx(500.0)
+
+
+class TestHistogram:
+    def test_exact_moments(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(2.5)
+        assert h.minimum == 1.0
+        assert h.maximum == 4.0
+
+    def test_percentiles(self):
+        h = Histogram()
+        for v in range(101):
+            h.observe(float(v))
+        assert h.percentile(0) == 0.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(50) == pytest.approx(50.0)
+
+    def test_bounded_sample_stays_bounded(self):
+        h = Histogram(max_sample=64)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.count == 10_000
+        assert len(h._sample) <= 64
+        # the subsampled percentile still tracks the true distribution
+        assert h.percentile(50) == pytest.approx(5000, rel=0.1)
+
+    def test_bad_percentile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+
+class TestMergeAndRender:
+    def test_merge_folds_everything(self):
+        a, b = Telemetry(), Telemetry()
+        a.count("windows", 10)
+        b.count("windows", 5)
+        a.add_time("score", 1.0)
+        b.add_time("score", 2.0)
+        a.observe("chunk", 10)
+        b.observe("chunk", 30)
+        a.merge(b)
+        assert a.counter("windows") == 15
+        assert a.seconds("score") == pytest.approx(3.0)
+        assert a.histograms["chunk"].count == 2
+        assert a.histograms["chunk"].mean == pytest.approx(20.0)
+
+    def test_report_mentions_all_sections(self):
+        t = Telemetry()
+        t.count("windows", 42)
+        t.add_time("score", 0.5)
+        t.observe("chunk_clips", 256)
+        text = t.report()
+        assert "windows" in text
+        assert "score" in text
+        assert "chunk_clips" in text
+        assert "42" in text
+
+    def test_as_dict_round_trip_types(self):
+        t = Telemetry()
+        t.count("windows", 1)
+        t.add_time("score", 0.5)
+        t.observe("chunk", 2.0)
+        d = t.as_dict()
+        assert d["counters"]["windows"] == 1
+        assert d["timers"]["score"]["calls"] == 1
+        assert d["histograms"]["chunk"]["count"] == 1

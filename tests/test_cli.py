@@ -147,3 +147,154 @@ class TestScanCommand:
         gds = tmp_path / "b.gds"
         write_gdsii(layout, gds)
         assert main(["scan", str(gds), str(gds), "--layer", "nope"]) == 2
+
+    def test_scan_region_smaller_than_window_exits_2(self, tmp_path, capsys):
+        """A bbox (after margin inset) below one window must not traceback."""
+        from .conftest import synthetic_labeled_clips
+        from repro.geometry import Layout, Polygon
+        from repro.geometry.gdsii import write_gdsii
+
+        rng = np.random.default_rng(0)
+        clips, labels = synthetic_labeled_clips(rng, n=24)
+        data = tmp_path / "train.txt"
+        save_clips(clips, data, labels=labels.tolist())
+        model = tmp_path / "model.npz"
+        assert main(["train", str(data), "--out", str(model), "--epochs", "1"]) == 0
+        capsys.readouterr()
+
+        layout = Layout("tiny")
+        layout.layer("L1").add(Polygon.rectangle(Rect(0, 0, 500, 500)))
+        gds = tmp_path / "tiny.gds"
+        write_gdsii(layout, gds)
+
+        assert main(["scan", str(model), str(gds), "--layer", "L1"]) == 2
+        err = capsys.readouterr().err
+        assert "smaller than one" in err
+        assert "nothing to scan" in err
+
+
+class TestRenderHeat:
+    def test_nan_cells_render_blank_not_cold(self):
+        from repro.cli import _render_heat
+
+        grid = np.array([[0.9, np.nan], [0.1, 0.3]])
+        rows = _render_heat(grid, threshold=0.5)
+        # top row first: grid[1] renders first
+        assert rows == [".+", "# "]
+
+    def test_threshold_marks_hash(self):
+        from repro.cli import _render_heat
+
+        rows = _render_heat(np.array([[0.5, 0.49]]), threshold=0.5)
+        assert rows == ["#+"]
+
+
+class TestScanChipCommand:
+    def _write_block(self, tmp_path, name="block.gds"):
+        from repro.geometry import Layout, Polygon
+        from repro.geometry.gdsii import write_gdsii
+
+        layout = Layout("block")
+        layer = layout.layer("L1")
+        for i in range(15):
+            layer.add(Polygon.rectangle(Rect(0, i * 144, 2304, i * 144 + 64)))
+        gds = tmp_path / name
+        write_gdsii(layout, gds)
+        return gds
+
+    def test_requires_exactly_one_source(self, tmp_path, capsys):
+        gds = self._write_block(tmp_path)
+        assert main(["scan-chip", str(gds)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_registry_detector_scan(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        gds = self._write_block(tmp_path)
+        cache = tmp_path / "scores"
+        assert (
+            main(
+                [
+                    "scan-chip",
+                    str(gds),
+                    "--detector",
+                    "logistic-density",
+                    "--cache-dir",
+                    str(cache),
+                    "--stats",
+                    "--map",
+                    "--scale",
+                    "0.02",
+                    "--seed",
+                    "99",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "windows" in out
+        assert "dedup" in out
+        assert (cache / "scan-scores.json").exists()
+
+    def test_set_overrides_threshold(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        gds = self._write_block(tmp_path)
+        assert (
+            main(
+                [
+                    "scan-chip",
+                    str(gds),
+                    "--detector",
+                    "logistic-density",
+                    "--set",
+                    "threshold=0.999",
+                    "--scale",
+                    "0.02",
+                    "--seed",
+                    "99",
+                ]
+            )
+            == 0
+        )
+        assert "windows" in capsys.readouterr().out
+
+    def test_cache_dir_detector_mismatch_exits_2(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """Reusing another detector's score cache must refuse cleanly."""
+        from repro.runtime import ScoreCache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        gds = self._write_block(tmp_path)
+        cache_dir = tmp_path / "scores"
+        cache_dir.mkdir()
+        stale = ScoreCache(detector_tag="someone-else")
+        stale.put("fp", 0.5)
+        stale.save(ScoreCache.dir_path(cache_dir))
+        assert (
+            main(
+                [
+                    "scan-chip",
+                    str(gds),
+                    "--detector",
+                    "logistic-density",
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--scale",
+                    "0.02",
+                    "--seed",
+                    "99",
+                ]
+            )
+            == 2
+        )
+        assert "refusing" in capsys.readouterr().err
+
+    def test_bad_override_syntax_exits_2(self, tmp_path, capsys):
+        gds = self._write_block(tmp_path)
+        assert (
+            main(
+                ["scan-chip", str(gds), "--detector", "x", "--set", "oops"]
+            )
+            == 2
+        )
+        assert "key=value" in capsys.readouterr().err
