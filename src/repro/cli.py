@@ -267,6 +267,7 @@ def _cmd_scan_chip(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache_dir=args.cache_dir,
             chunk_clips=args.chunk,
+            raster_plane=False if args.no_raster_plane else None,
         )
     except ValueError as exc:
         # e.g. the cache dir belongs to a different detector
@@ -405,6 +406,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the dedup score cache here across scans",
     )
     p.add_argument("--chunk", type=int, default=256, help="clips per chunk")
+    p.add_argument(
+        "--no-raster-plane",
+        action="store_true",
+        help="force the per-clip reference scan path (raster-plane "
+        "batching is used automatically when the detector supports it)",
+    )
     p.add_argument(
         "--verify",
         action="store_true",

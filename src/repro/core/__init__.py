@@ -6,6 +6,7 @@ from .detector import (
     OracleDetector,
     detector_from_state,
     detector_to_state,
+    supports_raster_scan,
 )
 from .ensemble import MajorityVoteEnsemble, SoftVoteEnsemble
 from .evaluation import EvalResult, evaluate_detector, evaluate_on_suite
@@ -22,6 +23,7 @@ __all__ = [
     "OracleDetector",
     "detector_to_state",
     "detector_from_state",
+    "supports_raster_scan",
     "Confusion",
     "confusion",
     "roc_curve",

@@ -49,10 +49,17 @@ class Detector(ABC):
 
     @abstractmethod
     def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
-        """Hotspot scores in [0, 1], shape ``(len(clips),)``."""
+        """Hotspot scores in [0, 1], shape ``(len(clips),)``.
+
+        Implementations must accept an empty clip sequence and return a
+        ``(0,)`` array (cascade stages routinely resolve every window
+        before a later stage runs).
+        """
 
     def predict(self, clips: Sequence[Clip]) -> np.ndarray:
         """0/1 hotspot decisions at ``self.threshold``."""
+        if len(clips) == 0:
+            return np.empty(0, dtype=np.int64)
         return (self.predict_proba(clips) >= self.threshold).astype(np.int64)
 
     def to_state(self) -> bytes:
@@ -66,6 +73,22 @@ class Detector(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def supports_raster_scan(detector) -> bool:
+    """True when ``detector`` can score pre-rendered window rasters.
+
+    The raster-plane scan path needs two things from a detector: a
+    ``predict_proba_rasters(rasters)`` method scoring a ``(n, H, W)``
+    stack, and a positive integer ``raster_pixel_nm`` telling the engine
+    what pixel pitch to rasterize the shared plane at.  Detectors that
+    consume clip geometry directly (pattern matchers, cascades, CCAS- or
+    squish-based models) report False and scan on the clip path.
+    """
+    if not callable(getattr(detector, "predict_proba_rasters", None)):
+        return False
+    pixel = getattr(detector, "raster_pixel_nm", None)
+    return isinstance(pixel, int) and not isinstance(pixel, bool) and pixel > 0
 
 
 def detector_to_state(detector) -> bytes:

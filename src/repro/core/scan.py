@@ -81,13 +81,15 @@ def scan_layer(
     This is the compatibility entry point: it delegates to
     :class:`repro.runtime.ScanEngine` configured to match the historical
     contract exactly — in-process, every window scored (no dedup cache),
-    every clip retained on the result.  Production scans should construct
+    every clip retained on the result, scoring on the per-clip reference
+    path (no raster-plane fast path).  Production scans should construct
     a :class:`~repro.runtime.ScanEngine` directly to get streaming,
-    memoization, worker pools, and cascade/telemetry reporting.
+    memoization, worker pools, raster-plane batching, and
+    cascade/telemetry reporting.
     """
     from ..runtime.engine import ScanEngine
 
-    engine = ScanEngine(detector, workers=1, dedup=False)
+    engine = ScanEngine(detector, workers=1, dedup=False, raster_plane=False)
     return engine.scan(
         layer,
         region,

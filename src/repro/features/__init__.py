@@ -10,8 +10,13 @@
 
 from .base import CachingExtractor, FeatureExtractor, Standardizer
 from .concentric import ConcentricSampling
-from .dct import DCTFeatureTensor, feature_tensor, inverse_feature_tensor
-from .density import DensityGrid, block_reduce_mean
+from .dct import (
+    DCTFeatureTensor,
+    feature_tensor,
+    feature_tensor_batch,
+    inverse_feature_tensor,
+)
+from .density import DensityGrid, block_reduce_mean, block_reduce_mean_batch
 from .hog import HOGFeatures, hog_features
 from .pipeline import ConcatFeatures, vectorize, vectorize_standardized
 from .squish import SquishFeatures, SquishPattern, squish, unsquish
@@ -22,11 +27,13 @@ __all__ = [
     "Standardizer",
     "DensityGrid",
     "block_reduce_mean",
+    "block_reduce_mean_batch",
     "ConcentricSampling",
     "HOGFeatures",
     "hog_features",
     "DCTFeatureTensor",
     "feature_tensor",
+    "feature_tensor_batch",
     "inverse_feature_tensor",
     "SquishFeatures",
     "SquishPattern",

@@ -4,13 +4,23 @@ A ``FeatureExtractor`` maps a :class:`~repro.geometry.layout.Clip` to a
 numpy array — a flat vector for the shallow learners, or a
 ``(C, H, W)`` tensor for the CNNs.  Extractors are stateless and
 deterministic; ``CachingExtractor`` memoizes per-clip results (clips are
-frozen/hashable) so repeated evaluation passes don't recompute.
+frozen/hashable) behind a bounded LRU so repeated evaluation passes don't
+recompute and long scans can't grow memory without limit.
+
+Extractors that only look at the rasterized window (density grids, DCT
+tensors, HOG) additionally implement ``extract_raster`` — feature array
+from a pre-rendered ``(H, W)`` raster — which unlocks the batched
+``extract_batch`` API the raster-plane scan path feeds with window slices
+of a shared :class:`~repro.geometry.rasterize.RasterPlane`.  Extractors
+that need the clip geometry itself (squish, CCAS) simply don't override
+it and report ``supports_rasters == False``.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Sequence
+from collections import OrderedDict
+from typing import Sequence
 
 import numpy as np
 
@@ -28,37 +38,124 @@ class FeatureExtractor(ABC):
         """Feature array for one clip (shape fixed per extractor)."""
 
     def extract_many(self, clips: Sequence[Clip]) -> np.ndarray:
-        """Stacked features, shape ``(n,) + feature_shape``."""
+        """Stacked features, shape ``(n,) + feature_shape``.
+
+        An empty clip list returns a correctly-shaped ``(0, ...)`` array
+        (falling back to ``(0,)`` when the feature shape needs a clip to
+        probe), so batch callers never need an emptiness guard.
+        """
         if not clips:
-            raise ValueError("extract_many() needs at least one clip")
+            return np.zeros((0,) + self._empty_feature_shape(), dtype=np.float64)
         return np.stack([self.extract(clip) for clip in clips])
+
+    def _empty_feature_shape(self) -> tuple:
+        """Per-item shape for empty batches; ``()`` when unknowable."""
+        try:
+            return tuple(self.feature_shape)
+        except NotImplementedError:
+            return ()
 
     @property
     def feature_shape(self) -> tuple:
         """Shape of one clip's features (probed lazily via a dummy call)."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # raster-plane scan support
+    # ------------------------------------------------------------------
+    def extract_raster(self, raster: np.ndarray) -> np.ndarray:
+        """Feature array from a pre-rendered ``(H, W)`` window raster.
+
+        Raster-capable extractors override this with the same function
+        their ``extract`` applies after rasterizing, so a window slice of
+        a shared raster plane yields the same features as the clip path.
+        """
+        raise NotImplementedError(
+            f"{self.name} features need clip geometry, not just a raster"
+        )
+
+    @property
+    def supports_rasters(self) -> bool:
+        """True when this extractor can work from pre-rendered rasters."""
+        return type(self).extract_raster is not FeatureExtractor.extract_raster
+
+    def extract_batch(self, rasters: np.ndarray) -> np.ndarray:
+        """Stacked features for a ``(n, H, W)`` raster stack.
+
+        Vectorized overrides (DCT, density) transform the whole stack in
+        a few numpy/scipy calls; this generic fallback loops
+        ``extract_raster`` and exists so every raster-capable extractor
+        has the batch API.
+        """
+        rasters = np.asarray(rasters)
+        if len(rasters) == 0:
+            return np.zeros((0,) + self._empty_feature_shape(), dtype=np.float64)
+        return np.stack([self.extract_raster(r) for r in rasters])
+
 
 class CachingExtractor(FeatureExtractor):
-    """Memoizing wrapper around another extractor."""
+    """Bounded LRU memoizing wrapper around another extractor.
 
-    def __init__(self, inner: FeatureExtractor) -> None:
+    Mirrors :class:`~repro.runtime.cache.ScoreCache`'s eviction policy
+    (least-recently-used beyond ``max_entries``) and exposes hit/miss/
+    eviction counters so long scans can be profiled and can't grow
+    memory without limit.
+    """
+
+    def __init__(self, inner: FeatureExtractor, max_entries: int = 50_000) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
         self.inner = inner
+        self.max_entries = max_entries
         self.name = f"cached({inner.name})"
-        self._cache: Dict[Clip, np.ndarray] = {}
+        self._cache: "OrderedDict[Clip, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def extract(self, clip: Clip) -> np.ndarray:
-        cached = self._cache.get(clip)
-        if cached is None:
+        try:
+            cached = self._cache[clip]
+        except KeyError:
+            self.misses += 1
             cached = self.inner.extract(clip)
             self._cache[clip] = cached
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+                self.evictions += 1
+            return cached
+        self._cache.move_to_end(clip)
+        self.hits += 1
         return cached
+
+    # raster calls are already batch-shaped; pass them through uncached
+    def extract_raster(self, raster: np.ndarray) -> np.ndarray:
+        return self.inner.extract_raster(raster)
+
+    @property
+    def supports_rasters(self) -> bool:
+        return self.inner.supports_rasters
+
+    def extract_batch(self, rasters: np.ndarray) -> np.ndarray:
+        return self.inner.extract_batch(rasters)
+
+    @property
+    def feature_shape(self) -> tuple:
+        return self.inner.feature_shape
+
+    @property
+    def hit_ratio(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
 
     def cache_size(self) -> int:
         return len(self._cache)
 
     def clear(self) -> None:
         self._cache.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = self.misses = self.evictions = 0
 
 
 class Standardizer:

@@ -27,7 +27,18 @@ class DensityGrid(FeatureExtractor):
 
     def extract(self, clip: Clip) -> np.ndarray:
         raster = rasterize_clip(clip, self.pixel_nm, antialias=True)
+        return self.extract_raster(raster)
+
+    def extract_raster(self, raster: np.ndarray) -> np.ndarray:
         return block_reduce_mean(raster, self.grid).ravel()
+
+    def extract_batch(self, rasters: np.ndarray) -> np.ndarray:
+        """Pool all rasters at once: one numpy reduction per tile."""
+        rasters = np.asarray(rasters)
+        if len(rasters) == 0:
+            return np.zeros((0, self.grid * self.grid), dtype=np.float64)
+        pooled = block_reduce_mean_batch(rasters, self.grid)
+        return pooled.reshape(len(rasters), -1)
 
     @property
     def feature_shape(self) -> tuple:
@@ -50,4 +61,24 @@ def block_reduce_mean(raster: np.ndarray, grid: int) -> np.ndarray:
         for j in range(grid):
             block = raster[rows[i] : rows[i + 1], cols[j] : cols[j + 1]]
             out[i, j] = block.mean()
+    return out
+
+
+def block_reduce_mean_batch(rasters: np.ndarray, grid: int) -> np.ndarray:
+    """Average-pool a ``(n, H, W)`` stack into ``(n, grid, grid)``.
+
+    The per-tile means are vectorized over the batch axis, so the python
+    loop runs ``grid^2`` times total rather than once per raster — the
+    batched counterpart of :func:`block_reduce_mean`.
+    """
+    n, h, w = rasters.shape
+    if grid > min(h, w):
+        raise ValueError(f"grid {grid} exceeds raster {rasters.shape[1:]}")
+    rows = np.linspace(0, h, grid + 1).astype(int)
+    cols = np.linspace(0, w, grid + 1).astype(int)
+    out = np.empty((n, grid, grid), dtype=np.float64)
+    for i in range(grid):
+        for j in range(grid):
+            tile = rasters[:, rows[i] : rows[i + 1], cols[j] : cols[j + 1]]
+            out[:, i, j] = tile.mean(axis=(1, 2))
     return out

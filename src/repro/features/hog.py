@@ -61,6 +61,9 @@ class HOGFeatures(FeatureExtractor):
 
     def extract(self, clip: Clip) -> np.ndarray:
         raster = rasterize_clip(clip, self.pixel_nm, antialias=True)
+        return self.extract_raster(raster)
+
+    def extract_raster(self, raster: np.ndarray) -> np.ndarray:
         return hog_features(raster, self.cells, self.n_bins)
 
     @property

@@ -6,6 +6,8 @@ Public surface:
 * :class:`Layer`, :class:`Layout`, :class:`Clip` — design containers,
 * :func:`extract_clip`, :func:`tile_centers` — clip windowing,
 * :func:`rasterize_clip`, :func:`rasterize_rects` — pixel rendering,
+* :func:`rasterize_region`, :class:`RasterPlane`,
+  :func:`raster_fingerprint` — shared-plane rendering for the scan path,
 * :func:`transform_clip`, :data:`D4_NAMES` — orientation augmentation,
 * :class:`GridIndex` — spatial hashing,
 * :class:`DesignRules`, :func:`check_layer`, :func:`is_clean` — DRC,
@@ -37,7 +39,14 @@ from .multilayer import (
     extract_multilayer_clip,
 )
 from .polygon import Polygon, polygons_from_rect_soup
-from .rasterize import core_slice, rasterize_clip, rasterize_rects
+from .rasterize import (
+    RasterPlane,
+    core_slice,
+    raster_fingerprint,
+    rasterize_clip,
+    rasterize_rects,
+    rasterize_region,
+)
 from .rect import Rect, bounding_box, merge_touching, union_area
 from .spatial import GridIndex
 from .transform import D4_NAMES, clip_orientations, transform_clip
@@ -59,6 +68,9 @@ __all__ = [
     "clip_fingerprint",
     "rasterize_clip",
     "rasterize_rects",
+    "rasterize_region",
+    "RasterPlane",
+    "raster_fingerprint",
     "core_slice",
     "transform_clip",
     "clip_orientations",

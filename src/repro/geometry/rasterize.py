@@ -6,15 +6,24 @@ grid at a given pixel pitch; partial pixels along shape edges are filled by
 exact area coverage, giving an anti-aliased gray image when
 ``antialias=True`` (the optics model prefers this) or a hard 0/1 image
 otherwise.
+
+``rasterize_region`` is the scan-path counterpart: it renders a whole layer
+region into one shared :class:`RasterPlane` so overlapping scan windows can
+be sliced out as views instead of re-rasterizing the same geometry once per
+window.  ``raster_fingerprint`` gives such window slices a canonical content
+hash (the raster-plane analogue of
+:func:`~repro.geometry.layout.clip_fingerprint`).
 """
 
 from __future__ import annotations
 
+import hashlib
+from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 import numpy as np
 
-from .layout import Clip
+from .layout import Clip, Layer
 from .rect import Rect
 
 
@@ -76,6 +85,116 @@ def rasterize_clip(
 ) -> np.ndarray:
     """Render a clip's shapes over its window."""
     return rasterize_rects(clip.rects, clip.window, pixel_nm, antialias=antialias)
+
+
+@dataclass(frozen=True)
+class RasterPlane:
+    """A rasterized layer region that scan windows slice views out of.
+
+    ``grid[i, j]`` covers the nm region
+    ``[region.x1 + j*p, region.x1 + (j+1)*p) x
+    [region.y1 + i*p, region.y1 + (i+1)*p)`` with row 0 at the *bottom*
+    (the same orientation as :func:`rasterize_rects`).
+    """
+
+    region: Rect
+    pixel_nm: int
+    grid: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.grid.shape  # type: ignore[return-value]
+
+    def covers(self, window: Rect) -> bool:
+        """True when ``window`` lies inside the plane, pixel-aligned."""
+        p = self.pixel_nm
+        return (
+            self.region.contains(window)
+            and (window.x1 - self.region.x1) % p == 0
+            and (window.y1 - self.region.y1) % p == 0
+            and window.width % p == 0
+            and window.height % p == 0
+        )
+
+    def window(self, window: Rect) -> np.ndarray:
+        """The ``(H, W)`` sub-grid covering ``window`` — a view, not a copy.
+
+        The window must lie fully inside the plane and be aligned to the
+        pixel grid; anything else would silently shift geometry by a
+        sub-pixel amount, so it raises instead.
+        """
+        if not self.covers(window):
+            raise ValueError(
+                f"window {window} not pixel-aligned inside plane region "
+                f"{self.region} (pixel {self.pixel_nm} nm)"
+            )
+        p = self.pixel_nm
+        i1 = (window.y1 - self.region.y1) // p
+        j1 = (window.x1 - self.region.x1) // p
+        return self.grid[i1 : i1 + window.height // p, j1 : j1 + window.width // p]
+
+
+def rasterize_region(
+    layer: Layer,
+    region: Rect,
+    pixel_nm: int,
+    antialias: bool = True,
+) -> RasterPlane:
+    """Render every layer shape intersecting ``region`` into one plane.
+
+    Each piece of geometry is painted exactly once, however many scan
+    windows overlap it — the win that makes the raster-plane scan path
+    fast.  A window slice of the plane matches
+    :func:`rasterize_clip` of the equivalent clip to float rounding
+    (~1e-15): both paint the same per-pixel coverage fractions, merely
+    relative to different origins.
+    """
+    if pixel_nm <= 0:
+        raise ValueError("pixel_nm must be positive")
+    if region.width % pixel_nm or region.height % pixel_nm:
+        raise ValueError(
+            f"region {region.width}x{region.height} nm not divisible by "
+            f"pixel pitch {pixel_nm} nm"
+        )
+    grid = np.zeros(
+        (region.height // pixel_nm, region.width // pixel_nm), dtype=np.float64
+    )
+    for poly in layer.query(region):
+        for rect in poly.rects:
+            inter = rect.intersection(region)
+            if inter is None:
+                continue
+            _paint(grid, inter, region, pixel_nm)
+    np.clip(grid, 0.0, 1.0, out=grid)
+    if not antialias:
+        grid = (grid >= 0.5).astype(np.float64)
+    return RasterPlane(region=region, pixel_nm=pixel_nm, grid=grid)
+
+
+#: quantization steps per unit coverage used by :func:`raster_fingerprint`;
+#: coarse enough to absorb float rounding between the clip and plane
+#: rasterization orders, fine enough that distinct geometry never collides
+#: (the smallest real coverage difference at pixel pitch p is 1/p^2).
+_FINGERPRINT_QUANT = 4096
+
+
+def raster_fingerprint(raster: np.ndarray) -> str:
+    """Canonical content hash of a window raster (quantized).
+
+    The raster-plane scan path cannot afford per-window geometry queries
+    just to compute :func:`~repro.geometry.layout.clip_fingerprint`, so it
+    dedups on the raster content itself: coverage values are quantized to
+    1/4096 (absorbing the ~1e-15 float jitter between rasterization
+    orders) and hashed together with the shape.  Keys carry an ``r:``
+    prefix so they can never collide with clip-geometry fingerprints in a
+    shared :class:`~repro.runtime.cache.ScoreCache`.
+    """
+    raster = np.asarray(raster)
+    quantized = np.rint(raster * _FINGERPRINT_QUANT).astype(np.uint16)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.asarray(quantized.shape, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(quantized).tobytes())
+    return "r:" + digest.hexdigest()
 
 
 def core_slice(clip: Clip, pixel_nm: int) -> Tuple[slice, slice]:

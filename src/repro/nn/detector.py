@@ -131,7 +131,23 @@ class CNNDetector(Detector):
     def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
         if self.model is None:
             raise RuntimeError("CNNDetector not fitted")
+        if len(clips) == 0:
+            return np.empty(0, dtype=np.float64)
         return predict_proba(self.model, self._vectorize(clips))
+
+    def predict_proba_rasters(self, rasters: np.ndarray) -> np.ndarray:
+        """Score pre-rendered window rasters: batched DCT -> CNN forward."""
+        if self.model is None:
+            raise RuntimeError("CNNDetector not fitted")
+        rasters = np.asarray(rasters, dtype=np.float64)
+        if len(rasters) == 0:
+            return np.empty(0, dtype=np.float64)
+        return predict_proba(self.model, self.extractor.extract_batch(rasters))
+
+    @property
+    def raster_pixel_nm(self) -> int:
+        """Pixel pitch the raster-plane scan must rasterize at."""
+        return int(self.extractor.pixel_nm)
 
     # ------------------------------------------------------------------
     # persistence: model weights + detector config/threshold in one npz
@@ -247,7 +263,23 @@ class RasterCNNDetector(Detector):
     def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
         if self.model is None:
             raise RuntimeError("RasterCNNDetector not fitted")
+        if len(clips) == 0:
+            return np.empty(0, dtype=np.float64)
         return predict_proba(self.model, self._vectorize(clips), batch_size=32)
+
+    def predict_proba_rasters(self, rasters: np.ndarray) -> np.ndarray:
+        """Score pre-rendered window rasters directly (no re-rasterize)."""
+        if self.model is None:
+            raise RuntimeError("RasterCNNDetector not fitted")
+        rasters = np.asarray(rasters, dtype=np.float64)
+        if len(rasters) == 0:
+            return np.empty(0, dtype=np.float64)
+        return predict_proba(self.model, rasters[:, None, :, :], batch_size=32)
+
+    @property
+    def raster_pixel_nm(self) -> int:
+        """Pixel pitch the raster-plane scan must rasterize at."""
+        return int(self.config.pixel_nm)
 
 
 register("cnn-dct", CNNDetector)

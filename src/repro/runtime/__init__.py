@@ -6,7 +6,10 @@ windows out of a layer, dedups repeated patterns through a content-hash
 :class:`WorkerPool`, optionally routes scoring through a staged
 :class:`CascadeDetector` (pattern match -> shallow prefilter -> CNN ->
 oracle verify), and reports throughput and per-stage resolution via
-:class:`Telemetry` inside the returned :class:`ScanReport`.
+:class:`Telemetry` inside the returned :class:`ScanReport`.  When the
+detector scores rasters, the engine switches to the raster-plane fast
+path: each band of scan rows is rasterized once and windows are scored
+as batched slices of the shared plane.
 
 The legacy :func:`repro.core.scan.scan_layer` entry point delegates here.
 """

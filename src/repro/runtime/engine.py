@@ -18,6 +18,16 @@ chip-scale workload the runtime figures motivate:
 * **detector cascade** — any detector works, but a
   :class:`~repro.runtime.cascade.CascadeDetector` resolves most windows
   in its cheap stages and its per-stage counts land in the report,
+* **raster-plane fast path** — when the detector scores rasters
+  (:func:`~repro.core.detector.supports_raster_scan`), each band of scan
+  rows is rasterized **once** into a shared plane and every window
+  becomes a pixel-aligned numpy slice of it; whole slabs flow through
+  the detector's batched ``predict_proba_rasters`` without constructing
+  per-window :class:`Clip` objects.  Overlapping windows stop paying
+  ``overlap x`` redundant rasterization, and feature extraction runs
+  vectorized over the batch (one ``dctn`` for a whole chunk).  The clip
+  path remains as the reference implementation and handles detectors
+  that consume geometry directly,
 * **telemetry** — windows/s, per-stage latency, cache and dedup ratios,
   embedded in the returned :class:`ScanReport` (a compatible superset of
   :class:`~repro.core.scan.ScanResult`).
@@ -31,6 +41,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.detector import supports_raster_scan
 from ..core.scan import ScanResult
 from ..geometry.layout import (
     Clip,
@@ -40,6 +51,7 @@ from ..geometry.layout import (
     extract_clip,
     iter_tile_centers,
 )
+from ..geometry.rasterize import raster_fingerprint, rasterize_region
 from ..geometry.rect import Rect
 from .cache import ScoreCache
 from .cascade import CascadeDetector, CascadeStats
@@ -64,6 +76,8 @@ class ScanReport(ScanResult):
     n_scored: int = 0
     cache_hits: int = 0
     elapsed_s: float = 0.0
+    #: which scan strategy produced the scores: "clip" or "raster"
+    scan_path: str = "clip"
 
     @property
     def flag_ratio(self) -> float:
@@ -91,7 +105,8 @@ class ScanReport(ScanResult):
             f"{self.n_windows} windows, {self.n_flagged} flagged "
             f"({100 * self.flag_ratio:.1f}%), "
             f"{self.n_scored} scored ({100 * self.dedup_ratio:.1f}% dedup), "
-            f"{self.windows_per_s:,.0f} windows/s in {self.elapsed_s:.2f}s"
+            f"{self.windows_per_s:,.0f} windows/s in {self.elapsed_s:.2f}s "
+            f"[{self.scan_path} path]"
         ]
         if self.cascade_stats is not None:
             lines.append(self.cascade_stats.summary())
@@ -107,6 +122,61 @@ def _chunked(items: Iterable, size: int) -> Iterator[list]:
             chunk = []
     if chunk:
         yield chunk
+
+
+def _iter_raster_bands(
+    region: Rect,
+    window_nm: int,
+    step: int,
+    pixel_nm: int,
+    band_rows: int,
+    max_plane_pixels: int,
+) -> Iterator[Tuple[List[Tuple[int, int]], Rect]]:
+    """Group the scan grid into shared-raster bands.
+
+    Yields ``(centers, band_rect)`` pairs where ``band_rect`` is the
+    union bounding box of the member windows — each band is rasterized
+    once and every member window is a slice of that plane.  Bands hold
+    ``band_rows`` consecutive window-rows (so vertically overlapping
+    windows share pixels; the re-rendered overlap between *bands* is the
+    halo that keeps band-edge windows exact).  Centers come out in the
+    same global row-major order as :func:`iter_tile_centers`: rows are
+    grouped consecutively, and a band is split along x only when it has
+    a single row, so concatenating the yielded center lists reproduces
+    the clip-path ordering exactly.
+
+    ``max_plane_pixels`` bounds plane memory: row count shrinks first,
+    then single rows are segmented into column runs.
+    """
+    half = window_nm // 2
+    xs = list(range(region.x1 + half, region.x2 - window_nm + half + 1, step))
+    ys = list(range(region.y1 + half, region.y2 - window_nm + half + 1, step))
+    if not xs or not ys:
+        return
+
+    def band_rect(x_centers, y_centers) -> Rect:
+        lo = Rect.from_center(x_centers[0], y_centers[0], window_nm, window_nm)
+        hi = Rect.from_center(x_centers[-1], y_centers[-1], window_nm, window_nm)
+        return Rect(lo.x1, lo.y1, hi.x2, hi.y2)
+
+    full_w_px = ((len(xs) - 1) * step + window_nm) // pixel_nm
+    max_h_px = max_plane_pixels // max(1, full_w_px)
+    rows_fit = (max_h_px * pixel_nm - window_nm) // step + 1
+    if rows_fit >= 1:
+        rows = min(max(1, band_rows), rows_fit, len(ys))
+        for r0 in range(0, len(ys), rows):
+            y_band = ys[r0 : r0 + rows]
+            yield [(x, y) for y in y_band for x in xs], band_rect(xs, y_band)
+        return
+
+    # Even one full-width row busts the pixel budget: segment each row
+    # along x (legal only for single-row bands — see ordering note above).
+    max_w_px = max_plane_pixels // max(1, window_nm // pixel_nm)
+    cols = max(1, (max_w_px * pixel_nm - window_nm) // step + 1)
+    for y in ys:
+        for c0 in range(0, len(xs), cols):
+            x_seg = xs[c0 : c0 + cols]
+            yield [(x, y) for x in x_seg], band_rect(x_seg, [y])
 
 
 class ScanEngine:
@@ -129,6 +199,18 @@ class ScanEngine:
     chunk_clips:
         Tile-chunk size: bounds peak memory and sets the pool dispatch
         granularity.
+    raster_plane:
+        ``None`` (default) auto-selects the raster-plane fast path
+        whenever the detector supports raster scoring and the scan
+        geometry is pixel-aligned; ``True`` requires it (``ValueError``
+        if unavailable); ``False`` forces the legacy clip path.
+    band_rows:
+        Window-rows rasterized together per shared plane on the raster
+        path (more rows amortize rasterization across vertical overlap
+        at the cost of plane memory).
+    max_plane_pixels:
+        Hard cap on a single plane's pixel count; bands shrink (fewer
+        rows, then column segments) to respect it.
     """
 
     def __init__(
@@ -142,9 +224,19 @@ class ScanEngine:
         chunk_clips: int = 256,
         max_cache_entries: int = 200_000,
         mp_context: str = "spawn",
+        raster_plane: Optional[bool] = None,
+        band_rows: int = 8,
+        max_plane_pixels: int = 32_000_000,
     ) -> None:
         if chunk_clips < 1:
             raise ValueError("chunk_clips must be >= 1")
+        if band_rows < 1:
+            raise ValueError("band_rows must be >= 1")
+        if max_plane_pixels < 1:
+            raise ValueError("max_plane_pixels must be >= 1")
+        self.raster_plane = raster_plane
+        self.band_rows = band_rows
+        self.max_plane_pixels = max_plane_pixels
         self.detector = detector
         self.workers = workers
         self.chunk_clips = chunk_clips
@@ -189,6 +281,7 @@ class ScanEngine:
         step = core_nm if step_nm is None else step_nm
         if count_tile_centers(region, window_nm, step) == 0:
             raise ValueError("region too small for the clip window")
+        scan_path = self._resolve_scan_path(window_nm, step)
         telemetry = Telemetry()
         t0 = perf_counter()
         centers_iter = iter_tile_centers(region, window_nm, step)
@@ -196,7 +289,18 @@ class ScanEngine:
         with WorkerPool(
             self.detector, workers=self.workers, mp_context=self.mp_context
         ) as pool:
-            if self.cache is None:
+            if scan_path == "raster":
+                if self.cache is None:
+                    centers, clips, scores = self._scan_raster_direct(
+                        layer, region, window_nm, core_nm, step, pool,
+                        telemetry, keep_clips,
+                    )
+                else:
+                    centers, clips, scores = self._scan_raster_dedup(
+                        layer, region, window_nm, core_nm, step, pool,
+                        telemetry, keep_clips,
+                    )
+            elif self.cache is None:
                 centers, clips, scores = self._scan_direct(
                     layer, centers_iter, window_nm, core_nm, pool,
                     telemetry, keep_clips,
@@ -233,7 +337,31 @@ class ScanEngine:
             cache_hits=telemetry.counter("cache_hits")
             + telemetry.counter("dedup_hits"),
             elapsed_s=elapsed,
+            scan_path=scan_path,
         )
+
+    def _resolve_scan_path(self, window_nm: int, step: int) -> str:
+        """Pick "raster" or "clip" per the ``raster_plane`` policy."""
+        if self.raster_plane is False:
+            return "clip"
+        reason = None
+        if not supports_raster_scan(self.detector):
+            reason = (
+                f"detector {getattr(self.detector, 'name', '?')!r} does not "
+                "support raster scoring"
+            )
+        else:
+            pixel = self.detector.raster_pixel_nm
+            if window_nm % pixel or step % pixel:
+                reason = (
+                    f"window {window_nm} / step {step} nm not divisible by "
+                    f"the detector's {pixel} nm raster pixel"
+                )
+        if reason is None:
+            return "raster"
+        if self.raster_plane is True:
+            raise ValueError(f"raster_plane=True but {reason}")
+        return "clip"
 
     # ------------------------------------------------------------------
     # scan strategies
@@ -329,6 +457,139 @@ class ScanEngine:
                 for i in range(0, len(unique_clips), self.chunk_clips)
             ]
             for fps, part in zip(fp_chunks, pool.map_scores(clip_chunks)):
+                for fp, score in zip(fps, part):
+                    value = float(score)
+                    score_by_fp[fp] = value
+                    cache.put(fp, value)
+                telemetry.count("scored", len(part))
+
+        with telemetry.timer("assemble"):
+            scores = np.array(
+                [score_by_fp[fp] for fp in fingerprints], dtype=np.float64
+            )
+        return centers, clips, scores
+
+    # ------------------------------------------------------------------
+    # raster-plane scan strategies
+    # ------------------------------------------------------------------
+    def _iter_plane_chunks(
+        self, layer, region, window_nm, core_nm, step, telemetry, keep_clips,
+        centers, clips,
+    ) -> Iterator[np.ndarray]:
+        """Rasterize band planes and yield ``(n, H, W)`` window batches.
+
+        Shared front half of both raster strategies: each band is painted
+        once, each member window is sliced out of the plane, and slices
+        are stacked (copied — the plane is recycled per band) into
+        chunk-sized batches.  Appends centers/clips as a side effect so
+        callers see them in the exact order batches are yielded.
+        """
+        pixel = self.detector.raster_pixel_nm
+        bands = _iter_raster_bands(
+            region, window_nm, step, pixel, self.band_rows,
+            self.max_plane_pixels,
+        )
+        for band_centers, band_box in bands:
+            with telemetry.timer("rasterize"):
+                plane = rasterize_region(layer, band_box, pixel)
+            telemetry.count("raster_bands")
+            for chunk_centers in _chunked(iter(band_centers), self.chunk_clips):
+                with telemetry.timer("slice"):
+                    batch = np.stack(
+                        [
+                            plane.window(
+                                Rect.from_center(cx, cy, window_nm, window_nm)
+                            )
+                            for cx, cy in chunk_centers
+                        ]
+                    )
+                centers.extend(chunk_centers)
+                if keep_clips:
+                    with telemetry.timer("extract"):
+                        clips.extend(
+                            extract_clip(layer, c, window_nm, core_nm)
+                            for c in chunk_centers
+                        )
+                telemetry.count("windows", len(chunk_centers))
+                telemetry.count("chunks")
+                telemetry.observe("chunk_clips", len(chunk_centers))
+                yield batch
+
+    def _scan_raster_direct(
+        self, layer, region, window_nm, core_nm, step, pool, telemetry,
+        keep_clips,
+    ) -> Tuple[List[Tuple[int, int]], List[Clip], np.ndarray]:
+        """No-dedup raster path: band batches straight through the pool."""
+        centers: List[Tuple[int, int]] = []
+        clips: List[Clip] = []
+        batches = self._iter_plane_chunks(
+            layer, region, window_nm, core_nm, step, telemetry, keep_clips,
+            centers, clips,
+        )
+        parts: List[np.ndarray] = []
+        with telemetry.timer("score"):
+            for part in pool.map_scores_rasters(batches):
+                parts.append(part)
+                telemetry.count("scored", len(part))
+        scores = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
+        )
+        return centers, clips, scores
+
+    def _scan_raster_dedup(
+        self, layer, region, window_nm, core_nm, step, pool, telemetry,
+        keep_clips,
+    ) -> Tuple[List[Tuple[int, int]], List[Clip], np.ndarray]:
+        """Dedup raster path: fingerprint window slices, score once each.
+
+        Same three phases as :meth:`_scan_dedup`, but patterns are keyed
+        on :func:`raster_fingerprint` of the quantized window raster
+        (prefixed so the keys can never collide with clip-geometry
+        fingerprints in a shared :class:`ScoreCache`).  Pending exemplars
+        are copied out of the plane — the plane buffer is recycled per
+        band.
+        """
+        cache = self.cache
+        assert cache is not None
+        centers: List[Tuple[int, int]] = []
+        clips: List[Clip] = []
+        fingerprints: List[str] = []
+        score_by_fp: Dict[str, float] = {}
+        pending: Dict[str, np.ndarray] = {}
+
+        batches = self._iter_plane_chunks(
+            layer, region, window_nm, core_nm, step, telemetry, keep_clips,
+            centers, clips,
+        )
+        for batch in batches:
+            with telemetry.timer("dedup"):
+                for raster in batch:
+                    fp = raster_fingerprint(raster)
+                    fingerprints.append(fp)
+                    if fp in score_by_fp or fp in pending:
+                        telemetry.count("dedup_hits")
+                        continue
+                    cached = cache.get(fp)
+                    if cached is not None:
+                        score_by_fp[fp] = cached
+                        telemetry.count("cache_hits")
+                    else:
+                        pending[fp] = raster
+
+        unique_fps = list(pending)
+        unique_rasters = list(pending.values())
+        with telemetry.timer("score"):
+            fp_chunks = [
+                unique_fps[i : i + self.chunk_clips]
+                for i in range(0, len(unique_fps), self.chunk_clips)
+            ]
+            raster_chunks = (
+                np.stack(unique_rasters[i : i + self.chunk_clips])
+                for i in range(0, len(unique_rasters), self.chunk_clips)
+            )
+            for fps, part in zip(
+                fp_chunks, pool.map_scores_rasters(raster_chunks)
+            ):
                 for fp, score in zip(fps, part):
                     value = float(score)
                     score_by_fp[fp] = value

@@ -44,6 +44,15 @@ def _score_chunk(clips: List[Clip]) -> np.ndarray:
     return np.asarray(_WORKER_DETECTOR.predict_proba(clips), dtype=np.float64)
 
 
+def _score_raster_chunk(rasters: np.ndarray) -> np.ndarray:
+    """Worker-side raster-batch scorer (raster-plane scan path)."""
+    if _WORKER_DETECTOR is None:  # pragma: no cover - initializer contract
+        raise RuntimeError("worker pool used before initialization")
+    return np.asarray(
+        _WORKER_DETECTOR.predict_proba_rasters(rasters), dtype=np.float64
+    )
+
+
 class WorkerPool:
     """Chunked detector scoring over 1..N processes with ordered results.
 
@@ -116,6 +125,25 @@ class WorkerPool:
             (list(chunk) for chunk in chunks),
             chunksize=1,
         )
+
+    def map_scores_rasters(
+        self, batches: Iterable[np.ndarray]
+    ) -> Iterator[np.ndarray]:
+        """Score ``(n, H, W)`` raster batches, one score array per batch.
+
+        Mirrors :meth:`map_scores` but ships dense float arrays instead
+        of pickled clip lists — the raster-plane counterpart.  Order is
+        preserved; ``workers=1`` stays fully in-process.
+        """
+        if self.workers == 1:
+            for batch in batches:
+                yield np.asarray(
+                    self.detector.predict_proba_rasters(batch),
+                    dtype=np.float64,
+                )
+            return
+        pool = self._ensure_pool()
+        yield from pool.imap(_score_raster_chunk, batches, chunksize=1)
 
     def score(
         self, clips: Sequence[Clip], chunk_clips: int = 256

@@ -92,9 +92,42 @@ class FeatureDetector(Detector):
         )
 
     def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
+        if len(clips) == 0:
+            return np.empty(0, dtype=np.float64)
         x = self.extractor.extract_many(clips)
         if x.ndim != 2:
             x = x.reshape(len(x), -1)
+        return self._score_features(x)
+
+    def predict_proba_rasters(self, rasters: np.ndarray) -> np.ndarray:
+        """Score pre-rendered window rasters (the raster-plane fast path).
+
+        Available whenever the wrapped extractor can consume rasters
+        directly; the batched ``extract_batch`` replaces per-clip
+        rasterize + extract, and the scaler/learner stages are identical
+        to :meth:`predict_proba`.
+        """
+        if not self.extractor.supports_rasters:
+            raise NotImplementedError(
+                f"extractor {self.extractor.name!r} has no raster support"
+            )
+        rasters = np.asarray(rasters, dtype=np.float64)
+        if len(rasters) == 0:
+            return np.empty(0, dtype=np.float64)
+        x = self.extractor.extract_batch(rasters)
+        if x.ndim != 2:
+            x = x.reshape(len(x), -1)
+        return self._score_features(x)
+
+    def _score_features(self, x: np.ndarray) -> np.ndarray:
         if self._scaler is not None:
             x = self._scaler.transform(x)
         return np.asarray(self.learner.predict_proba(x), dtype=np.float64)
+
+    @property
+    def raster_pixel_nm(self) -> Optional[int]:
+        """Pixel pitch the raster path must use, or None if unsupported."""
+        if not self.extractor.supports_rasters:
+            return None
+        pixel = getattr(self.extractor, "pixel_nm", None)
+        return int(pixel) if pixel else None

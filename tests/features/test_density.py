@@ -62,9 +62,10 @@ class TestDensityGrid:
         assert batch.shape == (2, 36)
         np.testing.assert_array_equal(batch[0], extractor.extract(grating_clip))
 
-    def test_extract_many_empty_raises(self):
-        with pytest.raises(ValueError):
-            DensityGrid().extract_many([])
+    def test_extract_many_empty_returns_shaped_array(self):
+        out = DensityGrid(grid=12).extract_many([])
+        assert out.shape == (0, 144)
+        assert out.dtype == np.float64
 
     def test_bad_grid_raises(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,153 @@
+"""Tests for the raster/batched extractor APIs and the bounded cache."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    CachingExtractor,
+    DCTFeatureTensor,
+    DensityGrid,
+    HOGFeatures,
+    block_reduce_mean_batch,
+    feature_tensor_batch,
+)
+from repro.features.base import FeatureExtractor
+
+from ..conftest import clip_from_rects
+from repro.geometry import Rect
+
+
+def _raster_stack(n=5, side=96, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((n, side, side))
+
+
+class TestBatchParity:
+    """extract_batch must equal stacking extract_raster per raster."""
+
+    @pytest.mark.parametrize(
+        "extractor",
+        [
+            DCTFeatureTensor(block=8, keep=4),
+            DCTFeatureTensor(block=8, keep=3, flatten=True),
+            DensityGrid(grid=12),
+            HOGFeatures(cells=6, n_bins=4),  # generic fallback path
+        ],
+        ids=lambda e: e.name,
+    )
+    def test_batch_matches_loop(self, extractor):
+        rasters = _raster_stack()
+        batched = extractor.extract_batch(rasters)
+        looped = np.stack([extractor.extract_raster(r) for r in rasters])
+        np.testing.assert_allclose(batched, looped, atol=1e-12)
+
+    def test_feature_tensor_batch_matches_single(self):
+        rasters = _raster_stack(n=3, side=64)
+        batched = feature_tensor_batch(rasters, block=8, keep=4)
+        from repro.features import feature_tensor
+
+        for i, raster in enumerate(rasters):
+            np.testing.assert_allclose(
+                batched[i], feature_tensor(raster, 8, 4), atol=1e-12
+            )
+
+    def test_block_reduce_batch_matches_single(self):
+        from repro.features import block_reduce_mean
+
+        rasters = _raster_stack(n=4, side=100)  # 100 not divisible by 12
+        batched = block_reduce_mean_batch(rasters, grid=12)
+        for i, raster in enumerate(rasters):
+            np.testing.assert_allclose(
+                batched[i], block_reduce_mean(raster, 12), atol=1e-12
+            )
+
+    def test_supports_rasters_flags(self):
+        from repro.features import ConcentricSampling, SquishFeatures
+
+        assert DCTFeatureTensor().supports_rasters
+        assert DensityGrid().supports_rasters
+        assert HOGFeatures().supports_rasters
+        assert not SquishFeatures().supports_rasters  # geometry-only
+
+
+class TestEmptyInputs:
+    def test_extract_many_empty_with_shape(self):
+        out = HOGFeatures(cells=6, n_bins=4).extract_many([])
+        assert out.shape == (0, 144)
+
+    def test_extract_many_empty_without_shape(self):
+        # DCT feature shape depends on the clip; empty still returns (0, ...)
+        out = DCTFeatureTensor().extract_many([])
+        assert out.shape[0] == 0
+
+    def test_extract_batch_empty(self):
+        out = DensityGrid(grid=6).extract_batch(np.zeros((0, 96, 96)))
+        assert out.shape == (0, 36)
+
+    def test_feature_tensor_batch_empty(self):
+        out = feature_tensor_batch(np.zeros((0, 96, 96)), block=8, keep=4)
+        assert out.shape == (0, 16, 12, 12)
+
+
+class CountingExtractor(FeatureExtractor):
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def extract(self, clip):
+        self.calls += 1
+        return np.array([clip.density()])
+
+
+def _clip(tag, width):
+    return clip_from_rects([Rect(0, 0, width, 256)], tag=tag)
+
+
+class TestBoundedCache:
+    def test_eviction_at_cap(self):
+        inner = CountingExtractor()
+        cached = CachingExtractor(inner, max_entries=2)
+        a, b, c = _clip("a", 64), _clip("b", 128), _clip("c", 192)
+        cached.extract(a)
+        cached.extract(b)
+        cached.extract(c)  # evicts a (least recently used)
+        assert cached.cache_size() == 2
+        assert cached.evictions == 1
+        cached.extract(a)  # miss again: was evicted
+        assert inner.calls == 4
+
+    def test_lru_order_refreshed_on_hit(self):
+        inner = CountingExtractor()
+        cached = CachingExtractor(inner, max_entries=2)
+        a, b, c = _clip("a", 64), _clip("b", 128), _clip("c", 192)
+        cached.extract(a)
+        cached.extract(b)
+        cached.extract(a)  # refresh a; b is now LRU
+        cached.extract(c)  # evicts b
+        cached.extract(a)
+        assert inner.calls == 3  # a never re-extracted
+
+    def test_hit_miss_counters(self):
+        cached = CachingExtractor(CountingExtractor(), max_entries=8)
+        a = _clip("a", 64)
+        cached.extract(a)
+        cached.extract(a)
+        cached.extract(a)
+        assert (cached.hits, cached.misses) == (2, 1)
+        assert cached.hit_ratio == pytest.approx(2 / 3)
+        cached.reset_counters()
+        assert (cached.hits, cached.misses, cached.evictions) == (0, 0, 0)
+
+    def test_bad_cap_raises(self):
+        with pytest.raises(ValueError):
+            CachingExtractor(CountingExtractor(), max_entries=0)
+
+    def test_delegates_raster_support(self):
+        cached = CachingExtractor(DensityGrid(grid=6))
+        assert cached.supports_rasters
+        rasters = _raster_stack(n=3)
+        np.testing.assert_allclose(
+            cached.extract_batch(rasters),
+            DensityGrid(grid=6).extract_batch(rasters),
+        )

@@ -5,7 +5,14 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
-from repro.geometry import Rect, rasterize_clip, rasterize_rects
+from repro.geometry import (
+    Layer,
+    Rect,
+    raster_fingerprint,
+    rasterize_clip,
+    rasterize_rects,
+    rasterize_region,
+)
 from repro.geometry.rasterize import core_slice
 
 from ..conftest import clip_from_rects
@@ -96,3 +103,81 @@ class TestClipRaster:
         grid = rasterize_clip(grating_clip, pixel_nm=8)
         # 64/128 grating covers ~half the window
         assert 0.4 <= grid.mean() <= 0.6
+
+
+def _wire_layer() -> Layer:
+    layer = Layer("metal1")
+    layer.add_rects(
+        [Rect(0, i * 96, 1024, i * 96 + 48) for i in range(10)]
+        + [Rect(100, 0, 160, 1024), Rect(500, 37, 707, 911)]
+    )
+    return layer
+
+
+class TestRasterizeRegion:
+    def test_window_slices_match_rect_raster(self):
+        """Any aligned window slice equals rasterizing that window alone."""
+        layer = _wire_layer()
+        plane = rasterize_region(layer, Rect(0, 0, 1024, 1024), pixel_nm=8)
+        assert plane.shape == (128, 128)
+        for window in (
+            Rect(0, 0, 256, 256),
+            Rect(256, 512, 512, 768),
+            Rect(768, 768, 1024, 1024),
+            Rect(104, 40, 360, 296),  # aligned but off-rect-boundaries
+        ):
+            direct = rasterize_rects(
+                [r for p in layer.query(window) for r in p.rects],
+                window,
+                pixel_nm=8,
+            )
+            np.testing.assert_allclose(
+                plane.window(window), direct, atol=1e-12
+            )
+
+    def test_antialias_false_thresholds(self):
+        layer = _wire_layer()
+        plane = rasterize_region(
+            layer, Rect(0, 0, 512, 512), pixel_nm=8, antialias=False
+        )
+        assert set(np.unique(plane.grid)) <= {0.0, 1.0}
+
+    def test_covers_rejects_misalignment(self):
+        layer = _wire_layer()
+        plane = rasterize_region(layer, Rect(0, 0, 512, 512), pixel_nm=8)
+        assert plane.covers(Rect(8, 16, 264, 272))
+        assert not plane.covers(Rect(4, 16, 260, 272))  # x not on pixel grid
+        assert not plane.covers(Rect(8, 16, 270, 272))  # width not divisible
+        assert not plane.covers(Rect(8, 16, 264, 520))  # leaves the plane
+        with pytest.raises(ValueError):
+            plane.window(Rect(4, 16, 260, 272))
+
+    def test_indivisible_region_raises(self):
+        with pytest.raises(ValueError):
+            rasterize_region(_wire_layer(), Rect(0, 0, 60, 64), pixel_nm=8)
+
+
+class TestRasterFingerprint:
+    def test_identical_rasters_match(self):
+        a = np.linspace(0, 1, 64).reshape(8, 8)
+        assert raster_fingerprint(a) == raster_fingerprint(a.copy())
+
+    def test_distinct_rasters_differ(self):
+        a = np.zeros((8, 8))
+        b = np.zeros((8, 8))
+        b[3, 4] = 1.0
+        assert raster_fingerprint(a) != raster_fingerprint(b)
+
+    def test_shape_in_hash(self):
+        a = np.zeros((4, 16))
+        b = np.zeros((8, 8))
+        assert raster_fingerprint(a) != raster_fingerprint(b)
+
+    def test_absorbs_float_jitter(self):
+        """Sub-quantum differences (plane-vs-clip float noise) hash equal."""
+        a = np.full((8, 8), 0.5)
+        b = a + 1e-9
+        assert raster_fingerprint(a) == raster_fingerprint(b)
+
+    def test_prefix_disjoint_from_clip_fingerprints(self):
+        assert raster_fingerprint(np.zeros((4, 4))).startswith("r:")

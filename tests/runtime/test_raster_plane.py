@@ -1,0 +1,235 @@
+"""Raster-plane scan path: equivalence with the per-clip reference path.
+
+The fast path must be an *optimization*, not a different detector: for
+every supported configuration the flagged window set matches the clip
+path exactly and scores agree to float tolerance.  These tests sweep the
+same layer through both paths (dedup on and off, bands wide and narrow,
+budget-constrained planes) and compare.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import Detector, FitReport, supports_raster_scan
+from repro.geometry import Layer, Rect
+from repro.geometry.rasterize import rasterize_clip
+from repro.runtime import ScanEngine
+from repro.runtime.engine import _iter_raster_bands
+from repro.shallow import make_logistic_density
+
+from .conftest import DensityDetector, tiny_grating_dataset
+
+
+class RasterMeanDetector(Detector):
+    """Scores the raster's mean coverage — raster-capable test double.
+
+    ``predict_proba`` rasterizes each clip, so the clip and raster paths
+    compute the same quantity through both pipelines and any divergence
+    is the scan machinery's fault.
+    """
+
+    name = "raster-mean"
+    threshold = 0.5
+
+    def __init__(self, pixel_nm: int = 8) -> None:
+        self.pixel_nm = pixel_nm
+
+    def fit(self, train, rng=None) -> FitReport:
+        return FitReport()
+
+    def predict_proba(self, clips):
+        if len(clips) == 0:
+            return np.empty(0, dtype=np.float64)
+        return np.array(
+            [
+                min(1.0, 4.0 * rasterize_clip(c, self.pixel_nm).mean())
+                for c in clips
+            ]
+        )
+
+    def predict_proba_rasters(self, rasters):
+        rasters = np.asarray(rasters, dtype=np.float64)
+        if len(rasters) == 0:
+            return np.empty(0, dtype=np.float64)
+        return np.minimum(1.0, 4.0 * rasters.mean(axis=(1, 2)))
+
+    @property
+    def raster_pixel_nm(self) -> int:
+        return self.pixel_nm
+
+
+@pytest.fixture
+def tiled_layer() -> Layer:
+    """A 2x2-replicated wire cell: repeats for dedup, detail for scores."""
+    layer = Layer("metal1")
+    rects = []
+    for ox, oy in [(0, 0), (2048, 0), (0, 2048), (2048, 2048)]:
+        for i in range(8):
+            rects.append(
+                Rect(ox, oy + i * 256, ox + 2048, oy + i * 256 + 64)
+            )
+        rects.append(Rect(ox + 300, oy + 100, ox + 420, oy + 1900))
+        rects.append(Rect(ox + 900, oy + 140, ox + 1500, oy + 260))
+    layer.add_rects(rects)
+    return layer
+
+
+REGION = Rect(0, 0, 4096, 4096)
+
+
+def _scan(detector, layer, *, raster_plane, dedup=True, **kw):
+    engine = ScanEngine(detector, raster_plane=raster_plane, dedup=dedup, **kw)
+    return engine.scan(layer, REGION, keep_clips=False)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("dedup", [False, True], ids=["direct", "dedup"])
+    def test_scores_and_flags_match_clip_path(self, tiled_layer, dedup):
+        det = RasterMeanDetector()
+        clip = _scan(det, tiled_layer, raster_plane=False, dedup=dedup)
+        rast = _scan(det, tiled_layer, raster_plane=True, dedup=dedup)
+        assert clip.scan_path == "clip" and rast.scan_path == "raster"
+        assert rast.centers == clip.centers
+        np.testing.assert_allclose(rast.scores, clip.scores, atol=1e-9)
+        assert np.array_equal(rast.flagged, clip.flagged)
+
+    def test_dedup_actually_dedups_rasters(self, tiled_layer):
+        rast = _scan(RasterMeanDetector(), tiled_layer, raster_plane=True)
+        # the 2x2 replication means far fewer unique patterns than windows
+        assert rast.n_scored < rast.n_windows
+        assert rast.dedup_ratio > 0.3
+
+    def test_fitted_library_detector_matches(self, tiled_layer):
+        det = make_logistic_density()
+        det.fit(tiny_grating_dataset(), rng=np.random.default_rng(1))
+        clip = _scan(det, tiled_layer, raster_plane=False, dedup=False)
+        rast = _scan(det, tiled_layer, raster_plane=True, dedup=False)
+        np.testing.assert_allclose(rast.scores, clip.scores, atol=1e-9)
+        assert np.array_equal(rast.flagged, clip.flagged)
+
+    def test_workers_match_in_process(self, tiled_layer):
+        det = make_logistic_density()
+        det.fit(tiny_grating_dataset(), rng=np.random.default_rng(1))
+        one = _scan(det, tiled_layer, raster_plane=True, dedup=False)
+        two = _scan(
+            det, tiled_layer, raster_plane=True, dedup=False, workers=2
+        )
+        assert np.array_equal(one.scores, two.scores)
+
+
+class TestBandGeometry:
+    """Band partitioning must never change results, only plane sizes."""
+
+    @pytest.mark.parametrize("band_rows", [1, 3, 64])
+    def test_band_rows_invariant(self, tiled_layer, band_rows):
+        det = RasterMeanDetector()
+        baseline = _scan(det, tiled_layer, raster_plane=False, dedup=False)
+        banded = _scan(
+            det,
+            tiled_layer,
+            raster_plane=True,
+            dedup=False,
+            band_rows=band_rows,
+        )
+        assert banded.centers == baseline.centers
+        np.testing.assert_allclose(banded.scores, baseline.scores, atol=1e-9)
+
+    def test_tiny_plane_budget_segments_rows(self, tiled_layer):
+        """A budget below one full row forces x-segmentation — still exact."""
+        det = RasterMeanDetector()
+        baseline = _scan(det, tiled_layer, raster_plane=False, dedup=False)
+        segmented = _scan(
+            det,
+            tiled_layer,
+            raster_plane=True,
+            dedup=False,
+            max_plane_pixels=2 * (768 // 8) ** 2,  # ~2 windows per plane
+        )
+        assert segmented.centers == baseline.centers
+        np.testing.assert_allclose(
+            segmented.scores, baseline.scores, atol=1e-9
+        )
+        assert segmented.telemetry.counter("raster_bands") > len(
+            set(y for _, y in baseline.centers)
+        )
+
+    def test_band_iterator_preserves_row_major_order(self):
+        from repro.geometry import iter_tile_centers
+
+        region = Rect(0, 0, 3000, 2000)
+        expected = list(iter_tile_centers(region, 768, 256))
+        for band_rows, budget in [(4, 10**9), (2, 50_000), (1, 9_300)]:
+            got = []
+            for centers, box in _iter_raster_bands(
+                region, 768, 256, 8, band_rows, budget
+            ):
+                got.extend(centers)
+                assert box.width // 8 * (box.height // 8) <= budget
+            assert got == expected, (band_rows, budget)
+
+    def test_keep_clips_retains_clip_objects(self, tiled_layer):
+        report = ScanEngine(
+            RasterMeanDetector(), raster_plane=True, dedup=False
+        ).scan(tiled_layer, REGION, keep_clips=True)
+        assert len(report.clips) == report.n_windows
+        assert report.clips[0].window.width == 768
+        assert len(report.flagged_clips()) == report.n_flagged
+
+
+class TestPathSelection:
+    def test_auto_picks_raster_when_supported(self, tiled_layer):
+        report = _scan(RasterMeanDetector(), tiled_layer, raster_plane=None)
+        assert report.scan_path == "raster"
+
+    def test_auto_falls_back_for_clip_only_detector(self, tiled_layer):
+        assert not supports_raster_scan(DensityDetector())
+        report = _scan(DensityDetector(), tiled_layer, raster_plane=None)
+        assert report.scan_path == "clip"
+
+    def test_auto_falls_back_on_misaligned_geometry(self, tiled_layer):
+        class Misaligned(RasterMeanDetector):
+            raster_pixel_nm = 7  # 768 % 7 != 0; clips still render at 8
+
+        report = _scan(Misaligned(), tiled_layer, raster_plane=None)
+        assert report.scan_path == "clip"
+
+    def test_required_raster_raises_when_unsupported(self, tiled_layer):
+        class Misaligned(RasterMeanDetector):
+            raster_pixel_nm = 7
+
+        with pytest.raises(ValueError, match="raster"):
+            _scan(DensityDetector(), tiled_layer, raster_plane=True)
+        with pytest.raises(ValueError, match="divisible"):
+            _scan(Misaligned(), tiled_layer, raster_plane=True)
+
+    def test_forced_clip_path(self, tiled_layer):
+        report = _scan(RasterMeanDetector(), tiled_layer, raster_plane=False)
+        assert report.scan_path == "clip"
+
+    def test_supports_raster_scan_rejects_bad_pixel(self):
+        det = RasterMeanDetector()
+        assert supports_raster_scan(det)
+
+        class NoPixel(RasterMeanDetector):
+            raster_pixel_nm = None
+
+        class ZeroPixel(RasterMeanDetector):
+            raster_pixel_nm = 0
+
+        assert not supports_raster_scan(NoPixel())
+        assert not supports_raster_scan(ZeroPixel())
+
+
+class TestEmptyInputRegressions:
+    def test_predict_on_empty(self):
+        det = RasterMeanDetector()
+        assert det.predict([]).shape == (0,)
+        assert det.predict_proba([]).shape == (0,)
+        assert det.predict_proba_rasters(np.zeros((0, 96, 96))).shape == (0,)
+
+    def test_feature_detector_empty(self):
+        det = make_logistic_density()
+        det.fit(tiny_grating_dataset(), rng=np.random.default_rng(1))
+        assert det.predict_proba([]).shape == (0,)
+        assert det.predict([]).shape == (0,)
+        assert det.predict_proba_rasters(np.zeros((0, 96, 96))).shape == (0,)

@@ -257,6 +257,30 @@ class TestScanChipCommand:
         )
         assert "windows" in capsys.readouterr().out
 
+    def test_no_raster_plane_flag(self, tmp_path, capsys, monkeypatch):
+        """--no-raster-plane forces the per-clip path; summaries agree."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        gds = self._write_block(tmp_path)
+        base = [
+            "scan-chip",
+            str(gds),
+            "--detector",
+            "logistic-density",
+            "--scale",
+            "0.02",
+            "--seed",
+            "99",
+        ]
+        assert main(base) == 0
+        auto = capsys.readouterr().out
+        assert "[raster path]" in auto
+        assert main(base + ["--no-raster-plane"]) == 0
+        forced = capsys.readouterr().out
+        assert "[clip path]" in forced
+        # same windows and same flagged count either way
+        assert auto.split("windows")[0] == forced.split("windows")[0]
+        assert auto.split("flagged")[0] == forced.split("flagged")[0]
+
     def test_cache_dir_detector_mismatch_exits_2(
         self, tmp_path, capsys, monkeypatch
     ):
