@@ -1,7 +1,14 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # downstream pipe reader (head, less) closed early; exit quietly
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
+    sys.exit(1)

@@ -1,0 +1,28 @@
+"""Static analysis tooling: the project-specific AST lint pass.
+
+Exposed on the command line as ``repro-lhd lint``.  The engine and the
+rule catalog are split — :mod:`.lint` owns walking, suppressions, and
+formatting; :mod:`.rules` holds one class per project rule.
+"""
+
+from .lint import (
+    FileContext,
+    LintDiagnostic,
+    LintRule,
+    all_rules,
+    format_findings,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+
+__all__ = [
+    "FileContext",
+    "LintDiagnostic",
+    "LintRule",
+    "all_rules",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

@@ -1,0 +1,258 @@
+"""Project-specific AST lint engine behind ``repro-lhd lint``.
+
+The framework half: rule registration, file walking, suppression
+comments, and diagnostic formatting.  The rules themselves live in
+:mod:`repro.analysis.rules`, one class per rule, registered with the
+:func:`register_rule` decorator — adding a rule is writing a class.
+
+Suppressions:
+
+* ``# lint: disable=rule-name[,other-rule]`` on a line silences those
+  rules (or ``all``) for diagnostics anchored to that line,
+* ``# lint: disable-file=rule-name[,other-rule]`` anywhere in a file
+  silences the rules for the whole file.
+
+Directories named ``fixtures`` (deliberately-broken lint test inputs)
+are skipped when reached by directory walking, but lint them fine when
+named explicitly on the command line — mirroring how mainstream linters
+treat forced excludes.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+#: directory names never descended into while walking lint targets
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    "build",
+    "dist",
+    "fixtures",
+    ".bench_cache",
+}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*(disable|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)"
+)
+
+
+@dataclass(frozen=True)
+class LintDiagnostic:
+    """One finding: ``path:line:col RULE message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """Per-file state handed to rules: path, source, diagnostic helper."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+
+    def diag(self, node: ast.AST, rule: str, message: str) -> LintDiagnostic:
+        return LintDiagnostic(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+
+class LintRule:
+    """Base class: subclass, set ``name``/``description``, implement check.
+
+    ``check(tree, ctx)`` receives the parsed module and yields
+    diagnostics; rules walk the tree however they like (most use
+    ``ast.walk``).
+    """
+
+    #: kebab-case rule id used in output and suppressions
+    name: str = ""
+    #: one-line description for ``--list-rules``
+    description: str = ""
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[LintDiagnostic]:
+        raise NotImplementedError
+
+
+_RULES: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the registry."""
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if cls.name in _RULES:
+        raise KeyError(f"lint rule {cls.name!r} already registered")
+    _RULES[cls.name] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[LintRule]]:
+    """Registered rules by name (import :mod:`.rules` for the built-ins)."""
+    from . import rules  # noqa: F401  (registers built-in rules on import)
+
+    return dict(_RULES)
+
+
+# --------------------------------------------------------------------------
+# suppressions
+# --------------------------------------------------------------------------
+def _parse_suppressions(source: str):
+    """(line -> {rules}, file-wide {rules}) from lint comments."""
+    by_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            kind, names = match.groups()
+            rules = {n.strip() for n in names.split(",") if n.strip()}
+            if kind == "disable-file":
+                file_wide |= rules
+            else:
+                by_line.setdefault(tok.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass  # an untokenizable file already fails as a parse error
+    return by_line, file_wide
+
+
+def _suppressed(
+    diag: LintDiagnostic,
+    by_line: Dict[int, Set[str]],
+    file_wide: Set[str],
+) -> bool:
+    for rules in (file_wide, by_line.get(diag.line, ())):
+        if diag.rule in rules or "all" in rules:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# running
+# --------------------------------------------------------------------------
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+) -> List[LintDiagnostic]:
+    """Lint one source string; returns sorted, suppression-filtered findings."""
+    rules = all_rules()
+    if select is not None:
+        unknown = sorted(set(select) - set(rules))
+        if unknown:
+            raise KeyError(f"unknown lint rules: {unknown}")
+        rules = {name: rules[name] for name in select}
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintDiagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="parse-error",
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path=path, source=source)
+    by_line, file_wide = _parse_suppressions(source)
+    findings = [
+        diag
+        for rule_cls in rules.values()
+        for diag in rule_cls().check(tree, ctx)
+        if not _suppressed(diag, by_line, file_wide)
+    ]
+    findings.sort(key=lambda d: (d.line, d.col, d.rule))
+    return findings
+
+
+def iter_target_files(paths: Sequence) -> Iterator[Path]:
+    """Expand lint targets into .py files (skipping :data:`_SKIP_DIRS`).
+
+    Explicitly named files/directories are always included — only the
+    *descent* into a skipped directory is pruned.
+    """
+    seen = set()
+    for raw in paths:
+        target = Path(raw)
+        if target.is_dir():
+            candidates = sorted(
+                p
+                for p in target.rglob("*.py")
+                if not (_SKIP_DIRS & set(p.relative_to(target).parts[:-1]))
+            )
+        else:
+            candidates = [target]
+        for path in candidates:
+            if path not in seen:
+                seen.add(path)
+                yield path
+
+
+def lint_paths(
+    paths: Sequence, select: Optional[Sequence[str]] = None
+) -> List[LintDiagnostic]:
+    """Lint files/directories; returns all findings sorted by location."""
+    findings: List[LintDiagnostic] = []
+    for path in iter_target_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(
+                LintDiagnostic(
+                    path=str(path),
+                    line=1,
+                    col=0,
+                    rule="read-error",
+                    message=str(exc),
+                )
+            )
+            continue
+        findings.extend(lint_source(source, path=str(path), select=select))
+    findings.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return findings
+
+
+def format_findings(
+    findings: Iterable[LintDiagnostic], fmt: str = "text"
+) -> str:
+    """Render findings as line-per-diagnostic text or a JSON array."""
+    if fmt == "json":
+        return json.dumps([d.as_dict() for d in findings], indent=2)
+    if fmt != "text":
+        raise ValueError(f"unknown format {fmt!r}")
+    return "\n".join(d.format() for d in findings)

@@ -1,0 +1,353 @@
+"""Built-in lint rules — the project's conventions, machine-checked.
+
+One class per rule; registering is the :func:`~repro.analysis.lint.register_rule`
+decorator.  Every rule is a heuristic: intentional exceptions carry a
+``# lint: disable=<rule>`` comment with a reason on the flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from .lint import FileContext, LintDiagnostic, LintRule, register_rule
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+_UNIT_SUFFIX_RE = re.compile(r"_(nm|px)$")
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """'np.random.seed' for nested Attribute/Name chains, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _identifier(node: ast.AST) -> Optional[str]:
+    """The variable-ish name of an operand (Name or trailing Attribute)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _unit_of(node: ast.AST) -> Optional[str]:
+    """'nm' / 'px' when the operand's identifier carries a unit suffix."""
+    name = _identifier(node)
+    if name is None:
+        return None
+    match = _UNIT_SUFFIX_RE.search(name)
+    return match.group(1) if match else None
+
+
+# --------------------------------------------------------------------------
+# rules
+# --------------------------------------------------------------------------
+@register_rule
+class LegacyRandomRule(LintRule):
+    """Ban numpy's legacy global-state RNG API.
+
+    ``np.random.seed`` / ``np.random.rand`` / friends share one hidden
+    global stream — scores then depend on call order and break the
+    WorkerPool's byte-identical-across-workers guarantee.  Seeded
+    ``np.random.default_rng`` Generators are the project convention.
+    """
+
+    name = "legacy-random"
+    description = (
+        "np.random.* global-state call; use a seeded np.random.default_rng"
+    )
+
+    _SAFE = {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[LintDiagnostic]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            prefix = _dotted_name(node.value)
+            if prefix not in ("np.random", "numpy.random"):
+                continue
+            if node.attr in self._SAFE:
+                continue
+            yield ctx.diag(
+                node,
+                self.name,
+                f"legacy global-state RNG '{prefix}.{node.attr}'; "
+                "use a seeded np.random.default_rng() Generator",
+            )
+
+
+@register_rule
+class UnitMixRule(LintRule):
+    """Flag nm/pixel unit mixing in additive arithmetic and comparisons.
+
+    Geometry code keeps lengths in integer nanometres and raster indices
+    in pixels; names carry ``_nm`` / ``_px`` suffixes.  Adding,
+    subtracting, or comparing across the two units is always a bug —
+    conversion is multiplication/division by the pixel pitch, which this
+    rule deliberately leaves alone.
+    """
+
+    name = "unit-mix"
+    description = "additive arithmetic or comparison between *_nm and *_px"
+
+    _ADDITIVE = (ast.Add, ast.Sub)
+
+    def _pair(self, left: ast.AST, right: ast.AST) -> bool:
+        lu, ru = _unit_of(left), _unit_of(right)
+        return lu is not None and ru is not None and lu != ru
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[LintDiagnostic]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, self._ADDITIVE
+            ):
+                if self._pair(node.left, node.right):
+                    yield ctx.diag(
+                        node,
+                        self.name,
+                        f"'{_identifier(node.left)}' and "
+                        f"'{_identifier(node.right)}' mix nm and px units",
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, self._ADDITIVE
+            ):
+                if self._pair(node.target, node.value):
+                    yield ctx.diag(
+                        node,
+                        self.name,
+                        f"'{_identifier(node.target)}' and "
+                        f"'{_identifier(node.value)}' mix nm and px units",
+                    )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for a, b in zip(operands, operands[1:]):
+                    if self._pair(a, b):
+                        yield ctx.diag(
+                            node,
+                            self.name,
+                            f"comparison between '{_identifier(a)}' and "
+                            f"'{_identifier(b)}' mixes nm and px units",
+                        )
+
+
+@register_rule
+class FloatEqRule(LintRule):
+    """Flag float-literal ``==`` / ``!=`` on geometry coordinates.
+
+    Geometry lengths and coordinates are *integer* nanometres (or
+    integer pixel indices) precisely so equality stays exact.  Comparing
+    a ``*_nm`` / ``*_px`` name against a float literal means a float
+    crept into the coordinate path — either a unit slip or a tolerance
+    bug waiting for an accumulation error.
+    """
+
+    name = "float-eq"
+    description = (
+        "float-literal == / != on a *_nm / *_px geometry value; "
+        "keep coordinates integral or use an explicit tolerance"
+    )
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[LintDiagnostic]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            has_float_literal = any(
+                isinstance(o, ast.Constant) and isinstance(o.value, float)
+                for o in operands
+            )
+            unit_names = [
+                _identifier(o) for o in operands if _unit_of(o) is not None
+            ]
+            if has_float_literal and unit_names:
+                yield ctx.diag(
+                    node,
+                    self.name,
+                    f"float-literal equality on '{unit_names[0]}'; "
+                    "coordinates are integer nm/px — compare ints or use "
+                    "an explicit tolerance",
+                )
+
+
+@register_rule
+class BroadExceptRule(LintRule):
+    """Flag bare and overbroad exception handlers.
+
+    ``except:`` / ``except Exception:`` swallow contract violations and
+    worker-pool faults that must surface.  A handler whose entire body is
+    a bare ``raise`` is allowed (cleanup-and-reraise).
+    """
+
+    name = "broad-except"
+    description = "bare 'except:' or 'except Exception/BaseException:'"
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def _is_broad(self, node: Optional[ast.AST]) -> bool:
+        if node is None:
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self._BROAD
+        if isinstance(node, ast.Tuple):
+            return any(self._is_broad(el) for el in node.elts)
+        return False
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[LintDiagnostic]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            body = node.body
+            if (
+                len(body) == 1
+                and isinstance(body[0], ast.Raise)
+                and body[0].exc is None
+            ):
+                continue  # cleanup-and-reraise keeps the error visible
+            what = "bare 'except:'" if node.type is None else (
+                f"overbroad 'except {ast.unparse(node.type)}:'"
+            )
+            yield ctx.diag(
+                node,
+                self.name,
+                f"{what} hides contract violations; catch specific "
+                "exceptions (or suppress with a reason)",
+            )
+
+
+@register_rule
+class RasterParityRule(LintRule):
+    """Detector subclasses overriding predict_proba need raster twins.
+
+    A ``Detector`` subclass that overrides ``predict_proba`` without also
+    defining ``predict_proba_rasters`` + ``raster_pixel_nm`` silently
+    falls off the raster-plane fast path (and, worse, can drift from a
+    raster implementation it inherits).  Geometry-only detectors are
+    legitimate — suppress with a reason.
+    """
+
+    name = "raster-parity"
+    description = (
+        "Detector subclass overrides predict_proba without the raster "
+        "counterparts"
+    )
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[LintDiagnostic]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            base_names = [
+                name
+                for name in (_identifier(b) for b in node.bases)
+                if name is not None
+            ]
+            if not any(name.endswith("Detector") for name in base_names):
+                continue
+            defined = set()
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    defined.add(stmt.name)
+                elif isinstance(stmt, ast.Assign):  # raster_pixel_nm = 8
+                    defined.update(
+                        t.id for t in stmt.targets if isinstance(t, ast.Name)
+                    )
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    defined.add(stmt.target.id)
+            if "predict_proba" not in defined:
+                continue
+            if "predict_proba_rasters" not in defined:
+                yield ctx.diag(
+                    node,
+                    self.name,
+                    f"{node.name} overrides predict_proba without "
+                    "predict_proba_rasters; the raster-plane scan will "
+                    "silently fall back to the clip path",
+                )
+            elif "raster_pixel_nm" not in defined:
+                yield ctx.diag(
+                    node,
+                    self.name,
+                    f"{node.name} defines predict_proba_rasters but not "
+                    "raster_pixel_nm; supports_raster_scan() will report "
+                    "False",
+                )
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    """Flag mutable default argument values.
+
+    ``def f(x, acc=[])`` shares one list across every call — with the
+    scan engine re-entering detectors across bands and workers, shared
+    defaults are state leaks.  Use ``None`` and construct inside.
+    """
+
+    name = "mutable-default"
+    description = "mutable default argument ([], {}, set(), list(), dict())"
+
+    _FACTORY = {"list", "dict", "set", "bytearray"}
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._FACTORY
+        )
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[LintDiagnostic]:
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    func = getattr(node, "name", "<lambda>")
+                    yield ctx.diag(
+                        default,
+                        self.name,
+                        f"mutable default in {func}(); use None and "
+                        "construct inside the function",
+                    )

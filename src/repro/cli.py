@@ -11,6 +11,8 @@ Commands
 ``scan``        sweep a saved CNN model over a GDSII layout layer
 ``scan-chip``   production full-chip scan: cache, cascade, worker pool
 ``pattern``     print a clip's raster as ASCII art (debugging aid)
+``lint``        run the project-specific AST lint pass (CI gate)
+``check``       run the detector/extractor conformance harness (CI gate)
 """
 
 from __future__ import annotations
@@ -324,6 +326,58 @@ def _cmd_pattern(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import all_rules, format_findings, lint_paths
+
+    if args.list_rules:
+        for name, rule_cls in sorted(all_rules().items()):
+            print(f"{name}: {rule_cls.description}")
+        return 0
+    if not args.paths:
+        print("lint needs at least one path (or --list-rules)", file=sys.stderr)
+        return 2
+    select = args.select.split(",") if args.select else None
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    output = format_findings(findings, fmt=args.format)
+    if output:
+        print(output)
+    if args.format == "text" and findings:
+        print(f"-- {len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .contracts import (
+        check_registered_detectors,
+        check_registered_extractors,
+    )
+
+    detector_names = args.detectors.split(",") if args.detectors else None
+    extractor_names = args.extractors.split(",") if args.extractors else None
+    reports = {}
+    if not args.extractors_only:
+        reports.update(
+            check_registered_detectors(names=detector_names, seed=args.seed)
+        )
+    if not args.detectors_only:
+        reports.update(check_registered_extractors(names=extractor_names))
+    failures = 0
+    for name in sorted(reports):
+        report = reports[name]
+        failures += len(report.diagnostics)
+        print(report.summary())
+    total_checks = sum(r.checks_run for r in reports.values())
+    print(
+        f"-- {len(reports)} subjects, {total_checks} checks, "
+        f"{failures} violation(s)"
+    )
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="lithography hotspot detection toolkit"
@@ -432,6 +486,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--index", type=int, default=0)
     p.add_argument("--pixel", type=int, default=16)
     p.set_defaults(fn=_cmd_pattern)
+
+    p = sub.add_parser(
+        "lint", help="project-specific AST lint pass (exit 1 on findings)"
+    )
+    p.add_argument("paths", nargs="*", help="files or directories to lint")
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format",
+    )
+    p.add_argument(
+        "--select", default="",
+        help="comma-separated rule names to run (default: all)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "check",
+        help="detector/extractor conformance harness (exit 1 on violations)",
+    )
+    p.add_argument(
+        "--detectors", default="",
+        help="comma-separated registry names (default: all)",
+    )
+    p.add_argument(
+        "--extractors", default="",
+        help="comma-separated extractor names (default: all)",
+    )
+    p.add_argument(
+        "--detectors-only", action="store_true",
+        help="skip the extractor sweep",
+    )
+    p.add_argument(
+        "--extractors-only", action="store_true",
+        help="skip the detector sweep",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_check)
     return parser
 
 

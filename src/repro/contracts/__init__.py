@@ -1,0 +1,66 @@
+"""Runtime shape/dtype/unit contracts for the detection stack.
+
+Two halves:
+
+* **decorators** — ``@shaped("(n,h,w)->(n,):float64")`` declares a
+  function's array contract in a tiny spec mini-language (named dims,
+  literals, ``*``, ``...``, dtype classes; see
+  :mod:`repro.contracts.spec`).  Checking is off by default and
+  process-wide switchable via :func:`enable` / :func:`disable` /
+  :func:`checking` or ``REPRO_CONTRACTS=1``; disabled contracts cost one
+  global read per call.
+* **conformance** — :func:`check_detector` / :func:`check_extractor`
+  probe an object against the cross-detector interface rules (float64
+  ``(n,)`` scores, batch/scalar parity, raster-path parity, ``(0, ...)``
+  empty-input returns) and report structured diagnostics;
+  :func:`check_registered_detectors` / :func:`check_registered_extractors`
+  sweep the registries and back the ``repro-lhd check`` CI gate.
+
+The conformance half is imported lazily (PEP 562) so low-level modules
+can use ``@shaped`` without creating import cycles.
+"""
+
+from __future__ import annotations
+
+from .decorators import checking, disable, enable, enabled, require, shaped
+from .spec import ContractViolation, Spec, SpecError, parse_spec
+
+__all__ = [
+    "shaped",
+    "require",
+    "enable",
+    "disable",
+    "enabled",
+    "checking",
+    "parse_spec",
+    "Spec",
+    "SpecError",
+    "ContractViolation",
+    "Diagnostic",
+    "ConformanceReport",
+    "check_detector",
+    "check_extractor",
+    "check_registered_detectors",
+    "check_registered_extractors",
+    "probe_clips",
+    "probe_dataset",
+]
+
+_CONFORMANCE_NAMES = {
+    "Diagnostic",
+    "ConformanceReport",
+    "check_detector",
+    "check_extractor",
+    "check_registered_detectors",
+    "check_registered_extractors",
+    "probe_clips",
+    "probe_dataset",
+}
+
+
+def __getattr__(name: str):
+    if name in _CONFORMANCE_NAMES:
+        from . import conformance
+
+        return getattr(conformance, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,19 @@
+"""Shared on/off switch for runtime contract checking.
+
+Kept in its own module so the decorator fast path is a single attribute
+read on a plain module global — no function call, no indirection — which
+is what keeps disabled contracts unmeasurable on the scan hot path.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: True when contract checking is live.  Mutated only via
+#: :func:`repro.contracts.enable` / :func:`repro.contracts.disable`.
+active: bool = os.environ.get("REPRO_CONTRACTS", "").lower() in (
+    "1",
+    "true",
+    "on",
+    "yes",
+)

@@ -1,0 +1,523 @@
+"""Conformance harness: probe detectors/extractors against the API contract.
+
+The scan stack rests on cross-detector interface uniformity: every
+``predict_proba*`` returns ``float64 (n,)`` scores in [0, 1], every
+extractor's batch APIs agree with its scalar API, and every entry point
+accepts empty input and returns a ``(0, ...)`` array.  The harness makes
+those rules machine-checked: :func:`check_detector` / :func:`check_extractor`
+probe one object and return a :class:`ConformanceReport` of structured
+:class:`Diagnostic` entries; :func:`check_registered_detectors` /
+:func:`check_registered_extractors` sweep the registries (the CI gate).
+
+Probes run the real methods on small deterministic inputs — a violation
+is reported, never raised, so one broken detector can't hide the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import ClipDataset
+from ..geometry.layout import Clip, Layer, extract_clip
+from ..geometry.rect import Rect
+
+PROBE_WINDOW_NM = 768
+PROBE_CORE_NM = 256
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One conformance violation, attributable and greppable."""
+
+    subject: str  #: detector/extractor name
+    check: str  #: dotted check id, e.g. "predict_proba.empty"
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.subject}: [{self.check}] {self.message}"
+
+
+@dataclass
+class ConformanceReport:
+    """All diagnostics from probing one subject."""
+
+    subject: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.diagnostics)} violation(s)"
+        lines = [f"{self.subject}: {self.checks_run} checks, {status}"]
+        lines.extend(f"  {d}" for d in self.diagnostics)
+        return "\n".join(lines)
+
+
+class _Probe:
+    """Collects diagnostics; runs one check guarded against crashes."""
+
+    def __init__(self, subject: str) -> None:
+        self.report = ConformanceReport(subject=subject)
+
+    def run(self, check: str, fn: Callable[[], Optional[str]]) -> None:
+        self.report.checks_run += 1
+        try:
+            err = fn()
+        # the harness must survive and report arbitrary subject failures
+        except Exception as exc:  # lint: disable=broad-except
+            err = f"raised {type(exc).__name__}: {exc}"
+        if err:
+            self.report.diagnostics.append(
+                Diagnostic(self.report.subject, check, err)
+            )
+
+
+# --------------------------------------------------------------------------
+# deterministic probe inputs
+# --------------------------------------------------------------------------
+def _grating_clip(pitch: int, offset: int = 0, tag: str = "probe") -> Clip:
+    layer = Layer("metal1")
+    layer.add_rects(
+        [
+            Rect(offset + 100 + k * pitch, 100, offset + 164 + k * pitch, 1100)
+            for k in range(10)
+        ]
+    )
+    return extract_clip(
+        layer, (600, 600), PROBE_WINDOW_NM, PROBE_CORE_NM, tag=tag
+    )
+
+
+def probe_clips() -> List[Clip]:
+    """Small deterministic clip set covering dense/sparse/asymmetric/empty."""
+    clips = [
+        _grating_clip(112, tag="dense"),
+        _grating_clip(192, tag="sparse"),
+        _grating_clip(144, offset=64, tag="offset"),
+    ]
+    empty_window = Rect(0, 0, PROBE_WINDOW_NM, PROBE_WINDOW_NM)
+    empty_core = Rect.from_center(
+        PROBE_WINDOW_NM // 2, PROBE_WINDOW_NM // 2, PROBE_CORE_NM, PROBE_CORE_NM
+    )
+    clips.append(Clip(window=empty_window, core=empty_core, rects=(), tag="blank"))
+    return clips
+
+
+def probe_dataset(n: int = 24, seed: int = 0) -> ClipDataset:
+    """Separable labeled gratings (dense = hot) for harness-side fitting."""
+    rng = np.random.default_rng(seed)
+    clips, labels = [], []
+    for i in range(n):
+        hot = bool(rng.integers(2))
+        pitch = 64 + (48 if hot else 128)
+        offset = int(rng.integers(0, 4)) * 32
+        clips.append(_grating_clip(pitch, offset=offset, tag=f"probe{i}"))
+        labels.append(int(hot))
+    return ClipDataset(
+        name="conformance-probe",
+        clips=clips,
+        labels=np.asarray(labels, dtype=np.int64),
+    )
+
+
+def _rasterize(clips: Sequence[Clip], pixel_nm: int) -> np.ndarray:
+    from ..geometry.rasterize import rasterize_clip
+
+    return np.stack(
+        [rasterize_clip(c, pixel_nm, antialias=True) for c in clips]
+    )
+
+
+# --------------------------------------------------------------------------
+# extractor conformance
+# --------------------------------------------------------------------------
+def check_extractor(
+    extractor, clips: Optional[Sequence[Clip]] = None
+) -> ConformanceReport:
+    """Probe a :class:`~repro.features.base.FeatureExtractor` for conformance.
+
+    Checks: ``extract`` returns a finite ndarray and is deterministic;
+    ``extract_many`` agrees element-wise with ``extract`` and returns a
+    ``(0, ...)`` array on empty input; ``feature_shape`` (when declared)
+    matches reality; and for raster-capable extractors, ``extract_raster``
+    reproduces ``extract`` on the clip's own raster while ``extract_batch``
+    agrees with ``extract_raster`` row-wise, including the ``(0, H, W)``
+    empty stack.
+    """
+    clips = list(clips) if clips is not None else probe_clips()
+    probe = _Probe(getattr(extractor, "name", type(extractor).__name__))
+    singles: List[np.ndarray] = []
+
+    def check_extract() -> Optional[str]:
+        for clip in clips:
+            feat = extractor.extract(clip)
+            if not isinstance(feat, np.ndarray):
+                return f"extract returned {type(feat).__name__}, not ndarray"
+            if not np.all(np.isfinite(feat)):
+                return f"extract({clip.tag}) produced non-finite values"
+            singles.append(feat)
+        return None
+
+    probe.run("extract.returns_ndarray", check_extract)
+    if not singles:
+        return probe.report
+
+    def check_deterministic() -> Optional[str]:
+        again = extractor.extract(clips[0])
+        if not np.array_equal(again, singles[0]):
+            return "extract is not deterministic for identical input"
+        return None
+
+    probe.run("extract.deterministic", check_deterministic)
+
+    def check_many_parity() -> Optional[str]:
+        stacked = extractor.extract_many(clips)
+        if not isinstance(stacked, np.ndarray):
+            return f"extract_many returned {type(stacked).__name__}"
+        if stacked.shape[0] != len(clips):
+            return f"extract_many shape {stacked.shape} for {len(clips)} clips"
+        for i, single in enumerate(singles):
+            if not np.array_equal(stacked[i], single):
+                return f"extract_many[{i}] != extract(clips[{i}])"
+        return None
+
+    probe.run("extract_many.parity", check_many_parity)
+
+    def check_many_empty() -> Optional[str]:
+        empty = extractor.extract_many([])
+        if not isinstance(empty, np.ndarray):
+            return f"extract_many([]) returned {type(empty).__name__}"
+        if empty.ndim < 1 or empty.shape[0] != 0:
+            return f"extract_many([]) shape {empty.shape}, want (0, ...)"
+        return None
+
+    probe.run("extract_many.empty", check_many_empty)
+
+    def check_feature_shape() -> Optional[str]:
+        try:
+            declared = tuple(extractor.feature_shape)
+        except NotImplementedError:
+            return None  # shape depends on the clip; nothing to cross-check
+        if singles[0].shape != declared:
+            return (
+                f"feature_shape declares {declared} but extract "
+                f"returned {singles[0].shape}"
+            )
+        return None
+
+    probe.run("feature_shape.consistent", check_feature_shape)
+
+    if not getattr(extractor, "supports_rasters", False):
+        return probe.report
+
+    pixel = getattr(extractor, "pixel_nm", None)
+    rasters: List[np.ndarray] = []
+
+    def check_pixel() -> Optional[str]:
+        if not isinstance(pixel, int) or isinstance(pixel, bool) or pixel <= 0:
+            return f"supports_rasters but pixel_nm is {pixel!r}"
+        return None
+
+    probe.run("raster.pixel_nm", check_pixel)
+    if not isinstance(pixel, int) or isinstance(pixel, bool) or pixel <= 0:
+        return probe.report
+
+    def check_raster_parity() -> Optional[str]:
+        stack = _rasterize(clips, pixel)
+        for i, clip in enumerate(clips):
+            feat = extractor.extract_raster(stack[i])
+            rasters.append(feat)
+            if not np.allclose(feat, singles[i], rtol=1e-9, atol=1e-12):
+                return f"extract_raster(raster[{i}]) != extract(clips[{i}])"
+        return None
+
+    probe.run("extract_raster.parity", check_raster_parity)
+
+    def check_batch_parity() -> Optional[str]:
+        stack = _rasterize(clips, pixel)
+        batched = extractor.extract_batch(stack)
+        if not isinstance(batched, np.ndarray):
+            return f"extract_batch returned {type(batched).__name__}"
+        if batched.shape[0] != len(clips):
+            return f"extract_batch shape {batched.shape} for {len(clips)} rasters"
+        for i in range(len(clips)):
+            single = extractor.extract_raster(stack[i])
+            if not np.allclose(batched[i], single, rtol=1e-9, atol=1e-12):
+                return f"extract_batch[{i}] != extract_raster(rasters[{i}])"
+        return None
+
+    probe.run("extract_batch.parity", check_batch_parity)
+
+    def check_batch_empty() -> Optional[str]:
+        side = PROBE_WINDOW_NM // pixel
+        empty = extractor.extract_batch(np.zeros((0, side, side)))
+        if not isinstance(empty, np.ndarray):
+            return f"extract_batch(empty) returned {type(empty).__name__}"
+        if empty.ndim < 1 or empty.shape[0] != 0:
+            return f"extract_batch(empty) shape {empty.shape}, want (0, ...)"
+        return None
+
+    probe.run("extract_batch.empty", check_batch_empty)
+    return probe.report
+
+
+# --------------------------------------------------------------------------
+# detector conformance
+# --------------------------------------------------------------------------
+def check_detector(
+    detector,
+    clips: Optional[Sequence[Clip]] = None,
+    train: Optional[ClipDataset] = None,
+    fit: bool = True,
+    seed: int = 0,
+) -> ConformanceReport:
+    """Probe a detector (or duck-typed matcher) for API conformance.
+
+    Checks: ``name``/``threshold`` attributes; ``predict_proba`` returns
+    finite ``float64 (n,)`` scores in [0, 1], deterministically, and
+    ``(0,)`` on empty input; ``predict`` returns 0/1 integer decisions
+    consistent with ``threshold``; the detector survives a
+    ``to_state``/``from_state`` round trip with identical scores (the
+    worker-pool contract); and, when
+    :func:`~repro.core.detector.supports_raster_scan` reports raster
+    support, ``predict_proba_rasters`` agrees with ``predict_proba`` on
+    the clips' own rasters (including the ``(0, H, W)`` empty stack) and
+    ``raster_pixel_nm`` is a positive int.
+    """
+    from ..core.detector import (
+        detector_from_state,
+        detector_to_state,
+        supports_raster_scan,
+    )
+
+    clips = list(clips) if clips is not None else probe_clips()
+    probe = _Probe(getattr(detector, "name", type(detector).__name__))
+
+    def check_attrs() -> Optional[str]:
+        name = getattr(detector, "name", None)
+        if not isinstance(name, str) or not name:
+            return f"name must be a non-empty str, got {name!r}"
+        threshold = getattr(detector, "threshold", None)
+        if not isinstance(threshold, (int, float)) or isinstance(
+            threshold, bool
+        ):
+            return f"threshold must be a float, got {threshold!r}"
+        if not 0.0 <= float(threshold) <= 1.0:
+            return f"threshold {threshold} outside [0, 1]"
+        return None
+
+    probe.run("attrs", check_attrs)
+
+    if fit:
+
+        def check_fit() -> Optional[str]:
+            dataset = train if train is not None else probe_dataset(seed=seed)
+            detector.fit(dataset, rng=np.random.default_rng(seed))
+            return None
+
+        probe.run("fit", check_fit)
+
+    scores_holder: List[np.ndarray] = []
+
+    def check_scores() -> Optional[str]:
+        scores = detector.predict_proba(clips)
+        if not isinstance(scores, np.ndarray):
+            return f"predict_proba returned {type(scores).__name__}"
+        if scores.shape != (len(clips),):
+            return f"predict_proba shape {scores.shape}, want ({len(clips)},)"
+        if scores.dtype != np.float64:
+            return f"predict_proba dtype {scores.dtype}, want float64"
+        if not np.all(np.isfinite(scores)):
+            return "predict_proba produced non-finite scores"
+        if scores.min() < 0.0 or scores.max() > 1.0:
+            return (
+                f"scores outside [0, 1]: min={scores.min()}, "
+                f"max={scores.max()}"
+            )
+        scores_holder.append(scores)
+        return None
+
+    probe.run("predict_proba.scores", check_scores)
+
+    def check_deterministic() -> Optional[str]:
+        if not scores_holder:
+            return None
+        again = detector.predict_proba(clips)
+        if not np.array_equal(again, scores_holder[0]):
+            return "predict_proba is not deterministic across calls"
+        return None
+
+    probe.run("predict_proba.deterministic", check_deterministic)
+
+    def check_empty() -> Optional[str]:
+        empty = detector.predict_proba([])
+        if not isinstance(empty, np.ndarray) or empty.shape != (0,):
+            return (
+                "predict_proba([]) must return a (0,) array, got "
+                f"{getattr(empty, 'shape', type(empty).__name__)}"
+            )
+        if empty.dtype != np.float64:
+            return f"predict_proba([]) dtype {empty.dtype}, want float64"
+        return None
+
+    probe.run("predict_proba.empty", check_empty)
+
+    def check_predict() -> Optional[str]:
+        decisions = detector.predict(clips)
+        if not isinstance(decisions, np.ndarray):
+            return f"predict returned {type(decisions).__name__}"
+        if decisions.shape != (len(clips),):
+            return f"predict shape {decisions.shape}, want ({len(clips)},)"
+        if not np.issubdtype(decisions.dtype, np.integer):
+            return f"predict dtype {decisions.dtype}, want an integer dtype"
+        if not np.isin(decisions, (0, 1)).all():
+            return f"predict values outside {{0, 1}}: {np.unique(decisions)}"
+        if scores_holder:
+            expected = (scores_holder[0] >= detector.threshold).astype(
+                decisions.dtype
+            )
+            if not np.array_equal(decisions, expected):
+                return "predict disagrees with predict_proba >= threshold"
+        empty = detector.predict([])
+        if not isinstance(empty, np.ndarray) or empty.shape != (0,):
+            return "predict([]) must return a (0,) array"
+        return None
+
+    probe.run("predict.decisions", check_predict)
+
+    def check_state_roundtrip() -> Optional[str]:
+        if not scores_holder:
+            return None
+        clone = detector_from_state(detector_to_state(detector))
+        again = clone.predict_proba(clips)
+        if not np.array_equal(again, scores_holder[0]):
+            return "to_state/from_state round trip changed scores"
+        return None
+
+    probe.run("state.roundtrip", check_state_roundtrip)
+
+    if not supports_raster_scan(detector):
+        return probe.report
+
+    pixel = detector.raster_pixel_nm
+
+    def check_raster_scores() -> Optional[str]:
+        if PROBE_WINDOW_NM % pixel:
+            return (
+                f"raster_pixel_nm {pixel} does not divide the "
+                f"{PROBE_WINDOW_NM} nm probe window"
+            )
+        stack = _rasterize(clips, pixel)
+        scores = detector.predict_proba_rasters(stack)
+        if not isinstance(scores, np.ndarray):
+            return f"predict_proba_rasters returned {type(scores).__name__}"
+        if scores.shape != (len(clips),):
+            return (
+                f"predict_proba_rasters shape {scores.shape}, "
+                f"want ({len(clips)},)"
+            )
+        if scores.dtype != np.float64:
+            return f"predict_proba_rasters dtype {scores.dtype}, want float64"
+        if scores_holder and not np.allclose(
+            scores, scores_holder[0], rtol=1e-7, atol=1e-9
+        ):
+            return (
+                "raster-path scores diverge from clip-path scores: "
+                f"{scores} vs {scores_holder[0]}"
+            )
+        return None
+
+    probe.run("predict_proba_rasters.parity", check_raster_scores)
+
+    def check_raster_empty() -> Optional[str]:
+        side = PROBE_WINDOW_NM // pixel
+        empty = detector.predict_proba_rasters(np.zeros((0, side, side)))
+        if not isinstance(empty, np.ndarray) or empty.shape != (0,):
+            return (
+                "predict_proba_rasters(empty stack) must return (0,), got "
+                f"{getattr(empty, 'shape', type(empty).__name__)}"
+            )
+        if empty.dtype != np.float64:
+            return (
+                f"predict_proba_rasters(empty) dtype {empty.dtype}, "
+                "want float64"
+            )
+        return None
+
+    probe.run("predict_proba_rasters.empty", check_raster_empty)
+    return probe.report
+
+
+# --------------------------------------------------------------------------
+# registry sweeps (the CI gate)
+# --------------------------------------------------------------------------
+def _fast_detector(name: str):
+    """Instantiate a registry detector configured for cheap harness fits."""
+    from ..core.registry import create
+
+    if name in ("cnn-dct", "bnn-dct"):
+        from ..nn.detector import CNNDetectorConfig
+
+        return create(
+            name,
+            config=CNNDetectorConfig(
+                epochs=2, biased_epsilon=None, calibrate=None, width=8
+            ),
+        )
+    if name == "cnn-raster":
+        from ..nn.detector import RasterCNNDetectorConfig
+
+        return create(
+            name, config=RasterCNNDetectorConfig(epochs=1, width=4)
+        )
+    return create(name)
+
+
+def check_registered_detectors(
+    names: Optional[Sequence[str]] = None, seed: int = 0
+) -> Dict[str, ConformanceReport]:
+    """Run :func:`check_detector` for every registry entry (or ``names``)."""
+    import repro.nn.detector  # noqa: F401  (registers the cnn family)
+    import repro.shallow  # noqa: F401  (registers the shallow family)
+
+    from ..core.registry import available
+
+    reports: Dict[str, ConformanceReport] = {}
+    train = probe_dataset(seed=seed)
+    clips = probe_clips()
+    for name in names if names is not None else available():
+        try:
+            detector = _fast_detector(name)
+        # a broken factory must land as a diagnostic, not abort the sweep
+        except Exception as exc:  # lint: disable=broad-except
+            report = ConformanceReport(subject=name, checks_run=1)
+            report.diagnostics.append(
+                Diagnostic(
+                    name, "factory", f"raised {type(exc).__name__}: {exc}"
+                )
+            )
+            reports[name] = report
+            continue
+        reports[name] = check_detector(
+            detector, clips=clips, train=train, seed=seed
+        )
+    return reports
+
+
+def check_registered_extractors(
+    names: Optional[Sequence[str]] = None,
+) -> Dict[str, ConformanceReport]:
+    """Run :func:`check_extractor` for every registered extractor."""
+    from ..features.registry import available_extractors, create_extractor
+
+    reports: Dict[str, ConformanceReport] = {}
+    clips = probe_clips()
+    for name in names if names is not None else available_extractors():
+        reports[name] = check_extractor(create_extractor(name), clips=clips)
+    return reports

@@ -1,0 +1,136 @@
+"""The ``@shaped`` decorator family and the functional ``require`` check.
+
+``@shaped("(n,h,w)->(n,):float64")`` declares a function's array
+contract.  When contracts are disabled (the default) the wrapper is a
+single module-global read and a tail call — unmeasurable next to any
+numpy work; when enabled (:func:`enable`, the :func:`checking` context
+manager, or ``REPRO_CONTRACTS=1`` in the environment, which ``spawn``-ed
+worker processes inherit) every decorated call validates its inputs and
+return value and raises :class:`~repro.contracts.spec.ContractViolation`
+on the first mismatch.
+
+Input specs map positionally onto the function's parameters (``self`` /
+``cls`` are skipped automatically); extra parameters beyond the declared
+specs are simply unchecked.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import inspect
+from typing import Dict, Iterator
+
+from . import _state
+from .spec import ContractViolation, SpecError, match_argspec, parse_spec
+
+
+def enable() -> None:
+    """Turn runtime contract checking on (process-wide)."""
+    _state.active = True
+
+
+def disable() -> None:
+    """Turn runtime contract checking off (process-wide)."""
+    _state.active = False
+
+
+def enabled() -> bool:
+    """True when contract checking is currently live."""
+    return _state.active
+
+
+@contextlib.contextmanager
+def checking(on: bool = True) -> Iterator[None]:
+    """Context manager scoping the contracts switch::
+
+        with contracts.checking():
+            engine.scan(...)
+    """
+    previous = _state.active
+    _state.active = on
+    try:
+        yield
+    finally:
+        _state.active = previous
+
+
+def shaped(spec_text: str):
+    """Declare a shape/dtype contract on a function or method.
+
+    The spec is parsed at decoration time (``SpecError`` on a bad spec,
+    so typos fail at import, not first call).  The parsed spec is
+    attached as ``__contract__`` for tooling.
+    """
+    spec = parse_spec(spec_text)
+
+    def decorate(fn):
+        sig = inspect.signature(fn)
+        params = [
+            name for name in sig.parameters if name not in ("self", "cls")
+        ]
+        if len(spec.inputs) > len(params):
+            raise SpecError(
+                f"{fn.__qualname__}: spec {spec_text!r} declares "
+                f"{len(spec.inputs)} inputs but the function has only "
+                f"{len(params)} checkable parameters"
+            )
+        checked = [
+            (pname, argspec)
+            for pname, argspec in zip(params, spec.inputs)
+        ]
+        qualname = fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _state.active:
+                return fn(*args, **kwargs)
+            env: Dict[str, int] = {}
+            bound = sig.bind(*args, **kwargs)
+            for pname, argspec in checked:
+                if pname not in bound.arguments:
+                    continue  # defaulted-out argument: nothing to check
+                err = match_argspec(argspec, bound.arguments[pname], env)
+                if err is not None:
+                    raise ContractViolation(qualname, pname, spec_text, err)
+            result = fn(*args, **kwargs)
+            if spec.output is not None:
+                err = match_argspec(spec.output, result, env)
+                if err is not None:
+                    raise ContractViolation(
+                        qualname, "return", spec_text, err
+                    )
+            return result
+
+        wrapper.__contract__ = spec
+        return wrapper
+
+    return decorate
+
+
+def require(spec_text: str, *values, func: str = "require", **dims) -> None:
+    """Check values against arg specs in place (no-op when disabled).
+
+    For call sites where a decorator doesn't fit — e.g. validating the
+    assembled score array inside :meth:`ScanEngine.scan`::
+
+        contracts.require("(n,):float64", scores, n=len(centers))
+
+    ``spec_text`` holds one comma-separated arg spec per value (no
+    ``->``); keyword arguments pre-bind named dims.
+    """
+    if not _state.active:
+        return
+    spec = parse_spec(spec_text)
+    if spec.output is not None:
+        raise SpecError(f"require() spec {spec_text!r} must not use '->'")
+    if len(spec.inputs) != len(values):
+        raise SpecError(
+            f"require() got {len(values)} values for "
+            f"{len(spec.inputs)} specs in {spec_text!r}"
+        )
+    env: Dict[str, int] = dict(dims)
+    for i, (argspec, value) in enumerate(zip(spec.inputs, values)):
+        err = match_argspec(argspec, value, env)
+        if err is not None:
+            raise ContractViolation(func, f"value[{i}]", spec_text, err)

@@ -1,0 +1,305 @@
+"""The shape/dtype contract mini-language.
+
+A spec string describes what a function consumes and returns::
+
+    "(n,gh,gw)->(n,):float64"     # array in, float64 vector out
+    "[n]->(n,):float"             # sequence in, same-length float vector out
+    "(n,h,w),(n,)->(n,)"          # two positional arrays in
+    "_->(*,):float64"             # first argument unchecked
+    "(n,...)->(n,)"               # leading dim checked, rest free
+
+Grammar (whitespace is ignored)::
+
+    spec     := inputs ( '->' argspec )?
+    inputs   := argspec ( ',' argspec )*      -- top-level commas only
+    argspec  := '_' | '[' dim ']' | shape ( ':' DTYPE )?
+    shape    := '*' | '(' dim ( ',' dim )* ','? ')' | '()'
+    dim      := NAME | INT | '*' | '...'
+
+Semantics:
+
+* ``NAME`` dims bind on first use and must agree everywhere else in the
+  same call — ``(n,h,w)->(n,)`` asserts the output length equals the
+  batch size.
+* ``INT`` dims must match exactly; ``*`` matches any single dim.
+* ``...`` (at most once per shape) matches any run of dims, including an
+  empty one — the broadcasting escape hatch for "(n, <whatever the
+  feature shape is>)".
+* ``[n]`` matches any sized object (list, tuple, ndarray) and binds the
+  dim to ``len(value)`` — how ``predict_proba(clips)`` ties its output
+  length to the clip count.
+* ``_`` skips the argument (or the return value) entirely.
+* ``:DTYPE`` constrains the array dtype by *class*: ``float`` (any
+  floating), ``int`` (any integer), ``num`` (any number), ``bool``,
+  ``any``, or an exact name (``float64``, ``float32``, ``int64``).
+
+Specs are parsed once (cached) at decoration time; matching is a few
+tuple comparisons per call when contracts are enabled.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+
+class SpecError(ValueError):
+    """Raised at decoration time for a malformed contract spec."""
+
+
+class ContractViolation(AssertionError):
+    """A value broke its declared shape/dtype contract.
+
+    Subclasses ``AssertionError`` because a violation is a programming
+    error in the caller or implementation, never expected control flow.
+    """
+
+    def __init__(
+        self,
+        func: str,
+        arg: str,
+        spec: str,
+        message: str,
+    ) -> None:
+        self.func = func
+        self.arg = arg
+        self.spec = spec
+        self.message = message
+        super().__init__(
+            f"{func}: {arg} violates contract {spec!r}: {message}"
+        )
+
+
+# --------------------------------------------------------------------------
+# parsed representation
+# --------------------------------------------------------------------------
+_ANY = "*"
+_ELLIPSIS = "..."
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+#: dim is an int (literal), a str name, "*" or "..."
+DimT = Union[int, str]
+
+
+@dataclass(frozen=True)
+class SkipSpec:
+    """``_`` — the value is not checked."""
+
+
+@dataclass(frozen=True)
+class SeqSpec:
+    """``[n]`` — any sized object; binds ``dim`` to its length."""
+
+    dim: DimT
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """An ndarray constraint: dims (None = any shape) plus dtype class."""
+
+    dims: Optional[Tuple[DimT, ...]]
+    dtype: Optional[str]
+
+
+ArgSpec = Union[SkipSpec, SeqSpec, ArraySpec]
+
+
+@dataclass(frozen=True)
+class Spec:
+    """A fully parsed contract: input arg specs and an output spec."""
+
+    text: str
+    inputs: Tuple[ArgSpec, ...]
+    output: Optional[ArgSpec]
+
+
+_DTYPE_CLASSES = ("float", "int", "num", "bool", "any")
+_DTYPE_EXACT = ("float64", "float32", "int64", "int32", "uint8")
+
+
+def _split_top_level(text: str, sep: str) -> list:
+    """Split on ``sep`` outside any bracket nesting."""
+    parts = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+            if depth < 0:
+                raise SpecError(f"unbalanced brackets in {text!r}")
+        if ch == sep and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise SpecError(f"unbalanced brackets in {text!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_dim(token: str, spec_text: str) -> DimT:
+    if token == _ANY or token == _ELLIPSIS:
+        return token
+    if re.fullmatch(r"\d+", token):
+        return int(token)
+    if _NAME_RE.match(token):
+        return token
+    raise SpecError(f"bad dim {token!r} in spec {spec_text!r}")
+
+
+def _parse_argspec(token: str, spec_text: str) -> ArgSpec:
+    token = token.strip()
+    if not token:
+        raise SpecError(f"empty arg spec in {spec_text!r}")
+    if token == "_":
+        return SkipSpec()
+    if token.startswith("["):
+        if not token.endswith("]"):
+            raise SpecError(f"unterminated sequence spec in {spec_text!r}")
+        inner = token[1:-1].strip()
+        dim = _parse_dim(inner, spec_text)
+        if dim == _ELLIPSIS:
+            raise SpecError(f"'...' is not a sequence length in {spec_text!r}")
+        return SeqSpec(dim)
+    dtype: Optional[str] = None
+    shape_part = token
+    if ":" in token:
+        shape_part, _, dtype = token.rpartition(":")
+        dtype = dtype.strip()
+        shape_part = shape_part.strip()
+        if dtype not in _DTYPE_CLASSES and dtype not in _DTYPE_EXACT:
+            raise SpecError(
+                f"unknown dtype class {dtype!r} in spec {spec_text!r}; "
+                f"expected one of {_DTYPE_CLASSES + _DTYPE_EXACT}"
+            )
+    if shape_part == _ANY:
+        return ArraySpec(dims=None, dtype=dtype)
+    if not (shape_part.startswith("(") and shape_part.endswith(")")):
+        raise SpecError(f"bad shape {shape_part!r} in spec {spec_text!r}")
+    inner = shape_part[1:-1].strip()
+    if not inner:
+        return ArraySpec(dims=(), dtype=dtype)
+    tokens = [t.strip() for t in inner.split(",")]
+    if tokens and tokens[-1] == "":  # trailing comma: "(n,)"
+        tokens.pop()
+    dims = tuple(_parse_dim(t, spec_text) for t in tokens)
+    if dims.count(_ELLIPSIS) > 1:
+        raise SpecError(f"at most one '...' per shape in {spec_text!r}")
+    return ArraySpec(dims=dims, dtype=dtype)
+
+
+@lru_cache(maxsize=None)
+def parse_spec(text: str) -> Spec:
+    """Parse a contract spec string (cached; raises :class:`SpecError`)."""
+    compact = re.sub(r"\s+", "", text)
+    if not compact:
+        raise SpecError("empty contract spec")
+    halves = compact.split("->")
+    if len(halves) > 2:
+        raise SpecError(f"more than one '->' in spec {text!r}")
+    inputs_text = halves[0]
+    output: Optional[ArgSpec] = None
+    if len(halves) == 2:
+        output = _parse_argspec(halves[1], text)
+    inputs: Tuple[ArgSpec, ...] = ()
+    if inputs_text:
+        inputs = tuple(
+            _parse_argspec(tok, text)
+            for tok in _split_top_level(inputs_text, ",")
+        )
+    return Spec(text=text, inputs=inputs, output=output)
+
+
+# --------------------------------------------------------------------------
+# matching
+# --------------------------------------------------------------------------
+def _bind_dim(
+    dim: DimT, size: int, env: Dict[str, int]
+) -> Optional[str]:
+    """Match one dim; returns an error string or None."""
+    if dim == _ANY:
+        return None
+    if isinstance(dim, int):
+        if size != dim:
+            return f"dim expected {dim}, got {size}"
+        return None
+    bound = env.get(dim)
+    if bound is None:
+        env[dim] = size
+        return None
+    if bound != size:
+        return f"dim {dim!r} bound to {bound}, got {size}"
+    return None
+
+
+def _check_dtype(dtype_class: str, dtype: np.dtype) -> Optional[str]:
+    if dtype_class == "any":
+        return None
+    if dtype_class == "float":
+        ok = np.issubdtype(dtype, np.floating)
+    elif dtype_class == "int":
+        ok = np.issubdtype(dtype, np.integer)
+    elif dtype_class == "num":
+        ok = np.issubdtype(dtype, np.number)
+    elif dtype_class == "bool":
+        ok = dtype == np.bool_
+    else:  # exact dtype name
+        ok = dtype == np.dtype(dtype_class)
+    if not ok:
+        return f"dtype expected {dtype_class}, got {dtype}"
+    return None
+
+
+def match_argspec(
+    argspec: ArgSpec, value, env: Dict[str, int]
+) -> Optional[str]:
+    """Match ``value`` against ``argspec`` under dim bindings ``env``.
+
+    Returns an error message, or None on success.  ``env`` accumulates
+    named-dim bindings across the arguments of one call.
+    """
+    if isinstance(argspec, SkipSpec):
+        return None
+    if isinstance(argspec, SeqSpec):
+        try:
+            n = len(value)
+        except TypeError:
+            return f"expected a sized sequence, got {type(value).__name__}"
+        return _bind_dim(argspec.dim, n, env)
+    if not isinstance(value, np.ndarray):
+        return f"expected ndarray, got {type(value).__name__}"
+    if argspec.dtype is not None:
+        err = _check_dtype(argspec.dtype, value.dtype)
+        if err is not None:
+            return err
+    if argspec.dims is None:
+        return None
+    shape = value.shape
+    dims = argspec.dims
+    if _ELLIPSIS in dims:
+        i = dims.index(_ELLIPSIS)
+        head, tail = dims[:i], dims[i + 1 :]
+        if len(shape) < len(head) + len(tail):
+            return f"shape {shape} too short for spec dims {dims}"
+        pairs = list(zip(head, shape[: len(head)]))
+        if tail:
+            pairs += list(zip(tail, shape[-len(tail) :]))
+    else:
+        if len(shape) != len(dims):
+            return (
+                f"rank expected {len(dims)} {tuple(dims)}, "
+                f"got {len(shape)} {shape}"
+            )
+        pairs = list(zip(dims, shape))
+    for dim, size in pairs:
+        err = _bind_dim(dim, size, env)
+        if err is not None:
+            return f"shape {shape}: {err}"
+    return None

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..contracts import shaped
 from ..data.dataset import ClipDataset
 from ..geometry.layout import Clip
 
@@ -56,6 +57,7 @@ class Detector(ABC):
         before a later stage runs).
         """
 
+    @shaped("[n]->(n,):int")
     def predict(self, clips: Sequence[Clip]) -> np.ndarray:
         """0/1 hotspot decisions at ``self.threshold``."""
         if len(clips) == 0:
@@ -112,7 +114,7 @@ def detector_from_state(state: bytes):
     return detector
 
 
-class OracleDetector(Detector):
+class OracleDetector(Detector):  # lint: disable=raster-parity  (geometry oracle, no raster plane)
     """Adapter exposing the litho-sim oracle through the Detector API.
 
     Generation 0: needs no training and is exact by definition (it *is*
@@ -130,6 +132,7 @@ class OracleDetector(Detector):
     ) -> FitReport:
         return FitReport(train_seconds=0.0, n_train=len(train), notes="no training")
 
+    @shaped("[n]->(n,):float64")
     def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
         return np.array(
             [float(self._oracle.label(clip)) for clip in clips], dtype=np.float64

@@ -18,7 +18,7 @@ from ..geometry.layout import Clip
 from .detector import Detector, FitReport
 
 
-class SoftVoteEnsemble(Detector):
+class SoftVoteEnsemble(Detector):  # lint: disable=raster-parity  (members may be clip-only)
     """Weighted average of member scores."""
 
     def __init__(
@@ -57,7 +57,7 @@ class SoftVoteEnsemble(Detector):
         return out
 
 
-class MajorityVoteEnsemble(Detector):
+class MajorityVoteEnsemble(Detector):  # lint: disable=raster-parity  (members may be clip-only)
     """Hard-vote ensemble; score = fraction of members voting hotspot."""
 
     def __init__(self, members: Sequence[Detector], name: str = "majority-vote") -> None:

@@ -19,7 +19,29 @@ from .dct import (
 from .density import DensityGrid, block_reduce_mean, block_reduce_mean_batch
 from .hog import HOGFeatures, hog_features
 from .pipeline import ConcatFeatures, vectorize, vectorize_standardized
+from .registry import (
+    available_extractors,
+    create_extractor,
+    register_extractor,
+)
 from .squish import SquishFeatures, SquishPattern, squish, unsquish
+
+# The canonical configurations used across the paper's tables, enumerable
+# by tooling (conformance harness, parity property tests).
+_CANONICAL_EXTRACTORS = {
+    "density12": lambda: DensityGrid(grid=12),
+    "ccas": lambda: ConcentricSampling(n_rings=12, n_angles=24),
+    "ccas-rings": lambda: ConcentricSampling(
+        n_rings=12, n_angles=24, mode="rings"
+    ),
+    "dct-b8k4": lambda: DCTFeatureTensor(block=8, keep=4),
+    "dct-b8k4-flat": lambda: DCTFeatureTensor(block=8, keep=4, flatten=True),
+    "hog6x4": lambda: HOGFeatures(cells=6, n_bins=4),
+    "squish24": lambda: SquishFeatures(max_cuts=24),
+}
+
+for _name, _factory in _CANONICAL_EXTRACTORS.items():
+    register_extractor(_name, _factory)
 
 __all__ = [
     "FeatureExtractor",
@@ -42,4 +64,7 @@ __all__ = [
     "ConcatFeatures",
     "vectorize",
     "vectorize_standardized",
+    "register_extractor",
+    "create_extractor",
+    "available_extractors",
 ]

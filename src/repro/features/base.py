@@ -24,6 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..contracts import shaped
 from ..geometry.layout import Clip
 
 
@@ -37,6 +38,7 @@ class FeatureExtractor(ABC):
     def extract(self, clip: Clip) -> np.ndarray:
         """Feature array for one clip (shape fixed per extractor)."""
 
+    @shaped("[n]->(n,...)")
     def extract_many(self, clips: Sequence[Clip]) -> np.ndarray:
         """Stacked features, shape ``(n,) + feature_shape``.
 
@@ -79,6 +81,7 @@ class FeatureExtractor(ABC):
         """True when this extractor can work from pre-rendered rasters."""
         return type(self).extract_raster is not FeatureExtractor.extract_raster
 
+    @shaped("(n,*,*)->(n,...)")
     def extract_batch(self, rasters: np.ndarray) -> np.ndarray:
         """Stacked features for a ``(n, H, W)`` raster stack.
 

@@ -20,6 +20,7 @@ from scipy import ndimage
 
 from ..geometry.layout import Clip
 from ..geometry.rasterize import rasterize_clip
+from ..contracts import shaped
 from .base import FeatureExtractor
 
 
@@ -43,6 +44,7 @@ class ConcentricSampling(FeatureExtractor):
         self.mode = mode
         self.name = f"ccas-{mode}{n_rings}x{n_angles}"
 
+    @shaped("_->(f,):float64")
     def extract(self, clip: Clip) -> np.ndarray:
         raster = rasterize_clip(clip, self.pixel_nm, antialias=True)
         h, w = raster.shape

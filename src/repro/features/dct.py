@@ -18,6 +18,7 @@ from scipy import fft as spfft
 
 from ..geometry.layout import Clip
 from ..geometry.rasterize import rasterize_clip
+from ..contracts import shaped
 from .base import FeatureExtractor
 
 
@@ -39,14 +40,20 @@ class DCTFeatureTensor(FeatureExtractor):
         raster = rasterize_clip(clip, self.pixel_nm, antialias=True)
         return self.extract_raster(raster)
 
+    @shaped("(h,w)->*:float")
     def extract_raster(self, raster: np.ndarray) -> np.ndarray:
         tensor = feature_tensor(raster, self.block, self.keep)
         return tensor.ravel() if self.flatten else tensor
 
+    @shaped("(n,h,w)->(n,...):float")
     def extract_batch(self, rasters: np.ndarray) -> np.ndarray:
         """One ``spfft.dctn`` over the whole stack instead of n calls."""
         tensors = feature_tensor_batch(np.asarray(rasters), self.block, self.keep)
-        return tensors.reshape(len(tensors), -1) if self.flatten else tensors
+        if not self.flatten:
+            return tensors
+        # explicit width: reshape(n, -1) cannot infer -1 when n == 0
+        width = int(np.prod(tensors.shape[1:]))
+        return tensors.reshape(len(tensors), width)
 
     @property
     def feature_shape(self) -> tuple:

@@ -12,6 +12,7 @@ import numpy as np
 
 from ..geometry.layout import Clip
 from ..geometry.rasterize import rasterize_clip
+from ..contracts import shaped
 from .base import FeatureExtractor
 
 
@@ -29,9 +30,11 @@ class DensityGrid(FeatureExtractor):
         raster = rasterize_clip(clip, self.pixel_nm, antialias=True)
         return self.extract_raster(raster)
 
+    @shaped("(h,w)->(f,):float64")
     def extract_raster(self, raster: np.ndarray) -> np.ndarray:
         return block_reduce_mean(raster, self.grid).ravel()
 
+    @shaped("(n,h,w)->(n,f):float64")
     def extract_batch(self, rasters: np.ndarray) -> np.ndarray:
         """Pool all rasters at once: one numpy reduction per tile."""
         rasters = np.asarray(rasters)

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..geometry.layout import Clip
 from ..geometry.rasterize import rasterize_clip
+from ..contracts import shaped
 from .base import FeatureExtractor
 
 
@@ -63,6 +64,7 @@ class HOGFeatures(FeatureExtractor):
         raster = rasterize_clip(clip, self.pixel_nm, antialias=True)
         return self.extract_raster(raster)
 
+    @shaped("(h,w)->(f,):float64")
     def extract_raster(self, raster: np.ndarray) -> np.ndarray:
         return hog_features(raster, self.cells, self.n_bins)
 

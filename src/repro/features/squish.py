@@ -23,6 +23,7 @@ import numpy as np
 
 from ..geometry.layout import Clip
 from ..geometry.rect import Rect
+from ..contracts import shaped
 from .base import FeatureExtractor
 
 
@@ -90,6 +91,7 @@ class SquishFeatures(FeatureExtractor):
         self.max_cuts = max_cuts
         self.name = f"squish{max_cuts}"
 
+    @shaped("_->(f,):float64")
     def extract(self, clip: Clip) -> np.ndarray:
         pat = squish(clip)
         m = self.max_cuts

@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..contracts import shaped
 from ..core.detector import Detector, FitReport
 from ..core.registry import register
 from ..data.dataset import ClipDataset
@@ -128,6 +129,7 @@ class CNNDetector(Detector):
             notes=f"params={self.model.n_parameters()}",
         )
 
+    @shaped("[n]->(n,):float64")
     def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
         if self.model is None:
             raise RuntimeError("CNNDetector not fitted")
@@ -135,6 +137,7 @@ class CNNDetector(Detector):
             return np.empty(0, dtype=np.float64)
         return predict_proba(self.model, self._vectorize(clips))
 
+    @shaped("(n,h,w)->(n,):float64")
     def predict_proba_rasters(self, rasters: np.ndarray) -> np.ndarray:
         """Score pre-rendered window rasters: batched DCT -> CNN forward."""
         if self.model is None:
@@ -260,6 +263,7 @@ class RasterCNNDetector(Detector):
             train_seconds=time.perf_counter() - t0, n_train=len(train)
         )
 
+    @shaped("[n]->(n,):float64")
     def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
         if self.model is None:
             raise RuntimeError("RasterCNNDetector not fitted")
@@ -267,6 +271,7 @@ class RasterCNNDetector(Detector):
             return np.empty(0, dtype=np.float64)
         return predict_proba(self.model, self._vectorize(clips), batch_size=32)
 
+    @shaped("(n,h,w)->(n,):float64")
     def predict_proba_rasters(self, rasters: np.ndarray) -> np.ndarray:
         """Score pre-rendered window rasters directly (no re-rasterize)."""
         if self.model is None:

@@ -29,6 +29,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from ..contracts import shaped
 from ..core.detector import Detector, FitReport
 from ..data.dataset import ClipDataset
 from ..geometry.layout import Clip
@@ -77,7 +78,7 @@ class CascadeStats:
         )
 
 
-class CascadeDetector(Detector):
+class CascadeDetector(Detector):  # lint: disable=raster-parity  (stages are heterogeneous; engine picks the path per stage)
     """matcher -> prefilter -> primary staged flow behind the Detector API.
 
     Resolution semantics (per clip, order matters):
@@ -138,6 +139,7 @@ class CascadeDetector(Detector):
             train_seconds=seconds, n_train=len(train), notes=" ".join(notes)
         )
 
+    @shaped("[n]->(n,):float64")
     def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
         n = len(clips)
         scores = np.zeros(n, dtype=np.float64)
@@ -174,6 +176,7 @@ class CascadeDetector(Detector):
     # ------------------------------------------------------------------
     # verification stage
     # ------------------------------------------------------------------
+    @shaped("[n]->(n,):bool")
     def verify_flagged(self, clips: Sequence[Clip]) -> np.ndarray:
         """Oracle-check flagged clips; bool array aligned with ``clips``."""
         if self.verifier is None:

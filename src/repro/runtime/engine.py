@@ -41,6 +41,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import contracts
 from ..core.detector import supports_raster_scan
 from ..core.scan import ScanResult
 from ..geometry.layout import (
@@ -311,7 +312,13 @@ class ScanEngine:
                     telemetry, keep_clips,
                 )
 
+        contracts.require(
+            "(n,):float64", scores, func="ScanEngine.scan", n=len(centers)
+        )
         flagged = scores >= self.detector.threshold
+        contracts.require(
+            "(n,):bool", flagged, func="ScanEngine.scan", n=len(centers)
+        )
         flagged_windows = self._flagged_windows(
             layer, centers, clips, flagged, window_nm, core_nm
         )

@@ -24,6 +24,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from ..contracts import shaped
 from ..core.detector import detector_from_state, detector_to_state
 from ..geometry.layout import Clip
 
@@ -37,6 +38,7 @@ def _init_worker(state: bytes) -> None:
     _WORKER_DETECTOR = detector_from_state(state)
 
 
+@shaped("[n]->(n,):float64")
 def _score_chunk(clips: List[Clip]) -> np.ndarray:
     """Worker-side chunk scorer (runs against the per-process detector)."""
     if _WORKER_DETECTOR is None:  # pragma: no cover - initializer contract
@@ -44,6 +46,7 @@ def _score_chunk(clips: List[Clip]) -> np.ndarray:
     return np.asarray(_WORKER_DETECTOR.predict_proba(clips), dtype=np.float64)
 
 
+@shaped("(n,h,w)->(n,):float64")
 def _score_raster_chunk(rasters: np.ndarray) -> np.ndarray:
     """Worker-side raster-batch scorer (raster-plane scan path)."""
     if _WORKER_DETECTOR is None:  # pragma: no cover - initializer contract
@@ -145,6 +148,7 @@ class WorkerPool:
         pool = self._ensure_pool()
         yield from pool.imap(_score_raster_chunk, batches, chunksize=1)
 
+    @shaped("[n]->(n,):float64")
     def score(
         self, clips: Sequence[Clip], chunk_clips: int = 256
     ) -> np.ndarray:

@@ -13,6 +13,7 @@ from typing import Optional, Protocol, Sequence
 
 import numpy as np
 
+from ..contracts import shaped
 from ..core.detector import Detector, FitReport
 from ..data.dataset import ClipDataset
 from ..data.imbalance import upsample_minority
@@ -91,6 +92,7 @@ class FeatureDetector(Detector):
             train_seconds=time.perf_counter() - t0, n_train=len(train)
         )
 
+    @shaped("[n]->(n,):float64")
     def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
         if len(clips) == 0:
             return np.empty(0, dtype=np.float64)
@@ -99,6 +101,7 @@ class FeatureDetector(Detector):
             x = x.reshape(len(x), -1)
         return self._score_features(x)
 
+    @shaped("(n,h,w)->(n,):float64")
     def predict_proba_rasters(self, rasters: np.ndarray) -> np.ndarray:
         """Score pre-rendered window rasters (the raster-plane fast path).
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..contracts import shaped
 from ..data.dataset import HOTSPOT, ClipDataset
 from ..features.squish import SquishPattern, squish
 from ..geometry.layout import Clip
@@ -80,6 +81,7 @@ class ExactPatternMatcher:
         self._library = _Library.build(train, self.orientations)
         return FitReport(n_train=len(train), notes=f"library={self._library.size()}")
 
+    @shaped("[n]->(n,):float64")
     def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
         if self._library is None:
             raise RuntimeError("matcher not fitted")
@@ -134,6 +136,7 @@ class FuzzyPatternMatcher:
         # linear falloff: 1.0 at 0 deviation, 0.5 at tolerance, 0 at 2x
         return float(np.clip(1.0 - best / (2.0 * self.tolerance_nm), 0.0, 1.0))
 
+    @shaped("[n]->(n,):float64")
     def predict_proba(self, clips: Sequence[Clip]) -> np.ndarray:
         return np.array([self.match_score(clip) for clip in clips])
 

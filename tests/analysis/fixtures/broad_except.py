@@ -1,0 +1,36 @@
+"""Fixture: broad-except violations (and the reraise exemption)."""
+
+
+def bare():
+    try:
+        return 1
+    except:  # VIOLATION line 7
+        return 0
+
+
+def overbroad():
+    try:
+        return 1
+    except Exception:  # VIOLATION line 14
+        return 0
+
+
+def tuple_broad():
+    try:
+        return 1
+    except (ValueError, BaseException):  # VIOLATION line 21
+        return 0
+
+
+def reraise_is_fine():
+    try:
+        return 1
+    except Exception:  # ok: body is a bare raise
+        raise
+
+
+def specific_is_fine():
+    try:
+        return 1
+    except ValueError:  # ok
+        return 0

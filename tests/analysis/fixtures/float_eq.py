@@ -1,0 +1,11 @@
+"""Fixture: float-eq violations (float literals on geometry coordinates)."""
+
+gap_nm = 12
+offset_px = 3
+
+bad_eq = gap_nm == 1.5  # VIOLATION line 6
+bad_ne = offset_px != 0.5  # VIOLATION line 7
+bad_rhs = 2.5 == gap_nm  # VIOLATION line 8
+
+ok_int = gap_nm == 12  # ok: integer nm compare
+ok_plain = 0.5 == 0.5  # ok: no geometry name involved

@@ -1,0 +1,11 @@
+"""Fixture: legacy-random violations (and the allowed modern API)."""
+
+import numpy as np
+
+np.random.seed(42)  # VIOLATION line 5
+x = np.random.rand(3)  # VIOLATION line 6
+y = np.random.normal(size=4)  # VIOLATION line 7
+
+rng = np.random.default_rng(42)  # ok: modern Generator API
+z = rng.normal(size=4)  # ok
+gen = np.random.Generator(np.random.PCG64(7))  # ok

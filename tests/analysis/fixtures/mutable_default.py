@@ -1,0 +1,25 @@
+"""Fixture: mutable-default violations."""
+
+
+def list_literal(acc=[]):  # VIOLATION line 4
+    return acc
+
+
+def dict_literal(cache={}):  # VIOLATION line 8
+    return cache
+
+
+def factory_call(seen=set()):  # VIOLATION line 12
+    return seen
+
+
+def kwonly(*, buf=list()):  # VIOLATION line 16
+    return buf
+
+
+def ok_none(acc=None):
+    return [] if acc is None else acc
+
+
+def ok_tuple(dims=(1, 2)):
+    return dims

@@ -1,0 +1,32 @@
+"""Fixture: raster-parity violations on Detector subclasses."""
+
+import numpy as np
+
+from repro.core.detector import Detector
+
+
+class NoRasterDetector(Detector):  # VIOLATION line 8: missing rasters method
+    def predict_proba(self, clips):
+        return np.zeros(len(clips))
+
+
+class NoPitchDetector(Detector):  # VIOLATION line 13: missing raster_pixel_nm
+    def predict_proba(self, clips):
+        return np.zeros(len(clips))
+
+    def predict_proba_rasters(self, rasters):
+        return np.zeros(len(rasters))
+
+
+class FullRasterDetector(Detector):  # ok: both counterparts present
+    raster_pixel_nm = 8
+
+    def predict_proba(self, clips):
+        return np.zeros(len(clips))
+
+    def predict_proba_rasters(self, rasters):
+        return np.zeros(len(rasters))
+
+
+class NoOverride(Detector):  # ok: predict_proba not overridden here
+    name = "inherits"

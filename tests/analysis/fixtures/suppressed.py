@@ -1,0 +1,21 @@
+"""Fixture: every violation here is suppressed — lint must report nothing."""
+# lint: disable-file=mutable-default
+
+import numpy as np
+
+np.random.seed(0)  # lint: disable=legacy-random  (fixture demonstrates suppression)
+
+width_nm = 640
+width_px = 80
+bad = width_nm + width_px  # lint: disable=unit-mix,float-eq
+
+
+def silenced_by_file_wide(acc=[]):
+    return acc
+
+
+def wildcard():
+    try:
+        return 1
+    except:  # lint: disable=all
+        return 0

@@ -1,0 +1,14 @@
+"""Fixture: unit-mix violations (nm vs px arithmetic/comparison)."""
+
+width_nm = 640
+width_px = 80
+pixel_nm = 8
+
+bad_sum = width_nm + width_px  # VIOLATION line 7
+bad_diff = width_nm - width_px  # VIOLATION line 8
+if width_nm < width_px:  # VIOLATION line 9
+    pass
+width_nm += width_px  # VIOLATION line 11
+
+ok_scale = width_px * pixel_nm  # ok: conversion is multiplicative
+ok_same = width_nm + pixel_nm  # ok: both nm

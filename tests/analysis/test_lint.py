@@ -1,0 +1,186 @@
+"""The repro-lhd lint pass: rules, suppressions, formats, exit codes.
+
+The deliberately-broken inputs live in ``fixtures/`` — pruned from
+directory walks (so the CI gate over ``src tests`` stays green) but
+linted when named explicitly, which is how these tests exercise every
+rule.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    all_rules,
+    format_findings,
+    lint_paths,
+    lint_source,
+)
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+EXPECTED_RULES = {
+    "legacy-random",
+    "unit-mix",
+    "float-eq",
+    "broad-except",
+    "raster-parity",
+    "mutable-default",
+}
+
+
+def findings_for(name, select=None):
+    return lint_paths([FIXTURES / name], select=select)
+
+
+class TestRuleCatalog:
+    def test_all_project_rules_registered(self):
+        assert EXPECTED_RULES <= set(all_rules())
+
+    def test_rules_have_descriptions(self):
+        for name, cls in all_rules().items():
+            assert cls.description, f"rule {name} lacks a description"
+
+
+class TestRules:
+    @pytest.mark.parametrize(
+        "fixture,rule,lines",
+        [
+            ("legacy_random.py", "legacy-random", [5, 6, 7]),
+            ("unit_mix.py", "unit-mix", [7, 8, 9, 11]),
+            ("float_eq.py", "float-eq", [6, 7, 8]),
+            ("broad_except.py", "broad-except", [7, 14, 21]),
+            ("raster_parity.py", "raster-parity", [8, 13]),
+            ("mutable_default.py", "mutable-default", [4, 8, 12, 16]),
+        ],
+    )
+    def test_fixture_findings(self, fixture, rule, lines):
+        found = findings_for(fixture)
+        assert [d.rule for d in found] == [rule] * len(lines)
+        assert [d.line for d in found] == lines
+
+    def test_fixture_tree_exercises_every_rule(self):
+        found = lint_paths([FIXTURES])
+        assert {d.rule for d in found} == EXPECTED_RULES
+
+    def test_modern_rng_not_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert lint_source(src) == []
+
+    def test_raster_parity_needs_detector_base(self):
+        src = (
+            "class Matcher:\n"
+            "    def predict_proba(self, clips):\n"
+            "        return clips\n"
+        )
+        assert lint_source(src) == []
+
+    def test_parse_error_reported_as_finding(self):
+        found = lint_source("def broken(:\n", path="bad.py")
+        assert len(found) == 1 and found[0].rule == "parse-error"
+
+
+class TestSuppressions:
+    def test_suppressed_fixture_is_silent(self):
+        assert findings_for("suppressed.py") == []
+
+    def test_line_suppression_is_rule_specific(self):
+        src = "import numpy as np\nnp.random.seed(0)  # lint: disable=unit-mix\n"
+        assert [d.rule for d in lint_source(src)] == ["legacy-random"]
+
+    def test_suppression_with_reason_text(self):
+        src = (
+            "import numpy as np\n"
+            "np.random.seed(0)  # lint: disable=legacy-random  legacy repro\n"
+        )
+        assert lint_source(src) == []
+
+    def test_file_wide_suppression(self):
+        src = (
+            "# lint: disable-file=legacy-random\n"
+            "import numpy as np\n"
+            "np.random.seed(0)\n"
+            "np.random.rand(3)\n"
+        )
+        assert lint_source(src) == []
+
+
+class TestSelectAndFormats:
+    def test_select_narrows_rules(self):
+        found = findings_for("unit_mix.py", select=["float-eq"])
+        assert found == []
+
+    def test_select_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            lint_source("x = 1", select=["no-such-rule"])
+
+    def test_text_format(self):
+        found = findings_for("legacy_random.py")
+        line = format_findings(found).splitlines()[0]
+        assert line.endswith("use a seeded np.random.default_rng() Generator")
+        assert ":5:0 legacy-random" in line
+
+    def test_json_format_roundtrips(self):
+        found = findings_for("legacy_random.py")
+        parsed = json.loads(format_findings(found, fmt="json"))
+        assert [d["line"] for d in parsed] == [5, 6, 7]
+        assert {d["rule"] for d in parsed} == {"legacy-random"}
+        assert set(parsed[0]) == {"path", "line", "col", "rule", "message"}
+
+
+class TestWalking:
+    def test_fixture_dir_pruned_from_walks(self):
+        found = lint_paths([FIXTURES.parent])  # tests/analysis
+        assert found == []
+
+    def test_explicit_dir_overrides_pruning(self):
+        assert len(lint_paths([FIXTURES])) > 0
+
+    def test_duplicate_targets_deduplicated(self):
+        once = lint_paths([FIXTURES / "float_eq.py"])
+        twice = lint_paths([FIXTURES / "float_eq.py", FIXTURES / "float_eq.py"])
+        assert once == twice
+
+
+class TestCLI:
+    def test_exit_one_on_findings(self, capsys):
+        assert main(["lint", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        assert "legacy-random" in out
+
+    def test_exit_zero_on_clean(self, capsys, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean)]) == 0
+
+    def test_json_output(self, capsys):
+        assert main(["lint", str(FIXTURES), "--format=json"]) == 1
+        parsed = json.loads(capsys.readouterr().out)
+        assert len(parsed) > 0
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in EXPECTED_RULES:
+            assert rule in out
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_unknown_select_is_usage_error(self, capsys):
+        assert main(["lint", str(FIXTURES), "--select", "bogus"]) == 2
+
+
+class TestSelfHost:
+    """The linter holds itself (and the whole tree) to its own rules."""
+
+    def test_src_and_tests_are_clean(self):
+        found = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+        assert found == [], format_findings(found)
+
+    def test_linter_own_source_is_clean(self):
+        found = lint_paths([REPO_ROOT / "src" / "repro" / "analysis"])
+        assert found == [], format_findings(found)

@@ -1,0 +1,144 @@
+"""Conformance harness: every registry entry passes; violators are caught."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import (
+    check_detector,
+    check_extractor,
+    check_registered_detectors,
+    check_registered_extractors,
+    probe_clips,
+    probe_dataset,
+)
+from repro.core.detector import Detector, FitReport
+
+
+# --------------------------------------------------------------------------
+# the CI gate: every registered detector/extractor conforms
+# --------------------------------------------------------------------------
+def test_every_registered_extractor_conforms():
+    reports = check_registered_extractors()
+    assert reports, "no extractors registered"
+    bad = [r.summary() for r in reports.values() if not r.ok]
+    assert not bad, "\n".join(bad)
+
+
+def test_every_registered_detector_conforms():
+    reports = check_registered_detectors()
+    assert reports, "no detectors registered"
+    bad = [r.summary() for r in reports.values() if not r.ok]
+    assert not bad, "\n".join(bad)
+
+
+def test_raster_detectors_get_raster_checks():
+    reports = check_registered_detectors(names=["cnn-raster"])
+    report = reports["cnn-raster"]
+    assert report.ok
+    assert report.checks_run == 9  # includes predict_proba_rasters.*
+
+
+# --------------------------------------------------------------------------
+# probe inputs
+# --------------------------------------------------------------------------
+def test_probe_clips_cover_blank():
+    clips = probe_clips()
+    tags = {c.tag for c in clips}
+    assert "blank" in tags and len(clips) >= 4
+
+
+def test_probe_dataset_is_deterministic():
+    a, b = probe_dataset(seed=3), probe_dataset(seed=3)
+    assert np.array_equal(a.labels, b.labels)
+    assert [c.tag for c in a.clips] == [c.tag for c in b.clips]
+
+
+# --------------------------------------------------------------------------
+# violators produce structured diagnostics (not crashes)
+# --------------------------------------------------------------------------
+class _BrokenBase(Detector):  # lint: disable=raster-parity  (test double)
+    name = "broken"
+    threshold = 0.5
+
+    def fit(self, train, rng=None) -> FitReport:
+        return FitReport()
+
+    def predict_proba(self, clips):
+        return np.full(len(clips), 0.25)
+
+
+class Float32Detector(_BrokenBase):
+    def predict_proba(self, clips):
+        return np.full(len(clips), 0.25, dtype=np.float32)
+
+
+class WrongLengthDetector(_BrokenBase):
+    def predict_proba(self, clips):
+        return np.full(len(clips) + 1, 0.25)
+
+
+class CrashesOnEmptyDetector(_BrokenBase):
+    def predict_proba(self, clips):
+        if len(clips) == 0:
+            raise ValueError("cannot score zero clips")
+        return np.full(len(clips), 0.25)
+
+
+class OutOfRangeDetector(_BrokenBase):
+    def predict_proba(self, clips):
+        return np.full(len(clips), 1.75)
+
+
+class NondeterministicDetector(_BrokenBase):
+    def __init__(self):
+        self._calls = 0
+
+    def predict_proba(self, clips):
+        self._calls += 1
+        return np.full(len(clips), 0.1 * self._calls)
+
+
+@pytest.mark.parametrize(
+    "cls,check",
+    [
+        (Float32Detector, "predict_proba.scores"),
+        (WrongLengthDetector, "predict_proba.scores"),
+        (CrashesOnEmptyDetector, "predict_proba.empty"),
+        (OutOfRangeDetector, "predict_proba.scores"),
+        (NondeterministicDetector, "predict_proba.deterministic"),
+    ],
+)
+def test_broken_detector_is_diagnosed(cls, check):
+    report = check_detector(cls())
+    assert not report.ok
+    assert check in {d.check for d in report.diagnostics}, report.summary()
+
+
+def test_conforming_minimal_detector_passes():
+    report = check_detector(_BrokenBase())
+    assert report.ok, report.summary()
+
+
+class _BrokenExtractor:
+    name = "broken-extractor"
+    supports_rasters = False
+
+    def extract(self, clip):
+        return np.full(3, clip.density())
+
+    def extract_many(self, clips):
+        if not clips:
+            return np.zeros((0, 3))
+        return np.stack([self.extract(c) + 1e-3 for c in clips])  # drifts!
+
+
+def test_batch_drift_is_diagnosed():
+    report = check_extractor(_BrokenExtractor())
+    assert not report.ok
+    assert "extract_many.parity" in {d.check for d in report.diagnostics}
+
+
+def test_reports_format_for_humans():
+    report = check_detector(Float32Detector())
+    text = report.summary()
+    assert "broken" in text and "violation" in text

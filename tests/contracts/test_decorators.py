@@ -1,0 +1,174 @@
+"""@shaped / require / the enable switch."""
+
+import numpy as np
+import pytest
+
+from repro import contracts
+from repro.contracts import ContractViolation, SpecError, shaped
+
+
+@pytest.fixture(autouse=True)
+def contracts_off():
+    """Every test starts and ends with contracts disabled."""
+    contracts.disable()
+    yield
+    contracts.disable()
+
+
+@shaped("(n,h,w):float->(n,):float64")
+def score_stack(rasters):
+    return np.zeros(rasters.shape[0], dtype=np.float64)
+
+
+@shaped("[n]->(n,):float64")
+def score_list(clips):
+    return np.full(len(clips), 0.5)
+
+
+class TestSwitch:
+    def test_disabled_by_default_skips_checks(self):
+        # wrong rank AND wrong dtype: passes untouched when off
+        assert score_stack(np.zeros(3)).shape == (3,)
+
+    def test_enable_disable(self):
+        assert not contracts.enabled()
+        contracts.enable()
+        assert contracts.enabled()
+        contracts.disable()
+        assert not contracts.enabled()
+
+    def test_checking_context_restores(self):
+        with contracts.checking():
+            assert contracts.enabled()
+        assert not contracts.enabled()
+        contracts.enable()
+        with contracts.checking(False):
+            assert not contracts.enabled()
+        assert contracts.enabled()
+
+    def test_checking_restores_on_error(self):
+        with pytest.raises(ContractViolation):
+            with contracts.checking():
+                score_stack(np.zeros(3))
+        assert not contracts.enabled()
+
+
+class TestShaped:
+    def test_good_call_passes(self):
+        with contracts.checking():
+            out = score_stack(np.zeros((4, 8, 8), dtype=np.float32))
+        assert out.shape == (4,)
+
+    def test_input_rank_violation(self):
+        with contracts.checking(), pytest.raises(ContractViolation) as exc:
+            score_stack(np.zeros((4, 8)))
+        assert "rasters" in str(exc.value)
+
+    def test_input_dtype_violation(self):
+        with contracts.checking(), pytest.raises(ContractViolation):
+            score_stack(np.zeros((4, 8, 8), dtype=np.int64))
+
+    def test_output_bound_to_input(self):
+        @shaped("[n]->(n,):float64")
+        def wrong_length(clips):
+            return np.zeros(len(clips) + 1)
+
+        with contracts.checking(), pytest.raises(ContractViolation) as exc:
+            wrong_length([1, 2, 3])
+        assert exc.value.arg == "return"
+        assert "bound to 3" in str(exc.value)
+
+    def test_output_dtype_violation(self):
+        @shaped("[n]->(n,):float64")
+        def float32_scores(clips):
+            return np.zeros(len(clips), dtype=np.float32)
+
+        with contracts.checking(), pytest.raises(ContractViolation):
+            float32_scores([1])
+
+    def test_violation_is_assertion_error(self):
+        with contracts.checking(), pytest.raises(AssertionError):
+            score_stack(np.zeros(3))
+
+    def test_methods_skip_self(self):
+        class Scorer:
+            @shaped("[n]->(n,):float64")
+            def predict_proba(self, clips):
+                return np.zeros(len(clips))
+
+        with contracts.checking():
+            assert Scorer().predict_proba([1, 2]).shape == (2,)
+
+    def test_empty_input_rule(self):
+        with contracts.checking():
+            assert score_list([]).shape == (0,)
+
+    def test_kwargs_checked(self):
+        with contracts.checking(), pytest.raises(ContractViolation):
+            score_stack(rasters=np.zeros((4, 8)))
+
+    def test_defaulted_out_arg_skipped(self):
+        @shaped("(n,),(n,)")
+        def pair(a, b=None):
+            return a
+
+        with contracts.checking():
+            pair(np.zeros(3))  # b left defaulted: not checked
+            with pytest.raises(ContractViolation):
+                pair(np.zeros(3), np.zeros(4))
+
+    def test_too_many_input_specs_fails_at_decoration(self):
+        with pytest.raises(SpecError):
+
+            @shaped("(n,),(n,),(n,)")
+            def one_arg(a):
+                return a
+
+    def test_bad_spec_fails_at_decoration(self):
+        with pytest.raises(SpecError):
+
+            @shaped("(n,]")
+            def f(a):
+                return a
+
+    def test_contract_attached(self):
+        assert score_stack.__contract__.text == "(n,h,w):float->(n,):float64"
+
+    def test_wrapper_preserves_metadata(self):
+        assert score_stack.__name__ == "score_stack"
+
+
+class TestRequire:
+    def test_noop_when_disabled(self):
+        contracts.require("(n,):float64", np.zeros(3, dtype=np.int64), n=99)
+
+    def test_passes_and_binds_kwargs(self):
+        with contracts.checking():
+            contracts.require("(n,):float64", np.zeros(5), n=5)
+
+    def test_kwarg_prebinding_violation(self):
+        with contracts.checking(), pytest.raises(ContractViolation):
+            contracts.require("(n,):float64", np.zeros(4), n=5)
+
+    def test_multiple_values_share_bindings(self):
+        with contracts.checking():
+            contracts.require("(n,):float64,(n,):bool", np.zeros(3), np.zeros(3, dtype=bool))
+            with pytest.raises(ContractViolation):
+                contracts.require(
+                    "(n,):float64,(n,):bool",
+                    np.zeros(3),
+                    np.zeros(4, dtype=bool),
+                )
+
+    def test_arrow_rejected(self):
+        with contracts.checking(), pytest.raises(SpecError):
+            contracts.require("(n,)->(n,)", np.zeros(3))
+
+    def test_value_count_mismatch(self):
+        with contracts.checking(), pytest.raises(SpecError):
+            contracts.require("(n,)", np.zeros(3), np.zeros(3))
+
+    def test_func_names_the_call_site(self):
+        with contracts.checking(), pytest.raises(ContractViolation) as exc:
+            contracts.require("(n,):bool", np.zeros(3), func="ScanEngine.scan")
+        assert "ScanEngine.scan" in str(exc.value)

@@ -1,0 +1,150 @@
+"""The contract spec mini-language: parsing and matching."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import SpecError, parse_spec
+from repro.contracts.spec import (
+    ArraySpec,
+    SeqSpec,
+    SkipSpec,
+    match_argspec,
+)
+
+
+class TestParsing:
+    def test_array_in_vector_out(self):
+        spec = parse_spec("(n,gh,gw)->(n,)")
+        assert spec.inputs == (ArraySpec(dims=("n", "gh", "gw"), dtype=None),)
+        assert spec.output == ArraySpec(dims=("n",), dtype=None)
+
+    def test_sequence_input(self):
+        spec = parse_spec("[n]->(n,):float64")
+        assert spec.inputs == (SeqSpec(dim="n"),)
+        assert spec.output == ArraySpec(dims=("n",), dtype="float64")
+
+    def test_skip_and_wildcards(self):
+        spec = parse_spec("_,(n,*)->*:float")
+        assert spec.inputs == (
+            SkipSpec(),
+            ArraySpec(dims=("n", "*"), dtype=None),
+        )
+        assert spec.output == ArraySpec(dims=None, dtype="float")
+
+    def test_ellipsis_and_int_literal(self):
+        spec = parse_spec("(n,...),(3,)->(n,...)")
+        assert spec.inputs[0].dims == ("n", "...")
+        assert spec.inputs[1].dims == (3,)
+
+    def test_no_output(self):
+        spec = parse_spec("(n,):float64,(n,):bool")
+        assert spec.output is None
+        assert len(spec.inputs) == 2
+
+    def test_scalar_shape(self):
+        assert parse_spec("()").inputs == (ArraySpec(dims=(), dtype=None),)
+
+    def test_whitespace_ignored(self):
+        spacious = parse_spec(" ( n , h , w ) -> ( n , ) ")
+        compact = parse_spec("(n,h,w)->(n,)")
+        assert spacious.inputs == compact.inputs
+        assert spacious.output == compact.output
+
+    def test_cached(self):
+        assert parse_spec("(n,)->(n,)") is parse_spec("(n,)->(n,)")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "(n,)->(n,)->(n,)",
+            "(n,):complex128",
+            "(n",
+            "[...]",
+            "[n",
+            "(n,...,...)",
+            "n,h,w",
+            "(n,$)",
+        ],
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(SpecError):
+            parse_spec(bad)
+
+
+class TestMatching:
+    def _match(self, text, value, env=None):
+        spec = parse_spec(text)
+        return match_argspec(spec.inputs[0], value, env if env is not None else {})
+
+    def test_named_dims_bind_and_conflict(self):
+        env = {}
+        assert self._match("(n,n)", np.zeros((4, 4)), env) is None
+        assert env == {"n": 4}
+        err = self._match("(n,n)", np.zeros((4, 5)))
+        assert "bound to 4" in err
+
+    def test_bindings_cross_arguments(self):
+        spec = parse_spec("[n],(n,)")
+        env = {}
+        assert match_argspec(spec.inputs[0], [1, 2, 3], env) is None
+        assert match_argspec(spec.inputs[1], np.zeros(4), env) is not None
+
+    def test_rank_mismatch(self):
+        assert "rank" in self._match("(n,h,w)", np.zeros((2, 3)))
+
+    def test_int_literal(self):
+        assert self._match("(2,3)", np.zeros((2, 3))) is None
+        assert self._match("(2,3)", np.zeros((2, 4))) is not None
+
+    def test_ellipsis_matches_any_run(self):
+        assert self._match("(n,...)", np.zeros((5,))) is None
+        assert self._match("(n,...)", np.zeros((5, 2, 3))) is None
+        assert self._match("(n,...,k)", np.zeros((5, 9, 7))) is None
+        assert "too short" in self._match("(n,...,k)", np.zeros((5,)))
+
+    def test_ellipsis_binds_head_and_tail(self):
+        env = {}
+        assert self._match("(n,...,k)", np.zeros((5, 1, 2, 7)), env) is None
+        assert env == {"n": 5, "k": 7}
+
+    def test_sequence_matches_sized(self):
+        assert self._match("[n]", [1, 2]) is None
+        assert self._match("[n]", (1, 2)) is None
+        assert self._match("[n]", np.zeros(2)) is None
+        assert "sized" in self._match("[n]", 7)
+
+    def test_sequence_binds_length(self):
+        env = {}
+        self._match("[n]", [1, 2, 3], env)
+        assert env == {"n": 3}
+
+    def test_requires_ndarray(self):
+        assert "ndarray" in self._match("(n,)", [1.0, 2.0])
+
+    def test_skip_accepts_anything(self):
+        assert self._match("_", object()) is None
+
+    @pytest.mark.parametrize(
+        "dtype_class,dtype,ok",
+        [
+            ("float", np.float32, True),
+            ("float", np.int64, False),
+            ("int", np.int32, True),
+            ("int", np.float64, False),
+            ("num", np.float32, True),
+            ("num", np.bool_, False),
+            ("bool", np.bool_, True),
+            ("bool", np.uint8, False),
+            ("any", np.complex128, True),
+            ("float64", np.float64, True),
+            ("float64", np.float32, False),
+        ],
+    )
+    def test_dtype_classes(self, dtype_class, dtype, ok):
+        err = self._match(f"(n,):{dtype_class}", np.zeros(3, dtype=dtype))
+        assert (err is None) == ok
+
+    def test_any_shape_with_dtype(self):
+        assert self._match("*:float64", np.zeros((2, 3, 4))) is None
+        assert self._match("*:float64", np.zeros(3, dtype=np.int64)) is not None

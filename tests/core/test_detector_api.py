@@ -7,7 +7,7 @@ from repro.core import Detector, FitReport, OracleDetector
 from repro.litho import HotspotOracle
 
 
-class ConstantDetector(Detector):
+class ConstantDetector(Detector):  # lint: disable=raster-parity  (test double)
     """Scores every clip with a fixed value (test double)."""
 
     name = "constant"

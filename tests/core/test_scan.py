@@ -8,7 +8,7 @@ from repro.core.detector import Detector, FitReport
 from repro.geometry import Layer, Rect
 
 
-class DensityDetector(Detector):
+class DensityDetector(Detector):  # lint: disable=raster-parity  (test double)
     """Flags clips whose metal density exceeds a cutoff (test double)."""
 
     name = "density-cutoff"

@@ -1,0 +1,85 @@
+"""Property tests: batch APIs agree with scalar APIs for every registered
+extractor (hypothesis).
+
+These are the machine-checked versions of the contract the conformance
+harness probes with fixed inputs: for arbitrary clip geometry,
+
+* ``extract(clip) == extract_many([clip])[0]`` exactly, and
+* ``extract_raster(r) == extract_batch(r[None])[0]`` (to float tolerance:
+  vectorized batch kernels may reassociate reductions)
+
+for every extractor in the registry.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.features import available_extractors, create_extractor
+from repro.geometry import Clip, Rect
+from repro.geometry.rasterize import rasterize_clip
+
+WINDOW = 768
+CORE = 256
+
+
+@st.composite
+def clip_rects(draw):
+    """A small random soup of grid-aligned rects inside the window."""
+    n = draw(st.integers(1, 6))
+    rects = []
+    for _ in range(n):
+        x1 = draw(st.integers(0, 80)) * 8
+        y1 = draw(st.integers(0, 80)) * 8
+        w = draw(st.integers(2, 20)) * 8
+        h = draw(st.integers(2, 20)) * 8
+        rects.append(Rect(x1, y1, min(x1 + w, WINDOW), min(y1 + h, WINDOW)))
+    return tuple(r for r in rects if not r.empty())
+
+
+def make_clip(rects):
+    return Clip(
+        window=Rect(0, 0, WINDOW, WINDOW),
+        core=Rect.from_center(WINDOW // 2, WINDOW // 2, CORE, CORE),
+        rects=rects,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(available_extractors()))
+@settings(max_examples=10, deadline=None)
+@given(rects=clip_rects())
+def test_extract_many_matches_extract(name, rects):
+    extractor = create_extractor(name)
+    clip = make_clip(rects)
+    single = extractor.extract(clip)
+    stacked = extractor.extract_many([clip])
+    assert stacked.shape == (1,) + single.shape
+    assert np.array_equal(stacked[0], single)
+
+
+@pytest.mark.parametrize("name", sorted(available_extractors()))
+@settings(max_examples=10, deadline=None)
+@given(rects=clip_rects())
+def test_extract_batch_matches_extract_raster(name, rects):
+    extractor = create_extractor(name)
+    if not extractor.supports_rasters:
+        pytest.skip(f"{name} needs clip geometry, not rasters")
+    raster = rasterize_clip(
+        make_clip(rects), extractor.pixel_nm, antialias=True
+    )
+    single = extractor.extract_raster(raster)
+    batched = extractor.extract_batch(raster[None])
+    assert batched.shape == (1,) + single.shape
+    assert np.allclose(batched[0], single, rtol=1e-9, atol=1e-12)
+
+
+@pytest.mark.parametrize("name", sorted(available_extractors()))
+def test_empty_batches_return_zero_rows(name):
+    extractor = create_extractor(name)
+    empty = extractor.extract_many([])
+    assert isinstance(empty, np.ndarray) and empty.shape[0] == 0
+    if extractor.supports_rasters:
+        side = WINDOW // extractor.pixel_nm
+        empty = extractor.extract_batch(np.zeros((0, side, side)))
+        assert isinstance(empty, np.ndarray) and empty.shape[0] == 0

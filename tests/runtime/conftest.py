@@ -10,7 +10,7 @@ from repro.data.dataset import ClipDataset
 from repro.geometry import Layer, Rect, extract_clip
 
 
-class DensityDetector(Detector):
+class DensityDetector(Detector):  # lint: disable=raster-parity  (test double)
     """Flags clips whose metal density exceeds a cutoff (test double)."""
 
     name = "density-cutoff"
@@ -28,7 +28,7 @@ class DensityDetector(Detector):
         )
 
 
-class GradedDensityDetector(Detector):
+class GradedDensityDetector(Detector):  # lint: disable=raster-parity  (test double)
     """Continuous density score in [0, 1] (for threshold-sensitive tests)."""
 
     name = "density-graded"
