@@ -220,6 +220,16 @@ def _cmd_scan_chip(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
+    faults = None
+    if args.inject_faults:
+        from .runtime import FaultPolicy
+
+        try:
+            faults = FaultPolicy.parse(args.inject_faults)
+        except ValueError as exc:
+            print(f"bad --inject-faults spec: {exc}", file=sys.stderr)
+            return 2
+
     # --- build (and where needed, fit) the detector stack -------------
     if args.model is not None:
         from .nn import CNNDetector
@@ -270,6 +280,12 @@ def _cmd_scan_chip(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             chunk_clips=args.chunk,
             raster_plane=False if args.no_raster_plane else None,
+            chunk_timeout_s=args.chunk_timeout,
+            max_chunk_retries=args.max_retries,
+            on_invalid_score=args.on_invalid_score,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every_chunks=args.checkpoint_every,
+            faults=faults,
         )
     except ValueError as exc:
         # e.g. the cache dir belongs to a different detector
@@ -285,8 +301,14 @@ def _cmd_scan_chip(args: argparse.Namespace) -> int:
             step_nm=args.step,
             oracle=oracle,
             keep_clips=False,
+            resume=args.resume,
         )
-    except ValueError:
+    except ValueError as exc:
+        from .runtime import CheckpointMismatch
+
+        if isinstance(exc, CheckpointMismatch) or args.resume:
+            print(str(exc), file=sys.stderr)
+            return 2
         print(
             f"region {region.width}x{region.height} nm is smaller than one "
             f"{args.window} nm clip window (margin {args.margin} nm); "
@@ -470,6 +492,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="litho-verify flagged windows (slow)",
+    )
+    p.add_argument(
+        "--chunk-timeout", type=float, default=300.0,
+        help="seconds a worker may spend on one chunk before it is retried",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries per chunk before rebuilding the pool / degrading",
+    )
+    p.add_argument(
+        "--on-invalid-score", choices=("repair", "raise"), default="repair",
+        help="rescore NaN/out-of-range chunks in-process, or fail the scan",
+    )
+    p.add_argument(
+        "--checkpoint-dir", type=Path, default=None,
+        help="directory for periodic atomic scan checkpoints",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=16,
+        help="scored chunks between checkpoint saves",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted scan from --checkpoint-dir",
+    )
+    p.add_argument(
+        "--inject-faults", default="",
+        help="deterministic fault-injection spec, e.g. "
+        "'seed=1,worker_crash@0,chunk_error=0.1' (testing/drills only)",
     )
     p.add_argument(
         "--stats", action="store_true", help="print the telemetry report"

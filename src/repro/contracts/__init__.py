@@ -22,12 +22,21 @@ can use ``@shaped`` without creating import cycles.
 
 from __future__ import annotations
 
-from .decorators import checking, disable, enable, enabled, require, shaped
+from .decorators import (
+    checking,
+    disable,
+    enable,
+    enabled,
+    require,
+    require_scores,
+    shaped,
+)
 from .spec import ContractViolation, Spec, SpecError, parse_spec
 
 __all__ = [
     "shaped",
     "require",
+    "require_scores",
     "enable",
     "disable",
     "enabled",

@@ -21,6 +21,8 @@ import functools
 import inspect
 from typing import Dict, Iterator
 
+import numpy as np
+
 from . import _state
 from .spec import ContractViolation, SpecError, match_argspec, parse_spec
 
@@ -134,3 +136,42 @@ def require(spec_text: str, *values, func: str = "require", **dims) -> None:
         err = match_argspec(argspec, value, env)
         if err is not None:
             raise ContractViolation(func, f"value[{i}]", spec_text, err)
+
+
+def require_scores(scores, *, func: str = "require_scores") -> None:
+    """Always-on guard for detector score arrays: float64, finite, in [0, 1].
+
+    Unlike :func:`require`, this check is **not** gated by the contracts
+    switch: it is the runtime validation barrier the scan supervision
+    layer (:class:`repro.runtime.pool.WorkerPool`) relies on to detect a
+    misbehaving or fault-injected scorer — a NaN that slips through here
+    silently un-flags a window, so the check must hold in production,
+    not just under ``REPRO_CONTRACTS=1``.  Raises
+    :class:`~repro.contracts.spec.ContractViolation` with the first
+    violation found.
+    """
+    arr = np.asarray(scores)
+    spec_text = "(n,):float64 finite in [0,1]"
+    if arr.dtype != np.float64:
+        raise ContractViolation(
+            func, "scores", spec_text, f"dtype {arr.dtype}, expected float64"
+        )
+    if arr.ndim != 1:
+        raise ContractViolation(
+            func, "scores", spec_text, f"ndim {arr.ndim}, expected 1"
+        )
+    if arr.size == 0:
+        return
+    if not np.isfinite(arr).all():
+        bad = int(np.flatnonzero(~np.isfinite(arr))[0])
+        raise ContractViolation(
+            func, "scores", spec_text,
+            f"non-finite score {arr[bad]} at index {bad}",
+        )
+    lo = float(arr.min())
+    hi = float(arr.max())
+    if lo < 0.0 or hi > 1.0:
+        raise ContractViolation(
+            func, "scores", spec_text,
+            f"scores outside [0, 1]: min={lo}, max={hi}",
+        )

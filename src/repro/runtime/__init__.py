@@ -11,12 +11,32 @@ detector scores rasters, the engine switches to the raster-plane fast
 path: each band of scan rows is rasterized once and windows are scored
 as batched slices of the shared plane.
 
+Scan execution is fault tolerant: the pool supervises chunks (timeout /
+retry / rebuild / in-process degradation), the engine checkpoints
+progress atomically and can ``resume=True`` an interrupted scan to a
+byte-identical report, corrupt persisted caches are quarantined rather
+than fatal, and :mod:`repro.runtime.faults` provides the deterministic
+injection harness that proves all of it under test.
+
 The legacy :func:`repro.core.scan.scan_layer` entry point delegates here.
 """
 
-from .cache import ScoreCache
+from .cache import CacheIntegrityError, ScoreCache
 from .cascade import CascadeDetector, CascadeStats
+from .checkpoint import (
+    CHECKPOINT_NAME,
+    Checkpointer,
+    CheckpointMismatch,
+    scan_config_hash,
+)
 from .engine import ScanEngine, ScanReport
+from .faults import (
+    INJECTION_POINTS,
+    FaultInjector,
+    FaultPolicy,
+    FaultRule,
+    InjectedFault,
+)
 from .pool import WorkerPool
 from .telemetry import Histogram, Telemetry, Timer
 
@@ -24,10 +44,20 @@ __all__ = [
     "ScanEngine",
     "ScanReport",
     "ScoreCache",
+    "CacheIntegrityError",
     "CascadeDetector",
     "CascadeStats",
     "WorkerPool",
     "Telemetry",
     "Timer",
     "Histogram",
+    "Checkpointer",
+    "CheckpointMismatch",
+    "CHECKPOINT_NAME",
+    "scan_config_hash",
+    "FaultInjector",
+    "FaultPolicy",
+    "FaultRule",
+    "InjectedFault",
+    "INJECTION_POINTS",
 ]

@@ -30,12 +30,20 @@ chip-scale workload the runtime figures motivate:
   that consume geometry directly,
 * **telemetry** — windows/s, per-stage latency, cache and dedup ratios,
   embedded in the returned :class:`ScanReport` (a compatible superset of
-  :class:`~repro.core.scan.ScanResult`).
+  :class:`~repro.core.scan.ScanResult`),
+* **fault tolerance** — chunk scoring runs under the
+  :class:`~repro.runtime.pool.WorkerPool` supervision ladder (timeout /
+  retry / pool rebuild / in-process degradation), periodic atomic
+  **checkpoints** (:mod:`repro.runtime.checkpoint`) let an interrupted
+  scan ``resume=True`` to a byte-identical report, corrupt persisted
+  caches are quarantined instead of fatal, and the whole stack is
+  exercisable via deterministic :mod:`~repro.runtime.faults` injection.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from time import perf_counter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -56,6 +64,8 @@ from ..geometry.rasterize import raster_fingerprint, rasterize_region
 from ..geometry.rect import Rect
 from .cache import ScoreCache
 from .cascade import CascadeDetector, CascadeStats
+from .checkpoint import CHECKPOINT_NAME, Checkpointer, scan_config_hash
+from .faults import FaultInjector
 from .pool import WorkerPool
 from .telemetry import Telemetry
 
@@ -212,6 +222,21 @@ class ScanEngine:
     max_plane_pixels:
         Hard cap on a single plane's pixel count; bands shrink (fewer
         rows, then column segments) to respect it.
+    chunk_timeout_s / max_chunk_retries / retry_backoff_s /
+    max_pool_rebuilds / degrade_after_failures / on_invalid_score:
+        Worker-supervision knobs, forwarded to
+        :class:`~repro.runtime.pool.WorkerPool` (see its docstring for
+        the retry / rebuild / degrade ladder).
+    checkpoint_dir / checkpoint_every_chunks:
+        Directory for periodic atomic scan checkpoints; with it set,
+        ``scan(..., resume=True)`` continues an interrupted scan to a
+        byte-identical report.  Progress is saved every
+        ``checkpoint_every_chunks`` scored chunks.
+    faults:
+        Optional deterministic fault injection: a
+        :class:`~repro.runtime.faults.FaultInjector`, a
+        :class:`~repro.runtime.faults.FaultPolicy`, or a spec string
+        (see :mod:`repro.runtime.faults` for the grammar).
     """
 
     def __init__(
@@ -228,6 +253,15 @@ class ScanEngine:
         raster_plane: Optional[bool] = None,
         band_rows: int = 8,
         max_plane_pixels: int = 32_000_000,
+        chunk_timeout_s: Optional[float] = 300.0,
+        max_chunk_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        max_pool_rebuilds: int = 1,
+        degrade_after_failures: int = 8,
+        on_invalid_score: str = "repair",
+        checkpoint_dir=None,
+        checkpoint_every_chunks: int = 16,
+        faults=None,
     ) -> None:
         if chunk_clips < 1:
             raise ValueError("chunk_clips must be >= 1")
@@ -235,6 +269,8 @@ class ScanEngine:
             raise ValueError("band_rows must be >= 1")
         if max_plane_pixels < 1:
             raise ValueError("max_plane_pixels must be >= 1")
+        if checkpoint_every_chunks < 1:
+            raise ValueError("checkpoint_every_chunks must be >= 1")
         self.raster_plane = raster_plane
         self.band_rows = band_rows
         self.max_plane_pixels = max_plane_pixels
@@ -243,6 +279,19 @@ class ScanEngine:
         self.chunk_clips = chunk_clips
         self.dedup = dedup
         self.mp_context = mp_context
+        self.chunk_timeout_s = chunk_timeout_s
+        self.max_chunk_retries = max_chunk_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.degrade_after_failures = degrade_after_failures
+        self.on_invalid_score = on_invalid_score
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_every_chunks = checkpoint_every_chunks
+        if faults is not None and not isinstance(faults, FaultInjector):
+            faults = FaultInjector(faults)
+        self.faults: Optional[FaultInjector] = faults
         self._persist_path = None
         tag = getattr(detector, "name", type(detector).__name__)
         if cache is not None:
@@ -271,6 +320,7 @@ class ScanEngine:
         step_nm: Optional[int] = None,
         oracle=None,
         keep_clips: bool = True,
+        resume: bool = False,
     ) -> ScanReport:
         """Sweep the detector over all windows of ``region``.
 
@@ -278,43 +328,65 @@ class ScanEngine:
         ``ValueError`` on a region smaller than one window) and adds the
         engine behaviors; ``keep_clips=False`` drops the per-window clip
         list for chip-scale runs where only flagged windows matter.
+        With a ``checkpoint_dir`` configured, ``resume=True`` restores a
+        prior interrupted scan's progress (refusing a checkpoint from a
+        different scan config) and continues to a report byte-identical
+        to an uninterrupted run.
         """
         step = core_nm if step_nm is None else step_nm
         if count_tile_centers(region, window_nm, step) == 0:
             raise ValueError("region too small for the clip window")
         scan_path = self._resolve_scan_path(window_nm, step)
         telemetry = Telemetry()
+        if self.cache is not None and self.cache.quarantined_from is not None:
+            telemetry.count("cache_quarantined")
+            self.cache.quarantined_from = None
         t0 = perf_counter()
         centers_iter = iter_tile_centers(region, window_nm, step)
+        ckpt = self._make_checkpointer(
+            layer, region, window_nm, core_nm, step, scan_path, telemetry,
+            resume,
+        )
 
         with WorkerPool(
-            self.detector, workers=self.workers, mp_context=self.mp_context
+            self.detector,
+            workers=self.workers,
+            mp_context=self.mp_context,
+            chunk_timeout_s=self.chunk_timeout_s,
+            max_chunk_retries=self.max_chunk_retries,
+            retry_backoff_s=self.retry_backoff_s,
+            max_pool_rebuilds=self.max_pool_rebuilds,
+            degrade_after_failures=self.degrade_after_failures,
+            on_invalid_score=self.on_invalid_score,
+            telemetry=telemetry,
+            faults=self.faults,
         ) as pool:
             if scan_path == "raster":
                 if self.cache is None:
                     centers, clips, scores = self._scan_raster_direct(
                         layer, region, window_nm, core_nm, step, pool,
-                        telemetry, keep_clips,
+                        telemetry, keep_clips, ckpt,
                     )
                 else:
                     centers, clips, scores = self._scan_raster_dedup(
                         layer, region, window_nm, core_nm, step, pool,
-                        telemetry, keep_clips,
+                        telemetry, keep_clips, ckpt,
                     )
             elif self.cache is None:
                 centers, clips, scores = self._scan_direct(
                     layer, centers_iter, window_nm, core_nm, pool,
-                    telemetry, keep_clips,
+                    telemetry, keep_clips, ckpt,
                 )
             else:
                 centers, clips, scores = self._scan_dedup(
                     layer, centers_iter, window_nm, core_nm, pool,
-                    telemetry, keep_clips,
+                    telemetry, keep_clips, ckpt,
                 )
 
         contracts.require(
             "(n,):float64", scores, func="ScanEngine.scan", n=len(centers)
         )
+        contracts.require_scores(scores, func="ScanEngine.scan")
         flagged = scores >= self.detector.threshold
         contracts.require(
             "(n,):bool", flagged, func="ScanEngine.scan", n=len(centers)
@@ -328,6 +400,12 @@ class ScanEngine:
         if self._persist_path is not None:
             with telemetry.timer("cache_save"):
                 self.cache.save(self._persist_path)
+            if self.faults is not None and self.faults.truncate_file(
+                self._persist_path, "cache_truncate"
+            ):
+                telemetry.count("fault_cache_truncate")
+        if ckpt is not None:
+            ckpt.finalize()
 
         stats = getattr(self.detector, "stats", None)
         return ScanReport(
@@ -346,6 +424,61 @@ class ScanEngine:
             elapsed_s=elapsed,
             scan_path=scan_path,
         )
+
+    def _make_checkpointer(
+        self, layer, region, window_nm, core_nm, step, scan_path, telemetry,
+        resume,
+    ) -> Optional[Checkpointer]:
+        """Build the per-scan checkpointer (None without a checkpoint dir).
+
+        The config hash covers everything that changes the window
+        enumeration or the meaning of a stored score; a resume against a
+        checkpoint whose hash differs is refused rather than replayed.
+        """
+        if self.checkpoint_dir is None:
+            if resume:
+                raise ValueError(
+                    "resume=True requires the engine to be constructed "
+                    "with checkpoint_dir"
+                )
+            return None
+        mode = "direct" if self.cache is None else "dedup"
+        tag = getattr(self.detector, "name", type(self.detector).__name__)
+        if layer.polygons:
+            bbox = layer.bbox
+            layer_sig = [
+                layer.name, len(layer.polygons),
+                [bbox.x1, bbox.y1, bbox.x2, bbox.y2],
+            ]
+        else:
+            layer_sig = [layer.name, 0, None]
+        config_hash = scan_config_hash(
+            region=[region.x1, region.y1, region.x2, region.y2],
+            window_nm=window_nm,
+            core_nm=core_nm,
+            step_nm=step,
+            scan_path=scan_path,
+            mode=mode,
+            chunk_clips=self.chunk_clips,
+            band_rows=self.band_rows,
+            max_plane_pixels=self.max_plane_pixels,
+            detector=tag,
+            threshold=float(self.detector.threshold),
+            layer=layer_sig,
+        )
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        ckpt = Checkpointer(
+            self.checkpoint_dir / CHECKPOINT_NAME,
+            config_hash=config_hash,
+            detector_tag=tag,
+            mode=mode,
+            every_chunks=self.checkpoint_every_chunks,
+            telemetry=telemetry,
+            faults=self.faults,
+        )
+        if resume:
+            ckpt.load_for_resume()
+        return ckpt
 
     def _resolve_scan_path(self, window_nm: int, step: int) -> str:
         """Pick "raster" or "clip" per the ``raster_plane`` policy."""
@@ -375,14 +508,35 @@ class ScanEngine:
     # ------------------------------------------------------------------
     def _scan_direct(
         self, layer, centers_iter, window_nm, core_nm, pool, telemetry,
-        keep_clips,
+        keep_clips, ckpt,
     ) -> Tuple[List[Tuple[int, int]], List[Clip], np.ndarray]:
-        """No-dedup path: stream chunks straight through the pool."""
+        """No-dedup path: stream chunks straight through the pool.
+
+        With a checkpoint loaded for resume, the stored score prefix is
+        replayed chunk-for-chunk (skipping extraction unless clips are
+        kept) and only the remainder is dispatched; every newly scored
+        chunk is committed to the checkpointer in order.
+        """
         centers: List[Tuple[int, int]] = []
         clips: List[Clip] = []
+        prefix_parts: List[np.ndarray] = []
 
         def chunks() -> Iterator[List[Clip]]:
             for chunk_centers in _chunked(centers_iter, self.chunk_clips):
+                if ckpt is not None:
+                    part = ckpt.next_resumed_chunk(len(chunk_centers))
+                    if part is not None:
+                        prefix_parts.append(part)
+                        centers.extend(chunk_centers)
+                        if keep_clips:
+                            with telemetry.timer("extract"):
+                                clips.extend(
+                                    extract_clip(layer, c, window_nm, core_nm)
+                                    for c in chunk_centers
+                                )
+                        telemetry.count("windows", len(chunk_centers))
+                        telemetry.count("resume_hits", len(chunk_centers))
+                        continue
                 with telemetry.timer("extract"):
                     chunk = [
                         extract_clip(layer, c, window_nm, core_nm)
@@ -401,14 +555,37 @@ class ScanEngine:
             for part in pool.map_scores(chunks()):
                 parts.append(part)
                 telemetry.count("scored", len(part))
+                if ckpt is not None:
+                    ckpt.record_chunk(part)
+        parts = prefix_parts + parts
         scores = (
             np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
         )
         return centers, clips, scores
 
+    def _apply_resumed_fp_scores(
+        self, ckpt, pending, score_by_fp, telemetry
+    ) -> None:
+        """Resolve pending fingerprints from a resumed checkpoint.
+
+        Runs between the fingerprint and scoring phases of the dedup
+        strategies: any pattern the interrupted scan already scored is
+        moved straight into the score map (and the cache), so only the
+        genuinely unscored remainder reaches the pool.
+        """
+        if ckpt is None:
+            return
+        cache = self.cache
+        for fp, score in ckpt.resumed_fp_scores().items():
+            if fp in pending:
+                del pending[fp]
+                score_by_fp[fp] = score
+                cache.put(fp, score)
+                telemetry.count("resume_hits")
+
     def _scan_dedup(
         self, layer, centers_iter, window_nm, core_nm, pool, telemetry,
-        keep_clips,
+        keep_clips, ckpt,
     ) -> Tuple[List[Tuple[int, int]], List[Clip], np.ndarray]:
         """Dedup path: fingerprint every window, score each pattern once.
 
@@ -452,6 +629,7 @@ class ScanEngine:
             telemetry.count("chunks")
             telemetry.observe("chunk_clips", len(chunk))
 
+        self._apply_resumed_fp_scores(ckpt, pending, score_by_fp, telemetry)
         unique_fps = list(pending)
         unique_clips = list(pending.values())
         with telemetry.timer("score"):
@@ -469,6 +647,8 @@ class ScanEngine:
                     score_by_fp[fp] = value
                     cache.put(fp, value)
                 telemetry.count("scored", len(part))
+                if ckpt is not None:
+                    ckpt.record_fp_chunk(fps, part)
 
         with telemetry.timer("assemble"):
             scores = np.array(
@@ -481,7 +661,7 @@ class ScanEngine:
     # ------------------------------------------------------------------
     def _iter_plane_chunks(
         self, layer, region, window_nm, core_nm, step, telemetry, keep_clips,
-        centers, clips,
+        centers, clips, ckpt=None, prefix_parts=None,
     ) -> Iterator[np.ndarray]:
         """Rasterize band planes and yield ``(n, H, W)`` window batches.
 
@@ -490,6 +670,11 @@ class ScanEngine:
         are stacked (copied — the plane is recycled per band) into
         chunk-sized batches.  Appends centers/clips as a side effect so
         callers see them in the exact order batches are yielded.
+
+        When ``prefix_parts`` is given (raster *direct* resume — the
+        dedup path resumes at the fingerprint level instead), chunks
+        covered by the checkpoint prefix skip slicing entirely and their
+        stored scores are appended to ``prefix_parts``.
         """
         pixel = self.detector.raster_pixel_nm
         bands = _iter_raster_bands(
@@ -501,6 +686,20 @@ class ScanEngine:
                 plane = rasterize_region(layer, band_box, pixel)
             telemetry.count("raster_bands")
             for chunk_centers in _chunked(iter(band_centers), self.chunk_clips):
+                if ckpt is not None and prefix_parts is not None:
+                    part = ckpt.next_resumed_chunk(len(chunk_centers))
+                    if part is not None:
+                        prefix_parts.append(part)
+                        centers.extend(chunk_centers)
+                        if keep_clips:
+                            with telemetry.timer("extract"):
+                                clips.extend(
+                                    extract_clip(layer, c, window_nm, core_nm)
+                                    for c in chunk_centers
+                                )
+                        telemetry.count("windows", len(chunk_centers))
+                        telemetry.count("resume_hits", len(chunk_centers))
+                        continue
                 with telemetry.timer("slice"):
                     batch = np.stack(
                         [
@@ -524,20 +723,24 @@ class ScanEngine:
 
     def _scan_raster_direct(
         self, layer, region, window_nm, core_nm, step, pool, telemetry,
-        keep_clips,
+        keep_clips, ckpt,
     ) -> Tuple[List[Tuple[int, int]], List[Clip], np.ndarray]:
         """No-dedup raster path: band batches straight through the pool."""
         centers: List[Tuple[int, int]] = []
         clips: List[Clip] = []
+        prefix_parts: List[np.ndarray] = []
         batches = self._iter_plane_chunks(
             layer, region, window_nm, core_nm, step, telemetry, keep_clips,
-            centers, clips,
+            centers, clips, ckpt=ckpt, prefix_parts=prefix_parts,
         )
         parts: List[np.ndarray] = []
         with telemetry.timer("score"):
             for part in pool.map_scores_rasters(batches):
                 parts.append(part)
                 telemetry.count("scored", len(part))
+                if ckpt is not None:
+                    ckpt.record_chunk(part)
+        parts = prefix_parts + parts
         scores = (
             np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
         )
@@ -545,7 +748,7 @@ class ScanEngine:
 
     def _scan_raster_dedup(
         self, layer, region, window_nm, core_nm, step, pool, telemetry,
-        keep_clips,
+        keep_clips, ckpt,
     ) -> Tuple[List[Tuple[int, int]], List[Clip], np.ndarray]:
         """Dedup raster path: fingerprint window slices, score once each.
 
@@ -583,6 +786,7 @@ class ScanEngine:
                     else:
                         pending[fp] = raster
 
+        self._apply_resumed_fp_scores(ckpt, pending, score_by_fp, telemetry)
         unique_fps = list(pending)
         unique_rasters = list(pending.values())
         with telemetry.timer("score"):
@@ -602,6 +806,8 @@ class ScanEngine:
                     score_by_fp[fp] = value
                     cache.put(fp, value)
                 telemetry.count("scored", len(part))
+                if ckpt is not None:
+                    ckpt.record_fp_chunk(fps, part)
 
         with telemetry.timer("assemble"):
             scores = np.array(

@@ -1,0 +1,292 @@
+"""Deterministic fault injection for the scan runtime.
+
+Fault tolerance that is only exercised by real outages is fault
+tolerance that silently rots.  This module gives the runtime a seeded,
+policy-driven way to *make* failures happen — in tests, in CI chaos
+jobs, and from the CLI (``repro scan-chip --inject-faults SPEC``) — so
+every recovery path in :class:`~repro.runtime.pool.WorkerPool`,
+:class:`~repro.runtime.engine.ScanEngine`, and
+:class:`~repro.runtime.cache.ScoreCache` is provably reachable.
+
+Injection points
+----------------
+``worker_crash``
+    the worker process hard-exits (``os._exit``) while scoring a chunk;
+    in-process scoring raises :class:`InjectedFault` instead,
+``chunk_error``
+    chunk scoring raises :class:`InjectedFault`,
+``chunk_stall``
+    the worker sleeps ``stall_s`` seconds before scoring (drives the
+    per-chunk timeout path),
+``nan_score``
+    the chunk's score array comes back with a NaN (drives the score
+    validation barrier),
+``range_score``
+    the chunk's score array comes back with an out-of-[0, 1] value,
+``cache_truncate``
+    the persisted score-cache file is truncated after a save (drives
+    quarantine-and-start-empty recovery),
+``checkpoint_truncate``
+    the scan checkpoint file is truncated after a save (drives the
+    resume-from-corrupt-checkpoint path).
+
+Determinism
+-----------
+Every injection point keeps its own **opportunity counter** (one
+opportunity per chunk submission, per cache save, ...).  Whether
+opportunity ``i`` fires is a pure function of ``(seed, point, i)`` — a
+BLAKE2 hash compared against the configured rate, or membership in an
+explicit index set — so a given spec replays the exact same fault
+schedule on every run, across processes and platforms.  Chunk faults
+fire on the *first* submission of a chunk only: retries are dispatched
+fault-free, which models transient failures and lets the supervision
+layer prove byte-identical recovery.
+
+Spec grammar
+------------
+Comma-separated clauses::
+
+    SPEC   := clause ("," clause)*
+    clause := "seed=" INT            (decision seed, default 0)
+            | "stall_s=" FLOAT       (stall duration, default 0.05)
+            | POINT "=" RATE         (fire each opportunity with prob RATE)
+            | POINT "@" I("|" I)*    (fire exactly at opportunity indices)
+
+e.g. ``"seed=7,worker_crash@1,nan_score=0.1,cache_truncate@0"`` crashes
+the worker scoring chunk 1, NaNs ~10% of chunk score arrays, and
+truncates the first cache save.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+#: every injection point the runtime honours, in documentation order
+INJECTION_POINTS: Tuple[str, ...] = (
+    "worker_crash",
+    "chunk_error",
+    "chunk_stall",
+    "nan_score",
+    "range_score",
+    "cache_truncate",
+    "checkpoint_truncate",
+)
+
+#: process exit code used by an injected worker crash (recognizable in logs)
+CRASH_EXIT_CODE = 17
+
+
+class InjectedFault(RuntimeError):
+    """Raised (or shipped) by an injected failure — never by real code."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Firing policy for one injection point: a rate, explicit indices, or both."""
+
+    point: str
+    rate: float = 0.0
+    indices: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Parsed, immutable fault-injection configuration."""
+
+    seed: int = 0
+    stall_s: float = 0.05
+    rules: Tuple[FaultRule, ...] = ()
+
+    def rule(self, point: str) -> Optional[FaultRule]:
+        for rule in self.rules:
+            if rule.point == point:
+                return rule
+        return None
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPolicy":
+        """Parse the spec grammar (see module docstring); ValueError on junk."""
+        seed = 0
+        stall_s = 0.05
+        rates: Dict[str, float] = {}
+        indices: Dict[str, Tuple[int, ...]] = {}
+        for raw in spec.split(","):
+            clause = raw.strip()
+            if not clause:
+                continue
+            if "@" in clause:
+                point, _, idx_text = clause.partition("@")
+                point = point.strip()
+                if point not in INJECTION_POINTS:
+                    raise ValueError(
+                        f"unknown injection point {point!r} in {clause!r} "
+                        f"(known: {', '.join(INJECTION_POINTS)})"
+                    )
+                try:
+                    new = tuple(int(tok) for tok in idx_text.split("|"))
+                except ValueError:
+                    raise ValueError(
+                        f"bad opportunity indices in {clause!r}; expected "
+                        "POINT@i or POINT@i|j|k with integer i"
+                    ) from None
+                if any(i < 0 for i in new):
+                    raise ValueError(f"negative index in {clause!r}")
+                indices[point] = tuple(sorted(set(indices.get(point, ()) + new)))
+            elif "=" in clause:
+                key, _, value = clause.partition("=")
+                key = key.strip()
+                value = value.strip()
+                if key == "seed":
+                    try:
+                        seed = int(value)
+                    except ValueError:
+                        raise ValueError(f"seed must be an int: {clause!r}") from None
+                elif key == "stall_s":
+                    try:
+                        stall_s = float(value)
+                    except ValueError:
+                        raise ValueError(
+                            f"stall_s must be a float: {clause!r}"
+                        ) from None
+                    if not 0.0 <= stall_s:
+                        raise ValueError(f"stall_s must be >= 0: {clause!r}")
+                elif key in INJECTION_POINTS:
+                    try:
+                        rate = float(value)
+                    except ValueError:
+                        raise ValueError(
+                            f"rate must be a float in [0, 1]: {clause!r}"
+                        ) from None
+                    if not 0.0 <= rate <= 1.0:
+                        raise ValueError(f"rate outside [0, 1]: {clause!r}")
+                    rates[key] = rate
+                else:
+                    raise ValueError(
+                        f"unknown spec key {key!r} in {clause!r} "
+                        f"(known: seed, stall_s, {', '.join(INJECTION_POINTS)})"
+                    )
+            else:
+                raise ValueError(
+                    f"bad clause {clause!r}; expected key=value or point@i|j"
+                )
+        points = sorted(set(rates) | set(indices))
+        rules = tuple(
+            FaultRule(
+                point=p, rate=rates.get(p, 0.0), indices=indices.get(p, ())
+            )
+            for p in points
+        )
+        return cls(seed=seed, stall_s=stall_s, rules=rules)
+
+
+def _fires(seed: int, rule: FaultRule, opportunity: int) -> bool:
+    """Pure, platform-independent firing decision for one opportunity."""
+    if opportunity in rule.indices:
+        return True
+    if rule.rate <= 0.0:
+        return False
+    digest = hashlib.blake2b(
+        f"{seed}:{rule.point}:{opportunity}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2.0**64 < rule.rate
+
+
+class FaultInjector:
+    """Stateful dispenser of firing decisions for one engine/pool run.
+
+    Each call to :meth:`fires` consumes one opportunity at that point and
+    returns the deterministic decision.  ``fired`` tallies what actually
+    fired (the chaos tests and the CI inverted gate assert on it).
+    """
+
+    def __init__(self, policy: Union[FaultPolicy, str]) -> None:
+        if isinstance(policy, str):
+            policy = FaultPolicy.parse(policy)
+        self.policy = policy
+        self._opportunities: Dict[str, int] = {}
+        self.fired: Dict[str, int] = {}
+
+    def fires(self, point: str) -> bool:
+        """Consume one opportunity at ``point``; True when the fault fires."""
+        if point not in INJECTION_POINTS:
+            raise ValueError(f"unknown injection point {point!r}")
+        i = self._opportunities.get(point, 0)
+        self._opportunities[point] = i + 1
+        rule = self.policy.rule(point)
+        if rule is None or not _fires(self.policy.seed, rule, i):
+            return False
+        self.fired[point] = self.fired.get(point, 0) + 1
+        return True
+
+    # ------------------------------------------------------------------
+    # runtime-facing helpers (one per injection site)
+    # ------------------------------------------------------------------
+    def chunk_fault(self) -> Optional[Tuple]:
+        """Fault command for the next chunk submission (one opportunity each).
+
+        Returns ``None``, ``("worker_crash",)``, ``("chunk_error",)`` or
+        ``("chunk_stall", seconds)``; at most one command per chunk, with
+        crash taking precedence over error over stall.
+        """
+        command = None
+        if self.fires("worker_crash"):
+            command = ("worker_crash",)
+        if self.fires("chunk_error") and command is None:
+            command = ("chunk_error",)
+        if self.fires("chunk_stall") and command is None:
+            command = ("chunk_stall", self.policy.stall_s)
+        return command
+
+    def score_fault(self) -> Optional[str]:
+        """Score-corruption kind for the next chunk result, if any."""
+        kind = None
+        if self.fires("nan_score"):
+            kind = "nan_score"
+        if self.fires("range_score") and kind is None:
+            kind = "range_score"
+        return kind
+
+    def truncate_file(self, path, point: str) -> bool:
+        """Truncate ``path`` to half its bytes when ``point`` fires."""
+        if not self.fires(point):
+            return False
+        path = Path(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: max(1, len(data) // 2)])
+        return True
+
+
+def corrupt_scores(scores: np.ndarray, kind: str) -> np.ndarray:
+    """Return a corrupted copy of a chunk score array (injection payload)."""
+    out = np.array(scores, dtype=np.float64, copy=True)
+    if out.size:
+        out[0] = np.nan if kind == "nan_score" else 1.5
+    return out
+
+
+def execute_chunk_fault(fault: Optional[Tuple], in_process: bool = False) -> None:
+    """Run a chunk fault command at the scoring site.
+
+    In a worker process ``worker_crash`` hard-exits (no cleanup, no
+    result — exactly what a segfault or OOM kill looks like to the
+    parent).  In-process scoring has no process to kill, so both crash
+    and error raise :class:`InjectedFault`; a stall just sleeps.
+    """
+    if fault is None:
+        return
+    point = fault[0]
+    if point == "worker_crash":
+        if in_process:
+            raise InjectedFault("injected worker crash (in-process)")
+        os._exit(CRASH_EXIT_CODE)
+    if point == "chunk_error":
+        raise InjectedFault("injected chunk error")
+    if point == "chunk_stall":
+        time.sleep(fault[1])

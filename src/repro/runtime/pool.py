@@ -1,4 +1,4 @@
-"""Multiprocessing scoring pool for the scan engine.
+"""Multiprocessing scoring pool with worker supervision.
 
 Scoring is embarrassingly parallel across clip chunks, and the numpy
 detectors release no work to threads (single-process BLAS here), so the
@@ -7,11 +7,38 @@ engine parallelizes with **processes**.  The pool is ``spawn``-safe:
 * the detector is shipped once per worker via
   :func:`repro.core.detector.detector_to_state` in the pool initializer
   (workers then score every chunk against their private copy),
-* chunk dispatch uses ``imap`` so results stream back **in submission
-  order** — reassembly is trivial and scores are byte-identical to the
+* chunks are dispatched individually (``apply_async``) with a bounded
+  in-flight window and results are consumed **in submission order** —
+  reassembly is trivial and scores are byte-identical to the
   single-process path,
 * ``workers=1`` never touches ``multiprocessing`` at all: scoring runs
   in-process, which keeps tests deterministic and debuggable.
+
+Supervision (the fault-tolerance layer)
+---------------------------------------
+Full-chip scans run for hours; a single lost worker must not lose the
+run.  Every chunk result passes through one ladder:
+
+1. **validate** — scores must be finite float64 in [0, 1]
+   (:func:`repro.contracts.require_scores`); with
+   ``on_invalid_score="repair"`` an invalid array is treated as a chunk
+   failure rather than raised,
+2. **retry** — a failed chunk (timeout, worker death, exception,
+   invalid scores) is resubmitted up to ``max_chunk_retries`` times with
+   exponential backoff; chunk scoring is pure, so a retried chunk
+   returns byte-identical scores,
+3. **rebuild** — when retries are exhausted, or every worker process is
+   dead, the pool is torn down and rebuilt (``max_pool_rebuilds`` times
+   per pool lifetime) and the chunk retried there,
+4. **degrade** — as the last resort the chunk is scored in-process on
+   the parent's detector; after ``degrade_after_failures`` cumulative
+   failures the pool stops dispatching entirely and the rest of the scan
+   runs in-process (slow, but correct and identical).
+
+Each rung increments a telemetry counter (``pool_retries``,
+``pool_timeouts``, ``worker_errors``, ``score_repairs``,
+``pool_rebuilds``, ``pool_degraded_chunks``, ``pool_degradations``) so a
+report always shows what the scan survived.
 
 Top-level functions (not closures) carry the worker-side logic, as the
 ``spawn`` start method requires.
@@ -20,13 +47,17 @@ Top-level functions (not closures) carry the worker-side logic, as the
 from __future__ import annotations
 
 import multiprocessing
+import time
+from collections import deque
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from ..contracts import shaped
+from ..contracts import ContractViolation, require_scores, shaped
 from ..core.detector import detector_from_state, detector_to_state
 from ..geometry.layout import Clip
+from .faults import FaultInjector, corrupt_scores, execute_chunk_fault
+from .telemetry import Telemetry
 
 # per-worker detector instance, installed by _init_worker in each child
 _WORKER_DETECTOR = None
@@ -56,11 +87,84 @@ def _score_raster_chunk(rasters: np.ndarray) -> np.ndarray:
     )
 
 
+def _score_chunk_task(task) -> np.ndarray:
+    """Worker task wrapper: run the injected fault (if any), then score."""
+    chunk, fault = task
+    execute_chunk_fault(fault)
+    return _score_chunk(chunk)
+
+
+def _score_raster_chunk_task(task) -> np.ndarray:
+    """Raster counterpart of :func:`_score_chunk_task`."""
+    batch, fault = task
+    execute_chunk_fault(fault)
+    return _score_raster_chunk(batch)
+
+
+class _Chunk:
+    """Supervision record for one submitted chunk (payload + fate)."""
+
+    __slots__ = (
+        "payload",
+        "task_fn",
+        "async_result",
+        "chunk_fault",
+        "score_fault",
+        "chunk_fault_spent",
+        "score_fault_spent",
+        "attempts",
+        "rebuilt",
+        "degraded",
+    )
+
+    def __init__(self, payload, task_fn, chunk_fault, score_fault) -> None:
+        self.payload = payload
+        self.task_fn = task_fn
+        self.async_result = None  # None => score in-process
+        self.chunk_fault = chunk_fault
+        self.score_fault = score_fault
+        self.chunk_fault_spent = False
+        self.score_fault_spent = False
+        self.attempts = 0
+        self.rebuilt = False
+        self.degraded = False
+
+
 class WorkerPool:
     """Chunked detector scoring over 1..N processes with ordered results.
 
     Usable as a context manager; the process pool (if any) is created
-    lazily on first use and torn down on :meth:`close`.
+    lazily on first use, drained gracefully on :meth:`close` (the
+    ``__exit__`` path without a pending exception), and torn down hard
+    by :meth:`terminate` (error paths).
+
+    Parameters
+    ----------
+    chunk_timeout_s:
+        Per-chunk wall-clock budget before the supervision ladder treats
+        the chunk as lost (covers worker crashes and stalls).  ``None``
+        disables the timeout (a dead worker then hangs the scan — only
+        sensible for debugging).
+    max_chunk_retries:
+        Resubmissions per chunk before escalating to a pool rebuild.
+    retry_backoff_s:
+        Base of the exponential backoff between resubmissions.
+    max_pool_rebuilds:
+        Pool teardown+rebuild budget for the pool's lifetime.
+    degrade_after_failures:
+        Cumulative chunk-failure count after which the pool stops
+        dispatching and scores everything in-process.
+    on_invalid_score:
+        ``"repair"`` (default) treats a NaN / out-of-range score array
+        as a chunk failure (retry, then rescore in-process);
+        ``"raise"`` surfaces the
+        :class:`~repro.contracts.spec.ContractViolation` immediately.
+    telemetry:
+        Shared :class:`~repro.runtime.telemetry.Telemetry` to record
+        supervision events into (the engine passes its per-scan object).
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultInjector` (or spec
+        string) driving deterministic fault injection.
     """
 
     def __init__(
@@ -69,14 +173,42 @@ class WorkerPool:
         workers: int = 1,
         mp_context: str = "spawn",
         chunks_in_flight: int = 4,
+        chunk_timeout_s: Optional[float] = 300.0,
+        max_chunk_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        max_pool_rebuilds: int = 1,
+        degrade_after_failures: int = 8,
+        on_invalid_score: str = "repair",
+        telemetry: Optional[Telemetry] = None,
+        faults=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if on_invalid_score not in ("repair", "raise"):
+            raise ValueError("on_invalid_score must be 'repair' or 'raise'")
+        if max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be >= 0")
         self.detector = detector
         self.workers = workers
         self.mp_context = mp_context
         self.chunks_in_flight = max(1, chunks_in_flight)
+        self.chunk_timeout_s = chunk_timeout_s
+        self.max_chunk_retries = max_chunk_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.degrade_after_failures = max(1, degrade_after_failures)
+        self.on_invalid_score = on_invalid_score
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        if isinstance(faults, str):
+            faults = FaultInjector(faults)
+        self.faults: Optional[FaultInjector] = faults
         self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._rebuilds_done = 0
+        self._failures_total = 0
+        self._degraded = False
+        # set on any sign of a lost worker (chunk timeout, dead procs);
+        # a suspect pool cannot be drained safely — see close()
+        self._suspect_pool = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -84,8 +216,11 @@ class WorkerPool:
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
         if self._pool is None:
@@ -98,10 +233,44 @@ class WorkerPool:
         return self._pool
 
     def close(self) -> None:
+        """Gracefully drain in-flight chunks, then join the workers.
+
+        A pool that showed signs of a lost worker (a chunk timeout, dead
+        processes) is torn down hard instead: with a crashed worker,
+        ``Pool.close(); Pool.join()`` can block forever on the lost
+        task, and every result the caller asked for has already been
+        collected through the supervision ladder anyway.
+        """
+        if self._pool is not None:
+            if self._suspect_pool:
+                self.terminate()
+                return
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Hard teardown for error paths: kill workers without draining."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+
+    def _pool_is_dead(self) -> bool:
+        """True when every worker process of the live pool has exited."""
+        if self._pool is None:
+            return False
+        procs = getattr(self._pool, "_pool", None)
+        if not procs:
+            return False
+        return all(not p.is_alive() for p in procs)
+
+    def _rebuild_pool(self) -> None:
+        self.terminate()
+        self._rebuilds_done += 1
+        self.telemetry.count("pool_rebuilds")
+        self._suspect_pool = False
+        self._ensure_pool()
 
     # ------------------------------------------------------------------
     # scoring
@@ -112,21 +281,19 @@ class WorkerPool:
         """Score clip chunks, yielding one score array per chunk in order.
 
         The in-process path consumes the chunk iterable lazily; the
-        multiprocess path uses ``imap`` (ordered) with a bounded chunk
-        pipeline so huge scans never materialize all chunks at once.
+        multiprocess path keeps a bounded submission window so huge
+        scans never materialize all chunks at once.  Every result passes
+        through the supervision ladder (validate / retry / rebuild /
+        degrade) before it is yielded.
         """
-        if self.workers == 1:
-            for chunk in chunks:
-                yield np.asarray(
-                    self.detector.predict_proba(list(chunk)),
-                    dtype=np.float64,
-                )
-            return
-        pool = self._ensure_pool()
-        yield from pool.imap(
-            _score_chunk,
-            (list(chunk) for chunk in chunks),
-            chunksize=1,
+
+        def local_fn(chunk) -> np.ndarray:
+            return np.asarray(
+                self.detector.predict_proba(list(chunk)), dtype=np.float64
+            )
+
+        yield from self._supervised_map(
+            (list(chunk) for chunk in chunks), _score_chunk_task, local_fn
         )
 
     def map_scores_rasters(
@@ -138,15 +305,15 @@ class WorkerPool:
         of pickled clip lists — the raster-plane counterpart.  Order is
         preserved; ``workers=1`` stays fully in-process.
         """
-        if self.workers == 1:
-            for batch in batches:
-                yield np.asarray(
-                    self.detector.predict_proba_rasters(batch),
-                    dtype=np.float64,
-                )
-            return
-        pool = self._ensure_pool()
-        yield from pool.imap(_score_raster_chunk, batches, chunksize=1)
+
+        def local_fn(batch) -> np.ndarray:
+            return np.asarray(
+                self.detector.predict_proba_rasters(batch), dtype=np.float64
+            )
+
+        yield from self._supervised_map(
+            batches, _score_raster_chunk_task, local_fn
+        )
 
     @shaped("[n]->(n,):float64")
     def score(
@@ -160,3 +327,137 @@ class WorkerPool:
             for i in range(0, len(clips), chunk_clips)
         ]
         return np.concatenate(list(self.map_scores(chunks)))
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    def _supervised_map(
+        self, payloads: Iterable, task_fn, local_fn
+    ) -> Iterator[np.ndarray]:
+        """Ordered, fault-tolerant dispatch shared by both score paths."""
+        if self.workers == 1:
+            for payload in payloads:
+                yield self._collect(
+                    self._new_record(payload, task_fn, local=True), local_fn
+                )
+            return
+        pending: "deque[_Chunk]" = deque()
+        payload_iter = iter(payloads)
+        exhausted = False
+        while True:
+            while not exhausted and len(pending) < self.chunks_in_flight:
+                try:
+                    payload = next(payload_iter)
+                except StopIteration:
+                    exhausted = True
+                    break
+                pending.append(
+                    self._new_record(payload, task_fn, local=self._degraded)
+                )
+            if not pending:
+                return
+            yield self._collect(pending.popleft(), local_fn)
+
+    def _new_record(self, payload, task_fn, local: bool) -> _Chunk:
+        chunk_fault = score_fault = None
+        if self.faults is not None:
+            chunk_fault = self.faults.chunk_fault()
+            if chunk_fault is not None:
+                self.telemetry.count(f"fault_{chunk_fault[0]}")
+            score_fault = self.faults.score_fault()
+            if score_fault is not None:
+                self.telemetry.count(f"fault_{score_fault}")
+        record = _Chunk(payload, task_fn, chunk_fault, score_fault)
+        if not local:
+            self._submit(record, first=True)
+        return record
+
+    def _submit(self, record: _Chunk, first: bool) -> None:
+        """Dispatch (or re-dispatch) a chunk to the process pool."""
+        fault = record.chunk_fault if first else None
+        record.async_result = self._ensure_pool().apply_async(
+            record.task_fn, ((record.payload, fault),)
+        )
+
+    def _score_attempt(self, record: _Chunk, local_fn) -> np.ndarray:
+        """One attempt at a chunk: fetch scores, inject, validate."""
+        record.attempts += 1
+        if record.async_result is None:
+            if record.chunk_fault is not None and not record.chunk_fault_spent:
+                record.chunk_fault_spent = True
+                execute_chunk_fault(record.chunk_fault, in_process=True)
+            scores = local_fn(record.payload)
+        else:
+            scores = record.async_result.get(timeout=self.chunk_timeout_s)
+        scores = np.asarray(scores, dtype=np.float64)
+        if record.score_fault is not None and not record.score_fault_spent:
+            record.score_fault_spent = True
+            scores = corrupt_scores(scores, record.score_fault)
+        require_scores(scores, func="WorkerPool.map_scores")
+        return scores
+
+    def _collect(self, record: _Chunk, local_fn) -> np.ndarray:
+        """Drive one chunk through the supervision ladder to a score array."""
+        while True:
+            try:
+                return self._score_attempt(record, local_fn)
+            except multiprocessing.TimeoutError:
+                self._suspect_pool = True
+                self.telemetry.count("pool_timeouts")
+            except ContractViolation:
+                if self.on_invalid_score == "raise":
+                    raise
+                self.telemetry.count("score_repairs")
+            # The fault barrier: a worker-side failure can surface as any
+            # exception type (the detector's own errors included), and the
+            # whole point of supervision is to retry/rescore rather than
+            # lose an hours-long scan to one bad chunk.
+            except Exception:  # lint: disable=broad-except  (supervision fault barrier; re-raised once the retry/rebuild/degrade ladder is exhausted)
+                self.telemetry.count("worker_errors")
+            self._failures_total += 1
+            self.telemetry.count("pool_retries")
+            if self._failures_total >= self.degrade_after_failures:
+                self._enter_degraded_mode()
+            if record.attempts <= self.max_chunk_retries:
+                time.sleep(
+                    self.retry_backoff_s * 2.0 ** (record.attempts - 1)
+                )
+                self._resubmit(record)
+                continue
+            # retries exhausted: escalate
+            if (
+                record.async_result is not None
+                and not record.rebuilt
+                and self._rebuilds_done < self.max_pool_rebuilds
+                and not self._degraded
+            ):
+                record.rebuilt = True
+                record.attempts = 0
+                self._rebuild_pool()
+                self._submit(record, first=False)
+                continue
+            if record.async_result is not None and not record.degraded:
+                # last rung: rescore this chunk on the parent's detector
+                record.degraded = True
+                record.attempts = 0
+                record.async_result = None
+                self.telemetry.count("pool_degraded_chunks")
+                continue
+            # in-process scoring failed too — surface the real error
+            return self._score_attempt(record, local_fn)
+
+    def _resubmit(self, record: _Chunk) -> None:
+        """Retry a chunk, rebuilding first if every worker is dead."""
+        if record.async_result is None or self._degraded:
+            record.async_result = None
+            return
+        if self._pool_is_dead():
+            self._suspect_pool = True
+            if self._rebuilds_done < self.max_pool_rebuilds:
+                self._rebuild_pool()
+        self._submit(record, first=False)
+
+    def _enter_degraded_mode(self) -> None:
+        if not self._degraded:
+            self._degraded = True
+            self.telemetry.count("pool_degradations")

@@ -1,0 +1,119 @@
+"""Detector test doubles for the fault-tolerance suites.
+
+These live in an importable module (not a fixture closure) because the
+spawn-based worker pool pickles detectors into child processes by
+reference to their defining module.
+
+* :class:`WorkerHostileDetector` — scores correctly in the parent
+  process, always raises in a pool worker.  Drives the full supervision
+  ladder (retry -> rebuild -> in-process degradation) with a *permanent*
+  failure, which injected faults deliberately never model (they are
+  transient: first submission only).
+* :class:`FlakyDensityDetector` — a :class:`DensityDetector` that starts
+  failing permanently after N scoring calls.  Shares the
+  ``density-cutoff`` name/threshold so a scan it interrupts can be
+  resumed by a healthy ``DensityDetector`` against the same checkpoint.
+* :class:`RasterMeanDetector` / :class:`FlakyRasterMeanDetector` —
+  raster-capable counterparts for the raster-plane scan path.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.detector import Detector, FitReport
+from repro.geometry.rasterize import rasterize_clip
+
+
+class WorkerHostileDetector(Detector):  # lint: disable=raster-parity  (test double)
+    """Scores fine in its home process, raises anywhere else."""
+
+    name = "worker-hostile"
+    threshold = 0.5
+
+    def __init__(self, cutoff: float = 0.3) -> None:
+        self.cutoff = cutoff
+        self.home_pid = os.getpid()
+
+    def fit(self, train, rng=None) -> FitReport:
+        return FitReport()
+
+    def predict_proba(self, clips):
+        if os.getpid() != self.home_pid:
+            raise RuntimeError("hostile detector refuses to run in a worker")
+        return np.array(
+            [1.0 if c.density() > self.cutoff else 0.0 for c in clips]
+        )
+
+
+class FlakyDensityDetector(Detector):  # lint: disable=raster-parity  (test double)
+    """Density cutoff that fails permanently after ``fail_after`` calls."""
+
+    name = "density-cutoff"
+    threshold = 0.5
+
+    def __init__(self, fail_after: int = 2, cutoff: float = 0.3) -> None:
+        self.fail_after = fail_after
+        self.cutoff = cutoff
+        self.calls = 0
+
+    def fit(self, train, rng=None) -> FitReport:
+        return FitReport()
+
+    def predict_proba(self, clips):
+        self.calls += 1
+        if self.calls > self.fail_after:
+            raise RuntimeError("flaky detector gave out mid-scan")
+        return np.array(
+            [1.0 if c.density() > self.cutoff else 0.0 for c in clips]
+        )
+
+
+class RasterMeanDetector(Detector):
+    """Mean raster coverage through both scan paths (raster-capable)."""
+
+    name = "raster-mean"
+    threshold = 0.5
+
+    def __init__(self, pixel_nm: int = 16) -> None:
+        self.pixel_nm = pixel_nm
+
+    def fit(self, train, rng=None) -> FitReport:
+        return FitReport()
+
+    def predict_proba(self, clips):
+        if len(clips) == 0:
+            return np.empty(0, dtype=np.float64)
+        return np.array(
+            [
+                min(1.0, 4.0 * rasterize_clip(c, self.pixel_nm).mean())
+                for c in clips
+            ]
+        )
+
+    def predict_proba_rasters(self, rasters):
+        rasters = np.asarray(rasters, dtype=np.float64)
+        if len(rasters) == 0:
+            return np.empty(0, dtype=np.float64)
+        return np.minimum(1.0, 4.0 * rasters.mean(axis=(1, 2)))
+
+    @property
+    def raster_pixel_nm(self) -> int:
+        return self.pixel_nm
+
+
+class FlakyRasterMeanDetector(RasterMeanDetector):
+    """Raster double that fails permanently after ``fail_after`` batches."""
+
+    def __init__(self, fail_after: int = 2, pixel_nm: int = 16) -> None:
+        super().__init__(pixel_nm=pixel_nm)
+        self.fail_after = fail_after
+        self.calls = 0
+
+    def predict_proba_rasters(self, rasters):
+        self.calls += 1
+        if self.calls > self.fail_after:
+            raise RuntimeError("flaky raster detector gave out mid-scan")
+        return super().predict_proba_rasters(rasters)

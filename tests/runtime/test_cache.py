@@ -111,3 +111,103 @@ class TestPersistence:
         cache.save(ScoreCache.dir_path(tmp_path))
         warm = ScoreCache.open_dir(tmp_path, detector_tag="d")
         assert warm.get("fp") == pytest.approx(0.5)
+
+
+class TestHardening:
+    """Schema/checksum verification, quarantine, and atomic persistence."""
+
+    def _saved(self, tmp_path, name="cache.json", n=3):
+        cache = ScoreCache(detector_tag="d")
+        for i in range(n):
+            cache.put(f"fp{i}", i / 10.0)
+        return cache.save(tmp_path / name)
+
+    @pytest.mark.parametrize("name", ["cache.json", "cache.npz"])
+    def test_truncated_file_raises_integrity_error(self, tmp_path, name):
+        from repro.runtime import CacheIntegrityError
+
+        path = self._saved(tmp_path, name)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(CacheIntegrityError):
+            ScoreCache.load(path, detector_tag="d")
+
+    def test_tampered_score_fails_checksum(self, tmp_path):
+        import json
+
+        from repro.runtime import CacheIntegrityError
+
+        path = self._saved(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["scores"]["fp0"] = 0.9
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CacheIntegrityError, match="checksum"):
+            ScoreCache.load(path, detector_tag="d")
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        import json
+
+        from repro.runtime import CacheIntegrityError
+
+        path = self._saved(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["schema"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CacheIntegrityError, match="schema"):
+            ScoreCache.load(path, detector_tag="d")
+
+    def test_legacy_schema1_file_loads(self, tmp_path):
+        import json
+
+        path = tmp_path / "cache.json"
+        path.write_text(
+            json.dumps({"detector": "d", "scores": {"fp": 0.5}})
+        )
+        loaded = ScoreCache.load(path, detector_tag="d")
+        assert loaded.get("fp") == pytest.approx(0.5)
+
+    def test_tag_mismatch_is_not_integrity_error(self, tmp_path):
+        from repro.runtime import CacheIntegrityError
+
+        path = self._saved(tmp_path)
+        with pytest.raises(ValueError) as excinfo:
+            ScoreCache.load(path, detector_tag="other")
+        assert not isinstance(excinfo.value, CacheIntegrityError)
+
+    def test_open_dir_quarantines_corrupt_file(self, tmp_path):
+        path = ScoreCache.dir_path(tmp_path)
+        self._saved(tmp_path, path.name)
+        original = path.read_bytes()
+        path.write_bytes(original[: len(original) // 2])
+
+        cache = ScoreCache.open_dir(tmp_path, detector_tag="d")
+        assert len(cache) == 0
+        quarantined = path.with_name(path.name + ".quarantined")
+        assert cache.quarantined_from == quarantined
+        assert not path.exists()
+        # evidence preserved byte-for-byte, never deleted
+        assert quarantined.read_bytes() == original[: len(original) // 2]
+
+    def test_open_dir_still_raises_on_tag_mismatch(self, tmp_path):
+        path = ScoreCache.dir_path(tmp_path)
+        self._saved(tmp_path, path.name)
+        with pytest.raises(ValueError):
+            ScoreCache.open_dir(tmp_path, detector_tag="other")
+        assert path.exists()  # an operator error must not quarantine data
+
+    def test_overfull_file_keeps_most_recent_with_clean_counters(
+        self, tmp_path
+    ):
+        path = self._saved(tmp_path, n=10)
+        loaded = ScoreCache.load(path, max_entries=4, detector_tag="d")
+        assert len(loaded) == 4
+        assert loaded.evictions == 0
+        assert loaded.hits == 0 and loaded.misses == 0
+        # the most-recently-used tail survives
+        assert loaded.get("fp9") == pytest.approx(0.9)
+        assert loaded.get("fp5") is None
+
+    @pytest.mark.parametrize("name", ["cache.json", "cache.npz"])
+    def test_save_is_atomic_no_tmp_residue(self, tmp_path, name):
+        self._saved(tmp_path, name)
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == [name]

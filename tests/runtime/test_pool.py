@@ -82,3 +82,36 @@ class TestMultiprocess:
         with WorkerPool(det, workers=2) as pool:
             parallel = pool.score(clips, chunk_clips=3)
         assert sequential.tobytes() == parallel.tobytes()
+
+
+class TestLifecycle:
+    def test_interrupted_map_scores_leaks_no_children(self):
+        """Abandoning the result iterator mid-scan must not leak workers."""
+        import multiprocessing
+
+        det = _fitted_logistic()
+        clips = tiny_grating_dataset(n=12, seed=5).clips
+        chunks = [clips[i : i + 3] for i in range(0, 12, 3)]
+        with WorkerPool(det, workers=2) as pool:
+            gen = pool.map_scores(iter(chunks))
+            next(gen)  # consume one chunk, walk away from the rest
+        assert pool._pool is None
+        assert multiprocessing.active_children() == []
+
+    def test_exit_with_exception_terminates(self):
+        import multiprocessing
+
+        det = _fitted_logistic()
+        clips = tiny_grating_dataset(n=6, seed=5).clips
+        with pytest.raises(RuntimeError, match="boom"):
+            with WorkerPool(det, workers=2) as pool:
+                next(pool.map_scores(iter([clips])))
+                raise RuntimeError("boom")
+        assert pool._pool is None
+        assert multiprocessing.active_children() == []
+
+    def test_close_without_use_is_noop(self):
+        pool = WorkerPool(DensityDetector(), workers=2)
+        pool.close()
+        pool.terminate()
+        assert pool._pool is None
