@@ -11,7 +11,7 @@ contest-style comparison table.  A one-file version of the paper's story.
 
 import numpy as np
 
-from repro import evaluate_detector, make_benchmark
+from repro.api import evaluate_detector, make_benchmark
 from repro.bench import format_table
 from repro.core import SoftVoteEnsemble
 from repro.data import BenchmarkConfig, FamilyMix

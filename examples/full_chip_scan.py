@@ -13,16 +13,22 @@ This example:
 1. synthesizes a routed-block layout with seeded marginal geometries
    (:func:`repro.data.synthesize_routed_block`),
 2. trains the CNN detector on a generated benchmark,
-3. sweeps the block with :func:`repro.core.scan_layer`, verifying flagged
-   windows with the lithography oracle,
+3. sweeps the block with :class:`repro.api.ScanEngine` (dedup cache +
+   live progress heartbeats via :class:`repro.api.EngineConfig`),
+   verifying flagged windows with the lithography oracle,
 4. prints the hotspot heat-map, the simulation-savings ratio, and how
    many of the seeded marginal spots the scan recovered.
 """
 
 import numpy as np
 
-from repro import HotspotOracle, make_benchmark
-from repro.core import scan_layer
+from repro.api import (
+    EngineConfig,
+    HotspotOracle,
+    Rect,
+    ScanEngine,
+    make_benchmark,
+)
 from repro.data import (
     BenchmarkConfig,
     FamilyMix,
@@ -30,7 +36,6 @@ from repro.data import (
     seeded_recall,
     synthesize_routed_block,
 )
-from repro.geometry import Rect
 from repro.nn import CNNDetector, CNNDetectorConfig
 
 BLOCK = Rect(0, 0, 6144, 6144)
@@ -64,10 +69,14 @@ def main():
 
     print("\n=== sweeping the block (verified with litho-sim) ===")
     oracle = HotspotOracle()
-    result = scan_layer(detector, layer, BLOCK, oracle=oracle)
+    engine = ScanEngine(
+        detector, config=EngineConfig.from_kwargs(progress="stderr")
+    )
+    result = engine.scan(layer, BLOCK, oracle=oracle)
     print(
         f"  {len(result.clips)} clip windows, {result.n_flagged} flagged "
-        f"({100 * result.flag_ratio:.0f}% of full simulation cost)"
+        f"({100 * result.flag_ratio:.0f}% of full simulation cost), "
+        f"{100 * result.dedup_ratio:.0f}% resolved by the dedup cache"
     )
     confirmed = int(result.confirmed.sum()) if result.confirmed is not None else 0
     print(f"  confirmed hotspots: {confirmed}")

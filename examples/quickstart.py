@@ -15,9 +15,15 @@ Walks the full pipeline in miniature:
 
 import numpy as np
 
-from repro import HotspotOracle, evaluate_detector, make_benchmark
+from repro.api import (
+    HotspotOracle,
+    Layer,
+    Rect,
+    evaluate_detector,
+    extract_clip,
+    make_benchmark,
+)
 from repro.data import BenchmarkConfig, FamilyMix
-from repro.geometry import Layer, Rect, extract_clip
 from repro.shallow import make_svm_ccas
 
 

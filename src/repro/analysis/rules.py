@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import ast
 import re
+from pathlib import Path
 from typing import Iterator, Optional
 
 from .lint import FileContext, LintDiagnostic, LintRule, register_rule
@@ -305,6 +306,101 @@ class RasterParityRule(LintRule):
                     f"{node.name} defines predict_proba_rasters but not "
                     "raster_pixel_nm; supports_raster_scan() will report "
                     "False",
+                )
+
+
+@register_rule
+class NoDeepRuntimeImportRule(LintRule):
+    """Keep :mod:`repro.runtime` internals behind the package facade.
+
+    Everything the rest of the codebase needs from the runtime is
+    re-exported by ``repro.runtime`` (and surfaced again in
+    ``repro.api``).  Importing a submodule directly —
+    ``from repro.runtime.engine import ...`` — couples the caller to
+    implementation layout that is free to change.  Files *inside*
+    ``repro/runtime/`` are exempt; tests poking at private seams
+    suppress with a reason.
+    """
+
+    name = "no-deep-runtime-import"
+    description = (
+        "import of a repro.runtime submodule from outside repro/runtime/; "
+        "use the repro.runtime (or repro.api) facade"
+    )
+
+    # Submodules of repro.runtime; ``from repro.runtime import engine``
+    # binds the module object just like the dotted form does.
+    _SUBMODULES = {
+        "cache",
+        "cascade",
+        "checkpoint",
+        "config",
+        "engine",
+        "faults",
+        "metrics",
+        "pool",
+        "telemetry",
+        "trace",
+    }
+
+    @staticmethod
+    def _inside_runtime(path: str) -> bool:
+        parts = Path(path).parts
+        return any(
+            parts[i : i + 2] == ("repro", "runtime")
+            for i in range(len(parts) - 1)
+        )
+
+    def _deep_target(self, node: ast.AST) -> Optional[str]:
+        """The offending dotted module path, or None if the import is fine."""
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro.runtime."):
+                    return alias.name
+            return None
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0:
+                if module.startswith("repro.runtime."):
+                    return module
+                if module == "repro.runtime":
+                    deep = [
+                        a.name
+                        for a in node.names
+                        if a.name in self._SUBMODULES
+                    ]
+                    if deep:
+                        return f"repro.runtime.{deep[0]}"
+            else:
+                # from ..runtime.engine import X  (any relative depth)
+                head, _, rest = module.partition(".")
+                if head == "runtime" and rest:
+                    return f"<relative>.runtime.{rest}"
+                if head == "runtime" and not rest:
+                    deep = [
+                        a.name
+                        for a in node.names
+                        if a.name in self._SUBMODULES
+                    ]
+                    if deep:
+                        return f"<relative>.runtime.{deep[0]}"
+        return None
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[LintDiagnostic]:
+        if self._inside_runtime(ctx.path):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            target = self._deep_target(node)
+            if target is not None:
+                yield ctx.diag(
+                    node,
+                    self.name,
+                    f"deep runtime import '{target}'; import from the "
+                    "repro.runtime facade (or repro.api) instead",
                 )
 
 

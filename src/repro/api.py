@@ -1,0 +1,90 @@
+"""The stable public surface of the library, in one flat namespace.
+
+``import repro.api as api`` is the supported way to consume the library
+from examples, notebooks, and downstream tools:
+
+* **data** — :func:`make_benchmark` / :func:`make_iccad2012_suite` build
+  the synthetic ICCAD-2012-style benchmarks,
+* **detectors** — :func:`create` instantiates any registered detector by
+  name (:func:`available` lists them); :func:`evaluate_detector` runs
+  the contest protocol,
+* **scanning** — :class:`ScanEngine` configured through
+  :class:`EngineConfig` (grouped sub-configs, including
+  :class:`ObservabilityConfig` for tracing / metrics / progress),
+  blocking :meth:`~ScanEngine.scan` or a background
+  :class:`ScanSession` via :meth:`~ScanEngine.start`, results as
+  :class:`ScanReport` (JSON-serializable wire artifact).
+
+Anything deeper — :mod:`repro.runtime.engine` internals especially — is
+implementation detail and may change without notice; the project lint
+rule ``no-deep-runtime-import`` enforces exactly that boundary.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    Detector,
+    EvalResult,
+    available,
+    create,
+    evaluate_detector,
+    evaluate_on_suite,
+    scan_layer,
+)
+from .data import (
+    Benchmark,
+    ClipDataset,
+    make_benchmark,
+    make_iccad2012_suite,
+)
+from .geometry import Clip, Layer, Layout, Polygon, Rect, extract_clip
+from .litho import HotspotOracle
+from .runtime import (
+    BatchConfig,
+    CascadeDetector,
+    CheckpointConfig,
+    EngineConfig,
+    ObservabilityConfig,
+    RasterConfig,
+    ScanEngine,
+    ScanReport,
+    ScanSession,
+    ScoreCache,
+    SupervisionConfig,
+)
+
+__all__ = [
+    # data
+    "Benchmark",
+    "ClipDataset",
+    "make_benchmark",
+    "make_iccad2012_suite",
+    # geometry
+    "Rect",
+    "Polygon",
+    "Layer",
+    "Layout",
+    "Clip",
+    "extract_clip",
+    # detectors
+    "Detector",
+    "create",
+    "available",
+    "evaluate_detector",
+    "evaluate_on_suite",
+    "EvalResult",
+    "CascadeDetector",
+    "HotspotOracle",
+    # scanning
+    "ScanEngine",
+    "ScanSession",
+    "ScanReport",
+    "EngineConfig",
+    "BatchConfig",
+    "RasterConfig",
+    "SupervisionConfig",
+    "CheckpointConfig",
+    "ObservabilityConfig",
+    "ScoreCache",
+    "scan_layer",
+]

@@ -200,7 +200,7 @@ def _parse_overrides(pairs: List[str]) -> dict:
 
 def _cmd_scan_chip(args: argparse.Namespace) -> int:
     from .geometry.gdsii import read_gdsii
-    from .runtime import CascadeDetector, ScanEngine
+    from .runtime import CascadeDetector, EngineConfig, ScanEngine
 
     if (args.model is None) == (args.detector is None):
         print("pass exactly one of --model or --detector", file=sys.stderr)
@@ -274,8 +274,7 @@ def _cmd_scan_chip(args: argparse.Namespace) -> int:
         oracle = HotspotOracle()
 
     try:
-        engine = ScanEngine(
-            detector,
+        config = EngineConfig.from_kwargs(
             workers=args.workers,
             cache_dir=args.cache_dir,
             chunk_clips=args.chunk,
@@ -285,8 +284,11 @@ def _cmd_scan_chip(args: argparse.Namespace) -> int:
             on_invalid_score=args.on_invalid_score,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every_chunks=args.checkpoint_every,
-            faults=faults,
+            trace_dir=args.trace_dir,
+            metrics=args.metrics_out,
+            progress="stderr" if args.progress else None,
         )
+        engine = ScanEngine(detector, config=config, faults=faults)
     except ValueError as exc:
         # e.g. the cache dir belongs to a different detector
         print(str(exc), file=sys.stderr)
@@ -326,9 +328,16 @@ def _cmd_scan_chip(args: argparse.Namespace) -> int:
     if args.map:
         for row in _render_heat(report.heat_map(), detector.threshold):
             print(row)
+    if args.report_json:
+        report_path = Path(args.report_json)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(report.to_json() + "\n")
+        print(f"report written to {report_path}", file=sys.stderr)
     if args.stats:
+        from .runtime import format_snapshot, metrics_snapshot
+
         print()
-        print(report.telemetry.report())
+        print(format_snapshot(metrics_snapshot(report)), end="")
     return 0
 
 
@@ -524,7 +533,24 @@ def build_parser() -> argparse.ArgumentParser:
         "'seed=1,worker_crash@0,chunk_error=0.1' (testing/drills only)",
     )
     p.add_argument(
-        "--stats", action="store_true", help="print the telemetry report"
+        "--trace-dir", type=Path, default=None,
+        help="write the hierarchical JSONL span trace into this directory",
+    )
+    p.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="metrics snapshot base path; writes <base>.json and <base>.prom",
+    )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="print live progress heartbeats (windows/s, dedup, ETA) to stderr",
+    )
+    p.add_argument(
+        "--report-json", type=Path, default=None,
+        help="write the versioned ScanReport JSON artifact here",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print the structured metrics snapshot (stable JSON)",
     )
     p.add_argument(
         "--map", action="store_true", help="print the ASCII hotspot map"

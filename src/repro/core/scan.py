@@ -87,9 +87,14 @@ def scan_layer(
     memoization, worker pools, raster-plane batching, and
     cascade/telemetry reporting.
     """
-    from ..runtime.engine import ScanEngine
+    from ..runtime import EngineConfig, ScanEngine
 
-    engine = ScanEngine(detector, workers=1, dedup=False, raster_plane=False)
+    engine = ScanEngine(
+        detector,
+        config=EngineConfig.from_kwargs(
+            workers=1, dedup=False, raster_plane=False
+        ),
+    )
     return engine.scan(
         layer,
         region,

@@ -18,6 +18,17 @@ byte-identical report, corrupt persisted caches are quarantined rather
 than fatal, and :mod:`repro.runtime.faults` provides the deterministic
 injection harness that proves all of it under test.
 
+Scans are observable end to end: configuration arrives as one grouped,
+frozen :class:`EngineConfig` (``ScanEngine(detector, config=...)``; the
+flat legacy kwargs survive behind a ``DeprecationWarning`` shim),
+:meth:`ScanEngine.start` runs the sweep on a background thread behind a
+:class:`ScanSession` handle, and :class:`ObservabilityConfig` turns on
+the three sinks of :mod:`repro.runtime.trace` /
+:mod:`repro.runtime.metrics`: a hierarchical JSONL span log (scan →
+phase → chunk, with counter deltas and worker attribution), an
+end-of-scan metrics snapshot (JSON + Prometheus text exposition), and
+live progress heartbeats — all without perturbing a single score.
+
 The legacy :func:`repro.core.scan.scan_layer` entry point delegates here.
 """
 
@@ -29,7 +40,16 @@ from .checkpoint import (
     CheckpointMismatch,
     scan_config_hash,
 )
-from .engine import ScanEngine, ScanReport
+from .config import (
+    LEGACY_KWARGS,
+    BatchConfig,
+    CheckpointConfig,
+    EngineConfig,
+    ObservabilityConfig,
+    RasterConfig,
+    SupervisionConfig,
+)
+from .engine import REPORT_SCHEMA, ScanEngine, ScanReport, ScanSession
 from .faults import (
     INJECTION_POINTS,
     FaultInjector,
@@ -37,12 +57,37 @@ from .faults import (
     FaultRule,
     InjectedFault,
 )
+from .metrics import (
+    METRICS_SCHEMA,
+    export_metrics,
+    format_snapshot,
+    metrics_snapshot,
+    to_prometheus,
+)
 from .pool import WorkerPool
 from .telemetry import Histogram, Telemetry, Timer
+from .trace import (
+    NULL_TRACER,
+    TRACE_NAME,
+    TRACE_SCHEMA,
+    ProgressEvent,
+    ProgressReporter,
+    Tracer,
+    read_trace,
+)
 
 __all__ = [
     "ScanEngine",
     "ScanReport",
+    "ScanSession",
+    "REPORT_SCHEMA",
+    "EngineConfig",
+    "BatchConfig",
+    "RasterConfig",
+    "SupervisionConfig",
+    "CheckpointConfig",
+    "ObservabilityConfig",
+    "LEGACY_KWARGS",
     "ScoreCache",
     "CacheIntegrityError",
     "CascadeDetector",
@@ -60,4 +105,16 @@ __all__ = [
     "FaultRule",
     "InjectedFault",
     "INJECTION_POINTS",
+    "Tracer",
+    "ProgressEvent",
+    "ProgressReporter",
+    "read_trace",
+    "NULL_TRACER",
+    "TRACE_NAME",
+    "TRACE_SCHEMA",
+    "metrics_snapshot",
+    "format_snapshot",
+    "to_prometheus",
+    "export_metrics",
+    "METRICS_SCHEMA",
 ]

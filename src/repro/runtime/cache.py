@@ -41,6 +41,8 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from .trace import NULL_TRACER
+
 PathLike = Union[str, Path]
 
 #: bump when the persisted layout changes incompatibly
@@ -62,6 +64,10 @@ def _scores_checksum(detector_tag: str, scores: Dict[str, float]) -> str:
 
 class ScoreCache:
     """Bounded LRU ``fingerprint -> score`` map with persistence."""
+
+    #: per-scan span tracer; the engine swaps in a live one around a
+    #: scan (class default stays the zero-overhead null tracer)
+    tracer = NULL_TRACER
 
     def __init__(
         self, max_entries: int = 200_000, detector_tag: str = ""
@@ -148,6 +154,9 @@ class ScoreCache:
                     checksum=np.array(checksum),
                 )
         os.replace(tmp, path)
+        self.tracer.event(
+            "cache_save", entries=len(self._scores), path=str(path)
+        )
         return path
 
     @classmethod

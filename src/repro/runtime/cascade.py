@@ -33,6 +33,7 @@ from ..contracts import shaped
 from ..core.detector import Detector, FitReport
 from ..data.dataset import ClipDataset
 from ..geometry.layout import Clip
+from .trace import NULL_TRACER
 
 
 @dataclass
@@ -94,6 +95,10 @@ class CascadeDetector(Detector):  # lint: disable=raster-parity  (stages are het
     on the prefilter) or the cascade trades hotspots for speed.
     """
 
+    #: per-scan span tracer, swapped in by the engine around a scan;
+    #: never pickled (see __getstate__) so spawn workers ship clean
+    _tracer = NULL_TRACER
+
     def __init__(
         self,
         primary: Detector,
@@ -148,12 +153,14 @@ class CascadeDetector(Detector):  # lint: disable=raster-parity  (stages are het
         if n == 0:
             return scores
 
+        n_matched = n_filtered = n_primary = 0
         if self.matcher is not None:
             match_scores = np.asarray(self.matcher.predict_proba(clips))
             hot = match_scores >= self.matcher.threshold
             scores[hot] = np.maximum(match_scores[hot], self.threshold)
             unresolved &= ~hot
-            self.stats.matched_hot += int(hot.sum())
+            n_matched = int(hot.sum())
+            self.stats.matched_hot += n_matched
 
         if self.prefilter is not None and unresolved.any():
             idx = np.flatnonzero(unresolved)
@@ -164,13 +171,22 @@ class CascadeDetector(Detector):  # lint: disable=raster-parity  (stages are het
             cold = filter_scores < cutoff
             scores[idx[cold]] = filter_scores[cold]
             unresolved[idx[cold]] = False
-            self.stats.filtered_cold += int(cold.sum())
+            n_filtered = int(cold.sum())
+            self.stats.filtered_cold += n_filtered
 
         if unresolved.any():
             idx = np.flatnonzero(unresolved)
             sub = [clips[i] for i in idx]
             scores[idx] = np.asarray(self.primary.predict_proba(sub))
-            self.stats.primary_scored += len(idx)
+            n_primary = len(idx)
+            self.stats.primary_scored += n_primary
+        self._tracer.event(
+            "cascade_batch",
+            windows=n,
+            matched_hot=n_matched,
+            filtered_cold=n_filtered,
+            primary_scored=n_primary,
+        )
         return scores
 
     # ------------------------------------------------------------------
@@ -190,3 +206,14 @@ class CascadeDetector(Detector):  # lint: disable=raster-parity  (stages are het
 
     def reset_stats(self) -> None:
         self.stats = CascadeStats()
+
+    def __getstate__(self):
+        """Pickle without the tracer.
+
+        ``detector_to_state`` pickles the whole detector graph to ship
+        it to spawn workers; a live tracer holds an open file handle and
+        must stay in the parent (workers score against the null tracer).
+        """
+        state = self.__dict__.copy()
+        state.pop("_tracer", None)
+        return state

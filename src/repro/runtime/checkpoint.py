@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from .telemetry import Telemetry
+from .trace import NULL_TRACER
 
 #: bump when the checkpoint layout changes incompatibly
 CHECKPOINT_SCHEMA = 1
@@ -112,6 +113,7 @@ class Checkpointer:
         every_chunks: int = 16,
         telemetry: Optional[Telemetry] = None,
         faults=None,
+        tracer=NULL_TRACER,
     ) -> None:
         if mode not in ("direct", "dedup"):
             raise ValueError("mode must be 'direct' or 'dedup'")
@@ -124,6 +126,7 @@ class Checkpointer:
         self.every_chunks = every_chunks
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.faults = faults
+        self.tracer = tracer
         # accumulated state (direct) — everything save() persists
         self._chunk_sizes: List[int] = []
         self._score_parts: List[np.ndarray] = []
@@ -199,11 +202,17 @@ class Checkpointer:
         self._replay_parts = list(self._score_parts)
         self._replay_pos = 0
         self.telemetry.count("checkpoint_resumed")
+        self.tracer.event(
+            "checkpoint_resume",
+            chunks=len(self._chunk_sizes),
+            fingerprints=len(self._fp_scores),
+        )
         return True
 
     def _quarantine(self) -> None:
-        quarantine_file(self.path)
+        quarantined = quarantine_file(self.path)
         self.telemetry.count("checkpoint_quarantined")
+        self.tracer.event("checkpoint_quarantine", path=str(quarantined))
 
     # ------------------------------------------------------------------
     # direct-mode progress
@@ -289,10 +298,16 @@ class Checkpointer:
             )
         os.replace(tmp, self.path)
         self.telemetry.count("checkpoint_saves")
+        self.tracer.event(
+            "checkpoint_save",
+            chunks=len(self._chunk_sizes),
+            fingerprints=len(self._fp_scores),
+        )
         if self.faults is not None and self.faults.truncate_file(
             self.path, "checkpoint_truncate"
         ):
             self.telemetry.count("fault_checkpoint_truncate")
+            self.tracer.event("fault_fired", point="checkpoint_truncate")
         return self.path
 
     def finalize(self) -> None:

@@ -1,0 +1,235 @@
+"""Grouped, frozen scan-engine configuration: the ``EngineConfig`` surface.
+
+``ScanEngine.__init__`` historically grew one keyword per subsystem until
+the front door carried ~20 flat knobs across five concerns.  This module
+replaces that with one frozen :class:`EngineConfig` composed of five
+grouped sub-configs — construction-time validated, hashable-by-identity,
+and safe to share between engines:
+
+* :class:`BatchConfig` — chunking, workers, dedup cache sizing,
+* :class:`RasterConfig` — raster-plane fast-path policy,
+* :class:`SupervisionConfig` — the WorkerPool retry/rebuild/degrade ladder,
+* :class:`CheckpointConfig` — periodic atomic checkpoint/resume,
+* :class:`ObservabilityConfig` — span tracing, metrics export, progress
+  heartbeats (:mod:`repro.runtime.trace` / :mod:`repro.runtime.metrics`).
+
+Every legacy flat kwarg maps to exactly one grouped field
+(:data:`LEGACY_KWARGS`); :meth:`EngineConfig.from_kwargs` builds a config
+from the flat names (the supported spelling), while passing them straight
+to ``ScanEngine(...)`` still works through a ``DeprecationWarning`` shim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+PathLike = Union[str, Path]
+
+#: progress sink spellings accepted by :class:`ObservabilityConfig`
+_PROGRESS_SINKS = ("stderr",)
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Chunking, worker fan-out, and dedup-cache sizing."""
+
+    workers: int = 1
+    chunk_clips: int = 256
+    dedup: bool = True
+    cache_dir: Optional[PathLike] = None
+    max_cache_entries: int = 200_000
+    mp_context: str = "spawn"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.chunk_clips < 1:
+            raise ValueError("chunk_clips must be >= 1")
+        if self.max_cache_entries < 1:
+            raise ValueError("max_cache_entries must be >= 1")
+
+
+@dataclass(frozen=True)
+class RasterConfig:
+    """Raster-plane fast-path policy and plane memory budget."""
+
+    #: ``None`` auto-selects, ``True`` requires, ``False`` forbids
+    raster_plane: Optional[bool] = None
+    band_rows: int = 8
+    max_plane_pixels: int = 32_000_000
+
+    def __post_init__(self) -> None:
+        if self.band_rows < 1:
+            raise ValueError("band_rows must be >= 1")
+        if self.max_plane_pixels < 1:
+            raise ValueError("max_plane_pixels must be >= 1")
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """WorkerPool fault-tolerance ladder (timeout/retry/rebuild/degrade)."""
+
+    chunk_timeout_s: Optional[float] = 300.0
+    max_chunk_retries: int = 2
+    retry_backoff_s: float = 0.05
+    max_pool_rebuilds: int = 1
+    degrade_after_failures: int = 8
+    on_invalid_score: str = "repair"
+
+    def __post_init__(self) -> None:
+        if self.max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be >= 0")
+        if self.on_invalid_score not in ("repair", "raise"):
+            raise ValueError("on_invalid_score must be 'repair' or 'raise'")
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Periodic atomic checkpointing for ``scan(resume=True)``."""
+
+    dir: Optional[PathLike] = None
+    every_chunks: int = 16
+
+    def __post_init__(self) -> None:
+        if self.every_chunks < 1:
+            raise ValueError("every_chunks must be >= 1")
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Span tracing, metrics export, and progress heartbeats.
+
+    All three sinks default off; a default-constructed config keeps the
+    scan on the zero-overhead null tracer.
+
+    Parameters
+    ----------
+    trace_dir:
+        Directory for the per-scan JSONL span/event log
+        (:data:`repro.runtime.trace.TRACE_NAME`).  ``None`` disables
+        tracing entirely.
+    metrics:
+        Output basename for the end-of-scan metrics snapshot; the scan
+        writes ``<metrics>.json`` and ``<metrics>.prom`` (Prometheus
+        text exposition) via :func:`repro.runtime.metrics.export_metrics`.
+    progress:
+        ``"stderr"`` prints heartbeat lines, a callable receives
+        :class:`~repro.runtime.trace.ProgressEvent` objects, ``None``
+        disables heartbeats (a :class:`~repro.runtime.engine.ScanSession`
+        still observes progress through its own hook).
+    progress_every_chunks:
+        Chunks between heartbeats (the final heartbeat always fires).
+    """
+
+    trace_dir: Optional[PathLike] = None
+    metrics: Optional[PathLike] = None
+    progress: Union[None, str, Callable] = None
+    progress_every_chunks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.progress_every_chunks < 1:
+            raise ValueError("progress_every_chunks must be >= 1")
+        if (
+            self.progress is not None
+            and not callable(self.progress)
+            and self.progress not in _PROGRESS_SINKS
+        ):
+            raise ValueError(
+                f"progress must be None, a callable, or one of "
+                f"{_PROGRESS_SINKS}, got {self.progress!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any sink (trace, metrics, progress) is configured."""
+        return (
+            self.trace_dir is not None
+            or self.metrics is not None
+            or self.progress is not None
+        )
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """The full :class:`~repro.runtime.engine.ScanEngine` configuration."""
+
+    batch: BatchConfig = field(default_factory=BatchConfig)
+    raster: RasterConfig = field(default_factory=RasterConfig)
+    supervision: SupervisionConfig = field(default_factory=SupervisionConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig
+    )
+
+    @classmethod
+    def from_kwargs(cls, **kwargs) -> "EngineConfig":
+        """Build a config from flat legacy kwarg names.
+
+        ``EngineConfig.from_kwargs(workers=4, checkpoint_dir="ckpt")`` is
+        the supported one-liner for callers migrating off the flat
+        ``ScanEngine`` signature; unknown names raise ``TypeError`` with
+        the offending keys.
+        """
+        return cls().replace_kwargs(**kwargs)
+
+    def replace_kwargs(self, **kwargs) -> "EngineConfig":
+        """A copy of this config with flat legacy kwargs applied."""
+        unknown = sorted(set(kwargs) - set(LEGACY_KWARGS))
+        if unknown:
+            raise TypeError(
+                f"unknown ScanEngine option(s) {unknown}; "
+                f"valid flat names: {sorted(LEGACY_KWARGS)}"
+            )
+        by_group: Dict[str, Dict[str, object]] = {}
+        for name, value in kwargs.items():
+            group, field_name = LEGACY_KWARGS[name]
+            by_group.setdefault(group, {})[field_name] = value
+        updates = {
+            group: replace(getattr(self, group), **changes)
+            for group, changes in by_group.items()
+        }
+        return replace(self, **updates)
+
+    def flat_items(self) -> Dict[str, object]:
+        """The config flattened back to ``legacy-kwarg -> value`` pairs."""
+        return {
+            name: getattr(getattr(self, group), field_name)
+            for name, (group, field_name) in LEGACY_KWARGS.items()
+        }
+
+
+#: legacy flat ``ScanEngine`` kwarg -> (sub-config attribute, field name)
+LEGACY_KWARGS: Dict[str, Tuple[str, str]] = {
+    "workers": ("batch", "workers"),
+    "chunk_clips": ("batch", "chunk_clips"),
+    "dedup": ("batch", "dedup"),
+    "cache_dir": ("batch", "cache_dir"),
+    "max_cache_entries": ("batch", "max_cache_entries"),
+    "mp_context": ("batch", "mp_context"),
+    "raster_plane": ("raster", "raster_plane"),
+    "band_rows": ("raster", "band_rows"),
+    "max_plane_pixels": ("raster", "max_plane_pixels"),
+    "chunk_timeout_s": ("supervision", "chunk_timeout_s"),
+    "max_chunk_retries": ("supervision", "max_chunk_retries"),
+    "retry_backoff_s": ("supervision", "retry_backoff_s"),
+    "max_pool_rebuilds": ("supervision", "max_pool_rebuilds"),
+    "degrade_after_failures": ("supervision", "degrade_after_failures"),
+    "on_invalid_score": ("supervision", "on_invalid_score"),
+    "checkpoint_dir": ("checkpoint", "dir"),
+    "checkpoint_every_chunks": ("checkpoint", "every_chunks"),
+    "trace_dir": ("observability", "trace_dir"),
+    "metrics": ("observability", "metrics"),
+    "progress": ("observability", "progress"),
+    "progress_every_chunks": ("observability", "progress_every_chunks"),
+}
+
+# every mapped field must actually exist on its sub-config (import-time
+# self-check: a typo here would otherwise surface as a confusing
+# dataclasses.replace error at first use)
+for _name, (_group, _field) in LEGACY_KWARGS.items():
+    _cls = EngineConfig.__dataclass_fields__[_group].default_factory
+    if _field not in {f.name for f in fields(_cls)}:  # pragma: no cover
+        raise AssertionError(f"LEGACY_KWARGS maps {_name} to missing field")
+del _name, _group, _field, _cls

@@ -42,6 +42,9 @@ chip-scale workload the runtime figures motivate:
 
 from __future__ import annotations
 
+import json
+import threading
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
@@ -65,9 +68,14 @@ from ..geometry.rect import Rect
 from .cache import ScoreCache
 from .cascade import CascadeDetector, CascadeStats
 from .checkpoint import CHECKPOINT_NAME, Checkpointer, scan_config_hash
+from .config import EngineConfig, LEGACY_KWARGS
 from .faults import FaultInjector
 from .pool import WorkerPool
 from .telemetry import Telemetry
+from .trace import NULL_TRACER, ProgressEvent, ScanObservability
+
+#: bump when the ScanReport JSON layout changes incompatibly
+REPORT_SCHEMA = 1
 
 
 @dataclass
@@ -122,6 +130,89 @@ class ScanReport(ScanResult):
         if self.cascade_stats is not None:
             lines.append(self.cascade_stats.summary())
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize the report as a versioned, canonical JSON document.
+
+        Carries everything numeric — centers, scores, flags, confirmed
+        verdicts, telemetry (losslessly, via
+        :meth:`~repro.runtime.telemetry.Telemetry.to_state`), cascade
+        stats, and the summary fields.  Geometry payloads (``clips``,
+        ``flagged_windows``) are deliberately *not* serialized: they are
+        derivable from the layer plus ``centers`` and would dominate the
+        wire size.  Keys are sorted, so ``from_json`` → ``to_json``
+        round-trips byte-identically.
+        """
+        payload = {
+            "schema": REPORT_SCHEMA,
+            "scan_path": self.scan_path,
+            "n_windows": self.n_windows,
+            "n_scored": self.n_scored,
+            "cache_hits": self.cache_hits,
+            "elapsed_s": self.elapsed_s,
+            "centers": [[int(x), int(y)] for x, y in self.centers],
+            "scores": [float(s) for s in self.scores],
+            "flagged": [bool(f) for f in self.flagged],
+            "confirmed": (
+                None
+                if self.confirmed is None
+                else [bool(c) for c in self.confirmed]
+            ),
+            "telemetry": (
+                None if self.telemetry is None else self.telemetry.to_state()
+            ),
+            "cascade_stats": (
+                None
+                if self.cascade_stats is None
+                else self.cascade_stats.as_dict()
+            ),
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "ScanReport":
+        """Rebuild a report serialized by :meth:`to_json`.
+
+        Refuses documents from a newer schema; the rebuilt report has
+        empty ``clips`` / ``flagged_windows`` (see :meth:`to_json`).
+        """
+        payload = json.loads(document)
+        schema = payload.get("schema")
+        if schema != REPORT_SCHEMA:
+            raise ValueError(
+                f"unsupported ScanReport schema {schema!r} "
+                f"(this build reads {REPORT_SCHEMA})"
+            )
+        return cls(
+            centers=[(int(x), int(y)) for x, y in payload["centers"]],
+            clips=[],
+            scores=np.asarray(payload["scores"], dtype=np.float64),
+            flagged=np.asarray(payload["flagged"], dtype=bool),
+            confirmed=(
+                None
+                if payload["confirmed"] is None
+                else np.asarray(payload["confirmed"], dtype=bool)
+            ),
+            flagged_windows=[],
+            telemetry=(
+                None
+                if payload["telemetry"] is None
+                else Telemetry.from_state(payload["telemetry"])
+            ),
+            cascade_stats=(
+                None
+                if payload["cascade_stats"] is None
+                else CascadeStats(**payload["cascade_stats"])
+            ),
+            n_windows=int(payload["n_windows"]),
+            n_scored=int(payload["n_scored"]),
+            cache_hits=int(payload["cache_hits"]),
+            elapsed_s=float(payload["elapsed_s"]),
+            scan_path=str(payload["scan_path"]),
+        )
 
 
 def _chunked(items: Iterable, size: int) -> Iterator[list]:
@@ -199,96 +290,91 @@ class ScanEngine:
         Any fitted :class:`~repro.core.detector.Detector` (a
         :class:`~repro.runtime.cascade.CascadeDetector` gets its stage
         stats surfaced in the report).
-    workers:
-        Scoring processes.  ``1`` (default) stays fully in-process.
-    cache / cache_dir:
-        An explicit :class:`ScoreCache`, or a directory to persist one
-        across scans.  With neither, a scan-local cache still dedups
-        repeated patterns within the scan; ``dedup=False`` disables
+    config:
+        An :class:`~repro.runtime.config.EngineConfig` grouping every
+        policy knob — batching/dedup (``config.batch``), the
+        raster-plane fast path (``config.raster``), worker supervision
+        (``config.supervision``), checkpointing (``config.checkpoint``),
+        and span tracing / metrics / progress
+        (``config.observability``).  ``None`` means all defaults.  Use
+        :meth:`EngineConfig.from_kwargs
+        <repro.runtime.config.EngineConfig.from_kwargs>` to build one
+        from the historical flat names.
+    cache:
+        An explicit :class:`ScoreCache` to dedup against (overrides
+        ``config.batch.cache_dir``).  Without either, a scan-local cache
+        still dedups within the scan; ``batch.dedup=False`` disables
         memoization entirely (every window is scored — the legacy
         ``scan_layer`` contract).
-    chunk_clips:
-        Tile-chunk size: bounds peak memory and sets the pool dispatch
-        granularity.
-    raster_plane:
-        ``None`` (default) auto-selects the raster-plane fast path
-        whenever the detector supports raster scoring and the scan
-        geometry is pixel-aligned; ``True`` requires it (``ValueError``
-        if unavailable); ``False`` forces the legacy clip path.
-    band_rows:
-        Window-rows rasterized together per shared plane on the raster
-        path (more rows amortize rasterization across vertical overlap
-        at the cost of plane memory).
-    max_plane_pixels:
-        Hard cap on a single plane's pixel count; bands shrink (fewer
-        rows, then column segments) to respect it.
-    chunk_timeout_s / max_chunk_retries / retry_backoff_s /
-    max_pool_rebuilds / degrade_after_failures / on_invalid_score:
-        Worker-supervision knobs, forwarded to
-        :class:`~repro.runtime.pool.WorkerPool` (see its docstring for
-        the retry / rebuild / degrade ladder).
-    checkpoint_dir / checkpoint_every_chunks:
-        Directory for periodic atomic scan checkpoints; with it set,
-        ``scan(..., resume=True)`` continues an interrupted scan to a
-        byte-identical report.  Progress is saved every
-        ``checkpoint_every_chunks`` scored chunks.
     faults:
         Optional deterministic fault injection: a
         :class:`~repro.runtime.faults.FaultInjector`, a
         :class:`~repro.runtime.faults.FaultPolicy`, or a spec string
         (see :mod:`repro.runtime.faults` for the grammar).
+    **legacy_kwargs:
+        The pre-``EngineConfig`` flat knobs (``workers=...``,
+        ``chunk_timeout_s=...``, ...) keep working through a
+        compatibility shim that emits :class:`DeprecationWarning`;
+        mixing them with ``config=`` is a ``TypeError``.  See
+        :data:`~repro.runtime.config.LEGACY_KWARGS` for the full
+        old-name → new-field mapping.
     """
 
     def __init__(
         self,
         detector,
+        config: Optional[EngineConfig] = None,
         *,
-        workers: int = 1,
         cache: Optional[ScoreCache] = None,
-        cache_dir=None,
-        dedup: bool = True,
-        chunk_clips: int = 256,
-        max_cache_entries: int = 200_000,
-        mp_context: str = "spawn",
-        raster_plane: Optional[bool] = None,
-        band_rows: int = 8,
-        max_plane_pixels: int = 32_000_000,
-        chunk_timeout_s: Optional[float] = 300.0,
-        max_chunk_retries: int = 2,
-        retry_backoff_s: float = 0.05,
-        max_pool_rebuilds: int = 1,
-        degrade_after_failures: int = 8,
-        on_invalid_score: str = "repair",
-        checkpoint_dir=None,
-        checkpoint_every_chunks: int = 16,
         faults=None,
+        **legacy_kwargs,
     ) -> None:
-        if chunk_clips < 1:
-            raise ValueError("chunk_clips must be >= 1")
-        if band_rows < 1:
-            raise ValueError("band_rows must be >= 1")
-        if max_plane_pixels < 1:
-            raise ValueError("max_plane_pixels must be >= 1")
-        if checkpoint_every_chunks < 1:
-            raise ValueError("checkpoint_every_chunks must be >= 1")
-        self.raster_plane = raster_plane
-        self.band_rows = band_rows
-        self.max_plane_pixels = max_plane_pixels
+        if legacy_kwargs:
+            unknown = sorted(set(legacy_kwargs) - set(LEGACY_KWARGS))
+            if unknown:
+                raise TypeError(
+                    f"unknown ScanEngine option(s) {unknown}; "
+                    f"valid flat names: {sorted(LEGACY_KWARGS)}"
+                )
+            if config is not None:
+                raise TypeError(
+                    "pass either config=EngineConfig(...) or flat legacy "
+                    f"kwargs {sorted(legacy_kwargs)}, not both"
+                )
+            warnings.warn(
+                "flat ScanEngine kwargs are deprecated; pass "
+                "config=EngineConfig.from_kwargs("
+                + ", ".join(f"{k}=..." for k in sorted(legacy_kwargs))
+                + ") instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = EngineConfig.from_kwargs(**legacy_kwargs)
+        elif config is None:
+            config = EngineConfig()
+        self.config = config
         self.detector = detector
-        self.workers = workers
-        self.chunk_clips = chunk_clips
-        self.dedup = dedup
-        self.mp_context = mp_context
-        self.chunk_timeout_s = chunk_timeout_s
-        self.max_chunk_retries = max_chunk_retries
-        self.retry_backoff_s = retry_backoff_s
-        self.max_pool_rebuilds = max_pool_rebuilds
-        self.degrade_after_failures = degrade_after_failures
-        self.on_invalid_score = on_invalid_score
+        # flat attribute mirrors: the pre-config public surface, still
+        # read by downstream code and kept as plain back-compat aliases
+        self.workers = config.batch.workers
+        self.chunk_clips = config.batch.chunk_clips
+        self.dedup = config.batch.dedup
+        self.mp_context = config.batch.mp_context
+        self.raster_plane = config.raster.raster_plane
+        self.band_rows = config.raster.band_rows
+        self.max_plane_pixels = config.raster.max_plane_pixels
+        self.chunk_timeout_s = config.supervision.chunk_timeout_s
+        self.max_chunk_retries = config.supervision.max_chunk_retries
+        self.retry_backoff_s = config.supervision.retry_backoff_s
+        self.max_pool_rebuilds = config.supervision.max_pool_rebuilds
+        self.degrade_after_failures = config.supervision.degrade_after_failures
+        self.on_invalid_score = config.supervision.on_invalid_score
         self.checkpoint_dir = (
-            Path(checkpoint_dir) if checkpoint_dir is not None else None
+            Path(config.checkpoint.dir)
+            if config.checkpoint.dir is not None
+            else None
         )
-        self.checkpoint_every_chunks = checkpoint_every_chunks
+        self.checkpoint_every_chunks = config.checkpoint.every_chunks
         if faults is not None and not isinstance(faults, FaultInjector):
             faults = FaultInjector(faults)
         self.faults: Optional[FaultInjector] = faults
@@ -296,14 +382,16 @@ class ScanEngine:
         tag = getattr(detector, "name", type(detector).__name__)
         if cache is not None:
             self.cache: Optional[ScoreCache] = cache
-        elif cache_dir is not None:
+        elif config.batch.cache_dir is not None:
             self.cache = ScoreCache.open_dir(
-                cache_dir, detector_tag=tag, max_entries=max_cache_entries
+                config.batch.cache_dir,
+                detector_tag=tag,
+                max_entries=config.batch.max_cache_entries,
             )
-            self._persist_path = ScoreCache.dir_path(cache_dir)
-        elif dedup:
+            self._persist_path = ScoreCache.dir_path(config.batch.cache_dir)
+        elif config.batch.dedup:
             self.cache = ScoreCache(
-                max_entries=max_cache_entries, detector_tag=tag
+                max_entries=config.batch.max_cache_entries, detector_tag=tag
             )
         else:
             self.cache = None
@@ -322,93 +410,191 @@ class ScanEngine:
         keep_clips: bool = True,
         resume: bool = False,
     ) -> ScanReport:
-        """Sweep the detector over all windows of ``region``.
+        """Sweep the detector over all windows of ``region`` (blocking).
 
         Mirrors :func:`~repro.core.scan.scan_layer` (including the
         ``ValueError`` on a region smaller than one window) and adds the
         engine behaviors; ``keep_clips=False`` drops the per-window clip
         list for chip-scale runs where only flagged windows matter.
-        With a ``checkpoint_dir`` configured, ``resume=True`` restores a
-        prior interrupted scan's progress (refusing a checkpoint from a
-        different scan config) and continues to a report byte-identical
-        to an uninterrupted run.
+        With a checkpoint directory configured, ``resume=True`` restores
+        a prior interrupted scan's progress (refusing a checkpoint from
+        a different scan config) and continues to a report
+        byte-identical to an uninterrupted run.  :meth:`start` is the
+        non-blocking counterpart.
         """
+        return self._scan(
+            layer,
+            region,
+            window_nm=window_nm,
+            core_nm=core_nm,
+            step_nm=step_nm,
+            oracle=oracle,
+            keep_clips=keep_clips,
+            resume=resume,
+        )
+
+    def start(
+        self,
+        layer: Layer,
+        region: Rect,
+        window_nm: int = 768,
+        core_nm: int = 256,
+        step_nm: Optional[int] = None,
+        oracle=None,
+        keep_clips: bool = True,
+        resume: bool = False,
+    ) -> "ScanSession":
+        """Run :meth:`scan` on a background thread; return its session.
+
+        The :class:`ScanSession` observes live progress (it is always a
+        heartbeat sink, even with observability otherwise off) and
+        delivers the final :class:`ScanReport` — or re-raises the scan's
+        exception — from :meth:`ScanSession.result`.
+        """
+        return ScanSession(
+            lambda hook: self._scan(
+                layer,
+                region,
+                window_nm=window_nm,
+                core_nm=core_nm,
+                step_nm=step_nm,
+                oracle=oracle,
+                keep_clips=keep_clips,
+                resume=resume,
+                progress_hook=hook,
+            )
+        )
+
+    def _scan(
+        self,
+        layer: Layer,
+        region: Rect,
+        window_nm: int = 768,
+        core_nm: int = 256,
+        step_nm: Optional[int] = None,
+        oracle=None,
+        keep_clips: bool = True,
+        resume: bool = False,
+        progress_hook=None,
+    ) -> ScanReport:
+        """The actual sweep, shared by :meth:`scan` and :meth:`start`."""
         step = core_nm if step_nm is None else step_nm
-        if count_tile_centers(region, window_nm, step) == 0:
+        n_windows = count_tile_centers(region, window_nm, step)
+        if n_windows == 0:
             raise ValueError("region too small for the clip window")
         scan_path = self._resolve_scan_path(window_nm, step)
         telemetry = Telemetry()
+        obs = ScanObservability.for_scan(
+            self.config.observability,
+            telemetry,
+            n_windows,
+            extra_progress=progress_hook,
+        )
+        tracer = obs.tracer
         if self.cache is not None and self.cache.quarantined_from is not None:
             telemetry.count("cache_quarantined")
+            tracer.event(
+                "cache_quarantine", path=str(self.cache.quarantined_from)
+            )
             self.cache.quarantined_from = None
         t0 = perf_counter()
         centers_iter = iter_tile_centers(region, window_nm, step)
-        ckpt = self._make_checkpointer(
-            layer, region, window_nm, core_nm, step, scan_path, telemetry,
-            resume,
-        )
-
-        with WorkerPool(
-            self.detector,
-            workers=self.workers,
-            mp_context=self.mp_context,
-            chunk_timeout_s=self.chunk_timeout_s,
-            max_chunk_retries=self.max_chunk_retries,
-            retry_backoff_s=self.retry_backoff_s,
-            max_pool_rebuilds=self.max_pool_rebuilds,
-            degrade_after_failures=self.degrade_after_failures,
-            on_invalid_score=self.on_invalid_score,
-            telemetry=telemetry,
-            faults=self.faults,
-        ) as pool:
-            if scan_path == "raster":
-                if self.cache is None:
-                    centers, clips, scores = self._scan_raster_direct(
-                        layer, region, window_nm, core_nm, step, pool,
-                        telemetry, keep_clips, ckpt,
-                    )
-                else:
-                    centers, clips, scores = self._scan_raster_dedup(
-                        layer, region, window_nm, core_nm, step, pool,
-                        telemetry, keep_clips, ckpt,
-                    )
-            elif self.cache is None:
-                centers, clips, scores = self._scan_direct(
-                    layer, centers_iter, window_nm, core_nm, pool,
-                    telemetry, keep_clips, ckpt,
+        detach = self._attach_tracer(tracer)
+        try:
+            with tracer.span(
+                "scan",
+                kind="scan",
+                scan_path=scan_path,
+                windows=n_windows,
+                workers=self.workers,
+                dedup=self.cache is not None,
+            ) as scan_span:
+                ckpt = self._make_checkpointer(
+                    layer, region, window_nm, core_nm, step, scan_path,
+                    telemetry, resume, tracer,
                 )
-            else:
-                centers, clips, scores = self._scan_dedup(
-                    layer, centers_iter, window_nm, core_nm, pool,
-                    telemetry, keep_clips, ckpt,
-                )
+                with WorkerPool(
+                    self.detector,
+                    workers=self.workers,
+                    mp_context=self.mp_context,
+                    chunk_timeout_s=self.chunk_timeout_s,
+                    max_chunk_retries=self.max_chunk_retries,
+                    retry_backoff_s=self.retry_backoff_s,
+                    max_pool_rebuilds=self.max_pool_rebuilds,
+                    degrade_after_failures=self.degrade_after_failures,
+                    on_invalid_score=self.on_invalid_score,
+                    telemetry=telemetry,
+                    faults=self.faults,
+                    tracer=tracer,
+                ) as pool:
+                    if scan_path == "raster":
+                        if self.cache is None:
+                            centers, clips, scores = self._scan_raster_direct(
+                                layer, region, window_nm, core_nm, step, pool,
+                                telemetry, keep_clips, ckpt, obs,
+                            )
+                        else:
+                            centers, clips, scores = self._scan_raster_dedup(
+                                layer, region, window_nm, core_nm, step, pool,
+                                telemetry, keep_clips, ckpt, obs,
+                            )
+                    elif self.cache is None:
+                        centers, clips, scores = self._scan_direct(
+                            layer, centers_iter, window_nm, core_nm, pool,
+                            telemetry, keep_clips, ckpt, obs,
+                        )
+                    else:
+                        centers, clips, scores = self._scan_dedup(
+                            layer, centers_iter, window_nm, core_nm, pool,
+                            telemetry, keep_clips, ckpt, obs,
+                        )
 
-        contracts.require(
-            "(n,):float64", scores, func="ScanEngine.scan", n=len(centers)
-        )
-        contracts.require_scores(scores, func="ScanEngine.scan")
-        flagged = scores >= self.detector.threshold
-        contracts.require(
-            "(n,):bool", flagged, func="ScanEngine.scan", n=len(centers)
-        )
-        flagged_windows = self._flagged_windows(
-            layer, centers, clips, flagged, window_nm, core_nm
-        )
-        confirmed = self._verify(flagged_windows, oracle, telemetry)
-        elapsed = perf_counter() - t0
-        telemetry.add_time("total", elapsed)
-        if self._persist_path is not None:
-            with telemetry.timer("cache_save"):
-                self.cache.save(self._persist_path)
-            if self.faults is not None and self.faults.truncate_file(
-                self._persist_path, "cache_truncate"
-            ):
-                telemetry.count("fault_cache_truncate")
-        if ckpt is not None:
-            ckpt.finalize()
+                contracts.require(
+                    "(n,):float64",
+                    scores,
+                    func="ScanEngine.scan",
+                    n=len(centers),
+                )
+                contracts.require_scores(scores, func="ScanEngine.scan")
+                flagged = scores >= self.detector.threshold
+                contracts.require(
+                    "(n,):bool", flagged, func="ScanEngine.scan", n=len(centers)
+                )
+                with tracer.span("verify", kind="phase") as verify_span:
+                    flagged_windows = self._flagged_windows(
+                        layer, centers, clips, flagged, window_nm, core_nm
+                    )
+                    confirmed = self._verify(flagged_windows, oracle, telemetry)
+                    verify_span.set(flagged=len(flagged_windows))
+                elapsed = perf_counter() - t0
+                telemetry.add_time("total", elapsed)
+                if self._persist_path is not None:
+                    with tracer.span("cache_save", kind="phase"):
+                        with telemetry.timer("cache_save"):
+                            self.cache.save(self._persist_path)
+                        if self.faults is not None and self.faults.truncate_file(
+                            self._persist_path, "cache_truncate"
+                        ):
+                            telemetry.count("fault_cache_truncate")
+                            tracer.event(
+                                "fault_fired", point="cache_truncate"
+                            )
+                if ckpt is not None:
+                    ckpt.finalize()
+                scan_span.set(
+                    n_scored=telemetry.counter("scored"),
+                    cache_hits=telemetry.counter("cache_hits")
+                    + telemetry.counter("dedup_hits"),
+                    flagged=len(flagged_windows),
+                )
+        except BaseException:  # lint: disable=broad-except  (close the trace file on ANY exit — incl. KeyboardInterrupt — then re-raise)
+            tracer.close()
+            raise
+        finally:
+            detach()
 
         stats = getattr(self.detector, "stats", None)
-        return ScanReport(
+        report = ScanReport(
             centers=centers,
             clips=clips if keep_clips else [],
             scores=scores,
@@ -424,10 +610,37 @@ class ScanEngine:
             elapsed_s=elapsed,
             scan_path=scan_path,
         )
+        obs.finish(report)
+        return report
+
+    def _attach_tracer(self, tracer):
+        """Point the cache and cascade at this scan's tracer.
+
+        Returns the detach callable that restores the null tracer —
+        collaborators outlive the scan (persistent caches, reused
+        detectors), so they must never keep a handle to a closed trace
+        stream.
+        """
+        targets = []
+        if self.cache is not None:
+            self.cache.tracer = tracer
+            targets.append(self.cache)
+        if isinstance(self.detector, CascadeDetector):
+            self.detector._tracer = tracer
+            targets.append(self.detector)
+
+        def detach() -> None:
+            for target in targets:
+                if target is self.cache:
+                    target.tracer = NULL_TRACER
+                else:
+                    target._tracer = NULL_TRACER
+
+        return detach
 
     def _make_checkpointer(
         self, layer, region, window_nm, core_nm, step, scan_path, telemetry,
-        resume,
+        resume, tracer=NULL_TRACER,
     ) -> Optional[Checkpointer]:
         """Build the per-scan checkpointer (None without a checkpoint dir).
 
@@ -475,6 +688,7 @@ class ScanEngine:
             every_chunks=self.checkpoint_every_chunks,
             telemetry=telemetry,
             faults=self.faults,
+            tracer=tracer,
         )
         if resume:
             ckpt.load_for_resume()
@@ -508,7 +722,7 @@ class ScanEngine:
     # ------------------------------------------------------------------
     def _scan_direct(
         self, layer, centers_iter, window_nm, core_nm, pool, telemetry,
-        keep_clips, ckpt,
+        keep_clips, ckpt, obs,
     ) -> Tuple[List[Tuple[int, int]], List[Clip], np.ndarray]:
         """No-dedup path: stream chunks straight through the pool.
 
@@ -536,6 +750,7 @@ class ScanEngine:
                                 )
                         telemetry.count("windows", len(chunk_centers))
                         telemetry.count("resume_hits", len(chunk_centers))
+                        obs.tick("resume")
                         continue
                 with telemetry.timer("extract"):
                     chunk = [
@@ -551,12 +766,14 @@ class ScanEngine:
                 yield chunk
 
         parts: List[np.ndarray] = []
-        with telemetry.timer("score"):
-            for part in pool.map_scores(chunks()):
-                parts.append(part)
-                telemetry.count("scored", len(part))
-                if ckpt is not None:
-                    ckpt.record_chunk(part)
+        with obs.tracer.span("score_stream", kind="phase"):
+            with telemetry.timer("score"):
+                for part in pool.map_scores(chunks()):
+                    parts.append(part)
+                    telemetry.count("scored", len(part))
+                    if ckpt is not None:
+                        ckpt.record_chunk(part)
+                    obs.tick("score")
         parts = prefix_parts + parts
         scores = (
             np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
@@ -585,7 +802,7 @@ class ScanEngine:
 
     def _scan_dedup(
         self, layer, centers_iter, window_nm, core_nm, pool, telemetry,
-        keep_clips, ckpt,
+        keep_clips, ckpt, obs,
     ) -> Tuple[List[Tuple[int, int]], List[Clip], np.ndarray]:
         """Dedup path: fingerprint every window, score each pattern once.
 
@@ -603,57 +820,65 @@ class ScanEngine:
         score_by_fp: Dict[str, float] = {}
         pending: Dict[str, Clip] = {}
 
-        for chunk_centers in _chunked(centers_iter, self.chunk_clips):
-            with telemetry.timer("extract"):
-                chunk = [
-                    extract_clip(layer, c, window_nm, core_nm)
-                    for c in chunk_centers
-                ]
-            with telemetry.timer("dedup"):
-                for clip in chunk:
-                    fp = clip_fingerprint(clip)
-                    fingerprints.append(fp)
-                    if fp in score_by_fp or fp in pending:
-                        telemetry.count("dedup_hits")
-                        continue
-                    cached = cache.get(fp)
-                    if cached is not None:
-                        score_by_fp[fp] = cached
-                        telemetry.count("cache_hits")
-                    else:
-                        pending[fp] = clip
-            centers.extend(chunk_centers)
-            if keep_clips:
-                clips.extend(chunk)
-            telemetry.count("windows", len(chunk))
-            telemetry.count("chunks")
-            telemetry.observe("chunk_clips", len(chunk))
+        with obs.tracer.span("fingerprint", kind="phase") as fp_span:
+            for chunk_centers in _chunked(centers_iter, self.chunk_clips):
+                with telemetry.timer("extract"):
+                    chunk = [
+                        extract_clip(layer, c, window_nm, core_nm)
+                        for c in chunk_centers
+                    ]
+                with telemetry.timer("dedup"):
+                    for clip in chunk:
+                        fp = clip_fingerprint(clip)
+                        fingerprints.append(fp)
+                        if fp in score_by_fp or fp in pending:
+                            telemetry.count("dedup_hits")
+                            continue
+                        cached = cache.get(fp)
+                        if cached is not None:
+                            score_by_fp[fp] = cached
+                            telemetry.count("cache_hits")
+                        else:
+                            pending[fp] = clip
+                centers.extend(chunk_centers)
+                if keep_clips:
+                    clips.extend(chunk)
+                telemetry.count("windows", len(chunk))
+                telemetry.count("chunks")
+                telemetry.observe("chunk_clips", len(chunk))
+                obs.tick("fingerprint")
+            self._apply_resumed_fp_scores(
+                ckpt, pending, score_by_fp, telemetry
+            )
+            fp_span.set(unique=len(pending) + len(score_by_fp))
 
-        self._apply_resumed_fp_scores(ckpt, pending, score_by_fp, telemetry)
         unique_fps = list(pending)
         unique_clips = list(pending.values())
-        with telemetry.timer("score"):
-            fp_chunks = [
-                unique_fps[i : i + self.chunk_clips]
-                for i in range(0, len(unique_fps), self.chunk_clips)
-            ]
-            clip_chunks = [
-                unique_clips[i : i + self.chunk_clips]
-                for i in range(0, len(unique_clips), self.chunk_clips)
-            ]
-            for fps, part in zip(fp_chunks, pool.map_scores(clip_chunks)):
-                for fp, score in zip(fps, part):
-                    value = float(score)
-                    score_by_fp[fp] = value
-                    cache.put(fp, value)
-                telemetry.count("scored", len(part))
-                if ckpt is not None:
-                    ckpt.record_fp_chunk(fps, part)
+        with obs.tracer.span("score", kind="phase"):
+            with telemetry.timer("score"):
+                fp_chunks = [
+                    unique_fps[i : i + self.chunk_clips]
+                    for i in range(0, len(unique_fps), self.chunk_clips)
+                ]
+                clip_chunks = [
+                    unique_clips[i : i + self.chunk_clips]
+                    for i in range(0, len(unique_clips), self.chunk_clips)
+                ]
+                for fps, part in zip(fp_chunks, pool.map_scores(clip_chunks)):
+                    for fp, score in zip(fps, part):
+                        value = float(score)
+                        score_by_fp[fp] = value
+                        cache.put(fp, value)
+                    telemetry.count("scored", len(part))
+                    if ckpt is not None:
+                        ckpt.record_fp_chunk(fps, part)
+                    obs.tick("score")
 
-        with telemetry.timer("assemble"):
-            scores = np.array(
-                [score_by_fp[fp] for fp in fingerprints], dtype=np.float64
-            )
+        with obs.tracer.span("assemble", kind="phase"):
+            with telemetry.timer("assemble"):
+                scores = np.array(
+                    [score_by_fp[fp] for fp in fingerprints], dtype=np.float64
+                )
         return centers, clips, scores
 
     # ------------------------------------------------------------------
@@ -661,7 +886,7 @@ class ScanEngine:
     # ------------------------------------------------------------------
     def _iter_plane_chunks(
         self, layer, region, window_nm, core_nm, step, telemetry, keep_clips,
-        centers, clips, ckpt=None, prefix_parts=None,
+        centers, clips, obs, ckpt=None, prefix_parts=None,
     ) -> Iterator[np.ndarray]:
         """Rasterize band planes and yield ``(n, H, W)`` window batches.
 
@@ -699,6 +924,7 @@ class ScanEngine:
                                 )
                         telemetry.count("windows", len(chunk_centers))
                         telemetry.count("resume_hits", len(chunk_centers))
+                        obs.tick("resume")
                         continue
                 with telemetry.timer("slice"):
                     batch = np.stack(
@@ -723,7 +949,7 @@ class ScanEngine:
 
     def _scan_raster_direct(
         self, layer, region, window_nm, core_nm, step, pool, telemetry,
-        keep_clips, ckpt,
+        keep_clips, ckpt, obs,
     ) -> Tuple[List[Tuple[int, int]], List[Clip], np.ndarray]:
         """No-dedup raster path: band batches straight through the pool."""
         centers: List[Tuple[int, int]] = []
@@ -731,15 +957,17 @@ class ScanEngine:
         prefix_parts: List[np.ndarray] = []
         batches = self._iter_plane_chunks(
             layer, region, window_nm, core_nm, step, telemetry, keep_clips,
-            centers, clips, ckpt=ckpt, prefix_parts=prefix_parts,
+            centers, clips, obs, ckpt=ckpt, prefix_parts=prefix_parts,
         )
         parts: List[np.ndarray] = []
-        with telemetry.timer("score"):
-            for part in pool.map_scores_rasters(batches):
-                parts.append(part)
-                telemetry.count("scored", len(part))
-                if ckpt is not None:
-                    ckpt.record_chunk(part)
+        with obs.tracer.span("score_stream", kind="phase"):
+            with telemetry.timer("score"):
+                for part in pool.map_scores_rasters(batches):
+                    parts.append(part)
+                    telemetry.count("scored", len(part))
+                    if ckpt is not None:
+                        ckpt.record_chunk(part)
+                    obs.tick("score")
         parts = prefix_parts + parts
         scores = (
             np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
@@ -748,7 +976,7 @@ class ScanEngine:
 
     def _scan_raster_dedup(
         self, layer, region, window_nm, core_nm, step, pool, telemetry,
-        keep_clips, ckpt,
+        keep_clips, ckpt, obs,
     ) -> Tuple[List[Tuple[int, int]], List[Clip], np.ndarray]:
         """Dedup raster path: fingerprint window slices, score once each.
 
@@ -769,50 +997,58 @@ class ScanEngine:
 
         batches = self._iter_plane_chunks(
             layer, region, window_nm, core_nm, step, telemetry, keep_clips,
-            centers, clips,
+            centers, clips, obs,
         )
-        for batch in batches:
-            with telemetry.timer("dedup"):
-                for raster in batch:
-                    fp = raster_fingerprint(raster)
-                    fingerprints.append(fp)
-                    if fp in score_by_fp or fp in pending:
-                        telemetry.count("dedup_hits")
-                        continue
-                    cached = cache.get(fp)
-                    if cached is not None:
-                        score_by_fp[fp] = cached
-                        telemetry.count("cache_hits")
-                    else:
-                        pending[fp] = raster
+        with obs.tracer.span("fingerprint", kind="phase") as fp_span:
+            for batch in batches:
+                with telemetry.timer("dedup"):
+                    for raster in batch:
+                        fp = raster_fingerprint(raster)
+                        fingerprints.append(fp)
+                        if fp in score_by_fp or fp in pending:
+                            telemetry.count("dedup_hits")
+                            continue
+                        cached = cache.get(fp)
+                        if cached is not None:
+                            score_by_fp[fp] = cached
+                            telemetry.count("cache_hits")
+                        else:
+                            pending[fp] = raster
+                obs.tick("fingerprint")
+            self._apply_resumed_fp_scores(
+                ckpt, pending, score_by_fp, telemetry
+            )
+            fp_span.set(unique=len(pending) + len(score_by_fp))
 
-        self._apply_resumed_fp_scores(ckpt, pending, score_by_fp, telemetry)
         unique_fps = list(pending)
         unique_rasters = list(pending.values())
-        with telemetry.timer("score"):
-            fp_chunks = [
-                unique_fps[i : i + self.chunk_clips]
-                for i in range(0, len(unique_fps), self.chunk_clips)
-            ]
-            raster_chunks = (
-                np.stack(unique_rasters[i : i + self.chunk_clips])
-                for i in range(0, len(unique_rasters), self.chunk_clips)
-            )
-            for fps, part in zip(
-                fp_chunks, pool.map_scores_rasters(raster_chunks)
-            ):
-                for fp, score in zip(fps, part):
-                    value = float(score)
-                    score_by_fp[fp] = value
-                    cache.put(fp, value)
-                telemetry.count("scored", len(part))
-                if ckpt is not None:
-                    ckpt.record_fp_chunk(fps, part)
+        with obs.tracer.span("score", kind="phase"):
+            with telemetry.timer("score"):
+                fp_chunks = [
+                    unique_fps[i : i + self.chunk_clips]
+                    for i in range(0, len(unique_fps), self.chunk_clips)
+                ]
+                raster_chunks = (
+                    np.stack(unique_rasters[i : i + self.chunk_clips])
+                    for i in range(0, len(unique_rasters), self.chunk_clips)
+                )
+                for fps, part in zip(
+                    fp_chunks, pool.map_scores_rasters(raster_chunks)
+                ):
+                    for fp, score in zip(fps, part):
+                        value = float(score)
+                        score_by_fp[fp] = value
+                        cache.put(fp, value)
+                    telemetry.count("scored", len(part))
+                    if ckpt is not None:
+                        ckpt.record_fp_chunk(fps, part)
+                    obs.tick("score")
 
-        with telemetry.timer("assemble"):
-            scores = np.array(
-                [score_by_fp[fp] for fp in fingerprints], dtype=np.float64
-            )
+        with obs.tracer.span("assemble", kind="phase"):
+            with telemetry.timer("assemble"):
+                scores = np.array(
+                    [score_by_fp[fp] for fp in fingerprints], dtype=np.float64
+                )
         return centers, clips, scores
 
     # ------------------------------------------------------------------
@@ -860,3 +1096,65 @@ class ScanEngine:
                 confirmed[i] = verdict_by_fp[fp]
         telemetry.count("verified", len(flagged_windows))
         return confirmed
+
+
+class ScanSession:
+    """Handle to a scan running on a background thread.
+
+    Returned by :meth:`ScanEngine.start`.  The session is wired into the
+    scan's progress reporter as an extra sink, so heartbeats arrive here
+    regardless of the engine's :class:`ObservabilityConfig
+    <repro.runtime.config.ObservabilityConfig>`; :meth:`result` joins
+    the thread and either returns the final :class:`ScanReport` or
+    re-raises the exception the scan died with.
+    """
+
+    def __init__(self, run) -> None:
+        self._progress_events: List[ProgressEvent] = []
+        self._result: Optional[ScanReport] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, args=(run,), name="repro-scan", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self, run) -> None:
+        try:
+            self._result = run(self._on_progress)
+        except BaseException as exc:  # lint: disable=broad-except  (held for re-raise in result(); a session must never swallow nor leak the scan's failure into its own thread)
+            self._error = exc
+
+    def _on_progress(self, event: ProgressEvent) -> None:
+        self._progress_events.append(event)
+
+    @property
+    def progress(self) -> Optional[ProgressEvent]:
+        """Most recent heartbeat, or None before the first one."""
+        events = self._progress_events
+        return events[-1] if events else None
+
+    @property
+    def progress_events(self) -> List[ProgressEvent]:
+        """All heartbeats received so far (oldest first)."""
+        return list(self._progress_events)
+
+    def done(self) -> bool:
+        """True once the scan finished — successfully or not."""
+        return not self._thread.is_alive()
+
+    def result(self, timeout: Optional[float] = None) -> ScanReport:
+        """Block for the report; re-raise the scan's failure if it died.
+
+        Raises :class:`TimeoutError` when ``timeout`` (seconds) elapses
+        first — the scan keeps running and ``result()`` may be called
+        again.
+        """
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError(
+                f"scan still running after {timeout}s; call result() again"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result

@@ -58,6 +58,7 @@ from ..core.detector import detector_from_state, detector_to_state
 from ..geometry.layout import Clip
 from .faults import FaultInjector, corrupt_scores, execute_chunk_fault
 from .telemetry import Telemetry
+from .trace import NULL_TRACER
 
 # per-worker detector instance, installed by _init_worker in each child
 _WORKER_DETECTOR = None
@@ -165,6 +166,12 @@ class WorkerPool:
     faults:
         Optional :class:`~repro.runtime.faults.FaultInjector` (or spec
         string) driving deterministic fault injection.
+    tracer:
+        Span tracer (:mod:`repro.runtime.trace`).  Every collected chunk
+        becomes a ``chunk`` span carrying its supervision fate
+        (attempts, rebuilt, degraded) and every ladder rung emits a
+        point event; the default :data:`~repro.runtime.trace.NULL_TRACER`
+        makes all of it free.
     """
 
     def __init__(
@@ -181,6 +188,7 @@ class WorkerPool:
         on_invalid_score: str = "repair",
         telemetry: Optional[Telemetry] = None,
         faults=None,
+        tracer=NULL_TRACER,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -199,10 +207,12 @@ class WorkerPool:
         self.degrade_after_failures = max(1, degrade_after_failures)
         self.on_invalid_score = on_invalid_score
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.tracer = tracer
         if isinstance(faults, str):
             faults = FaultInjector(faults)
         self.faults: Optional[FaultInjector] = faults
         self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._chunk_seq = 0
         self._rebuilds_done = 0
         self._failures_total = 0
         self._degraded = False
@@ -269,6 +279,7 @@ class WorkerPool:
         self.terminate()
         self._rebuilds_done += 1
         self.telemetry.count("pool_rebuilds")
+        self.tracer.event("pool_rebuild", rebuilds=self._rebuilds_done)
         self._suspect_pool = False
         self._ensure_pool()
 
@@ -364,9 +375,11 @@ class WorkerPool:
             chunk_fault = self.faults.chunk_fault()
             if chunk_fault is not None:
                 self.telemetry.count(f"fault_{chunk_fault[0]}")
+                self.tracer.event("fault_fired", point=chunk_fault[0])
             score_fault = self.faults.score_fault()
             if score_fault is not None:
                 self.telemetry.count(f"fault_{score_fault}")
+                self.tracer.event("fault_fired", point=score_fault)
         record = _Chunk(payload, task_fn, chunk_fault, score_fault)
         if not local:
             self._submit(record, first=True)
@@ -397,6 +410,24 @@ class WorkerPool:
         return scores
 
     def _collect(self, record: _Chunk, local_fn) -> np.ndarray:
+        """One chunk span around the supervision ladder (worker fate)."""
+        self._chunk_seq += 1
+        with self.tracer.span(
+            "chunk",
+            kind="chunk",
+            seq=self._chunk_seq,
+            local=record.async_result is None,
+        ) as span:
+            scores = self._supervise(record, local_fn)
+            span.set(
+                n=len(scores),
+                attempts=record.attempts,
+                rebuilt=record.rebuilt,
+                degraded=record.degraded,
+            )
+        return scores
+
+    def _supervise(self, record: _Chunk, local_fn) -> np.ndarray:
         """Drive one chunk through the supervision ladder to a score array."""
         while True:
             try:
@@ -404,18 +435,24 @@ class WorkerPool:
             except multiprocessing.TimeoutError:
                 self._suspect_pool = True
                 self.telemetry.count("pool_timeouts")
+                self.tracer.event("pool_timeout", attempt=record.attempts)
             except ContractViolation:
                 if self.on_invalid_score == "raise":
                     raise
                 self.telemetry.count("score_repairs")
+                self.tracer.event("score_repair", attempt=record.attempts)
             # The fault barrier: a worker-side failure can surface as any
             # exception type (the detector's own errors included), and the
             # whole point of supervision is to retry/rescore rather than
             # lose an hours-long scan to one bad chunk.
-            except Exception:  # lint: disable=broad-except  (supervision fault barrier; re-raised once the retry/rebuild/degrade ladder is exhausted)
+            except Exception as exc:  # lint: disable=broad-except  (supervision fault barrier; re-raised once the retry/rebuild/degrade ladder is exhausted)
                 self.telemetry.count("worker_errors")
+                self.tracer.event(
+                    "worker_error", attempt=record.attempts, error=repr(exc)
+                )
             self._failures_total += 1
             self.telemetry.count("pool_retries")
+            self.tracer.event("pool_retry", attempt=record.attempts)
             if self._failures_total >= self.degrade_after_failures:
                 self._enter_degraded_mode()
             if record.attempts <= self.max_chunk_retries:
@@ -442,6 +479,7 @@ class WorkerPool:
                 record.attempts = 0
                 record.async_result = None
                 self.telemetry.count("pool_degraded_chunks")
+                self.tracer.event("pool_degraded_chunk")
                 continue
             # in-process scoring failed too — surface the real error
             return self._score_attempt(record, local_fn)
@@ -461,3 +499,6 @@ class WorkerPool:
         if not self._degraded:
             self._degraded = True
             self.telemetry.count("pool_degradations")
+            self.tracer.event(
+                "pool_degradation", failures=self._failures_total
+            )

@@ -186,6 +186,56 @@ class Telemetry:
             mine_h.maximum = max(mine_h.maximum, hist.maximum)
 
     # ------------------------------------------------------------------
+    # serialization (exact, unlike the lossy as_dict renderings)
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, Dict]:
+        """Lossless plain-dict state for ``ScanReport.to_json``.
+
+        Unlike :meth:`as_dict` (a rendering: derived means, estimated
+        percentiles) this carries the raw histogram sample and stride,
+        so ``from_state(to_state())`` reproduces every query — including
+        percentiles — exactly.
+        """
+        return {
+            "counters": dict(self.counters),
+            "timers": {
+                k: {"seconds": t.seconds, "calls": t.calls}
+                for k, t in self.timers.items()
+            },
+            "histograms": {
+                k: {
+                    "max_sample": h.max_sample,
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.minimum if h.count else None,
+                    "max": h.maximum if h.count else None,
+                    "sample": list(h._sample),
+                    "stride": h._stride,
+                }
+                for k, h in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Dict]) -> "Telemetry":
+        """Rebuild a telemetry object saved by :meth:`to_state`."""
+        tele = cls()
+        tele.counters = {k: int(n) for k, n in state["counters"].items()}
+        for name, t in state["timers"].items():
+            timer = Timer(seconds=float(t["seconds"]), calls=int(t["calls"]))
+            tele.timers[name] = timer
+        for name, h in state["histograms"].items():
+            hist = Histogram(max_sample=int(h["max_sample"]))
+            hist.count = int(h["count"])
+            hist.total = float(h["total"])
+            hist.minimum = math.inf if h["min"] is None else float(h["min"])
+            hist.maximum = -math.inf if h["max"] is None else float(h["max"])
+            hist._sample = [float(v) for v in h["sample"]]
+            hist._stride = int(h["stride"])
+            tele.histograms[name] = hist
+        return tele
+
+    # ------------------------------------------------------------------
     # rendering
     # ------------------------------------------------------------------
     def as_dict(self) -> Dict[str, Dict]:

@@ -1,0 +1,6 @@
+"""Fixture: every form of deep repro.runtime import the rule must catch."""
+
+import repro.runtime.engine
+from repro.runtime.pool import WorkerPool
+from repro.runtime import cache
+from repro.runtime import ScanEngine  # facade import: NOT a finding

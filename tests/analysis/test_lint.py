@@ -29,6 +29,7 @@ EXPECTED_RULES = {
     "broad-except",
     "raster-parity",
     "mutable-default",
+    "no-deep-runtime-import",
 }
 
 
@@ -55,6 +56,11 @@ class TestRules:
             ("broad_except.py", "broad-except", [7, 14, 21]),
             ("raster_parity.py", "raster-parity", [8, 13]),
             ("mutable_default.py", "mutable-default", [4, 8, 12, 16]),
+            (
+                "deep_runtime_import.py",
+                "no-deep-runtime-import",
+                [3, 4, 5],
+            ),
         ],
     )
     def test_fixture_findings(self, fixture, rule, lines):
@@ -77,6 +83,13 @@ class TestRules:
             "        return clips\n"
         )
         assert lint_source(src) == []
+
+    def test_deep_runtime_import_exempt_inside_runtime(self):
+        src = "from repro.runtime.pool import WorkerPool\n"
+        assert lint_source(src, path="src/repro/runtime/engine.py") == []
+        assert [d.rule for d in lint_source(src, path="elsewhere.py")] == [
+            "no-deep-runtime-import"
+        ]
 
     def test_parse_error_reported_as_finding(self):
         found = lint_source("def broken(:\n", path="bad.py")

@@ -1,0 +1,176 @@
+"""EngineConfig: grouped frozen config, legacy-kwarg shim, report wire format."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    LEGACY_KWARGS,
+    REPORT_SCHEMA,
+    BatchConfig,
+    CheckpointConfig,
+    EngineConfig,
+    ObservabilityConfig,
+    ScanEngine,
+    ScanReport,
+    SupervisionConfig,
+)
+
+from .conftest import DensityDetector, GradedDensityDetector
+
+
+class TestEngineConfigDefaults:
+    def test_default_groups(self):
+        cfg = EngineConfig()
+        assert cfg.batch.workers == 1
+        assert cfg.batch.dedup is True
+        assert cfg.raster.raster_plane is None
+        assert cfg.supervision.on_invalid_score == "repair"
+        assert cfg.checkpoint.dir is None
+        assert not cfg.observability.enabled
+
+    def test_frozen(self):
+        cfg = EngineConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.batch = BatchConfig(workers=2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.batch.workers = 2
+
+    @pytest.mark.parametrize(
+        "group_cls,bad",
+        [
+            (BatchConfig, {"workers": 0}),
+            (BatchConfig, {"chunk_clips": 0}),
+            (SupervisionConfig, {"max_chunk_retries": -1}),
+            (SupervisionConfig, {"on_invalid_score": "explode"}),
+            (CheckpointConfig, {"every_chunks": 0}),
+            (ObservabilityConfig, {"progress_every_chunks": 0}),
+            (ObservabilityConfig, {"progress": "syslog"}),
+        ],
+    )
+    def test_construction_time_validation(self, group_cls, bad):
+        with pytest.raises(ValueError):
+            group_cls(**bad)
+
+    def test_observability_enabled_flag(self):
+        assert ObservabilityConfig(trace_dir="t").enabled
+        assert ObservabilityConfig(metrics="m").enabled
+        assert ObservabilityConfig(progress="stderr").enabled
+        assert ObservabilityConfig(progress=lambda e: None).enabled
+
+
+class TestFlatKwargMapping:
+    def test_from_kwargs_routes_to_groups(self):
+        cfg = EngineConfig.from_kwargs(
+            workers=4,
+            chunk_clips=32,
+            raster_plane=False,
+            chunk_timeout_s=7.5,
+            checkpoint_dir="ckpt",
+            trace_dir="traces",
+            progress="stderr",
+        )
+        assert cfg.batch.workers == 4
+        assert cfg.batch.chunk_clips == 32
+        assert cfg.raster.raster_plane is False
+        assert cfg.supervision.chunk_timeout_s == 7.5
+        assert cfg.checkpoint.dir == "ckpt"
+        assert cfg.observability.trace_dir == "traces"
+        assert cfg.observability.progress == "stderr"
+
+    def test_unknown_kwarg_raises(self):
+        with pytest.raises(TypeError, match="turbo"):
+            EngineConfig.from_kwargs(turbo=True)
+
+    def test_replace_kwargs_keeps_other_groups(self):
+        base = EngineConfig.from_kwargs(workers=3, checkpoint_dir="ckpt")
+        changed = base.replace_kwargs(chunk_clips=64)
+        assert changed.batch.workers == 3
+        assert changed.batch.chunk_clips == 64
+        assert changed.checkpoint.dir == "ckpt"
+        assert base.batch.chunk_clips == 256  # original untouched
+
+    def test_flat_items_round_trips(self):
+        cfg = EngineConfig.from_kwargs(
+            workers=2, dedup=False, band_rows=4, checkpoint_every_chunks=5
+        )
+        assert EngineConfig.from_kwargs(**cfg.flat_items()) == cfg
+
+    def test_every_legacy_kwarg_is_applicable(self):
+        cfg = EngineConfig()
+        for name in LEGACY_KWARGS:
+            flat = cfg.flat_items()
+            assert name in flat
+            assert cfg.replace_kwargs(**{name: flat[name]}) == cfg
+
+
+class TestLegacyShim:
+    def test_flat_kwargs_warn_and_apply(self, layer, region):
+        with pytest.warns(DeprecationWarning, match="EngineConfig.from_kwargs"):
+            engine = ScanEngine(DensityDetector(), workers=1, chunk_clips=13)
+        assert engine.config.batch.chunk_clips == 13
+        report = engine.scan(layer, region)
+        assert report.n_windows > 0
+
+    def test_config_path_does_not_warn(self, recwarn):
+        ScanEngine(DensityDetector(), config=EngineConfig())
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+
+    def test_config_plus_legacy_is_type_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            ScanEngine(DensityDetector(), config=EngineConfig(), workers=2)
+
+    def test_unknown_legacy_kwarg_is_type_error(self):
+        with pytest.raises(TypeError, match="warp_speed"):
+            ScanEngine(DensityDetector(), warp_speed=9)
+
+    def test_shim_equivalent_to_config(self, layer, region):
+        with pytest.warns(DeprecationWarning):
+            legacy = ScanEngine(GradedDensityDetector(), chunk_clips=17)
+        config = ScanEngine(
+            GradedDensityDetector(),
+            config=EngineConfig.from_kwargs(chunk_clips=17),
+        )
+        a = legacy.scan(layer, region)
+        b = config.scan(layer, region)
+        assert a.scores.tobytes() == b.scores.tobytes()
+
+
+class TestReportWire:
+    def _report(self, layer, region):
+        return ScanEngine(GradedDensityDetector()).scan(layer, region)
+
+    def test_round_trip_is_byte_identical(self, layer, region):
+        report = self._report(layer, region)
+        doc = report.to_json()
+        rebuilt = ScanReport.from_json(doc)
+        assert rebuilt.to_json() == doc
+
+    def test_schema_field_present(self, layer, region):
+        import json
+
+        payload = json.loads(self._report(layer, region).to_json())
+        assert payload["schema"] == REPORT_SCHEMA
+
+    def test_newer_schema_refused(self, layer, region):
+        import json
+
+        payload = json.loads(self._report(layer, region).to_json())
+        payload["schema"] = REPORT_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            ScanReport.from_json(json.dumps(payload))
+
+    def test_round_trip_preserves_scores_and_telemetry(self, layer, region):
+        report = self._report(layer, region)
+        rebuilt = ScanReport.from_json(report.to_json())
+        assert rebuilt.scores.tobytes() == report.scores.tobytes()
+        assert np.array_equal(rebuilt.flagged, report.flagged)
+        assert rebuilt.n_windows == report.n_windows
+        assert rebuilt.telemetry.counters == report.telemetry.counters
+        for name, hist in report.telemetry.histograms.items():
+            assert rebuilt.telemetry.histograms[name].as_dict() == (
+                hist.as_dict()
+            )

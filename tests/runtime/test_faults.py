@@ -26,7 +26,11 @@ from repro.runtime import (
     ScoreCache,
     WorkerPool,
 )
-from repro.runtime.faults import InjectedFault, _fires, execute_chunk_fault
+from repro.runtime.faults import (  # lint: disable=no-deep-runtime-import  (tests the injection seam's private helpers directly)
+    InjectedFault,
+    _fires,
+    execute_chunk_fault,
+)
 
 from ._fault_doubles import RasterMeanDetector, WorkerHostileDetector
 from .conftest import DensityDetector, tiny_grating_dataset

@@ -1,0 +1,133 @@
+"""Metrics snapshots: stable shape, baseline counters, Prometheus exposition."""
+
+import json
+import re
+
+from repro.runtime import (
+    METRICS_SCHEMA,
+    EngineConfig,
+    ScanEngine,
+    export_metrics,
+    format_snapshot,
+    metrics_snapshot,
+    to_prometheus,
+)
+from repro.runtime.metrics import (  # lint: disable=no-deep-runtime-import  (BASELINE_COUNTERS is test-only surface)
+    BASELINE_COUNTERS,
+)
+
+from .conftest import GradedDensityDetector
+
+# one Prometheus text-exposition sample line:  name{labels} value
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r" -?[0-9].*$"
+)
+
+
+def small_report(layer, region):
+    return ScanEngine(GradedDensityDetector()).scan(layer, region)
+
+
+class TestSnapshot:
+    def test_baseline_counters_always_present(self, layer, region):
+        snapshot = metrics_snapshot(small_report(layer, region))
+        counters = snapshot["counters"]
+        for name in BASELINE_COUNTERS:
+            assert name in counters
+        # a clean run still exposes the full fault/supervision families
+        assert counters["fault_worker_crash"] == 0
+        assert counters["pool_rebuilds"] == 0
+        assert counters["windows"] > 0
+
+    def test_schema_and_scan_block(self, layer, region):
+        report = small_report(layer, region)
+        snapshot = metrics_snapshot(report)
+        assert snapshot["schema"] == METRICS_SCHEMA
+        scan = snapshot["scan"]
+        assert scan["n_windows"] == report.n_windows
+        assert scan["n_scored"] == report.n_scored
+        assert 0.0 <= scan["dedup_ratio"] <= 1.0
+        assert scan["scan_path"] in ("clip", "raster")
+
+    def test_cascade_stats_block(self, layer, region):
+        from repro.runtime import CascadeDetector
+
+        detector = CascadeDetector(primary=GradedDensityDetector())
+        report = ScanEngine(detector).scan(layer, region)
+        snapshot = metrics_snapshot(report)
+        assert snapshot["cascade"] == report.cascade_stats.as_dict()
+        assert snapshot["cascade"]["windows"] == report.n_scored
+        json.dumps(snapshot)  # the whole snapshot stays serializable
+
+    def test_format_is_stable_and_sorted(self, layer, region):
+        snapshot = metrics_snapshot(small_report(layer, region))
+        text = format_snapshot(snapshot)
+        assert text == format_snapshot(json.loads(text))
+        assert text.endswith("\n")
+        parsed = json.loads(text)
+        assert list(parsed) == sorted(parsed)
+        assert list(parsed["counters"]) == sorted(parsed["counters"])
+
+
+class TestPrometheus:
+    def test_every_sample_line_is_well_formed(self, layer, region):
+        text = to_prometheus(metrics_snapshot(small_report(layer, region)))
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) repro_scan_\w+ .+$", line)
+            else:
+                assert _SAMPLE_RE.match(line), line
+
+    def test_families_have_help_and_type(self, layer, region):
+        text = to_prometheus(metrics_snapshot(small_report(layer, region)))
+        assert "# TYPE repro_scan_events_total counter" in text
+        assert "# TYPE repro_scan_windows_total gauge" in text
+        assert 'repro_scan_events_total{event="fault_worker_crash"} 0' in text
+
+    def test_counter_labels_sorted(self, layer, region):
+        text = to_prometheus(metrics_snapshot(small_report(layer, region)))
+        events = re.findall(r'repro_scan_events_total\{event="([^"]+)"\}', text)
+        assert events == sorted(events)
+
+    def test_label_escaping(self):
+        snapshot = {
+            "schema": METRICS_SCHEMA,
+            "scan": {
+                "scan_path": 'cl"ip\\x',
+                "n_windows": 1,
+                "n_scored": 1,
+                "n_flagged": 0,
+                "cache_hits": 0,
+                "dedup_ratio": 0.0,
+                "elapsed_s": 1.0,
+                "windows_per_s": 1.0,
+            },
+            "counters": {},
+            "timers": {},
+            "histograms": {},
+            "cascade": {},
+        }
+        text = to_prometheus(snapshot)
+        assert 'scan_path="cl\\"ip\\\\x"' in text
+
+
+class TestExport:
+    def test_writes_json_and_prom(self, layer, region, tmp_path):
+        report = small_report(layer, region)
+        json_path, prom_path = export_metrics(report, tmp_path / "out" / "m")
+        assert json_path.name == "m.json" and prom_path.name == "m.prom"
+        parsed = json.loads(json_path.read_text())
+        assert parsed["schema"] == METRICS_SCHEMA
+        assert prom_path.read_text().startswith("# HELP repro_scan_info")
+
+    def test_engine_metrics_config_exports(self, layer, region, tmp_path):
+        config = EngineConfig.from_kwargs(metrics=tmp_path / "scan")
+        report = ScanEngine(GradedDensityDetector(), config=config).scan(
+            layer, region
+        )
+        parsed = json.loads((tmp_path / "scan.json").read_text())
+        assert parsed["scan"]["n_windows"] == report.n_windows
+        assert (tmp_path / "scan.prom").exists()

@@ -14,7 +14,9 @@ from repro.core.detector import Detector, FitReport, supports_raster_scan
 from repro.geometry import Layer, Rect
 from repro.geometry.rasterize import rasterize_clip
 from repro.runtime import ScanEngine
-from repro.runtime.engine import _iter_raster_bands
+from repro.runtime.engine import (  # lint: disable=no-deep-runtime-import  (white-box test of the private band iterator)
+    _iter_raster_bands,
+)
 from repro.shallow import make_logistic_density
 
 from .conftest import DensityDetector, tiny_grating_dataset

@@ -1,0 +1,78 @@
+"""ScanSession: background scans, live progress, result/error delivery."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.runtime import EngineConfig, ScanEngine
+
+from .conftest import DensityDetector, GradedDensityDetector
+
+
+class GatedDetector(DensityDetector):  # lint: disable=raster-parity  (clip-path test double; blocking is the point)
+    """Blocks the first predict_proba call until the test releases it."""
+
+    def __init__(self):
+        super().__init__()
+        self.gate = threading.Event()
+
+    def predict_proba(self, clips):
+        self.gate.wait(timeout=30)
+        return super().predict_proba(clips)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["gate"]
+        return state
+
+
+class TestScanSession:
+    def test_result_matches_blocking_scan(self, layer, region):
+        detector = GradedDensityDetector()
+        blocking = ScanEngine(detector).scan(layer, region)
+        session = ScanEngine(detector).start(layer, region)
+        report = session.result(timeout=60)
+        assert session.done()
+        assert report.scores.tobytes() == blocking.scores.tobytes()
+        assert np.array_equal(report.flagged, blocking.flagged)
+
+    def test_progress_observed_without_observability_config(
+        self, layer, region
+    ):
+        session = ScanEngine(GradedDensityDetector()).start(layer, region)
+        report = session.result(timeout=60)
+        final = session.progress
+        assert final is not None
+        assert final.phase == "done"
+        assert final.windows_done == report.n_windows
+        assert session.progress_events[-1] == final
+
+    def test_progress_cadence_config_applies(self, layer, region):
+        config = EngineConfig.from_kwargs(
+            chunk_clips=16, progress_every_chunks=1
+        )
+        session = ScanEngine(GradedDensityDetector(), config=config).start(
+            layer, region
+        )
+        session.result(timeout=60)
+        assert len(session.progress_events) >= 2
+
+    def test_error_propagates_through_result(self, layer):
+        session = ScanEngine(DensityDetector()).start(
+            layer, Rect(0, 0, 100, 100)
+        )
+        with pytest.raises(ValueError):
+            session.result(timeout=60)
+        assert session.done()
+
+    def test_timeout_then_completion(self, layer, region):
+        detector = GatedDetector()
+        session = ScanEngine(detector).start(layer, region)
+        with pytest.raises(TimeoutError):
+            session.result(timeout=0.05)
+        assert not session.done()
+        detector.gate.set()
+        report = session.result(timeout=60)
+        assert report.n_windows > 0

@@ -1,0 +1,181 @@
+"""Span tracing: JSONL structure, span tree, zero perturbation of scores."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    EngineConfig,
+    ProgressReporter,
+    ScanEngine,
+    Telemetry,
+    Tracer,
+    read_trace,
+)
+from repro.shallow import make_logistic_density
+
+from .conftest import DensityDetector, GradedDensityDetector, tiny_grating_dataset
+
+
+def traced_scan(detector, layer, region, tmp_path, **flat):
+    config = EngineConfig.from_kwargs(trace_dir=tmp_path / "trace", **flat)
+    report = ScanEngine(detector, config=config).scan(layer, region)
+    return report, read_trace(Tracer.path_in(tmp_path / "trace"))
+
+
+def fitted_raster_detector():
+    det = make_logistic_density()
+    det.fit(tiny_grating_dataset(), rng=np.random.default_rng(1))
+    return det
+
+
+class TestNullTracer:
+    def test_disabled_and_shared_span(self):
+        assert NULL_TRACER.enabled is False
+        span = NULL_TRACER.span("anything", kind="chunk", n=3)
+        assert span is NULL_TRACER.span("other")
+        with span as s:
+            s.set(whatever=1)
+        NULL_TRACER.event("noop", x=2)
+        NULL_TRACER.close()
+
+
+class TestTraceFile:
+    def test_every_line_parses_and_brackets_match(self, layer, region, tmp_path):
+        _report, records = traced_scan(
+            GradedDensityDetector(), layer, region, tmp_path
+        )
+        assert records[0]["ev"] == "trace_start"
+        assert records[0]["schema"] == TRACE_SCHEMA
+        assert records[-1]["ev"] == "trace_end"
+        opened = {r["id"] for r in records if r["ev"] == "span_open"}
+        closed = {r["id"] for r in records if r["ev"] == "span_close"}
+        assert opened == closed and opened
+
+    def test_span_tree_shape(self, layer, region, tmp_path):
+        _report, records = traced_scan(
+            GradedDensityDetector(), layer, region, tmp_path
+        )
+        opens = [r for r in records if r["ev"] == "span_open"]
+        scans = [r for r in opens if r["kind"] == "scan"]
+        assert len(scans) == 1 and scans[0]["parent"] is None
+        scan_id = scans[0]["id"]
+        phases = [r for r in opens if r["kind"] == "phase"]
+        assert phases and all(p["parent"] == scan_id for p in phases)
+        chunks = [r for r in opens if r["kind"] == "chunk"]
+        assert chunks
+        phase_ids = {p["id"] for p in phases}
+        assert all(c["parent"] in phase_ids | {scan_id} for c in chunks)
+
+    def test_chunk_spans_cover_every_scored_window(
+        self, layer, region, tmp_path
+    ):
+        report, records = traced_scan(
+            GradedDensityDetector(), layer, region, tmp_path
+        )
+        chunk_closes = [
+            r
+            for r in records
+            if r["ev"] == "span_close" and r["kind"] == "chunk"
+        ]
+        assert sum(c["n"] for c in chunk_closes) == report.n_scored
+        for close in chunk_closes:
+            assert close["wall_s"] >= 0
+            assert close["cpu_s"] >= 0
+            assert "attempts" in close and "counters" in close
+
+    def test_scan_span_counter_deltas(self, layer, region, tmp_path):
+        report, records = traced_scan(
+            GradedDensityDetector(), layer, region, tmp_path
+        )
+        scan_close = next(
+            r
+            for r in records
+            if r["ev"] == "span_close" and r["kind"] == "scan"
+        )
+        assert scan_close["counters"]["windows"] == report.n_windows
+        assert scan_close["counters"]["scored"] == report.n_scored
+        assert scan_close["n_scored"] == report.n_scored
+
+    def test_records_are_sorted_json(self, layer, region, tmp_path):
+        traced_scan(GradedDensityDetector(), layer, region, tmp_path)
+        for line in Tracer.path_in(tmp_path / "trace").read_text().splitlines():
+            record = json.loads(line)
+            assert line == json.dumps(record, sort_keys=True)
+
+
+class TestZeroPerturbation:
+    @pytest.mark.parametrize(
+        "make_detector,flat",
+        [
+            (GradedDensityDetector, {"dedup": False}),  # direct clip path
+            (GradedDensityDetector, {}),  # dedup clip path
+            (fitted_raster_detector, {"raster_plane": True}),  # raster path
+        ],
+        ids=["direct", "dedup", "raster"],
+    )
+    def test_scores_byte_identical_with_tracing(
+        self, layer, region, tmp_path, make_detector, flat
+    ):
+        detector = make_detector()
+        plain = ScanEngine(
+            detector, config=EngineConfig.from_kwargs(**flat)
+        ).scan(layer, region)
+        traced, records = traced_scan(
+            detector, layer, region, tmp_path, progress=lambda e: None, **flat
+        )
+        assert traced.scores.tobytes() == plain.scores.tobytes()
+        assert np.array_equal(traced.flagged, plain.flagged)
+        assert traced.scan_path == plain.scan_path
+        assert records[-1]["ev"] == "trace_end"
+
+    def test_collaborators_restored_after_scan(self, layer, region, tmp_path):
+        engine = ScanEngine(
+            DensityDetector(),
+            config=EngineConfig.from_kwargs(trace_dir=tmp_path / "t"),
+        )
+        engine.scan(layer, region)
+        assert engine.cache.tracer is NULL_TRACER
+
+
+class TestProgress:
+    def test_heartbeats_reach_callable_sink(self, layer, region):
+        events = []
+        config = EngineConfig.from_kwargs(
+            progress=events.append, progress_every_chunks=1, chunk_clips=16
+        )
+        report = ScanEngine(GradedDensityDetector(), config=config).scan(
+            layer, region
+        )
+        assert len(events) >= 2
+        assert events[-1].phase == "done"
+        assert events[-1].windows_done == report.n_windows
+        assert events[-1].fraction == 1.0
+        done = [e.windows_done for e in events]
+        assert done == sorted(done)
+
+    def test_reporter_cadence(self):
+        telemetry = Telemetry()
+        seen = []
+        reporter = ProgressReporter(
+            telemetry, windows_total=100, every_chunks=3, sinks=[seen.append]
+        )
+        for _ in range(7):
+            telemetry.count("windows", 10)
+            reporter.tick("score")
+        assert len(seen) == 2  # chunks 3 and 6
+        reporter.emit("done")
+        assert seen[-1].phase == "done"
+        assert seen[-1].windows_done == 70
+
+    def test_event_format_is_human_line(self):
+        telemetry = Telemetry()
+        telemetry.count("windows", 50)
+        telemetry.count("scored", 25)
+        reporter = ProgressReporter(telemetry, windows_total=100)
+        line = reporter.snapshot("score").format()
+        assert "50/100 windows" in line
+        assert "50% dedup" in line

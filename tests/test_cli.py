@@ -322,3 +322,94 @@ class TestScanChipCommand:
             == 2
         )
         assert "key=value" in capsys.readouterr().err
+
+
+class TestScanChipObservability:
+    """End-to-end: --trace-dir / --metrics-out / --progress / --report-json."""
+
+    def _scan(self, tmp_path, capsys, monkeypatch, extra):
+        import json
+
+        from repro.geometry import Layout, Polygon
+        from repro.geometry.gdsii import write_gdsii
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        layout = Layout("block")
+        layer = layout.layer("L1")
+        for i in range(15):
+            layer.add(Polygon.rectangle(Rect(0, i * 144, 2304, i * 144 + 64)))
+        gds = tmp_path / "block.gds"
+        write_gdsii(layout, gds)
+        argv = [
+            "scan-chip",
+            str(gds),
+            "--detector",
+            "logistic-density",
+            "--scale",
+            "0.02",
+            "--seed",
+            "99",
+        ] + extra
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        return json, captured
+
+    def test_trace_and_metrics_artifacts(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        json, captured = self._scan(
+            tmp_path,
+            capsys,
+            monkeypatch,
+            [
+                "--trace-dir",
+                str(tmp_path / "trace"),
+                "--metrics-out",
+                str(tmp_path / "metrics"),
+                "--progress",
+            ],
+        )
+        # JSONL trace parses line by line and is bracketed correctly
+        trace_lines = (
+            (tmp_path / "trace" / "scan-trace.jsonl")
+            .read_text()
+            .splitlines()
+        )
+        records = [json.loads(line) for line in trace_lines]
+        assert records[0]["ev"] == "trace_start"
+        assert records[-1]["ev"] == "trace_end"
+        assert any(r["ev"] == "span_open" for r in records)
+        # metrics snapshot: valid JSON + Prometheus exposition
+        snapshot = json.loads((tmp_path / "metrics.json").read_text())
+        assert snapshot["counters"]["fault_worker_crash"] == 0
+        prom = (tmp_path / "metrics.prom").read_text()
+        assert prom.startswith("# HELP repro_scan_info")
+        assert 'repro_scan_events_total{event="pool_retries"} 0' in prom
+        # progress heartbeats landed on stderr
+        assert "windows" in captured.err
+
+    def test_report_json_round_trips(self, tmp_path, capsys, monkeypatch):
+        from repro.runtime import ScanReport
+
+        json, _captured = self._scan(
+            tmp_path,
+            capsys,
+            monkeypatch,
+            ["--report-json", str(tmp_path / "report.json")],
+        )
+        document = (tmp_path / "report.json").read_text().strip()
+        report = ScanReport.from_json(document)
+        assert report.to_json() == document
+        assert report.n_windows > 0
+
+    def test_stats_prints_structured_snapshot(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        json, captured = self._scan(
+            tmp_path, capsys, monkeypatch, ["--stats"]
+        )
+        out = captured.out
+        snapshot = json.loads(out[out.index("{") :])
+        assert snapshot["schema"] == 1
+        assert "fault_worker_crash" in snapshot["counters"]
+        assert list(snapshot["counters"]) == sorted(snapshot["counters"])
