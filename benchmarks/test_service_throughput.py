@@ -1,0 +1,116 @@
+"""Scan service — job throughput and submit-to-result latency.
+
+The service layer is only worth its queue if it keeps the engine busy:
+this bench stands up the full stack (HTTP front door, job manager,
+worker fleet, in-memory stores) and drives it with the closed-loop load
+generator at two fleet sizes.  Each job is a real HTTP round trip —
+submit, poll, fetch the report — over a small routed block, so the
+measured latency is what a client of ``repro serve`` would see.
+
+Recorded to ``BENCH_service.json`` at the repo root: jobs/s plus
+p50/p90/p99 submit-to-result latency per worker count.  The CI smoke
+gates on every job succeeding, not on absolute numbers — shared runners
+make wall-clock assertions flaky.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .conftest import run_once
+
+
+def _bench_layer(cell_nm=2048):
+    from repro.data import RoutedBlockConfig, synthesize_routed_block
+    from repro.geometry import Rect
+
+    rng = np.random.default_rng(17)
+    cell = Rect(0, 0, cell_nm, cell_nm)
+    layer, _seeded = synthesize_routed_block(
+        rng, cell, RoutedBlockConfig(n_marginal=2, marginal_len_nm=400)
+    )
+    return layer, cell
+
+
+def _fitted_detector(suite):
+    from repro.core.registry import create
+
+    b1 = [b for b in suite if b.name == "B1"][0]
+    detector = create("logistic-density")
+    detector.fit(b1.train, rng=np.random.default_rng(17))
+    return detector
+
+
+def test_service_throughput(benchmark, suite, out_dir):
+    from repro.bench import write_table
+    from repro.service import (
+        JobManager,
+        LoadGenerator,
+        ScanService,
+        WorkerFleet,
+        encode_job_request,
+    )
+
+    layer, region = _bench_layer()
+    detector = _fitted_detector(suite)
+    request = encode_job_request(layer, region, engine={"chunk_clips": 64})
+    jobs, concurrency = 12, 4
+
+    def run():
+        reports = {}
+        for workers in (1, 4):
+            manager = JobManager.in_memory()
+            fleet = WorkerFleet(manager, detector, workers=workers)
+            with ScanService(manager, fleet=fleet) as service:
+                generator = LoadGenerator(
+                    service.url,
+                    request,
+                    jobs=jobs,
+                    concurrency=concurrency,
+                )
+                reports[workers] = generator.run()
+        return reports
+
+    reports = run_once(benchmark, run)
+
+    record = {
+        "workload": {
+            "cell_nm": 2048,
+            "window_nm": 768,
+            "step_nm": 256,
+            "detector": "logistic-density",
+            "jobs": jobs,
+            "concurrency": concurrency,
+            "transport": "http",
+        },
+        "results": [],
+    }
+    rows = []
+    for workers, report in sorted(reports.items()):
+        summary = report.to_dict()
+        summary["workers"] = workers
+        record["results"].append(summary)
+        latency = report.latency_summary()
+        rows.append(
+            {
+                "workers": workers,
+                "jobs/s": round(report.throughput_jobs_per_s, 2),
+                "p50_s": round(latency["p50_s"], 3),
+                "p90_s": round(latency["p90_s"], 3),
+                "p99_s": round(latency["p99_s"], 3),
+            }
+        )
+        # correctness gate: the queue must lose nothing under load
+        assert report.succeeded == jobs, f"workers={workers}: {summary}"
+        assert report.failed == 0
+        assert report.throughput_jobs_per_s > 0
+
+    bench_json = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+    bench_json.write_text(json.dumps(record, indent=2) + "\n")
+    text = write_table(
+        rows,
+        out_dir / "service_throughput.md",
+        title="Scan service: HTTP job throughput by fleet size",
+    )
+    print("\n" + text)

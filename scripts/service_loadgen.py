@@ -1,0 +1,108 @@
+"""Load-generate a running scan service and report throughput/latency.
+
+Points the closed-loop :class:`repro.service.LoadGenerator` at a live
+``repro serve`` endpoint: each worker thread submits a synthetic routed
+block over HTTP, polls to completion, fetches the report, and times the
+whole round trip.  The summary (jobs/s, p50/p90/p99 latency) prints as
+JSON and can be written to a file for dashboards:
+
+    python -m repro serve --workers 4 --detector logistic-density &
+    python scripts/service_loadgen.py http://127.0.0.1:8787 \
+        --jobs 32 --concurrency 8 --out loadgen.json
+
+The same LoadGenerator drives ``benchmarks/test_service_throughput.py``,
+which records the committed ``BENCH_service.json``.
+"""
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.data import RoutedBlockConfig, synthesize_routed_block
+from repro.geometry import Rect
+from repro.service import LoadGenerator, encode_job_request
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description="Closed-loop load generator for the scan service."
+    )
+    parser.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8787")
+    parser.add_argument("--jobs", type=int, default=16, help="total jobs to run")
+    parser.add_argument(
+        "--concurrency", type=int, default=4, help="in-flight clients"
+    )
+    parser.add_argument(
+        "--cell-nm", type=int, default=2048, help="synthetic block edge (nm)"
+    )
+    parser.add_argument("--window", type=int, default=768, help="window size (nm)")
+    parser.add_argument("--core", type=int, default=256, help="core size (nm)")
+    parser.add_argument(
+        "--step", type=int, default=None, help="scan step (nm, default core)"
+    )
+    parser.add_argument(
+        "--engine",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="client-settable engine knob (repeatable), e.g. chunk_clips=64",
+    )
+    parser.add_argument("--seed", type=int, default=17, help="layout RNG seed")
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, help="per-job deadline (s)"
+    )
+    parser.add_argument(
+        "--out", default=None, help="also write the JSON summary here"
+    )
+    return parser.parse_args(argv)
+
+
+def parse_engine_overrides(pairs):
+    engine = {}
+    for pair in pairs:
+        key, _, raw = pair.partition("=")
+        if not _:
+            raise SystemExit(f"--engine expects KEY=VALUE, got {pair!r}")
+        try:
+            engine[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            engine[key] = raw
+    return engine
+
+
+def main(argv=None):
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    rng = np.random.default_rng(args.seed)
+    cell = Rect(0, 0, args.cell_nm, args.cell_nm)
+    layer, _seeded = synthesize_routed_block(
+        rng, cell, RoutedBlockConfig(n_marginal=2, marginal_len_nm=400)
+    )
+    request = encode_job_request(
+        layer,
+        cell,
+        window_nm=args.window,
+        core_nm=args.core,
+        step_nm=args.step,
+        engine=parse_engine_overrides(args.engine),
+    )
+    generator = LoadGenerator(
+        args.url,
+        request,
+        jobs=args.jobs,
+        concurrency=args.concurrency,
+        job_timeout_s=args.timeout,
+    )
+    report = generator.run()
+    summary = report.to_dict()
+    text = json.dumps(summary, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return 0 if report.failed == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

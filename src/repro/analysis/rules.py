@@ -309,87 +309,67 @@ class RasterParityRule(LintRule):
                 )
 
 
-@register_rule
-class NoDeepRuntimeImportRule(LintRule):
-    """Keep :mod:`repro.runtime` internals behind the package facade.
+class _NoDeepImportRule(LintRule):
+    """Shared machinery: keep a package's internals behind its facade.
 
-    Everything the rest of the codebase needs from the runtime is
-    re-exported by ``repro.runtime`` (and surfaced again in
-    ``repro.api``).  Importing a submodule directly —
-    ``from repro.runtime.engine import ...`` — couples the caller to
-    implementation layout that is free to change.  Files *inside*
-    ``repro/runtime/`` are exempt; tests poking at private seams
+    Parameterized by ``_PACKAGE`` (the subpackage of ``repro``) and
+    ``_SUBMODULES`` (its module names — ``from repro.<pkg> import mod``
+    binds the module object just like the dotted form does).  Files
+    *inside* ``repro/<pkg>/`` are exempt; tests poking at private seams
     suppress with a reason.
     """
 
-    name = "no-deep-runtime-import"
-    description = (
-        "import of a repro.runtime submodule from outside repro/runtime/; "
-        "use the repro.runtime (or repro.api) facade"
-    )
+    _PACKAGE = ""  # subclasses set, e.g. "runtime"
+    _SUBMODULES: frozenset = frozenset()
 
-    # Submodules of repro.runtime; ``from repro.runtime import engine``
-    # binds the module object just like the dotted form does.
-    _SUBMODULES = {
-        "cache",
-        "cascade",
-        "checkpoint",
-        "config",
-        "engine",
-        "faults",
-        "metrics",
-        "pool",
-        "telemetry",
-        "trace",
-    }
-
-    @staticmethod
-    def _inside_runtime(path: str) -> bool:
+    def _inside_package(self, path: str) -> bool:
         parts = Path(path).parts
         return any(
-            parts[i : i + 2] == ("repro", "runtime")
+            parts[i : i + 2] == ("repro", self._PACKAGE)
             for i in range(len(parts) - 1)
         )
 
     def _deep_target(self, node: ast.AST) -> Optional[str]:
         """The offending dotted module path, or None if the import is fine."""
+        pkg = self._PACKAGE
+        prefix = f"repro.{pkg}"
         if isinstance(node, ast.Import):
             for alias in node.names:
-                if alias.name.startswith("repro.runtime."):
+                if alias.name.startswith(prefix + "."):
                     return alias.name
             return None
         if isinstance(node, ast.ImportFrom):
             module = node.module or ""
             if node.level == 0:
-                if module.startswith("repro.runtime."):
+                if module.startswith(prefix + "."):
                     return module
-                if module == "repro.runtime":
+                if module == prefix:
                     deep = [
                         a.name
                         for a in node.names
                         if a.name in self._SUBMODULES
                     ]
                     if deep:
-                        return f"repro.runtime.{deep[0]}"
+                        return f"{prefix}.{deep[0]}"
             else:
-                # from ..runtime.engine import X  (any relative depth)
+                # from ..<pkg>.engine import X  (any relative depth)
                 head, _, rest = module.partition(".")
-                if head == "runtime" and rest:
-                    return f"<relative>.runtime.{rest}"
-                if head == "runtime" and not rest:
+                if head == pkg and rest:
+                    return f"<relative>.{pkg}.{rest}"
+                if head == pkg and not rest:
                     deep = [
                         a.name
                         for a in node.names
                         if a.name in self._SUBMODULES
                     ]
                     if deep:
-                        return f"<relative>.runtime.{deep[0]}"
+                        return f"<relative>.{pkg}.{deep[0]}"
         return None
 
     def check(
         self, tree: ast.Module, ctx: FileContext
     ) -> Iterator[LintDiagnostic]:
-        if self._inside_runtime(ctx.path):
+        if self._inside_package(ctx.path):
             return
         for node in ast.walk(tree):
             if not isinstance(node, (ast.Import, ast.ImportFrom)):
@@ -399,9 +379,77 @@ class NoDeepRuntimeImportRule(LintRule):
                 yield ctx.diag(
                     node,
                     self.name,
-                    f"deep runtime import '{target}'; import from the "
-                    "repro.runtime facade (or repro.api) instead",
+                    f"deep {self._PACKAGE} import '{target}'; import from "
+                    f"the repro.{self._PACKAGE} facade (or repro.api) "
+                    "instead",
                 )
+
+
+@register_rule
+class NoDeepRuntimeImportRule(_NoDeepImportRule):
+    """Keep :mod:`repro.runtime` internals behind the package facade.
+
+    Everything the rest of the codebase needs from the runtime is
+    re-exported by ``repro.runtime`` (and surfaced again in
+    ``repro.api``).  Importing a submodule directly —
+    ``from repro.runtime.engine import ...`` — couples the caller to
+    implementation layout that is free to change.
+    """
+
+    name = "no-deep-runtime-import"
+    description = (
+        "import of a repro.runtime submodule from outside repro/runtime/; "
+        "use the repro.runtime (or repro.api) facade"
+    )
+
+    _PACKAGE = "runtime"
+    _SUBMODULES = frozenset(
+        {
+            "cache",
+            "cascade",
+            "checkpoint",
+            "config",
+            "engine",
+            "faults",
+            "metrics",
+            "pool",
+            "telemetry",
+            "trace",
+        }
+    )
+
+
+@register_rule
+class NoDeepServiceImportRule(_NoDeepImportRule):
+    """Keep :mod:`repro.service` internals behind the package facade.
+
+    The service package re-exports its whole public surface from
+    ``repro.service`` (ports, adapters, manager, fleet, transport, wire
+    helpers); reaching into ``repro.service.manager`` and friends
+    couples callers to a module layout that is free to change.
+    """
+
+    name = "no-deep-service-import"
+    description = (
+        "import of a repro.service submodule from outside repro/service/; "
+        "use the repro.service (or repro.api) facade"
+    )
+
+    _PACKAGE = "service"
+    _SUBMODULES = frozenset(
+        {
+            "client",
+            "filestore",
+            "fleet",
+            "http",
+            "jobs",
+            "loadgen",
+            "manager",
+            "memory",
+            "ports",
+            "wire",
+        }
+    )
 
 
 @register_rule

@@ -13,11 +13,19 @@ from examples, notebooks, and downstream tools:
   :class:`ObservabilityConfig` for tracing / metrics / progress),
   blocking :meth:`~ScanEngine.scan` or a background
   :class:`ScanSession` via :meth:`~ScanEngine.start`, results as
-  :class:`ScanReport` (JSON-serializable wire artifact).
+  :class:`ScanReport` (JSON-serializable wire artifact),
+* **service** — the queued scan-as-a-service layer
+  (:mod:`repro.service`): :class:`JobManager` over the storage ports,
+  :class:`WorkerFleet` executing jobs through the engine,
+  :func:`serve` / :class:`ScanService` for the stdlib HTTP API,
+  :class:`ServiceClient` + :func:`encode_job_request` for callers, and
+  :func:`canonical_report_json` as the determinism contract between a
+  served scan and a direct one.
 
 Anything deeper — :mod:`repro.runtime.engine` internals especially — is
 implementation detail and may change without notice; the project lint
-rule ``no-deep-runtime-import`` enforces exactly that boundary.
+rules ``no-deep-runtime-import`` / ``no-deep-service-import`` enforce
+exactly that boundary.
 """
 
 from __future__ import annotations
@@ -51,6 +59,17 @@ from .runtime import (
     ScanSession,
     ScoreCache,
     SupervisionConfig,
+)
+from .service import (
+    JobManager,
+    JobRecord,
+    JobState,
+    ScanService,
+    ServiceClient,
+    WorkerFleet,
+    canonical_report_json,
+    encode_job_request,
+    serve,
 )
 
 __all__ = [
@@ -87,4 +106,14 @@ __all__ = [
     "ObservabilityConfig",
     "ScoreCache",
     "scan_layer",
+    # service
+    "JobManager",
+    "WorkerFleet",
+    "JobRecord",
+    "JobState",
+    "ScanService",
+    "ServiceClient",
+    "serve",
+    "encode_job_request",
+    "canonical_report_json",
 ]

@@ -10,6 +10,8 @@ Commands
 ``analyze``     litho-analyze a clip file and print per-clip verdicts
 ``scan``        sweep a saved CNN model over a GDSII layout layer
 ``scan-chip``   production full-chip scan: cache, cascade, worker pool
+``serve``       run the queued scan service (HTTP job API + worker fleet)
+``submit``      submit a GDSII layer to a running scan service
 ``pattern``     print a clip's raster as ASCII art (debugging aid)
 ``lint``        run the project-specific AST lint pass (CI gate)
 ``check``       run the detector/extractor conformance harness (CI gate)
@@ -341,6 +343,144 @@ def _cmd_scan_chip(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service_detector(args: argparse.Namespace):
+    """The detector stack a service fleet scans with (scan-chip rules)."""
+    if (args.model is None) == (args.detector is None):
+        raise ValueError("pass exactly one of --model or --detector")
+    if args.model is not None:
+        from .nn import CNNDetector
+
+        return CNNDetector.load(args.model)
+    from .bench.workloads import get_suite
+    from .core.registry import create
+
+    detector = create(args.detector)
+    rng = np.random.default_rng(args.seed)
+    train = get_suite(scale=args.scale, seed=args.seed)[0].train
+    detector.fit(train, rng=rng)
+    return detector
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import (
+        FileJobQueue,
+        FileJobStore,
+        FileResultStore,
+        InMemoryJobQueue,
+        InMemoryJobStore,
+        InMemoryResultStore,
+        JobManager,
+        TokenBucketRateLimiter,
+        WorkerFleet,
+        serve,
+    )
+
+    try:
+        detector = _build_service_detector(args)
+    except (ValueError, KeyError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    checkpoint_root = None
+    if args.state_dir is not None:
+        state_dir = Path(args.state_dir)
+        store = FileJobStore(state_dir)
+        queue = FileJobQueue(state_dir)
+        results = FileResultStore(state_dir)
+        checkpoint_root = state_dir / "checkpoints"
+    else:
+        store = InMemoryJobStore()
+        queue = InMemoryJobQueue()
+        results = InMemoryResultStore()
+
+    limiter = None
+    if args.rate > 0:
+        limiter = TokenBucketRateLimiter(args.rate, burst=args.burst)
+    manager = JobManager(
+        store,
+        queue,
+        results,
+        rate_limiter=limiter,
+        max_attempts=args.max_attempts,
+        checkpoint_root=checkpoint_root,
+    )
+    # quarantine events from the file adapters feed the service counters
+    store.on_quarantine = manager.on_quarantine
+    results.on_quarantine = manager.on_quarantine
+    fleet = WorkerFleet(manager, detector, workers=args.workers)
+    service = serve(manager, fleet=fleet, host=args.host, port=args.port)
+    host, port = service.address
+    print(
+        f"scan service on http://{host}:{port} "
+        f"({args.workers} worker(s), "
+        f"state={'in-memory' if args.state_dir is None else args.state_dir})",
+        file=sys.stderr,
+    )
+    try:
+        import threading
+
+        threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .geometry.gdsii import read_gdsii
+    from .service import (
+        ServiceClient,
+        ServiceError,
+        WireError,
+        encode_job_request,
+    )
+
+    layout, _db_unit = read_gdsii(args.gds)
+    if args.layer not in layout.layers:
+        print(
+            f"layer {args.layer!r} not in {sorted(layout.layers)}",
+            file=sys.stderr,
+        )
+        return 2
+    layer = layout.layer(args.layer)
+    region = layer.bbox.expand(-args.margin)
+    try:
+        engine = _parse_overrides(args.engine or [])
+        request = encode_job_request(
+            layer,
+            region,
+            window_nm=args.window,
+            core_nm=args.core,
+            step_nm=args.step,
+            engine=engine,
+        )
+    except (ValueError, WireError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    client = ServiceClient(args.url, client_id=args.client)
+    try:
+        status = client.submit(request)
+        job_id = str(status["job_id"])
+        print(f"submitted job {job_id} ({status['state']})")
+        if args.no_wait:
+            return 0
+        client.wait(job_id, timeout_s=args.timeout, poll_s=args.poll)
+        document = client.result(job_id)
+    except (ServiceError, TimeoutError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.out is not None:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(document + "\n")
+        print(f"report written to {out_path}", file=sys.stderr)
+    else:
+        print(document)
+    return 0
+
+
 def _cmd_pattern(args: argparse.Namespace) -> int:
     from .geometry.gdsio import load_clips
     from .geometry.rasterize import rasterize_clip
@@ -558,6 +698,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--seed", type=int, default=2012)
     p.set_defaults(fn=_cmd_scan_chip)
+
+    p = sub.add_parser(
+        "serve", help="run the queued scan service (HTTP API + worker fleet)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787, help="0 = ephemeral")
+    p.add_argument("--workers", type=int, default=1, help="scan worker threads")
+    p.add_argument("--model", type=Path, default=None, help="saved CNN (npz)")
+    p.add_argument(
+        "--detector",
+        default=None,
+        help="registry name; fitted on the cached benchmark suite",
+    )
+    p.add_argument(
+        "--state-dir",
+        type=Path,
+        default=None,
+        help="durable service state (jobs/queue/results/checkpoints); "
+        "default keeps everything in memory",
+    )
+    p.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="claims per job (first run + checkpoint-resumed retries)",
+    )
+    p.add_argument(
+        "--rate", type=float, default=0.0,
+        help="submissions/second allowed per client (0 = unlimited)",
+    )
+    p.add_argument(
+        "--burst", type=int, default=None,
+        help="token-bucket burst size (default: max(1, rate))",
+    )
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--seed", type=int, default=2012)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a GDSII layer to a running scan service"
+    )
+    p.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8787")
+    p.add_argument("gds", type=Path)
+    p.add_argument("--layer", default="L1")
+    p.add_argument("--margin", type=int, default=0, help="inset from the bbox (nm)")
+    p.add_argument("--window", type=int, default=768)
+    p.add_argument("--core", type=int, default=256)
+    p.add_argument("--step", type=int, default=None)
+    p.add_argument(
+        "--engine",
+        action="append",
+        metavar="KEY=VALUE",
+        help="client-settable engine option (repeatable), e.g. workers=2",
+    )
+    p.add_argument(
+        "--no-wait", action="store_true",
+        help="submit and print the job id without polling for the result",
+    )
+    p.add_argument("--timeout", type=float, default=300.0, help="wait deadline (s)")
+    p.add_argument("--poll", type=float, default=0.2, help="poll period (s)")
+    p.add_argument(
+        "--out", type=Path, default=None,
+        help="write the ScanReport JSON here instead of stdout",
+    )
+    p.add_argument("--client", default=None, help="X-Client id for rate limiting")
+    p.set_defaults(fn=_cmd_submit)
 
     p = sub.add_parser("pattern", help="ASCII-render a clip")
     p.add_argument("clips", type=Path)

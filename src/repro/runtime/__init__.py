@@ -38,6 +38,7 @@ from .checkpoint import (
     CHECKPOINT_NAME,
     Checkpointer,
     CheckpointMismatch,
+    quarantine_file,
     scan_config_hash,
 )
 from .config import (
@@ -58,7 +59,9 @@ from .faults import (
     InjectedFault,
 )
 from .metrics import (
+    BASELINE_COUNTERS,
     METRICS_SCHEMA,
+    SERVICE_COUNTERS,
     export_metrics,
     format_snapshot,
     metrics_snapshot,
@@ -99,6 +102,7 @@ __all__ = [
     "Checkpointer",
     "CheckpointMismatch",
     "CHECKPOINT_NAME",
+    "quarantine_file",
     "scan_config_hash",
     "FaultInjector",
     "FaultPolicy",
@@ -117,4 +121,6 @@ __all__ = [
     "to_prometheus",
     "export_metrics",
     "METRICS_SCHEMA",
+    "BASELINE_COUNTERS",
+    "SERVICE_COUNTERS",
 ]

@@ -28,7 +28,12 @@ Injection points
     quarantine-and-start-empty recovery),
 ``checkpoint_truncate``
     the scan checkpoint file is truncated after a save (drives the
-    resume-from-corrupt-checkpoint path).
+    resume-from-corrupt-checkpoint path),
+``job_interrupt``
+    a claimed service job is preempted mid-scan (the
+    :class:`~repro.service.fleet.WorkerFleet` consumes one opportunity
+    per claim and kills the firing job after a few heartbeats — drives
+    the requeue-and-checkpoint-resume retry path).
 
 Determinism
 -----------
@@ -77,6 +82,7 @@ INJECTION_POINTS: Tuple[str, ...] = (
     "range_score",
     "cache_truncate",
     "checkpoint_truncate",
+    "job_interrupt",
 )
 
 #: process exit code used by an injected worker crash (recognizable in logs)

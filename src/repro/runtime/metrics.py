@@ -30,6 +30,23 @@ PathLike = Union[str, Path]
 #: bump when the snapshot layout changes incompatibly
 METRICS_SCHEMA = 1
 
+#: the scan-as-a-service job/HTTP counter family (repro.service); seeded
+#: here so service dashboards see the full key set from the first scrape
+SERVICE_COUNTERS: Tuple[str, ...] = (
+    "job_submitted",
+    "job_started",
+    "job_succeeded",
+    "job_failed",
+    "job_cancelled",
+    "job_retries",
+    "job_requeued",
+    "job_recovered",
+    "job_quarantined",
+    "service_rate_limited",
+    "service_http_requests",
+    "service_http_errors",
+)
+
 #: counters always present in a snapshot, zero-seeded when they never fired
 BASELINE_COUNTERS: Tuple[str, ...] = tuple(
     [f"fault_{point}" for point in INJECTION_POINTS]
@@ -48,6 +65,7 @@ BASELINE_COUNTERS: Tuple[str, ...] = tuple(
         "windows",
         "scored",
     ]
+    + list(SERVICE_COUNTERS)
 )
 
 

@@ -1,0 +1,129 @@
+"""Scan-as-a-service: queued job API, worker fleet, result store.
+
+The runtime engine (:mod:`repro.runtime`) is a single-invocation
+library: one caller, one :meth:`~repro.runtime.ScanEngine.scan`, one
+:class:`~repro.runtime.ScanReport`.  This package turns it into a
+multi-tenant *service* — the EPIC-style deployment where many clients
+submit layouts and a fleet of workers drains a durable queue:
+
+    submit -> JobQueue -> WorkerFleet -> ResultStore -> fetch
+
+The package is laid out in the **ports and adapters** style:
+
+* **ports** (:mod:`~repro.service.ports`) — :class:`JobQueue`,
+  :class:`JobStore`, :class:`ResultStore`, :class:`RateLimiter`:
+  abstract seams the service logic is written against,
+* **adapters** — in-memory (:mod:`~repro.service.memory`) for tests and
+  single-process deployments, file-backed
+  (:mod:`~repro.service.filestore`): atomic-write, crash-safe, corrupt
+  entries quarantined ``*.quarantined``.  Redis-class backends slot in
+  later by implementing the same four ports,
+* **service logic** — :class:`JobManager`
+  (:mod:`~repro.service.manager`): the submit/status/cancel/result
+  lifecycle over a versioned :class:`JobRecord` state machine with
+  bounded checkpoint-resume retries; :class:`WorkerFleet`
+  (:mod:`~repro.service.fleet`): N worker threads executing jobs
+  through the existing :class:`~repro.runtime.ScanEngine` /
+  :class:`~repro.runtime.EngineConfig` API,
+* **transport** — :class:`ScanService` (:mod:`~repro.service.http`): a
+  stdlib ``http.server`` front end (``POST /jobs``, ``GET /jobs/<id>``,
+  ``GET /jobs/<id>/result``, ``DELETE /jobs/<id>``, ``GET /metrics``
+  Prometheus exposition, ``GET /healthz``) and
+  :class:`ServiceClient` (:mod:`~repro.service.client`), the matching
+  urllib client used by ``repro submit`` and the load generator.
+
+Everything callers need is re-exported here (and from
+:mod:`repro.api`); importing ``repro.service.<submodule>`` directly from
+outside the package trips the ``no-deep-service-import`` lint rule.
+"""
+
+from .client import ServiceClient, ServiceError
+from .fleet import JobCancelled, JobInterrupted, WorkerFleet
+from .filestore import FileJobQueue, FileJobStore, FileResultStore
+from .http import ScanService, serve, service_prometheus
+from .jobs import (
+    ACTIVE_STATES,
+    JOB_SCHEMA,
+    TERMINAL_STATES,
+    InvalidTransition,
+    JobRecord,
+    JobState,
+)
+from .loadgen import LoadGenerator, LoadReport
+from .manager import JobManager
+from .memory import (
+    InMemoryJobQueue,
+    InMemoryJobStore,
+    InMemoryResultStore,
+    NullRateLimiter,
+    TokenBucketRateLimiter,
+)
+from .ports import (
+    JobNotFound,
+    JobQueue,
+    JobStore,
+    RateLimited,
+    RateLimiter,
+    ResultStore,
+    StoredResult,
+)
+from .wire import (
+    JOB_REQUEST_SCHEMA,
+    WireError,
+    build_engine_config,
+    canonical_report_json,
+    decode_layer,
+    encode_job_request,
+    encode_layer,
+    validate_job_request,
+)
+
+__all__ = [
+    # jobs / state machine
+    "JobRecord",
+    "JobState",
+    "JOB_SCHEMA",
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "InvalidTransition",
+    # ports
+    "JobQueue",
+    "JobStore",
+    "ResultStore",
+    "RateLimiter",
+    "StoredResult",
+    "JobNotFound",
+    "RateLimited",
+    # adapters
+    "InMemoryJobQueue",
+    "InMemoryJobStore",
+    "InMemoryResultStore",
+    "TokenBucketRateLimiter",
+    "NullRateLimiter",
+    "FileJobQueue",
+    "FileJobStore",
+    "FileResultStore",
+    # service logic
+    "JobManager",
+    "WorkerFleet",
+    "JobInterrupted",
+    "JobCancelled",
+    # transport
+    "ScanService",
+    "serve",
+    "service_prometheus",
+    "ServiceClient",
+    "ServiceError",
+    # wire format
+    "JOB_REQUEST_SCHEMA",
+    "WireError",
+    "encode_layer",
+    "decode_layer",
+    "encode_job_request",
+    "validate_job_request",
+    "build_engine_config",
+    "canonical_report_json",
+    # load generation
+    "LoadGenerator",
+    "LoadReport",
+]

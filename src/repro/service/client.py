@@ -1,0 +1,138 @@
+"""A small urllib client for the scan service HTTP API.
+
+Used by ``repro submit``, the load generator, and the CI smoke — and a
+reasonable starting point for any external caller.  Only the standard
+library is involved; a :class:`ServiceError` carries the HTTP status
+plus the server's ``error`` message for every non-2xx response.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+from .jobs import TERMINAL_STATES, JobState
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to one scan service at ``base_url`` (e.g. http://host:8787)."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        client_id: Optional[str] = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.client_id = client_id
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, object]] = None
+    ) -> str:
+        data = (
+            None
+            if body is None
+            else json.dumps(body, sort_keys=True).encode("utf-8")
+        )
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method
+        )
+        request.add_header("Content-Type", "application/json")
+        if self.client_id:
+            request.add_header("X-Client", self.client_id)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as rsp:
+                return rsp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(raw).get("error", raw)
+            except json.JSONDecodeError:
+                message = raw
+            raise ServiceError(exc.code, message) from exc
+
+    def _json(
+        self, method: str, path: str, body: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        return json.loads(self._request(method, path, body))
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def submit(self, request: Dict[str, object]) -> Dict[str, object]:
+        """POST a job request (see :func:`~repro.service.wire.encode_job_request`)."""
+        return self._json("POST", "/jobs", request)
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> str:
+        """The verbatim ``ScanReport.to_json()`` document."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def metrics(self, job_id: str) -> Dict[str, object]:
+        """The job's scan metrics snapshot."""
+        return self._json("GET", f"/jobs/{job_id}/metrics")
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._json("DELETE", f"/jobs/{job_id}")
+
+    def healthz(self) -> Dict[str, object]:
+        return self._json("GET", "/healthz")
+
+    def service_metrics(self) -> str:
+        """The Prometheus text exposition of the whole service."""
+        return self._request("GET", "/metrics")
+
+    def wait(
+        self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.1
+    ) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state; its final status.
+
+        Raises :class:`TimeoutError` when the deadline passes first and
+        :class:`ServiceError` if the job lands anywhere but succeeded.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            state = JobState(status["state"])
+            if state in TERMINAL_STATES:
+                if state is not JobState.SUCCEEDED:
+                    raise ServiceError(
+                        409,
+                        f"job {job_id} finished {state.value}: "
+                        f"{status.get('error') or 'no error recorded'}",
+                    )
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state.value} after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+    def run(
+        self,
+        request: Dict[str, object],
+        timeout_s: float = 300.0,
+        poll_s: float = 0.1,
+    ) -> str:
+        """Submit, wait, and fetch: the blocking one-call convenience."""
+        job_id = str(self.submit(request)["job_id"])
+        self.wait(job_id, timeout_s=timeout_s, poll_s=poll_s)
+        return self.result(job_id)

@@ -1,0 +1,253 @@
+"""File-backed adapters: crash-safe persistence for the service state.
+
+One directory tree per service instance::
+
+    <root>/jobs/<job_id>.json          job records (atomic writes)
+    <root>/queue/<seq>-<job_id>.entry  pending dispatch order
+    <root>/results/<job_id>.report.json + <job_id>.metrics.json
+
+Durability rules, matching the PR-4 cache/checkpoint conventions:
+
+* every write is **atomic** — tmp file in the same directory, then
+  ``os.replace``; a crash mid-write never leaves a half-record visible,
+* a truncated or corrupt entry found on read is **quarantined**
+  (renamed ``*.quarantined`` via
+  :func:`repro.runtime.quarantine_file`) and reported through the
+  adapter's ``on_quarantine`` hook instead of crashing the fleet —
+  evidence is preserved, service keeps running,
+* queue entries are *hints*, not truth: :meth:`JobManager.recover
+  <repro.service.manager.JobManager.recover>` rebuilds the queue from
+  the job store after a restart, so a crash between queue-pop and
+  job-claim loses nothing and duplicates nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from ..runtime import quarantine_file
+from .jobs import JobRecord
+from .ports import (
+    JobNotFound,
+    JobQueue,
+    JobStore,
+    ResultStore,
+    StoredResult,
+)
+
+PathLike = Union[str, Path]
+
+#: signature of the corrupt-entry hook: (kind, quarantined_path)
+QuarantineHook = Callable[[str, Path], None]
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write-then-rename so readers never observe a partial file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class FileJobStore(JobStore):
+    """One JSON document per job under ``<root>/jobs/``."""
+
+    def __init__(
+        self, root: PathLike, on_quarantine: Optional[QuarantineHook] = None
+    ) -> None:
+        self.dir = Path(root) / "jobs"
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.on_quarantine = on_quarantine
+        self._lock = threading.RLock()
+
+    def _path(self, job_id: str) -> Path:
+        return self.dir / f"{job_id}.json"
+
+    def _read(self, path: Path) -> Optional[JobRecord]:
+        """Parse one record file; quarantine instead of raising on junk."""
+        try:
+            return JobRecord.from_dict(
+                json.loads(path.read_text(encoding="utf-8"))
+            )
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            quarantined = quarantine_file(path)
+            if self.on_quarantine is not None:
+                self.on_quarantine("job", quarantined)
+            return None
+
+    def put(self, record: JobRecord) -> None:
+        with self._lock:
+            _atomic_write_text(
+                self._path(record.job_id),
+                json.dumps(record.to_dict(), sort_keys=True),
+            )
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._read(self._path(job_id))
+
+    def update(
+        self, job_id: str, mutate: Callable[[JobRecord], Optional[JobRecord]]
+    ) -> Optional[JobRecord]:
+        with self._lock:
+            record = self._read(self._path(job_id))
+            if record is None:
+                raise JobNotFound(job_id)
+            replacement = mutate(record)
+            if replacement is not None:
+                self.put(replacement)
+            return replacement
+
+    def list_records(self) -> List[JobRecord]:
+        with self._lock:
+            records = []
+            for path in sorted(self.dir.glob("*.json")):
+                record = self._read(path)
+                if record is not None:
+                    records.append(record)
+            return sorted(records, key=lambda r: r.seq)
+
+    def delete(self, job_id: str) -> bool:
+        with self._lock:
+            path = self._path(job_id)
+            if not path.exists():
+                return False
+            path.unlink()
+            return True
+
+
+class FileJobQueue(JobQueue):
+    """Pending order as empty marker files under ``<root>/queue/``.
+
+    Entry names are ``<seq>-<job_id>.entry`` with a strictly increasing
+    zero-padded sequence (resumed past the largest on-disk entry at
+    startup), so lexicographic order *is* FIFO order across restarts.
+    ``pop`` unlinks the entry it returns — at-most-once dispatch from
+    the queue's side; exactly-once execution is the job store's atomic
+    claim, which tolerates both lost and duplicated queue entries.
+    """
+
+    _POLL_S = 0.05
+
+    def __init__(self, root: PathLike) -> None:
+        self.dir = Path(root) / "queue"
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Condition()
+        existing = [
+            int(p.name.split("-", 1)[0])
+            for p in self.dir.glob("*.entry")
+            if p.name.split("-", 1)[0].isdigit()
+        ]
+        self._seq = (max(existing) + 1) if existing else 0
+
+    def _entries(self) -> List[Path]:
+        return sorted(self.dir.glob("*.entry"))
+
+    def push(self, job_id: str) -> None:
+        with self._lock:
+            path = self.dir / f"{self._seq:020d}-{job_id}.entry"
+            self._seq += 1
+            _atomic_write_text(path, "")
+            self._lock.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[str]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                entries = self._entries()
+                if entries:
+                    head = entries[0]
+                    head.unlink()
+                    name = head.name[: -len(".entry")]
+                    return name.split("-", 1)[1]
+                # wake on same-process pushes; poll for foreign writers
+                if deadline is None:
+                    self._lock.wait(self._POLL_S)
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._lock.wait(min(self._POLL_S, remaining))
+
+    def clear(self) -> None:
+        with self._lock:
+            for path in self._entries():
+                path.unlink()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries())
+
+
+class FileResultStore(ResultStore):
+    """Report document + metrics snapshot under ``<root>/results/``.
+
+    The report is stored **verbatim** (the exact ``ScanReport.to_json``
+    string) so a fetched result is byte-identical to what the worker
+    produced; the metrics snapshot is a sibling JSON document.
+    """
+
+    def __init__(
+        self, root: PathLike, on_quarantine: Optional[QuarantineHook] = None
+    ) -> None:
+        self.dir = Path(root) / "results"
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.on_quarantine = on_quarantine
+        self._lock = threading.RLock()
+
+    def _report_path(self, job_id: str) -> Path:
+        return self.dir / f"{job_id}.report.json"
+
+    def _metrics_path(self, job_id: str) -> Path:
+        return self.dir / f"{job_id}.metrics.json"
+
+    def put(self, result: StoredResult) -> None:
+        with self._lock:
+            _atomic_write_text(self._report_path(result.job_id), result.document)
+            _atomic_write_text(
+                self._metrics_path(result.job_id),
+                json.dumps(result.metrics, sort_keys=True),
+            )
+
+    def get(self, job_id: str) -> Optional[StoredResult]:
+        with self._lock:
+            report_path = self._report_path(job_id)
+            try:
+                document = report_path.read_text(encoding="utf-8")
+            except FileNotFoundError:
+                return None
+            metrics: Dict[str, object] = {}
+            metrics_path = self._metrics_path(job_id)
+            try:
+                metrics = json.loads(metrics_path.read_text(encoding="utf-8"))
+            except FileNotFoundError:
+                pass
+            except json.JSONDecodeError:
+                quarantined = quarantine_file(metrics_path)
+                if self.on_quarantine is not None:
+                    self.on_quarantine("metrics", quarantined)
+            # the report document must itself be valid JSON; a truncated
+            # write (crash, disk-full) is quarantined like a bad cache
+            try:
+                json.loads(document)
+            except json.JSONDecodeError:
+                quarantined = quarantine_file(report_path)
+                if self.on_quarantine is not None:
+                    self.on_quarantine("result", quarantined)
+                return None
+            return StoredResult(job_id=job_id, document=document, metrics=metrics)
+
+    def delete(self, job_id: str) -> bool:
+        with self._lock:
+            removed = False
+            for path in (self._report_path(job_id), self._metrics_path(job_id)):
+                if path.exists():
+                    path.unlink()
+                    removed = True
+            return removed

@@ -1,0 +1,223 @@
+"""WorkerFleet: N scan workers draining the job queue through the engine.
+
+Each worker is one daemon thread looping claim → scan → settle:
+
+* **claim** — :meth:`JobManager.claim` pops the queue and atomically
+  flips the record ``queued → running`` (stale entries skip silently),
+* **scan** — the validated request is decoded back to engine-native
+  objects and run through a fresh :class:`~repro.runtime.ScanEngine`
+  built over this worker's private detector copy (detectors mutate
+  per-scan state — cascade tallies, tracer handles — so sharing one
+  across threads would corrupt both scans),
+* **settle** — success publishes the verbatim ``ScanReport.to_json()``
+  document plus its metrics snapshot to the result store; any failure
+  funnels through :meth:`JobManager.fail`, which requeues while
+  attempts remain.
+
+Preemption and cancellation ride the engine's progress heartbeats: the
+fleet installs a per-job progress hook (heartbeats are delivered
+synchronously and their exceptions propagate out of ``scan``), and the
+hook raises :class:`JobCancelled` when the record was flagged or
+:class:`JobInterrupted` when the ``job_interrupt`` fault-injection
+point fired for this claim.  Because every job scans with its own
+checkpoint directory, the *next* claim of an interrupted job runs with
+``resume=True`` and replays only the unscanned remainder — the
+canonical report is byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from typing import List, Optional, Union
+
+from ..runtime import FaultInjector, ScanEngine, metrics_snapshot
+from .jobs import JobRecord
+from .manager import JobManager
+from .wire import build_engine_config, decode_layer, decode_region
+
+
+class JobInterrupted(RuntimeError):
+    """An injected mid-scan preemption (the ``job_interrupt`` point)."""
+
+
+class JobCancelled(RuntimeError):
+    """The job's cancel flag was observed at a heartbeat."""
+
+
+class WorkerFleet:
+    """N worker threads executing jobs from a :class:`JobManager`.
+
+    Parameters
+    ----------
+    manager:
+        The job lifecycle authority this fleet drains.
+    detector:
+        Prototype detector; each worker scans with its own deep copy.
+    workers:
+        Number of concurrent scan threads.
+    faults:
+        Optional :class:`~repro.runtime.FaultInjector` (or spec string)
+        consulted once per claim at the ``job_interrupt`` point; a
+        firing claim is preempted after ``interrupt_after_events``
+        heartbeats.
+    interrupt_after_events:
+        *Scoring* heartbeats (``event.scored > 0``) an interrupt-marked
+        job survives before preemption.  Counting only scoring beats —
+        not the dedup fingerprint phase that precedes them — guarantees
+        scored chunks, and therefore checkpoints, exist by the time the
+        preemption fires, so the retry genuinely resumes.
+    heartbeat_every_chunks:
+        Chunks between progress heartbeats (bounds cancel latency).
+    poll_timeout_s:
+        Queue-poll period; also bounds how fast :meth:`stop` lands.
+    """
+
+    def __init__(
+        self,
+        manager: JobManager,
+        detector,
+        workers: int = 1,
+        *,
+        faults: Union[FaultInjector, str, None] = None,
+        interrupt_after_events: int = 2,
+        heartbeat_every_chunks: int = 1,
+        poll_timeout_s: float = 0.1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if interrupt_after_events < 1:
+            raise ValueError("interrupt_after_events must be >= 1")
+        self.manager = manager
+        self.detector = detector
+        self.workers = workers
+        self.faults = (
+            FaultInjector(faults) if isinstance(faults, str) else faults
+        )
+        self.interrupt_after_events = interrupt_after_events
+        self.heartbeat_every_chunks = heartbeat_every_chunks
+        self.poll_timeout_s = poll_timeout_s
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        # fires() mutates injector counters; claims race from N threads
+        self._fault_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "WorkerFleet":
+        """Recover persisted state, then launch the worker threads."""
+        if self._threads:
+            raise RuntimeError("fleet already started")
+        self._stop.clear()
+        self.manager.recover()
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(f"worker-{i}",),
+                name=f"repro-scan-worker-{i}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Ask the workers to finish their current job and exit."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+
+    def __enter__(self) -> "WorkerFleet":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return any(t.is_alive() for t in self._threads)
+
+    def wait_idle(self, timeout: float = 30.0) -> bool:
+        """Block until no job is queued or running (True) or timeout."""
+        deadline = threading.Event()
+        poll = min(self.poll_timeout_s, 0.05)
+        waited = 0.0
+        while waited <= timeout:
+            counts = self.manager.jobs_by_state()
+            if (
+                counts["queued"] == 0
+                and counts["running"] == 0
+                and self.manager.queue_depth() == 0
+            ):
+                return True
+            deadline.wait(poll)
+            waited += poll
+        return False
+
+    # ------------------------------------------------------------------
+    # the worker loop
+    # ------------------------------------------------------------------
+    def _worker_loop(self, worker_name: str) -> None:
+        detector = copy.deepcopy(self.detector)
+        while not self._stop.is_set():
+            record = self.manager.claim(worker_name, self.poll_timeout_s)
+            if record is None:
+                continue
+            self._run_job(record, detector)
+
+    def _interrupt_armed(self) -> bool:
+        if self.faults is None:
+            return False
+        with self._fault_lock:
+            return self.faults.fires("job_interrupt")
+
+    def _run_job(self, record: JobRecord, detector) -> None:
+        try:
+            document, metrics = self._execute(record, detector)
+        except Exception as exc:  # lint: disable=broad-except  (every job failure — injected preemption, cancel, or a genuine scan error — must settle the record instead of killing the worker thread)
+            self.manager.fail(record, exc)
+            return
+        self.manager.complete(record, document, metrics)
+
+    def _execute(self, record: JobRecord, detector):
+        request = record.request
+        layer = decode_layer(request["layer"])
+        region = decode_region(request)
+        interrupt = self._interrupt_armed()
+        if interrupt:
+            self.manager.count("fault_job_interrupt")
+        heartbeats = [0]
+
+        def on_heartbeat(event) -> None:
+            if self.manager.is_cancel_requested(record.job_id):
+                raise JobCancelled(record.job_id)
+            if event.scored > 0:
+                heartbeats[0] += 1
+            if interrupt and heartbeats[0] >= self.interrupt_after_events:
+                raise JobInterrupted(
+                    f"job {record.job_id} preempted at scoring heartbeat "
+                    f"{heartbeats[0]} (injected)"
+                )
+
+        config = build_engine_config(
+            request,
+            checkpoint_dir=self.manager.checkpoint_dir_for(record.job_id),
+            progress=on_heartbeat,
+            progress_every_chunks=self.heartbeat_every_chunks,
+        )
+        engine = ScanEngine(detector, config=config)
+        report = engine.scan(
+            layer,
+            region,
+            window_nm=request["window_nm"],
+            core_nm=request["core_nm"],
+            step_nm=request["step_nm"],
+            keep_clips=False,
+            # a retried attempt picks up the previous attempt's
+            # checkpoint; with none on disk this scans from scratch
+            resume=record.attempts > 1
+            and config.checkpoint.dir is not None,
+        )
+        return report.to_json(), metrics_snapshot(report)

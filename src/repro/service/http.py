@@ -1,0 +1,333 @@
+"""Stdlib HTTP front door for the scan service.
+
+Routes (JSON in, JSON out unless noted):
+
+========  ========================  =========================================
+method    path                      meaning
+========  ========================  =========================================
+POST      ``/jobs``                 submit a job request → 202 + job status
+GET       ``/jobs/<id>``            job status document
+GET       ``/jobs/<id>/result``     the **verbatim** ``ScanReport.to_json()``
+                                    document (409 while non-terminal)
+GET       ``/jobs/<id>/metrics``    the job's scan metrics snapshot
+DELETE    ``/jobs/<id>``            cancel (active) / delete (terminal)
+GET       ``/metrics``              Prometheus text: service counters,
+                                    jobs-by-state gauges, aggregated scan
+                                    counters over all completed jobs
+GET       ``/healthz``              liveness + job/queue accounting
+========  ========================  =========================================
+
+Everything is ``http.server`` from the standard library —
+:class:`ThreadingHTTPServer` with one request per thread — because the
+service must run where the scan runtime runs: no framework, no new
+dependency.  The handler only *translates* (HTTP ↔ manager calls and
+their exceptions); all state logic lives in
+:class:`~repro.service.manager.JobManager`, which is what the unit
+tests exercise directly.
+
+The result route returns the stored report byte-for-byte: the string the
+worker produced is the string the client receives, so the CI smoke can
+assert canonical equality between an HTTP-fetched report and a direct
+:class:`~repro.runtime.ScanEngine` run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from ..runtime import BASELINE_COUNTERS
+from .fleet import WorkerFleet
+from .manager import JobManager
+from .ports import JobNotFound, RateLimited
+from .wire import WireError
+
+#: request body ceiling (a full-chip layer encodes to well under this)
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def service_prometheus(manager: JobManager) -> str:
+    """Render the service's aggregate state in Prometheus text exposition.
+
+    Three families:
+
+    * ``repro_service_events_total{event=...}`` — the ``job_*`` /
+      ``service_*`` counters (zero-seeded, so the key set is identical
+      on a fresh and a busy service),
+    * ``repro_service_jobs{state=...}`` + ``repro_service_queue_depth``
+      — current job accounting,
+    * ``repro_scan_events_total{event=...}`` — scan counters summed
+      over every completed job (same names the per-scan snapshot uses).
+    """
+    lines = []
+    events: Dict[str, int] = {
+        name: 0
+        for name in BASELINE_COUNTERS
+        if name.startswith(("job_", "service_", "fault_job_"))
+    }
+    events.update(manager.telemetry.counters)
+    lines.append(
+        "# HELP repro_service_events_total Service lifecycle counters."
+    )
+    lines.append("# TYPE repro_service_events_total counter")
+    for name in sorted(events):
+        lines.append(
+            f'repro_service_events_total{{event="{name}"}} {events[name]}'
+        )
+    lines.append("# HELP repro_service_jobs Jobs currently in each state.")
+    lines.append("# TYPE repro_service_jobs gauge")
+    by_state = manager.jobs_by_state()
+    for state in sorted(by_state):
+        lines.append(f'repro_service_jobs{{state="{state}"}} {by_state[state]}')
+    lines.append("# HELP repro_service_queue_depth Pending queue entries.")
+    lines.append("# TYPE repro_service_queue_depth gauge")
+    lines.append(f"repro_service_queue_depth {manager.queue_depth()}")
+    scan = {name: 0 for name in BASELINE_COUNTERS}
+    scan.update(manager.scan_aggregate())
+    lines.append(
+        "# HELP repro_scan_events_total Scan counters summed over all "
+        "completed jobs."
+    )
+    lines.append("# TYPE repro_scan_events_total counter")
+    for name in sorted(scan):
+        lines.append(
+            f'repro_scan_events_total{{event="{name}"}} {scan[name]}'
+        )
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request: route, call the manager, translate the outcome."""
+
+    # set per server by ScanService
+    manager: JobManager = None  # type: ignore[assignment]
+    quiet: bool = True
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send(
+        self, status: int, body: bytes, content_type: str = "application/json"
+    ) -> None:
+        if status >= 400:
+            self.manager.count("service_http_errors")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        self._send(
+            status, json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Optional[Dict[str, object]]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._error(400, "request body required")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+            return None
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._error(400, f"body is not valid JSON: {exc}")
+            return None
+        if not isinstance(payload, dict):
+            self._error(400, "body must be a JSON object")
+            return None
+        return payload
+
+    def _job_id(self) -> Tuple[Optional[str], Optional[str]]:
+        """(job_id, subresource) parsed from ``/jobs/...`` paths."""
+        parts = [p for p in self.path.split("/") if p]
+        if len(parts) >= 2 and parts[0] == "jobs":
+            return parts[1], parts[2] if len(parts) > 2 else None
+        return None, None
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:
+        self.manager.count("service_http_requests")
+        if self.path.rstrip("/") != "/jobs":
+            self._error(404, f"no such route: POST {self.path}")
+            return
+        payload = self._read_body()
+        if payload is None:
+            return
+        client = self.headers.get("X-Client", self.client_address[0])
+        try:
+            record = self.manager.submit(payload, client=client)
+        except WireError as exc:
+            self._error(400, str(exc))
+            return
+        except RateLimited as exc:
+            self._error(429, str(exc))
+            return
+        self._send_json(202, record.public_dict())
+
+    def do_GET(self) -> None:
+        self.manager.count("service_http_requests")
+        if self.path.rstrip("/") == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "jobs": self.manager.jobs_by_state(),
+                    "queue_depth": self.manager.queue_depth(),
+                },
+            )
+            return
+        if self.path.rstrip("/") == "/metrics":
+            self._send(
+                200,
+                service_prometheus(self.manager).encode("utf-8"),
+                content_type="text/plain; version=0.0.4",
+            )
+            return
+        job_id, sub = self._job_id()
+        if job_id is None:
+            self._error(404, f"no such route: GET {self.path}")
+            return
+        try:
+            record = self.manager.status(job_id)
+        except JobNotFound:
+            self._error(404, f"no such job: {job_id}")
+            return
+        if sub is None:
+            self._send_json(200, record.public_dict())
+        elif sub in ("result", "metrics"):
+            if not record.terminal:
+                self._error(
+                    409, f"job {job_id} is still {record.state.value}"
+                )
+                return
+            try:
+                stored = self.manager.result(job_id)
+            except JobNotFound:
+                self._error(
+                    409,
+                    f"job {job_id} finished {record.state.value} with no "
+                    f"result ({record.error or 'no error recorded'})",
+                )
+                return
+            if sub == "result":
+                # verbatim bytes: exactly the worker's ScanReport.to_json()
+                self._send(200, stored.document.encode("utf-8"))
+            else:
+                self._send_json(200, dict(stored.metrics))
+        else:
+            self._error(404, f"no such route: GET {self.path}")
+
+    def do_DELETE(self) -> None:
+        self.manager.count("service_http_requests")
+        job_id, sub = self._job_id()
+        if job_id is None or sub is not None:
+            self._error(404, f"no such route: DELETE {self.path}")
+            return
+        try:
+            record = self.manager.delete(job_id)
+        except JobNotFound:
+            self._error(404, f"no such job: {job_id}")
+            return
+        self._send_json(200, record.public_dict())
+
+
+class ScanService:
+    """The assembled service: manager + optional fleet + HTTP server.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    :meth:`start`.  Usable as a context manager; :meth:`stop` shuts the
+    HTTP listener down first (no new work) and then the fleet.
+    """
+
+    def __init__(
+        self,
+        manager: JobManager,
+        fleet: Optional[WorkerFleet] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+    ) -> None:
+        self.manager = manager
+        self.fleet = fleet
+        self.host = host
+        self.port = port
+        self.quiet = quiet
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("service not started")
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ScanService":
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        handler = type(
+            "BoundHandler",
+            (_Handler,),
+            {"manager": self.manager, "quiet": self.quiet},
+        )
+        self._server = ThreadingHTTPServer((self.host, self.port), handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-scan-service",
+            daemon=True,
+        )
+        self._thread.start()
+        if self.fleet is not None:
+            self.fleet.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self.fleet is not None:
+            self.fleet.stop()
+
+    def __enter__(self) -> "ScanService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def serve(
+    manager: JobManager,
+    fleet: Optional[WorkerFleet] = None,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    quiet: bool = False,
+) -> ScanService:
+    """Start a :class:`ScanService` and return it (already listening)."""
+    return ScanService(
+        manager, fleet=fleet, host=host, port=port, quiet=quiet
+    ).start()

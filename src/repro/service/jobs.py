@@ -1,0 +1,197 @@
+"""The versioned job record and its state machine.
+
+A job is one scan request moving through the service:
+
+.. code-block:: text
+
+            submit            claim              complete
+    (new) --------> QUEUED --------> RUNNING --------------> SUCCEEDED
+                      |                 |    \\
+                      | cancel          |     \\ fail (attempts left)
+                      v                 |      v
+                  CANCELLED <-----------+    QUEUED   (retry; the next
+                                        |             attempt *resumes*
+                                        | fail        from the job's scan
+                                        v             checkpoint)
+                                     FAILED
+
+Every transition goes through :meth:`JobRecord.transition`, which
+enforces the edge set above — an illegal move raises
+:class:`InvalidTransition` instead of silently corrupting the record.
+Records serialize to a versioned dict (``schema`` =
+:data:`JOB_SCHEMA`); a store handing back a record from a newer schema
+refuses rather than guessing.
+
+``RUNNING -> QUEUED`` is the preemption/retry edge: a worker crash (or
+a fleet restart with the job in flight) re-queues the job, and because
+the worker scans with a per-job checkpoint directory, the retry
+*resumes* the interrupted scan instead of restarting it (see
+:mod:`repro.runtime.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import time
+import uuid
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Optional, Tuple
+
+#: bump when the JobRecord dict layout changes incompatibly
+JOB_SCHEMA = 1
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle states; the value is the wire spelling."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: states a job can still make progress from
+ACTIVE_STATES: FrozenSet[JobState] = frozenset(
+    {JobState.QUEUED, JobState.RUNNING}
+)
+
+#: states a job never leaves
+TERMINAL_STATES: FrozenSet[JobState] = frozenset(
+    {JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED}
+)
+
+#: the legal edge set (see the module docstring diagram)
+_ALLOWED: Dict[JobState, Tuple[JobState, ...]] = {
+    JobState.QUEUED: (JobState.RUNNING, JobState.CANCELLED),
+    JobState.RUNNING: (
+        JobState.SUCCEEDED,
+        JobState.FAILED,
+        JobState.CANCELLED,
+        JobState.QUEUED,  # preemption / bounded retry
+    ),
+    JobState.SUCCEEDED: (),
+    JobState.FAILED: (),
+    JobState.CANCELLED: (),
+}
+
+_SEQ = itertools.count()
+
+
+class InvalidTransition(RuntimeError):
+    """A state change outside the legal edge set was attempted."""
+
+
+def new_job_id() -> str:
+    """Opaque, URL-safe job identifier."""
+    return uuid.uuid4().hex
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's full durable state — everything a store persists.
+
+    Immutable: transitions return a new record (stores swap atomically).
+
+    ``seq`` orders jobs by submission within one process; stores persist
+    it so a recovered fleet replays queued work in the original order.
+    ``attempts`` counts claims: 0 until the first worker picks the job
+    up, and a value > 1 on a running job means the scan is a
+    checkpoint-resumed retry.
+    """
+
+    job_id: str
+    request: Dict[str, object]
+    state: JobState = JobState.QUEUED
+    seq: int = field(default_factory=lambda: next(_SEQ))
+    attempts: int = 0
+    max_attempts: int = 3
+    created_at: float = field(default_factory=time.time)
+    updated_at: float = field(default_factory=time.time)
+    worker: Optional[str] = None
+    error: Optional[str] = None
+    cancel_requested: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    # ------------------------------------------------------------------
+    # state machine
+    # ------------------------------------------------------------------
+    def transition(self, to: JobState, **changes) -> "JobRecord":
+        """A copy of this record moved to ``to`` (plus field changes).
+
+        Raises :class:`InvalidTransition` for any edge outside
+        :data:`_ALLOWED`; stamps ``updated_at``.
+        """
+        if to not in _ALLOWED[self.state]:
+            raise InvalidTransition(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state.value} -> {to.value}"
+            )
+        return replace(self, state=to, updated_at=time.time(), **changes)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def retries_left(self) -> int:
+        """Claims still available (a first run is not a retry)."""
+        return max(0, self.max_attempts - self.attempts)
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The versioned, JSON-ready representation stores persist."""
+        return {
+            "schema": JOB_SCHEMA,
+            "job_id": self.job_id,
+            "state": self.state.value,
+            "seq": self.seq,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "worker": self.worker,
+            "error": self.error,
+            "cancel_requested": self.cancel_requested,
+            "request": self.request,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "JobRecord":
+        """Rebuild a record persisted by :meth:`to_dict`.
+
+        Refuses documents from a different schema — a store migration,
+        not a silent reinterpretation, is the correct response.
+        """
+        schema = payload.get("schema")
+        if schema != JOB_SCHEMA:
+            raise ValueError(
+                f"unsupported JobRecord schema {schema!r} "
+                f"(this build reads {JOB_SCHEMA})"
+            )
+        return cls(
+            job_id=str(payload["job_id"]),
+            request=dict(payload["request"]),
+            state=JobState(payload["state"]),
+            seq=int(payload["seq"]),
+            attempts=int(payload["attempts"]),
+            max_attempts=int(payload["max_attempts"]),
+            created_at=float(payload["created_at"]),
+            updated_at=float(payload["updated_at"]),
+            worker=payload["worker"],
+            error=payload["error"],
+            cancel_requested=bool(payload["cancel_requested"]),
+        )
+
+    def public_dict(self) -> Dict[str, object]:
+        """What ``GET /jobs/<id>`` returns: the record minus the request
+        payload (which can be megabytes of geometry)."""
+        out = self.to_dict()
+        del out["request"]
+        return out

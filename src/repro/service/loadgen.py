@@ -1,0 +1,152 @@
+"""Closed-loop load generator for the scan service HTTP API.
+
+``concurrency`` client threads each submit a job, poll it to a terminal
+state, and fetch the result — then immediately submit the next, until
+``jobs`` total have been pushed through.  Per-job latency is measured
+submit-to-result-fetched (the full client experience, queue wait
+included), so throughput and the latency percentiles in the resulting
+:class:`LoadReport` are what an external caller would actually observe.
+
+This is the engine behind ``scripts/service_loadgen.py`` and the
+``benchmarks/test_service_throughput.py`` smoke that writes
+``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .client import ServiceClient, ServiceError
+
+#: latency quantiles a LoadReport always carries
+PERCENTILES: Tuple[float, ...] = (0.50, 0.90, 0.99)
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolated quantile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load-generator run."""
+
+    jobs: int
+    concurrency: int
+    succeeded: int
+    failed: int
+    elapsed_s: float
+    latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def throughput_jobs_per_s(self) -> float:
+        return self.succeeded / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def latency_summary(self) -> Dict[str, float]:
+        ordered = sorted(self.latencies_s)
+        summary = {
+            "mean_s": (
+                sum(ordered) / len(ordered) if ordered else 0.0
+            ),
+            "max_s": ordered[-1] if ordered else 0.0,
+        }
+        for q in PERCENTILES:
+            summary[f"p{int(q * 100)}_s"] = _percentile(ordered, q)
+        return summary
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "concurrency": self.concurrency,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "elapsed_s": self.elapsed_s,
+            "throughput_jobs_per_s": self.throughput_jobs_per_s,
+            "latency": self.latency_summary(),
+        }
+
+
+class LoadGenerator:
+    """Drive ``jobs`` identical requests through a service, closed-loop."""
+
+    def __init__(
+        self,
+        base_url: str,
+        request: Dict[str, object],
+        jobs: int = 16,
+        concurrency: int = 4,
+        job_timeout_s: float = 300.0,
+        poll_s: float = 0.02,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.base_url = base_url
+        self.request = request
+        self.jobs = jobs
+        self.concurrency = min(concurrency, jobs)
+        self.job_timeout_s = job_timeout_s
+        self.poll_s = poll_s
+
+    def run(self) -> LoadReport:
+        remaining = [self.jobs]  # shared budget, guarded by lock
+        lock = threading.Lock()
+        latencies: List[float] = []
+        failures = [0]
+
+        def client_loop(index: int) -> None:
+            client = ServiceClient(
+                self.base_url, client_id=f"loadgen-{index}"
+            )
+            while True:
+                with lock:
+                    if remaining[0] <= 0:
+                        return
+                    remaining[0] -= 1
+                started = time.monotonic()
+                try:
+                    client.run(
+                        self.request,
+                        timeout_s=self.job_timeout_s,
+                        poll_s=self.poll_s,
+                    )
+                except (ServiceError, TimeoutError, OSError):
+                    with lock:
+                        failures[0] += 1
+                    continue
+                elapsed = time.monotonic() - started
+                with lock:
+                    latencies.append(elapsed)
+
+        threads = [
+            threading.Thread(
+                target=client_loop, args=(i,), name=f"loadgen-{i}", daemon=True
+            )
+            for i in range(self.concurrency)
+        ]
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - started
+        return LoadReport(
+            jobs=self.jobs,
+            concurrency=self.concurrency,
+            succeeded=len(latencies),
+            failed=failures[0],
+            elapsed_s=elapsed,
+            latencies_s=latencies,
+        )

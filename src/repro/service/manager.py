@@ -1,0 +1,370 @@
+"""JobManager: the submit/status/cancel/result lifecycle over the ports.
+
+One manager owns the service's state: it validates and admits
+submissions, hands queued jobs to workers through an atomic claim,
+records outcomes (retrying preempted or crashed jobs with bounded
+attempts), and aggregates per-job scan metrics into one service-level
+telemetry stream.  It holds **no** threads and does **no** scanning —
+the :class:`~repro.service.fleet.WorkerFleet` drives it, and the HTTP
+layer (:mod:`~repro.service.http`) translates it to routes.
+
+Concurrency model: every state change is one
+:meth:`~repro.service.ports.JobStore.update` — an atomic
+read-modify-write under the store lock.  A submit/cancel or
+claim/cancel race therefore resolves to exactly one winner: whichever
+mutation runs first transitions the record, and the loser's mutation
+sees the new state and backs off (``claim`` skips the job, ``cancel``
+flags a running job cooperatively instead of transitioning it).
+
+Restart story (:meth:`JobManager.recover`): the queue is a *hint*, the
+job store is the truth.  On fleet startup the queue is rebuilt from the
+store — jobs found ``running`` (the previous process died mid-scan) are
+moved back to ``queued`` and, because each job scans with its own
+checkpoint directory, their next attempt resumes rather than restarts.
+Each replayed job is enqueued exactly once regardless of what stale
+entries the durable queue held.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..runtime import Telemetry
+from .jobs import JobRecord, JobState, new_job_id
+from .memory import NullRateLimiter
+from .ports import (
+    JobNotFound,
+    JobQueue,
+    JobStore,
+    RateLimited,
+    RateLimiter,
+    ResultStore,
+    StoredResult,
+)
+from .wire import validate_job_request
+
+PathLike = Union[str, Path]
+
+
+class JobManager:
+    """Service-side job lifecycle over pluggable storage ports.
+
+    Parameters
+    ----------
+    store, queue, results:
+        The three storage ports (in-memory or file-backed adapters, or
+        anything else honouring the port contracts).
+    rate_limiter:
+        Admission control for :meth:`submit`; default admits everything.
+    max_attempts:
+        Total claims a job may consume (first run + retries).
+    checkpoint_root:
+        Directory receiving one checkpoint subdirectory per job; when
+        set, a retried job *resumes* its interrupted scan.  ``None``
+        disables checkpointing (retries restart from scratch).
+    telemetry:
+        Shared :class:`~repro.runtime.Telemetry` for the ``job_*`` /
+        ``service_*`` counter families; one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        queue: JobQueue,
+        results: ResultStore,
+        *,
+        rate_limiter: Optional[RateLimiter] = None,
+        max_attempts: int = 3,
+        checkpoint_root: Optional[PathLike] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.store = store
+        self.queue = queue
+        self.results = results
+        self.rate_limiter = rate_limiter or NullRateLimiter()
+        self.max_attempts = max_attempts
+        self.checkpoint_root = (
+            Path(checkpoint_root) if checkpoint_root is not None else None
+        )
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        # counters and the scan aggregate are touched from many worker
+        # threads; Telemetry itself is unsynchronized by design (it is
+        # per-scan inside the engine), so the manager serializes access
+        self._lock = threading.Lock()
+        self._scan_aggregate: Dict[str, int] = {}
+
+    @classmethod
+    def in_memory(cls, **kwargs) -> "JobManager":
+        """A manager over fresh in-memory adapters (tests, single process)."""
+        from .memory import (
+            InMemoryJobQueue,
+            InMemoryJobStore,
+            InMemoryResultStore,
+        )
+
+        return cls(
+            InMemoryJobStore(),
+            InMemoryJobQueue(),
+            InMemoryResultStore(),
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Thread-safe service-counter increment."""
+        with self._lock:
+            self.telemetry.count(name, n)
+
+    def on_quarantine(self, kind: str, path: Path) -> None:
+        """Adapter hook: a corrupt persisted entry was quarantined."""
+        self.count("job_quarantined")
+
+    def scan_aggregate(self) -> Dict[str, int]:
+        """Summed scan counters over every completed job."""
+        with self._lock:
+            return dict(self._scan_aggregate)
+
+    def _absorb_scan_metrics(self, metrics: Dict[str, object]) -> None:
+        counters = metrics.get("counters")
+        if not isinstance(counters, dict):
+            return
+        with self._lock:
+            for name, value in counters.items():
+                self._scan_aggregate[name] = self._scan_aggregate.get(
+                    name, 0
+                ) + int(value)
+
+    # ------------------------------------------------------------------
+    # client surface
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: Dict[str, object], client: str = "anonymous"
+    ) -> JobRecord:
+        """Validate, rate-limit, persist, and enqueue one scan request."""
+        request = validate_job_request(request)
+        if not self.rate_limiter.allow(client):
+            self.count("service_rate_limited")
+            raise RateLimited(f"client {client!r} is over its submission rate")
+        record = JobRecord(
+            job_id=new_job_id(),
+            request=request,
+            max_attempts=self.max_attempts,
+        )
+        self.store.put(record)
+        self.queue.push(record.job_id)
+        self.count("job_submitted")
+        return record
+
+    def status(self, job_id: str) -> JobRecord:
+        record = self.store.get(job_id)
+        if record is None:
+            raise JobNotFound(job_id)
+        return record
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a job: queued jobs transition now, running jobs are
+        flagged and honour the request at their next heartbeat."""
+
+        transitioned = []
+
+        def mutate(record: JobRecord) -> Optional[JobRecord]:
+            if record.state is JobState.QUEUED:
+                moved = record.transition(JobState.CANCELLED)
+                transitioned.append(moved)
+                return moved
+            if record.state is JobState.RUNNING and not record.cancel_requested:
+                return replace(record, cancel_requested=True)
+            return None
+
+        updated = self.store.update(job_id, mutate)
+        if transitioned:
+            self.count("job_cancelled")
+            self._drop_checkpoints(job_id)
+        return updated if updated is not None else self.status(job_id)
+
+    def result(self, job_id: str) -> StoredResult:
+        """The stored result of a succeeded job (JobNotFound otherwise)."""
+        self.status(job_id)  # 404 before 409: unknown ids raise here
+        stored = self.results.get(job_id)
+        if stored is None:
+            raise JobNotFound(f"no result stored for job {job_id}")
+        return stored
+
+    def delete(self, job_id: str) -> JobRecord:
+        """Remove a terminal job and its result; cancel-then-keep an
+        active one (the caller retries the delete once it lands)."""
+        record = self.status(job_id)
+        if not record.terminal:
+            return self.cancel(job_id)
+        self.results.delete(job_id)
+        self.store.delete(job_id)
+        self._drop_checkpoints(job_id)
+        return record
+
+    # ------------------------------------------------------------------
+    # worker surface
+    # ------------------------------------------------------------------
+    def claim(
+        self, worker: str, timeout: Optional[float] = None
+    ) -> Optional[JobRecord]:
+        """Pop and atomically claim the next runnable job.
+
+        ``None`` on queue timeout *or* when the popped entry turned out
+        stale (job cancelled/claimed since enqueueing) — callers loop.
+        """
+        job_id = self.queue.pop(timeout)
+        if job_id is None:
+            return None
+
+        def mutate(record: JobRecord) -> Optional[JobRecord]:
+            if record.state is not JobState.QUEUED:
+                return None  # stale queue entry: lost the race, skip
+            return record.transition(
+                JobState.RUNNING,
+                attempts=record.attempts + 1,
+                worker=worker,
+            )
+
+        try:
+            claimed = self.store.update(job_id, mutate)
+        except JobNotFound:
+            return None
+        if claimed is None:
+            return None
+        self.count("job_started")
+        if claimed.attempts > 1:
+            self.count("job_retries")
+        return claimed
+
+    def complete(
+        self,
+        record: JobRecord,
+        document: str,
+        metrics: Dict[str, object],
+    ) -> JobRecord:
+        """Record a finished scan: publish the result, settle the state.
+
+        A cancel that arrived while the scan ran wins — the job lands
+        ``cancelled`` and the report is discarded.
+        """
+
+        def mutate(current: JobRecord) -> JobRecord:
+            if current.cancel_requested:
+                return current.transition(JobState.CANCELLED)
+            return current.transition(JobState.SUCCEEDED)
+
+        settled = self.store.update(record.job_id, mutate)
+        if settled.state is JobState.SUCCEEDED:
+            self.results.put(
+                StoredResult(
+                    job_id=record.job_id, document=document, metrics=metrics
+                )
+            )
+            self._absorb_scan_metrics(metrics)
+            self.count("job_succeeded")
+        else:
+            self.count("job_cancelled")
+        self._drop_checkpoints(record.job_id)
+        return settled
+
+    def fail(self, record: JobRecord, error: BaseException) -> JobRecord:
+        """Record a dead attempt: requeue while attempts remain, else fail.
+
+        The requeue edge is what makes preemption cheap — the job's
+        checkpoint directory survives, so the next claim resumes the
+        scan instead of repeating completed chunks.
+        """
+
+        message = f"{type(error).__name__}: {error}"
+
+        def mutate(current: JobRecord) -> JobRecord:
+            if current.cancel_requested:
+                return current.transition(JobState.CANCELLED, error=message)
+            if current.attempts < current.max_attempts:
+                return current.transition(JobState.QUEUED, error=message)
+            return current.transition(JobState.FAILED, error=message)
+
+        settled = self.store.update(record.job_id, mutate)
+        if settled.state is JobState.QUEUED:
+            self.queue.push(settled.job_id)
+            self.count("job_requeued")
+        elif settled.state is JobState.FAILED:
+            self.count("job_failed")
+            self._drop_checkpoints(record.job_id)
+        else:
+            self.count("job_cancelled")
+            self._drop_checkpoints(record.job_id)
+        return settled
+
+    def is_cancel_requested(self, job_id: str) -> bool:
+        record = self.store.get(job_id)
+        return record is not None and record.cancel_requested
+
+    # ------------------------------------------------------------------
+    # restart recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> int:
+        """Rebuild the queue from the store after a process restart.
+
+        Returns the number of jobs re-enqueued.  Jobs persisted as
+        ``running`` belonged to a fleet that died mid-scan; they move
+        back to ``queued`` (their checkpoints intact) and count as
+        ``job_recovered``.  The durable queue's stale entries are
+        discarded first, so every replayed job is enqueued exactly once.
+        """
+        self.queue.clear()
+        replayed = 0
+        for record in self.store.list_records():
+            if record.state is JobState.RUNNING:
+                self.store.update(
+                    record.job_id,
+                    lambda current: current.transition(
+                        JobState.QUEUED, worker=None
+                    )
+                    if current.state is JobState.RUNNING
+                    else None,
+                )
+                self.count("job_recovered")
+                self.queue.push(record.job_id)
+                replayed += 1
+            elif record.state is JobState.QUEUED:
+                self.queue.push(record.job_id)
+                replayed += 1
+        return replayed
+
+    # ------------------------------------------------------------------
+    # checkpoint plumbing
+    # ------------------------------------------------------------------
+    def checkpoint_dir_for(self, job_id: str) -> Optional[Path]:
+        """The per-job scan checkpoint directory (None when disabled)."""
+        if self.checkpoint_root is None:
+            return None
+        return self.checkpoint_root / job_id
+
+    def _drop_checkpoints(self, job_id: str) -> None:
+        ckpt = self.checkpoint_dir_for(job_id)
+        if ckpt is not None and ckpt.exists():
+            shutil.rmtree(ckpt, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def jobs_by_state(self) -> Dict[str, int]:
+        counts = {state.value: 0 for state in JobState}
+        for record in self.store.list_records():
+            counts[record.state.value] += 1
+        return counts
+
+    def list_jobs(self) -> List[JobRecord]:
+        return self.store.list_records()
+
+    def queue_depth(self) -> int:
+        return len(self.queue)

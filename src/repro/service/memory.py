@@ -1,0 +1,156 @@
+"""In-memory adapters: the default single-process backends.
+
+Everything lives in plain dicts/deques under locks — zero I/O, exactly
+the semantics the ports promise, and fast enough that the test suite
+and the load-generator bench run the full service stack in-process.
+State dies with the process; use the file-backed adapters
+(:mod:`~repro.service.filestore`) when jobs must survive a restart.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from .jobs import JobRecord
+from .ports import (
+    JobNotFound,
+    JobQueue,
+    JobStore,
+    RateLimiter,
+    ResultStore,
+    StoredResult,
+)
+
+
+class InMemoryJobStore(JobStore):
+    """Dict-backed record store; ``update`` runs under one lock."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, JobRecord] = {}
+        self._lock = threading.RLock()
+
+    def put(self, record: JobRecord) -> None:
+        with self._lock:
+            self._records[record.job_id] = record
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def update(
+        self, job_id: str, mutate: Callable[[JobRecord], Optional[JobRecord]]
+    ) -> Optional[JobRecord]:
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise JobNotFound(job_id)
+            replacement = mutate(record)
+            if replacement is not None:
+                self._records[job_id] = replacement
+            return replacement
+
+    def list_records(self) -> List[JobRecord]:
+        with self._lock:
+            return sorted(self._records.values(), key=lambda r: r.seq)
+
+    def delete(self, job_id: str) -> bool:
+        with self._lock:
+            return self._records.pop(job_id, None) is not None
+
+
+class InMemoryJobQueue(JobQueue):
+    """Deque + condition variable: blocking FIFO for worker threads."""
+
+    def __init__(self) -> None:
+        self._ids: Deque[str] = deque()
+        self._cond = threading.Condition()
+
+    def push(self, job_id: str) -> None:
+        with self._cond:
+            self._ids.append(job_id)
+            self._cond.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[str]:
+        with self._cond:
+            if not self._ids:
+                self._cond.wait(timeout)
+            if not self._ids:
+                return None
+            return self._ids.popleft()
+
+    def clear(self) -> None:
+        with self._cond:
+            self._ids.clear()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._ids)
+
+
+class InMemoryResultStore(ResultStore):
+    """Dict-backed result storage."""
+
+    def __init__(self) -> None:
+        self._results: Dict[str, StoredResult] = {}
+        self._lock = threading.RLock()
+
+    def put(self, result: StoredResult) -> None:
+        with self._lock:
+            self._results[result.job_id] = result
+
+    def get(self, job_id: str) -> Optional[StoredResult]:
+        with self._lock:
+            return self._results.get(job_id)
+
+    def delete(self, job_id: str) -> bool:
+        with self._lock:
+            return self._results.pop(job_id, None) is not None
+
+
+class TokenBucketRateLimiter(RateLimiter):
+    """Classic token bucket, one bucket per client key.
+
+    Each key accrues ``rate`` tokens/second up to ``burst``; a
+    submission costs one token.  State is process-local by design — a
+    distributed limiter is another adapter behind the same port.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0 tokens/second")
+        self.rate = float(rate)
+        self.burst = float(burst if burst is not None else max(1, int(rate)))
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens: Dict[str, float] = {}
+        self._stamp: Dict[str, float] = {}
+
+    def allow(self, key: str) -> bool:
+        with self._lock:
+            now = self._clock()
+            tokens = self._tokens.get(key, self.burst)
+            last = self._stamp.get(key, now)
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+            self._stamp[key] = now
+            if tokens < 1.0:
+                self._tokens[key] = tokens
+                return False
+            self._tokens[key] = tokens - 1.0
+            return True
+
+
+class NullRateLimiter(RateLimiter):
+    """Admission control disabled: every submission is allowed."""
+
+    def allow(self, key: str) -> bool:
+        return True

@@ -1,0 +1,135 @@
+"""The four ports the service logic is written against.
+
+:class:`JobManager` and :class:`~repro.service.fleet.WorkerFleet` never
+touch a concrete backend: they speak to a :class:`JobStore` (durable
+record state), a :class:`JobQueue` (dispatch order), a
+:class:`ResultStore` (finished report documents + metrics snapshots),
+and a :class:`RateLimiter` (admission control).  The in-memory adapters
+(:mod:`~repro.service.memory`) serve tests and single-process
+deployments; the file-backed ones (:mod:`~repro.service.filestore`)
+survive restarts; a Redis/SQS-class backend is one subclass per port
+away and requires no change to the service logic.
+
+Contract notes shared by all adapters:
+
+* :meth:`JobStore.update` is the **only** mutation primitive — an
+  atomic read-modify-write under the store's lock, so submit/cancel and
+  claim/cancel races resolve to exactly one winner,
+* :meth:`JobQueue.pop` blocks up to ``timeout`` and may return a stale
+  id (the job was cancelled after being enqueued); consumers re-check
+  state through the store's atomic update before running anything,
+* every method is safe to call from multiple threads.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .jobs import JobRecord
+
+
+class JobNotFound(KeyError):
+    """No job with that id (or its result is gone)."""
+
+
+class RateLimited(RuntimeError):
+    """Submission refused by the rate limiter (HTTP 429)."""
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """What the result store keeps per finished job.
+
+    ``document`` is the exact :meth:`ScanReport.to_json()
+    <repro.runtime.ScanReport.to_json>` string the worker produced —
+    stored verbatim so a fetched result round-trips byte-identically.
+    ``metrics`` is the :func:`repro.runtime.metrics_snapshot` of the
+    same report, aggregated by ``GET /metrics``.
+    """
+
+    job_id: str
+    document: str
+    metrics: Dict[str, object]
+
+
+class JobStore(ABC):
+    """Durable ``job_id -> JobRecord`` state."""
+
+    @abstractmethod
+    def put(self, record: JobRecord) -> None:
+        """Create (or overwrite) a record."""
+
+    @abstractmethod
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        """The current record, or None."""
+
+    @abstractmethod
+    def update(
+        self, job_id: str, mutate: Callable[[JobRecord], Optional[JobRecord]]
+    ) -> Optional[JobRecord]:
+        """Atomic read-modify-write.
+
+        ``mutate`` receives the current record and returns the
+        replacement, or ``None`` to leave the record unchanged (the
+        conditional-claim idiom).  Returns what ``mutate`` returned;
+        raises :class:`JobNotFound` for an unknown id.  The callback
+        runs under the store lock — keep it cheap and side-effect-free.
+        """
+
+    @abstractmethod
+    def list_records(self) -> List[JobRecord]:
+        """Every record, ordered by submission ``seq``."""
+
+    @abstractmethod
+    def delete(self, job_id: str) -> bool:
+        """Remove a record; True when something was removed."""
+
+
+class JobQueue(ABC):
+    """FIFO dispatch order for queued job ids."""
+
+    @abstractmethod
+    def push(self, job_id: str) -> None:
+        """Append an id."""
+
+    @abstractmethod
+    def pop(self, timeout: Optional[float] = None) -> Optional[str]:
+        """Pop the oldest id, blocking up to ``timeout`` seconds.
+
+        ``None`` on timeout.  May hand back an id whose job has since
+        been cancelled — consumers must re-check via the job store.
+        """
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop every queued id (recovery rebuilds from the store)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Ids currently queued."""
+
+
+class ResultStore(ABC):
+    """Finished-report storage, keyed by job id."""
+
+    @abstractmethod
+    def put(self, result: StoredResult) -> None:
+        """Persist a finished job's result."""
+
+    @abstractmethod
+    def get(self, job_id: str) -> Optional[StoredResult]:
+        """The stored result, or None."""
+
+    @abstractmethod
+    def delete(self, job_id: str) -> bool:
+        """Remove a result; True when something was removed."""
+
+
+class RateLimiter(ABC):
+    """Admission control for submissions, keyed per client."""
+
+    @abstractmethod
+    def allow(self, key: str) -> bool:
+        """Consume one submission credit for ``key``; False = refuse."""

@@ -1,0 +1,6 @@
+"""Fixture: every form of deep repro.service import the rule must catch."""
+
+import repro.service.manager
+from repro.service.fleet import WorkerFleet
+from repro.service import wire
+from repro.service import JobManager  # facade import: NOT a finding

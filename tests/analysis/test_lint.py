@@ -30,6 +30,7 @@ EXPECTED_RULES = {
     "raster-parity",
     "mutable-default",
     "no-deep-runtime-import",
+    "no-deep-service-import",
 }
 
 
@@ -61,6 +62,11 @@ class TestRules:
                 "no-deep-runtime-import",
                 [3, 4, 5],
             ),
+            (
+                "deep_service_import.py",
+                "no-deep-service-import",
+                [3, 4, 5],
+            ),
         ],
     )
     def test_fixture_findings(self, fixture, rule, lines):
@@ -89,6 +95,19 @@ class TestRules:
         assert lint_source(src, path="src/repro/runtime/engine.py") == []
         assert [d.rule for d in lint_source(src, path="elsewhere.py")] == [
             "no-deep-runtime-import"
+        ]
+
+    def test_deep_service_import_exempt_inside_service(self):
+        src = "from repro.service.manager import JobManager\n"
+        assert lint_source(src, path="src/repro/service/http.py") == []
+        assert [d.rule for d in lint_source(src, path="elsewhere.py")] == [
+            "no-deep-service-import"
+        ]
+
+    def test_deep_service_relative_import_flagged(self):
+        src = "from ..service.jobs import JobRecord\n"
+        assert [d.rule for d in lint_source(src, path="src/repro/cli.py")] == [
+            "no-deep-service-import"
         ]
 
     def test_parse_error_reported_as_finding(self):

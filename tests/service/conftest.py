@@ -1,0 +1,58 @@
+"""Shared fixtures for the scan-service tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.detector import Detector, FitReport
+from repro.geometry import Layer, Rect
+from repro.service import JobManager, encode_job_request
+
+
+class GradedDensityDetector(Detector):  # lint: disable=raster-parity  (test double)
+    """Continuous density score in [0, 1] — cheap and deterministic."""
+
+    name = "density-graded"
+    threshold = 0.5
+
+    def fit(self, train, rng=None) -> FitReport:
+        return FitReport()
+
+    def predict_proba(self, clips):
+        return np.clip([4.0 * c.density() for c in clips], 0.0, 1.0)
+
+
+@pytest.fixture
+def detector() -> GradedDensityDetector:
+    return GradedDensityDetector()
+
+
+@pytest.fixture
+def layer() -> Layer:
+    """Sparse wires everywhere, one dense block in the lower-left."""
+    layer = Layer("metal1")
+    rects = []
+    for i in range(30):
+        rects.append(Rect(0, i * 256, 4096, i * 256 + 64))
+    for i in range(8):
+        rects.append(Rect(0, i * 256 + 128, 1500, i * 256 + 192))
+    layer.add_rects(rects)
+    return layer
+
+
+@pytest.fixture
+def region() -> Rect:
+    """Small enough to scan in milliseconds: 6x6 = 36 windows."""
+    return Rect(0, 0, 2048, 2048)
+
+
+@pytest.fixture
+def request_payload(layer, region):
+    return encode_job_request(layer, region, engine={"chunk_clips": 8})
+
+
+@pytest.fixture
+def manager() -> JobManager:
+    """In-memory manager with no checkpointing (pure lifecycle tests)."""
+    return JobManager.in_memory()

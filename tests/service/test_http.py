@@ -1,0 +1,172 @@
+"""HTTP front door: routes, status codes, Prometheus text, e2e client."""
+
+import json
+
+import pytest
+
+from repro.runtime import ScanEngine
+from repro.service import (
+    JobState,
+    ScanService,
+    ServiceClient,
+    ServiceError,
+    TokenBucketRateLimiter,
+    WorkerFleet,
+    canonical_report_json,
+    service_prometheus,
+)
+
+
+@pytest.fixture
+def service(manager):
+    """A listening service with no fleet: jobs stay queued forever."""
+    with ScanService(manager) as running:
+        yield running
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(service.url, timeout_s=10.0)
+
+
+class TestRoutes:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["queue_depth"] == 0
+        assert set(health["jobs"]) == {s.value for s in JobState}
+
+    def test_submit_returns_202_status_document(self, client, request_payload):
+        submitted = client.submit(request_payload)
+        assert submitted["state"] == "queued"
+        assert "request" not in submitted  # public view only
+        assert client.status(submitted["job_id"])["job_id"] == submitted["job_id"]
+
+    def test_submit_malformed_is_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit({"schema": 99})
+        assert err.value.status == 400
+        assert "schema" in err.value.message
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.status("no-such-job")
+        assert err.value.status == 404
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/totally/elsewhere")
+        assert err.value.status == 404
+
+    def test_result_before_terminal_is_409(self, client, request_payload):
+        job_id = client.submit(request_payload)["job_id"]
+        with pytest.raises(ServiceError) as err:
+            client.result(job_id)
+        assert err.value.status == 409
+        assert "queued" in err.value.message
+
+    def test_delete_cancels_queued_job(self, client, request_payload):
+        job_id = client.submit(request_payload)["job_id"]
+        assert client.cancel(job_id)["state"] == "cancelled"
+        assert client.status(job_id)["state"] == "cancelled"
+
+    def test_http_counters_tick(self, client, manager, request_payload):
+        client.submit(request_payload)
+        with pytest.raises(ServiceError):
+            client.status("ghost")
+        counters = manager.telemetry.counters
+        assert counters["service_http_requests"] >= 2
+        assert counters["service_http_errors"] == 1
+
+
+class TestRateLimit:
+    def test_429_when_bucket_empty(self, request_payload):
+        from repro.service import JobManager
+
+        manager = JobManager.in_memory(
+            rate_limiter=TokenBucketRateLimiter(
+                rate=0.001, burst=1, clock=lambda: 0.0
+            )
+        )
+        with ScanService(manager) as service:
+            client = ServiceClient(service.url, client_id="greedy")
+            client.submit(request_payload)
+            with pytest.raises(ServiceError) as err:
+                client.submit(request_payload)
+            assert err.value.status == 429
+            # a different client identity still gets through
+            other = ServiceClient(service.url, client_id="patient")
+            other.submit(request_payload)
+
+
+class TestMetricsExposition:
+    def test_families_zero_seeded_before_any_traffic(self, manager):
+        text = service_prometheus(manager)
+        assert 'repro_service_events_total{event="job_submitted"} 0' in text
+        assert 'repro_service_events_total{event="service_rate_limited"} 0' in text
+        assert 'repro_service_jobs{state="queued"} 0' in text
+        assert "repro_service_queue_depth 0" in text
+        assert 'repro_scan_events_total{event="scored"} 0' in text
+
+    def test_metrics_route_reflects_submissions(self, client, request_payload):
+        client.submit(request_payload)
+        text = client.service_metrics()
+        assert 'repro_service_events_total{event="job_submitted"} 1' in text
+        assert 'repro_service_jobs{state="queued"} 1' in text
+        assert "repro_service_queue_depth 1" in text
+
+
+class TestEndToEnd:
+    def test_http_submitted_scan_matches_direct_engine(
+        self, manager, detector, layer, region, request_payload
+    ):
+        """The CI smoke contract: served report ≡ direct engine report."""
+        direct = ScanEngine(detector).scan(layer, region, keep_clips=False)
+        fleet = WorkerFleet(manager, detector, workers=2)
+        with ScanService(manager, fleet=fleet) as service:
+            client = ServiceClient(service.url)
+            document = client.run(request_payload, timeout_s=60.0)
+            job_id = manager.list_jobs()[0].job_id
+            # the route serves the worker's document byte-for-byte
+            assert document == manager.result(job_id).document
+            metrics = client.metrics(job_id)
+            assert metrics["counters"]["scored"] > 0
+        assert canonical_report_json(document) == canonical_report_json(
+            direct.to_json()
+        )
+        parsed = json.loads(document)
+        assert parsed["n_windows"] == 36
+
+    def test_failed_job_surfaces_error_through_wait(self, manager, layer, region):
+        from repro.core.detector import Detector, FitReport
+        from repro.service import encode_job_request
+
+        class Meltdown(Detector):  # lint: disable=raster-parity  (test double)
+            name = "meltdown"
+            threshold = 0.5
+
+            def fit(self, train, rng=None) -> FitReport:
+                return FitReport()
+
+            def predict_proba(self, clips):
+                raise RuntimeError("meltdown")
+
+        fleet = WorkerFleet(manager, Meltdown(), workers=1)
+        with ScanService(manager, fleet=fleet) as service:
+            client = ServiceClient(service.url)
+            job_id = client.submit(encode_job_request(layer, region))["job_id"]
+            with pytest.raises(ServiceError) as err:
+                client.wait(job_id, timeout_s=60.0)
+            assert "failed" in err.value.message
+            assert "meltdown" in err.value.message
+
+
+class TestLifecycle:
+    def test_start_twice_refused(self, manager):
+        with ScanService(manager) as service:
+            with pytest.raises(RuntimeError, match="already started"):
+                service.start()
+
+    def test_address_before_start_refused(self, manager):
+        with pytest.raises(RuntimeError, match="not started"):
+            ScanService(manager).url

@@ -1,0 +1,111 @@
+"""JobRecord state machine: edges, versioned wire format, invariants."""
+
+import pytest
+
+from repro.service import (
+    ACTIVE_STATES,
+    JOB_SCHEMA,
+    TERMINAL_STATES,
+    InvalidTransition,
+    JobRecord,
+    JobState,
+)
+
+
+def make_record(**kwargs) -> JobRecord:
+    defaults = {"job_id": "j1", "request": {"schema": 1}}
+    defaults.update(kwargs)
+    return JobRecord(**defaults)
+
+
+class TestStateMachine:
+    def test_new_record_starts_queued(self):
+        assert make_record().state is JobState.QUEUED
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            (JobState.RUNNING, JobState.SUCCEEDED),
+            (JobState.RUNNING, JobState.FAILED),
+            (JobState.RUNNING, JobState.CANCELLED),
+            (JobState.RUNNING, JobState.QUEUED, JobState.RUNNING),
+            (JobState.CANCELLED,),
+        ],
+    )
+    def test_legal_paths(self, path):
+        record = make_record()
+        for state in path:
+            record = record.transition(state)
+        assert record.state is path[-1]
+
+    @pytest.mark.parametrize(
+        "start,bad",
+        [
+            (JobState.QUEUED, JobState.SUCCEEDED),
+            (JobState.QUEUED, JobState.FAILED),
+            (JobState.SUCCEEDED, JobState.RUNNING),
+            (JobState.FAILED, JobState.QUEUED),
+            (JobState.CANCELLED, JobState.RUNNING),
+        ],
+    )
+    def test_illegal_edges_raise(self, start, bad):
+        record = make_record()
+        if start is not JobState.QUEUED:
+            record = record.transition(JobState.RUNNING)
+            if start is not JobState.RUNNING:
+                record = record.transition(start)
+        with pytest.raises(InvalidTransition):
+            record.transition(bad)
+
+    def test_transition_returns_new_record(self):
+        record = make_record()
+        moved = record.transition(JobState.RUNNING, worker="w0")
+        assert record.state is JobState.QUEUED  # original untouched
+        assert moved.worker == "w0"
+        assert moved.updated_at >= record.updated_at
+
+    def test_active_and_terminal_partition_states(self):
+        assert ACTIVE_STATES | TERMINAL_STATES == frozenset(JobState)
+        assert not ACTIVE_STATES & TERMINAL_STATES
+
+    def test_terminal_property(self):
+        assert not make_record().terminal
+        done = make_record().transition(JobState.CANCELLED)
+        assert done.terminal
+
+    def test_retries_left(self):
+        record = make_record(max_attempts=3)
+        assert record.retries_left == 3
+        claimed = record.transition(JobState.RUNNING, attempts=3)
+        assert claimed.retries_left == 0
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            make_record(max_attempts=0)
+
+    def test_seq_orders_by_creation(self):
+        first, second = make_record(), make_record()
+        assert second.seq > first.seq
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        record = make_record(request={"schema": 1, "x": [1, 2]}).transition(
+            JobState.RUNNING, attempts=1, worker="w0"
+        )
+        assert JobRecord.from_dict(record.to_dict()) == record
+
+    def test_schema_stamped(self):
+        assert make_record().to_dict()["schema"] == JOB_SCHEMA
+
+    def test_foreign_schema_refused(self):
+        payload = make_record().to_dict()
+        payload["schema"] = JOB_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            JobRecord.from_dict(payload)
+
+    def test_public_dict_drops_request_payload(self):
+        public = make_record().public_dict()
+        assert "request" not in public
+        assert public["job_id"] == "j1"
+        assert public["state"] == "queued"

@@ -1,0 +1,295 @@
+"""JobManager lifecycle: claims, cancels, retries, recovery, metrics."""
+
+import threading
+
+import pytest
+
+from repro.runtime import BASELINE_COUNTERS, SERVICE_COUNTERS
+from repro.service import (
+    FileJobQueue,
+    FileJobStore,
+    FileResultStore,
+    InMemoryJobQueue,
+    InMemoryJobStore,
+    InMemoryResultStore,
+    JobManager,
+    JobNotFound,
+    JobState,
+    RateLimited,
+    TokenBucketRateLimiter,
+    WireError,
+)
+
+
+class TestSubmit:
+    def test_submit_persists_and_enqueues(self, manager, request_payload):
+        record = manager.submit(request_payload)
+        assert manager.status(record.job_id).state is JobState.QUEUED
+        assert manager.queue_depth() == 1
+        assert manager.telemetry.counters["job_submitted"] == 1
+
+    def test_submit_validates(self, manager):
+        with pytest.raises(WireError):
+            manager.submit({"schema": 99})
+        assert manager.queue_depth() == 0
+
+    def test_rate_limited_submit_refused(self, request_payload):
+        limiter = TokenBucketRateLimiter(rate=1.0, burst=1, clock=lambda: 0.0)
+        manager = JobManager(
+            InMemoryJobStore(),
+            InMemoryJobQueue(),
+            InMemoryResultStore(),
+            rate_limiter=limiter,
+        )
+        manager.submit(request_payload, client="c")
+        with pytest.raises(RateLimited):
+            manager.submit(request_payload, client="c")
+        assert manager.telemetry.counters["service_rate_limited"] == 1
+        # other clients unaffected
+        manager.submit(request_payload, client="other")
+
+    def test_status_unknown_raises(self, manager):
+        with pytest.raises(JobNotFound):
+            manager.status("nope")
+
+
+class TestClaim:
+    def test_claim_transitions_and_counts_attempts(
+        self, manager, request_payload
+    ):
+        record = manager.submit(request_payload)
+        claimed = manager.claim("w0", timeout=0.1)
+        assert claimed.job_id == record.job_id
+        assert claimed.state is JobState.RUNNING
+        assert claimed.attempts == 1
+        assert claimed.worker == "w0"
+
+    def test_claim_empty_queue_times_out(self, manager):
+        assert manager.claim("w0", timeout=0.01) is None
+
+    def test_stale_queue_entry_skipped(self, manager, request_payload):
+        record = manager.submit(request_payload)
+        manager.cancel(record.job_id)  # QUEUED -> CANCELLED; entry now stale
+        assert manager.claim("w0", timeout=0.05) is None
+
+    def test_each_job_claimed_exactly_once(self, manager, request_payload):
+        n = 20
+        for _ in range(n):
+            manager.submit(request_payload)
+        claimed, lock = [], threading.Lock()
+
+        def worker(name):
+            while True:
+                record = manager.claim(name, timeout=0.05)
+                if record is None:
+                    return
+                with lock:
+                    claimed.append(record.job_id)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(claimed) == n
+        assert len(set(claimed)) == n  # no double execution
+
+
+class TestCompleteAndFail:
+    def test_complete_publishes_result(self, manager, request_payload):
+        manager.submit(request_payload)
+        claimed = manager.claim("w0", timeout=0.1)
+        manager.complete(claimed, '{"ok": 1}', {"counters": {"scored": 5}})
+        final = manager.status(claimed.job_id)
+        assert final.state is JobState.SUCCEEDED
+        assert manager.result(claimed.job_id).document == '{"ok": 1}'
+        assert manager.scan_aggregate()["scored"] == 5
+
+    def test_fail_requeues_while_attempts_remain(
+        self, manager, request_payload
+    ):
+        manager.submit(request_payload)
+        claimed = manager.claim("w0", timeout=0.1)
+        settled = manager.fail(claimed, RuntimeError("boom"))
+        assert settled.state is JobState.QUEUED
+        assert "boom" in settled.error
+        assert manager.queue_depth() == 1
+        assert manager.telemetry.counters["job_requeued"] == 1
+
+    def test_fail_exhausts_to_failed(self, manager, request_payload):
+        manager.submit(request_payload)
+        for attempt in range(manager.max_attempts):
+            claimed = manager.claim("w0", timeout=0.1)
+            assert claimed.attempts == attempt + 1
+            settled = manager.fail(claimed, RuntimeError(f"try {attempt}"))
+        assert settled.state is JobState.FAILED
+        assert manager.claim("w0", timeout=0.05) is None
+        assert manager.telemetry.counters["job_failed"] == 1
+        with pytest.raises(JobNotFound):
+            manager.result(settled.job_id)
+
+    def test_retry_counter(self, manager, request_payload):
+        manager.submit(request_payload)
+        manager.fail(manager.claim("w0", timeout=0.1), RuntimeError("x"))
+        manager.claim("w0", timeout=0.1)
+        assert manager.telemetry.counters["job_retries"] == 1
+
+
+class TestCancel:
+    def test_cancel_queued_is_immediate(self, manager, request_payload):
+        record = manager.submit(request_payload)
+        cancelled = manager.cancel(record.job_id)
+        assert cancelled.state is JobState.CANCELLED
+        assert manager.telemetry.counters["job_cancelled"] == 1
+
+    def test_cancel_running_is_cooperative(self, manager, request_payload):
+        manager.submit(request_payload)
+        claimed = manager.claim("w0", timeout=0.1)
+        flagged = manager.cancel(claimed.job_id)
+        assert flagged.state is JobState.RUNNING
+        assert flagged.cancel_requested
+        assert manager.is_cancel_requested(claimed.job_id)
+
+    def test_cancelled_running_job_lands_cancelled_not_succeeded(
+        self, manager, request_payload
+    ):
+        manager.submit(request_payload)
+        claimed = manager.claim("w0", timeout=0.1)
+        manager.cancel(claimed.job_id)
+        settled = manager.complete(claimed, "{}", {})
+        assert settled.state is JobState.CANCELLED
+        with pytest.raises(JobNotFound):
+            manager.result(claimed.job_id)  # report discarded
+
+    def test_cancelled_running_job_never_requeued(
+        self, manager, request_payload
+    ):
+        manager.submit(request_payload)
+        claimed = manager.claim("w0", timeout=0.1)
+        manager.cancel(claimed.job_id)
+        settled = manager.fail(claimed, RuntimeError("preempted"))
+        assert settled.state is JobState.CANCELLED
+        assert manager.queue_depth() == 0
+
+    def test_cancel_terminal_is_noop(self, manager, request_payload):
+        record = manager.submit(request_payload)
+        manager.cancel(record.job_id)
+        again = manager.cancel(record.job_id)
+        assert again.state is JobState.CANCELLED
+        assert manager.telemetry.counters["job_cancelled"] == 1
+
+    def test_concurrent_submit_cancel_races_settle_consistently(
+        self, manager, request_payload
+    ):
+        """cancel vs claim racing on every job: exactly one side wins."""
+        ids = [manager.submit(request_payload).job_id for _ in range(16)]
+        done = []
+
+        def canceller():
+            for job_id in ids:
+                done.append(manager.cancel(job_id).job_id)
+
+        def worker():
+            while True:
+                record = manager.claim("w0", timeout=0.05)
+                if record is None:
+                    return
+                manager.complete(record, "{}", {})
+
+        threads = [
+            threading.Thread(target=canceller),
+            threading.Thread(target=worker),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        states = [manager.status(job_id).state for job_id in ids]
+        assert all(
+            s in (JobState.SUCCEEDED, JobState.CANCELLED) for s in states
+        )
+        # accounting matches outcomes exactly
+        counters = manager.telemetry.counters
+        assert counters.get("job_succeeded", 0) == states.count(
+            JobState.SUCCEEDED
+        )
+        assert counters.get("job_cancelled", 0) == states.count(
+            JobState.CANCELLED
+        )
+
+
+class TestDelete:
+    def test_delete_terminal_removes_everything(
+        self, manager, request_payload
+    ):
+        manager.submit(request_payload)
+        claimed = manager.claim("w0", timeout=0.1)
+        manager.complete(claimed, "{}", {})
+        manager.delete(claimed.job_id)
+        with pytest.raises(JobNotFound):
+            manager.status(claimed.job_id)
+
+    def test_delete_active_cancels_instead(self, manager, request_payload):
+        record = manager.submit(request_payload)
+        manager.delete(record.job_id)
+        assert manager.status(record.job_id).state is JobState.CANCELLED
+
+
+class TestRecovery:
+    def make_file_manager(self, tmp_path) -> JobManager:
+        return JobManager(
+            FileJobStore(tmp_path),
+            FileJobQueue(tmp_path),
+            FileResultStore(tmp_path),
+            checkpoint_root=tmp_path / "ckpt",
+        )
+
+    def test_recover_replays_queued_and_running_exactly_once(
+        self, tmp_path, request_payload
+    ):
+        before = self.make_file_manager(tmp_path)
+        queued = [before.submit(request_payload).job_id for _ in range(3)]
+        crashed = before.claim("w0", timeout=0.1)  # dies mid-scan
+
+        after = self.make_file_manager(tmp_path)  # process restart
+        replayed = after.recover()
+        assert replayed == 3  # 2 still queued + 1 recovered
+        assert after.status(crashed.job_id).state is JobState.QUEUED
+        assert after.telemetry.counters["job_recovered"] == 1
+        # exactly once: drain the queue and claim each id a single time
+        seen = []
+        while True:
+            record = after.claim("w1", timeout=0.05)
+            if record is None:
+                break
+            seen.append(record.job_id)
+        assert sorted(seen) == sorted(queued)
+
+    def test_recover_discards_stale_duplicate_queue_entries(
+        self, tmp_path, request_payload
+    ):
+        manager = self.make_file_manager(tmp_path)
+        record = manager.submit(request_payload)
+        manager.queue.push(record.job_id)  # crash artifact: duplicate entry
+        assert manager.recover() == 1
+        assert manager.queue_depth() == 1
+
+    def test_recovered_job_keeps_checkpoints(self, tmp_path, request_payload):
+        manager = self.make_file_manager(tmp_path)
+        record = manager.submit(request_payload)
+        ckpt = manager.checkpoint_dir_for(record.job_id)
+        ckpt.mkdir(parents=True)
+        (ckpt / "scan-checkpoint.npz").write_bytes(b"state")
+        manager.claim("w0", timeout=0.1)
+        manager.recover()
+        assert (ckpt / "scan-checkpoint.npz").exists()  # resume material
+
+
+class TestServiceCounters:
+    def test_service_counters_are_zero_seeded_in_baseline(self):
+        assert set(SERVICE_COUNTERS) <= set(BASELINE_COUNTERS)
+
+    def test_job_interrupt_fault_counter_seeded(self):
+        assert "fault_job_interrupt" in BASELINE_COUNTERS

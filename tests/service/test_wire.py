@@ -1,0 +1,133 @@
+"""Wire format: layer codec, request validation, canonical projection."""
+
+import json
+
+import pytest
+
+from repro.geometry import Layer, Rect
+from repro.runtime import ScanEngine
+from repro.service import (
+    WireError,
+    canonical_report_json,
+    encode_job_request,
+    encode_layer,
+    decode_layer,
+    validate_job_request,
+    build_engine_config,
+)
+from repro.geometry import clip_fingerprint, extract_clip
+
+
+class TestLayerCodec:
+    def test_round_trip_preserves_clip_fingerprints(self, layer):
+        rebuilt = decode_layer(encode_layer(layer))
+        assert rebuilt.name == layer.name
+        for center in [(600, 600), (1200, 1200), (300, 1800)]:
+            original = extract_clip(layer, center, 768, 256)
+            copy = extract_clip(rebuilt, center, 768, 256)
+            assert clip_fingerprint(original) == clip_fingerprint(copy)
+
+    def test_round_trip_survives_json(self, layer):
+        wire = json.loads(json.dumps(encode_layer(layer)))
+        rebuilt = decode_layer(wire)
+        assert len(rebuilt.polygons) == len(layer.polygons)
+
+    def test_bad_payload_is_wire_error(self):
+        with pytest.raises(WireError):
+            decode_layer({"name": "m1"})  # no polygons
+        with pytest.raises(WireError):
+            decode_layer({"name": "m1", "polygons": [[[1, 2, 3]]]})
+
+
+class TestRequestValidation:
+    def test_encode_builds_valid_request(self, layer, region):
+        request = encode_job_request(layer, region, engine={"workers": 2})
+        assert validate_job_request(request) == request
+
+    def test_schema_required(self, request_payload):
+        bad = dict(request_payload, schema=99)
+        with pytest.raises(WireError, match="schema"):
+            validate_job_request(bad)
+
+    @pytest.mark.parametrize(
+        "bad_region", [[0, 0, 100], [0, 0, "x", 100], [100, 0, 0, 100]]
+    )
+    def test_bad_region_refused(self, request_payload, bad_region):
+        bad = dict(request_payload, region=bad_region)
+        with pytest.raises(WireError):
+            validate_job_request(bad)
+
+    def test_unknown_fields_refused(self, request_payload):
+        bad = dict(request_payload, surprise=1)
+        with pytest.raises(WireError, match="surprise"):
+            validate_job_request(bad)
+
+    @pytest.mark.parametrize(
+        "knob", ["cache_dir", "checkpoint_dir", "trace_dir", "progress", "mp_context"]
+    )
+    def test_service_side_engine_knobs_refused(self, request_payload, knob):
+        bad = dict(request_payload, engine={knob: "/tmp/x"})
+        with pytest.raises(WireError, match="not client-settable"):
+            validate_job_request(bad)
+
+    def test_window_core_validated(self, request_payload):
+        with pytest.raises(WireError, match="window_nm"):
+            validate_job_request(dict(request_payload, window_nm=0))
+        with pytest.raises(WireError, match="step_nm"):
+            validate_job_request(dict(request_payload, step_nm="fast"))
+
+
+class TestEngineConfig:
+    def test_client_knobs_and_service_resources_compose(
+        self, request_payload, tmp_path
+    ):
+        request = dict(request_payload, engine={"workers": 2, "chunk_clips": 16})
+        config = build_engine_config(
+            request, checkpoint_dir=tmp_path / "ckpt", progress_every_chunks=3
+        )
+        assert config.batch.workers == 2
+        assert config.batch.chunk_clips == 16
+        assert config.checkpoint.dir == tmp_path / "ckpt"
+        assert config.observability.progress_every_chunks == 3
+
+    def test_invalid_values_surface_as_wire_error(self, request_payload):
+        request = dict(request_payload, engine={"workers": 0})
+        with pytest.raises(WireError, match="workers"):
+            build_engine_config(request)
+
+
+class TestCanonicalProjection:
+    def test_projection_drops_volatile_fields(self, detector, layer, region):
+        document = ScanEngine(detector).scan(
+            layer, region, keep_clips=False
+        ).to_json()
+        canonical = json.loads(canonical_report_json(document))
+        assert set(canonical) == {
+            "schema",
+            "scan_path",
+            "n_windows",
+            "centers",
+            "scores",
+            "flagged",
+            "confirmed",
+        }
+
+    def test_two_runs_byte_identical(self, detector, layer, region):
+        docs = [
+            ScanEngine(detector).scan(layer, region, keep_clips=False).to_json()
+            for _ in range(2)
+        ]
+        # the full documents differ (elapsed_s at minimum) ...
+        assert json.loads(docs[0])["elapsed_s"] != json.loads(docs[1])["elapsed_s"]
+        # ... the canonical projections are byte-identical
+        assert canonical_report_json(docs[0]) == canonical_report_json(docs[1])
+
+    def test_wire_round_tripped_layer_scans_identically(
+        self, detector, layer, region
+    ):
+        rebuilt = decode_layer(json.loads(json.dumps(encode_layer(layer))))
+        direct = ScanEngine(detector).scan(layer, region, keep_clips=False)
+        rewired = ScanEngine(detector).scan(rebuilt, region, keep_clips=False)
+        assert canonical_report_json(direct.to_json()) == canonical_report_json(
+            rewired.to_json()
+        )

@@ -1,0 +1,36 @@
+"""The repro.api facade: every advertised name resolves, none are stale."""
+
+import repro.api as api
+
+
+def test_all_names_resolve():
+    for name in api.__all__:
+        assert getattr(api, name, None) is not None, f"api.__all__ lists {name!r}"
+
+
+def test_all_has_no_duplicates():
+    assert len(api.__all__) == len(set(api.__all__))
+
+
+def test_service_entry_points_exported():
+    for name in (
+        "JobManager",
+        "JobRecord",
+        "JobState",
+        "ScanService",
+        "ServiceClient",
+        "WorkerFleet",
+        "canonical_report_json",
+        "encode_job_request",
+        "serve",
+    ):
+        assert name in api.__all__
+        assert getattr(api, name) is not None
+
+
+def test_facade_matches_subpackage_objects():
+    from repro import service
+
+    assert api.JobManager is service.JobManager
+    assert api.ScanService is service.ScanService
+    assert api.serve is service.serve
