@@ -21,11 +21,21 @@ speedup ratios to ``BENCH_scan.json`` at the repo root.
 """
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
 
 from .conftest import run_once
+
+#: minimum cnn-dct raster speedup for the fused float backend over the
+#: layers backend (same scan, same flags).  The local target is 5x; CI
+#: runs a conservative 3x floor (shared runners, REPRO_BENCH_SCALE) via
+#: the env override.
+FUSED_MIN_SPEEDUP = float(os.environ.get("REPRO_FUSED_MIN_SPEEDUP", "3.0"))
+#: minimum speedup for the int8 backend — the row that closes the
+#: 11x-vs-1.7x gap, so its local floor is the full 5x
+INT8_MIN_SPEEDUP = float(os.environ.get("REPRO_INT8_MIN_SPEEDUP", "5.0"))
 
 
 def _replicated_block(rng, cell_nm=2048, nx=3, ny=3):
@@ -149,7 +159,12 @@ def test_raster_plane_speedup(benchmark, suite, out_dir):
     The prefilter row is the deployment-honest one — in a cascade the
     cheap detector sees *every* window — and it must clear 3x.  The CNN
     row is forward-dominated, so the bar there is only "never slower".
-    Both rows land in ``BENCH_scan.json`` at the repo root.
+
+    The raster arms (layers/fused/fused-int8) are scanned in
+    interleaved rounds and their speedup gates use the median
+    *per-round paired ratio* against the same-round layers scan — host
+    throughput drift moves both sides of a pair together and cancels.
+    All rows land in ``BENCH_scan.json`` at the repo root.
     """
     from repro.bench import write_table
     from repro.core.registry import create
@@ -167,19 +182,80 @@ def test_raster_plane_speedup(benchmark, suite, out_dir):
     cnn.fit(b1.train, rng=rng)
     detectors["cnn-dct"] = cnn
 
-    def run():
-        results = {}
-        for name, det in detectors.items():
-            clip = ScanEngine(det, dedup=False, raster_plane=False).scan(
-                layer, region, keep_clips=False
-            )
-            rast = ScanEngine(det, dedup=False, raster_plane=True).scan(
-                layer, region, keep_clips=False
-            )
-            results[name] = (clip, rast)
-        return results
+    #: raster arms, interleaved round-robin below.  Single-shot raster
+    #: scans swing ~±15% with the host's multi-second throughput drift
+    #: (thermal clocks, noisy neighbours); scanning every arm once per
+    #: round puts all arms under the same drift, so the per-round
+    #: paired ratio cancels it and the speedup gates measure the
+    #: backends, not the weather.
+    ARMS = [
+        ("logistic-density", "layers"),
+        ("cnn-dct", "layers"),
+        ("cnn-dct", "fused"),
+        ("cnn-dct", "fused-int8"),
+    ]
+    ROUNDS = 5
 
-    results = run_once(benchmark, run)
+    def run():
+        clip_reports = {}
+        for name, det in detectors.items():
+            clip_reports[name] = ScanEngine(
+                det, dedup=False, raster_plane=False
+            ).scan(layer, region, keep_clips=False)
+        # one engine per arm, reused across rounds: a fresh engine would
+        # refault its plane-batch buffers (~10MB) every scan, a fixed
+        # cost the short fused/int8 scans feel far more than the slow
+        # layers baseline
+        engines = {
+            (name, backend): ScanEngine(
+                detectors[name], dedup=False, raster_plane=True,
+                infer_backend=(
+                    None if name == "logistic-density" else backend
+                ),
+            )
+            for name, backend in ARMS
+        }
+        def arm_scan(arm):
+            name, backend = arm
+            if name == "cnn-dct":
+                # the cnn arms share one detector, so each scan
+                # re-applies its arm's backend ("layers" included)
+                cnn.set_backend(backend)
+            return engines[arm].scan(layer, region, keep_clips=False)
+        for arm in ARMS:
+            arm_scan(arm)  # warmup: plan compile + calibration + buffers
+        rounds = {arm: [] for arm in ARMS}
+        for _ in range(ROUNDS):
+            for arm in ARMS:
+                rounds[arm].append(arm_scan(arm))
+        cnn.set_backend("layers")
+        return clip_reports, rounds
+
+    clip_reports, rounds = run_once(benchmark, run)
+
+    def median_report(arm):
+        # flags/scores are deterministic across repeats; only the
+        # throughput varies, so the median-rate report IS the scan
+        reps = sorted(rounds[arm], key=lambda r: r.windows_per_s)
+        return reps[len(reps) // 2]
+
+    def paired_speedup(arm):
+        # median over rounds of (arm rate / same-round layers rate)
+        base = rounds[("cnn-dct", "layers")]
+        ratios = sorted(
+            rep.windows_per_s / b.windows_per_s
+            for rep, b in zip(rounds[arm], base)
+        )
+        return ratios[len(ratios) // 2]
+
+    results = {
+        name: (clip_reports[name], median_report((name, "layers")))
+        for name in detectors
+    }
+    fused = {
+        backend: median_report(("cnn-dct", backend))
+        for backend in ("fused", "fused-int8")
+    }
 
     rows = []
     record = {
@@ -207,6 +283,7 @@ def test_raster_plane_speedup(benchmark, suite, out_dir):
         record["results"].append(
             {
                 "detector": name,
+                "backend": "layers",
                 "windows": clip.n_windows,
                 "clip_windows_per_s": round(clip.windows_per_s, 1),
                 "raster_windows_per_s": round(rast.windows_per_s, 1),
@@ -216,8 +293,59 @@ def test_raster_plane_speedup(benchmark, suite, out_dir):
         rows.append(
             {
                 "detector": name,
+                "backend": "layers",
                 "clip_w/s": round(clip.windows_per_s, 1),
                 "raster_w/s": round(rast.windows_per_s, 1),
+                "speedup": f"{speedup:.2f}x",
+            }
+        )
+
+    # fused-backend rows: same raster workload, speedup vs the layers
+    # raster row (the number the 11x-vs-1.7x gap is measured against)
+    base = results["cnn-dct"][1]
+    for backend, rep in fused.items():
+        assert rep.scan_path == "raster", backend
+        assert rep.centers == base.centers, backend
+        if backend == "fused":
+            # float64 fused path is the same function as the layers
+            # forward: flags byte-identical, scores within parity noise
+            assert np.array_equal(rep.flagged, base.flagged), backend
+            np.testing.assert_allclose(
+                rep.scores, base.scores, atol=1e-9, err_msg=backend
+            )
+        else:
+            # int8 is tolerance-bounded: probabilities may move within
+            # the quantization budget (compile_plan's max_delta_proba
+            # default), so a flag may flip only on a window whose float
+            # probability already sits within that budget of the flag
+            # threshold — everywhere else flags must agree
+            np.testing.assert_allclose(
+                rep.scores, base.scores, atol=0.03, err_msg=backend
+            )
+            flips = np.flatnonzero(
+                np.asarray(rep.flagged) != np.asarray(base.flagged)
+            )
+            margin = np.abs(
+                np.asarray(base.scores)[flips] - detectors["cnn-dct"].threshold
+            )
+            assert (margin <= 0.03).all(), (backend, len(flips), margin.max())
+        speedup = paired_speedup(("cnn-dct", backend))
+        record["results"].append(
+            {
+                "detector": "cnn-dct",
+                "backend": backend,
+                "windows": rep.n_windows,
+                "clip_windows_per_s": None,
+                "raster_windows_per_s": round(rep.windows_per_s, 1),
+                "speedup": round(speedup, 2),
+            }
+        )
+        rows.append(
+            {
+                "detector": "cnn-dct",
+                "backend": backend,
+                "clip_w/s": "-",
+                "raster_w/s": round(rep.windows_per_s, 1),
                 "speedup": f"{speedup:.2f}x",
             }
         )
@@ -231,8 +359,13 @@ def test_raster_plane_speedup(benchmark, suite, out_dir):
     )
     print("\n" + text)
 
-    by_name = {r["detector"]: r for r in record["results"]}
+    by_key = {
+        (r["detector"], r["backend"]): r for r in record["results"]
+    }
     # the always-on prefilter stage gets the full batching win
-    assert by_name["logistic-density"]["speedup"] >= 3.0
+    assert by_key[("logistic-density", "layers")]["speedup"] >= 3.0
     # the CNN path is forward-dominated; batching must still never lose
-    assert by_name["cnn-dct"]["speedup"] >= 1.0
+    assert by_key[("cnn-dct", "layers")]["speedup"] >= 1.0
+    # the fused backends are where the CNN row's speedup comes from
+    assert by_key[("cnn-dct", "fused")]["speedup"] >= FUSED_MIN_SPEEDUP
+    assert by_key[("cnn-dct", "fused-int8")]["speedup"] >= INT8_MIN_SPEEDUP

@@ -453,6 +453,62 @@ class NoDeepServiceImportRule(_NoDeepImportRule):
 
 
 @register_rule
+class NoPerCallAllocInForwardRule(LintRule):
+    """Flag fresh numpy allocations inside ``forward()`` methods.
+
+    The fused inference backend exists because per-call ``np.zeros`` /
+    ``np.empty`` in a hot forward path dominates small-batch latency
+    (:mod:`repro.nn.infer` threads a persistent ``Workspace`` instead).
+    A new allocation in any layer's ``forward()`` quietly reintroduces
+    that cost on every raster batch.  Training-only paths (losses,
+    dropout masks) are legitimate — suppress with a reason.
+    """
+
+    name = "no-per-call-alloc-in-forward"
+    description = (
+        "np.zeros/np.empty/np.ones/np.full allocation inside a forward() "
+        "method; reuse a Workspace buffer or hoist the allocation"
+    )
+
+    _ALLOCATORS = {"zeros", "empty", "ones", "full"}
+
+    def check(
+        self, tree: ast.Module, ctx: FileContext
+    ) -> Iterator[LintDiagnostic]:
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for method in cls.body:
+                if (
+                    not isinstance(
+                        method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                    or method.name != "forward"
+                ):
+                    continue
+                for node in ast.walk(method):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    dotted = _dotted_name(node.func)
+                    if dotted is None:
+                        continue
+                    prefix, _, attr = dotted.rpartition(".")
+                    if (
+                        prefix in ("np", "numpy")
+                        and attr in self._ALLOCATORS
+                    ):
+                        yield ctx.diag(
+                            node,
+                            self.name,
+                            f"'{dotted}' allocates on every "
+                            f"{cls.name}.forward() call; reuse a "
+                            "Workspace buffer or hoist it (suppress "
+                            "with a reason if this is a training-only "
+                            "path)",
+                        )
+
+
+@register_rule
 class MutableDefaultRule(LintRule):
     """Flag mutable default argument values.
 

@@ -10,6 +10,7 @@ Commands
 ``analyze``     litho-analyze a clip file and print per-clip verdicts
 ``scan``        sweep a saved CNN model over a GDSII layout layer
 ``scan-chip``   production full-chip scan: cache, cascade, worker pool
+``tune-cascade``  sweep prefilter cutoffs for zero-miss cascade skipping
 ``serve``       run the queued scan service (HTTP job API + worker fleet)
 ``submit``      submit a GDSII layer to a running scan service
 ``pattern``     print a clip's raster as ASCII art (debugging aid)
@@ -207,6 +208,9 @@ def _cmd_scan_chip(args: argparse.Namespace) -> int:
     if (args.model is None) == (args.detector is None):
         print("pass exactly one of --model or --detector", file=sys.stderr)
         return 2
+    if args.cascade_tuning and not args.cascade:
+        print("--cascade-tuning requires --cascade", file=sys.stderr)
+        return 2
     layout, _db_unit = read_gdsii(args.gds)
     if args.layer not in layout.layers:
         print(
@@ -268,6 +272,12 @@ def _cmd_scan_chip(args: argparse.Namespace) -> int:
             detector = CascadeDetector(
                 primary=detector, matcher=matcher, prefilter=prefilter
             )
+            if args.cascade_tuning:
+                from .runtime import CascadeTuning
+
+                tuning = CascadeTuning.load(args.cascade_tuning)
+                detector.apply_tuning(tuning)
+                print(f"applied {tuning.summary()}", file=sys.stderr)
 
     oracle = None
     if args.verify:
@@ -289,6 +299,7 @@ def _cmd_scan_chip(args: argparse.Namespace) -> int:
             trace_dir=args.trace_dir,
             metrics=args.metrics_out,
             progress="stderr" if args.progress else None,
+            infer_backend=args.infer_backend,
         )
         engine = ScanEngine(detector, config=config, faults=faults)
     except ValueError as exc:
@@ -340,6 +351,37 @@ def _cmd_scan_chip(args: argparse.Namespace) -> int:
 
         print()
         print(format_snapshot(metrics_snapshot(report)), end="")
+    return 0
+
+
+def _cmd_tune_cascade(args: argparse.Namespace) -> int:
+    from .bench.workloads import get_suite
+    from .core.registry import create
+    from .runtime import CascadeDetector, tune_cascade
+
+    rng = np.random.default_rng(args.seed)
+    benchmark = get_suite(scale=args.scale, seed=args.seed)[0]
+
+    try:
+        primary = create(args.detector)
+        prefilter = create(args.prefilter)
+    except (KeyError, TypeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    cascade = CascadeDetector(primary=primary, prefilter=prefilter)
+    cascade.fit(benchmark.train, rng=rng)
+
+    # tune on the held-out split so the zero-miss guarantee is measured
+    # on windows the prefilter never saw during fit
+    tuning = tune_cascade(cascade, benchmark.test)
+    print(tuning.summary())
+    print(f"{'cutoff':>10}  {'skip_rate':>9}  {'missed_hot':>10}")
+    for cutoff, skip_rate, missed in tuning.sweep:
+        marker = " <- tuned" if cutoff == tuning.filter_cutoff else ""
+        print(f"{cutoff:>10.6f}  {skip_rate:>9.1%}  {missed:>10d}{marker}")
+    if args.out is not None:
+        path = tuning.save(args.out)
+        print(f"tuning written to {path}", file=sys.stderr)
     return 0
 
 
@@ -625,6 +667,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="wrap the detector in the pattern-match -> prefilter cascade",
     )
     p.add_argument(
+        "--cascade-tuning",
+        type=Path,
+        default=None,
+        help="apply a saved tune-cascade JSON to the cascade prefilter "
+        "cutoff (requires --cascade)",
+    )
+    p.add_argument(
+        "--infer-backend",
+        choices=("layers", "fused", "fused-int8"),
+        default=None,
+        help="CNN inference backend: layers (reference), fused "
+        "(conv+BN folding, batched GEMM), fused-int8 (quantized weights)",
+    )
+    p.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -698,6 +754,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--seed", type=int, default=2012)
     p.set_defaults(fn=_cmd_scan_chip)
+
+    p = sub.add_parser(
+        "tune-cascade",
+        help="sweep prefilter cutoffs for max CNN-skip at zero missed hotspots",
+    )
+    p.add_argument(
+        "--detector",
+        default="cnn-dct",
+        help="registered primary detector name (default: cnn-dct)",
+    )
+    p.add_argument(
+        "--prefilter",
+        default="logistic-density",
+        help="registered prefilter detector name (default: logistic-density)",
+    )
+    p.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the tuning JSON here (consumed by scan-chip "
+        "--cascade-tuning)",
+    )
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--seed", type=int, default=2012)
+    p.set_defaults(fn=_cmd_tune_cascade)
 
     p = sub.add_parser(
         "serve", help="run the queued scan service (HTTP API + worker fleet)"

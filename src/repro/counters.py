@@ -1,0 +1,68 @@
+"""Shared cache counter-ledger consistency checking.
+
+Both bounded LRU caches in the library — the score memoization map
+(:class:`repro.runtime.cache.ScoreCache`) and the feature memoization
+wrapper (:class:`repro.features.base.CachingExtractor`) — expose
+hit/miss/eviction counters that dashboards and tests read.  Those
+counters historically drifted from the cache contents: ``clear()``
+emptied the map but left the counters standing, and a bulk reload
+re-based some counters but not others, so ``evictions`` could end up
+claiming more departures than entries that ever existed.
+
+This module pins the counters to one **ledger invariant**:
+
+    ``inserts - evictions - removed == size``
+
+where ``inserts`` counts entries that entered the map (bulk loads
+re-base it to the loaded size), ``evictions`` counts capacity-pressure
+departures, and ``removed`` counts explicit departures (``clear()``).
+Every mutation path on both caches maintains the identity, and
+:func:`assert_counters_consistent` is the shared self-check both caches
+and their tests call to prove it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class CounterDriftError(AssertionError):
+    """A cache's counters no longer account for its contents."""
+
+
+def counter_ledger(cache) -> Dict[str, int]:
+    """The counter ledger of a cache as one plain dict.
+
+    Works for any object exposing ``inserts``/``evictions``/``removed``
+    integer attributes plus either ``__len__`` or ``cache_size()``.
+    """
+    if hasattr(cache, "__len__"):
+        size = len(cache)
+    else:
+        size = cache.cache_size()
+    return {
+        "inserts": int(cache.inserts),
+        "evictions": int(cache.evictions),
+        "removed": int(cache.removed),
+        "size": int(size),
+    }
+
+
+def assert_counters_consistent(cache, label: str = "cache") -> Dict[str, int]:
+    """Verify the ledger invariant; returns the ledger on success.
+
+    Raises :class:`CounterDriftError` naming the cache and showing the
+    full ledger when ``inserts - evictions - removed != size`` — the
+    signature of a mutation path that touched the map without updating
+    its counters (or vice versa).
+    """
+    ledger = counter_ledger(cache)
+    balance = ledger["inserts"] - ledger["evictions"] - ledger["removed"]
+    if balance != ledger["size"]:
+        raise CounterDriftError(
+            f"{label}: counter ledger drifted from contents: "
+            f"inserts({ledger['inserts']}) - evictions({ledger['evictions']})"
+            f" - removed({ledger['removed']}) = {balance} "
+            f"!= size({ledger['size']})"
+        )
+    return ledger

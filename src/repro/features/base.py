@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from ..contracts import shaped
+from ..counters import assert_counters_consistent
 from ..geometry.layout import Clip
 
 
@@ -114,7 +115,11 @@ class CachingExtractor(FeatureExtractor):
         self._cache: "OrderedDict[Clip, np.ndarray]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # ledger counters: inserts - evictions - removed == cache_size()
+        # (see repro.counters.assert_counters_consistent)
+        self.inserts = 0
         self.evictions = 0
+        self.removed = 0
 
     def extract(self, clip: Clip) -> np.ndarray:
         try:
@@ -123,6 +128,7 @@ class CachingExtractor(FeatureExtractor):
             self.misses += 1
             cached = self.inner.extract(clip)
             self._cache[clip] = cached
+            self.inserts += 1
             while len(self._cache) > self.max_entries:
                 self._cache.popitem(last=False)
                 self.evictions += 1
@@ -155,10 +161,20 @@ class CachingExtractor(FeatureExtractor):
         return len(self._cache)
 
     def clear(self) -> None:
+        self.removed += len(self._cache)
         self._cache.clear()
+        assert_counters_consistent(self, label=self.name)
 
     def reset_counters(self) -> None:
-        self.hits = self.misses = self.evictions = 0
+        """Zero the activity counters without touching the contents.
+
+        ``inserts`` re-bases to the current size (not zero): the entries
+        still in the map have to be accounted for or the ledger
+        invariant would report drift on the very next check.
+        """
+        self.hits = self.misses = self.evictions = self.removed = 0
+        self.inserts = len(self._cache)
+        assert_counters_consistent(self, label=self.name)
 
 
 class Standardizer:

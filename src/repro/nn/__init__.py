@@ -12,8 +12,19 @@ from .detector import (
     BinaryCNNDetector,
     CNNDetector,
     CNNDetectorConfig,
+    InferBackendMixin,
     RasterCNNDetector,
     RasterCNNDetectorConfig,
+)
+from .infer import (
+    BACKENDS,
+    InferencePlan,
+    PlanCompileError,
+    QuantizationError,
+    QuantizationReport,
+    Workspace,
+    compile_plan,
+    quantization_report,
 )
 from .init import Param, he_normal, xavier_uniform
 from .layers import (
@@ -84,4 +95,13 @@ __all__ = [
     "binarize",
     "ste_mask",
     "build_binary_cnn",
+    "BACKENDS",
+    "InferencePlan",
+    "InferBackendMixin",
+    "PlanCompileError",
+    "QuantizationError",
+    "QuantizationReport",
+    "Workspace",
+    "compile_plan",
+    "quantization_report",
 ]

@@ -26,9 +26,93 @@ from ..data.imbalance import class_weights, upsample_minority
 from ..features.dct import DCTFeatureTensor
 from ..geometry.layout import Clip
 from .biased import BiasedConfig, biased_fit
+from .infer import BACKENDS, InferencePlan, compile_plan
 from .model import Sequential
 from .trainer import TrainConfig, Trainer, predict_proba
 from .zoo import build_feature_tensor_cnn, build_raster_cnn
+
+#: windows of the fit-time calibration split retained for the int8 gate
+_MAX_CALIBRATION = 256
+
+
+class InferBackendMixin:
+    """Pluggable inference backend for model-backed detectors.
+
+    ``backend`` selects how ``predict_proba*`` runs the trained model:
+
+    * ``"layers"`` — the training-path layer-by-layer ``Model.forward``,
+    * ``"fused"`` — a compiled float64 :class:`InferencePlan` (BN/ReLU
+      folding, persistent workspace; numerically the same function),
+    * ``"fused-int8"`` — the quantized plan; when the detector retained
+      a fit-time calibration batch the compile runs the accuracy-delta
+      gate against the float plan and refuses a lossy quantization.
+
+    Plans are compiled lazily, invalidated on (re)fit, and dropped from
+    pickles — a spawned scan worker recompiles from the weights it
+    receives rather than shipping workspace buffers across processes.
+    """
+
+    _plan: Optional[InferencePlan] = None
+    _calibration_x: Optional[np.ndarray] = None
+
+    @property
+    def backend(self) -> str:
+        return getattr(self.config, "backend", "layers")
+
+    def set_backend(
+        self, backend: str, calibration: Optional[np.ndarray] = None
+    ) -> None:
+        """Select the inference backend; compiles eagerly when fitted."""
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown inference backend {backend!r}; expected one of "
+                f"{BACKENDS}"
+            )
+        self.config.backend = backend
+        self._plan = None
+        if calibration is not None:
+            self._calibration_x = np.asarray(calibration)
+        if self.model is not None and backend != "layers":
+            self._get_plan()  # fail fast: compile/quantization errors
+
+    def _get_plan(self) -> Optional[InferencePlan]:
+        if self.backend == "layers" or self.model is None:
+            return None
+        if self._plan is None:
+            mode = "int8" if self.backend == "fused-int8" else "float"
+            self._plan = compile_plan(
+                self.model,
+                mode=mode,
+                calibration=self._calibration_x if mode == "int8" else None,
+                threshold=self.threshold,
+            )
+        return self._plan
+
+    def _predict_array(
+        self, x: np.ndarray, batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Score a feature/raster tensor through the selected backend.
+
+        ``batch_size=None`` defers to the plan's
+        :attr:`~repro.nn.infer.InferencePlan.preferred_batch` (dtype-
+        sized for cache residency); the layers path keeps its historical
+        128.
+        """
+        plan = self._get_plan()
+        if plan is not None:
+            return plan.predict_proba(
+                x, batch_size=batch_size or plan.preferred_batch
+            )
+        return predict_proba(self.model, x, batch_size=batch_size or 128)
+
+    def infer_stats(self) -> dict:
+        """Counters from the compiled plan (empty for ``layers``)."""
+        return dict(self._plan.stats) if self._plan is not None else {}
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_plan"] = None  # recompiled lazily in the receiving process
+        return state
 
 
 @dataclass
@@ -46,20 +130,28 @@ class CNNDetectorConfig:
     seed_fallback: int = 0
     calibrate: Optional[str] = "fa"  # None | "f1" | "fa"
     fa_cap: float = 0.10  # false-alarm-rate budget for "fa" calibration
+    backend: str = "layers"  # "layers" | "fused" | "fused-int8"
 
 
-class CNNDetector(Detector):
+class CNNDetector(InferBackendMixin, Detector):
     """Feature-tensor CNN with biased learning."""
 
     name = "cnn-dct"
 
     def __init__(self, config: Optional[CNNDetectorConfig] = None) -> None:
         self.config = config or CNNDetectorConfig()
+        if self.config.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown inference backend {self.config.backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
         self.extractor = DCTFeatureTensor(
             block=self.config.dct_block, keep=self.config.dct_keep
         )
         self.model: Optional[Sequential] = None
         self._fitted_grid: int = 0
+        self._plan = None
+        self._calibration_x = None
 
     def _vectorize(self, clips: Sequence[Clip]) -> np.ndarray:
         return self.extractor.extract_many(clips)
@@ -77,6 +169,8 @@ class CNNDetector(Detector):
         cfg = self.config
         rng = rng or np.random.default_rng(cfg.seed_fallback)
         t0 = time.perf_counter()
+        self._plan = None  # new weights invalidate any compiled plan
+        self._calibration_x = None
         calibration = None
         if cfg.calibrate is not None and train.n_hotspots >= 4:
             train, calibration = train.split(0.25, rng)
@@ -119,7 +213,10 @@ class CNNDetector(Detector):
         if calibration is not None:
             from ..core.threshold import pick_threshold
 
-            scores = self.predict_proba(calibration.clips)
+            x_cal = self._vectorize(calibration.clips)
+            # retained for the int8 quantization accuracy-delta gate
+            self._calibration_x = x_cal[:_MAX_CALIBRATION]
+            scores = predict_proba(self.model, x_cal)
             self.threshold = pick_threshold(
                 cfg.calibrate, calibration.labels, scores, cfg.fa_cap
             )
@@ -135,7 +232,7 @@ class CNNDetector(Detector):
             raise RuntimeError("CNNDetector not fitted")
         if len(clips) == 0:
             return np.empty(0, dtype=np.float64)
-        return predict_proba(self.model, self._vectorize(clips))
+        return self._predict_array(self._vectorize(clips))
 
     @shaped("(n,h,w)->(n,):float64")
     def predict_proba_rasters(self, rasters: np.ndarray) -> np.ndarray:
@@ -145,12 +242,52 @@ class CNNDetector(Detector):
         rasters = np.asarray(rasters, dtype=np.float64)
         if len(rasters) == 0:
             return np.empty(0, dtype=np.float64)
-        return predict_proba(self.model, self.extractor.extract_batch(rasters))
+        return self._predict_array(self.extractor.extract_batch(rasters))
 
     @property
     def raster_pixel_nm(self) -> int:
         """Pixel pitch the raster-plane scan must rasterize at."""
         return int(self.extractor.pixel_nm)
+
+    # ------------------------------------------------------------------
+    # plane-shared features: the scan engine's band fast path
+    # ------------------------------------------------------------------
+    def plane_feature_block(self) -> Optional[int]:
+        """Raster-pixel block pitch of the shareable feature grid.
+
+        The block DCT is computed per ``block x block`` pixel tile
+        independently, so when every scan window lands on a tile
+        boundary the whole band plane can be transformed *once* and
+        each window's feature tensor becomes a slice of the plane
+        tensor.  At the survey geometry windows overlap ~9x, so this
+        divides the DCT work by the overlap factor and shrinks the
+        per-window copy from raster pixels to kept coefficients.
+        """
+        return int(self.extractor.block)
+
+    def plane_feature_tensor(self, plane: np.ndarray) -> np.ndarray:
+        """Transform a ``(H, W)`` raster plane into ``(keep^2, H/B, W/B)``.
+
+        Bit-identical per block to :meth:`predict_proba_rasters`'s
+        batched extraction — the DCT never mixes blocks, so a window's
+        slice of this tensor equals the tensor of the window's raster.
+        """
+        from ..features.dct import feature_tensor_batch
+
+        plane = np.asarray(plane, dtype=np.float64)
+        return feature_tensor_batch(
+            plane[None], self.extractor.block, self.extractor.keep
+        )[0]
+
+    @shaped("(n,c,h,w)->(n,):float64")
+    def predict_proba_features(self, feats: np.ndarray) -> np.ndarray:
+        """Score pre-extracted feature tensors (plane slices)."""
+        if self.model is None:
+            raise RuntimeError("CNNDetector not fitted")
+        feats = np.asarray(feats, dtype=np.float64)
+        if len(feats) == 0:
+            return np.empty(0, dtype=np.float64)
+        return self._predict_array(feats)
 
     # ------------------------------------------------------------------
     # persistence: model weights + detector config/threshold in one npz
@@ -161,6 +298,7 @@ class CNNDetector(Detector):
             raise RuntimeError("cannot save an unfitted CNNDetector")
         state = self.model.state_arrays()
         state["__threshold"] = np.array([self.threshold])
+        state["__backend"] = np.array(self.config.backend)
         state["__arch"] = np.array(
             [
                 self.config.dct_block,
@@ -178,7 +316,12 @@ class CNNDetector(Detector):
             state = {k: data[k] for k in data.files}
         block, keep, width, grid = (int(v) for v in state.pop("__arch"))
         threshold = float(state.pop("__threshold")[0])
-        det = cls(CNNDetectorConfig(dct_block=block, dct_keep=keep, width=width))
+        backend = str(state.pop("__backend", "layers"))
+        det = cls(
+            CNNDetectorConfig(
+                dct_block=block, dct_keep=keep, width=width, backend=backend
+            )
+        )
         det.model = build_feature_tensor_cnn(
             keep * keep, grid, rng=np.random.default_rng(0), width=width
         )
@@ -223,16 +366,24 @@ class RasterCNNDetectorConfig:
     pixel_nm: int = 8
     upsample_ratio: Optional[float] = 0.5
     width: int = 8
+    backend: str = "layers"  # "layers" | "fused" | "fused-int8"
 
 
-class RasterCNNDetector(Detector):
+class RasterCNNDetector(InferBackendMixin, Detector):
     """CNN on the raw clip raster (the no-DCT ablation arm)."""
 
     name = "cnn-raster"
 
     def __init__(self, config: Optional[RasterCNNDetectorConfig] = None) -> None:
         self.config = config or RasterCNNDetectorConfig()
+        if self.config.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown inference backend {self.config.backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
         self.model: Optional[Sequential] = None
+        self._plan = None
+        self._calibration_x = None
 
     def _vectorize(self, clips: Sequence[Clip]) -> np.ndarray:
         from ..geometry.rasterize import rasterize_clip
@@ -249,10 +400,14 @@ class RasterCNNDetector(Detector):
         cfg = self.config
         rng = rng or np.random.default_rng(0)
         t0 = time.perf_counter()
+        self._plan = None  # new weights invalidate any compiled plan
+        self._calibration_x = None
         if cfg.upsample_ratio is not None and train.n_hotspots > 0:
             train = upsample_minority(train, rng, target_ratio=cfg.upsample_ratio)
         x = self._vectorize(train.clips)
         y = train.labels
+        # no held-out split here; gate int8 against training inputs
+        self._calibration_x = x[:_MAX_CALIBRATION]
         self.model = build_raster_cnn(x.shape[-1], rng=rng, width=cfg.width)
         trainer = Trainer(
             TrainConfig(epochs=cfg.epochs, batch_size=cfg.batch_size, lr=cfg.lr),
@@ -269,7 +424,7 @@ class RasterCNNDetector(Detector):
             raise RuntimeError("RasterCNNDetector not fitted")
         if len(clips) == 0:
             return np.empty(0, dtype=np.float64)
-        return predict_proba(self.model, self._vectorize(clips), batch_size=32)
+        return self._predict_array(self._vectorize(clips), batch_size=32)
 
     @shaped("(n,h,w)->(n,):float64")
     def predict_proba_rasters(self, rasters: np.ndarray) -> np.ndarray:
@@ -279,7 +434,7 @@ class RasterCNNDetector(Detector):
         rasters = np.asarray(rasters, dtype=np.float64)
         if len(rasters) == 0:
             return np.empty(0, dtype=np.float64)
-        return predict_proba(self.model, rasters[:, None, :, :], batch_size=32)
+        return self._predict_array(rasters[:, None, :, :], batch_size=32)
 
     @property
     def raster_pixel_nm(self) -> int:

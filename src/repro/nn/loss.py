@@ -37,7 +37,7 @@ class SoftmaxCrossEntropy:
         probs = softmax(logits)
         n = len(labels)
         if self.class_weights is None:
-            weights = np.ones(n)
+            weights = np.ones(n)  # lint: disable=no-per-call-alloc-in-forward  (training-only loss; never on the inference path)
         else:
             w = np.asarray(self.class_weights, dtype=np.float64)
             weights = w[labels]

@@ -33,7 +33,13 @@ The legacy :func:`repro.core.scan.scan_layer` entry point delegates here.
 """
 
 from .cache import CacheIntegrityError, ScoreCache
-from .cascade import CascadeDetector, CascadeStats
+from .cascade import (
+    TUNING_SCHEMA,
+    CascadeDetector,
+    CascadeStats,
+    CascadeTuning,
+    tune_cascade,
+)
 from .checkpoint import (
     CHECKPOINT_NAME,
     Checkpointer,
@@ -60,6 +66,7 @@ from .faults import (
 )
 from .metrics import (
     BASELINE_COUNTERS,
+    INFER_COUNTERS,
     METRICS_SCHEMA,
     SERVICE_COUNTERS,
     export_metrics,
@@ -95,6 +102,9 @@ __all__ = [
     "CacheIntegrityError",
     "CascadeDetector",
     "CascadeStats",
+    "CascadeTuning",
+    "tune_cascade",
+    "TUNING_SCHEMA",
     "WorkerPool",
     "Telemetry",
     "Timer",
@@ -123,4 +133,5 @@ __all__ = [
     "METRICS_SCHEMA",
     "BASELINE_COUNTERS",
     "SERVICE_COUNTERS",
+    "INFER_COUNTERS",
 ]

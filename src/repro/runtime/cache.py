@@ -41,6 +41,7 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from ..counters import assert_counters_consistent
 from .trace import NULL_TRACER
 
 PathLike = Union[str, Path]
@@ -79,7 +80,11 @@ class ScoreCache:
         self._scores: "OrderedDict[str, float]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # ledger counters: inserts - evictions - removed == len(self)
+        # (see repro.counters.assert_counters_consistent)
+        self.inserts = 0
         self.evictions = 0
+        self.removed = 0
         #: set by :meth:`open_dir` when a corrupt file was moved aside
         self.quarantined_from: Optional[Path] = None
 
@@ -100,10 +105,18 @@ class ScoreCache:
     def put(self, fingerprint: str, score: float) -> None:
         if fingerprint in self._scores:
             self._scores.move_to_end(fingerprint)
+        else:
+            self.inserts += 1
         self._scores[fingerprint] = float(score)
         while len(self._scores) > self.max_entries:
             self._scores.popitem(last=False)
             self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry, keeping the ledger balanced."""
+        self.removed += len(self._scores)
+        self._scores.clear()
+        assert_counters_consistent(self, label="ScoreCache")
 
     def __len__(self) -> int:
         return len(self._scores)
@@ -117,7 +130,16 @@ class ScoreCache:
         return self.hits / lookups if lookups else 0.0
 
     def reset_counters(self) -> None:
-        self.hits = self.misses = self.evictions = 0
+        """Zero the activity counters without touching the contents.
+
+        ``inserts`` re-bases to the current size (not zero) so the
+        ledger invariant keeps holding over entries loaded in bulk —
+        zeroing it while the map is populated is exactly the stale-
+        counter drift this ledger exists to catch.
+        """
+        self.hits = self.misses = self.evictions = self.removed = 0
+        self.inserts = len(self._scores)
+        assert_counters_consistent(self, label="ScoreCache")
 
     # ------------------------------------------------------------------
     # persistence

@@ -24,8 +24,11 @@ the property the dedup cache and the worker pool both rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +37,11 @@ from ..core.detector import Detector, FitReport
 from ..data.dataset import ClipDataset
 from ..geometry.layout import Clip
 from .trace import NULL_TRACER
+
+PathLike = Union[str, Path]
+
+#: bump when the persisted tuning layout changes incompatibly
+TUNING_SCHEMA = 1
 
 
 @dataclass
@@ -207,6 +215,22 @@ class CascadeDetector(Detector):  # lint: disable=raster-parity  (stages are het
     def reset_stats(self) -> None:
         self.stats = CascadeStats()
 
+    def apply_tuning(self, tuning: "CascadeTuning") -> None:
+        """Adopt a :func:`tune_cascade` result as the live filter cutoff.
+
+        Refuses a tuning computed against a different flag threshold:
+        the zero-missed guarantee only holds for the threshold the
+        calibration sweep was run with.
+        """
+        if abs(tuning.threshold - self.threshold) > 1e-12:
+            raise ValueError(
+                f"tuning was computed for threshold={tuning.threshold}, "
+                f"cascade has threshold={self.threshold}"
+            )
+        if not 0.0 <= tuning.filter_cutoff < 1.0:
+            raise ValueError("tuned filter_cutoff must be in [0, 1)")
+        self.filter_cutoff = float(tuning.filter_cutoff)
+
     def __getstate__(self):
         """Pickle without the tracer.
 
@@ -217,3 +241,153 @@ class CascadeDetector(Detector):  # lint: disable=raster-parity  (stages are het
         state = self.__dict__.copy()
         state.pop("_tracer", None)
         return state
+
+
+# --------------------------------------------------------------------------
+# EPIC-style cascade threshold auto-tuning
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CascadeTuning:
+    """Result of a :func:`tune_cascade` sweep, JSON-persistable.
+
+    ``filter_cutoff`` is the largest prefilter cutoff that resolves the
+    most calibration windows cold while missing **zero** true hotspots;
+    ``sweep`` keeps the full candidate table (cutoff, skip_rate, missed)
+    so reports can show the whole trade-off curve, not just the pick.
+    """
+
+    filter_cutoff: float
+    skip_rate: float
+    threshold: float
+    n_calibration: int
+    n_hot: int
+    #: smallest prefilter score over true-hot calibration windows — the
+    #: binding constraint; infinity when calibration has no hot windows
+    min_hot_score: float
+    #: True when the 0.5*threshold runtime clamp, not ``min_hot_score``,
+    #: limited the chosen cutoff
+    clamped: bool
+    sweep: Tuple[Tuple[float, float, int], ...]
+
+    def summary(self) -> str:
+        limit = "threshold clamp" if self.clamped else "min hot score"
+        return (
+            f"tuned filter_cutoff={self.filter_cutoff:.6g} "
+            f"(skip {self.skip_rate:.1%} of {self.n_calibration} windows, "
+            f"0 of {self.n_hot} hotspots missed; bound by {limit})"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": TUNING_SCHEMA,
+            "filter_cutoff": self.filter_cutoff,
+            "skip_rate": self.skip_rate,
+            "threshold": self.threshold,
+            "n_calibration": self.n_calibration,
+            "n_hot": self.n_hot,
+            # null, not Infinity: the bare IEEE value is a JSON extension
+            # that strict parsers (jq, browsers) reject
+            "min_hot_score": (
+                None if math.isinf(self.min_hot_score) else self.min_hot_score
+            ),
+            "clamped": self.clamped,
+            "sweep": [list(row) for row in self.sweep],
+        }
+
+    def save(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "CascadeTuning":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        schema = payload.pop("schema", None)
+        if schema != TUNING_SCHEMA:
+            raise ValueError(
+                f"unsupported cascade tuning schema {schema!r} "
+                f"(expected {TUNING_SCHEMA})"
+            )
+        payload["sweep"] = tuple(
+            (float(c), float(s), int(m)) for c, s, m in payload["sweep"]
+        )
+        if payload.get("min_hot_score") is None:
+            payload["min_hot_score"] = float("inf")
+        return cls(**payload)
+
+
+def tune_cascade(
+    cascade: CascadeDetector,
+    calibration: ClipDataset,
+    max_sweep_points: int = 33,
+) -> CascadeTuning:
+    """Sweep prefilter cutoffs on labelled calibration windows.
+
+    EPIC tunes its meta-classifier so the cheap stages absorb as much of
+    the workload as possible without giving up a single hotspot.  This
+    is that sweep for :class:`CascadeDetector`: score ``calibration``
+    with the prefilter, find the largest cutoff that filters zero
+    true-hot windows, and report the cold-skip rate achieved there.
+
+    The chosen cutoff is additionally capped at ``0.5 * threshold``
+    because :meth:`CascadeDetector.predict_proba` clamps there at
+    runtime (a resolved-cold window must never be flaggable); a tuning
+    that ignored the clamp would report skip rates the live cascade
+    cannot deliver.
+
+    Raises ``ValueError`` when the cascade has no prefilter stage or the
+    calibration set is empty.
+    """
+    if cascade.prefilter is None:
+        raise ValueError("cascade has no prefilter stage to tune")
+    if len(calibration) == 0:
+        raise ValueError("calibration set is empty")
+
+    scores = np.asarray(
+        cascade.prefilter.predict_proba(calibration.clips), dtype=np.float64
+    )
+    labels = np.asarray(calibration.labels, dtype=np.int64)
+    hot = labels == 1
+    n = len(scores)
+    n_hot = int(hot.sum())
+
+    # a window is resolved cold when score < cutoff (strict), so the
+    # largest zero-missed cutoff is exactly the smallest hot score
+    min_hot_score = float(scores[hot].min()) if n_hot else float("inf")
+    clamp = 0.5 * cascade.threshold
+    chosen = min(min_hot_score, clamp)
+    clamped = clamp < min_hot_score
+    # stay inside the CascadeDetector filter_cutoff domain [0, 1)
+    chosen = float(min(max(chosen, 0.0), np.nextafter(1.0, 0.0)))
+
+    candidates = np.unique(np.concatenate([scores, [chosen]]))
+    if len(candidates) > max_sweep_points:
+        idx = np.linspace(0, len(candidates) - 1, max_sweep_points)
+        candidates = np.unique(
+            np.concatenate(
+                [candidates[idx.round().astype(int)], [chosen]]
+            )
+        )
+    sweep = tuple(
+        (
+            float(c),
+            float((scores < c).mean()),
+            int((hot & (scores < c)).sum()),
+        )
+        for c in candidates
+    )
+
+    return CascadeTuning(
+        filter_cutoff=chosen,
+        skip_rate=float((scores < chosen).mean()) if n else 0.0,
+        threshold=float(cascade.threshold),
+        n_calibration=n,
+        n_hot=n_hot,
+        min_hot_score=min_hot_score,
+        clamped=clamped,
+        sweep=sweep,
+    )

@@ -41,6 +41,10 @@ class BatchConfig:
     cache_dir: Optional[PathLike] = None
     max_cache_entries: int = 200_000
     mp_context: str = "spawn"
+    #: inference backend applied to backend-aware detectors before the
+    #: scan starts: None keeps the detector's own setting, otherwise
+    #: "layers" | "fused" | "fused-int8" (see repro.nn.infer)
+    infer_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -49,6 +53,14 @@ class BatchConfig:
             raise ValueError("chunk_clips must be >= 1")
         if self.max_cache_entries < 1:
             raise ValueError("max_cache_entries must be >= 1")
+        if self.infer_backend is not None:
+            from ..nn.infer import BACKENDS
+
+            if self.infer_backend not in BACKENDS:
+                raise ValueError(
+                    f"infer_backend must be one of {BACKENDS}, "
+                    f"got {self.infer_backend!r}"
+                )
 
 
 @dataclass(frozen=True)
@@ -208,6 +220,7 @@ LEGACY_KWARGS: Dict[str, Tuple[str, str]] = {
     "cache_dir": ("batch", "cache_dir"),
     "max_cache_entries": ("batch", "max_cache_entries"),
     "mp_context": ("batch", "mp_context"),
+    "infer_backend": ("batch", "infer_backend"),
     "raster_plane": ("raster", "raster_plane"),
     "band_rows": ("raster", "band_rows"),
     "max_plane_pixels": ("raster", "max_plane_pixels"),

@@ -215,6 +215,44 @@ class ScanReport(ScanResult):
         )
 
 
+def _iter_infer_detectors(detector) -> Iterator:
+    """Yield ``detector`` and any cascade stages that expose infer stats."""
+    seen = set()
+    stack = [detector]
+    while stack:
+        det = stack.pop()
+        if id(det) in seen or det is None:
+            continue
+        seen.add(id(det))
+        if hasattr(det, "infer_stats"):
+            yield det
+        if isinstance(det, CascadeDetector):
+            stack.extend((det.matcher, det.prefilter, det.primary))
+
+
+def _apply_infer_backend(detector, backend: str) -> bool:
+    """Set the inference backend on every backend-aware (sub-)detector.
+
+    Returns True if at least one detector accepted the backend — a
+    cascade counts when its primary (or any stage) is backend-aware.
+    """
+    applied = False
+    for det in _iter_infer_detectors(detector):
+        if hasattr(det, "set_backend"):
+            det.set_backend(backend)
+            applied = True
+    return applied
+
+
+def _sum_infer_stats(detector) -> dict:
+    """Aggregate ``infer_*`` counters across the detector tree."""
+    totals: dict = {}
+    for det in _iter_infer_detectors(detector):
+        for key, value in det.infer_stats().items():
+            totals[key] = totals.get(key, 0) + int(value)
+    return totals
+
+
 def _chunked(items: Iterable, size: int) -> Iterator[list]:
     chunk: list = []
     for item in items:
@@ -354,6 +392,17 @@ class ScanEngine:
             config = EngineConfig()
         self.config = config
         self.detector = detector
+        self.infer_backend = config.batch.infer_backend
+        if self.infer_backend is not None:
+            # applied before any worker pickling so spawned workers
+            # inherit the backend choice (plans recompile per process)
+            applied = _apply_infer_backend(detector, self.infer_backend)
+            if not applied and self.infer_backend != "layers":
+                raise TypeError(
+                    f"infer_backend={self.infer_backend!r} requested but "
+                    f"detector {getattr(detector, 'name', type(detector).__name__)!r} "
+                    "(and none of its cascade stages) supports set_backend"
+                )
         # flat attribute mirrors: the pre-config public surface, still
         # read by downstream code and kept as plain back-compat aliases
         self.workers = config.batch.workers
@@ -379,6 +428,9 @@ class ScanEngine:
             faults = FaultInjector(faults)
         self.faults: Optional[FaultInjector] = faults
         self._persist_path = None
+        # persistent (H, W)-keyed window-batch buffers for the raster
+        # direct path (in-process pool only — see _iter_plane_chunks)
+        self._plane_batch_bufs: Dict[Tuple[int, ...], np.ndarray] = {}
         tag = getattr(detector, "name", type(detector).__name__)
         if cache is not None:
             self.cache: Optional[ScoreCache] = cache
@@ -498,6 +550,19 @@ class ScanEngine:
             )
             self.cache.quarantined_from = None
         t0 = perf_counter()
+        # baselines for end-of-scan counter deltas: compiled-plan stats
+        # and cascade skip tallies accumulate across scans on the
+        # detector, so only this scan's contribution is merged below
+        # (in-process scoring only: spawned workers keep their own)
+        infer_before = _sum_infer_stats(self.detector)
+        detector_stats = getattr(self.detector, "stats", None)
+        if isinstance(detector_stats, CascadeStats):
+            skip_before = (
+                detector_stats.filtered_cold,
+                detector_stats.matched_hot,
+            )
+        else:
+            skip_before = None
         centers_iter = iter_tile_centers(region, window_nm, step)
         detach = self._attach_tracer(tracer)
         try:
@@ -568,6 +633,22 @@ class ScanEngine:
                     verify_span.set(flagged=len(flagged_windows))
                 elapsed = perf_counter() - t0
                 telemetry.add_time("total", elapsed)
+                infer_after = _sum_infer_stats(self.detector)
+                for key in set(infer_before) | set(infer_after):
+                    delta = infer_after.get(key, 0) - infer_before.get(key, 0)
+                    if delta:
+                        telemetry.count(key, delta)
+                if skip_before is not None and isinstance(
+                    detector_stats, CascadeStats
+                ):
+                    telemetry.count(
+                        "cascade_skip_cold",
+                        detector_stats.filtered_cold - skip_before[0],
+                    )
+                    telemetry.count(
+                        "cascade_skip_matched",
+                        detector_stats.matched_hot - skip_before[1],
+                    )
                 if self._persist_path is not None:
                     with tracer.span("cache_save", kind="phase"):
                         with telemetry.timer("cache_save"):
@@ -884,11 +965,42 @@ class ScanEngine:
     # ------------------------------------------------------------------
     # raster-plane scan strategies
     # ------------------------------------------------------------------
+    def _plane_feature_block(
+        self, window_nm: int, step: int
+    ) -> Optional[int]:
+        """Feature-grid block pitch (px) when the plane path can share it.
+
+        The detector must expose the plane-feature trio
+        (``plane_feature_block`` / ``plane_feature_tensor`` /
+        ``predict_proba_features``) and both the window size and the
+        scan step must land on feature-block boundaries — then every
+        window's feature tensor is a slice of one per-band plane
+        tensor.  Returns ``None`` (fall back to raster-window batches)
+        otherwise.
+        """
+        if not all(
+            callable(getattr(self.detector, name, None))
+            for name in (
+                "plane_feature_block",
+                "plane_feature_tensor",
+                "predict_proba_features",
+            )
+        ):
+            return None
+        block = self.detector.plane_feature_block()
+        if not block:
+            return None
+        block_nm = int(block) * self.detector.raster_pixel_nm
+        if window_nm % block_nm or step % block_nm:
+            return None
+        return int(block)
+
     def _iter_plane_chunks(
         self, layer, region, window_nm, core_nm, step, telemetry, keep_clips,
         centers, clips, obs, ckpt=None, prefix_parts=None,
+        reuse_batches=False, feature_block=None,
     ) -> Iterator[np.ndarray]:
-        """Rasterize band planes and yield ``(n, H, W)`` window batches.
+        """Rasterize band planes and yield per-chunk window batches.
 
         Shared front half of both raster strategies: each band is painted
         once, each member window is sliced out of the plane, and slices
@@ -896,12 +1008,31 @@ class ScanEngine:
         chunk-sized batches.  Appends centers/clips as a side effect so
         callers see them in the exact order batches are yielded.
 
+        With ``feature_block`` set (see :meth:`_plane_feature_block`)
+        the band plane is feature-transformed *once* and the yielded
+        batches are ``(n, C, h, w)`` feature slices instead of
+        ``(n, H, W)`` raster windows — at the survey geometry windows
+        overlap ~9x, so the per-window transform cost drops by the
+        overlap factor and the per-window copy shrinks from raster
+        pixels to kept coefficients.
+
         When ``prefix_parts`` is given (raster *direct* resume — the
         dedup path resumes at the fingerprint level instead), chunks
         covered by the checkpoint prefix skip slicing entirely and their
         stored scores are appended to ``prefix_parts``.
+
+        ``reuse_batches=True`` fills a persistent engine-owned buffer
+        instead of allocating a fresh stack per chunk (a chunk of 96x96
+        float64 windows is ~10MB, and faulting fresh pages in every
+        chunk costs real per-window time).  Yielded batches are then
+        invalidated by the next iteration, so it is only safe when the
+        consumer fully drains each batch before advancing — true for
+        the in-process (``workers == 1``) score loop, NOT for a
+        multiprocess pool that pickles batches ahead, and not for the
+        dedup path, which retains window exemplars across chunks.
         """
         pixel = self.detector.raster_pixel_nm
+        half = window_nm // 2
         bands = _iter_raster_bands(
             region, window_nm, step, pixel, self.band_rows,
             self.max_plane_pixels,
@@ -910,6 +1041,12 @@ class ScanEngine:
             with telemetry.timer("rasterize"):
                 plane = rasterize_region(layer, band_box, pixel)
             telemetry.count("raster_bands")
+            feats = None
+            if feature_block is not None:
+                with telemetry.timer("features"):
+                    feats = self.detector.plane_feature_tensor(plane.grid)
+                telemetry.count("feature_planes")
+                fwin = window_nm // (feature_block * pixel)
             for chunk_centers in _chunked(iter(band_centers), self.chunk_clips):
                 if ckpt is not None and prefix_parts is not None:
                     part = ckpt.next_resumed_chunk(len(chunk_centers))
@@ -927,14 +1064,36 @@ class ScanEngine:
                         obs.tick("resume")
                         continue
                 with telemetry.timer("slice"):
-                    batch = np.stack(
-                        [
+                    if feats is not None:
+                        fpitch = pixel * feature_block
+                        views = []
+                        for cx, cy in chunk_centers:
+                            gy = (cy - half - band_box.y1) // fpitch
+                            gx = (cx - half - band_box.x1) // fpitch
+                            views.append(
+                                feats[:, gy:gy + fwin, gx:gx + fwin]
+                            )
+                    else:
+                        views = [
                             plane.window(
                                 Rect.from_center(cx, cy, window_nm, window_nm)
                             )
                             for cx, cy in chunk_centers
                         ]
-                    )
+                    if reuse_batches:
+                        item = views[0].shape
+                        buf = self._plane_batch_bufs.get(item)
+                        if buf is None or len(buf) < len(views):
+                            buf = np.empty(
+                                (max(len(views), self.chunk_clips), *item),
+                                dtype=views[0].dtype,
+                            )
+                            self._plane_batch_bufs[item] = buf
+                        batch = buf[: len(views)]
+                        for j, view in enumerate(views):
+                            np.copyto(batch[j], view)
+                    else:
+                        batch = np.stack(views)
                 centers.extend(chunk_centers)
                 if keep_clips:
                     with telemetry.timer("extract"):
@@ -955,14 +1114,25 @@ class ScanEngine:
         centers: List[Tuple[int, int]] = []
         clips: List[Clip] = []
         prefix_parts: List[np.ndarray] = []
+        feature_block = self._plane_feature_block(window_nm, step)
         batches = self._iter_plane_chunks(
             layer, region, window_nm, core_nm, step, telemetry, keep_clips,
             centers, clips, obs, ckpt=ckpt, prefix_parts=prefix_parts,
+            # the in-process pool scores each batch before pulling the
+            # next, so batches may share one persistent buffer; a
+            # process pool pickles batches ahead and must not
+            reuse_batches=pool.workers == 1,
+            feature_block=feature_block,
+        )
+        score_stream = (
+            pool.map_scores_features(batches)
+            if feature_block is not None
+            else pool.map_scores_rasters(batches)
         )
         parts: List[np.ndarray] = []
         with obs.tracer.span("score_stream", kind="phase"):
             with telemetry.timer("score"):
-                for part in pool.map_scores_rasters(batches):
+                for part in score_stream:
                     parts.append(part)
                     telemetry.count("scored", len(part))
                     if ckpt is not None:

@@ -47,6 +47,18 @@ SERVICE_COUNTERS: Tuple[str, ...] = (
     "service_http_errors",
 )
 
+#: fused-inference-backend and cascade-tuning counter family (PR 7);
+#: zero-seeded so a layers-backend or untuned run exposes the same
+#: metric key set as a fused/tuned one
+INFER_COUNTERS: Tuple[str, ...] = (
+    "infer_batches",
+    "infer_windows",
+    "infer_int8_windows",
+    "feature_planes",
+    "cascade_skip_cold",
+    "cascade_skip_matched",
+)
+
 #: counters always present in a snapshot, zero-seeded when they never fired
 BASELINE_COUNTERS: Tuple[str, ...] = tuple(
     [f"fault_{point}" for point in INJECTION_POINTS]
@@ -66,6 +78,7 @@ BASELINE_COUNTERS: Tuple[str, ...] = tuple(
         "scored",
     ]
     + list(SERVICE_COUNTERS)
+    + list(INFER_COUNTERS)
 )
 
 

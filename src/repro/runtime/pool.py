@@ -102,6 +102,23 @@ def _score_raster_chunk_task(task) -> np.ndarray:
     return _score_raster_chunk(batch)
 
 
+@shaped("(n,c,h,w)->(n,):float64")
+def _score_feature_chunk(feats: np.ndarray) -> np.ndarray:
+    """Worker-side feature-batch scorer (plane-feature scan path)."""
+    if _WORKER_DETECTOR is None:  # pragma: no cover - initializer contract
+        raise RuntimeError("worker pool used before initialization")
+    return np.asarray(
+        _WORKER_DETECTOR.predict_proba_features(feats), dtype=np.float64
+    )
+
+
+def _score_feature_chunk_task(task) -> np.ndarray:
+    """Feature counterpart of :func:`_score_chunk_task`."""
+    batch, fault = task
+    execute_chunk_fault(fault)
+    return _score_feature_chunk(batch)
+
+
 class _Chunk:
     """Supervision record for one submitted chunk (payload + fate)."""
 
@@ -324,6 +341,27 @@ class WorkerPool:
 
         yield from self._supervised_map(
             batches, _score_raster_chunk_task, local_fn
+        )
+
+    def map_scores_features(
+        self, batches: Iterable[np.ndarray]
+    ) -> Iterator[np.ndarray]:
+        """Score ``(n, C, h, w)`` feature-tensor batches, in order.
+
+        The plane-feature counterpart of :meth:`map_scores_rasters`:
+        the engine extracts features once per band plane and ships the
+        (much smaller) per-window feature slices instead of raw window
+        rasters.  Requires a detector with ``predict_proba_features``.
+        """
+
+        def local_fn(batch) -> np.ndarray:
+            return np.asarray(
+                self.detector.predict_proba_features(batch),
+                dtype=np.float64,
+            )
+
+        yield from self._supervised_map(
+            batches, _score_feature_chunk_task, local_fn
         )
 
     @shaped("[n]->(n,):float64")

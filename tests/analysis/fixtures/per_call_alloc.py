@@ -1,0 +1,24 @@
+"""Fixture: no-per-call-alloc-in-forward violations."""
+
+import numpy as np
+
+
+class HotLayer:
+    def forward(self, x):
+        out = np.zeros(x.shape)  # VIOLATION line 8
+        tmp = np.empty(len(x))  # VIOLATION line 9
+        mask = np.ones(len(x))  # VIOLATION line 10
+        pad = np.full(len(x), 0.5)  # VIOLATION line 11
+        return out + tmp + mask + pad
+
+    def backward(self, grad):
+        return np.zeros_like(grad) + np.zeros(3)  # other methods are fine
+
+
+def forward(x):
+    return np.zeros(3)  # module-level function, not a layer method
+
+
+class OkLayer:
+    def forward(self, x):
+        return np.maximum(x, 0.0)

@@ -31,6 +31,7 @@ EXPECTED_RULES = {
     "mutable-default",
     "no-deep-runtime-import",
     "no-deep-service-import",
+    "no-per-call-alloc-in-forward",
 }
 
 
@@ -57,6 +58,11 @@ class TestRules:
             ("broad_except.py", "broad-except", [7, 14, 21]),
             ("raster_parity.py", "raster-parity", [8, 13]),
             ("mutable_default.py", "mutable-default", [4, 8, 12, 16]),
+            (
+                "per_call_alloc.py",
+                "no-per-call-alloc-in-forward",
+                [8, 9, 10, 11],
+            ),
             (
                 "deep_runtime_import.py",
                 "no-deep-runtime-import",

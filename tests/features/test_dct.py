@@ -85,3 +85,31 @@ class TestExtractor:
         a = DCTFeatureTensor(block=8, keep=4)
         b = DCTFeatureTensor(block=8, keep=4, flatten=True)
         assert a.name != b.name
+
+
+class TestPlaneFeatureSlicing:
+    """Block independence: a window's tensor is a slice of the plane's.
+
+    The raster-plane scan engine relies on this to transform each band
+    once and slice per-window feature tensors out — the equality must be
+    bit-exact, since the plan path promises byte-identical flags.
+    """
+
+    def test_window_slice_is_bit_identical(self):
+        from repro.nn.detector import CNNDetector
+
+        rng = np.random.default_rng(3)
+        det = CNNDetector()  # unfitted is fine: extraction has no weights
+        plane = rng.random((160, 224))
+        feats = det.plane_feature_tensor(plane)
+        assert feats.shape == (16, 20, 28)
+        for oy, ox in [(0, 0), (32, 64), (64, 128)]:
+            window = plane[oy : oy + 96, ox : ox + 96]
+            direct = det.extractor.extract_batch(window[None].copy())[0]
+            sliced = feats[:, oy // 8 : oy // 8 + 12, ox // 8 : ox // 8 + 12]
+            assert np.array_equal(sliced, direct), (oy, ox)
+
+    def test_detector_advertises_block(self):
+        from repro.nn.detector import CNNDetector
+
+        assert CNNDetector().plane_feature_block() == 8

@@ -150,3 +150,190 @@ class TestFitAndVerify:
         cascade = CascadeDetector(primary=ConstantDetector(0.9))
         with pytest.raises(RuntimeError):
             cascade.verify_flagged([])
+
+
+# --------------------------------------------------------------------------
+# EPIC-style cutoff auto-tuning
+# --------------------------------------------------------------------------
+class ScriptedDetector(Detector):  # lint: disable=raster-parity  (test double)
+    """Returns a pre-scripted score per clip, in call order."""
+
+    name = "scripted"
+
+    def __init__(self, scores, threshold=0.5):
+        self.scores = np.asarray(scores, dtype=np.float64)
+        self.threshold = threshold
+
+    def fit(self, train, rng=None) -> FitReport:
+        return FitReport(n_train=len(train))
+
+    def predict_proba(self, clips):
+        return self.scores[: len(clips)]
+
+
+def _calibration(scores, labels):
+    from repro.data.dataset import ClipDataset
+
+    clips = tiny_grating_dataset(n=len(scores), seed=1).clips
+    return ClipDataset(
+        name="cal", clips=clips, labels=np.asarray(labels, dtype=np.int64)
+    )
+
+
+class TestTuneCascade:
+    def test_cutoff_is_min_hot_score_when_unclamped(self):
+        from repro.runtime import CascadeDetector, tune_cascade
+
+        scores = [0.05, 0.10, 0.30, 0.40, 0.80]
+        cal = _calibration(scores, [0, 0, 0, 1, 1])
+        cascade = CascadeDetector(
+            primary=ConstantDetector(0.9, threshold=0.9),
+            prefilter=ScriptedDetector(scores),
+        )
+        tuning = tune_cascade(cascade, cal)
+        # clamp is 0.45 > min hot score 0.40: the hot windows bind
+        assert tuning.filter_cutoff == pytest.approx(0.40)
+        assert not tuning.clamped
+        assert tuning.min_hot_score == pytest.approx(0.40)
+        # strict < keeps the 0.40 hot window out of the cold bucket
+        assert tuning.skip_rate == pytest.approx(3 / 5)
+        assert tuning.n_hot == 2
+
+    def test_cutoff_clamped_by_runtime_threshold_rule(self):
+        from repro.runtime import CascadeDetector, tune_cascade
+
+        scores = [0.05, 0.10, 0.30, 0.40, 0.80]
+        cal = _calibration(scores, [0, 0, 0, 1, 1])
+        cascade = CascadeDetector(
+            primary=ConstantDetector(0.9, threshold=0.5),
+            prefilter=ScriptedDetector(scores),
+        )
+        tuning = tune_cascade(cascade, cal)
+        # predict-time rule is min(cutoff, 0.5*threshold): tuning must
+        # not promise skips the live cascade would refuse
+        assert tuning.filter_cutoff == pytest.approx(0.25)
+        assert tuning.clamped
+
+    def test_sweep_rows_zero_missed_up_to_chosen_cutoff(self):
+        from repro.runtime import CascadeDetector, tune_cascade
+
+        rng = np.random.default_rng(7)
+        scores = rng.uniform(size=40)
+        labels = (scores > 0.35).astype(int)
+        cal = _calibration(scores, labels)
+        cascade = CascadeDetector(
+            primary=ConstantDetector(0.9, threshold=0.6),
+            prefilter=ScriptedDetector(scores),
+        )
+        tuning = tune_cascade(cascade, cal)
+        assert any(c == tuning.filter_cutoff for c, _, _ in tuning.sweep)
+        for cutoff, skip_rate, missed in tuning.sweep:
+            if cutoff <= tuning.filter_cutoff:
+                assert missed == 0
+            assert 0.0 <= skip_rate <= 1.0
+
+    def test_no_hot_windows_falls_back_to_clamp(self):
+        from repro.runtime import CascadeDetector, tune_cascade
+
+        scores = [0.1, 0.2, 0.3]
+        cal = _calibration(scores, [0, 0, 0])
+        cascade = CascadeDetector(
+            primary=ConstantDetector(0.9, threshold=0.5),
+            prefilter=ScriptedDetector(scores),
+        )
+        tuning = tune_cascade(cascade, cal)
+        assert tuning.n_hot == 0
+        assert tuning.min_hot_score == float("inf")
+        assert tuning.filter_cutoff == pytest.approx(0.25)
+
+    def test_requires_prefilter_and_calibration(self):
+        from repro.data.dataset import ClipDataset
+        from repro.runtime import CascadeDetector, tune_cascade
+
+        cascade = CascadeDetector(primary=ConstantDetector(0.9))
+        cal = _calibration([0.1], [0])
+        with pytest.raises(ValueError, match="prefilter"):
+            tune_cascade(cascade, cal)
+        cascade = CascadeDetector(
+            primary=ConstantDetector(0.9),
+            prefilter=ScriptedDetector([0.1]),
+        )
+        empty = ClipDataset(
+            name="e", clips=[], labels=np.zeros(0, dtype=np.int64)
+        )
+        with pytest.raises(ValueError, match="empty"):
+            tune_cascade(cascade, empty)
+
+
+class TestTuningPersistence:
+    def _tuning(self):
+        from repro.runtime import CascadeDetector, tune_cascade
+
+        scores = [0.05, 0.4, 0.8]
+        cal = _calibration(scores, [0, 1, 1])
+        cascade = CascadeDetector(
+            primary=ConstantDetector(0.9, threshold=0.9),
+            prefilter=ScriptedDetector(scores),
+        )
+        return cascade, tune_cascade(cascade, cal)
+
+    def test_json_round_trip(self, tmp_path):
+        from repro.runtime import CascadeTuning
+
+        cascade, tuning = self._tuning()
+        path = tuning.save(tmp_path / "tuning.json")
+        assert CascadeTuning.load(path) == tuning
+
+    def test_degenerate_tuning_round_trips_as_strict_json(self, tmp_path):
+        """No-hot-window tunings (min_hot_score=inf) must persist as null.
+
+        ``json.dumps`` would happily emit a bare ``Infinity`` token, which
+        strict JSON parsers (jq, browsers) reject — the saved file must
+        stay consumable outside Python.
+        """
+        import json
+
+        from repro.runtime import CascadeDetector, CascadeTuning, tune_cascade
+
+        scores = [0.05, 0.4, 0.8]
+        cal = _calibration(scores, [0, 0, 0])  # no hot windows
+        cascade = CascadeDetector(
+            primary=ConstantDetector(0.9, threshold=0.9),
+            prefilter=ScriptedDetector(scores),
+        )
+        tuning = tune_cascade(cascade, cal)
+        assert tuning.min_hot_score == float("inf")
+        path = tuning.save(tmp_path / "tuning.json")
+        assert "Infinity" not in path.read_text()
+        assert json.loads(path.read_text())["min_hot_score"] is None
+        assert CascadeTuning.load(path) == tuning
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        import json
+
+        from repro.runtime import CascadeTuning
+
+        _, tuning = self._tuning()
+        path = tuning.save(tmp_path / "tuning.json")
+        payload = json.loads(path.read_text())
+        payload["schema"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema"):
+            CascadeTuning.load(path)
+
+    def test_apply_tuning_sets_cutoff(self):
+        cascade, tuning = self._tuning()
+        cascade.apply_tuning(tuning)
+        assert cascade.filter_cutoff == tuning.filter_cutoff
+
+    def test_apply_tuning_rejects_threshold_mismatch(self):
+        import dataclasses
+
+        cascade, tuning = self._tuning()
+        stale = dataclasses.replace(tuning, threshold=0.123)
+        with pytest.raises(ValueError, match="threshold"):
+            cascade.apply_tuning(stale)
+
+    def test_summary_names_the_binding_constraint(self):
+        _, tuning = self._tuning()
+        assert "0 of 2 hotspots missed" in tuning.summary()

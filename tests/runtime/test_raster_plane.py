@@ -222,6 +222,108 @@ class TestPathSelection:
         assert not supports_raster_scan(ZeroPixel())
 
 
+class FeatureMeanDetector(RasterMeanDetector):
+    """Block-DCT double: exercises the plane-shared feature fast path.
+
+    Scores are a function of the window's DCT feature tensor, computed
+    identically by the raster path (per-window transform) and the plane
+    path (one transform per band, sliced) — so any divergence between
+    the two is the plane-slicing arithmetic's fault.
+    """
+
+    name = "feature-mean"
+    block = 8
+    keep = 4
+
+    @property
+    def raster_pixel_nm(self) -> int:  # restated for the raster-parity lint
+        return self.pixel_nm
+
+    def predict_proba(self, clips):
+        if len(clips) == 0:
+            return np.empty(0, dtype=np.float64)
+        rasters = np.stack(
+            [rasterize_clip(c, self.pixel_nm) for c in clips]
+        )
+        return self.predict_proba_rasters(rasters)
+
+    def predict_proba_rasters(self, rasters):
+        from repro.features.dct import feature_tensor_batch
+
+        rasters = np.asarray(rasters, dtype=np.float64)
+        if len(rasters) == 0:
+            return np.empty(0, dtype=np.float64)
+        return self.predict_proba_features(
+            feature_tensor_batch(rasters, self.block, self.keep)
+        )
+
+    def plane_feature_block(self):
+        return self.block
+
+    def plane_feature_tensor(self, plane):
+        from repro.features.dct import feature_tensor_batch
+
+        return feature_tensor_batch(
+            np.asarray(plane, dtype=np.float64)[None], self.block, self.keep
+        )[0]
+
+    def predict_proba_features(self, feats):
+        feats = np.asarray(feats, dtype=np.float64)
+        if len(feats) == 0:
+            return np.empty(0, dtype=np.float64)
+        # DC channel carries block means; any deterministic reduction works
+        return np.minimum(1.0, feats[:, 0].mean(axis=(1, 2)))
+
+
+class TestPlaneFeaturePath:
+    """The band plane is feature-transformed once and windows slice it."""
+
+    def test_plane_features_match_clip_path(self, tiled_layer):
+        det = FeatureMeanDetector()
+        clip = _scan(det, tiled_layer, raster_plane=False, dedup=False)
+        rast = _scan(det, tiled_layer, raster_plane=True, dedup=False)
+        assert rast.centers == clip.centers
+        np.testing.assert_allclose(rast.scores, clip.scores, atol=1e-12)
+        assert np.array_equal(rast.flagged, clip.flagged)
+        # the fast path actually ran: one transform per band, not none
+        assert rast.telemetry.counters["feature_planes"] >= 1
+        assert rast.telemetry.counters["feature_planes"] == (
+            rast.telemetry.counters["raster_bands"]
+        )
+
+    def test_plane_features_match_raster_window_path(self, tiled_layer):
+        """Feature slices must equal per-window transforms bit-for-bit."""
+        det = FeatureMeanDetector()
+        rast = _scan(det, tiled_layer, raster_plane=True, dedup=False)
+
+        class NoPlane(FeatureMeanDetector):
+            plane_feature_block = None  # hides the hook; raster fallback
+
+        fallback = _scan(NoPlane(), tiled_layer, raster_plane=True, dedup=False)
+        assert fallback.telemetry.counters.get("feature_planes", 0) == 0
+        assert np.array_equal(rast.scores, fallback.scores)
+
+    def test_misaligned_step_falls_back_to_raster_windows(self, tiled_layer):
+        det = FeatureMeanDetector()
+        engine = ScanEngine(det, raster_plane=True, dedup=False)
+        # step 96 nm is not a multiple of the 64 nm feature-block pitch
+        report = engine.scan(tiled_layer, REGION, step_nm=96, keep_clips=False)
+        assert report.scan_path == "raster"
+        assert report.telemetry.counters.get("feature_planes", 0) == 0
+        clip = ScanEngine(det, raster_plane=False, dedup=False).scan(
+            tiled_layer, REGION, step_nm=96, keep_clips=False
+        )
+        np.testing.assert_allclose(report.scores, clip.scores, atol=1e-12)
+
+    def test_dedup_path_ignores_plane_features(self, tiled_layer):
+        """Dedup fingerprints raw rasters; the feature path must not leak."""
+        det = FeatureMeanDetector()
+        rast = _scan(det, tiled_layer, raster_plane=True, dedup=True)
+        assert rast.telemetry.counters.get("feature_planes", 0) == 0
+        direct = _scan(det, tiled_layer, raster_plane=True, dedup=False)
+        assert np.array_equal(rast.scores, direct.scores)
+
+
 class TestEmptyInputRegressions:
     def test_predict_on_empty(self):
         det = RasterMeanDetector()

@@ -1,0 +1,117 @@
+"""The shared cache counter-ledger invariant (repro.counters).
+
+Guards the drift this helper was written to catch: ``clear()`` emptying
+a cache while its counters keep claiming the old contents, and bulk
+reloads re-basing some counters but not others.
+"""
+
+import numpy as np
+import pytest
+
+from repro.counters import (
+    CounterDriftError,
+    assert_counters_consistent,
+    counter_ledger,
+)
+from repro.features.base import CachingExtractor
+from repro.features.density import DensityGrid
+from repro.runtime import ScoreCache
+
+
+class TestScoreCacheLedger:
+    def test_put_evict_balance(self):
+        cache = ScoreCache(max_entries=5, detector_tag="t")
+        for i in range(8):
+            cache.put(f"fp{i}", i * 0.1)
+        ledger = assert_counters_consistent(cache)
+        assert ledger == {
+            "inserts": 8, "evictions": 3, "removed": 0, "size": 5
+        }
+
+    def test_overwrite_is_not_an_insert(self):
+        cache = ScoreCache(max_entries=5)
+        cache.put("fp", 0.1)
+        cache.put("fp", 0.9)
+        assert cache.inserts == 1
+        assert_counters_consistent(cache)
+
+    def test_clear_counts_removed(self):
+        cache = ScoreCache(max_entries=5)
+        for i in range(3):
+            cache.put(f"fp{i}", 0.1)
+        cache.clear()
+        assert len(cache) == 0 and cache.removed == 3
+        assert_counters_consistent(cache)
+
+    def test_reset_counters_rebases_inserts(self):
+        # the historical drift: zeroing every counter while the map is
+        # still populated breaks the ledger on the next eviction
+        cache = ScoreCache(max_entries=5)
+        for i in range(4):
+            cache.put(f"fp{i}", 0.1)
+        cache.hits = 7
+        cache.reset_counters()
+        assert cache.hits == 0 and cache.inserts == 4
+        assert_counters_consistent(cache)
+
+    def test_load_starts_with_consistent_ledger(self, tmp_path):
+        cache = ScoreCache(max_entries=10, detector_tag="t")
+        for i in range(6):
+            cache.put(f"fp{i}", 0.1 * i)
+        path = cache.save(tmp_path / "scores.json")
+        # reload under a smaller budget: only the recent tail is kept,
+        # and the ledger must account for exactly what survived
+        loaded = ScoreCache.load(path, max_entries=4, detector_tag="t")
+        ledger = assert_counters_consistent(loaded)
+        assert ledger["size"] == 4 and ledger["evictions"] == 0
+
+    def test_drift_is_detected(self):
+        cache = ScoreCache(max_entries=5)
+        cache.put("fp", 0.1)
+        cache.inserts = 0  # simulate a mutation path missing its counter
+        with pytest.raises(CounterDriftError, match="drifted"):
+            assert_counters_consistent(cache, label="ScoreCache")
+
+
+class TestCachingExtractorLedger:
+    @pytest.fixture()
+    def clips(self):
+        from repro.data.benchmarks import SUITE_CONFIGS
+        from repro.data.synth import generate_clips
+
+        rng = np.random.default_rng(0)
+        clips, _ = generate_clips(rng, SUITE_CONFIGS[0].mix, 10, 768, 256)
+        return clips
+
+    def test_extract_and_evict_balance(self, clips):
+        ext = CachingExtractor(DensityGrid(), max_entries=6)
+        for clip in clips:
+            ext.extract(clip)
+        ledger = assert_counters_consistent(ext, label=ext.name)
+        assert ledger["inserts"] == 10
+        assert ledger["evictions"] == 4
+        assert ledger["size"] == 6
+
+    def test_clear_keeps_ledger_balanced(self, clips):
+        ext = CachingExtractor(DensityGrid(), max_entries=16)
+        for clip in clips:
+            ext.extract(clip)
+        ext.clear()
+        assert ext.cache_size() == 0 and ext.removed == 10
+        # and the cache still works after clearing
+        ext.extract(clips[0])
+        assert_counters_consistent(ext, label=ext.name)
+
+    def test_reset_counters_rebases_inserts(self, clips):
+        ext = CachingExtractor(DensityGrid(), max_entries=16)
+        for clip in clips[:4]:
+            ext.extract(clip)
+        ext.reset_counters()
+        assert ext.inserts == 4 and ext.misses == 0
+        assert_counters_consistent(ext, label=ext.name)
+
+    def test_counter_ledger_uses_cache_size(self, clips):
+        # CachingExtractor has no __len__; the helper must fall back
+        ext = CachingExtractor(DensityGrid(), max_entries=16)
+        ext.extract(clips[0])
+        assert counter_ledger(ext)["size"] == 1
