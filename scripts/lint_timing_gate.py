@@ -1,0 +1,71 @@
+"""CI gate: a warm-cache re-lint of an unchanged tree must be >=5x faster.
+
+Runs the full analyzer (per-file + semantic) twice over the same targets
+with a fresh cache directory: the first pass is cold (parses every file,
+computes every semantic result), the second must be served entirely from
+the ``.lint_cache`` layer.  Fails when the warm pass re-parsed anything,
+recomputed any semantic result, or came in under the speedup floor.
+
+Usage::
+
+    PYTHONPATH=src python scripts/lint_timing_gate.py [paths...]
+
+``REPRO_LINT_MIN_SPEEDUP`` overrides the floor (default 5.0) — CI keeps
+the default; noisy local machines can relax it.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import tempfile
+
+from repro.analysis import analyze_paths
+
+
+def main(argv=None) -> int:
+    paths = (argv if argv is not None else sys.argv[1:]) or ["src", "tests"]
+    floor = float(os.environ.get("REPRO_LINT_MIN_SPEEDUP", "5.0"))
+    cache_dir = tempfile.mkdtemp(prefix="lint_cache_gate_")
+    try:
+        cold = analyze_paths(paths, cache_dir=cache_dir)
+        warm = analyze_paths(paths, cache_dir=cache_dir)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    speedup = cold.stats.seconds / max(warm.stats.seconds, 1e-9)
+    print(
+        f"cold: {cold.stats.seconds:.2f}s over {cold.stats.files} files "
+        f"({len(cold.stats.parsed)} parsed)"
+    )
+    print(
+        f"warm: {warm.stats.seconds:.2f}s "
+        f"({warm.stats.file_cache_hits} file hits, "
+        f"{warm.stats.semantic_cache_hits} semantic hits)"
+    )
+    print(f"speedup: {speedup:.1f}x (floor {floor:.1f}x)")
+
+    failures = []
+    if warm.stats.parsed:
+        failures.append(f"warm pass re-parsed {len(warm.stats.parsed)} files")
+    if warm.stats.semantic_cone_reanalyzed or (
+        warm.stats.semantic_package_reanalyzed
+    ):
+        failures.append("warm pass recomputed semantic results")
+    if speedup < floor:
+        failures.append(f"speedup {speedup:.1f}x under the {floor:.1f}x floor")
+    if cold_findings := [d.format() for d in cold.findings]:
+        failures.append(f"tree is not lint-clean: {cold_findings[:5]}")
+    if [d.format() for d in warm.findings] != [
+        d.format() for d in cold.findings
+    ]:
+        failures.append("warm findings differ from cold findings")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,19 @@
-"""Static analysis tooling: the project-specific AST lint pass.
+"""Static analysis tooling: per-file lint plus the project-wide analyzer.
 
-Exposed on the command line as ``repro-lhd lint``.  The engine and the
-rule catalog are split — :mod:`.lint` owns walking, suppressions, and
-formatting; :mod:`.rules` holds one class per project rule.
+Exposed on the command line as ``repro-lhd lint``.  Four layers:
+
+* :mod:`.lint` — the per-file engine: walking, suppressions, formatting;
+* :mod:`.rules` — one class per per-file AST rule;
+* :mod:`.project` — the whole-project index (symbol table, import
+  graph, call facts, ``@shaped`` specs, counter increments) and the
+  incremental :func:`analyze_paths` driver with its ``.lint_cache``;
+* :mod:`.semantic_rules` — cross-file rules (contract flow, counter
+  registry, concurrency discipline) over the index.
+
+:mod:`.sarif` renders any finding list as SARIF 2.1.0 for CI upload.
 """
 
+from .cache import LintCache
 from .lint import (
     FileContext,
     LintDiagnostic,
@@ -15,14 +24,40 @@ from .lint import (
     lint_source,
     register_rule,
 )
+from .project import (
+    AnalysisResult,
+    AnalysisStats,
+    ProjectIndex,
+    analyze_paths,
+    build_project_index,
+    module_name_for,
+)
+from .sarif import format_sarif, sarif_document
+from .semantic_rules import (
+    SemanticRule,
+    all_semantic_rules,
+    register_semantic_rule,
+)
 
 __all__ = [
+    "AnalysisResult",
+    "AnalysisStats",
     "FileContext",
+    "LintCache",
     "LintDiagnostic",
     "LintRule",
+    "ProjectIndex",
+    "SemanticRule",
     "all_rules",
+    "all_semantic_rules",
+    "analyze_paths",
+    "build_project_index",
     "format_findings",
+    "format_sarif",
     "lint_paths",
     "lint_source",
+    "module_name_for",
     "register_rule",
+    "register_semantic_rule",
+    "sarif_document",
 ]

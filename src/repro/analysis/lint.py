@@ -37,6 +37,7 @@ _SKIP_DIRS = {
     "dist",
     "fixtures",
     ".bench_cache",
+    ".lint_cache",
 }
 
 _SUPPRESS_RE = re.compile(

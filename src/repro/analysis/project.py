@@ -1,0 +1,938 @@
+"""Whole-project semantic index and the incremental analysis driver.
+
+The per-file linter (:mod:`.lint` / :mod:`.rules`) sees one module at a
+time; this layer parses the *full* target tree once into a
+:class:`ProjectIndex` — module/symbol table, import graph, per-function
+call lists, decorator metadata (``@shaped`` contract specs), counter
+increments, thread-target/lock facts, and statically-evaluable constant
+registries — and runs the cross-file rules from
+:mod:`.semantic_rules` on top of it.
+
+The driver (:func:`analyze_paths`) is incremental: per-file parse and
+index results are cached under ``.lint_cache`` keyed by file content
+hash, and semantic results are keyed by the digest of a file's
+transitive import cone — editing one module re-analyzes only the files
+whose cone contains it.  File summarization is a pure function of
+``(path, module, source)``, so cache misses can be parsed in parallel
+worker processes (``jobs > 1``).
+
+Everything stored in a :class:`FileSummary` is plain JSON data:
+summaries round-trip through the cache and through multiprocess workers
+without custom serialization.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .lint import (
+    LintDiagnostic,
+    _parse_suppressions,
+    all_rules,
+    iter_target_files,
+    lint_source,
+)
+from .rules import _dotted_name
+
+#: bump when the summary layout or any rule's semantics change — the
+#: cache fingerprint folds this in, so stale entries self-invalidate
+ANALYZER_CACHE_VERSION = 1
+
+_CONST_RE = re.compile(r"^[A-Z][A-Z0-9_]*$")
+_LOCKISH_RE = re.compile(r"lock|cond|mutex", re.IGNORECASE)
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+#: final attribute of a receiver whose ``.count(...)`` is a telemetry API
+_COUNTER_RECEIVERS = {"telemetry", "tele", "manager"}
+
+
+def file_digest(data: bytes) -> str:
+    """Content hash used for all cache keys (hex blake2b-128)."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name inferred from package ``__init__.py`` chains.
+
+    ``src/repro/runtime/engine.py`` → ``repro.runtime.engine`` (``src``
+    has no ``__init__.py``); a file outside any package is its own
+    top-level module.
+    """
+    path = Path(path).resolve()
+    parts = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    if not parts:
+        parts = [path.parent.name or path.stem]
+    return ".".join(parts)
+
+
+# --------------------------------------------------------------------------
+# constant mini-expressions (serializable slice of the AST)
+# --------------------------------------------------------------------------
+def _encode_fstring(node: ast.JoinedStr) -> Dict[str, object]:
+    """``f"fault_{point}"`` → prefix + variable; anything fancier is lossy."""
+    prefix = ""
+    values = list(node.values)
+    if values and isinstance(values[0], ast.Constant) and isinstance(
+        values[0].value, str
+    ):
+        prefix = values[0].value
+        values = values[1:]
+    var: Optional[str] = None
+    if (
+        len(values) == 1
+        and isinstance(values[0], ast.FormattedValue)
+        and isinstance(values[0].value, ast.Name)
+    ):
+        var = values[0].value.id
+    return {"k": "fstr", "prefix": prefix, "var": var}
+
+
+def _encode_expr(node: ast.AST) -> Dict[str, object]:
+    """Encode a module-level constant expression as JSON-able data.
+
+    Covers the shapes counter registries are actually built from:
+    string literals, tuples/lists, name references, ``+`` concatenation,
+    ``tuple(...)``/``list(...)`` wrapping, f-strings, and single-``for``
+    comprehensions.  Everything else becomes ``unknown`` — evaluation
+    then degrades gracefully instead of guessing.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return {"k": "lit", "v": node.value}
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return {"k": "seq", "items": [_encode_expr(e) for e in node.elts]}
+    if isinstance(node, ast.Name):
+        return {"k": "name", "id": node.id}
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return {
+            "k": "concat",
+            "items": [_encode_expr(node.left), _encode_expr(node.right)],
+        }
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("tuple", "list")
+        and len(node.args) == 1
+        and not node.keywords
+    ):
+        return {"k": "call_seq", "arg": _encode_expr(node.args[0])}
+    if isinstance(node, ast.JoinedStr):
+        return _encode_fstring(node)
+    if (
+        isinstance(node, (ast.ListComp, ast.GeneratorExp))
+        and len(node.generators) == 1
+        and not node.generators[0].ifs
+        and isinstance(node.generators[0].target, ast.Name)
+    ):
+        gen = node.generators[0]
+        return {
+            "k": "comp",
+            "elt": _encode_expr(node.elt),
+            "var": gen.target.id,
+            "iter": _encode_expr(gen.iter),
+        }
+    return {"k": "unknown"}
+
+
+# --------------------------------------------------------------------------
+# the per-file summarizer
+# --------------------------------------------------------------------------
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """'x' when ``node`` is exactly ``self.x``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _FunctionScan:
+    """Facts gathered from one function body."""
+
+    def __init__(self) -> None:
+        self.calls: List[Dict[str, object]] = []
+        self.mutations: List[Dict[str, object]] = []
+        self.thread_targets: List[str] = []
+        self.lock_attrs: List[str] = []
+
+    def scan(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit(stmt, ())
+
+    def _record_call(self, node: ast.Call, guards: Tuple[str, ...]) -> None:
+        callee = _dotted_name(node.func)
+        if callee is None:
+            return
+        args = []
+        for arg in node.args:
+            args.append(arg.id if isinstance(arg, ast.Name) else None)
+        self.calls.append(
+            {
+                "callee": callee,
+                "args": args,
+                "line": node.lineno,
+                "col": node.col_offset,
+            }
+        )
+        if callee.split(".")[-1] == "Thread":
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    target = _self_attr(kw.value)
+                    if target is not None:
+                        self.thread_targets.append(target)
+
+    def _record_mutation(
+        self, attr: str, node: ast.AST, guards: Tuple[str, ...]
+    ) -> None:
+        self.mutations.append(
+            {
+                "attr": attr,
+                "line": node.lineno,
+                "col": node.col_offset,
+                "guards": list(guards),
+            }
+        )
+
+    def _visit(self, node: ast.AST, guards: Tuple[str, ...]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = []
+            for item in node.items:
+                self._visit(item.context_expr, guards)
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):  # with self._cond: vs .acquire()
+                    expr = expr.func
+                attr = _self_attr(expr)
+                if attr is not None:
+                    acquired.append(attr)
+            inner = guards + tuple(acquired)
+            for stmt in node.body:
+                self._visit(stmt, inner)
+            return
+        if isinstance(node, ast.Call):
+            self._record_call(node, guards)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    self._record_mutation(attr, node, guards)
+                    value = node.value
+                    if isinstance(value, ast.Call):
+                        factory = _dotted_name(value.func)
+                        if (
+                            factory
+                            and factory.split(".")[-1] in _LOCK_FACTORIES
+                        ):
+                            self.lock_attrs.append(attr)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            attr = _self_attr(node.target)
+            if attr is not None:
+                self._record_mutation(attr, node, guards)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, guards)
+
+
+def _summarize_function(fn) -> Dict[str, object]:
+    arg_nodes = list(fn.args.posonlyargs) + list(fn.args.args)
+    params = [a.arg for a in arg_nodes if a.arg not in ("self", "cls")]
+    spec = None
+    spec_line = None
+    for dec in fn.decorator_list:
+        if not isinstance(dec, ast.Call):
+            continue
+        name = _dotted_name(dec.func)
+        if (
+            name
+            and name.split(".")[-1] == "shaped"
+            and dec.args
+            and isinstance(dec.args[0], ast.Constant)
+            and isinstance(dec.args[0].value, str)
+        ):
+            spec = dec.args[0].value
+            spec_line = dec.args[0].lineno
+    scan = _FunctionScan()
+    scan.scan(fn.body)
+    return {
+        "line": fn.lineno,
+        "params": params,
+        "spec": spec,
+        "spec_line": spec_line,
+        "calls": scan.calls,
+        "mutations": scan.mutations,
+        "thread_targets": scan.thread_targets,
+        "lock_attrs": scan.lock_attrs,
+    }
+
+
+def _summarize_class(node: ast.ClassDef) -> Dict[str, object]:
+    bases = []
+    for base in node.bases:
+        dotted = _dotted_name(base)
+        if dotted is not None:
+            bases.append(dotted)
+    methods: Dict[str, Dict[str, object]] = {}
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[stmt.name] = _summarize_function(stmt)
+    lock_attrs: Set[str] = set()
+    thread_targets: Set[str] = set()
+    for info in methods.values():
+        lock_attrs.update(info.pop("lock_attrs"))
+        thread_targets.update(info.pop("thread_targets"))
+    return {
+        "line": node.lineno,
+        "bases": bases,
+        "methods": methods,
+        "lock_attrs": sorted(lock_attrs),
+        "thread_targets": sorted(thread_targets),
+    }
+
+
+def _resolve_from_import(
+    module: str, is_package: bool, node: ast.ImportFrom
+) -> Optional[str]:
+    """Absolute module targeted by a (possibly relative) from-import."""
+    if node.level == 0:
+        return node.module
+    base = module if is_package else module.rpartition(".")[0]
+    for _ in range(node.level - 1):
+        if not base:
+            return None
+        base = base.rpartition(".")[0]
+    if node.module:
+        return f"{base}.{node.module}" if base else node.module
+    return base or None
+
+
+def _counter_name_parts(
+    arg: ast.AST,
+) -> Tuple[Optional[str], Optional[str]]:
+    """(literal name, dynamic prefix) of a counter-name argument."""
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value, None
+    if isinstance(arg, ast.JoinedStr):
+        enc = _encode_fstring(arg)
+        prefix = enc["prefix"]
+        if prefix:
+            return None, str(prefix)
+    return None, None
+
+
+def summarize_source(
+    path: str, module: str, source: str, tree: Optional[ast.Module] = None
+) -> Dict[str, object]:
+    """Extract the :class:`ProjectIndex` facts for one parsed module."""
+    if tree is None:
+        tree = ast.parse(source, filename=path)
+    is_package = Path(path).name == "__init__.py"
+    imports: Set[str] = set()
+    bindings: Dict[str, List[Optional[str]]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports.add(alias.name)
+                bindings[alias.asname or alias.name.split(".")[0]] = [
+                    alias.name if alias.asname else alias.name.split(".")[0],
+                    None,
+                ]
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve_from_import(module, is_package, node)
+            if target is None:
+                continue
+            imports.add(target)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bindings[alias.asname or alias.name] = [target, alias.name]
+
+    functions: Dict[str, Dict[str, object]] = {}
+    classes: Dict[str, Dict[str, object]] = {}
+    consts: Dict[str, Dict[str, object]] = {}
+    const_lines: Dict[str, int] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = _summarize_function(stmt)
+            info.pop("lock_attrs")
+            info.pop("thread_targets")
+            functions[stmt.name] = info
+        elif isinstance(stmt, ast.ClassDef):
+            classes[stmt.name] = _summarize_class(stmt)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name) and _CONST_RE.match(target.id):
+                consts[target.id] = _encode_expr(stmt.value)
+                const_lines[target.id] = stmt.lineno
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name) and _CONST_RE.match(
+                stmt.target.id
+            ):
+                consts[stmt.target.id] = _encode_expr(stmt.value)
+                const_lines[stmt.target.id] = stmt.lineno
+
+    counters: List[Dict[str, object]] = []
+    subscript_counters: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr != "count" or not node.args:
+                continue
+            receiver = _dotted_name(node.func.value)
+            if receiver is None:
+                continue
+            if receiver != "self" and (
+                receiver.split(".")[-1] not in _COUNTER_RECEIVERS
+            ):
+                continue
+            name, prefix = _counter_name_parts(node.args[0])
+            counters.append(
+                {
+                    "name": name,
+                    "prefix": prefix,
+                    "line": node.lineno,
+                    "col": node.col_offset,
+                }
+            )
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Subscript
+        ):
+            key = node.target.slice
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                subscript_counters.add(key.value)
+
+    by_line, file_wide = _parse_suppressions(source)
+    return {
+        "path": path,
+        "module": module,
+        "package": module.split(".")[0],
+        "imports": sorted(imports),
+        "bindings": bindings,
+        "functions": functions,
+        "classes": classes,
+        "consts": consts,
+        "const_lines": const_lines,
+        "counters": counters,
+        "subscript_counters": sorted(subscript_counters),
+        "suppress_lines": {
+            str(line): sorted(rules) for line, rules in by_line.items()
+        },
+        "suppress_file": sorted(file_wide),
+    }
+
+
+def _stub_summary(path: str, module: str) -> Dict[str, object]:
+    """Summary for an unparseable file: present in the index, no facts."""
+    return {
+        "path": path,
+        "module": module,
+        "package": module.split(".")[0],
+        "imports": [],
+        "bindings": {},
+        "functions": {},
+        "classes": {},
+        "consts": {},
+        "const_lines": {},
+        "counters": [],
+        "subscript_counters": [],
+        "suppress_lines": {},
+        "suppress_file": [],
+    }
+
+
+def _analyze_file(
+    path: str, module: str, source: str, select: Optional[Sequence[str]]
+) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """(summary, per-file diagnostics) for one source file — pure."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        diags = lint_source(source, path=path, select=select)
+        return _stub_summary(path, module), [d.as_dict() for d in diags]
+    diags = lint_source(source, path=path, select=select)
+    summary = summarize_source(path, module, source, tree=tree)
+    summary["sha"] = file_digest(source.encode("utf-8"))
+    return summary, [d.as_dict() for d in diags]
+
+
+def _analyze_worker(item: Tuple[str, str, str]):
+    """Module-level (spawn-picklable) wrapper for parallel cache misses."""
+    path, module, source = item
+    summary, diags = _analyze_file(path, module, source, None)
+    return path, summary, diags
+
+
+# --------------------------------------------------------------------------
+# the project index
+# --------------------------------------------------------------------------
+class ProjectIndex:
+    """Symbol table + import graph over one analyzed file set.
+
+    ``files`` maps path → summary; ``by_module`` maps dotted module name
+    → summary.  The import graph contains only project-internal edges
+    (imports of modules that are themselves in the index), including the
+    parent packages a submodule import executes.
+    """
+
+    def __init__(self, summaries: Dict[str, Dict[str, object]]) -> None:
+        self.files = summaries
+        self.by_module: Dict[str, Dict[str, object]] = {}
+        for summary in summaries.values():
+            self.by_module.setdefault(str(summary["module"]), summary)
+        self.import_graph: Dict[str, Set[str]] = {}
+        for summary in summaries.values():
+            module = str(summary["module"])
+            edges = self.import_graph.setdefault(module, set())
+            targets: Set[str] = set(summary["imports"])
+            for bound in summary["bindings"].values():
+                base, symbol = bound[0], bound[1]
+                if symbol is not None:
+                    targets.add(f"{base}.{symbol}")
+            for target in targets:
+                parts = str(target).split(".")
+                for i in range(len(parts), 0, -1):
+                    prefix = ".".join(parts[:i])
+                    if prefix in self.by_module and prefix != module:
+                        edges.add(prefix)
+        self._cones: Dict[str, Set[str]] = {}
+        self._registries: Dict[str, Optional[Dict[str, object]]] = {}
+
+    # -- symbol resolution ---------------------------------------------
+    def resolve(
+        self, module: str, name: str, _seen: Optional[Set[Tuple[str, str]]] = None
+    ) -> Optional[Tuple[str, str, Dict[str, object]]]:
+        """(defining module, kind, info) for ``name`` seen from ``module``.
+
+        Follows from-import chains through facades (PEP 562 re-exports
+        resolve as far as static bindings go).  Kind is ``"func"``,
+        ``"class"``, or ``"const"``; unresolvable names return None.
+        """
+        seen = _seen if _seen is not None else set()
+        if (module, name) in seen:
+            return None
+        seen.add((module, name))
+        summary = self.by_module.get(module)
+        if summary is None:
+            return None
+        if name in summary["classes"]:
+            return module, "class", summary["classes"][name]
+        if name in summary["functions"]:
+            return module, "func", summary["functions"][name]
+        if name in summary["consts"]:
+            return module, "const", summary["consts"][name]
+        bound = summary["bindings"].get(name)
+        if bound is not None:
+            base, symbol = bound[0], bound[1]
+            if symbol is None:
+                return None  # a module object, not a value symbol
+            return self.resolve(str(base), str(symbol), seen)
+        return None
+
+    def resolve_dotted(
+        self, module: str, dotted: str
+    ) -> Optional[Tuple[str, str, Dict[str, object]]]:
+        """Resolve ``pkg.Name`` chains: module bindings then :meth:`resolve`."""
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            return self.resolve(module, parts[0])
+        summary = self.by_module.get(module)
+        if summary is None:
+            return None
+        bound = summary["bindings"].get(parts[0])
+        if bound is not None and bound[1] is None:
+            target = str(bound[0])
+            if len(parts) == 2:
+                return self.resolve(target, parts[1])
+            return self.resolve_dotted(
+                ".".join([target] + parts[1:-1]), parts[-1]
+            )
+        if len(parts) == 2 and bound is not None:
+            # ``from repro.service import manager`` → manager.JobManager
+            base, symbol = str(bound[0]), str(bound[1])
+            return self.resolve(f"{base}.{symbol}", parts[1])
+        return None
+
+    def iter_base_classes(
+        self, module: str, class_info: Dict[str, object]
+    ) -> Iterator[Tuple[str, str, Dict[str, object]]]:
+        """Depth-first walk of resolvable base classes (module, name, info)."""
+        visited: Set[Tuple[str, str]] = set()
+        stack = [(module, base) for base in class_info["bases"]]
+        while stack:
+            mod, dotted = stack.pop(0)
+            resolved = self.resolve_dotted(mod, str(dotted))
+            if resolved is None or resolved[1] != "class":
+                continue
+            def_module, _, info = resolved
+            key = (def_module, str(dotted).split(".")[-1])
+            if key in visited:
+                continue
+            visited.add(key)
+            yield def_module, str(dotted).split(".")[-1], info
+            stack.extend((def_module, b) for b in info["bases"])
+
+    # -- import cones and digests --------------------------------------
+    def cone_modules(self, module: str) -> Set[str]:
+        """``module`` plus everything it transitively imports (in-index)."""
+        cached = self._cones.get(module)
+        if cached is not None:
+            return cached
+        cone: Set[str] = set()
+        stack = [module]
+        while stack:
+            current = stack.pop()
+            if current in cone:
+                continue
+            cone.add(current)
+            stack.extend(self.import_graph.get(current, ()))
+        self._cones[module] = cone
+        return cone
+
+    def _digest_of(self, modules: Sequence[str]) -> str:
+        hasher = hashlib.blake2b(digest_size=16)
+        for name in sorted(modules):
+            summary = self.by_module.get(name)
+            if summary is None:
+                continue
+            hasher.update(f"{name}:{summary.get('sha', '')}\n".encode())
+        return hasher.hexdigest()
+
+    def cone_digest(self, path: str) -> str:
+        module = str(self.files[path]["module"])
+        return self._digest_of(sorted(self.cone_modules(module)))
+
+    def package_modules(self, package: str) -> List[str]:
+        return sorted(
+            m for m, s in self.by_module.items() if s["package"] == package
+        )
+
+    def package_digest(self, package: str) -> str:
+        return self._digest_of(self.package_modules(package))
+
+    # -- constant evaluation -------------------------------------------
+    def eval_const_expr(
+        self, module: str, expr: Dict[str, object]
+    ) -> Tuple[List[str], List[str], bool]:
+        """(keys, prefixes, exact) a registry expression denotes.
+
+        ``exact`` is False as soon as any part could not be statically
+        expanded — checks that need the complete key set (dead-key
+        detection) then stand down rather than guess.
+        """
+        kind = expr["k"]
+        if kind == "lit":
+            return [str(expr["v"])], [], True
+        if kind in ("seq", "concat"):
+            keys: List[str] = []
+            prefixes: List[str] = []
+            exact = True
+            for item in expr["items"]:
+                k, p, e = self.eval_const_expr(module, item)
+                keys += k
+                prefixes += p
+                exact = exact and e
+            return keys, prefixes, exact
+        if kind == "call_seq":
+            return self.eval_const_expr(module, expr["arg"])
+        if kind == "name":
+            resolved = self.resolve(module, str(expr["id"]))
+            if resolved is None or resolved[1] != "const":
+                return [], [], False
+            def_module, _, const_expr = resolved
+            return self.eval_const_expr(def_module, const_expr)
+        if kind == "fstr":
+            prefix = str(expr["prefix"])
+            return [], [prefix] if prefix else [], False
+        if kind == "comp":
+            elt = expr["elt"]
+            var = expr["var"]
+            keys, prefixes, exact = self.eval_const_expr(
+                module, expr["iter"]
+            )
+            if elt.get("k") == "name" and elt.get("id") == var:
+                return keys, prefixes, exact
+            if elt.get("k") == "fstr" and elt.get("var") == var:
+                prefix = str(elt["prefix"])
+                if exact and not prefixes:
+                    return [prefix + key for key in keys], [], True
+                return [], [prefix] if prefix else [], False
+            return [], [], False
+        return [], [], False
+
+    def counter_registry(self, package: str) -> Optional[Dict[str, object]]:
+        """The evaluated ``BASELINE_COUNTERS`` registry of one package.
+
+        Returns ``{"keys", "prefixes", "exact", "modules"}`` (modules is
+        ``[(module, line)]`` of the defining assignments) or None when
+        the package defines no registry — packages without one opt out
+        of counter checking entirely.
+        """
+        if package in self._registries:
+            return self._registries[package]
+        keys: Set[str] = set()
+        prefixes: Set[str] = set()
+        exact = True
+        defining: List[Tuple[str, int]] = []
+        for module in self.package_modules(package):
+            summary = self.by_module[module]
+            expr = summary["consts"].get("BASELINE_COUNTERS")
+            if expr is None:
+                continue
+            k, p, e = self.eval_const_expr(module, expr)
+            keys.update(k)
+            prefixes.update(p)
+            exact = exact and e
+            defining.append(
+                (module, int(summary["const_lines"].get("BASELINE_COUNTERS", 1)))
+            )
+        result: Optional[Dict[str, object]] = None
+        if defining:
+            result = {
+                "keys": keys,
+                "prefixes": prefixes,
+                "exact": exact,
+                "modules": defining,
+            }
+        self._registries[package] = result
+        return result
+
+
+def build_project_index(
+    paths: Sequence, jobs: int = 1
+) -> "ProjectIndex":
+    """Parse + summarize a target tree into a fresh index (no cache)."""
+    result = analyze_paths(
+        paths, semantic=False, cache_dir=None, jobs=jobs, _keep_index=True
+    )
+    assert result.index is not None
+    return result.index
+
+
+# --------------------------------------------------------------------------
+# the incremental driver
+# --------------------------------------------------------------------------
+@dataclass
+class AnalysisStats:
+    """What one :func:`analyze_paths` run actually did (for tests/CI)."""
+
+    files: int = 0
+    parsed: List[str] = field(default_factory=list)
+    file_cache_hits: int = 0
+    semantic_cone_reanalyzed: List[str] = field(default_factory=list)
+    semantic_package_reanalyzed: List[str] = field(default_factory=list)
+    semantic_cache_hits: int = 0
+    cache_enabled: bool = False
+    seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "files": self.files,
+            "parsed": len(self.parsed),
+            "file_cache_hits": self.file_cache_hits,
+            "semantic_cone_reanalyzed": len(self.semantic_cone_reanalyzed),
+            "semantic_package_reanalyzed": len(
+                self.semantic_package_reanalyzed
+            ),
+            "semantic_cache_hits": self.semantic_cache_hits,
+            "cache_enabled": self.cache_enabled,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class AnalysisResult:
+    findings: List[LintDiagnostic]
+    stats: AnalysisStats
+    index: Optional[ProjectIndex] = None
+
+
+def _diag_from_dict(data: Dict[str, object]) -> LintDiagnostic:
+    return LintDiagnostic(
+        path=str(data["path"]),
+        line=int(data["line"]),
+        col=int(data["col"]),
+        rule=str(data["rule"]),
+        message=str(data["message"]),
+    )
+
+
+def _semantic_suppressed(
+    diag: LintDiagnostic, summary: Dict[str, object]
+) -> bool:
+    file_wide = set(summary["suppress_file"])
+    line_rules = set(summary["suppress_lines"].get(str(diag.line), ()))
+    for rules in (file_wide, line_rules):
+        if diag.rule in rules or "all" in rules:
+            return True
+    return False
+
+
+def _validated_select(select: Optional[Sequence[str]]):
+    """Split a --select list into (per-file names, semantic names)."""
+    from .semantic_rules import all_semantic_rules
+
+    file_rules = all_rules()
+    semantic_rules = all_semantic_rules()
+    if select is None:
+        return None, None
+    unknown = sorted(set(select) - set(file_rules) - set(semantic_rules))
+    if unknown:
+        raise KeyError(f"unknown lint rules: {unknown}")
+    return (
+        [name for name in select if name in file_rules],
+        [name for name in select if name in semantic_rules],
+    )
+
+
+def cache_fingerprint() -> str:
+    """Identity of the rule set + analyzer version the cache was built by."""
+    from .semantic_rules import all_semantic_rules
+
+    payload = json.dumps(
+        {
+            "version": ANALYZER_CACHE_VERSION,
+            "rules": sorted(all_rules()),
+            "semantic": sorted(all_semantic_rules()),
+        },
+        sort_keys=True,
+    )
+    return file_digest(payload.encode())
+
+
+def analyze_paths(
+    paths: Sequence,
+    select: Optional[Sequence[str]] = None,
+    *,
+    semantic: bool = True,
+    cache_dir=None,
+    jobs: int = 1,
+    _keep_index: bool = False,
+) -> AnalysisResult:
+    """Full analysis driver: per-file rules + cross-file semantic rules.
+
+    ``cache_dir`` (e.g. ``".lint_cache"``) enables the incremental
+    cache; ``select`` narrows rules (and disables caching, which is
+    keyed to the full rule set); ``jobs > 1`` parses cache misses in
+    parallel worker processes.
+    """
+    from .cache import LintCache
+    from .semantic_rules import all_semantic_rules
+
+    t0 = time.perf_counter()
+    file_select, semantic_select = _validated_select(select)
+    stats = AnalysisStats()
+    cache: Optional[LintCache] = None
+    if cache_dir is not None and select is None:
+        cache = LintCache(cache_dir, fingerprint=cache_fingerprint())
+        stats.cache_enabled = True
+
+    findings: List[LintDiagnostic] = []
+    summaries: Dict[str, Dict[str, object]] = {}
+    file_diags: Dict[str, List[Dict[str, object]]] = {}
+    misses: List[Tuple[str, str, str]] = []
+    for path in iter_target_files(paths):
+        key = str(path)
+        stats.files += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(
+                LintDiagnostic(
+                    path=key, line=1, col=0, rule="read-error",
+                    message=str(exc),
+                )
+            )
+            continue
+        sha = file_digest(source.encode("utf-8"))
+        entry = cache.get_file(key, sha) if cache is not None else None
+        if entry is not None:
+            stats.file_cache_hits += 1
+            summaries[key] = entry["summary"]
+            file_diags[key] = entry["diagnostics"]
+        else:
+            misses.append((key, module_name_for(path), source))
+
+    if misses:
+        stats.parsed = [m[0] for m in misses]
+        if jobs > 1 and len(misses) > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                analyzed = list(pool.map(_analyze_worker, misses, chunksize=8))
+        else:
+            analyzed = [
+                (key, *_analyze_file(key, module, source, file_select))
+                for key, module, source in misses
+            ]
+        for key, summary, diags in analyzed:
+            summaries[key] = summary
+            file_diags[key] = diags
+            if cache is not None:
+                cache.put_file(
+                    key, str(summary.get("sha", "")), summary, diags
+                )
+
+    for diags in file_diags.values():
+        findings.extend(_diag_from_dict(d) for d in diags)
+
+    index = ProjectIndex(summaries)
+    if semantic:
+        semantic_rules = all_semantic_rules()
+        if semantic_select is not None:
+            semantic_rules = {
+                name: semantic_rules[name] for name in semantic_select
+            }
+        rules = [cls() for _, cls in sorted(semantic_rules.items())]
+        cone_rules = [r for r in rules if r.scope == "cone"]
+        package_rules = [r for r in rules if r.scope == "package"]
+        for key, summary in summaries.items():
+            for scope, scope_rules in (
+                ("cone", cone_rules),
+                ("package", package_rules),
+            ):
+                if not scope_rules:
+                    continue
+                if scope == "cone":
+                    digest = index.cone_digest(key)
+                else:
+                    digest = index.package_digest(str(summary["package"]))
+                cached = (
+                    cache.get_semantic(key, scope, digest)
+                    if cache is not None and select is None
+                    else None
+                )
+                if cached is not None:
+                    stats.semantic_cache_hits += 1
+                    findings.extend(_diag_from_dict(d) for d in cached)
+                    continue
+                if scope == "cone":
+                    stats.semantic_cone_reanalyzed.append(key)
+                else:
+                    stats.semantic_package_reanalyzed.append(key)
+                produced = [
+                    diag
+                    for rule in scope_rules
+                    for diag in rule.check_file(summary, index)
+                    if not _semantic_suppressed(diag, summary)
+                ]
+                findings.extend(produced)
+                if cache is not None and select is None:
+                    cache.put_semantic(
+                        key, scope, digest, [d.as_dict() for d in produced]
+                    )
+
+    if cache is not None:
+        cache.save()
+    findings.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    stats.seconds = time.perf_counter() - t0
+    return AnalysisResult(
+        findings=findings,
+        stats=stats,
+        index=index if _keep_index else None,
+    )

@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 rendering of lint findings for CI code-scanning upload.
+
+One run, one tool (``repro-lhd-lint``), one result per diagnostic.
+Rule metadata comes from both registries (per-file + semantic); rules
+that only exist at runtime (``parse-error``, ``read-error``) are
+appended on demand and reported at ``error`` level — everything else is
+a ``warning``.  SARIF columns are 1-based while our diagnostics carry
+0-based columns, hence the ``col + 1``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+from typing import Dict, Iterable, List
+
+from .lint import LintDiagnostic, all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+#: runtime-only rule ids that mark the file itself as broken
+_ERROR_RULES = {"parse-error", "read-error"}
+
+
+def _rule_catalog() -> List[Dict[str, object]]:
+    from .semantic_rules import all_semantic_rules
+
+    catalog: List[Dict[str, object]] = []
+    for name, cls in sorted(all_rules().items()):
+        catalog.append(
+            {
+                "id": name,
+                "shortDescription": {"text": cls.description},
+            }
+        )
+    for name, cls in sorted(all_semantic_rules().items()):
+        catalog.append(
+            {
+                "id": name,
+                "shortDescription": {"text": cls.description},
+            }
+        )
+    return catalog
+
+
+def sarif_document(findings: Iterable[LintDiagnostic]) -> Dict[str, object]:
+    """Build the SARIF log dict for one lint run."""
+    rules = _rule_catalog()
+    rule_index = {str(rule["id"]): i for i, rule in enumerate(rules)}
+    results: List[Dict[str, object]] = []
+    for diag in findings:
+        if diag.rule not in rule_index:
+            rule_index[diag.rule] = len(rules)
+            rules.append(
+                {
+                    "id": diag.rule,
+                    "shortDescription": {"text": diag.rule},
+                }
+            )
+        results.append(
+            {
+                "ruleId": diag.rule,
+                "ruleIndex": rule_index[diag.rule],
+                "level": "error" if diag.rule in _ERROR_RULES else "warning",
+                "message": {"text": diag.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": PurePath(diag.path).as_posix(),
+                            },
+                            "region": {
+                                "startLine": diag.line,
+                                "startColumn": diag.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lhd-lint",
+                        "informationUri": (
+                            "https://github.com/repro-lhd/repro-lhd"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_sarif(findings: Iterable[LintDiagnostic]) -> str:
+    return json.dumps(sarif_document(findings), indent=2)

@@ -1,0 +1,399 @@
+"""Cross-file semantic lint rules over the :class:`~.project.ProjectIndex`.
+
+Per-file rules (:mod:`.rules`) see one module's AST; the rules here see
+the whole project — the import graph, every ``@shaped`` spec, every
+counter increment, every thread target.  Each rule declares a ``scope``
+that tells the incremental driver what invalidates its results for a
+given file:
+
+* ``"cone"`` — the file plus its transitive import cone (contract flow,
+  concurrency discipline: facts travel along imports),
+* ``"package"`` — the file's whole top-level package (counter registry:
+  an increment anywhere in the package can make a baseline key live).
+
+Rules yield :class:`~.lint.LintDiagnostic` and respect the same
+``# lint: disable=`` comments as per-file rules — a suppression is
+expected to carry a reason in prose after the rule name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Type
+
+from ..contracts import SpecError, parse_spec, specs_compatible
+from .lint import LintDiagnostic
+from .project import _LOCKISH_RE, ProjectIndex
+
+_SEMANTIC_RULES: Dict[str, Type["SemanticRule"]] = {}
+
+
+def register_semantic_rule(cls: Type["SemanticRule"]) -> Type["SemanticRule"]:
+    """Class decorator adding a semantic rule to the registry."""
+    if not cls.name:
+        raise ValueError(f"semantic rule {cls.__name__} has no name")
+    if cls.name in _SEMANTIC_RULES:
+        raise KeyError(f"semantic rule {cls.name!r} already registered")
+    _SEMANTIC_RULES[cls.name] = cls
+    return cls
+
+
+def all_semantic_rules() -> Dict[str, Type["SemanticRule"]]:
+    return dict(_SEMANTIC_RULES)
+
+
+class SemanticRule:
+    """Base class: subclass, set name/description/scope, implement check.
+
+    ``check_file(summary, index)`` is called once per analyzed file and
+    yields the diagnostics *anchored in that file* — a rule never
+    reports into another file from here, which is what lets the driver
+    cache results per file under the scope digest.
+    """
+
+    name: str = ""
+    description: str = ""
+    #: "cone" (file + transitive imports) or "package" (top-level package)
+    scope: str = "cone"
+
+    def check_file(
+        self, summary: Dict[str, object], index: ProjectIndex
+    ) -> Iterator[LintDiagnostic]:
+        raise NotImplementedError
+
+    def _diag(
+        self, summary: Dict[str, object], line: int, col: int, message: str
+    ) -> LintDiagnostic:
+        return LintDiagnostic(
+            path=str(summary["path"]),
+            line=line,
+            col=col,
+            rule=self.name,
+            message=message,
+        )
+
+
+def _parse(spec_text: str):
+    """(Spec, None) or (None, error message)."""
+    try:
+        return parse_spec(spec_text), None
+    except SpecError as exc:
+        return None, str(exc)
+
+
+# --------------------------------------------------------------------------
+# contract flow
+# --------------------------------------------------------------------------
+@register_semantic_rule
+class ContractFlowRule(SemanticRule):
+    """``@shaped`` specs must be parseable and unify along the call graph.
+
+    Three checks, all static: every spec string parses; a parameter of a
+    ``@shaped`` function passed on to another ``@shaped`` callee must
+    have a compatible argspec at that position (rank sets intersect,
+    literal dims agree, dtype atom sets intersect); an override of a
+    ``@shaped`` base method must stay compatible with the base contract.
+    Named dims are independent wildcards, so only *definite* conflicts
+    — specs that can never both hold for one array — are reported.
+    """
+
+    name = "contract-flow"
+    description = (
+        "@shaped specs must parse and stay compatible along calls and "
+        "overrides"
+    )
+    scope = "cone"
+
+    def check_file(self, summary, index):
+        for fn in summary["functions"].values():
+            yield from self._check_fn(summary, index, fn, None)
+        for cls_name, cls in summary["classes"].items():
+            for fn in cls["methods"].values():
+                yield from self._check_fn(summary, index, fn, cls)
+            yield from self._check_overrides(summary, index, cls_name, cls)
+
+    # -- callee resolution ---------------------------------------------
+    def _callee_spec(
+        self,
+        summary: Dict[str, object],
+        index: ProjectIndex,
+        cls: Optional[Dict[str, object]],
+        callee: str,
+    ) -> Optional[Tuple[str, str]]:
+        """(spec text, display name) of a resolvable ``@shaped`` callee."""
+        module = str(summary["module"])
+        if callee.startswith("self."):
+            method = callee[5:]
+            if "." in method or cls is None:
+                return None
+            info = cls["methods"].get(method)
+            if info is None:
+                for _, _, base in index.iter_base_classes(module, cls):
+                    info = base["methods"].get(method)
+                    if info is not None:
+                        break
+            if info is None or info.get("spec") is None:
+                return None
+            return str(info["spec"]), callee
+        resolved = (
+            index.resolve(module, callee)
+            if "." not in callee
+            else index.resolve_dotted(module, callee)
+        )
+        if resolved is None or resolved[1] != "func":
+            return None
+        info = resolved[2]
+        if info.get("spec") is None:
+            return None
+        return str(info["spec"]), callee
+
+    # -- the checks ----------------------------------------------------
+    def _check_fn(self, summary, index, fn, cls):
+        spec_text = fn.get("spec")
+        if spec_text is None:
+            return
+        line = int(fn.get("spec_line") or fn["line"])
+        spec, error = _parse(str(spec_text))
+        if error is not None:
+            yield self._diag(
+                summary, line, 0, f"@shaped spec does not parse: {error}"
+            )
+            return
+        by_param = dict(zip(fn["params"], spec.inputs))
+        for call in fn["calls"]:
+            found = self._callee_spec(
+                summary, index, cls, str(call["callee"])
+            )
+            if found is None:
+                continue
+            callee_text, display = found
+            callee_spec, callee_error = _parse(callee_text)
+            if callee_error is not None:
+                continue  # flagged where the callee is defined
+            for position, arg in enumerate(call["args"]):
+                if arg is None or arg not in by_param:
+                    continue
+                if position >= len(callee_spec.inputs):
+                    continue
+                conflict = specs_compatible(
+                    by_param[arg], callee_spec.inputs[position]
+                )
+                if conflict is not None:
+                    yield self._diag(
+                        summary,
+                        int(call["line"]),
+                        int(call["col"]),
+                        f"argument {arg!r} of {spec.text!r} can never "
+                        f"satisfy {display}() spec {callee_spec.text!r}: "
+                        f"{conflict}",
+                    )
+
+    def _check_overrides(self, summary, index, cls_name, cls):
+        module = str(summary["module"])
+        bases = list(index.iter_base_classes(module, cls))
+        if not bases:
+            return
+        for method_name, fn in cls["methods"].items():
+            spec_text = fn.get("spec")
+            if spec_text is None:
+                continue
+            spec, error = _parse(str(spec_text))
+            if error is not None:
+                continue  # already reported by _check_fn
+            line = int(fn.get("spec_line") or fn["line"])
+            for base_module, base_name, base in bases:
+                base_fn = base["methods"].get(method_name)
+                if base_fn is None or base_fn.get("spec") is None:
+                    continue
+                base_spec, base_error = _parse(str(base_fn["spec"]))
+                if base_error is not None:
+                    continue
+                conflict = self._spec_conflict(spec, base_spec)
+                if conflict is not None:
+                    yield self._diag(
+                        summary,
+                        line,
+                        0,
+                        f"{cls_name}.{method_name} spec {spec.text!r} is "
+                        f"incompatible with {base_module}.{base_name} base "
+                        f"spec {base_spec.text!r}: {conflict}",
+                    )
+                break  # nearest base with a contract wins, as at runtime
+
+    @staticmethod
+    def _spec_conflict(spec, base_spec) -> Optional[str]:
+        for position, (ours, theirs) in enumerate(
+            zip(spec.inputs, base_spec.inputs)
+        ):
+            conflict = specs_compatible(ours, theirs)
+            if conflict is not None:
+                return f"input {position}: {conflict}"
+        conflict = specs_compatible(spec.output, base_spec.output)
+        if conflict is not None:
+            return f"output: {conflict}"
+        return None
+
+
+# --------------------------------------------------------------------------
+# counter registry
+# --------------------------------------------------------------------------
+@register_semantic_rule
+class CounterRegistryRule(SemanticRule):
+    """Every literal counter must be zero-seeded; no dead baseline keys.
+
+    Applies to any top-level package that defines a
+    ``BASELINE_COUNTERS`` registry (``repro`` does, via
+    :mod:`repro.runtime.metrics`; packages without one opt out).  Both
+    directions are checked: a string-literal ``*.count("name")``
+    increment whose name is not in the statically-evaluated registry is
+    flagged at the call site, and a registry key with *no* increment
+    evidence anywhere in the package — literal, dynamic-prefix
+    (``f"fault_{point}"``), or ``stats["name"] += `` subscript — is
+    flagged at the registry definition.  If any registry fragment cannot
+    be statically expanded, the dead-key direction stands down rather
+    than guess.
+    """
+
+    name = "counter-registry"
+    description = (
+        "literal counter increments must be zero-seeded in "
+        "BASELINE_COUNTERS, and baseline keys must be live"
+    )
+    scope = "package"
+
+    def check_file(self, summary, index):
+        registry = index.counter_registry(str(summary["package"]))
+        if registry is None:
+            return
+        keys: Set[str] = set(registry["keys"])
+        prefixes: Set[str] = set(registry["prefixes"])
+        if registry["exact"]:
+            for counter in summary["counters"]:
+                name = counter.get("name")
+                if name is None:
+                    continue
+                if name in keys:
+                    continue
+                if any(str(name).startswith(p) for p in prefixes):
+                    continue
+                yield self._diag(
+                    summary,
+                    int(counter["line"]),
+                    int(counter["col"]),
+                    f"counter {name!r} is incremented here but never "
+                    f"zero-seeded in BASELINE_COUNTERS",
+                )
+        module = str(summary["module"])
+        anchors = {m: line for m, line in registry["modules"]}
+        if module in anchors and registry["exact"]:
+            evidence = self._package_evidence(index, str(summary["package"]))
+            for key in sorted(keys):
+                if key in evidence["names"]:
+                    continue
+                if any(key.startswith(p) for p in evidence["prefixes"]):
+                    continue
+                yield self._diag(
+                    summary,
+                    anchors[module],
+                    0,
+                    f"BASELINE_COUNTERS key {key!r} is never incremented "
+                    f"anywhere in the package (dead baseline key)",
+                )
+
+    @staticmethod
+    def _package_evidence(
+        index: ProjectIndex, package: str
+    ) -> Dict[str, Set[str]]:
+        names: Set[str] = set()
+        prefixes: Set[str] = set()
+        for module in index.package_modules(package):
+            other = index.by_module[module]
+            for counter in other["counters"]:
+                if counter.get("name") is not None:
+                    names.add(str(counter["name"]))
+                elif counter.get("prefix") is not None:
+                    prefixes.add(str(counter["prefix"]))
+            names.update(str(n) for n in other["subscript_counters"])
+        return {"names": names, "prefixes": prefixes}
+
+
+# --------------------------------------------------------------------------
+# concurrency discipline
+# --------------------------------------------------------------------------
+@register_semantic_rule
+class UnlockedSharedMutationRule(SemanticRule):
+    """Attributes mutated on thread-target paths need a lock (or a reason).
+
+    A class that passes ``target=self.<method>`` to ``threading.Thread``
+    runs that method concurrently with the spawning thread.  Every
+    ``self.<attr> = ...`` reachable from a thread target through
+    same-class ``self.<m>()`` calls must execute under a ``with
+    self.<lock>`` where the lock attribute was created by a
+    ``threading`` lock factory (or is named like one) — or be suppressed
+    with ``# lint: disable=unlocked-shared-mutation`` plus a written
+    reason.  Test modules are exempt: their threads exist to *provoke*
+    races, not to survive them.
+    """
+
+    name = "unlocked-shared-mutation"
+    description = (
+        "self attributes mutated from thread-target call paths must be "
+        "lock-guarded or suppressed with a reason"
+    )
+    scope = "cone"
+
+    def check_file(self, summary, index):
+        if str(summary["package"]) == "tests":
+            return
+        module = str(summary["module"])
+        for cls_name, cls in summary["classes"].items():
+            targets = set(cls["thread_targets"])
+            if not targets:
+                continue
+            lock_attrs = set(cls["lock_attrs"])
+            for _, _, base in index.iter_base_classes(module, cls):
+                lock_attrs.update(base["lock_attrs"])
+            reachable = self._thread_closure(cls, targets)
+            for method_name in sorted(reachable):
+                fn = cls["methods"].get(method_name)
+                if fn is None:
+                    continue
+                for mutation in fn["mutations"]:
+                    if self._guarded(mutation["guards"], lock_attrs):
+                        continue
+                    yield self._diag(
+                        summary,
+                        int(mutation["line"]),
+                        int(mutation["col"]),
+                        f"{cls_name}.{method_name} runs as a thread "
+                        f"target and mutates self.{mutation['attr']} "
+                        f"without holding a lock",
+                    )
+
+    @staticmethod
+    def _thread_closure(
+        cls: Dict[str, object], targets: Set[str]
+    ) -> Set[str]:
+        """Thread-entry methods plus everything they call on self."""
+        reachable: Set[str] = set()
+        stack: List[str] = [t for t in targets if t in cls["methods"]]
+        while stack:
+            name = stack.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            fn = cls["methods"].get(name)
+            if fn is None:
+                continue
+            for call in fn["calls"]:
+                callee = str(call["callee"])
+                if callee.startswith("self."):
+                    method = callee[5:]
+                    if "." not in method and method in cls["methods"]:
+                        stack.append(method)
+        return reachable
+
+    @staticmethod
+    def _guarded(guards: List[str], lock_attrs: Set[str]) -> bool:
+        return any(
+            g in lock_attrs or _LOCKISH_RE.search(g) for g in guards
+        )

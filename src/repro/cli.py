@@ -14,13 +14,14 @@ Commands
 ``serve``       run the queued scan service (HTTP job API + worker fleet)
 ``submit``      submit a GDSII layer to a running scan service
 ``pattern``     print a clip's raster as ASCII art (debugging aid)
-``lint``        run the project-specific AST lint pass (CI gate)
+``lint``        per-file AST rules + project-wide semantic pass (CI gate)
 ``check``       run the detector/extractor conformance harness (CI gate)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -540,25 +541,52 @@ def _cmd_pattern(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis import all_rules, format_findings, lint_paths
+    from .analysis import (
+        all_rules,
+        all_semantic_rules,
+        analyze_paths,
+        format_findings,
+        format_sarif,
+    )
 
     if args.list_rules:
         for name, rule_cls in sorted(all_rules().items()):
             print(f"{name}: {rule_cls.description}")
+        for name, rule_cls in sorted(all_semantic_rules().items()):
+            print(f"{name} [semantic/{rule_cls.scope}]: {rule_cls.description}")
         return 0
     if not args.paths:
         print("lint needs at least one path (or --list-rules)", file=sys.stderr)
         return 2
     select = args.select.split(",") if args.select else None
+    cache_dir = None if args.no_cache else args.cache_dir
     try:
-        findings = lint_paths(args.paths, select=select)
+        result = analyze_paths(
+            args.paths,
+            select=select,
+            semantic=not args.no_semantic,
+            cache_dir=cache_dir,
+            jobs=args.jobs,
+        )
     except KeyError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    output = format_findings(findings, fmt=args.format)
-    if output:
+    findings = result.findings
+    if args.format == "sarif":
+        output = format_sarif(findings)
+    else:
+        output = format_findings(findings, fmt=args.format)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(output + "\n", encoding="utf-8")
+    elif output:
         print(output)
-    if args.format == "text" and findings:
+    if args.stats:
+        print(
+            json.dumps({"stats": result.stats.as_dict()}, indent=2),
+            file=sys.stderr,
+        )
+    if args.format == "text" and findings and args.out is None:
         print(f"-- {len(findings)} finding(s)", file=sys.stderr)
     return 1 if findings else 0
 
@@ -855,7 +883,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("paths", nargs="*", help="files or directories to lint")
     p.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="diagnostic output format",
     )
     p.add_argument(
@@ -864,6 +892,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    p.add_argument(
+        "--out", type=Path, default=None,
+        help="write the formatted findings to a file instead of stdout",
+    )
+    p.add_argument(
+        "--no-semantic", action="store_true",
+        help="per-file rules only (skip the project-wide semantic pass)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the incremental cache",
+    )
+    p.add_argument(
+        "--cache-dir", type=Path, default=Path(".lint_cache"),
+        help="incremental cache directory (default: .lint_cache)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for parsing cache misses (default: 1)",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print incremental-analysis statistics to stderr",
     )
     p.set_defaults(fn=_cmd_lint)
 

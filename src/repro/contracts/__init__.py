@@ -31,7 +31,18 @@ from .decorators import (
     require_scores,
     shaped,
 )
-from .spec import ContractViolation, Spec, SpecError, parse_spec
+from .spec import (
+    ArgSpec,
+    ArraySpec,
+    ContractViolation,
+    SeqSpec,
+    SkipSpec,
+    Spec,
+    SpecError,
+    dtypes_compatible,
+    parse_spec,
+    specs_compatible,
+)
 
 __all__ = [
     "shaped",
@@ -42,7 +53,13 @@ __all__ = [
     "enabled",
     "checking",
     "parse_spec",
+    "specs_compatible",
+    "dtypes_compatible",
     "Spec",
+    "ArgSpec",
+    "ArraySpec",
+    "SeqSpec",
+    "SkipSpec",
     "SpecError",
     "ContractViolation",
     "Diagnostic",

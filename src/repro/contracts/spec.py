@@ -218,6 +218,131 @@ def parse_spec(text: str) -> Spec:
 
 
 # --------------------------------------------------------------------------
+# static compatibility (spec-vs-spec unification, no values involved)
+# --------------------------------------------------------------------------
+# Finite atom model of the dtype-class lattice: each constraint denotes a
+# set of concrete dtypes; two constraints are compatible iff the sets
+# intersect.  The "float?"/"int?"/"num?" atoms stand for the open tail of
+# each class (float16, int8, ...) so ``float`` and ``num`` overlap even
+# outside the exactly-nameable dtypes.
+_DTYPE_ATOMS: Dict[str, frozenset] = {
+    "float64": frozenset({"float64"}),
+    "float32": frozenset({"float32"}),
+    "int64": frozenset({"int64"}),
+    "int32": frozenset({"int32"}),
+    "uint8": frozenset({"uint8"}),
+    "bool": frozenset({"bool"}),
+    "float": frozenset({"float64", "float32", "float?"}),
+    "int": frozenset({"int64", "int32", "uint8", "int?"}),
+}
+_DTYPE_ATOMS["num"] = _DTYPE_ATOMS["float"] | _DTYPE_ATOMS["int"] | frozenset({"num?"})
+
+
+def dtypes_compatible(a: Optional[str], b: Optional[str]) -> bool:
+    """Can some concrete dtype satisfy both constraints?
+
+    ``None`` and ``"any"`` are unconstrained.  Used by the static
+    contract-flow analyzer; runtime matching goes through
+    :func:`match_argspec` instead.
+    """
+    if a in (None, "any") or b in (None, "any"):
+        return True
+    return bool(_DTYPE_ATOMS[a] & _DTYPE_ATOMS[b])
+
+
+def _rank_bounds(dims: Optional[Tuple[DimT, ...]]) -> Tuple[int, Optional[int]]:
+    """(min_rank, max_rank) a dims tuple can match; max None = unbounded."""
+    if dims is None:
+        return 0, None
+    if _ELLIPSIS in dims:
+        return len(dims) - 1, None
+    return len(dims), len(dims)
+
+
+def _split_ellipsis(
+    dims: Tuple[DimT, ...]
+) -> Tuple[Tuple[DimT, ...], Tuple[DimT, ...]]:
+    """(head, tail) around '...'; tail empty when there is no ellipsis."""
+    if _ELLIPSIS not in dims:
+        return dims, ()
+    i = dims.index(_ELLIPSIS)
+    return dims[:i], dims[i + 1 :]
+
+
+def _literal_conflict(a: DimT, b: DimT) -> bool:
+    """Two dim tokens that can never describe the same size."""
+    return isinstance(a, int) and isinstance(b, int) and a != b
+
+
+def _array_dims_compatible(
+    a: Tuple[DimT, ...], b: Tuple[DimT, ...]
+) -> Optional[str]:
+    a_min, a_max = _rank_bounds(a)
+    b_min, b_max = _rank_bounds(b)
+    if (a_max is not None and a_max < b_min) or (
+        b_max is not None and b_max < a_min
+    ):
+        return f"rank conflict: {a} can never match {b}"
+    a_head, a_tail = _split_ellipsis(a)
+    b_head, b_tail = _split_ellipsis(b)
+    if _ELLIPSIS not in a and _ELLIPSIS not in b:
+        pairs = list(zip(a, b))
+    else:
+        pairs = list(zip(a_head, b_head))
+        if a_tail and b_tail:
+            pairs += list(zip(reversed(a_tail), reversed(b_tail)))
+        elif a_tail and _ELLIPSIS not in b:
+            pairs += list(zip(reversed(a_tail), reversed(b)))
+        elif b_tail and _ELLIPSIS not in a:
+            pairs += list(zip(reversed(b_tail), reversed(a)))
+    for da, db in pairs:
+        if _literal_conflict(da, db):
+            return f"dim conflict: literal {da} can never equal {db}"
+    return None
+
+
+def specs_compatible(a: ArgSpec, b: ArgSpec) -> Optional[str]:
+    """Could *some* value satisfy both arg specs?  None, or the reason not.
+
+    The static unification behind the ``contract-flow`` semantic lint
+    rule: named dims are treated as independent wildcards (cross-spec
+    name identity carries no constraint), so only definite conflicts —
+    disjoint rank sets, clashing literal dims, disjoint dtype classes —
+    are reported.  Compatibility is reflexive and symmetric; it is *not*
+    transitive (``*`` is compatible with everything).
+    """
+    if isinstance(a, SkipSpec) or isinstance(b, SkipSpec):
+        return None
+    if isinstance(a, SeqSpec) and isinstance(b, SeqSpec):
+        if _literal_conflict(a.dim, b.dim):
+            return (
+                f"sequence length conflict: [{a.dim}] can never match [{b.dim}]"
+            )
+        return None
+    if isinstance(a, SeqSpec) or isinstance(b, SeqSpec):
+        seq, arr = (a, b) if isinstance(a, SeqSpec) else (b, a)
+        assert isinstance(arr, ArraySpec)
+        if arr.dims is None:
+            return None
+        _, arr_max = _rank_bounds(arr.dims)
+        if arr_max == 0:
+            return "a rank-0 array is never a sized sequence"
+        lead = arr.dims[0] if arr.dims and arr.dims[0] != _ELLIPSIS else None
+        if lead is not None and _literal_conflict(seq.dim, lead):
+            return (
+                f"sequence length [{seq.dim}] can never match leading "
+                f"dim {lead}"
+            )
+        return None
+    assert isinstance(a, ArraySpec) and isinstance(b, ArraySpec)
+    if not dtypes_compatible(a.dtype, b.dtype):
+        return f"dtype conflict: {a.dtype} is disjoint from {b.dtype}"
+    if a.dims is None or b.dims is None:
+        return None
+    return _array_dims_compatible(a.dims, b.dims)
+
+
+# --------------------------------------------------------------------------
 # matching
 # --------------------------------------------------------------------------
 def _bind_dim(

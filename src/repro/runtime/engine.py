@@ -1290,9 +1290,9 @@ class ScanSession:
 
     def _run(self, run) -> None:
         try:
-            self._result = run(self._on_progress)
+            self._result = run(self._on_progress)  # lint: disable=unlocked-shared-mutation  (single writer: only this thread assigns, and readers go through result(), which joins the thread first)
         except BaseException as exc:  # lint: disable=broad-except  (held for re-raise in result(); a session must never swallow nor leak the scan's failure into its own thread)
-            self._error = exc
+            self._error = exc  # lint: disable=unlocked-shared-mutation  (same single-writer-then-join protocol as _result above)
 
     def _on_progress(self, event: ProgressEvent) -> None:
         self._progress_events.append(event)

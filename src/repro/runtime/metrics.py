@@ -71,9 +71,16 @@ BASELINE_COUNTERS: Tuple[str, ...] = tuple(
         "score_repairs",
         "worker_errors",
         "cache_hits",
+        "cache_quarantined",
         "checkpoint_saves",
         "checkpoint_resumed",
         "checkpoint_quarantined",
+        "chunks",
+        "dedup_hits",
+        "raster_bands",
+        "resume_hits",
+        "verified",
+        "verified_unique",
         "windows",
         "scored",
     ]

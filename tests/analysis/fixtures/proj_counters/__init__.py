@@ -1,0 +1,1 @@
+"""Fixture package: counter-registry rule inputs (deliberately broken)."""

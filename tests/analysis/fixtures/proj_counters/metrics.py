@@ -1,0 +1,8 @@
+"""Registry side: one key ('never_fired') has no increment anywhere."""
+
+POINTS = ("crash", "stall")
+
+BASELINE_COUNTERS = tuple(
+    [f"fault_{point}" for point in POINTS]
+    + ["jobs_started", "jobs_finished", "windows_seen", "never_fired"]
+)

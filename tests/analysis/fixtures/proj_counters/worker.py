@@ -1,0 +1,10 @@
+"""Increment side: registered, unregistered, suppressed, and dynamic."""
+
+
+def run(telemetry, stats, kind):
+    telemetry.count("jobs_started")
+    telemetry.count("jobs_oops")
+    telemetry.count("jobs_rogue")  # lint: disable=counter-registry  (fixture: suppressed on purpose)
+    telemetry.count("windows_seen")
+    telemetry.count(f"fault_{kind}")
+    stats["jobs_finished"] += 1

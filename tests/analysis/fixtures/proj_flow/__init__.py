@@ -1,0 +1,1 @@
+"""Fixture package: contract-flow rule inputs (deliberately broken)."""

@@ -1,0 +1,19 @@
+"""Callee side: two @shaped scorers with different ranks."""
+
+from repro.contracts import shaped
+
+
+@shaped("(n,h,w)->(n,):float64")
+def score_batch(clips):
+    return clips.mean(axis=(1, 2))
+
+
+@shaped("(h,w)->():float64")
+def score_one(clip):
+    return clip.mean()
+
+
+class BaseScorer:
+    @shaped("(n,h,w)->(n,):float64")
+    def score(self, clips):
+        return clips.mean(axis=(1, 2))

@@ -1,0 +1,31 @@
+"""Caller side: one compatible flow, one conflict, one suppressed."""
+
+from repro.contracts import shaped
+
+from .lib import BaseScorer, score_batch, score_one
+
+
+@shaped("(n,h,w)->(n,):float64")
+def run_ok(clips):
+    return score_batch(clips)
+
+
+@shaped("(n,h,w)->(n,):float64")
+def run_bad(clips):
+    return score_one(clips)
+
+
+@shaped("(n,h,w)->(n,):float64")
+def run_excused(clips):
+    return score_one(clips)  # lint: disable=contract-flow  (fixture: mismatch is the point)
+
+
+@shaped("(n,h,w->(n,):float64")
+def run_unparseable(clips):
+    return clips
+
+
+class IntScorer(BaseScorer):
+    @shaped("(n,)->(n,):int64")
+    def score(self, clips):
+        return clips

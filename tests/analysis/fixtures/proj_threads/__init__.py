@@ -1,0 +1,1 @@
+"""Fixture package: unlocked-shared-mutation rule inputs (deliberately broken)."""

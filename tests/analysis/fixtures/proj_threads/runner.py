@@ -1,0 +1,22 @@
+"""A worker thread mutating shared state: unguarded, guarded, suppressed."""
+
+import threading
+
+
+class Runner:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._status = "idle"
+        self._done = False
+        self._steps = 0
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+        self._status = "running"
+        self._step()
+        with self._lock:
+            self._done = True
+
+    def _step(self):
+        self._steps = 1  # lint: disable=unlocked-shared-mutation  (fixture: suppressed on purpose)

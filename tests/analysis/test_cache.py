@@ -1,0 +1,127 @@
+"""Incremental cache: hits, transitive invalidation, fingerprinting."""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.cache import LintCache
+from repro.analysis.project import cache_fingerprint
+
+PKG = {
+    "pkg/__init__.py": "",
+    "pkg/a.py": "from .b import f\n\n\ndef top():\n    return f()\n",
+    "pkg/b.py": "from .c import g\n\n\ndef f():\n    return g()\n",
+    "pkg/c.py": "def g():\n    return 1\n",
+    "pkg/d.py": "X = 1\n",
+}
+
+
+@pytest.fixture
+def project(tmp_path):
+    for rel, source in PKG.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return tmp_path
+
+
+def _run(project, cache_dir):
+    return analyze_paths([project / "pkg"], cache_dir=cache_dir)
+
+
+class TestWarmCache:
+    def test_unchanged_tree_is_all_hits(self, project, tmp_path):
+        cache_dir = tmp_path / ".lint_cache"
+        cold = _run(project, cache_dir)
+        assert len(cold.stats.parsed) == len(PKG)
+        warm = _run(project, cache_dir)
+        assert warm.stats.parsed == []
+        assert warm.stats.file_cache_hits == len(PKG)
+        assert warm.stats.semantic_cone_reanalyzed == []
+        assert warm.stats.semantic_package_reanalyzed == []
+
+    def test_findings_identical_cold_and_warm(self, project, tmp_path):
+        cache_dir = tmp_path / ".lint_cache"
+        cold = _run(project, cache_dir)
+        warm = _run(project, cache_dir)
+        assert [d.format() for d in warm.findings] == [
+            d.format() for d in cold.findings
+        ]
+
+
+class TestTransitiveInvalidation:
+    def test_editing_one_file_reanalyzes_only_its_cone(
+        self, project, tmp_path
+    ):
+        cache_dir = tmp_path / ".lint_cache"
+        _run(project, cache_dir)
+        (project / "pkg" / "c.py").write_text(
+            "def g():\n    return 2\n", encoding="utf-8"
+        )
+        after = _run(project, cache_dir)
+        # only the edited file is re-parsed ...
+        assert [p for p in after.stats.parsed] == [
+            str(project / "pkg" / "c.py")
+        ]
+        assert after.stats.file_cache_hits == len(PKG) - 1
+        # ... and cone-scoped semantic results are recomputed exactly
+        # for the files whose import cone contains c: a, b, c — not d,
+        # not __init__
+        reanalyzed = {p.split("/")[-1] for p in after.stats.semantic_cone_reanalyzed}
+        assert reanalyzed == {"a.py", "b.py", "c.py"}
+
+    def test_editing_a_leaf_leaves_independent_files_cached(
+        self, project, tmp_path
+    ):
+        cache_dir = tmp_path / ".lint_cache"
+        _run(project, cache_dir)
+        (project / "pkg" / "d.py").write_text("X = 2\n", encoding="utf-8")
+        after = _run(project, cache_dir)
+        reanalyzed = {p.split("/")[-1] for p in after.stats.semantic_cone_reanalyzed}
+        assert reanalyzed == {"d.py"}
+
+
+class TestCacheHygiene:
+    def test_fingerprint_mismatch_drops_everything(self, project, tmp_path):
+        cache_dir = tmp_path / ".lint_cache"
+        _run(project, cache_dir)
+        stale = LintCache(cache_dir, fingerprint="someone-elses-rules")
+        assert stale.files == {}
+
+    def test_corrupt_cache_file_starts_empty(self, project, tmp_path):
+        cache_dir = tmp_path / ".lint_cache"
+        _run(project, cache_dir)
+        (cache_dir / "cache.json").write_text("{not json", encoding="utf-8")
+        rerun = _run(project, cache_dir)
+        assert len(rerun.stats.parsed) == len(PKG)  # cold again, no crash
+
+    def test_cache_document_shape(self, project, tmp_path):
+        cache_dir = tmp_path / ".lint_cache"
+        _run(project, cache_dir)
+        document = json.loads(
+            (cache_dir / "cache.json").read_text(encoding="utf-8")
+        )
+        assert document["fingerprint"] == cache_fingerprint()
+        entry = document["files"][str(project / "pkg" / "a.py")]
+        assert set(entry) == {"sha", "summary", "diagnostics", "semantic"}
+        assert set(entry["semantic"]) == {"cone", "package"}
+
+    def test_select_bypasses_cache(self, project, tmp_path):
+        cache_dir = tmp_path / ".lint_cache"
+        result = analyze_paths(
+            [project / "pkg"], select=["mutable-default"],
+            cache_dir=cache_dir,
+        )
+        assert not result.stats.cache_enabled
+        assert not (cache_dir / "cache.json").exists()
+
+
+class TestParallelParsing:
+    def test_jobs_gt_one_matches_serial(self, project, tmp_path):
+        serial = analyze_paths([project / "pkg"], cache_dir=None)
+        parallel = analyze_paths([project / "pkg"], cache_dir=None, jobs=2)
+        assert [d.format() for d in parallel.findings] == [
+            d.format() for d in serial.findings
+        ]
+        assert parallel.stats.files == serial.stats.files

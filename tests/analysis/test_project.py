@@ -1,0 +1,187 @@
+"""Project index construction: modules, imports, cones, registries."""
+
+from pathlib import Path
+
+from repro.analysis import build_project_index, module_name_for
+from repro.analysis.project import ProjectIndex, summarize_source
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+
+def _index_from(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return build_project_index([tmp_path])
+
+
+class TestModuleNaming:
+    def test_walks_init_chain(self):
+        assert (
+            module_name_for(SRC / "repro" / "runtime" / "engine.py")
+            == "repro.runtime.engine"
+        )
+
+    def test_init_is_the_package(self):
+        assert (
+            module_name_for(SRC / "repro" / "analysis" / "__init__.py")
+            == "repro.analysis"
+        )
+
+    def test_loose_file_is_top_level(self, tmp_path):
+        loose = tmp_path / "script.py"
+        loose.write_text("x = 1\n", encoding="utf-8")
+        assert module_name_for(loose) == "script"
+
+
+class TestSummarizer:
+    def test_shaped_spec_and_calls(self):
+        source = (
+            "from repro.contracts import shaped\n"
+            "\n"
+            '@shaped("(n,h,w)->(n,):float64")\n'
+            "def run(clips):\n"
+            "    return helper(clips)\n"
+        )
+        summary = summarize_source("m.py", "m", source)
+        fn = summary["functions"]["run"]
+        assert fn["spec"] == "(n,h,w)->(n,):float64"
+        assert fn["params"] == ["clips"]
+        assert [c["callee"] for c in fn["calls"]] == ["helper"]
+        assert fn["calls"][0]["args"] == ["clips"]
+
+    def test_thread_targets_and_lock_attrs(self):
+        source = (
+            "import threading\n"
+            "\n"
+            "class W:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._t = threading.Thread(target=self._loop)\n"
+            "\n"
+            "    def _loop(self):\n"
+            "        with self._lock:\n"
+            "            self._n = 1\n"
+        )
+        summary = summarize_source("w.py", "w", source)
+        cls = summary["classes"]["W"]
+        assert cls["thread_targets"] == ["_loop"]
+        assert "_lock" in cls["lock_attrs"]
+        mutation = cls["methods"]["_loop"]["mutations"][0]
+        assert mutation["attr"] == "_n"
+        assert mutation["guards"] == ["_lock"]
+
+    def test_counter_increments(self):
+        source = (
+            "def f(telemetry, kind):\n"
+            '    telemetry.count("hits")\n'
+            '    telemetry.count(f"fault_{kind}")\n'
+            "    unrelated.count('x')\n"
+        )
+        summary = summarize_source("c.py", "c", source)
+        names = [(c["name"], c["prefix"]) for c in summary["counters"]]
+        assert ("hits", None) in names
+        assert (None, "fault_") in names
+        assert all(n != "x" for n, _ in names)  # not a telemetry receiver
+
+
+class TestImportGraphAndCones:
+    def test_cone_follows_imports_transitively(self, tmp_path):
+        index = _index_from(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "from .b import f\n",
+                "pkg/b.py": "from .c import g\n\ndef f():\n    return g()\n",
+                "pkg/c.py": "def g():\n    return 1\n",
+                "pkg/d.py": "X = 1\n",
+            },
+        )
+        cone = index.cone_modules("pkg.a")
+        assert {"pkg.a", "pkg.b", "pkg.c"} <= cone
+        assert "pkg.d" not in cone
+
+    def test_resolve_follows_facade_reexports(self, tmp_path):
+        index = _index_from(
+            tmp_path,
+            {
+                "pkg/__init__.py": "from .impl import thing\n",
+                "pkg/impl.py": "def thing():\n    return 1\n",
+                "pkg/user.py": "from pkg import thing\n",
+            },
+        )
+        resolved = index.resolve("pkg.user", "thing")
+        assert resolved is not None
+        module, kind, _ = resolved
+        assert (module, kind) == ("pkg.impl", "func")
+
+    def test_cone_digest_changes_only_inside_cone(self, tmp_path):
+        files = {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "from .b import f\n",
+            "pkg/b.py": "def f():\n    return 1\n",
+            "pkg/d.py": "X = 1\n",
+        }
+        index = _index_from(tmp_path, files)
+        a_path = str((tmp_path / "pkg" / "a.py").resolve())
+        d_path = str((tmp_path / "pkg" / "d.py").resolve())
+        a_before = index.cone_digest(_find_key(index, a_path))
+        d_before = index.cone_digest(_find_key(index, d_path))
+        (tmp_path / "pkg" / "b.py").write_text(
+            "def f():\n    return 2\n", encoding="utf-8"
+        )
+        index2 = build_project_index([tmp_path])
+        assert index2.cone_digest(_find_key(index2, a_path)) != a_before
+        assert index2.cone_digest(_find_key(index2, d_path)) == d_before
+
+
+class TestCounterRegistry:
+    def test_real_registry_evaluates_exactly(self):
+        index = build_project_index([SRC])
+        registry = index.counter_registry("repro")
+        assert registry is not None
+        assert registry["exact"]
+        # the comprehension over INJECTION_POINTS expands fully
+        assert "fault_worker_crash" in registry["keys"]
+        # PR-8 regression: keys that were incremented but never seeded
+        for key in (
+            "cache_quarantined",
+            "chunks",
+            "dedup_hits",
+            "raster_bands",
+            "resume_hits",
+            "verified",
+            "verified_unique",
+        ):
+            assert key in registry["keys"], key
+
+    def test_package_without_registry_opts_out(self, tmp_path):
+        index = _index_from(
+            tmp_path, {"pkg/__init__.py": "", "pkg/a.py": "X = 1\n"}
+        )
+        assert index.counter_registry("pkg") is None
+
+    def test_inexact_registry_is_marked(self, tmp_path):
+        index = _index_from(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/m.py": (
+                    "BASELINE_COUNTERS = tuple(\n"
+                    '    ["a"] + mystery()\n'
+                    ")\n"
+                ),
+            },
+        )
+        registry = index.counter_registry("pkg")
+        assert registry is not None
+        assert not registry["exact"]
+
+
+def _find_key(index: ProjectIndex, resolved_path: str) -> str:
+    for key in index.files:
+        if str(Path(key).resolve()) == resolved_path:
+            return key
+    raise AssertionError(f"{resolved_path} not in index")

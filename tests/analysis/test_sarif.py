@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 output: structure, schema validation, CLI round-trip."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, format_sarif, sarif_document
+from repro.cli import main
+
+HERE = Path(__file__).resolve().parent
+FIXTURES = HERE / "fixtures"
+SCHEMA = json.loads(
+    (HERE / "sarif_schema_subset.json").read_text(encoding="utf-8")
+)
+
+
+def _fixture_findings():
+    return analyze_paths(
+        [FIXTURES / "proj_flow", FIXTURES / "proj_threads"], cache_dir=None
+    ).findings
+
+
+class TestDocument:
+    def test_validates_against_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        document = sarif_document(_fixture_findings())
+        jsonschema.validate(document, SCHEMA)
+
+    def test_empty_run_validates_too(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(sarif_document([]), SCHEMA)
+
+    def test_results_map_diagnostics(self):
+        findings = _fixture_findings()
+        document = sarif_document(findings)
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lhd-lint"
+        assert len(run["results"]) == len(findings)
+        result = run["results"][0]
+        diag = findings[0]
+        assert result["ruleId"] == diag.rule
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == diag.line
+        assert region["startColumn"] == diag.col + 1  # SARIF is 1-based
+        rules = run["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == diag.rule
+
+    def test_parse_error_is_error_level(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def (\n", encoding="utf-8")
+        findings = analyze_paths([bad], cache_dir=None).findings
+        document = sarif_document(findings)
+        results = document["runs"][0]["results"]
+        assert results and results[0]["level"] == "error"
+        # parse-error is registered on demand but still indexed
+        rules = document["runs"][0]["tool"]["driver"]["rules"]
+        assert rules[results[0]["ruleIndex"]]["id"] == "parse-error"
+
+
+class TestCli:
+    def test_lint_format_sarif_to_file(self, tmp_path, capsys):
+        out = tmp_path / "lint.sarif"
+        code = main(
+            [
+                "lint",
+                str(FIXTURES / "proj_threads"),
+                "--format",
+                "sarif",
+                "--no-cache",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 1  # findings present
+        assert capsys.readouterr().out == ""  # routed to the file
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["version"] == "2.1.0"
+        assert document["runs"][0]["results"]
+
+    def test_clean_tree_emits_valid_empty_sarif(self, tmp_path, capsys):
+        clean = tmp_path / "ok.py"
+        clean.write_text("X = 1\n", encoding="utf-8")
+        code = main(["lint", str(clean), "--format", "sarif", "--no-cache"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["runs"][0]["results"] == []
+
+    def test_format_sarif_string_is_json(self):
+        parsed = json.loads(format_sarif(_fixture_findings()))
+        assert parsed["version"] == "2.1.0"

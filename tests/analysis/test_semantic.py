@@ -1,0 +1,111 @@
+"""Cross-file semantic rules: fixture packages firing and suppressed."""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+HERE = Path(__file__).resolve().parent
+FIXTURES = HERE / "fixtures"
+REPO = HERE.parents[1]
+
+
+def _findings(package, **kwargs):
+    result = analyze_paths([FIXTURES / package], cache_dir=None, **kwargs)
+    return result.findings
+
+
+def _by_rule(findings, rule):
+    return [d for d in findings if d.rule == rule]
+
+
+class TestContractFlow:
+    def test_call_flow_mismatch_fires_with_location(self):
+        found = _by_rule(_findings("proj_flow"), "contract-flow")
+        mismatches = [
+            d for d in found if "score_one()" in d.message
+        ]
+        assert len(mismatches) == 1  # the suppressed twin stays silent
+        diag = mismatches[0]
+        assert diag.path.endswith("proj_flow/pipeline.py")
+        assert diag.line == 15
+        assert "rank conflict" in diag.message
+
+    def test_unparseable_spec_fires(self):
+        found = _by_rule(_findings("proj_flow"), "contract-flow")
+        parse_failures = [d for d in found if "does not parse" in d.message]
+        assert len(parse_failures) == 1
+        assert parse_failures[0].line == 23
+
+    def test_override_mismatch_fires(self):
+        found = _by_rule(_findings("proj_flow"), "contract-flow")
+        overrides = [d for d in found if "base spec" in d.message]
+        assert len(overrides) == 1
+        assert overrides[0].line == 29
+        assert "BaseScorer" in overrides[0].message
+
+    def test_compatible_flow_is_silent(self):
+        found = _by_rule(_findings("proj_flow"), "contract-flow")
+        assert not any("score_batch" in d.message for d in found)
+
+
+class TestCounterRegistry:
+    def test_unregistered_counter_fires_with_location(self):
+        found = _by_rule(_findings("proj_counters"), "counter-registry")
+        unregistered = [d for d in found if "jobs_oops" in d.message]
+        assert len(unregistered) == 1
+        diag = unregistered[0]
+        assert diag.path.endswith("proj_counters/worker.py")
+        assert diag.line == 6
+
+    def test_suppressed_increment_is_silent(self):
+        found = _by_rule(_findings("proj_counters"), "counter-registry")
+        assert not any("jobs_rogue" in d.message for d in found)
+
+    def test_dead_baseline_key_fires_at_definition(self):
+        found = _by_rule(_findings("proj_counters"), "counter-registry")
+        dead = [d for d in found if "never_fired" in d.message]
+        assert len(dead) == 1
+        assert dead[0].path.endswith("proj_counters/metrics.py")
+        assert dead[0].line == 5
+
+    def test_dynamic_prefix_and_subscript_count_as_evidence(self):
+        # fault_crash/fault_stall (f-string prefix) and jobs_finished
+        # (stats["..."] +=) must NOT be reported dead
+        found = _by_rule(_findings("proj_counters"), "counter-registry")
+        assert not any("fault_" in d.message for d in found)
+        assert not any("jobs_finished" in d.message for d in found)
+
+
+class TestUnlockedSharedMutation:
+    def test_unguarded_mutation_fires_with_location(self):
+        found = _by_rule(_findings("proj_threads"), "unlocked-shared-mutation")
+        assert len(found) == 1
+        diag = found[0]
+        assert diag.path.endswith("proj_threads/runner.py")
+        assert diag.line == 16
+        assert "_status" in diag.message
+
+    def test_guarded_and_suppressed_mutations_are_silent(self):
+        found = _by_rule(_findings("proj_threads"), "unlocked-shared-mutation")
+        assert not any("_done" in d.message for d in found)  # lock-guarded
+        assert not any("_steps" in d.message for d in found)  # suppressed
+
+
+class TestSelfHosting:
+    def test_semantic_pass_is_clean_over_src_and_tests(self):
+        result = analyze_paths(
+            [REPO / "src", REPO / "tests"], cache_dir=None
+        )
+        assert result.findings == [], [
+            d.format() for d in result.findings
+        ]
+
+    def test_select_single_semantic_rule(self):
+        result = analyze_paths(
+            [FIXTURES / "proj_threads"],
+            select=["unlocked-shared-mutation"],
+            cache_dir=None,
+        )
+        assert {d.rule for d in result.findings} == {
+            "unlocked-shared-mutation"
+        }

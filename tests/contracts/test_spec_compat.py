@@ -1,0 +1,131 @@
+"""Property tests for static spec unification (specs_compatible).
+
+Named dims are independent wildcards, so compatibility is *not*
+transitive — these properties pin down what it must be: reflexive,
+symmetric, and conflict-detecting on provably disjoint specs.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.contracts import (  # noqa: E402
+    dtypes_compatible,
+    parse_spec,
+    specs_compatible,
+)
+
+_NAMED = st.sampled_from(["n", "h", "w", "k"])
+_LITERAL = st.integers(min_value=1, max_value=4).map(str)
+_DIM = st.one_of(_NAMED, _LITERAL, st.just("*"))
+_DTYPE = st.sampled_from(
+    ["float64", "float32", "int64", "int32", "uint8", "bool",
+     "float", "int", "num", "any"]
+)
+
+
+def _shape_text(dims):
+    if not dims:
+        return "()"
+    if len(dims) == 1:
+        return f"({dims[0]},)"
+    return "(" + ",".join(dims) + ")"
+
+
+@st.composite
+def array_argspecs(draw, min_rank=0, max_rank=4, ellipsis_ok=True):
+    dims = draw(st.lists(_DIM, min_size=min_rank, max_size=max_rank))
+    if ellipsis_ok and draw(st.booleans()):
+        position = draw(st.integers(min_value=0, max_value=len(dims)))
+        dims = dims[:position] + ["..."] + dims[position:]
+    dtype = draw(st.one_of(st.none(), _DTYPE))
+    text = _shape_text(dims) + (f":{dtype}" if dtype else "")
+    spec = parse_spec(f"{text}->():any")
+    return spec.inputs[0]
+
+
+class TestProperties:
+    @given(array_argspecs())
+    @settings(max_examples=200, deadline=None)
+    def test_reflexive(self, argspec):
+        assert specs_compatible(argspec, argspec) is None
+
+    @given(array_argspecs(), array_argspecs())
+    @settings(max_examples=200, deadline=None)
+    def test_symmetric(self, a, b):
+        assert (specs_compatible(a, b) is None) == (
+            specs_compatible(b, a) is None
+        )
+
+    @given(
+        st.lists(_NAMED, min_size=0, max_size=2),
+        st.lists(_NAMED, min_size=3, max_size=5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_disjoint_fixed_ranks_conflict(self, short, long):
+        a = parse_spec(f"{_shape_text(short)}->():any").inputs[0]
+        b = parse_spec(f"{_shape_text(long)}->():any").inputs[0]
+        conflict = specs_compatible(a, b)
+        assert conflict is not None
+        assert "rank" in conflict
+
+    @given(array_argspecs(ellipsis_ok=False))
+    @settings(max_examples=100, deadline=None)
+    def test_named_dims_never_conflict_with_themselves_renamed(self, a):
+        # renaming every named dim cannot create a conflict: names are
+        # wildcards, only literals and ranks constrain
+        renamed_dims = [
+            str(d) if (d == "*" or str(d).isdigit()) else "z"
+            for d in a.dims
+        ]
+        b = parse_spec(f"{_shape_text(renamed_dims)}->():any").inputs[0]
+        assert specs_compatible(a, b) is None
+
+
+class TestConflicts:
+    def test_literal_dim_conflict(self):
+        a = parse_spec("(n,2)->():any").inputs[0]
+        b = parse_spec("(n,3)->():any").inputs[0]
+        assert "dim conflict" in specs_compatible(a, b)
+
+    def test_dtype_class_conflict(self):
+        a = parse_spec("(n,):float->():any").inputs[0]
+        b = parse_spec("(n,):int64->():any").inputs[0]
+        assert "dtype conflict" in specs_compatible(a, b)
+
+    def test_dtype_class_overlap_is_fine(self):
+        a = parse_spec("(n,):num->():any").inputs[0]
+        b = parse_spec("(n,):float32->():any").inputs[0]
+        assert specs_compatible(a, b) is None
+
+    def test_ellipsis_absorbs_any_rank(self):
+        a = parse_spec("(...)->():any").inputs[0]
+        for other in ("()", "(n,)", "(n,h,w)"):
+            b = parse_spec(f"{other}->():any").inputs[0]
+            assert specs_compatible(a, b) is None
+
+    def test_ellipsis_tail_literal_conflict(self):
+        a = parse_spec("(...,2)->():any").inputs[0]
+        b = parse_spec("(n,3)->():any").inputs[0]
+        assert specs_compatible(a, b) is not None
+
+    def test_seq_vs_array_rank_zero(self):
+        a = parse_spec("[n]->():any").inputs[0]
+        b = parse_spec("[n]->():any").inputs[0]
+        assert specs_compatible(a, b) is None
+
+
+class TestDtypeCompatible:
+    def test_none_and_any_are_unconstrained(self):
+        assert dtypes_compatible(None, "int64")
+        assert dtypes_compatible("any", "bool")
+
+    @given(_DTYPE)
+    @settings(max_examples=50, deadline=None)
+    def test_reflexive(self, dtype):
+        assert dtypes_compatible(dtype, dtype)
+
+    def test_disjoint_atoms(self):
+        assert not dtypes_compatible("float", "int")
+        assert not dtypes_compatible("bool", "num")
