@@ -106,11 +106,154 @@ def test_service_throughput(benchmark, suite, out_dir):
         assert report.failed == 0
         assert report.throughput_jobs_per_s > 0
 
-    bench_json = Path(__file__).resolve().parents[1] / "BENCH_service.json"
-    bench_json.write_text(json.dumps(record, indent=2) + "\n")
+    _merge_bench_json(record)
     text = write_table(
         rows,
         out_dir / "service_throughput.md",
         title="Scan service: HTTP job throughput by fleet size",
+    )
+    print("\n" + text)
+
+
+def _merge_bench_json(update):
+    """Merge a partial record into BENCH_service.json (tests can run solo)."""
+    bench_json = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+    record = {}
+    if bench_json.exists():
+        try:
+            record = json.loads(bench_json.read_text())
+        except json.JSONDecodeError:
+            record = {}
+    record.update(update)
+    bench_json.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def test_service_resilience_bench(benchmark, suite, out_dir):
+    """Backpressure shed rate + drain/recovery wall-clock under load.
+
+    Two scenarios land in ``BENCH_service.json``:
+
+    * ``backpressure`` — a deliberately tiny admission window
+      (``max_queue_depth=2``) under 4 concurrent clients: the door sheds
+      with 503 + Retry-After and the clients' jittered backoff absorbs
+      every shed, so the run still completes all jobs.  Recorded:
+      ``retries_503`` and the resulting ``shed_rate``.
+    * ``drain`` — a loaded fleet is drained mid-flight (the rolling
+      restart path): ``drain_s`` is submit-stop to every-worker-exited,
+      ``recovery_s`` is how long a fresh fleet takes to finish every
+      requeued job.  The correctness gate is zero lost jobs.
+    """
+    import time as _time
+
+    from repro.bench import write_table
+    from repro.service import (
+        JobManager,
+        JobState,
+        LoadGenerator,
+        ScanService,
+        WorkerFleet,
+        encode_job_request,
+    )
+
+    layer, region = _bench_layer()
+    detector = _fitted_detector(suite)
+    request = encode_job_request(layer, region, engine={"chunk_clips": 64})
+
+    def run():
+        out = {}
+
+        # --- backpressure: a single worker behind a one-deep queue under
+        # 4 concurrent clients MUST shed, and every shed must be absorbed
+        manager = JobManager.in_memory(max_queue_depth=1)
+        fleet = WorkerFleet(manager, detector, workers=1)
+        with ScanService(manager, fleet=fleet) as service:
+            generator = LoadGenerator(
+                service.url, request, jobs=12, concurrency=4
+            )
+            report = generator.run()
+        shed = manager.telemetry.counters.get("job_shed", 0)
+        out["backpressure"] = {
+            "max_queue_depth": 1,
+            "report": report,
+            "sheds_served": shed,
+        }
+
+        # --- drain under load, then recover on a fresh fleet
+        manager = JobManager.in_memory()
+        fleet = WorkerFleet(manager, detector, workers=2)
+        fleet.start()
+        job_ids = [manager.submit(request).job_id for _ in range(6)]
+        while manager.jobs_by_state()["running"] == 0:
+            _time.sleep(0.005)
+        started = _time.monotonic()
+        clean = fleet.drain(timeout=120.0)
+        drain_s = _time.monotonic() - started
+        requeued = manager.jobs_by_state()["queued"]
+        manager.end_drain()
+        next_fleet = WorkerFleet(manager, detector, workers=2)
+        started = _time.monotonic()
+        next_fleet.start()
+        idle = next_fleet.wait_idle(timeout=300.0)
+        recovery_s = _time.monotonic() - started
+        next_fleet.stop()
+        states = [manager.status(job_id).state for job_id in job_ids]
+        out["drain"] = {
+            "jobs": len(job_ids),
+            "clean": clean,
+            "idle": idle,
+            "requeued_at_drain": requeued,
+            "drain_s": drain_s,
+            "recovery_s": recovery_s,
+            "lost": sum(s is not JobState.SUCCEEDED for s in states),
+        }
+        return out
+
+    out = run_once(benchmark, run)
+
+    bp = out["backpressure"]
+    report = bp["report"]
+    # correctness gates: shedding may slow clients but never lose jobs,
+    # and a drain hands every accepted job to the next fleet
+    assert report.succeeded == report.jobs, report.to_dict()
+    assert report.failed == 0
+    assert report.retries_503 > 0, "backpressure scenario never shed"
+    drain = out["drain"]
+    assert drain["clean"] and drain["idle"]
+    assert drain["lost"] == 0, drain
+
+    _merge_bench_json(
+        {
+            "backpressure": {
+                "max_queue_depth": bp["max_queue_depth"],
+                "sheds_served": bp["sheds_served"],
+                **report.to_dict(),
+            },
+            "drain": drain,
+        }
+    )
+    rows = [
+        {
+            "scenario": "backpressure",
+            "jobs": report.jobs,
+            "retries_503": report.retries_503,
+            "shed_rate": round(report.shed_rate, 3),
+            "drain_s": None,
+            "recovery_s": None,
+            "lost": report.failed,
+        },
+        {
+            "scenario": "drain+recover",
+            "jobs": drain["jobs"],
+            "retries_503": None,
+            "shed_rate": None,
+            "drain_s": round(drain["drain_s"], 3),
+            "recovery_s": round(drain["recovery_s"], 3),
+            "lost": drain["lost"],
+        },
+    ]
+    text = write_table(
+        rows,
+        out_dir / "service_resilience.md",
+        title="Scan service: backpressure shed rate and drain recovery",
     )
     print("\n" + text)

@@ -446,6 +446,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rate_limiter=limiter,
         max_attempts=args.max_attempts,
         checkpoint_root=checkpoint_root,
+        lease_duration_s=args.lease,
+        max_queue_depth=args.max_queue_depth,
+        default_deadline_s=args.deadline,
+        default_attempt_deadline_s=args.attempt_deadline,
     )
     # quarantine events from the file adapters feed the service counters
     store.on_quarantine = manager.on_quarantine
@@ -459,14 +463,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"state={'in-memory' if args.state_dir is None else args.state_dir})",
         file=sys.stderr,
     )
-    try:
-        import threading
 
-        threading.Event().wait()  # serve until interrupted
+    import signal
+    import threading
+
+    def on_sigterm(signum, frame) -> None:
+        # rolling-restart protocol: drain off the signal handler's
+        # thread (joining workers inside a handler can deadlock)
+        print("SIGTERM: draining", file=sys.stderr)
+        threading.Thread(
+            target=service.drain,
+            kwargs={"timeout": args.drain_grace},
+            daemon=True,
+        ).start()
+
+    signal.signal(signal.SIGTERM, on_sigterm)
+    try:
+        # serve until a drain completes (SIGTERM or DELETE /drain) or
+        # the operator interrupts
+        service.drained.wait()
+        print("drained: in-flight work requeued, exiting", file=sys.stderr)
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
     finally:
         service.stop()
+    return 0
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, client_id=args.client)
+    try:
+        status = client.drain()
+    except (ServiceError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"drain started ({status.get('status', 'draining')})")
     return 0
 
 
@@ -839,9 +872,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--burst", type=int, default=None,
         help="token-bucket burst size (default: max(1, rate))",
     )
+    p.add_argument(
+        "--lease", type=float, default=30.0,
+        help="worker lease duration (s); expired leases are reaped and "
+        "the job requeued (default: 30)",
+    )
+    p.add_argument(
+        "--max-queue-depth", type=int, default=None,
+        help="shed submissions (503 + Retry-After) past this many "
+        "pending jobs (default: unlimited)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None,
+        help="default per-job wall-clock budget (s), queue wait included",
+    )
+    p.add_argument(
+        "--attempt-deadline", type=float, default=None,
+        help="default per-attempt wall-clock budget (s)",
+    )
+    p.add_argument(
+        "--drain-grace", type=float, default=30.0,
+        help="seconds a SIGTERM drain waits for in-flight attempts to "
+        "checkpoint and requeue (default: 30)",
+    )
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--seed", type=int, default=2012)
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "drain",
+        help="gracefully drain a running scan service (DELETE /drain)",
+    )
+    p.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8787")
+    p.add_argument("--client", default=None, help="X-Client id")
+    p.set_defaults(fn=_cmd_drain)
 
     p = sub.add_parser(
         "submit", help="submit a GDSII layer to a running scan service"

@@ -33,7 +33,23 @@ Injection points
     a claimed service job is preempted mid-scan (the
     :class:`~repro.service.fleet.WorkerFleet` consumes one opportunity
     per claim and kills the firing job after a few heartbeats — drives
-    the requeue-and-checkpoint-resume retry path).
+    the requeue-and-checkpoint-resume retry path),
+``lease_lost``
+    a claimed service job's lease is voided mid-scan, as if the reaper
+    had already requeued and re-claimed it (drives the fencing-token
+    no-double-settle path: the running worker's next heartbeat observes
+    ``LEASE_LOST`` and aborts without settling),
+``deadline_exceeded``
+    a claimed service job's per-attempt deadline is spent mid-scan
+    (drives the cooperative deadline enforcement at the heartbeat
+    boundary: requeue while attempts remain, quarantine after).
+
+``worker_crash`` is consumed at **two** sites with independent
+opportunity counters per injector instance: the
+:class:`~repro.runtime.pool.WorkerPool` fires it per chunk submission
+(process hard-exit), and the service fleet fires it per claim (the
+worker thread abandons the job unsettled so the lease reaper must
+reclaim it).
 
 Determinism
 -----------
@@ -83,6 +99,8 @@ INJECTION_POINTS: Tuple[str, ...] = (
     "cache_truncate",
     "checkpoint_truncate",
     "job_interrupt",
+    "lease_lost",
+    "deadline_exceeded",
 )
 
 #: process exit code used by an injected worker crash (recognizable in logs)

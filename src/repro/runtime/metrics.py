@@ -42,6 +42,14 @@ SERVICE_COUNTERS: Tuple[str, ...] = (
     "job_requeued",
     "job_recovered",
     "job_quarantined",
+    "job_shed",
+    "job_drained",
+    "job_deadline_exceeded",
+    "job_deadline_attempt_exceeded",
+    "lease_renewed",
+    "lease_reaped",
+    "lease_lost",
+    "service_entry_quarantined",
     "service_rate_limited",
     "service_http_requests",
     "service_http_errors",

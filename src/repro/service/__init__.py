@@ -38,19 +38,29 @@ outside the package trips the ``no-deep-service-import`` lint rule.
 """
 
 from .client import ServiceClient, ServiceError
-from .fleet import JobCancelled, JobInterrupted, WorkerFleet
+from .fleet import (
+    JobCancelled,
+    JobDeadlineExceeded,
+    JobDrained,
+    JobInterrupted,
+    LeaseLost,
+    WorkerCrashed,
+    WorkerFleet,
+)
 from .filestore import FileJobQueue, FileJobStore, FileResultStore
 from .http import ScanService, serve, service_prometheus
 from .jobs import (
     ACTIVE_STATES,
     JOB_SCHEMA,
+    MAX_ERROR_CHAIN,
     TERMINAL_STATES,
     InvalidTransition,
     JobRecord,
     JobState,
+    new_lease_token,
 )
 from .loadgen import LoadGenerator, LoadReport
-from .manager import JobManager
+from .manager import HeartbeatVerdict, JobManager, LeaseReaper
 from .memory import (
     InMemoryJobQueue,
     InMemoryJobStore,
@@ -62,9 +72,11 @@ from .ports import (
     JobNotFound,
     JobQueue,
     JobStore,
+    QueueFull,
     RateLimited,
     RateLimiter,
     ResultStore,
+    ServiceDraining,
     StoredResult,
 )
 from .wire import (
@@ -83,9 +95,11 @@ __all__ = [
     "JobRecord",
     "JobState",
     "JOB_SCHEMA",
+    "MAX_ERROR_CHAIN",
     "ACTIVE_STATES",
     "TERMINAL_STATES",
     "InvalidTransition",
+    "new_lease_token",
     # ports
     "JobQueue",
     "JobStore",
@@ -94,6 +108,8 @@ __all__ = [
     "StoredResult",
     "JobNotFound",
     "RateLimited",
+    "QueueFull",
+    "ServiceDraining",
     # adapters
     "InMemoryJobQueue",
     "InMemoryJobStore",
@@ -105,9 +121,15 @@ __all__ = [
     "FileResultStore",
     # service logic
     "JobManager",
+    "LeaseReaper",
+    "HeartbeatVerdict",
     "WorkerFleet",
     "JobInterrupted",
     "JobCancelled",
+    "JobDrained",
+    "WorkerCrashed",
+    "LeaseLost",
+    "JobDeadlineExceeded",
     # transport
     "ScanService",
     "serve",

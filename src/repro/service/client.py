@@ -2,47 +2,109 @@
 
 Used by ``repro submit``, the load generator, and the CI smoke — and a
 reasonable starting point for any external caller.  Only the standard
-library is involved; a :class:`ServiceError` carries the HTTP status
-plus the server's ``error`` message for every non-2xx response.
+library is involved; a :class:`ServiceError` carries the HTTP status,
+the server's ``error`` message, and any ``Retry-After`` hint for every
+non-2xx response.
+
+The client is a *polite* one: idempotent calls (submit, status, result,
+metrics) retry automatically on 429 (rate limited) and 503 (load shed /
+draining) with capped, jittered exponential backoff that never retries
+sooner than the server's ``Retry-After`` asked, and :meth:`wait` polls
+with the same growing jittered schedule instead of hammering a fixed
+interval.  Retrying a submit is safe against *this* service because a
+refused submission (429/503) was never admitted — nothing was enqueued.
+``self.stats`` counts the retries so the load generator can report
+shed/throttle behaviour.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from .jobs import TERMINAL_STATES, JobState
 
+#: HTTP statuses that mean "back off and try the same request again"
+RETRYABLE_STATUSES = frozenset({429, 503})
+
 
 class ServiceError(RuntimeError):
-    """A non-2xx response from the service."""
+    """A non-2xx response from the service.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after_s`` is the server's ``Retry-After`` hint (None when
+    the response carried none).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after_s = retry_after_s
 
 
 class ServiceClient:
-    """Talk to one scan service at ``base_url`` (e.g. http://host:8787)."""
+    """Talk to one scan service at ``base_url`` (e.g. http://host:8787).
+
+    Parameters
+    ----------
+    base_url, timeout_s, client_id:
+        Where to talk, the per-request socket timeout, and the
+        ``X-Client`` identity the rate limiter keys on.
+    max_retries:
+        Retries (beyond the first try) for 429/503 responses on
+        idempotent calls; 0 disables retrying.
+    backoff_s / max_backoff_s:
+        Base and cap of the jittered exponential retry delay; the
+        server's ``Retry-After`` raises (never lowers) each delay.
+    max_poll_s:
+        Ceiling for :meth:`wait`'s growing poll interval.
+    rng / sleep:
+        Injection seams for deterministic tests: the jitter source and
+        the sleep function.
+    """
 
     def __init__(
         self,
         base_url: str,
         timeout_s: float = 30.0,
         client_id: Optional[str] = None,
+        *,
+        max_retries: int = 4,
+        backoff_s: float = 0.1,
+        max_backoff_s: float = 2.0,
+        max_poll_s: float = 2.0,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_s <= 0 or max_backoff_s <= 0 or max_poll_s <= 0:
+            raise ValueError("backoff/poll intervals must be positive")
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
         self.client_id = client_id
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.max_poll_s = max_poll_s
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        #: retry accounting, surfaced by the load generator
+        self.stats: Dict[str, int] = {"retries_429": 0, "retries_503": 0}
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
-    def _request(
+    def _request_once(
         self, method: str, path: str, body: Optional[Dict[str, object]] = None
     ) -> str:
         data = (
@@ -65,50 +127,115 @@ class ServiceClient:
                 message = json.loads(raw).get("error", raw)
             except json.JSONDecodeError:
                 message = raw
-            raise ServiceError(exc.code, message) from exc
+            retry_after = exc.headers.get("Retry-After")
+            try:
+                retry_after_s = (
+                    None if retry_after is None else float(retry_after)
+                )
+            except ValueError:
+                retry_after_s = None
+            raise ServiceError(exc.code, message, retry_after_s) from exc
+
+    def _retry_delay(self, attempt: int, error: ServiceError) -> float:
+        """Jittered capped exponential, floored by the server's hint."""
+        backoff = min(
+            self.max_backoff_s, self.backoff_s * (2.0 ** attempt)
+        )
+        delay = backoff * (0.5 + self._rng.random())
+        if error.retry_after_s is not None:
+            delay = max(delay, error.retry_after_s)
+        return delay
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+        retry: bool = False,
+    ) -> str:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except ServiceError as exc:
+                if (
+                    not retry
+                    or exc.status not in RETRYABLE_STATUSES
+                    or attempt >= self.max_retries
+                ):
+                    raise
+                self.stats[f"retries_{exc.status}"] = (
+                    self.stats.get(f"retries_{exc.status}", 0) + 1
+                )
+                self._sleep(self._retry_delay(attempt, exc))
+                attempt += 1
 
     def _json(
-        self, method: str, path: str, body: Optional[Dict[str, object]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+        retry: bool = False,
     ) -> Dict[str, object]:
-        return json.loads(self._request(method, path, body))
+        return json.loads(self._request(method, path, body, retry=retry))
 
     # ------------------------------------------------------------------
     # API
     # ------------------------------------------------------------------
     def submit(self, request: Dict[str, object]) -> Dict[str, object]:
-        """POST a job request (see :func:`~repro.service.wire.encode_job_request`)."""
-        return self._json("POST", "/jobs", request)
+        """POST a job request (see :func:`~repro.service.wire.encode_job_request`).
+
+        Retries on 429/503 honouring ``Retry-After`` — safe because a
+        refused submission was never admitted.
+        """
+        return self._json("POST", "/jobs", request, retry=True)
 
     def status(self, job_id: str) -> Dict[str, object]:
-        return self._json("GET", f"/jobs/{job_id}")
+        return self._json("GET", f"/jobs/{job_id}", retry=True)
 
     def result(self, job_id: str) -> str:
         """The verbatim ``ScanReport.to_json()`` document."""
-        return self._request("GET", f"/jobs/{job_id}/result")
+        return self._request("GET", f"/jobs/{job_id}/result", retry=True)
 
     def metrics(self, job_id: str) -> Dict[str, object]:
         """The job's scan metrics snapshot."""
-        return self._json("GET", f"/jobs/{job_id}/metrics")
+        return self._json("GET", f"/jobs/{job_id}/metrics", retry=True)
 
     def cancel(self, job_id: str) -> Dict[str, object]:
         return self._json("DELETE", f"/jobs/{job_id}")
 
+    def drain(self) -> Dict[str, object]:
+        """Ask the service to begin a graceful drain (``DELETE /drain``)."""
+        return self._json("DELETE", "/drain")
+
     def healthz(self) -> Dict[str, object]:
         return self._json("GET", "/healthz")
+
+    def readyz(self) -> Dict[str, object]:
+        """The readiness document; raises :class:`ServiceError` (503)
+        while the service is draining or at its queue cap."""
+        return self._json("GET", "/readyz")
 
     def service_metrics(self) -> str:
         """The Prometheus text exposition of the whole service."""
         return self._request("GET", "/metrics")
 
     def wait(
-        self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.1
+        self,
+        job_id: str,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.05,
     ) -> Dict[str, object]:
         """Poll until the job reaches a terminal state; its final status.
 
-        Raises :class:`TimeoutError` when the deadline passes first and
-        :class:`ServiceError` if the job lands anywhere but succeeded.
+        The poll interval starts at ``poll_s`` and grows 1.5× per probe
+        (jittered, capped at ``max_poll_s``) so long jobs don't hammer
+        the status route.  Raises :class:`TimeoutError` when the
+        deadline passes first and :class:`ServiceError` if the job lands
+        anywhere but succeeded.
         """
         deadline = time.monotonic() + timeout_s
+        interval = poll_s
         while True:
             status = self.status(job_id)
             state = JobState(status["state"])
@@ -124,13 +251,14 @@ class ServiceClient:
                 raise TimeoutError(
                     f"job {job_id} still {state.value} after {timeout_s}s"
                 )
-            time.sleep(poll_s)
+            self._sleep(interval * (0.5 + self._rng.random()))
+            interval = min(self.max_poll_s, interval * 1.5)
 
     def run(
         self,
         request: Dict[str, object],
         timeout_s: float = 300.0,
-        poll_s: float = 0.1,
+        poll_s: float = 0.05,
     ) -> str:
         """Submit, wait, and fetch: the blocking one-call convenience."""
         job_id = str(self.submit(request)["job_id"])

@@ -5,16 +5,27 @@ Routes (JSON in, JSON out unless noted):
 ========  ========================  =========================================
 method    path                      meaning
 ========  ========================  =========================================
-POST      ``/jobs``                 submit a job request → 202 + job status
-GET       ``/jobs/<id>``            job status document
+POST      ``/jobs``                 submit a job request → 202 + job status;
+                                    429 + ``Retry-After`` (rate limit) or
+                                    503 + ``Retry-After`` (queue full /
+                                    draining — load shed)
+GET       ``/jobs/<id>``            job status document (error chain
+                                    included for failed/quarantined jobs)
 GET       ``/jobs/<id>/result``     the **verbatim** ``ScanReport.to_json()``
                                     document (409 while non-terminal)
 GET       ``/jobs/<id>/metrics``    the job's scan metrics snapshot
 DELETE    ``/jobs/<id>``            cancel (active) / delete (terminal)
+DELETE    ``/drain``                begin a graceful drain → 202 (admission
+                                    closes, in-flight attempts checkpoint
+                                    and requeue, workers exit)
 GET       ``/metrics``              Prometheus text: service counters,
                                     jobs-by-state gauges, aggregated scan
                                     counters over all completed jobs
 GET       ``/healthz``              liveness + job/queue accounting
+GET       ``/readyz``               readiness: 200 while accepting work,
+                                    503 + ``Retry-After`` while draining or
+                                    at the queue cap (load balancers route
+                                    on this; liveness stays green)
 ========  ========================  =========================================
 
 Everything is ``http.server`` from the standard library —
@@ -34,6 +45,7 @@ assert canonical equality between an HTTP-fetched report and a direct
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
@@ -41,11 +53,28 @@ from typing import Dict, Optional, Tuple
 from ..runtime import BASELINE_COUNTERS
 from .fleet import WorkerFleet
 from .manager import JobManager
-from .ports import JobNotFound, RateLimited
+from .ports import JobNotFound, QueueFull, RateLimited, ServiceDraining
 from .wire import WireError
 
 #: request body ceiling (a full-chip layer encodes to well under this)
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: counter families the service exposition includes (everything else in
+#: BASELINE_COUNTERS is a per-scan engine counter)
+_SERVICE_EVENT_PREFIXES = (
+    "job_",
+    "service_",
+    "lease_",
+    "fault_job_",
+    "fault_worker_crash",
+    "fault_lease_lost",
+    "fault_deadline_exceeded",
+)
+
+
+def retry_after_header(seconds: float) -> str:
+    """``Retry-After`` is whole seconds on the wire; round up, floor 1."""
+    return str(max(1, int(math.ceil(seconds))))
 
 
 def service_prometheus(manager: JobManager) -> str:
@@ -54,8 +83,8 @@ def service_prometheus(manager: JobManager) -> str:
     Three families:
 
     * ``repro_service_events_total{event=...}`` — the ``job_*`` /
-      ``service_*`` counters (zero-seeded, so the key set is identical
-      on a fresh and a busy service),
+      ``lease_*`` / ``service_*`` counters (zero-seeded, so the key set
+      is identical on a fresh and a busy service),
     * ``repro_service_jobs{state=...}`` + ``repro_service_queue_depth``
       — current job accounting,
     * ``repro_scan_events_total{event=...}`` — scan counters summed
@@ -65,7 +94,7 @@ def service_prometheus(manager: JobManager) -> str:
     events: Dict[str, int] = {
         name: 0
         for name in BASELINE_COUNTERS
-        if name.startswith(("job_", "service_", "fault_job_"))
+        if name.startswith(_SERVICE_EVENT_PREFIXES)
     }
     events.update(manager.telemetry.counters)
     lines.append(
@@ -103,6 +132,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # set per server by ScanService
     manager: JobManager = None  # type: ignore[assignment]
+    service: Optional["ScanService"] = None
     quiet: bool = True
     protocol_version = "HTTP/1.1"
 
@@ -114,23 +144,49 @@ class _Handler(BaseHTTPRequestHandler):
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
     def _send(
-        self, status: int, body: bytes, content_type: str = "application/json"
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         if status >= 400:
             self.manager.count("service_http_errors")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self._send(
-            status, json.dumps(payload, sort_keys=True).encode("utf-8")
+            status,
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
+            headers=headers,
         )
 
-    def _error(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _error(
+        self,
+        status: int,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._send_json(status, {"error": message}, headers=headers)
+
+    def _shed(self, status: int, message: str, retry_after_s: float) -> None:
+        """A load-shedding refusal: the client should back off and retry."""
+        self._error(
+            status,
+            message,
+            headers={"Retry-After": retry_after_header(retry_after_s)},
+        )
 
     def _read_body(self) -> Optional[Dict[str, object]]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -158,6 +214,16 @@ class _Handler(BaseHTTPRequestHandler):
             return parts[1], parts[2] if len(parts) > 2 else None
         return None, None
 
+    def _ready(self) -> Tuple[bool, str, float]:
+        """(ready, reason, retry_after_s) for the readiness gate."""
+        if self.manager.draining:
+            return False, "draining", 5.0
+        depth = self.manager.queue_depth()
+        cap = self.manager.max_queue_depth
+        if cap is not None and depth >= cap:
+            return False, f"queue full ({depth}/{cap})", 1.0
+        return True, "ok", 0.0
+
     # ------------------------------------------------------------------
     # verbs
     # ------------------------------------------------------------------
@@ -176,7 +242,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, str(exc))
             return
         except RateLimited as exc:
-            self._error(429, str(exc))
+            self._shed(429, str(exc), exc.retry_after_s)
+            return
+        except (QueueFull, ServiceDraining) as exc:
+            self._shed(503, str(exc), exc.retry_after_s)
             return
         self._send_json(202, record.public_dict())
 
@@ -187,10 +256,24 @@ class _Handler(BaseHTTPRequestHandler):
                 200,
                 {
                     "status": "ok",
+                    "draining": self.manager.draining,
                     "jobs": self.manager.jobs_by_state(),
                     "queue_depth": self.manager.queue_depth(),
                 },
             )
+            return
+        if self.path.rstrip("/") == "/readyz":
+            ready, reason, retry_after_s = self._ready()
+            if ready:
+                self._send_json(200, {"status": "ready"})
+            else:
+                self._send_json(
+                    503,
+                    {"status": "not_ready", "reason": reason},
+                    headers={
+                        "Retry-After": retry_after_header(retry_after_s)
+                    },
+                )
             return
         if self.path.rstrip("/") == "/metrics":
             self._send(
@@ -235,6 +318,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:
         self.manager.count("service_http_requests")
+        if self.path.rstrip("/") == "/drain":
+            # 202 now; the drain itself runs off-thread because joining
+            # the workers from a request handler would deadlock a
+            # single-connection client waiting on this response
+            if self.service is not None:
+                threading.Thread(
+                    target=self.service.drain,
+                    name="repro-service-drain",
+                    daemon=True,
+                ).start()
+            else:
+                self.manager.begin_drain()
+            self._send_json(202, {"status": "draining"})
+            return
         job_id, sub = self._job_id()
         if job_id is None or sub is not None:
             self._error(404, f"no such route: DELETE {self.path}")
@@ -253,6 +350,12 @@ class ScanService:
     ``port=0`` binds an ephemeral port; read :attr:`address` after
     :meth:`start`.  Usable as a context manager; :meth:`stop` shuts the
     HTTP listener down first (no new work) and then the fleet.
+
+    :meth:`drain` is the graceful path (``SIGTERM`` / ``DELETE
+    /drain``): admission closes, in-flight attempts checkpoint and
+    requeue, workers exit — but the HTTP listener stays up so clients
+    can keep polling statuses and fetching finished results; the process
+    supervisor calls :meth:`stop` once :attr:`drained` is set.
     """
 
     def __init__(
@@ -268,6 +371,8 @@ class ScanService:
         self.host = host
         self.port = port
         self.quiet = quiet
+        #: set once a drain has fully completed (workers exited)
+        self.drained = threading.Event()
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -285,10 +390,11 @@ class ScanService:
     def start(self) -> "ScanService":
         if self._server is not None:
             raise RuntimeError("service already started")
+        self.drained.clear()
         handler = type(
             "BoundHandler",
             (_Handler,),
-            {"manager": self.manager, "quiet": self.quiet},
+            {"manager": self.manager, "service": self, "quiet": self.quiet},
         )
         self._server = ThreadingHTTPServer((self.host, self.port), handler)
         self._server.daemon_threads = True
@@ -301,6 +407,16 @@ class ScanService:
         if self.fleet is not None:
             self.fleet.start()
         return self
+
+    def drain(self, timeout: Optional[float] = 30.0) -> bool:
+        """Graceful drain: close admission, requeue in-flight, keep
+        serving reads.  Returns True when the workers exited in time."""
+        self.manager.begin_drain()
+        clean = True
+        if self.fleet is not None:
+            clean = self.fleet.drain(timeout)
+        self.drained.set()
+        return clean
 
     def stop(self) -> None:
         if self._server is not None:

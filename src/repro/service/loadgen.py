@@ -40,7 +40,13 @@ def _percentile(sorted_values: List[float], q: float) -> float:
 
 @dataclass
 class LoadReport:
-    """Aggregated outcome of one load-generator run."""
+    """Aggregated outcome of one load-generator run.
+
+    ``retries_429`` / ``retries_503`` sum the clients' automatic
+    backoff retries (throttled vs load-shed/draining submissions), so a
+    backpressure bench can report the shed rate the fleet imposed while
+    still completing every job.
+    """
 
     jobs: int
     concurrency: int
@@ -48,6 +54,8 @@ class LoadReport:
     failed: int
     elapsed_s: float
     latencies_s: List[float] = field(default_factory=list)
+    retries_429: int = 0
+    retries_503: int = 0
 
     @property
     def throughput_jobs_per_s(self) -> float:
@@ -65,6 +73,12 @@ class LoadReport:
             summary[f"p{int(q * 100)}_s"] = _percentile(ordered, q)
         return summary
 
+    @property
+    def shed_rate(self) -> float:
+        """503 retries per *completed* job (how hard the door pushed back)."""
+        done = self.succeeded + self.failed
+        return self.retries_503 / done if done > 0 else 0.0
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "jobs": self.jobs,
@@ -73,6 +87,9 @@ class LoadReport:
             "failed": self.failed,
             "elapsed_s": self.elapsed_s,
             "throughput_jobs_per_s": self.throughput_jobs_per_s,
+            "retries_429": self.retries_429,
+            "retries_503": self.retries_503,
+            "shed_rate": self.shed_rate,
             "latency": self.latency_summary(),
         }
 
@@ -105,30 +122,40 @@ class LoadGenerator:
         lock = threading.Lock()
         latencies: List[float] = []
         failures = [0]
+        retry_totals = {"retries_429": 0, "retries_503": 0}
 
         def client_loop(index: int) -> None:
             client = ServiceClient(
-                self.base_url, client_id=f"loadgen-{index}"
+                self.base_url,
+                client_id=f"loadgen-{index}",
+                # generous retry budget: a backpressure bench WANTS the
+                # clients to absorb 503s and finish every job anyway
+                max_retries=50,
             )
-            while True:
-                with lock:
-                    if remaining[0] <= 0:
-                        return
-                    remaining[0] -= 1
-                started = time.monotonic()
-                try:
-                    client.run(
-                        self.request,
-                        timeout_s=self.job_timeout_s,
-                        poll_s=self.poll_s,
-                    )
-                except (ServiceError, TimeoutError, OSError):
+            try:
+                while True:
                     with lock:
-                        failures[0] += 1
-                    continue
-                elapsed = time.monotonic() - started
+                        if remaining[0] <= 0:
+                            return
+                        remaining[0] -= 1
+                    started = time.monotonic()
+                    try:
+                        client.run(
+                            self.request,
+                            timeout_s=self.job_timeout_s,
+                            poll_s=self.poll_s,
+                        )
+                    except (ServiceError, TimeoutError, OSError):
+                        with lock:
+                            failures[0] += 1
+                        continue
+                    elapsed = time.monotonic() - started
+                    with lock:
+                        latencies.append(elapsed)
+            finally:
                 with lock:
-                    latencies.append(elapsed)
+                    for key in retry_totals:
+                        retry_totals[key] += client.stats.get(key, 0)
 
         threads = [
             threading.Thread(
@@ -149,4 +176,6 @@ class LoadGenerator:
             failed=failures[0],
             elapsed_s=elapsed,
             latencies_s=latencies,
+            retries_429=retry_totals["retries_429"],
+            retries_503=retry_totals["retries_503"],
         )

@@ -148,6 +148,14 @@ class TokenBucketRateLimiter(RateLimiter):
             self._tokens[key] = tokens - 1.0
             return True
 
+    def retry_after_s(self, key: str) -> float:
+        """Seconds until ``key`` accrues its next whole token."""
+        with self._lock:
+            tokens = self._tokens.get(key, self.burst)
+            if tokens >= 1.0:
+                return 0.0
+            return (1.0 - tokens) / self.rate
+
 
 class NullRateLimiter(RateLimiter):
     """Admission control disabled: every submission is allowed."""

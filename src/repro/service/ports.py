@@ -35,7 +35,33 @@ class JobNotFound(KeyError):
 
 
 class RateLimited(RuntimeError):
-    """Submission refused by the rate limiter (HTTP 429)."""
+    """Submission refused by the rate limiter (HTTP 429).
+
+    ``retry_after_s`` is the server's polite hint for when the refused
+    client should try again; the HTTP layer surfaces it as a
+    ``Retry-After`` header and :class:`~repro.service.client
+    .ServiceClient` honours it in its retry backoff.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class QueueFull(RuntimeError):
+    """Submission shed: the queue is at its admission cap (HTTP 503)."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceDraining(RuntimeError):
+    """Submission refused: the service is draining for shutdown (503)."""
+
+    def __init__(self, message: str, retry_after_s: float = 5.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 @dataclass(frozen=True)
@@ -133,3 +159,8 @@ class RateLimiter(ABC):
     @abstractmethod
     def allow(self, key: str) -> bool:
         """Consume one submission credit for ``key``; False = refuse."""
+
+    def retry_after_s(self, key: str) -> float:
+        """Seconds until ``key`` plausibly has credit again (a hint —
+        surfaced as ``Retry-After``; adapters may refine it)."""
+        return 1.0

@@ -124,8 +124,15 @@ def encode_job_request(
     core_nm: int = 256,
     step_nm: Optional[int] = None,
     engine: Optional[Dict[str, object]] = None,
+    deadline_s: Optional[float] = None,
+    attempt_deadline_s: Optional[float] = None,
 ) -> Dict[str, object]:
-    """Build (and validate) the submit payload for one scan job."""
+    """Build (and validate) the submit payload for one scan job.
+
+    ``deadline_s`` budgets the job's total wall clock from submission
+    (queue wait included); ``attempt_deadline_s`` budgets each claim.
+    ``None`` defers to the service's configured defaults.
+    """
     request = {
         "schema": JOB_REQUEST_SCHEMA,
         "layer": encode_layer(layer),
@@ -134,6 +141,10 @@ def encode_job_request(
         "core_nm": int(core_nm),
         "step_nm": None if step_nm is None else int(step_nm),
         "engine": dict(engine) if engine else {},
+        "deadline_s": None if deadline_s is None else float(deadline_s),
+        "attempt_deadline_s": None
+        if attempt_deadline_s is None
+        else float(attempt_deadline_s),
     }
     return validate_job_request(request)
 
@@ -182,6 +193,15 @@ def validate_job_request(payload: Dict[str, object]) -> Dict[str, object]:
     if step is not None and (not isinstance(step, int) or step < 1):
         raise WireError("'step_nm' must be null or a positive integer (nm)")
     out["step_nm"] = step
+    for key in ("deadline_s", "attempt_deadline_s"):
+        budget = payload.get(key)
+        if budget is not None and (
+            isinstance(budget, bool)
+            or not isinstance(budget, (int, float))
+            or budget <= 0
+        ):
+            raise WireError(f"'{key}' must be null or a positive number (s)")
+        out[key] = None if budget is None else float(budget)
     engine = payload.get("engine") or {}
     if not isinstance(engine, dict):
         raise WireError("'engine' must be an object of flat engine kwargs")
@@ -194,7 +214,17 @@ def validate_job_request(payload: Dict[str, object]) -> Dict[str, object]:
     out["engine"] = dict(engine)
     unknown = sorted(
         set(payload)
-        - {"schema", "layer", "region", "window_nm", "core_nm", "step_nm", "engine"}
+        - {
+            "schema",
+            "layer",
+            "region",
+            "window_nm",
+            "core_nm",
+            "step_nm",
+            "engine",
+            "deadline_s",
+            "attempt_deadline_s",
+        }
     )
     if unknown:
         raise WireError(f"unknown job request field(s) {unknown}")

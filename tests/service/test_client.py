@@ -1,0 +1,163 @@
+"""ServiceClient retry/backoff discipline, tested hermetically.
+
+No sockets: ``_request_once`` is replaced by a scripted transport, the
+jitter rng always returns 0.5 (jitter factor exactly 1.0), and sleeps
+are recorded instead of slept — so every delay the client chooses is
+asserted to the exact float.
+"""
+
+from typing import List, Optional
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError
+
+
+class FixedRng:
+    """random() == 0.5 -> the (0.5 + r) jitter factor is exactly 1.0."""
+
+    def random(self) -> float:
+        return 0.5
+
+
+class ScriptedTransport:
+    """Feed the client a fixed sequence of outcomes per request."""
+
+    def __init__(self, outcomes: List[object]) -> None:
+        self.outcomes = list(outcomes)
+        self.calls: List[tuple] = []
+
+    def __call__(self, method: str, path: str, body=None) -> str:
+        self.calls.append((method, path))
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return str(outcome)
+
+
+def make_client(outcomes: List[object], **kwargs) -> ServiceClient:
+    sleeps: List[float] = []
+    kwargs.setdefault("backoff_s", 0.1)
+    kwargs.setdefault("max_backoff_s", 2.0)
+    client = ServiceClient(
+        "http://test.invalid",
+        rng=FixedRng(),
+        sleep=sleeps.append,
+        **kwargs,
+    )
+    client._request_once = ScriptedTransport(outcomes)
+    client._recorded_sleeps = sleeps
+    return client
+
+
+def shed(status: int, retry_after_s: Optional[float] = None) -> ServiceError:
+    return ServiceError(status, "busy", retry_after_s)
+
+
+class TestRetrySchedule:
+    def test_503s_then_success_backs_off_exponentially(self):
+        client = make_client(
+            [shed(503), shed(503), shed(503), '{"job_id": "j1"}']
+        )
+        assert client.submit({"schema": 1}) == {"job_id": "j1"}
+        # 0.1 * 2^0, 2^1, 2^2 — jitter factor pinned to 1.0
+        assert client._recorded_sleeps == [0.1, 0.2, 0.4]
+        assert client.stats == {"retries_429": 0, "retries_503": 3}
+
+    def test_backoff_caps_at_max_backoff(self):
+        client = make_client(
+            [shed(503)] * 6 + ['{"ok": true}'],
+            max_retries=6,
+            backoff_s=0.5,
+            max_backoff_s=2.0,
+        )
+        client.submit({"schema": 1})
+        assert client._recorded_sleeps == [0.5, 1.0, 2.0, 2.0, 2.0, 2.0]
+
+    def test_retry_after_floors_the_delay(self):
+        # the computed backoff would be 0.1s; the server asked for 5s
+        client = make_client([shed(429, retry_after_s=5.0), '{"ok": true}'])
+        client.submit({"schema": 1})
+        assert client._recorded_sleeps == [5.0]
+        assert client.stats["retries_429"] == 1
+
+    def test_retry_after_never_lowers_the_delay(self):
+        client = make_client(
+            [shed(503, retry_after_s=0.001), '{"ok": true}'],
+            backoff_s=1.0,
+        )
+        client.submit({"schema": 1})
+        assert client._recorded_sleeps == [1.0]
+
+    def test_exhausted_retries_raise_the_last_error(self):
+        client = make_client([shed(503)] * 3, max_retries=2)
+        with pytest.raises(ServiceError) as err:
+            client.submit({"schema": 1})
+        assert err.value.status == 503
+        assert len(client._recorded_sleeps) == 2
+        assert client.stats["retries_503"] == 2
+
+    def test_max_retries_zero_fails_fast(self):
+        client = make_client([shed(503)], max_retries=0)
+        with pytest.raises(ServiceError):
+            client.submit({"schema": 1})
+        assert client._recorded_sleeps == []
+
+    def test_non_retryable_status_raises_immediately(self):
+        client = make_client([ServiceError(400, "bad request")])
+        with pytest.raises(ServiceError) as err:
+            client.submit({"schema": 1})
+        assert err.value.status == 400
+        assert client._recorded_sleeps == []
+        assert client.stats == {"retries_429": 0, "retries_503": 0}
+
+    def test_cancel_is_never_retried(self):
+        """DELETE is not idempotent against a job that may have started:
+        a refused cancel must surface, not silently repeat."""
+        client = make_client([shed(503)])
+        with pytest.raises(ServiceError):
+            client.cancel("j1")
+        assert client._recorded_sleeps == []
+
+    def test_status_and_result_do_retry(self):
+        client = make_client(
+            [shed(503), '{"state": "queued"}', shed(429), "REPORT"]
+        )
+        assert client.status("j1") == {"state": "queued"}
+        assert client.result("j1") == "REPORT"
+        assert client.stats == {"retries_429": 1, "retries_503": 1}
+
+
+class TestWaitBackoff:
+    def test_poll_interval_grows_and_caps(self):
+        queued = '{"state": "queued", "job_id": "j1"}'
+        done = '{"state": "succeeded", "job_id": "j1"}'
+        client = make_client([queued] * 6 + [done], max_poll_s=0.4)
+        status = client.wait("j1", timeout_s=300.0, poll_s=0.1)
+        assert status["state"] == "succeeded"
+        # 0.1 * 1.5^k, capped at max_poll_s, jitter factor 1.0
+        expected = [0.1, 0.15, 0.225, 0.3375, 0.4, 0.4]
+        assert client._recorded_sleeps == pytest.approx(expected)
+
+    def test_wait_raises_on_non_success_terminal(self):
+        parked = (
+            '{"state": "quarantined", "job_id": "j1", '
+            '"error": "lease expired at attempt 3"}'
+        )
+        client = make_client([parked])
+        with pytest.raises(ServiceError) as err:
+            client.wait("j1", timeout_s=5.0)
+        assert "quarantined" in err.value.message
+        assert "lease expired" in err.value.message
+
+
+class TestValidation:
+    def test_negative_max_retries_refused(self):
+        with pytest.raises(ValueError):
+            ServiceClient("http://x", max_retries=-1)
+
+    def test_non_positive_intervals_refused(self):
+        with pytest.raises(ValueError):
+            ServiceClient("http://x", backoff_s=0.0)
+        with pytest.raises(ValueError):
+            ServiceClient("http://x", max_poll_s=-1.0)

@@ -89,14 +89,99 @@ class TestRateLimit:
             )
         )
         with ScanService(manager) as service:
-            client = ServiceClient(service.url, client_id="greedy")
+            # retries off: the point is the immediate 429, and the
+            # bucket's ~1000s Retry-After would otherwise be honoured
+            client = ServiceClient(
+                service.url, client_id="greedy", max_retries=0
+            )
             client.submit(request_payload)
             with pytest.raises(ServiceError) as err:
                 client.submit(request_payload)
             assert err.value.status == 429
+            assert err.value.retry_after_s >= 1.0  # Retry-After surfaced
             # a different client identity still gets through
             other = ServiceClient(service.url, client_id="patient")
             other.submit(request_payload)
+
+
+class TestBackpressure:
+    def test_queue_cap_sheds_503_with_retry_after(self, request_payload):
+        from repro.service import JobManager
+
+        manager = JobManager.in_memory(max_queue_depth=1)
+        with ScanService(manager) as service:
+            client = ServiceClient(service.url, max_retries=0)
+            client.submit(request_payload)
+            with pytest.raises(ServiceError) as err:
+                client.submit(request_payload)
+            assert err.value.status == 503
+            assert err.value.retry_after_s >= 1.0
+            assert manager.telemetry.counters["job_shed"] == 1
+            # the 503 is load shedding, NOT the per-client rate limit
+            assert "service_rate_limited" not in manager.telemetry.counters
+
+    def test_readyz_reports_queue_cap(self, request_payload):
+        from repro.service import JobManager
+
+        manager = JobManager.in_memory(max_queue_depth=1)
+        with ScanService(manager) as service:
+            client = ServiceClient(service.url, max_retries=0)
+            assert client.readyz()["status"] == "ready"
+            client.submit(request_payload)
+            with pytest.raises(ServiceError) as err:
+                client.readyz()
+            assert err.value.status == 503
+            assert "queue full" in err.value.message
+
+
+class TestDrainRoute:
+    def test_drain_closes_admission_and_flips_readiness(
+        self, request_payload
+    ):
+        from repro.service import JobManager
+
+        manager = JobManager.in_memory()
+        with ScanService(manager) as service:
+            client = ServiceClient(service.url, max_retries=0)
+            assert client.readyz()["status"] == "ready"
+            assert client.drain()["status"] == "draining"
+            assert service.drained.wait(10.0)
+            # liveness stays green, readiness goes red
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["draining"] is True
+            with pytest.raises(ServiceError) as err:
+                client.readyz()
+            assert err.value.status == 503
+            with pytest.raises(ServiceError) as err:
+                client.submit(request_payload)
+            assert err.value.status == 503
+            assert err.value.retry_after_s >= 1.0
+            assert manager.telemetry.counters["job_shed"] == 1
+
+
+class TestQuarantineSurface:
+    def test_quarantined_error_chain_over_http(self, request_payload):
+        """A poison job's full failure history is readable by clients."""
+        from repro.service import JobManager
+
+        manager = JobManager.in_memory(
+            max_attempts=1, lease_duration_s=0.05
+        )
+        with ScanService(manager) as service:
+            client = ServiceClient(service.url, max_retries=0)
+            job_id = client.submit(request_payload)["job_id"]
+            claimed = manager.claim("w0")
+            assert claimed is not None
+            # the only attempt dies with its lease: straight to quarantine
+            assert manager.reap(now=claimed.lease_expires_at + 1.0) == 1
+            status = client.status(job_id)
+            assert status["state"] == "quarantined"
+            assert len(status["error_chain"]) == 1
+            assert "lease expired" in status["error_chain"][-1]
+            with pytest.raises(ServiceError) as err:
+                client.wait(job_id, timeout_s=5.0)
+            assert "quarantined" in err.value.message
 
 
 class TestMetricsExposition:
@@ -107,6 +192,25 @@ class TestMetricsExposition:
         assert 'repro_service_jobs{state="queued"} 0' in text
         assert "repro_service_queue_depth 0" in text
         assert 'repro_scan_events_total{event="scored"} 0' in text
+
+    def test_resilience_families_zero_seeded(self, manager):
+        text = service_prometheus(manager)
+        for event in (
+            "lease_renewed",
+            "lease_reaped",
+            "lease_lost",
+            "job_quarantined",
+            "job_shed",
+            "job_drained",
+            "job_deadline_exceeded",
+            "fault_worker_crash",
+            "fault_lease_lost",
+            "fault_deadline_exceeded",
+        ):
+            assert (
+                f'repro_service_events_total{{event="{event}"}} 0' in text
+            ), event
+        assert 'repro_service_jobs{state="quarantined"} 0' in text
 
     def test_metrics_route_reflects_submissions(self, client, request_payload):
         client.submit(request_payload)

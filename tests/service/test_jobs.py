@@ -5,10 +5,12 @@ import pytest
 from repro.service import (
     ACTIVE_STATES,
     JOB_SCHEMA,
+    MAX_ERROR_CHAIN,
     TERMINAL_STATES,
     InvalidTransition,
     JobRecord,
     JobState,
+    new_lease_token,
 )
 
 
@@ -29,6 +31,8 @@ class TestStateMachine:
             (JobState.RUNNING, JobState.FAILED),
             (JobState.RUNNING, JobState.CANCELLED),
             (JobState.RUNNING, JobState.QUEUED, JobState.RUNNING),
+            (JobState.RUNNING, JobState.QUARANTINED),
+            (JobState.FAILED,),  # job deadline spent while still queued
             (JobState.CANCELLED,),
         ],
     )
@@ -42,10 +46,12 @@ class TestStateMachine:
         "start,bad",
         [
             (JobState.QUEUED, JobState.SUCCEEDED),
-            (JobState.QUEUED, JobState.FAILED),
+            (JobState.QUEUED, JobState.QUARANTINED),
             (JobState.SUCCEEDED, JobState.RUNNING),
             (JobState.FAILED, JobState.QUEUED),
             (JobState.CANCELLED, JobState.RUNNING),
+            (JobState.QUARANTINED, JobState.QUEUED),
+            (JobState.QUARANTINED, JobState.RUNNING),
         ],
     )
     def test_illegal_edges_raise(self, start, bad):
@@ -68,6 +74,12 @@ class TestStateMachine:
         assert ACTIVE_STATES | TERMINAL_STATES == frozenset(JobState)
         assert not ACTIVE_STATES & TERMINAL_STATES
 
+    def test_quarantined_is_terminal(self):
+        parked = make_record().transition(JobState.RUNNING).transition(
+            JobState.QUARANTINED
+        )
+        assert parked.terminal
+
     def test_terminal_property(self):
         assert not make_record().terminal
         done = make_record().transition(JobState.CANCELLED)
@@ -83,15 +95,77 @@ class TestStateMachine:
         with pytest.raises(ValueError):
             make_record(max_attempts=0)
 
+    def test_deadlines_validated(self):
+        with pytest.raises(ValueError):
+            make_record(deadline_s=0)
+        with pytest.raises(ValueError):
+            make_record(attempt_deadline_s=-1.0)
+
     def test_seq_orders_by_creation(self):
         first, second = make_record(), make_record()
         assert second.seq > first.seq
 
 
+class TestErrorChain:
+    def test_chain_error_accumulates(self):
+        record = make_record()
+        changes = record.chain_error("boom 1")
+        record = record.transition(JobState.RUNNING, **changes)
+        changes = record.chain_error("boom 2")
+        assert changes["error"] == "boom 2"
+        assert changes["error_chain"] == ("boom 1", "boom 2")
+
+    def test_chain_is_bounded(self):
+        record = make_record(
+            error_chain=tuple(f"e{i}" for i in range(MAX_ERROR_CHAIN))
+        )
+        changes = record.chain_error("newest")
+        assert len(changes["error_chain"]) == MAX_ERROR_CHAIN
+        assert changes["error_chain"][-1] == "newest"
+        assert changes["error_chain"][0] == "e1"  # oldest dropped
+
+
+class TestLeaseClocks:
+    def test_lease_expiry_requires_running(self):
+        queued = make_record(lease_expires_at=10.0)
+        assert not queued.lease_expired(now=100.0)
+        running = make_record().transition(
+            JobState.RUNNING, lease_expires_at=10.0
+        )
+        assert not running.lease_expired(now=9.9)
+        assert running.lease_expired(now=10.0)
+
+    def test_job_deadline(self):
+        record = make_record(created_at=100.0, deadline_s=5.0)
+        assert not record.job_deadline_exceeded(now=104.9)
+        assert record.job_deadline_exceeded(now=105.0)
+        assert not make_record(created_at=100.0).job_deadline_exceeded(1e9)
+
+    def test_attempt_deadline(self):
+        record = make_record(
+            attempt_started_at=100.0, attempt_deadline_s=2.0
+        )
+        assert not record.attempt_deadline_exceeded(now=101.9)
+        assert record.attempt_deadline_exceeded(now=102.0)
+        # no attempt running -> no attempt budget to spend
+        idle = make_record(attempt_deadline_s=2.0)
+        assert not idle.attempt_deadline_exceeded(now=1e9)
+
+
 class TestWireFormat:
     def test_round_trip(self):
-        record = make_record(request={"schema": 1, "x": [1, 2]}).transition(
-            JobState.RUNNING, attempts=1, worker="w0"
+        record = make_record(
+            request={"schema": 1, "x": [1, 2]},
+            deadline_s=30.0,
+            attempt_deadline_s=5.0,
+        ).transition(
+            JobState.RUNNING,
+            attempts=1,
+            worker="w0",
+            lease_token=new_lease_token(),
+            lease_expires_at=123.0,
+            attempt_started_at=100.0,
+            **{"error": "x", "error_chain": ("x",)},
         )
         assert JobRecord.from_dict(record.to_dict()) == record
 
@@ -104,8 +178,36 @@ class TestWireFormat:
         with pytest.raises(ValueError, match="schema"):
             JobRecord.from_dict(payload)
 
+    def test_schema_1_migrates_forward(self):
+        """Pre-lease records load with the new fields defaulted."""
+        payload = make_record().to_dict()
+        payload["schema"] = 1
+        for gone in (
+            "error_chain",
+            "lease_token",
+            "lease_expires_at",
+            "attempt_started_at",
+            "deadline_s",
+            "attempt_deadline_s",
+        ):
+            del payload[gone]
+        migrated = JobRecord.from_dict(payload)
+        assert migrated.error_chain == ()
+        assert migrated.lease_token is None
+        assert migrated.deadline_s is None
+
     def test_public_dict_drops_request_payload(self):
         public = make_record().public_dict()
         assert "request" not in public
         assert public["job_id"] == "j1"
         assert public["state"] == "queued"
+
+    def test_public_dict_hides_lease_token(self):
+        """The token is a fencing capability: leaking it over HTTP would
+        let any caller settle someone else's running job."""
+        running = make_record().transition(
+            JobState.RUNNING, lease_token=new_lease_token()
+        )
+        public = running.public_dict()
+        assert "lease_token" not in public
+        assert public["error_chain"] == []

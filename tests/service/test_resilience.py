@@ -1,0 +1,257 @@
+"""Service chaos suite: crashed workers, lost leases, deadlines, drain.
+
+Every scenario drives a REAL fleet over real scans with deterministic
+fault injection, and every recovery is proven with the strongest
+available oracle — the canonical report of the recovered job must be
+**byte-identical** to an uninterrupted direct-engine run of the same
+request (the PR-4 checkpoint/resume + PR-6 wire-format contract).
+"""
+
+import time
+
+import pytest
+
+from repro.runtime import ScanEngine
+from repro.service import (
+    JobState,
+    WorkerFleet,
+    canonical_report_json,
+    encode_job_request,
+)
+from .test_fleet import SlowDetector, file_manager, wait_for
+
+
+@pytest.fixture
+def resumable_request(layer, region):
+    """Small chunks + checkpoint every chunk: interruptible anywhere."""
+    return encode_job_request(
+        layer,
+        region,
+        engine={"chunk_clips": 4, "checkpoint_every_chunks": 1},
+    )
+
+
+@pytest.fixture
+def direct_canonical(detector, layer, region):
+    """The oracle: an uninterrupted direct-engine run's canonical form."""
+    report = ScanEngine(detector).scan(layer, region, keep_clips=False)
+    return canonical_report_json(report.to_json())
+
+
+class TestWorkerCrashReap:
+    def test_crashed_worker_job_reclaimed_by_live_fleet(
+        self, tmp_path, detector, resumable_request, direct_canonical
+    ):
+        """The acceptance scenario: a worker dies mid-scan WITHOUT
+        settling; the live fleet's reaper expires the lease, requeues,
+        and the resumed attempt serves a byte-identical result — no
+        restart anywhere."""
+        manager = file_manager(tmp_path, lease_duration_s=0.3)
+        fleet = WorkerFleet(
+            manager,
+            detector,
+            workers=2,
+            faults="worker_crash@0",
+            interrupt_after_events=1,
+        )
+        with fleet:
+            record = manager.submit(resumable_request)
+            assert fleet.wait_idle(timeout=120)
+        final = manager.status(record.job_id)
+        assert final.state is JobState.SUCCEEDED
+        assert final.attempts == 2  # crashed claim + reclaimed claim
+        stored = manager.result(record.job_id)
+        # the reclaim genuinely resumed from the crashed attempt's
+        # checkpoint rather than rescanning from scratch ...
+        assert stored.metrics["counters"]["checkpoint_resumed"] == 1
+        # ... and is byte-identical to the uninterrupted direct run
+        assert canonical_report_json(stored.document) == direct_canonical
+        counters = manager.telemetry.counters
+        assert counters["fault_worker_crash"] == 1
+        assert counters["lease_reaped"] == 1
+        assert counters["job_retries"] == 1
+        # the crash is in the audit trail even though the job succeeded
+        assert any("lease expired" in e for e in final.error_chain)
+
+
+class TestLeaseLostFencing:
+    def test_lease_lost_mid_scan_aborts_without_settling(
+        self, tmp_path, detector, resumable_request, direct_canonical
+    ):
+        """A reaped-and-voided lease is observed at the next heartbeat;
+        the dispossessed worker settles nothing and the job recovers
+        through the ordinary reap/requeue path."""
+        manager = file_manager(tmp_path, lease_duration_s=0.2)
+        fleet = WorkerFleet(
+            manager,
+            detector,
+            workers=2,
+            faults="lease_lost@0",
+            interrupt_after_events=1,
+        )
+        with fleet:
+            record = manager.submit(resumable_request)
+            assert fleet.wait_idle(timeout=120)
+        final = manager.status(record.job_id)
+        assert final.state is JobState.SUCCEEDED
+        assert final.attempts == 2
+        stored = manager.result(record.job_id)
+        assert canonical_report_json(stored.document) == direct_canonical
+        counters = manager.telemetry.counters
+        assert counters["fault_lease_lost"] == 1
+        assert counters["lease_lost"] >= 1
+        assert counters["lease_reaped"] == 1
+        # exactly one settle: the dispossessed attempt published nothing
+        assert counters["job_succeeded"] == 1
+
+
+class TestDeadlineInjection:
+    def test_attempt_deadline_requeues_and_resumes(
+        self, tmp_path, detector, resumable_request, direct_canonical
+    ):
+        manager = file_manager(tmp_path, max_attempts=3)
+        fleet = WorkerFleet(
+            manager,
+            detector,
+            workers=1,
+            faults="deadline_exceeded@0",
+            interrupt_after_events=1,
+        )
+        with fleet:
+            record = manager.submit(resumable_request)
+            assert fleet.wait_idle(timeout=120)
+        final = manager.status(record.job_id)
+        assert final.state is JobState.SUCCEEDED
+        assert final.attempts == 2
+        assert any("deadline" in e for e in final.error_chain)
+        stored = manager.result(record.job_id)
+        assert canonical_report_json(stored.document) == direct_canonical
+        counters = manager.telemetry.counters
+        assert counters["fault_deadline_exceeded"] == 1
+        assert counters["job_deadline_attempt_exceeded"] == 1
+
+
+class TestPoisonQuarantine:
+    def test_crash_looping_job_lands_quarantined_with_chain(
+        self, tmp_path, detector, layer, region
+    ):
+        """A job whose EVERY attempt dies worker-fatally must park
+        terminally instead of cycling through the fleet forever."""
+        # checkpoints effectively off: every retry rescans from scratch,
+        # so every retry reaches a scoring heartbeat and crashes again
+        # (a checkpointed retry could resume past the crash point)
+        poison_request = encode_job_request(
+            layer,
+            region,
+            engine={"chunk_clips": 4, "checkpoint_every_chunks": 10_000},
+        )
+        manager = file_manager(
+            tmp_path, lease_duration_s=0.2, max_attempts=2
+        )
+        fleet = WorkerFleet(
+            manager,
+            detector,
+            workers=2,
+            faults="worker_crash@0|1",  # both claims crash
+            interrupt_after_events=1,
+        )
+        with fleet:
+            record = manager.submit(poison_request)
+            assert wait_for(
+                lambda: manager.status(record.job_id).state
+                is JobState.QUARANTINED,
+                timeout_s=60.0,
+            )
+        final = manager.status(record.job_id)
+        assert final.state is JobState.QUARANTINED
+        assert final.attempts == 2
+        assert len(final.error_chain) == 2
+        assert all("lease expired" in e for e in final.error_chain)
+        counters = manager.telemetry.counters
+        assert counters["fault_worker_crash"] == 2
+        assert counters["job_quarantined"] == 1
+        assert counters["lease_reaped"] == 1  # first reap requeued
+        # quarantine is terminal: nothing left queued or running
+        by_state = manager.jobs_by_state()
+        assert by_state["queued"] == 0 and by_state["running"] == 0
+
+
+class TestDrainUnderLoad:
+    def test_drain_loses_zero_jobs_and_resumes_byte_identical(
+        self, tmp_path, layer, region, detector, direct_canonical
+    ):
+        """The rolling-restart contract: drain mid-load, every accepted
+        job survives (finished, or requeued with its attempt refunded),
+        and the next fleet serves byte-identical results."""
+        request = encode_job_request(
+            layer,
+            region,
+            engine={"chunk_clips": 4, "checkpoint_every_chunks": 1},
+        )
+        manager = file_manager(tmp_path)
+        slow = SlowDetector(0.03)
+        fleet = WorkerFleet(manager, slow, workers=2)
+        fleet.start()
+        ids = [manager.submit(request).job_id for _ in range(6)]
+        # wait until the fleet is genuinely mid-flight
+        assert wait_for(
+            lambda: manager.jobs_by_state()["running"] > 0, timeout_s=30.0
+        )
+        assert fleet.drain(timeout=60.0)
+        assert manager.draining
+        # zero loss: every accepted job either finished or is queued
+        # again (attempt refunded, checkpoint intact) — none vanished
+        states = [manager.status(job_id).state for job_id in ids]
+        assert all(
+            s in (JobState.SUCCEEDED, JobState.QUEUED) for s in states
+        )
+        assert states.count(JobState.QUEUED) >= 1  # drain interrupted work
+        drained = manager.telemetry.counters.get("job_drained", 0)
+        assert drained >= 1
+        for job_id in ids:
+            record = manager.status(job_id)
+            if record.state is JobState.QUEUED:
+                assert record.attempts == 0  # refunded, not burned
+
+        # "restart": a fresh process over the same durable state
+        after = file_manager(tmp_path)
+        with WorkerFleet(after, slow, workers=2) as next_fleet:
+            assert next_fleet.wait_idle(timeout=120)
+        for job_id in ids:
+            final = after.status(job_id)
+            assert final.state is JobState.SUCCEEDED
+            assert (
+                canonical_report_json(after.result(job_id).document)
+                == direct_canonical
+            )
+
+    def test_draining_fleet_sheds_new_submissions(
+        self, tmp_path, detector, resumable_request
+    ):
+        from repro.service import ServiceDraining
+
+        manager = file_manager(tmp_path)
+        fleet = WorkerFleet(manager, detector, workers=1)
+        fleet.start()
+        fleet.drain(timeout=30.0)
+        with pytest.raises(ServiceDraining):
+            manager.submit(resumable_request)
+        assert manager.telemetry.counters["job_shed"] == 1
+
+
+class TestReaperLifecycle:
+    def test_fleet_starts_and_stops_the_reaper(self, tmp_path, detector):
+        manager = file_manager(tmp_path, lease_duration_s=0.2)
+        fleet = WorkerFleet(manager, detector, workers=1)
+        fleet.start()
+        reaper = manager.start_reaper()  # idempotent: same instance back
+        assert reaper.running
+        fleet.stop()
+        assert not reaper.running
+
+    def test_reaper_survives_idle_fleet(self, tmp_path, detector):
+        """No jobs, short lease: the reaper thread just keeps sweeping."""
+        manager = file_manager(tmp_path, lease_duration_s=0.1)
+        with WorkerFleet(manager, detector, workers=1):
+            time.sleep(0.3)
+            assert manager.jobs_by_state()["running"] == 0
