@@ -413,6 +413,7 @@ class NoDeepRuntimeImportRule(_NoDeepImportRule):
             "faults",
             "metrics",
             "pool",
+            "shard",
             "telemetry",
             "trace",
         }

@@ -14,6 +14,11 @@ from examples, notebooks, and downstream tools:
   blocking :meth:`~ScanEngine.scan` or a background
   :class:`ScanSession` via :meth:`~ScanEngine.start`, results as
   :class:`ScanReport` (JSON-serializable wire artifact),
+* **chip scale-out** — :func:`scan_chip` routes monolithic, sharded,
+  and incremental scans through one code path, driven by the
+  :class:`ChipScanConfig` group; :class:`ShardPlanner` /
+  :class:`ShardPlan` / :func:`merge_reports` expose the plan-execute-
+  merge pipeline for callers orchestrating shards themselves,
 * **service** — the queued scan-as-a-service layer
   (:mod:`repro.service`): :class:`JobManager` over the storage ports,
   :class:`WorkerFleet` executing jobs through the engine,
@@ -51,6 +56,7 @@ from .runtime import (
     BatchConfig,
     CascadeDetector,
     CheckpointConfig,
+    ChipScanConfig,
     EngineConfig,
     ObservabilityConfig,
     RasterConfig,
@@ -58,7 +64,12 @@ from .runtime import (
     ScanReport,
     ScanSession,
     ScoreCache,
+    ShardPlan,
+    ShardPlanner,
+    ShardRunner,
     SupervisionConfig,
+    merge_reports,
+    scan_chip,
 )
 from .service import (
     JobManager,
@@ -104,8 +115,15 @@ __all__ = [
     "SupervisionConfig",
     "CheckpointConfig",
     "ObservabilityConfig",
+    "ChipScanConfig",
     "ScoreCache",
     "scan_layer",
+    # chip scale-out
+    "scan_chip",
+    "ShardPlanner",
+    "ShardPlan",
+    "ShardRunner",
+    "merge_reports",
     # service
     "JobManager",
     "WorkerFleet",

@@ -9,7 +9,7 @@ Commands
 ``score``       score a clip file with a saved CNN model
 ``analyze``     litho-analyze a clip file and print per-clip verdicts
 ``scan``        sweep a saved CNN model over a GDSII layout layer
-``scan-chip``   production full-chip scan: cache, cascade, worker pool
+``scan-chip``   production full-chip scan: cache, cascade, shards, re-scan
 ``tune-cascade``  sweep prefilter cutoffs for zero-miss cascade skipping
 ``serve``       run the queued scan service (HTTP job API + worker fleet)
 ``submit``      submit a GDSII layer to a running scan service
@@ -204,7 +204,7 @@ def _parse_overrides(pairs: List[str]) -> dict:
 
 def _cmd_scan_chip(args: argparse.Namespace) -> int:
     from .geometry.gdsii import read_gdsii
-    from .runtime import CascadeDetector, EngineConfig, ScanEngine
+    from .runtime import CascadeDetector, EngineConfig, scan_chip
 
     if (args.model is None) == (args.detector is None):
         print("pass exactly one of --model or --detector", file=sys.stderr)
@@ -301,36 +301,44 @@ def _cmd_scan_chip(args: argparse.Namespace) -> int:
             metrics=args.metrics_out,
             progress="stderr" if args.progress else None,
             infer_backend=args.infer_backend,
+            shards=args.shards,
+            shard_workers=args.shard_workers,
+            halo_nm=args.halo_nm,
+            snap_nm=args.snap_nm,
+            instance_dedup=not args.no_instance_dedup,
+            manifest=args.manifest_out,
+            rescan_from=args.rescan_from,
         )
-        engine = ScanEngine(detector, config=config, faults=faults)
     except ValueError as exc:
-        # e.g. the cache dir belongs to a different detector
         print(str(exc), file=sys.stderr)
         return 2
     region = layer.bbox.expand(-args.margin)
     try:
-        report = engine.scan(
+        # one code path: monolithic (--shards 1), sharded, or
+        # incremental (--rescan-from) all go through scan_chip
+        report = scan_chip(
             layer,
-            region,
+            detector,
+            config,
+            region=region,
             window_nm=args.window,
             core_nm=args.core,
             step_nm=args.step,
             oracle=oracle,
-            keep_clips=False,
             resume=args.resume,
+            faults=faults,
         )
-    except ValueError as exc:
-        from .runtime import CheckpointMismatch
-
-        if isinstance(exc, CheckpointMismatch) or args.resume:
-            print(str(exc), file=sys.stderr)
+    except (OSError, ValueError) as exc:
+        if "too small for the clip window" in str(exc):
+            print(
+                f"region {region.width}x{region.height} nm is smaller "
+                f"than one {args.window} nm clip window (margin "
+                f"{args.margin} nm); nothing to scan",
+                file=sys.stderr,
+            )
             return 2
-        print(
-            f"region {region.width}x{region.height} nm is smaller than one "
-            f"{args.window} nm clip window (margin {args.margin} nm); "
-            "nothing to scan",
-            file=sys.stderr,
-        )
+        # checkpoint mismatch, bad cache/manifest dir, resume errors, ...
+        print(str(exc), file=sys.stderr)
         return 2
 
     print(report.summary())
@@ -722,6 +730,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--core", type=int, default=256)
     p.add_argument("--step", type=int, default=None)
     p.add_argument("--workers", type=int, default=1, help="scoring processes")
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="split the chip into this many halo-overlapped shards "
+        "(1 = monolithic; the merged report is byte-identical either way)",
+    )
+    p.add_argument(
+        "--shard-workers", type=int, default=1,
+        help="shards scanned concurrently, each on its own engine",
+    )
+    p.add_argument(
+        "--halo-nm", type=int, default=None,
+        help="shard overlap margin in nm (default: the full window "
+        "extent, which preserves monolithic scores at shard seams)",
+    )
+    p.add_argument(
+        "--snap-nm", type=int, default=None,
+        help="snap shard boundaries to this pitch (nm), e.g. the "
+        "instance-array pitch, so repeated cells shard congruently",
+    )
+    p.add_argument(
+        "--no-instance-dedup", action="store_true",
+        help="score every shard even when its geometry is an exact "
+        "translated copy of an already-scored shard",
+    )
+    p.add_argument(
+        "--manifest-out", type=Path, default=None,
+        help="write the fingerprint->score manifest here (default: "
+        "chip-manifest.npz inside --checkpoint-dir, if any)",
+    )
+    p.add_argument(
+        "--rescan-from", type=Path, default=None,
+        help="incremental re-scan: replay shards whose fingerprint is "
+        "unchanged since this manifest (or its directory) and re-score "
+        "only the changed cone",
+    )
     p.add_argument(
         "--cascade",
         action="store_true",

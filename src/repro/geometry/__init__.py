@@ -9,6 +9,8 @@ Public surface:
 * :func:`rasterize_region`, :class:`RasterPlane`,
   :func:`raster_fingerprint` — shared-plane rendering for the scan path,
 * :func:`transform_clip`, :data:`D4_NAMES` — orientation augmentation,
+* :func:`region_fingerprint`, :class:`InstanceArray` — instance-level
+  placement fingerprints for hierarchy-aware dedup,
 * :class:`GridIndex` — spatial hashing,
 * :class:`DesignRules`, :func:`check_layer`, :func:`is_clean` — DRC,
 * ``save_layout``/``load_layout``, ``save_clips``/``load_clips`` — I/O.
@@ -38,6 +40,7 @@ from .multilayer import (
     enclosure_violations,
     extract_multilayer_clip,
 )
+from .placements import InstanceArray, region_fingerprint
 from .polygon import Polygon, polygons_from_rect_soup
 from .rasterize import (
     RasterPlane,
@@ -66,6 +69,8 @@ __all__ = [
     "iter_tile_centers",
     "count_tile_centers",
     "clip_fingerprint",
+    "region_fingerprint",
+    "InstanceArray",
     "rasterize_clip",
     "rasterize_rects",
     "rasterize_region",

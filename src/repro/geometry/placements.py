@@ -1,0 +1,95 @@
+"""Instance-placement fingerprints: hierarchy-aware region hashing.
+
+:func:`~repro.geometry.layout.clip_fingerprint` keys the engine's dedup
+cache at *window* granularity.  Arrayed designs (``replicate_block``)
+repeat far more than single windows: whole cell placements — thousands
+of windows each — are exact translated copies of one another.
+:func:`region_fingerprint` lifts the same canonical-hash idea to an
+arbitrary region: a 128-bit BLAKE2b over the region's dimensions plus
+every layer rect clipped to the region, in *region-local* coordinates.
+
+Two regions hash identically iff they contain the same geometry at the
+same offsets relative to their own origin — exactly the condition under
+which a scan of one region (whose tile grid sits at the same phase)
+produces byte-identical scores for the other.  The shard runner uses
+this to score one placement of a repeated cell and replay the scores
+for every other placement, and the incremental re-scan mode uses it to
+decide which shards' score cones a layout edit invalidated.
+
+:class:`InstanceArray` is the planner-facing description of a
+``replicate_block``-style array: the cell footprint plus the placement
+grid and pitch, from which the planner derives a shard size that snaps
+to placement boundaries so interior shards become translated copies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List
+
+from .layout import Layer
+from .rect import Rect
+
+__all__ = ["InstanceArray", "region_fingerprint"]
+
+
+def region_fingerprint(layer: Layer, region: Rect) -> str:
+    """Canonical content hash of a region's geometry, translation-free.
+
+    The hash covers the region's width and height and the sorted list of
+    layer rects clipped to the region, each translated so the region's
+    lower-left corner is the origin.  It is stable across processes and
+    interpreter runs (BLAKE2b, not builtin ``hash``), and deliberately
+    independent of *which polygons* the rects came from: only the
+    resolved geometry inside the region matters, mirroring what
+    :func:`~repro.geometry.layout.clip_fingerprint` sees per window.
+    """
+    parts: List[int] = [region.width, region.height]
+    local = sorted(
+        rect.translate(-region.x1, -region.y1)
+        for rect in layer.rects_in(region)
+    )
+    for rect in local:
+        parts.extend(rect.as_tuple())
+    digest = hashlib.blake2b(
+        ",".join(map(str, parts)).encode("ascii"), digest_size=16
+    )
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class InstanceArray:
+    """A ``replicate_block``-style placement array: cell × (nx, ny) grid.
+
+    ``cell`` is the footprint of placement ``(0, 0)``; placement
+    ``(ix, iy)`` sits at ``cell`` translated by ``(ix * pitch_x,
+    iy * pitch_y)``.  Pitches may exceed the cell extent (routing
+    channels between placements) but not undercut it.
+    """
+
+    cell: Rect
+    nx: int
+    ny: int
+    pitch_x: int
+    pitch_y: int
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError("nx and ny must be >= 1")
+        if self.pitch_x < self.cell.width or self.pitch_y < self.cell.height:
+            raise ValueError("pitch must be >= the cell extent per axis")
+
+    def placement(self, ix: int, iy: int) -> Rect:
+        """The footprint of placement ``(ix, iy)``."""
+        if not (0 <= ix < self.nx and 0 <= iy < self.ny):
+            raise ValueError(
+                f"placement ({ix}, {iy}) outside {self.nx}x{self.ny} array"
+            )
+        return self.cell.translate(ix * self.pitch_x, iy * self.pitch_y)
+
+    @property
+    def extent(self) -> Rect:
+        """Bounding box of every placement in the array."""
+        last = self.placement(self.nx - 1, self.ny - 1)
+        return Rect(self.cell.x1, self.cell.y1, last.x2, last.y2)

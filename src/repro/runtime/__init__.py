@@ -29,6 +29,14 @@ phase → chunk, with counter deltas and worker attribution), an
 end-of-scan metrics snapshot (JSON + Prometheus text exposition), and
 live progress heartbeats — all without perturbing a single score.
 
+Above the single engine, :mod:`repro.runtime.shard` scales to full
+chips: :func:`scan_chip` plans halo-overlapped shards
+(:class:`ShardPlanner`), executes them on independent engines with
+instance-level fingerprint dedup and incremental re-scan
+(:class:`ShardRunner`), and merges the per-shard reports
+(:func:`merge_reports`) into one report byte-identical to the
+monolithic scan.
+
 The legacy :func:`repro.core.scan.scan_layer` entry point delegates here.
 """
 
@@ -51,6 +59,7 @@ from .config import (
     LEGACY_KWARGS,
     BatchConfig,
     CheckpointConfig,
+    ChipScanConfig,
     EngineConfig,
     ObservabilityConfig,
     RasterConfig,
@@ -69,12 +78,24 @@ from .metrics import (
     INFER_COUNTERS,
     METRICS_SCHEMA,
     SERVICE_COUNTERS,
+    SHARD_COUNTERS,
     export_metrics,
     format_snapshot,
     metrics_snapshot,
     to_prometheus,
 )
 from .pool import WorkerPool
+from .shard import (
+    MANIFEST_NAME,
+    PLAN_SCHEMA,
+    ChipManifest,
+    ShardPlan,
+    ShardPlanner,
+    ShardRunner,
+    ShardSpec,
+    merge_reports,
+    scan_chip,
+)
 from .telemetry import Histogram, Telemetry, Timer
 from .trace import (
     NULL_TRACER,
@@ -97,7 +118,17 @@ __all__ = [
     "SupervisionConfig",
     "CheckpointConfig",
     "ObservabilityConfig",
+    "ChipScanConfig",
     "LEGACY_KWARGS",
+    "scan_chip",
+    "ShardPlanner",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardRunner",
+    "merge_reports",
+    "ChipManifest",
+    "MANIFEST_NAME",
+    "PLAN_SCHEMA",
     "ScoreCache",
     "CacheIntegrityError",
     "CascadeDetector",
@@ -134,4 +165,5 @@ __all__ = [
     "BASELINE_COUNTERS",
     "SERVICE_COUNTERS",
     "INFER_COUNTERS",
+    "SHARD_COUNTERS",
 ]

@@ -2,7 +2,7 @@
 
 ``ScanEngine.__init__`` historically grew one keyword per subsystem until
 the front door carried ~20 flat knobs across five concerns.  This module
-replaces that with one frozen :class:`EngineConfig` composed of five
+replaces that with one frozen :class:`EngineConfig` composed of six
 grouped sub-configs — construction-time validated, hashable-by-identity,
 and safe to share between engines:
 
@@ -11,7 +11,9 @@ and safe to share between engines:
 * :class:`SupervisionConfig` — the WorkerPool retry/rebuild/degrade ladder,
 * :class:`CheckpointConfig` — periodic atomic checkpoint/resume,
 * :class:`ObservabilityConfig` — span tracing, metrics export, progress
-  heartbeats (:mod:`repro.runtime.trace` / :mod:`repro.runtime.metrics`).
+  heartbeats (:mod:`repro.runtime.trace` / :mod:`repro.runtime.metrics`),
+* :class:`ChipScanConfig` — full-chip shard fan-out, instance-level
+  dedup, and incremental re-scan (:func:`repro.runtime.scan_chip`).
 
 Every legacy flat kwarg maps to exactly one grouped field
 (:data:`LEGACY_KWARGS`); :meth:`EngineConfig.from_kwargs` builds a config
@@ -164,6 +166,62 @@ class ObservabilityConfig:
 
 
 @dataclass(frozen=True)
+class ChipScanConfig:
+    """Full-chip sharded scan policy (:func:`repro.runtime.scan_chip`).
+
+    The :class:`~repro.runtime.shard.ShardRunner` reads this group; a
+    plain :class:`~repro.runtime.engine.ScanEngine` ignores it, so one
+    config object can drive both entry points.
+
+    Parameters
+    ----------
+    shards:
+        Target shard count for the planner (1 = monolithic; the planner
+        may return fewer shards than requested on small center grids).
+    shard_workers:
+        Shards scanned concurrently; each shard runs its own engine
+        (which may itself fan scoring out over ``workers`` processes).
+    halo_nm:
+        Overlap margin in nm beyond each shard's owned windows.  ``None``
+        defaults to the full window extent, the margin under which every
+        boundary window sees exactly the context a monolithic scan does.
+    snap_nm:
+        Snap shard boundaries to multiples of this pitch (nm), e.g. an
+        instance-array pitch so repeated placements land in congruent
+        shards.  ``None`` balances shard sizes freely.
+    instance_dedup:
+        Fingerprint each shard's halo region and replay scores across
+        shards whose geometry is an exact translated copy.
+    manifest:
+        Explicit path for the fingerprint→score manifest written after
+        the scan; ``None`` writes ``chip-manifest.npz`` next to the
+        checkpoint when a checkpoint dir is configured, else nothing.
+    rescan_from:
+        Path of a prior scan's manifest (or the directory holding it):
+        shards whose region fingerprint is unchanged replay their stored
+        scores and only changed-cone shards are re-scored.
+    """
+
+    shards: int = 1
+    shard_workers: int = 1
+    halo_nm: Optional[int] = None
+    snap_nm: Optional[int] = None
+    instance_dedup: bool = True
+    manifest: Optional[PathLike] = None
+    rescan_from: Optional[PathLike] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_workers < 1:
+            raise ValueError("shard_workers must be >= 1")
+        if self.halo_nm is not None and self.halo_nm < 0:
+            raise ValueError("halo_nm must be >= 0 or None")
+        if self.snap_nm is not None and self.snap_nm < 1:
+            raise ValueError("snap_nm must be >= 1 or None")
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """The full :class:`~repro.runtime.engine.ScanEngine` configuration."""
 
@@ -174,6 +232,7 @@ class EngineConfig:
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig
     )
+    chip: ChipScanConfig = field(default_factory=ChipScanConfig)
 
     @classmethod
     def from_kwargs(cls, **kwargs) -> "EngineConfig":
@@ -236,6 +295,13 @@ LEGACY_KWARGS: Dict[str, Tuple[str, str]] = {
     "metrics": ("observability", "metrics"),
     "progress": ("observability", "progress"),
     "progress_every_chunks": ("observability", "progress_every_chunks"),
+    "shards": ("chip", "shards"),
+    "shard_workers": ("chip", "shard_workers"),
+    "halo_nm": ("chip", "halo_nm"),
+    "snap_nm": ("chip", "snap_nm"),
+    "instance_dedup": ("chip", "instance_dedup"),
+    "manifest": ("chip", "manifest"),
+    "rescan_from": ("chip", "rescan_from"),
 }
 
 # every mapped field must actually exist on its sub-config (import-time

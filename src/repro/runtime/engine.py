@@ -75,7 +75,8 @@ from .telemetry import Telemetry
 from .trace import NULL_TRACER, ProgressEvent, ScanObservability
 
 #: bump when the ScanReport JSON layout changes incompatibly
-REPORT_SCHEMA = 1
+#: (2 added shard provenance: ``shard_id`` / ``plan_digest``)
+REPORT_SCHEMA = 2
 
 
 @dataclass
@@ -97,6 +98,12 @@ class ScanReport(ScanResult):
     elapsed_s: float = 0.0
     #: which scan strategy produced the scores: "clip" or "raster"
     scan_path: str = "clip"
+    #: shard provenance (schema 2): the shard's index within its plan,
+    #: or None for a monolithic / merged chip report
+    shard_id: Optional[int] = None
+    #: digest of the ShardPlan this report was scanned (or merged) under;
+    #: None for a plain monolithic engine scan
+    plan_digest: Optional[str] = None
 
     @property
     def flag_ratio(self) -> float:
@@ -149,6 +156,10 @@ class ScanReport(ScanResult):
         payload = {
             "schema": REPORT_SCHEMA,
             "scan_path": self.scan_path,
+            "shard_id": None if self.shard_id is None else int(self.shard_id),
+            "plan_digest": (
+                None if self.plan_digest is None else str(self.plan_digest)
+            ),
             "n_windows": self.n_windows,
             "n_scored": self.n_scored,
             "cache_hits": self.cache_hits,
@@ -176,16 +187,21 @@ class ScanReport(ScanResult):
     def from_json(cls, document: str) -> "ScanReport":
         """Rebuild a report serialized by :meth:`to_json`.
 
-        Refuses documents from a newer schema; the rebuilt report has
-        empty ``clips`` / ``flagged_windows`` (see :meth:`to_json`).
+        Schema-1 documents (pre shard provenance) migrate forward: the
+        ``shard_id`` / ``plan_digest`` fields default to None, so a
+        migrated report re-serializes as a valid schema-2 document.
+        Documents from a *newer* schema are refused; the rebuilt report
+        has empty ``clips`` / ``flagged_windows`` (see :meth:`to_json`).
         """
         payload = json.loads(document)
         schema = payload.get("schema")
-        if schema != REPORT_SCHEMA:
+        if schema not in (1, REPORT_SCHEMA):
             raise ValueError(
                 f"unsupported ScanReport schema {schema!r} "
                 f"(this build reads {REPORT_SCHEMA})"
             )
+        shard_id = payload.get("shard_id")
+        plan_digest = payload.get("plan_digest")
         return cls(
             centers=[(int(x), int(y)) for x, y in payload["centers"]],
             clips=[],
@@ -212,6 +228,8 @@ class ScanReport(ScanResult):
             cache_hits=int(payload["cache_hits"]),
             elapsed_s=float(payload["elapsed_s"]),
             scan_path=str(payload["scan_path"]),
+            shard_id=None if shard_id is None else int(shard_id),
+            plan_digest=None if plan_digest is None else str(plan_digest),
         )
 
 

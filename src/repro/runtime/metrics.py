@@ -67,6 +67,22 @@ INFER_COUNTERS: Tuple[str, ...] = (
     "cascade_skip_matched",
 )
 
+#: full-chip shard fan-out / incremental re-scan counter family
+#: (repro.runtime.shard); zero-seeded so monolithic scans expose the
+#: same key set as sharded ones
+SHARD_COUNTERS: Tuple[str, ...] = (
+    "shard_scans",
+    "shard_replays",
+    "shard_resumed",
+    "shard_windows_scanned",
+    "shard_windows_replayed",
+    "rescan_shards_reused",
+    "rescan_shards_rescored",
+    "rescan_windows_reused",
+    "job_shards_spawned",
+    "job_chip_merged",
+)
+
 #: counters always present in a snapshot, zero-seeded when they never fired
 BASELINE_COUNTERS: Tuple[str, ...] = tuple(
     [f"fault_{point}" for point in INJECTION_POINTS]
@@ -94,6 +110,7 @@ BASELINE_COUNTERS: Tuple[str, ...] = tuple(
     ]
     + list(SERVICE_COUNTERS)
     + list(INFER_COUNTERS)
+    + list(SHARD_COUNTERS)
 )
 
 

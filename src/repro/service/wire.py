@@ -65,6 +65,16 @@ ALLOWED_ENGINE_KWARGS: Tuple[str, ...] = (
     "checkpoint_every_chunks",
 )
 
+#: chip scale-out knobs a client may set (ChipScanConfig policy names);
+#: manifest/rescan paths are service-side resources and are refused
+ALLOWED_CHIP_KWARGS: Tuple[str, ...] = (
+    "shards",
+    "shard_workers",
+    "halo_nm",
+    "snap_nm",
+    "instance_dedup",
+)
+
 #: the deterministic ScanReport fields the canonical projection keeps
 CANONICAL_REPORT_FIELDS: Tuple[str, ...] = (
     "schema",
@@ -126,12 +136,16 @@ def encode_job_request(
     engine: Optional[Dict[str, object]] = None,
     deadline_s: Optional[float] = None,
     attempt_deadline_s: Optional[float] = None,
+    chip: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Build (and validate) the submit payload for one scan job.
 
     ``deadline_s`` budgets the job's total wall clock from submission
     (queue wait included); ``attempt_deadline_s`` budgets each claim.
-    ``None`` defers to the service's configured defaults.
+    ``None`` defers to the service's configured defaults.  ``chip``
+    carries the :data:`ALLOWED_CHIP_KWARGS` scale-out knobs (e.g.
+    ``{"shards": 8}``): a multi-worker fleet fans such a job out into
+    per-shard child jobs and merges their reports.
     """
     request = {
         "schema": JOB_REQUEST_SCHEMA,
@@ -146,6 +160,8 @@ def encode_job_request(
         if attempt_deadline_s is None
         else float(attempt_deadline_s),
     }
+    if chip:
+        request["chip"] = dict(chip)
     return validate_job_request(request)
 
 
@@ -212,6 +228,36 @@ def validate_job_request(payload: Dict[str, object]) -> Dict[str, object]:
             f"(allowed: {sorted(ALLOWED_ENGINE_KWARGS)})"
         )
     out["engine"] = dict(engine)
+    chip = payload.get("chip")
+    if chip is not None:
+        if not isinstance(chip, dict):
+            raise WireError("'chip' must be an object of scale-out knobs")
+        refused = sorted(set(chip) - set(ALLOWED_CHIP_KWARGS))
+        if refused:
+            raise WireError(
+                f"chip option(s) {refused} are not client-settable "
+                f"(allowed: {sorted(ALLOWED_CHIP_KWARGS)})"
+            )
+        out["chip"] = dict(chip)
+    shard = payload.get("shard")
+    if shard is not None:
+        # internal fan-out marker: one shard of a parent chip job; the
+        # fleet writes these itself, but they still round-trip through
+        # the same submit/validate gate as client jobs
+        if not isinstance(shard, dict):
+            raise WireError("'shard' must be {plan, index, parent}")
+        plan_doc = shard.get("plan")
+        index = shard.get("index")
+        parent = shard.get("parent")
+        if not isinstance(plan_doc, str) or not plan_doc:
+            raise WireError("'shard.plan' must be a ShardPlan JSON string")
+        if isinstance(index, bool) or not isinstance(index, int) or index < 0:
+            raise WireError("'shard.index' must be a non-negative integer")
+        if not isinstance(parent, str) or not parent:
+            raise WireError("'shard.parent' must be the parent job id")
+        if "chip" in out:
+            raise WireError("a job cannot be both a chip and a shard job")
+        out["shard"] = {"plan": plan_doc, "index": index, "parent": parent}
     unknown = sorted(
         set(payload)
         - {
@@ -222,6 +268,8 @@ def validate_job_request(payload: Dict[str, object]) -> Dict[str, object]:
             "core_nm",
             "step_nm",
             "engine",
+            "chip",
+            "shard",
             "deadline_s",
             "attempt_deadline_s",
         }
@@ -239,12 +287,14 @@ def build_engine_config(
 ) -> EngineConfig:
     """The worker-side :class:`EngineConfig` for a validated request.
 
-    Client knobs come from ``request["engine"]``; the service supplies
-    the per-job checkpoint directory (retry/resume) and its own progress
-    hook.  Invalid knob values surface as :class:`WireError` so the job
-    fails with a clear message instead of a traceback.
+    Client knobs come from ``request["engine"]`` (plus the ``chip``
+    scale-out group, when present); the service supplies the per-job
+    checkpoint directory (retry/resume) and its own progress hook.
+    Invalid knob values surface as :class:`WireError` so the job fails
+    with a clear message instead of a traceback.
     """
     kwargs = dict(request.get("engine") or {})
+    kwargs.update(request.get("chip") or {})
     if checkpoint_dir is not None:
         kwargs["checkpoint_dir"] = checkpoint_dir
     if progress is not None:

@@ -81,7 +81,14 @@ class LogisticRegression:
     def decision_function(self, features: np.ndarray) -> np.ndarray:
         if self.weights is None:
             raise RuntimeError("LogisticRegression not fitted")
-        return np.asarray(features, dtype=np.float64) @ self.weights + self.bias
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim == 1:
+            return x @ self.weights + self.bias
+        # einsum instead of BLAS gemv: each row's dot is reduced
+        # independently, so a window's score does not depend on which
+        # batch it was scored in (gemv tail kernels break that, which
+        # would make sharded scans differ from monolithic ones at ULP).
+        return np.einsum("ij,j->i", x, self.weights) + self.bias
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         return _sigmoid(self.decision_function(features))

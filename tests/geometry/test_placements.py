@@ -1,0 +1,125 @@
+"""Region fingerprints and instance arrays (hierarchy-aware hashing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.layouts import replicate_block
+from repro.geometry import InstanceArray, Layer, Rect, region_fingerprint
+
+
+def _cell_layer() -> Layer:
+    layer = Layer("metal1")
+    layer.add_rects(
+        [Rect(32, k * 256 + 32, 992, k * 256 + 128) for k in range(4)]
+    )
+    return layer
+
+
+def _array_layer(nx=3, ny=2, pitch=1024) -> Layer:
+    return replicate_block(
+        _cell_layer(), Rect(0, 0, 1024, 1024), nx, ny,
+        pitch_x=pitch, pitch_y=pitch,
+    )
+
+
+# ----------------------------------------------------------------------
+# region_fingerprint
+# ----------------------------------------------------------------------
+def test_fingerprint_is_translation_invariant():
+    layer = _array_layer()
+    a = region_fingerprint(layer, Rect(0, 0, 1024, 1024))
+    b = region_fingerprint(layer, Rect(1024, 0, 2048, 1024))
+    c = region_fingerprint(layer, Rect(2048, 1024, 3072, 2048))
+    assert a == b == c
+
+
+def test_fingerprint_depends_on_phase_not_just_content():
+    layer = _array_layer()
+    aligned = region_fingerprint(layer, Rect(0, 0, 1024, 1024))
+    shifted = region_fingerprint(layer, Rect(64, 0, 1088, 1024))
+    assert aligned != shifted
+
+
+def test_fingerprint_is_insertion_order_independent():
+    """The hash canonicalizes rect order: only geometry matters."""
+    rects = [Rect(0, 0, 512, 64), Rect(100, 200, 300, 400),
+             Rect(600, 600, 700, 760)]
+    forward = Layer("metal1")
+    forward.add_rects(rects)
+    backward = Layer("metal1")
+    backward.add_rects(rects[::-1])
+    window = Rect(0, 0, 768, 768)
+    assert region_fingerprint(forward, window) == region_fingerprint(
+        backward, window
+    )
+
+
+def test_fingerprint_clips_to_the_region():
+    layer = Layer("metal1")
+    layer.add_rects([Rect(-512, 100, 512, 200)])
+    other = Layer("metal1")
+    other.add_rects([Rect(0, 100, 512, 200)])
+    window = Rect(0, 0, 768, 768)
+    # geometry outside the region cannot influence the hash
+    assert region_fingerprint(layer, window) == region_fingerprint(
+        other, window
+    )
+
+
+def test_fingerprint_changes_inside_the_edited_region_only():
+    layer = _array_layer()
+    before = [
+        region_fingerprint(layer, Rect(i * 1024, 0, (i + 1) * 1024, 1024))
+        for i in range(3)
+    ]
+    layer.add_rects([Rect(1100, 400, 1300, 500)])  # edit placement (1, 0)
+    after = [
+        region_fingerprint(layer, Rect(i * 1024, 0, (i + 1) * 1024, 1024))
+        for i in range(3)
+    ]
+    assert before[0] == after[0]
+    assert before[1] != after[1]
+    assert before[2] == after[2]
+
+
+def test_fingerprint_covers_region_dimensions():
+    empty = Layer("metal1")
+    empty.add_rects([Rect(5000, 5000, 5100, 5100)])  # far away: both empty
+    assert region_fingerprint(empty, Rect(0, 0, 512, 512)) != region_fingerprint(
+        empty, Rect(0, 0, 1024, 1024)
+    )
+
+
+# ----------------------------------------------------------------------
+# InstanceArray
+# ----------------------------------------------------------------------
+def test_instance_array_places_on_the_pitch_grid():
+    array = InstanceArray(Rect(0, 0, 1024, 1024), nx=3, ny=2,
+                          pitch_x=1536, pitch_y=2048)
+    assert array.placement(0, 0) == Rect(0, 0, 1024, 1024)
+    assert array.placement(2, 1) == Rect(3072, 2048, 4096, 3072)
+    assert array.extent == Rect(0, 0, 4096, 3072)
+
+
+def test_instance_array_validates():
+    cell = Rect(0, 0, 1024, 1024)
+    with pytest.raises(ValueError, match="nx and ny"):
+        InstanceArray(cell, nx=0, ny=1, pitch_x=1024, pitch_y=1024)
+    with pytest.raises(ValueError, match="pitch must be"):
+        InstanceArray(cell, nx=2, ny=2, pitch_x=512, pitch_y=1024)
+    array = InstanceArray(cell, nx=2, ny=2, pitch_x=1024, pitch_y=1024)
+    with pytest.raises(ValueError, match="outside"):
+        array.placement(2, 0)
+
+
+def test_instance_array_matches_replicate_block_geometry():
+    array = InstanceArray(Rect(0, 0, 1024, 1024), nx=3, ny=2,
+                          pitch_x=1024, pitch_y=1024)
+    layer = _array_layer(nx=3, ny=2, pitch=1024)
+    fps = {
+        region_fingerprint(layer, array.placement(ix, iy))
+        for ix in range(3)
+        for iy in range(2)
+    }
+    assert len(fps) == 1, "every placement is a translated copy"

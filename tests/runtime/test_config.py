@@ -10,6 +10,7 @@ from repro.runtime import (
     REPORT_SCHEMA,
     BatchConfig,
     CheckpointConfig,
+    ChipScanConfig,
     EngineConfig,
     ObservabilityConfig,
     ScanEngine,
@@ -52,6 +53,49 @@ class TestEngineConfigDefaults:
     def test_construction_time_validation(self, group_cls, bad):
         with pytest.raises(ValueError):
             group_cls(**bad)
+
+    def test_chip_defaults_are_monolithic(self):
+        chip = EngineConfig().chip
+        assert chip.shards == 1
+        assert chip.shard_workers == 1
+        assert chip.halo_nm is None  # full window extent at plan time
+        assert chip.snap_nm is None
+        assert chip.instance_dedup is True
+        assert chip.manifest is None
+        assert chip.rescan_from is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"shards": 0},
+            {"shard_workers": 0},
+            {"halo_nm": -1},
+            {"snap_nm": 0},
+        ],
+    )
+    def test_chip_construction_time_validation(self, bad):
+        with pytest.raises(ValueError):
+            ChipScanConfig(**bad)
+
+    def test_chip_kwargs_route_through_from_kwargs(self):
+        cfg = EngineConfig.from_kwargs(
+            shards=8,
+            shard_workers=4,
+            halo_nm=768,
+            snap_nm=2048,
+            instance_dedup=False,
+            manifest="out.npz",
+            rescan_from="prior.npz",
+        )
+        assert cfg.chip == ChipScanConfig(
+            shards=8,
+            shard_workers=4,
+            halo_nm=768,
+            snap_nm=2048,
+            instance_dedup=False,
+            manifest="out.npz",
+            rescan_from="prior.npz",
+        )
 
     def test_observability_enabled_flag(self):
         assert ObservabilityConfig(trace_dir="t").enabled

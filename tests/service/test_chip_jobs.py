@@ -1,0 +1,173 @@
+"""Chip-scale jobs through the service: wire gate, fan-out, merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import ScanEngine, ShardPlanner, scan_chip
+from repro.service import (
+    JobState,
+    WireError,
+    WorkerFleet,
+    canonical_report_json,
+    encode_job_request,
+    validate_job_request,
+)
+
+
+def chip_request(layer, region, chip, **kwargs):
+    return encode_job_request(
+        layer, region, engine={"chunk_clips": 64}, chip=chip, **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# wire validation
+# ----------------------------------------------------------------------
+class TestWire:
+    def test_chip_knobs_round_trip(self, layer, region):
+        request = chip_request(
+            layer, region, {"shards": 4, "shard_workers": 2, "snap_nm": 512}
+        )
+        assert validate_job_request(request)["chip"] == {
+            "shards": 4,
+            "shard_workers": 2,
+            "snap_nm": 512,
+        }
+
+    def test_service_side_chip_paths_are_refused(self, layer, region):
+        with pytest.raises(WireError, match="not client-settable"):
+            chip_request(layer, region, {"shards": 4, "manifest": "/x.npz"})
+        with pytest.raises(WireError, match="not client-settable"):
+            chip_request(layer, region, {"rescan_from": "/x.npz"})
+        with pytest.raises(WireError, match="must be an object"):
+            validate_job_request(
+                {
+                    "schema": 1,
+                    "layer": {"name": "m", "polygons": []},
+                    "region": [0, 0, 1024, 1024],
+                    "chip": 4,
+                }
+            )
+
+    def test_shard_marker_is_validated(self, layer, region, detector):
+        plan = ShardPlanner(4).plan(region)
+        base = chip_request(layer, region, None)
+        ok = dict(base, shard={"plan": plan.to_json(), "index": 1, "parent": "j-1"})
+        assert validate_job_request(ok)["shard"]["index"] == 1
+
+        for bad in (
+            {"plan": "", "index": 0, "parent": "j-1"},
+            {"plan": plan.to_json(), "index": -1, "parent": "j-1"},
+            {"plan": plan.to_json(), "index": True, "parent": "j-1"},
+            {"plan": plan.to_json(), "index": 0, "parent": ""},
+            "not-a-dict",
+        ):
+            with pytest.raises(WireError, match="shard"):
+                validate_job_request(dict(base, shard=bad))
+
+    def test_chip_and_shard_are_mutually_exclusive(self, layer, region):
+        plan = ShardPlanner(2).plan(region)
+        request = chip_request(layer, region, {"shards": 2})
+        request["shard"] = {"plan": plan.to_json(), "index": 0, "parent": "j"}
+        with pytest.raises(WireError, match="both a chip and a shard"):
+            validate_job_request(request)
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+class TestChipExecution:
+    def test_multi_worker_fleet_fans_a_chip_job_out(
+        self, manager, detector, layer, region
+    ):
+        direct = ScanEngine(detector).scan(layer, region, keep_clips=False)
+        with WorkerFleet(manager, detector, workers=3) as fleet:
+            record = manager.submit(
+                chip_request(
+                    layer, region, {"shards": 4, "instance_dedup": False}
+                )
+            )
+            assert fleet.wait_idle(timeout=120)
+        assert manager.status(record.job_id).state is JobState.SUCCEEDED
+        stored = manager.result(record.job_id)
+        assert canonical_report_json(stored.document) == canonical_report_json(
+            direct.to_json()
+        )
+        # the coordinator spawned children and merged their reports
+        assert manager.telemetry.counters["job_shards_spawned"] == 4
+        assert manager.telemetry.counters["job_chip_merged"] == 1
+        children = [
+            r
+            for r in manager.list_jobs()
+            if (r.request.get("shard") or {}).get("parent") == record.job_id
+        ]
+        assert len(children) == 4
+        assert all(
+            manager.status(c.job_id).state is JobState.SUCCEEDED
+            for c in children
+        )
+
+    def test_fan_out_dedups_congruent_shards(
+        self, manager, detector, layer, region
+    ):
+        """On this small region every shard's halo covers the whole grid,
+        so all four shards are congruent: one child scans, three replay."""
+        direct = ScanEngine(detector).scan(layer, region, keep_clips=False)
+        with WorkerFleet(manager, detector, workers=3) as fleet:
+            record = manager.submit(chip_request(layer, region, {"shards": 4}))
+            assert fleet.wait_idle(timeout=120)
+        assert manager.status(record.job_id).state is JobState.SUCCEEDED
+        stored = manager.result(record.job_id)
+        assert canonical_report_json(stored.document) == canonical_report_json(
+            direct.to_json()
+        )
+        assert manager.telemetry.counters["job_shards_spawned"] == 1
+        assert stored.metrics["counters"]["shard_replays"] == 3
+
+    def test_single_worker_fleet_scans_a_chip_job_inline(
+        self, manager, detector, layer, region
+    ):
+        """No fan-out deadlock: one worker routes through scan_chip."""
+        direct = ScanEngine(detector).scan(layer, region, keep_clips=False)
+        with WorkerFleet(manager, detector, workers=1) as fleet:
+            record = manager.submit(chip_request(layer, region, {"shards": 4}))
+            assert fleet.wait_idle(timeout=120)
+        assert manager.status(record.job_id).state is JobState.SUCCEEDED
+        stored = manager.result(record.job_id)
+        assert canonical_report_json(stored.document) == canonical_report_json(
+            direct.to_json()
+        )
+        assert manager.telemetry.counters.get("job_shards_spawned", 0) == 0
+
+    def test_chip_fan_out_matches_scan_chip_front_door(
+        self, manager, detector, layer, region
+    ):
+        """Service fan-out and the library entrypoint agree byte-for-byte."""
+        from repro.runtime import EngineConfig
+
+        library = scan_chip(
+            layer,
+            detector,
+            EngineConfig.from_kwargs(shards=4),
+            region=region,
+        )
+        with WorkerFleet(manager, detector, workers=3) as fleet:
+            record = manager.submit(chip_request(layer, region, {"shards": 4}))
+            assert fleet.wait_idle(timeout=120)
+        stored = manager.result(record.job_id)
+        assert canonical_report_json(stored.document) == canonical_report_json(
+            library.to_json()
+        )
+
+    def test_shards_1_is_a_plain_job(self, manager, detector, layer, region):
+        direct = ScanEngine(detector).scan(layer, region, keep_clips=False)
+        with WorkerFleet(manager, detector, workers=2) as fleet:
+            record = manager.submit(chip_request(layer, region, {"shards": 1}))
+            assert fleet.wait_idle(timeout=60)
+        assert manager.status(record.job_id).state is JobState.SUCCEEDED
+        stored = manager.result(record.job_id)
+        assert canonical_report_json(stored.document) == canonical_report_json(
+            direct.to_json()
+        )
+        assert manager.telemetry.counters.get("job_shards_spawned", 0) == 0

@@ -34,3 +34,27 @@ def test_facade_matches_subpackage_objects():
     assert api.JobManager is service.JobManager
     assert api.ScanService is service.ScanService
     assert api.serve is service.serve
+
+
+def test_chip_scan_entry_points_exported():
+    from repro import runtime
+
+    for name in (
+        "ChipScanConfig",
+        "ShardPlan",
+        "ShardPlanner",
+        "ShardRunner",
+        "merge_reports",
+        "scan_chip",
+    ):
+        assert name in api.__all__
+        assert getattr(api, name) is getattr(runtime, name)
+
+
+def test_shard_plan_round_trips_through_the_facade():
+    """Plan -> JSON -> plan via api names only, digest-stable."""
+    region = api.Rect(0, 0, 4096, 4096)
+    plan = api.ShardPlanner(4, snap_nm=512).plan(region)
+    back = api.ShardPlan.from_json(plan.to_json())
+    assert back == plan
+    assert back.digest == plan.digest

@@ -324,6 +324,101 @@ class TestScanChipCommand:
         assert "key=value" in capsys.readouterr().err
 
 
+class TestScanChipSharding:
+    """--shards / --shard-workers / --manifest-out / --rescan-from."""
+
+    def _write_block(self, tmp_path):
+        from repro.geometry import Layout, Polygon
+        from repro.geometry.gdsii import write_gdsii
+
+        layout = Layout("block")
+        layer = layout.layer("L1")
+        for i in range(15):
+            layer.add(Polygon.rectangle(Rect(0, i * 144, 2304, i * 144 + 64)))
+        gds = tmp_path / "block.gds"
+        write_gdsii(layout, gds)
+        return gds
+
+    def _scan(self, tmp_path, monkeypatch, report, extra):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        argv = [
+            "scan-chip",
+            str(self._write_block(tmp_path)),
+            "--detector",
+            "logistic-density",
+            "--seed",
+            "99",
+            "--report-json",
+            str(report),
+        ] + extra
+        return main(argv)
+
+    def test_sharded_cli_scan_is_byte_identical(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.service import canonical_report_json
+
+        mono = tmp_path / "mono.json"
+        assert self._scan(tmp_path, monkeypatch, mono, []) == 0
+        sharded = tmp_path / "sharded.json"
+        assert (
+            self._scan(
+                tmp_path,
+                monkeypatch,
+                sharded,
+                ["--shards", "4", "--shard-workers", "2"],
+            )
+            == 0
+        )
+        assert canonical_report_json(
+            sharded.read_text().strip()
+        ) == canonical_report_json(mono.read_text().strip())
+
+    def test_rescan_from_manifest_round_trips(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.service import canonical_report_json
+
+        manifest = tmp_path / "chip.npz"
+        first = tmp_path / "first.json"
+        assert (
+            self._scan(
+                tmp_path,
+                monkeypatch,
+                first,
+                ["--shards", "4", "--manifest-out", str(manifest)],
+            )
+            == 0
+        )
+        assert manifest.exists()
+        second = tmp_path / "second.json"
+        assert (
+            self._scan(
+                tmp_path,
+                monkeypatch,
+                second,
+                ["--shards", "4", "--rescan-from", str(manifest)],
+            )
+            == 0
+        )
+        assert canonical_report_json(
+            second.read_text().strip()
+        ) == canonical_report_json(first.read_text().strip())
+
+    def test_missing_rescan_manifest_exits_2(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        report = tmp_path / "r.json"
+        code = self._scan(
+            tmp_path,
+            monkeypatch,
+            report,
+            ["--shards", "4", "--rescan-from", str(tmp_path / "nope.npz")],
+        )
+        assert code == 2
+        assert "no chip manifest" in capsys.readouterr().err
+
+
 class TestScanChipObservability:
     """End-to-end: --trace-dir / --metrics-out / --progress / --report-json."""
 
